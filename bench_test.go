@@ -1,0 +1,330 @@
+package ci_test
+
+// One benchmark per table/figure of the paper (see DESIGN.md's
+// per-experiment index) plus ablation benches for the design choices the
+// planner makes and micro-benchmarks for the hot paths. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// Each figure bench reports a characteristic output of its artifact as a
+// custom metric so regressions in the *numbers* (not just the speed) are
+// visible in benchmark logs.
+
+import (
+	"testing"
+
+	"github.com/easeml/ci/internal/adaptivity"
+	"github.com/easeml/ci/internal/bounds"
+	"github.com/easeml/ci/internal/condlang"
+	"github.com/easeml/ci/internal/core"
+	"github.com/easeml/ci/internal/data"
+	"github.com/easeml/ci/internal/engine"
+	"github.com/easeml/ci/internal/estimator"
+	"github.com/easeml/ci/internal/experiments"
+	"github.com/easeml/ci/internal/interval"
+	"github.com/easeml/ci/internal/labeling"
+	"github.com/easeml/ci/internal/model"
+	"github.com/easeml/ci/internal/patterns"
+	"github.com/easeml/ci/internal/script"
+	"github.com/easeml/ci/internal/stats"
+)
+
+// BenchmarkFigure2SampleSizeTable regenerates the Figure 2 practicality
+// table (64 sample sizes, H = 32).
+func BenchmarkFigure2SampleSizeTable(b *testing.B) {
+	var last int
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Figure2(32)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = rows[len(rows)-1].F2F3Full
+	}
+	b.ReportMetric(float64(last), "cell_0.99999_0.01_f2f3full")
+}
+
+// BenchmarkFigure3LabelComplexity regenerates the label-complexity sweep.
+func BenchmarkFigure3LabelComplexity(b *testing.B) {
+	var improvement float64
+	for i := 0; i < b.N; i++ {
+		series, err := experiments.Figure3(
+			[]float64{0.01, 0.02, 0.05},
+			[]float64{0.01, 0.001, 0.0001},
+			experiments.DefaultFigure3Ps)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, p := range series[0].Points {
+			if p.P == 0.1 {
+				improvement = p.Improvement
+			}
+		}
+	}
+	b.ReportMetric(improvement, "improvement_at_p0.1")
+}
+
+// BenchmarkFigure4EmpiricalError regenerates the estimated-vs-empirical
+// error comparison (Monte-Carlo heavy).
+func BenchmarkFigure4EmpiricalError(b *testing.B) {
+	cfg := experiments.DefaultFigure4Config()
+	cfg.Ns = []int{500, 2000, 8000}
+	cfg.Trials = 200
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		pts, err := experiments.Figure4(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ratio = pts[0].BaselineEps / pts[0].OptimizedEps
+	}
+	b.ReportMetric(ratio, "baseline_over_optimized_eps")
+}
+
+// BenchmarkFigure5SemEvalScenario runs the full 3-query, 8-commit CI
+// scenario through the engine.
+func BenchmarkFigure5SemEvalScenario(b *testing.B) {
+	var size int
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Figure5(2019)
+		if err != nil {
+			b.Fatal(err)
+		}
+		size = res.Queries[2].SampleSize
+	}
+	b.ReportMetric(float64(size), "adaptive_sample_size")
+}
+
+// BenchmarkFigure6AccuracyEvolution reports the accuracy trajectories of
+// the same scenario (kept separate so the figure has its own target).
+func BenchmarkFigure6AccuracyEvolution(b *testing.B) {
+	var peak float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Figure5(2019)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, a := range res.TestAccuracy {
+			if a > peak {
+				peak = a
+			}
+		}
+	}
+	b.ReportMetric(peak, "peak_test_accuracy")
+}
+
+// BenchmarkInTextNumbers recomputes every sample size quoted in the
+// paper's prose.
+func BenchmarkInTextNumbers(b *testing.B) {
+	var active int
+	for i := 0; i < b.N; i++ {
+		n, err := experiments.ComputeInTextNumbers()
+		if err != nil {
+			b.Fatal(err)
+		}
+		active = n.ActiveLabelsPerCommit
+	}
+	b.ReportMetric(float64(active), "active_labels_per_commit")
+}
+
+// --- Ablations -----------------------------------------------------------
+
+// BenchmarkAblationEpsilonSplit compares the optimal epsilon split against
+// the naive even split on an uneven-coefficient clause.
+func BenchmarkAblationEpsilonSplit(b *testing.B) {
+	f, err := condlang.Parse("n - 1.1 * o > 0.01 +/- 0.01")
+	if err != nil {
+		b.Fatal(err)
+	}
+	var even, opt int
+	for i := 0; i < b.N; i++ {
+		pe, err := estimator.SampleSize(f, 0.001, estimator.Options{
+			Steps: 32, Adaptivity: adaptivity.None,
+			Strategy: estimator.PerVariable, Split: estimator.SplitEven,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		po, err := estimator.SampleSize(f, 0.001, estimator.Options{
+			Steps: 32, Adaptivity: adaptivity.None,
+			Strategy: estimator.PerVariable, Split: estimator.SplitOptimal,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		even, opt = pe.N, po.N
+	}
+	b.ReportMetric(float64(even)/float64(opt), "even_over_optimal")
+}
+
+// BenchmarkAblationDeltaBudget compares the split budget (Section 4.1.1)
+// against the test-only budget (Section 5.2) for Pattern 1.
+func BenchmarkAblationDeltaBudget(b *testing.B) {
+	f, err := condlang.Parse("d < 0.1 +/- 0.01 /\\ n - o > 0.02 +/- 0.01")
+	if err != nil {
+		b.Fatal(err)
+	}
+	var split, testOnly int
+	for i := 0; i < b.N; i++ {
+		ps, err := patterns.PlanPattern1(f, 0.0001, patterns.Options{
+			Steps: 32, Adaptivity: adaptivity.None, Budget: patterns.BudgetSplit,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		pt, err := patterns.PlanPattern1(f, 0.0001, patterns.Options{
+			Steps: 32, Adaptivity: adaptivity.None, Budget: patterns.BudgetTestOnly,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		split, testOnly = ps.TestN, pt.TestN
+	}
+	b.ReportMetric(float64(split)-float64(testOnly), "split_minus_testonly_labels")
+}
+
+// BenchmarkAblationStrategy compares per-variable and composite-range
+// estimation on an uneven-coefficient clause.
+func BenchmarkAblationStrategy(b *testing.B) {
+	f, err := condlang.Parse("n - 1.1 * o > 0.01 +/- 0.01")
+	if err != nil {
+		b.Fatal(err)
+	}
+	var pv, cr int
+	for i := 0; i < b.N; i++ {
+		a, err := estimator.SampleSize(f, 0.001, estimator.Options{
+			Steps: 16, Adaptivity: adaptivity.Full, Strategy: estimator.PerVariable,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		c, err := estimator.SampleSize(f, 0.001, estimator.Options{
+			Steps: 16, Adaptivity: adaptivity.Full, Strategy: estimator.CompositeRange,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		pv, cr = a.N, c.N
+	}
+	b.ReportMetric(float64(pv)/float64(cr), "pervariable_over_composite")
+}
+
+// BenchmarkAblationTightBinomial compares the exact binomial sample size
+// (Section 4.3) against two-sided Hoeffding.
+func BenchmarkAblationTightBinomial(b *testing.B) {
+	var exact, hoeff int
+	for i := 0; i < b.N; i++ {
+		var err error
+		exact, err = bounds.ExactSampleSize(0.05, 0.01, 0, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		hoeff, err = bounds.HoeffdingSampleSizeTwoSided(1, 0.05, 0.01)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(hoeff)/float64(exact), "hoeffding_over_exact")
+}
+
+// --- Micro-benchmarks ----------------------------------------------------
+
+func BenchmarkParseCondition(b *testing.B) {
+	src := "n - 1.1 * o > 0.01 +/- 0.01 /\\ d < 0.1 +/- 0.01"
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := condlang.Parse(src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSampleSizeEstimator(b *testing.B) {
+	f, err := condlang.Parse("n - o > 0.02 +/- 0.01 /\\ d < 0.1 +/- 0.01")
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := estimator.Options{Steps: 32, Adaptivity: adaptivity.Full, Strategy: estimator.PerVariable}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := estimator.SampleSize(f, 0.0001, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPlannerDispatch(b *testing.B) {
+	cfg, err := script.New("d < 0.1 +/- 0.01 /\\ n - o > 0.02 +/- 0.01", 0.9999, interval.FPFree,
+		script.Adaptivity{Kind: script.AdaptivityNone, Email: "a@b.c"}, 32)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.PlanForConfig(cfg, core.DefaultOptions()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBinomialCDF(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		stats.BinomialCDF(4900, 10000, 0.49)
+	}
+}
+
+func BenchmarkBennettSampleSize(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := bounds.BennettSampleSize(0.1, 0.01, 0.0001); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEngineCommit measures one full commit evaluation (predictions,
+// active labeling, decision, bookkeeping) on a 5k testset.
+func BenchmarkEngineCommit(b *testing.B) {
+	ds := &data.Dataset{Name: "bench", Classes: 4}
+	for i := 0; i < 5000; i++ {
+		ds.X = append(ds.X, []float64{float64(i)})
+		ds.Y = append(ds.Y, i%4)
+	}
+	cfg, err := script.New("n - o > 0.02 +/- 0.03", 0.99, interval.FPFree,
+		script.Adaptivity{Kind: script.AdaptivityFull}, 4096)
+	if err != nil {
+		b.Fatal(err)
+	}
+	oldPreds, err := model.SimulatedPredictions(ds.Y, 4, 0.8, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng, err := engine.New(cfg, ds, labeling.NewTruthOracle(ds.Y), engine.Options{
+		InitialModel: model.NewFixedPredictions("h0", oldPreds),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	newPreds, err := model.SimulatedPredictions(ds.Y, 4, 0.85, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := model.NewFixedPredictions("candidate", newPreds)
+	h0 := model.NewFixedPredictions("h0", oldPreds)
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_, err := eng.Commit(m, "bench", "commit")
+		if err == engine.ErrNeedNewTestset {
+			// The 4096-evaluation budget ran out mid-benchmark; rotate a
+			// fresh testset and keep going.
+			if err := eng.RotateTestset(ds, labeling.NewTruthOracle(ds.Y), h0); err != nil {
+				b.Fatal(err)
+			}
+			_, err = eng.Commit(m, "bench", "commit")
+		}
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,141 @@
+package ci
+
+import (
+	"fmt"
+	"io"
+
+	"github.com/easeml/ci/internal/core"
+	"github.com/easeml/ci/internal/data"
+	"github.com/easeml/ci/internal/engine"
+	"github.com/easeml/ci/internal/interval"
+	"github.com/easeml/ci/internal/labeling"
+	"github.com/easeml/ci/internal/model"
+	"github.com/easeml/ci/internal/notify"
+	"github.com/easeml/ci/internal/patterns"
+	"github.com/easeml/ci/internal/script"
+)
+
+// Re-exported types. The implementation lives in internal packages; these
+// aliases are the supported public surface.
+type (
+	// Config is a parsed and validated ease.ml/ci script.
+	Config = script.Config
+	// Adaptivity is the interaction mode plus optional routing address.
+	Adaptivity = script.Adaptivity
+	// Plan is a complete labeling plan: which optimization pattern applies
+	// and how many labeled/unlabeled examples the user must provide.
+	Plan = core.Plan
+	// PlannerOptions tunes pattern dispatch (delta budgets, assumed
+	// disagreement, ablation switches).
+	PlannerOptions = core.Options
+	// Engine is the CI loop: commit, evaluate, signal, alarm.
+	Engine = engine.Engine
+	// EngineOptions configures engine construction.
+	EngineOptions = engine.Options
+	// Result is the outcome of one commit's evaluation.
+	Result = engine.Result
+	// Dataset is an in-memory labeled dataset.
+	Dataset = data.Dataset
+	// Predictor is anything that can classify a feature vector.
+	Predictor = model.Predictor
+	// Oracle answers label queries (the labeling team).
+	Oracle = labeling.Oracle
+	// Notifier receives third-party results and alarms.
+	Notifier = notify.Notifier
+	// Mode selects fp-free or fn-free evaluation.
+	Mode = interval.Mode
+)
+
+// Evaluation modes (how Unknown collapses to pass/fail, Appendix A.2).
+const (
+	FPFree = interval.FPFree
+	FNFree = interval.FNFree
+)
+
+// Adaptivity kinds (Section 2.2).
+const (
+	AdaptivityNone        = script.AdaptivityNone
+	AdaptivityFull        = script.AdaptivityFull
+	AdaptivityFirstChange = script.AdaptivityFirstChange
+)
+
+// ParseScript reads a .travis.yml-style document containing an ml section.
+func ParseScript(r io.Reader) (*Config, error) { return script.Parse(r) }
+
+// ParseScriptString is ParseScript over a string.
+func ParseScriptString(s string) (*Config, error) { return script.ParseString(s) }
+
+// ParseScriptFile is ParseScript over a file path.
+func ParseScriptFile(path string) (*Config, error) { return script.ParseFile(path) }
+
+// NewConfig builds a validated configuration programmatically.
+func NewConfig(condition string, reliability float64, mode Mode, adaptivity Adaptivity, steps int) (*Config, error) {
+	return script.New(condition, reliability, mode, adaptivity, steps)
+}
+
+// DefaultPlannerOptions mirror the paper's choices (split delta budget,
+// variance proxy at the d threshold, coarse-fine cutoff 0.9).
+func DefaultPlannerOptions() PlannerOptions { return core.DefaultOptions() }
+
+// PlanForConfig runs the paper's pattern dispatch (Section 4) and returns
+// the labeling plan: the testset sizes the Sample Size Estimator utility
+// reports to the user (Section 2.3).
+func PlanForConfig(cfg *Config, opts PlannerOptions) (*Plan, error) {
+	return core.PlanForConfig(cfg, opts)
+}
+
+// SampleSize is the one-call convenience: the labeled testset size for a
+// condition at a reliability over H steps with the given adaptivity flag
+// ("none", "full", "firstChange"), using the paper's default optimizations
+// with an assumed 10% disagreement between consecutive models.
+func SampleSize(condition string, reliability float64, steps int, adaptivityFlag string) (int, error) {
+	var kind script.AdaptivityKind
+	switch adaptivityFlag {
+	case "none":
+		kind = script.AdaptivityNone
+	case "full":
+		kind = script.AdaptivityFull
+	case "firstChange":
+		kind = script.AdaptivityFirstChange
+	default:
+		return 0, fmt.Errorf("ci: adaptivity must be none, full, or firstChange; got %q", adaptivityFlag)
+	}
+	adapt := Adaptivity{Kind: kind}
+	if kind == script.AdaptivityNone {
+		adapt.Email = "third-party@example.com"
+	}
+	cfg, err := NewConfig(condition, reliability, FPFree, adapt, steps)
+	if err != nil {
+		return 0, err
+	}
+	opts := DefaultPlannerOptions()
+	opts.AssumedDisagreement = 0.1
+	plan, err := PlanForConfig(cfg, opts)
+	if err != nil {
+		return 0, err
+	}
+	if plan.LabeledN > 0 {
+		return plan.LabeledN, nil
+	}
+	return plan.BaselinePlan.N, nil
+}
+
+// NewEngine builds the CI loop for a config over a first testset; the
+// oracle answers label queries against that testset.
+func NewEngine(cfg *Config, first *Dataset, oracle Oracle, opts EngineOptions) (*Engine, error) {
+	return engine.New(cfg, first, oracle, opts)
+}
+
+// NewTruthOracle wraps ground-truth labels as an Oracle (the simulation
+// stand-in for a human labeling team).
+func NewTruthOracle(labels []int) Oracle { return labeling.NewTruthOracle(labels) }
+
+// NewOutbox returns an in-memory Notifier that records every message.
+func NewOutbox() *notify.Outbox { return notify.NewOutbox() }
+
+// PatternBudgetTestOnly charges the whole failure budget to the quality
+// test, for use when the disagreement bound is known a priori (Section 5.2).
+const PatternBudgetTestOnly = patterns.BudgetTestOnly
+
+// PatternBudgetSplit is the paper's Section 4.1.1 accounting.
+const PatternBudgetSplit = patterns.BudgetSplit

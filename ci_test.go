@@ -1,0 +1,113 @@
+package ci_test
+
+import (
+	"strings"
+	"testing"
+
+	ci "github.com/easeml/ci"
+	"github.com/easeml/ci/internal/model"
+)
+
+const exampleScript = `
+ml:
+  - script     : ./test_model.py
+  - condition  : n - o > 0.02 +/- 0.01
+  - reliability: 0.9999
+  - mode       : fp-free
+  - adaptivity : full
+  - steps      : 32
+`
+
+func TestParseScriptString(t *testing.T) {
+	cfg, err := ci.ParseScriptString(exampleScript)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Steps != 32 || cfg.Mode != ci.FPFree {
+		t.Errorf("config = %+v", cfg)
+	}
+}
+
+func TestSampleSizeConvenience(t *testing.T) {
+	// The Figure 2 cell: F2 fully adaptive at 0.9999/0.01 is 641,684 with
+	// the baseline; with the default Pattern-2 optimization at d<=0.1 the
+	// plan lands in the 67K regime.
+	n, err := ci.SampleSize("n - o > 0.02 +/- 0.01", 0.9999, 32, "full")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n < 60000 || n > 70000 {
+		t.Errorf("optimized sample size = %d, want ~67.7K", n)
+	}
+	// A condition no pattern matches falls back to the baseline size.
+	n, err = ci.SampleSize("n > 0.5 +/- 0.05", 0.9999, 32, "none")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2536 {
+		t.Errorf("baseline sample size = %d, want Figure 2's 2536", n)
+	}
+	if _, err := ci.SampleSize("n > 0.5 +/- 0.05", 0.9999, 32, "sometimes"); err == nil {
+		t.Error("bad adaptivity flag should fail")
+	}
+	if _, err := ci.SampleSize("garbage", 0.9999, 32, "full"); err == nil {
+		t.Error("bad condition should fail")
+	}
+}
+
+func TestEndToEndThroughFacade(t *testing.T) {
+	// Index-keyed testset + simulated models, all through the public API.
+	ds := &ci.Dataset{Name: "demo", Classes: 4}
+	for i := 0; i < 800; i++ {
+		ds.X = append(ds.X, []float64{float64(i)})
+		ds.Y = append(ds.Y, i%4)
+	}
+	cfg, err := ci.NewConfig("n > 0.6 +/- 0.1", 0.99, ci.FPFree,
+		ci.Adaptivity{Kind: ci.AdaptivityFull}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := ci.PlanForConfig(cfg, ci.DefaultPlannerOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.LabeledN <= 0 || plan.LabeledN > 800 {
+		t.Fatalf("plan N = %d", plan.LabeledN)
+	}
+	h0Preds, err := model.SimulatedPredictions(ds.Y, 4, 0.5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	outbox := ci.NewOutbox()
+	eng, err := ci.NewEngine(cfg, ds, ci.NewTruthOracle(ds.Y), ci.EngineOptions{
+		InitialModel: model.NewFixedPredictions("h0", h0Preds),
+		Notifier:     outbox,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	goodPreds, err := model.SimulatedPredictions(ds.Y, 4, 0.9, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng.Commit(model.NewFixedPredictions("good", goodPreds), "dev", "better model")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Pass || !res.Signal {
+		t.Errorf("good commit rejected: %+v", res)
+	}
+	if eng.ActiveModelName() != "good" {
+		t.Error("promotion failed")
+	}
+}
+
+func TestConfigRendersAsScript(t *testing.T) {
+	cfg, err := ci.ParseScriptString(exampleScript)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(cfg.String(), "n - o > 0.02 +/- 0.01") {
+		t.Errorf("rendered script missing condition:\n%s", cfg)
+	}
+}

@@ -1,0 +1,84 @@
+// Command easeml-ci-server hosts the CI engine over HTTP. Developers POST
+// prediction vectors as commits; the integration team reads plans, status,
+// and history, and rotates testsets. See internal/server for the API.
+//
+// The server boots with a synthetic labeled testset (this repository ships
+// no production data); point -testset-size and -classes at your scenario
+// and submit predictions of that length.
+//
+// Usage:
+//
+//	easeml-ci-server -addr :8080 -script ci.yml
+//	curl localhost:8080/api/v1/plan
+//	curl -X POST localhost:8080/api/v1/commit -d '{"model":"v2","predictions":[...]}'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+
+	ci "github.com/easeml/ci"
+	"github.com/easeml/ci/internal/data"
+	"github.com/easeml/ci/internal/engine"
+	"github.com/easeml/ci/internal/labeling"
+	"github.com/easeml/ci/internal/model"
+	"github.com/easeml/ci/internal/server"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", ":8080", "listen address")
+		scriptPath  = flag.String("script", "", "path to a .travis.yml-style file with an ml section")
+		condition   = flag.String("condition", "n - o > 0.02 +/- 0.02", "condition (used when -script is absent)")
+		reliability = flag.Float64("reliability", 0.998, "success probability 1-delta")
+		steps       = flag.Int("steps", 16, "testset budget H")
+		testsetSize = flag.Int("testset-size", 6000, "synthetic testset size")
+		classes     = flag.Int("classes", 4, "label alphabet size")
+		initialAcc  = flag.Float64("initial-accuracy", 0.8, "accuracy of the deployed baseline H0")
+		seed        = flag.Int64("seed", 1, "testset seed")
+	)
+	flag.Parse()
+
+	cfg, err := loadConfig(*scriptPath, *condition, *reliability, *steps)
+	if err != nil {
+		log.Fatal("easeml-ci-server: ", err)
+	}
+	srv, err := buildServer(cfg, *testsetSize, *classes, *initialAcc, *seed)
+	if err != nil {
+		log.Fatal("easeml-ci-server: ", err)
+	}
+	log.Printf("serving %q on %s", cfg.ConditionSrc, *addr)
+	log.Fatal(http.ListenAndServe(*addr, srv))
+}
+
+func loadConfig(path, condition string, reliability float64, steps int) (*ci.Config, error) {
+	if path != "" {
+		return ci.ParseScriptFile(path)
+	}
+	return ci.NewConfig(condition, reliability, ci.FPFree,
+		ci.Adaptivity{Kind: ci.AdaptivityFull}, steps)
+}
+
+func buildServer(cfg *ci.Config, testsetSize, classes int, initialAcc float64, seed int64) (*server.Server, error) {
+	if testsetSize < 10 || classes < 2 {
+		return nil, fmt.Errorf("testset-size must be >= 10 and classes >= 2")
+	}
+	ds := &data.Dataset{Name: "served", Classes: classes}
+	for i := 0; i < testsetSize; i++ {
+		ds.X = append(ds.X, []float64{float64(i)})
+		ds.Y = append(ds.Y, i%classes)
+	}
+	h0, err := model.SimulatedPredictions(ds.Y, classes, initialAcc, seed)
+	if err != nil {
+		return nil, err
+	}
+	eng, err := engine.New(cfg, ds, labeling.NewTruthOracle(ds.Y), engine.Options{
+		InitialModel: model.NewFixedPredictions("deployed-h0", h0),
+	})
+	if err != nil {
+		return nil, err
+	}
+	return server.New(cfg, eng)
+}

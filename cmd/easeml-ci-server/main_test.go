@@ -1,0 +1,55 @@
+package main
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+func TestLoadConfigInline(t *testing.T) {
+	cfg, err := loadConfig("", "n > 0.7 +/- 0.05", 0.999, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Steps != 8 || cfg.ConditionSrc != "n > 0.7 +/- 0.05" {
+		t.Errorf("config = %+v", cfg)
+	}
+	if _, err := loadConfig("", "garbage", 0.999, 8); err == nil {
+		t.Error("bad condition should fail")
+	}
+	if _, err := loadConfig("/nonexistent/ci.yml", "", 0.999, 8); err == nil {
+		t.Error("missing script file should fail")
+	}
+}
+
+func TestBuildServerServes(t *testing.T) {
+	cfg, err := loadConfig("", "n > 0.6 +/- 0.1", 0.99, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := buildServer(cfg, 700, 4, 0.8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/api/v1/status", nil))
+	if rec.Code != http.StatusOK {
+		t.Errorf("status endpoint = %d: %s", rec.Code, rec.Body.String())
+	}
+}
+
+func TestBuildServerValidation(t *testing.T) {
+	cfg, err := loadConfig("", "n > 0.6 +/- 0.1", 0.99, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := buildServer(cfg, 5, 4, 0.8, 1); err == nil {
+		t.Error("tiny testset should fail")
+	}
+	if _, err := buildServer(cfg, 700, 1, 0.8, 1); err == nil {
+		t.Error("single class should fail")
+	}
+	if _, err := buildServer(cfg, 700, 4, 1.5, 1); err == nil {
+		t.Error("bad accuracy should fail")
+	}
+}

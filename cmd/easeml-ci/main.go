@@ -1,0 +1,147 @@
+// Command easeml-ci runs the full CI loop on a self-contained scenario:
+// it parses an ease.ml/ci script, generates a synthetic labeled task,
+// trains a sequence of incrementally improving models in-process, commits
+// each one, and prints the signals, labeling costs, and alarms — the
+// Figure 1 workflow end to end on one machine.
+//
+// Usage:
+//
+//	easeml-ci -script ci.yml -commits 8 -seed 1
+//	easeml-ci -condition "n - o > 0.02 +/- 0.02" -reliability 0.998 \
+//	          -adaptivity full -steps 8 -commits 8
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	ci "github.com/easeml/ci"
+	"github.com/easeml/ci/internal/data"
+	"github.com/easeml/ci/internal/model"
+	"github.com/easeml/ci/internal/notify"
+)
+
+func main() {
+	var (
+		scriptPath  = flag.String("script", "", "path to a .travis.yml-style file with an ml section")
+		condition   = flag.String("condition", "n - o > 0.02 +/- 0.02", "condition (used when -script is absent)")
+		reliability = flag.Float64("reliability", 0.998, "success probability 1-delta")
+		steps       = flag.Int("steps", 8, "testset budget H")
+		adaptFlag   = flag.String("adaptivity", "full", "none | full | firstChange")
+		modeFlag    = flag.String("mode", "fp-free", "fp-free | fn-free")
+		commits     = flag.Int("commits", 8, "number of model commits to simulate")
+		testN       = flag.Int("testset", 6000, "testset size")
+		seed        = flag.Int64("seed", 1, "scenario seed")
+	)
+	flag.Parse()
+	if err := run(*scriptPath, *condition, *reliability, *steps, *adaptFlag, *modeFlag, *commits, *testN, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, "easeml-ci:", err)
+		os.Exit(1)
+	}
+}
+
+func run(scriptPath, condition string, reliability float64, steps int, adaptFlag, modeFlag string, commits, testN int, seed int64) error {
+	cfg, err := loadConfig(scriptPath, condition, reliability, steps, adaptFlag, modeFlag)
+	if err != nil {
+		return err
+	}
+	fmt.Print(cfg.String())
+	fmt.Println()
+
+	// Synthetic emotion-classification task; the training pool grows with
+	// every commit, so successive models improve incrementally.
+	pool, err := data.EmotionCorpus(testN+8000, data.DefaultEmotionConfig(), seed)
+	if err != nil {
+		return err
+	}
+	trainPool, err := pool.Subset(8000)
+	if err != nil {
+		return err
+	}
+	testDS := &data.Dataset{Name: "testset", Classes: pool.Classes, X: pool.X[8000:], Y: pool.Y[8000:]}
+
+	firstTrain, err := trainPool.Subset(500)
+	if err != nil {
+		return err
+	}
+	h0, err := model.TrainNaiveBayes("naive-bayes-500", firstTrain, 1)
+	if err != nil {
+		return err
+	}
+	outbox := notify.NewOutbox()
+	eng, err := ci.NewEngine(cfg, testDS, ci.NewTruthOracle(testDS.Y), ci.EngineOptions{
+		InitialModel: h0,
+		Notifier:     outbox,
+	})
+	if err != nil {
+		return err
+	}
+	plan := eng.Plan()
+	fmt.Printf("plan: %s (labeled %d, unlabeled %d, per-commit labels %d)\n\n",
+		plan.Kind, plan.LabeledN, plan.UnlabeledN, plan.PerCommitLabels)
+
+	fmt.Printf("%-4s %-22s %-9s %-7s %-7s %-8s %-7s\n",
+		"step", "model", "truth", "pass", "signal", "labels", "alarm")
+	for k := 1; k <= commits; k++ {
+		size := 500 + k*(7500/commits)
+		if size > trainPool.Len() {
+			size = trainPool.Len()
+		}
+		train, err := trainPool.Subset(size)
+		if err != nil {
+			return err
+		}
+		name := fmt.Sprintf("naive-bayes-%d", size)
+		m, err := model.TrainNaiveBayes(name, train, 1)
+		if err != nil {
+			return err
+		}
+		res, err := eng.Commit(m, "developer", fmt.Sprintf("retrain on %d examples", size))
+		if err != nil {
+			fmt.Printf("%-4d %-22s %s\n", k, name, err)
+			break
+		}
+		fmt.Printf("%-4d %-22s %-9s %-7v %-7v %-8d %-7v\n",
+			k, name, res.Truth, res.Pass, res.Signal, res.FreshLabels, res.NeedNewTestset)
+		if res.NeedNewTestset {
+			fmt.Println("     (new testset alarm fired; stopping scenario)")
+			break
+		}
+	}
+	fmt.Printf("\nactive model : %s\n", eng.ActiveModelName())
+	fmt.Printf("labels spent : %d total, %d max per commit\n",
+		eng.LabelCost().Total(), eng.LabelCost().MaxPerCommit())
+	fmt.Printf("testset      : generation %d, %d of %d evaluations used\n",
+		eng.Testsets().Current().Generation,
+		eng.Testsets().Budget()-eng.Testsets().Remaining(), eng.Testsets().Budget())
+	for _, n := range outbox.Messages() {
+		fmt.Printf("notification : [%s] to %s: %s\n", n.Kind, n.To, n.Subject)
+	}
+	return nil
+}
+
+func loadConfig(path, condition string, reliability float64, steps int, adaptFlag, modeFlag string) (*ci.Config, error) {
+	if path != "" {
+		return ci.ParseScriptFile(path)
+	}
+	mode := ci.FPFree
+	if modeFlag == "fn-free" {
+		mode = ci.FNFree
+	} else if modeFlag != "fp-free" {
+		return nil, fmt.Errorf("mode must be fp-free or fn-free, got %q", modeFlag)
+	}
+	adapt := ci.Adaptivity{}
+	switch adaptFlag {
+	case "none":
+		adapt.Kind = ci.AdaptivityNone
+		adapt.Email = "integration@example.com"
+	case "full":
+		adapt.Kind = ci.AdaptivityFull
+	case "firstChange":
+		adapt.Kind = ci.AdaptivityFirstChange
+	default:
+		return nil, fmt.Errorf("adaptivity must be none, full, or firstChange, got %q", adaptFlag)
+	}
+	return ci.NewConfig(condition, reliability, mode, adapt, steps)
+}

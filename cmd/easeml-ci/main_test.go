@@ -1,0 +1,47 @@
+package main
+
+import (
+	"testing"
+
+	ci "github.com/easeml/ci"
+)
+
+func TestLoadConfigInline(t *testing.T) {
+	cfg, err := loadConfig("", "n - o > 0.02 +/- 0.02", 0.998, 8, "none", "fn-free")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Adaptivity.Kind != ci.AdaptivityNone || cfg.Adaptivity.Email == "" {
+		t.Errorf("adaptivity = %+v", cfg.Adaptivity)
+	}
+	if cfg.Mode != ci.FNFree {
+		t.Errorf("mode = %v", cfg.Mode)
+	}
+}
+
+func TestLoadConfigErrors(t *testing.T) {
+	if _, err := loadConfig("", "n > 0.5 +/- 0.1", 0.99, 4, "whenever", "fp-free"); err == nil {
+		t.Error("bad adaptivity should fail")
+	}
+	if _, err := loadConfig("", "n > 0.5 +/- 0.1", 0.99, 4, "full", "sloppy"); err == nil {
+		t.Error("bad mode should fail")
+	}
+	if _, err := loadConfig("/missing.yml", "", 0.99, 4, "full", "fp-free"); err == nil {
+		t.Error("missing file should fail")
+	}
+}
+
+func TestRunScenarioEndToEnd(t *testing.T) {
+	// A small full scenario: trains real models and drives the engine.
+	err := run("", "n - o > 0.02 +/- 0.05", 0.99, 8, "full", "fp-free", 3, 1500, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunScenarioFirstChange(t *testing.T) {
+	err := run("", "n - o > 0.02 +/- 0.05", 0.99, 8, "firstChange", "fp-free", 3, 1500, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,129 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation. Each subcommand prints the artifact as text; -out writes the
+// underlying series as CSV for external plotting.
+//
+// Usage:
+//
+//	experiments [-out results/] [-seed 2019] [fig2|fig3|fig4|fig5|fig6|intext|all]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"github.com/easeml/ci/internal/experiments"
+)
+
+func main() {
+	var (
+		outDir = flag.String("out", "", "directory for CSV output (omit to skip CSV)")
+		seed   = flag.Int64("seed", 2019, "simulation seed")
+		steps  = flag.Int("steps", 32, "H for the Figure 2 table")
+	)
+	flag.Parse()
+	what := "all"
+	if flag.NArg() > 0 {
+		what = flag.Arg(0)
+	}
+	if err := run(what, *outDir, *seed, *steps); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(what, outDir string, seed int64, steps int) error {
+	wantCSV := outDir != ""
+	runFig2 := what == "all" || what == "fig2"
+	runFig3 := what == "all" || what == "fig3"
+	runFig4 := what == "all" || what == "fig4"
+	runFig56 := what == "all" || what == "fig5" || what == "fig6"
+	runInText := what == "all" || what == "intext"
+	runAblations := what == "all" || what == "ablations"
+	if !(runFig2 || runFig3 || runFig4 || runFig56 || runInText || runAblations) {
+		return fmt.Errorf("unknown artifact %q (want fig2|fig3|fig4|fig5|fig6|intext|ablations|all)", what)
+	}
+
+	if runFig2 {
+		rows, err := experiments.Figure2(steps)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.RenderFigure2(rows))
+		if wantCSV {
+			h, rs := experiments.Figure2CSV(rows)
+			if err := experiments.WriteCSV(filepath.Join(outDir, "figure2.csv"), h, rs); err != nil {
+				return err
+			}
+		}
+	}
+	if runFig3 {
+		series, err := experiments.Figure3(
+			[]float64{0.01, 0.02, 0.05},
+			[]float64{0.01, 0.001, 0.0001},
+			experiments.DefaultFigure3Ps)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.RenderFigure3(series))
+		if wantCSV {
+			h, rs := experiments.Figure3CSV(series)
+			if err := experiments.WriteCSV(filepath.Join(outDir, "figure3.csv"), h, rs); err != nil {
+				return err
+			}
+		}
+	}
+	if runFig4 {
+		cfg := experiments.DefaultFigure4Config()
+		cfg.Seed = seed
+		pts, err := experiments.Figure4(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.RenderFigure4(pts, cfg))
+		if wantCSV {
+			h, rs := experiments.Figure4CSV(pts)
+			if err := experiments.WriteCSV(filepath.Join(outDir, "figure4.csv"), h, rs); err != nil {
+				return err
+			}
+		}
+	}
+	if runFig56 {
+		res, err := experiments.Figure5(seed)
+		if err != nil {
+			return err
+		}
+		if what != "fig6" {
+			fmt.Println(experiments.RenderFigure5(res))
+		}
+		if what != "fig5" {
+			fmt.Println(experiments.RenderFigure6(res))
+		}
+		if wantCSV {
+			h, rs := experiments.Figure5CSV(res)
+			if err := experiments.WriteCSV(filepath.Join(outDir, "figure5.csv"), h, rs); err != nil {
+				return err
+			}
+			h, rs = experiments.Figure6CSV(res)
+			if err := experiments.WriteCSV(filepath.Join(outDir, "figure6.csv"), h, rs); err != nil {
+				return err
+			}
+		}
+	}
+	if runInText {
+		nums, err := experiments.ComputeInTextNumbers()
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.RenderInTextNumbers(nums))
+	}
+	if runAblations {
+		rows, err := experiments.Ablations()
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.RenderAblations(rows))
+	}
+	return nil
+}

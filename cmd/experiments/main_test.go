@@ -1,0 +1,50 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunFig2WithCSV(t *testing.T) {
+	dir := t.TempDir()
+	if err := run("fig2", dir, 1, 32); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "figure2.csv")); err != nil {
+		t.Errorf("figure2.csv missing: %v", err)
+	}
+}
+
+func TestRunFig3NoCSV(t *testing.T) {
+	if err := run("fig3", "", 1, 32); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunFig5and6(t *testing.T) {
+	dir := t.TempDir()
+	if err := run("fig5", dir, 3, 32); err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range []string{"figure5.csv", "figure6.csv"} {
+		if _, err := os.Stat(filepath.Join(dir, f)); err != nil {
+			t.Errorf("%s missing: %v", f, err)
+		}
+	}
+	if err := run("fig6", "", 3, 32); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunInText(t *testing.T) {
+	if err := run("intext", "", 1, 32); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunUnknownArtifact(t *testing.T) {
+	if err := run("fig9", "", 1, 32); err == nil {
+		t.Error("unknown artifact should fail")
+	}
+}

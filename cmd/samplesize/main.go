@@ -1,0 +1,115 @@
+// Command samplesize is the paper's Sample Size Estimator utility
+// (Section 2.3): it takes an ease.ml/ci script (or inline flags) and
+// reports how many labeled and unlabeled test examples the user must
+// provide, which optimization pattern applies, and the savings over the
+// baseline estimator.
+//
+// Usage:
+//
+//	samplesize -script .travis.yml
+//	samplesize -condition "d < 0.1 +/- 0.01 /\ n - o > 0.02 +/- 0.01" \
+//	           -reliability 0.9999 -steps 32 -adaptivity none -mode fp-free
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	ci "github.com/easeml/ci"
+	"github.com/easeml/ci/internal/core"
+	"github.com/easeml/ci/internal/labeling"
+)
+
+func main() {
+	var (
+		scriptPath  = flag.String("script", "", "path to a .travis.yml-style file with an ml section")
+		condition   = flag.String("condition", "", "condition formula (used when -script is absent)")
+		reliability = flag.Float64("reliability", 0.9999, "success probability 1-delta")
+		steps       = flag.Int("steps", 32, "number of evaluations the testset must support (H)")
+		adaptFlag   = flag.String("adaptivity", "full", "none | full | firstChange")
+		modeFlag    = flag.String("mode", "fp-free", "fp-free | fn-free")
+		email       = flag.String("email", "third-party@example.com", "result address for adaptivity=none")
+		disagree    = flag.Float64("assumed-disagreement", 0.1, "planning-time bound on prediction difference between consecutive models (Pattern 2)")
+		secPerLabel = flag.Float64("seconds-per-label", 2, "labeling rate for the effort report")
+	)
+	flag.Parse()
+
+	cfg, err := loadConfig(*scriptPath, *condition, *reliability, *steps, *adaptFlag, *modeFlag, *email)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "samplesize:", err)
+		os.Exit(1)
+	}
+	opts := ci.DefaultPlannerOptions()
+	opts.AssumedDisagreement = *disagree
+	plan, err := ci.PlanForConfig(cfg, opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "samplesize:", err)
+		os.Exit(1)
+	}
+	report(cfg, plan, *secPerLabel)
+}
+
+func loadConfig(path, condition string, reliability float64, steps int, adaptFlag, modeFlag, email string) (*ci.Config, error) {
+	if path != "" {
+		return ci.ParseScriptFile(path)
+	}
+	if condition == "" {
+		return nil, fmt.Errorf("provide -script or -condition")
+	}
+	mode := ci.FPFree
+	switch modeFlag {
+	case "fp-free":
+	case "fn-free":
+		mode = ci.FNFree
+	default:
+		return nil, fmt.Errorf("mode must be fp-free or fn-free, got %q", modeFlag)
+	}
+	adapt := ci.Adaptivity{}
+	switch adaptFlag {
+	case "none":
+		adapt.Kind = ci.AdaptivityNone
+		adapt.Email = email
+	case "full":
+		adapt.Kind = ci.AdaptivityFull
+	case "firstChange":
+		adapt.Kind = ci.AdaptivityFirstChange
+	default:
+		return nil, fmt.Errorf("adaptivity must be none, full, or firstChange, got %q", adaptFlag)
+	}
+	return ci.NewConfig(condition, reliability, mode, adapt, steps)
+}
+
+func report(cfg *ci.Config, plan *ci.Plan, secPerLabel float64) {
+	fmt.Println("ease.ml/ci sample size estimate")
+	fmt.Println("-------------------------------")
+	fmt.Printf("condition   : %s\n", cfg.ConditionSrc)
+	fmt.Printf("reliability : %g (delta = %g)\n", cfg.Reliability, cfg.Delta())
+	fmt.Printf("mode        : %s\n", cfg.Mode)
+	fmt.Printf("adaptivity  : %s\n", cfg.Adaptivity)
+	fmt.Printf("steps (H)   : %d\n\n", cfg.Steps)
+
+	fmt.Printf("selected plan     : %s\n", plan.Kind)
+	fmt.Printf("baseline labels   : %d\n", plan.BaselinePlan.N)
+	if plan.LabeledN > 0 {
+		fmt.Printf("labeled examples  : %d\n", plan.LabeledN)
+	} else {
+		fmt.Printf("labeled examples  : determined at runtime from the observed disagreement\n")
+	}
+	if plan.UnlabeledN > 0 {
+		fmt.Printf("unlabeled examples: %d\n", plan.UnlabeledN)
+	}
+	if plan.PerCommitLabels > 0 {
+		fmt.Printf("active labeling   : %d labels per commit (%.1f hours/day at %.0fs per label)\n",
+			plan.PerCommitLabels,
+			labeling.Effort(plan.PerCommitLabels, secPerLabel).Hours(),
+			secPerLabel)
+	}
+	if plan.Kind != core.Baseline && plan.LabeledN > 0 {
+		fmt.Printf("savings           : %.1fx fewer labels than the baseline\n", plan.Savings())
+	}
+	if plan.LabeledN > 0 {
+		fmt.Printf("labeling effort   : %.1f person-days at %.0fs per label\n",
+			labeling.PersonDays(plan.LabeledN, secPerLabel), secPerLabel)
+	}
+}

@@ -1,0 +1,75 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	ci "github.com/easeml/ci"
+)
+
+func TestLoadConfigInlineFlags(t *testing.T) {
+	cfg, err := loadConfig("", "n - o > 0.02 +/- 0.01", 0.9999, 32, "none", "fp-free", "a@b.c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Adaptivity.Kind != ci.AdaptivityNone || cfg.Adaptivity.Email != "a@b.c" {
+		t.Errorf("adaptivity = %+v", cfg.Adaptivity)
+	}
+	if cfg.Steps != 32 || cfg.Reliability != 0.9999 {
+		t.Errorf("config = %+v", cfg)
+	}
+}
+
+func TestLoadConfigModes(t *testing.T) {
+	cfg, err := loadConfig("", "n > 0.5 +/- 0.1", 0.99, 4, "firstChange", "fn-free", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Mode != ci.FNFree || cfg.Adaptivity.Kind != ci.AdaptivityFirstChange {
+		t.Errorf("config = %+v", cfg)
+	}
+}
+
+func TestLoadConfigErrors(t *testing.T) {
+	if _, err := loadConfig("", "", 0.99, 4, "full", "fp-free", ""); err == nil {
+		t.Error("missing condition should fail")
+	}
+	if _, err := loadConfig("", "n > 0.5 +/- 0.1", 0.99, 4, "later", "fp-free", ""); err == nil {
+		t.Error("bad adaptivity should fail")
+	}
+	if _, err := loadConfig("", "n > 0.5 +/- 0.1", 0.99, 4, "full", "loose", ""); err == nil {
+		t.Error("bad mode should fail")
+	}
+	if _, err := loadConfig("/nonexistent.yml", "", 0.99, 4, "full", "fp-free", ""); err == nil {
+		t.Error("missing script file should fail")
+	}
+}
+
+func TestLoadConfigFromScriptFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ci.yml")
+	doc := "ml:\n  - condition  : d < 0.1 +/- 0.01\n  - reliability: 0.999\n  - adaptivity : full\n  - steps      : 16\n"
+	if err := os.WriteFile(path, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := loadConfig(path, "", 0, 0, "", "", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Steps != 16 || cfg.ConditionSrc != "d < 0.1 +/- 0.01" {
+		t.Errorf("config = %+v", cfg)
+	}
+}
+
+func TestReportDoesNotPanic(t *testing.T) {
+	cfg, err := loadConfig("", "d < 0.1 +/- 0.01 /\\ n - o > 0.02 +/- 0.01", 0.9999, 32, "none", "fp-free", "a@b.c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := ci.DefaultPlannerOptions()
+	plan, err := ci.PlanForConfig(cfg, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	report(cfg, plan, 2) // exercises every branch with a pattern-1 plan
+}

@@ -1,0 +1,24 @@
+// Package ci is a from-scratch Go implementation of ease.ml/ci, the
+// continuous integration system for machine learning models of
+//
+//	Renggli et al., "Continuous Integration of Machine Learning Models
+//	with ease.ml/ci: Towards a Rigorous Yet Practical Treatment",
+//	MLSys 2019.
+//
+// A CI condition such as
+//
+//	n - o > 0.02 +/- 0.01 /\ d < 0.1 +/- 0.01
+//
+// ("the new model is at least two points better than the old one, within
+// one point of estimation error, and changes at most 10% of predictions")
+// is evaluated after every model commit with a user-chosen reliability
+// 1-delta, and the system computes how many labeled test examples that
+// guarantee costs — applying the paper's optimizations (hierarchical
+// testing, active labeling, implicit variance bounds) that cut the label
+// complexity by up to two orders of magnitude.
+//
+// This package is the public façade: script parsing, sample-size planning,
+// and the CI engine. The machinery lives in internal/ packages; see
+// DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// reproduction of every table and figure in the paper.
+package ci

@@ -1,0 +1,63 @@
+// Drift monitor: the concept-shift extension the paper sketches in its
+// discussion section — the dual of CI. Instead of a fixed testset and a
+// stream of models, a fixed deployed model is tested against a stream of
+// fresh labeled windows with the same (epsilon, delta) rigor.
+//
+// Run with: go run ./examples/drift_monitor
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"github.com/easeml/ci/internal/drift"
+)
+
+func main() {
+	mon, err := drift.New(drift.Config{
+		ReferenceAccuracy: 0.92, // certified at deployment
+		MaxDrop:           0.05, // drift = losing 5 points
+		Epsilon:           0.015,
+		Delta:             0.001,
+		Windows:           10,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("monitoring threshold: accuracy < %.3f means drift\n", mon.Threshold())
+	fmt.Printf("window size         : %d labeled examples per window\n\n", mon.WindowSize())
+
+	// Simulate ten weeks of traffic: the world shifts in week 6 and the
+	// deployed model's accuracy decays.
+	weekly := []float64{0.922, 0.918, 0.920, 0.915, 0.919, 0.895, 0.878, 0.861, 0.842, 0.825}
+	fmt.Printf("%-6s %-10s %-9s\n", "week", "accuracy", "verdict")
+	for week, acc := range weekly {
+		preds, labels := window(acc, mon.WindowSize(), int64(week))
+		v, err := mon.Observe(preds, labels)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-6d %-10.3f %-9s\n", week+1, acc, v)
+		if v == drift.Drift {
+			fmt.Println("\ndrift certified: retrain and recertify the model")
+			break
+		}
+	}
+}
+
+// window fabricates one labeled monitoring window at a given accuracy.
+func window(acc float64, n int, seed int64) (preds, labels []int) {
+	rng := rand.New(rand.NewSource(seed))
+	preds = make([]int, n)
+	labels = make([]int, n)
+	for i := range labels {
+		labels[i] = rng.Intn(4)
+		if rng.Float64() < acc {
+			preds[i] = labels[i]
+		} else {
+			preds[i] = (labels[i] + 1) % 4
+		}
+	}
+	return preds, labels
+}

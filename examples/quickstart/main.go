@@ -1,0 +1,86 @@
+// Quickstart: parse an ease.ml/ci script, see what the guarantee costs in
+// labels, and push three commits through the CI engine.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	ci "github.com/easeml/ci"
+	"github.com/easeml/ci/internal/model"
+)
+
+const ciScript = `
+ml:
+  - script     : ./test_model.py
+  - condition  : n > 0.7 +/- 0.05
+  - reliability: 0.999
+  - mode       : fp-free
+  - adaptivity : full
+  - steps      : 8
+`
+
+func main() {
+	// 1. Parse the script (the ml section of a .travis.yml).
+	cfg, err := ci.ParseScriptString(ciScript)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("condition: %s at reliability %g, %d steps, %s\n",
+		cfg.ConditionSrc, cfg.Reliability, cfg.Steps, cfg.Adaptivity)
+
+	// 2. Ask the Sample Size Estimator what the guarantee costs.
+	plan, err := ci.PlanForConfig(cfg, ci.DefaultPlannerOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("plan: %s, %d labeled examples needed\n\n", plan.Kind, plan.LabeledN)
+
+	// 3. Build a testset. Feature = example index so we can use simulated
+	// models; any real feature-based Predictor works the same way.
+	testset := &ci.Dataset{Name: "quickstart", Classes: 4}
+	for i := 0; i < plan.LabeledN+100; i++ {
+		testset.X = append(testset.X, []float64{float64(i)})
+		testset.Y = append(testset.Y, i%4)
+	}
+
+	// 4. Start the engine with the currently deployed model (H0).
+	h0 := simulated("baseline-v0", testset, 0.72, 1)
+	outbox := ci.NewOutbox()
+	eng, err := ci.NewEngine(cfg, testset, ci.NewTruthOracle(testset.Y), ci.EngineOptions{
+		InitialModel: h0,
+		Notifier:     outbox,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 5. Commit three candidate models and read the signals.
+	for _, c := range []struct {
+		name string
+		acc  float64
+	}{
+		{"candidate-strong", 0.85}, // clearly above 0.7+0.05 -> pass
+		{"candidate-border", 0.73}, // inside the uncertainty band -> Unknown -> fail (fp-free)
+		{"candidate-weak", 0.55},   // clearly below -> fail
+	} {
+		res, err := eng.Commit(simulated(c.name, testset, c.acc, 7), "you", "try "+c.name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-18s truth=%-8s pass=%-5v labels=%d\n",
+			c.name, res.Truth, res.Pass, res.FreshLabels)
+	}
+	fmt.Printf("\nactive model: %s (testset evaluations left: %d)\n",
+		eng.ActiveModelName(), eng.Testsets().Remaining())
+}
+
+func simulated(name string, ds *ci.Dataset, acc float64, seed int64) ci.Predictor {
+	preds, err := model.SimulatedPredictions(ds.Y, ds.Classes, acc, seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return model.NewFixedPredictions(name, preds)
+}

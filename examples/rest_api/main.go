@@ -1,0 +1,139 @@
+// REST API: ease.ml/ci as a service. Starts the HTTP server on a local
+// port, then plays both roles over the wire: the developer pushes model
+// commits as prediction vectors, the integration team watches status and
+// rotates the testset when the alarm fires.
+//
+// Run with: go run ./examples/rest_api
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"time"
+
+	ci "github.com/easeml/ci"
+	"github.com/easeml/ci/internal/data"
+	"github.com/easeml/ci/internal/engine"
+	"github.com/easeml/ci/internal/labeling"
+	"github.com/easeml/ci/internal/model"
+	"github.com/easeml/ci/internal/server"
+)
+
+const (
+	testsetSize = 2000
+	classes     = 4
+)
+
+func main() {
+	// --- integration team: stand up the service --------------------------
+	labels := make([]int, testsetSize)
+	for i := range labels {
+		labels[i] = i % classes
+	}
+	ds := &data.Dataset{Name: "served", Classes: classes}
+	for i, y := range labels {
+		ds.X = append(ds.X, []float64{float64(i)})
+		ds.Y = append(ds.Y, y)
+	}
+	cfg, err := ci.NewConfig("n - o > 0.02 +/- 0.05", 0.99, ci.FPFree,
+		ci.Adaptivity{Kind: ci.AdaptivityFirstChange}, 8)
+	if err != nil {
+		log.Fatal(err)
+	}
+	h0, err := model.SimulatedPredictions(labels, classes, 0.70, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	eng, err := engine.New(cfg, ds, labeling.NewTruthOracle(ds.Y), engine.Options{
+		InitialModel: model.NewFixedPredictions("deployed", h0),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv, err := server.New(cfg, eng)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	go func() { _ = http.Serve(ln, srv) }()
+	base := "http://" + ln.Addr().String()
+	fmt.Println("serving on", base)
+	waitReady(base)
+
+	// --- developer: push commits over the wire ---------------------------
+	for i, acc := range []float64{0.72, 0.85} {
+		preds, err := model.SimulatedPredictions(labels, classes, acc, int64(10+i))
+		if err != nil {
+			log.Fatal(err)
+		}
+		var res server.CommitResponse
+		post(base+"/api/v1/commit", server.CommitRequest{
+			Model: fmt.Sprintf("candidate-%d", i+1), Author: "dev",
+			Message: "retrained", Predictions: preds,
+		}, &res)
+		fmt.Printf("commit candidate-%d: signal=%v truth=%s alarm=%v\n",
+			i+1, res.Signal, res.Truth, res.NeedNewTestset)
+		if res.NeedNewTestset {
+			// --- integration team: the firstChange pass retired the
+			// testset; rotate a fresh one in over the API.
+			post(base+"/api/v1/testset", server.RotateRequest{
+				Labels:            labels,
+				ActivePredictions: preds,
+			}, &map[string]any{})
+			fmt.Println("rotated in a fresh testset")
+		}
+	}
+
+	var status server.StatusResponse
+	get(base+"/api/v1/status", &status)
+	fmt.Printf("status: active=%s generation=%d budget=%d/%d labels=%d\n",
+		status.ActiveModel, status.TestsetGeneration,
+		status.BudgetUsed, status.BudgetTotal, status.LabelsSpent)
+}
+
+func waitReady(base string) {
+	for i := 0; i < 50; i++ {
+		if resp, err := http.Get(base + "/api/v1/status"); err == nil {
+			resp.Body.Close()
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	log.Fatal("server did not become ready")
+}
+
+func post(url string, body, out any) {
+	raw, err := json.Marshal(body)
+	if err != nil {
+		log.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(raw))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		log.Fatalf("POST %s: %s", url, resp.Status)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func get(url string, out any) {
+	resp, err := http.Get(url)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,91 @@
+// Package adaptivity implements the statistical accounting for the three
+// interaction modes of ease.ml/ci (Sections 3.2-3.4 of the paper):
+//
+//   - non-adaptive: H independent models, union bound over H states;
+//   - fully adaptive: the pass/fail bit leaks to the developer, union bound
+//     over the 2^H possible feedback histories;
+//   - firstChange (hybrid): feedback leaks, but a fresh testset is requested
+//     as soon as a model passes, so only H all-fail histories exist.
+//
+// The package exposes the delta multiplier each mode induces (in log domain,
+// since 2^H overflows quickly) and a Ledger tracking how much statistical
+// power of a testset has been consumed and when the new-testset alarm fires.
+package adaptivity
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/easeml/ci/internal/script"
+)
+
+// Kind is the runtime adaptivity mode.
+type Kind int
+
+const (
+	// None: results are withheld from the developer (sent to a third party).
+	None Kind = iota
+	// Full: results are released to the developer after every commit.
+	Full
+	// FirstChange: results are released, but the first pass retires the
+	// testset.
+	FirstChange
+)
+
+// String implements fmt.Stringer using the script syntax.
+func (k Kind) String() string {
+	switch k {
+	case None:
+		return "none"
+	case Full:
+		return "full"
+	case FirstChange:
+		return "firstChange"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// FromScript maps the script-level adaptivity flag to the runtime kind.
+func FromScript(k script.AdaptivityKind) (Kind, error) {
+	switch k {
+	case script.AdaptivityNone:
+		return None, nil
+	case script.AdaptivityFull:
+		return Full, nil
+	case script.AdaptivityFirstChange:
+		return FirstChange, nil
+	default:
+		return 0, fmt.Errorf("adaptivity: unknown script kind %v", k)
+	}
+}
+
+// LogMultiplier returns ln(M) where M is the union-bound multiplier the mode
+// requires for an H-step process: the effective per-test failure budget is
+// delta / M.
+//
+//	none        -> M = H     (H independent models, Section 3.2)
+//	full        -> M = 2^H   (feedback histories, Section 3.3)
+//	firstChange -> M = H     (all-fail prefixes only, Section 3.4)
+func (k Kind) LogMultiplier(steps int) (float64, error) {
+	if steps < 1 {
+		return 0, fmt.Errorf("adaptivity: steps must be >= 1, got %d", steps)
+	}
+	switch k {
+	case None, FirstChange:
+		return math.Log(float64(steps)), nil
+	case Full:
+		return float64(steps) * math.Ln2, nil
+	default:
+		return 0, fmt.Errorf("adaptivity: unknown kind %v", k)
+	}
+}
+
+// Multiplier returns M itself; +Inf when 2^H overflows float64.
+func (k Kind) Multiplier(steps int) (float64, error) {
+	lm, err := k.LogMultiplier(steps)
+	if err != nil {
+		return 0, err
+	}
+	return math.Exp(lm), nil
+}

@@ -1,0 +1,171 @@
+package adaptivity
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"github.com/easeml/ci/internal/script"
+)
+
+func TestLogMultiplier(t *testing.T) {
+	cases := []struct {
+		kind  Kind
+		steps int
+		want  float64
+	}{
+		{None, 1, 0},
+		{None, 32, math.Log(32)},
+		{FirstChange, 32, math.Log(32)},
+		{Full, 1, math.Ln2},
+		{Full, 32, 32 * math.Ln2},
+		{Full, 1000, 1000 * math.Ln2}, // would overflow outside log domain
+	}
+	for _, c := range cases {
+		got, err := c.kind.LogMultiplier(c.steps)
+		if err != nil {
+			t.Fatalf("%v/%d: %v", c.kind, c.steps, err)
+		}
+		if math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("LogMultiplier(%v, %d) = %v, want %v", c.kind, c.steps, got, c.want)
+		}
+	}
+	if _, err := None.LogMultiplier(0); err == nil {
+		t.Error("steps=0 should fail")
+	}
+	if _, err := Kind(9).LogMultiplier(4); err == nil {
+		t.Error("unknown kind should fail")
+	}
+}
+
+func TestMultiplier(t *testing.T) {
+	m, err := Full.Multiplier(32)
+	if err != nil || math.Abs(m-math.Pow(2, 32)) > 1 {
+		t.Errorf("Multiplier(full, 32) = %v, %v", m, err)
+	}
+	m, err = None.Multiplier(32)
+	if err != nil || m != 32 {
+		t.Errorf("Multiplier(none, 32) = %v, %v", m, err)
+	}
+}
+
+func TestFromScript(t *testing.T) {
+	cases := []struct {
+		in   script.AdaptivityKind
+		want Kind
+	}{
+		{script.AdaptivityNone, None},
+		{script.AdaptivityFull, Full},
+		{script.AdaptivityFirstChange, FirstChange},
+	}
+	for _, c := range cases {
+		got, err := FromScript(c.in)
+		if err != nil || got != c.want {
+			t.Errorf("FromScript(%v) = %v, %v", c.in, got, err)
+		}
+	}
+	if _, err := FromScript(script.AdaptivityKind(9)); err == nil {
+		t.Error("unknown script kind should fail")
+	}
+}
+
+func TestLedgerBudgetAlarm(t *testing.T) {
+	l, err := NewLedger(None, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 2; i++ {
+		ev, err := l.Record(false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ev.NeedNewTestset {
+			t.Errorf("step %d: premature alarm", i)
+		}
+		if ev.Step != i {
+			t.Errorf("step = %d, want %d", ev.Step, i)
+		}
+	}
+	ev, err := l.Record(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ev.NeedNewTestset {
+		t.Error("budget exhaustion must fire the alarm")
+	}
+	if l.CanEvaluate() {
+		t.Error("exhausted ledger must refuse further evaluations")
+	}
+	if _, err := l.Record(false); !errors.Is(err, ErrExhausted) {
+		t.Errorf("Record after exhaustion = %v, want ErrExhausted", err)
+	}
+}
+
+func TestLedgerFirstChangeRetiresOnPass(t *testing.T) {
+	l, err := NewLedger(FirstChange, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Failing commits keep the testset alive (the all-fail prefix argument
+	// of Section 3.4).
+	for i := 0; i < 4; i++ {
+		ev, err := l.Record(false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ev.NeedNewTestset {
+			t.Fatal("fail must not retire the hybrid testset")
+		}
+	}
+	ev, err := l.Record(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ev.NeedNewTestset {
+		t.Error("first pass must retire the hybrid testset")
+	}
+	if l.Remaining() != 0 || l.CanEvaluate() {
+		t.Error("retired ledger must report zero remaining")
+	}
+}
+
+func TestLedgerFullModeIgnoresPass(t *testing.T) {
+	l, _ := NewLedger(Full, 5)
+	ev, err := l.Record(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.NeedNewTestset {
+		t.Error("full mode must not retire on pass before budget")
+	}
+	if l.Remaining() != 4 {
+		t.Errorf("remaining = %d, want 4", l.Remaining())
+	}
+}
+
+func TestLedgerReset(t *testing.T) {
+	l, _ := NewLedger(FirstChange, 2)
+	if _, err := l.Record(true); err != nil {
+		t.Fatal(err)
+	}
+	l.Reset()
+	if !l.CanEvaluate() || l.Used() != 0 || l.Remaining() != 2 {
+		t.Errorf("reset ledger state: used=%d remaining=%d", l.Used(), l.Remaining())
+	}
+}
+
+func TestNewLedgerValidation(t *testing.T) {
+	if _, err := NewLedger(None, 0); err == nil {
+		t.Error("budget 0 should fail")
+	}
+}
+
+func TestAccessors(t *testing.T) {
+	l, _ := NewLedger(Full, 7)
+	if l.Kind() != Full || l.Budget() != 7 {
+		t.Error("accessors wrong")
+	}
+	if Kind(9).String() == "" || None.String() != "none" || Full.String() != "full" || FirstChange.String() != "firstChange" {
+		t.Error("Kind.String wrong")
+	}
+}

@@ -1,0 +1,92 @@
+package adaptivity
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrExhausted is returned by Ledger.Record when the testset's statistical
+// budget has already been consumed; the engine must install a fresh testset
+// before evaluating further commits.
+var ErrExhausted = errors.New("adaptivity: testset budget exhausted; provide a new testset")
+
+// Event describes what the ledger decided after recording an evaluation.
+type Event struct {
+	// Step is the 1-based index of the recorded evaluation.
+	Step int
+	// NeedNewTestset fires the paper's "new testset alarm": the current
+	// testset can no longer support the next evaluation.
+	NeedNewTestset bool
+	// Reason explains the alarm (budget exhausted, or hybrid first pass).
+	Reason string
+}
+
+// Ledger tracks consumption of a testset's statistical power under a given
+// adaptivity mode (the "new testset alarm" utility of Section 2.3).
+// A Ledger is not safe for concurrent use; the engine serializes commits.
+type Ledger struct {
+	kind    Kind
+	budget  int
+	used    int
+	retired bool
+}
+
+// NewLedger creates a ledger for a testset that supports `budget` (= steps,
+// H) evaluations under the given mode.
+func NewLedger(kind Kind, budget int) (*Ledger, error) {
+	if budget < 1 {
+		return nil, fmt.Errorf("adaptivity: budget must be >= 1, got %d", budget)
+	}
+	return &Ledger{kind: kind, budget: budget}, nil
+}
+
+// Kind returns the adaptivity mode the ledger accounts for.
+func (l *Ledger) Kind() Kind { return l.kind }
+
+// Budget returns H, the total number of evaluations the testset supports.
+func (l *Ledger) Budget() int { return l.budget }
+
+// Used returns the number of evaluations recorded so far.
+func (l *Ledger) Used() int { return l.used }
+
+// Remaining returns how many further evaluations the testset supports.
+func (l *Ledger) Remaining() int {
+	if l.retired {
+		return 0
+	}
+	return l.budget - l.used
+}
+
+// CanEvaluate reports whether the next commit may be tested against the
+// current testset.
+func (l *Ledger) CanEvaluate() bool { return l.Remaining() > 0 }
+
+// Record consumes one evaluation with the given outcome and returns the
+// resulting event. It returns ErrExhausted if the budget was already spent.
+func (l *Ledger) Record(pass bool) (Event, error) {
+	if !l.CanEvaluate() {
+		return Event{}, ErrExhausted
+	}
+	l.used++
+	ev := Event{Step: l.used}
+	switch {
+	case l.kind == FirstChange && pass:
+		// Hybrid scenario: a pass retires the testset immediately
+		// (Section 3.4) regardless of remaining budget.
+		l.retired = true
+		ev.NeedNewTestset = true
+		ev.Reason = "firstChange: commit passed; testset must be replaced"
+	case l.used >= l.budget:
+		ev.NeedNewTestset = true
+		ev.Reason = fmt.Sprintf("budget: all %d evaluations consumed", l.budget)
+	}
+	return ev, nil
+}
+
+// Reset re-arms the ledger for a fresh testset with the same mode/budget.
+// The old testset may be released to the developer at this point
+// (Section 2.3): its statistical power for integration testing is spent.
+func (l *Ledger) Reset() {
+	l.used = 0
+	l.retired = false
+}

@@ -1,0 +1,134 @@
+package bounds
+
+import (
+	"fmt"
+	"math"
+)
+
+// BennettH is the function h(u) = (1+u) ln(1+u) - u appearing in Bennett's
+// inequality (Proposition 1 of the paper). It is increasing and convex on
+// u >= 0 with h(0) = 0.
+func BennettH(u float64) float64 {
+	if u <= 0 {
+		return 0
+	}
+	// (1+u)ln(1+u) - u, written with log1p to stay accurate for small u.
+	return (1+u)*math.Log1p(u) - u
+}
+
+// bennettHInverse solves h(u) = y for u >= 0 by bisection. h grows like
+// u ln u, so an exponentially expanded upper bracket always encloses the
+// root quickly.
+func bennettHInverse(y float64) float64 {
+	if y <= 0 {
+		return 0
+	}
+	lo, hi := 0.0, 1.0
+	for BennettH(hi) < y {
+		hi *= 2
+		if hi > 1e12 {
+			break
+		}
+	}
+	for i := 0; i < 100; i++ {
+		mid := (lo + hi) / 2
+		if BennettH(mid) < y {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2
+}
+
+// BennettTail returns the two-sided Bennett tail probability for the mean of
+// n independent variables bounded by |X_i| <= b with sum of second moments
+// v = sum E[X_i^2]:
+//
+//	Pr[ |sum(X_i - E X_i)| / n > epsilon ] <= 2 exp( -(v/b^2) h(n b epsilon / v) )
+func BennettTail(n int, v, b, epsilon float64) (float64, error) {
+	if n <= 0 {
+		return 0, fmt.Errorf("bounds: n must be positive, got %d", n)
+	}
+	if !(v > 0) || !(b > 0) || !(epsilon > 0) {
+		return 0, fmt.Errorf("bounds: v, b, epsilon must be positive (v=%v b=%v epsilon=%v)", v, b, epsilon)
+	}
+	exponent := -(v / (b * b)) * BennettH(float64(n)*b*epsilon/v)
+	p := 2 * math.Exp(exponent)
+	if p > 1 {
+		p = 1
+	}
+	return p, nil
+}
+
+// BennettSampleSize returns the number of samples needed to estimate the
+// mean of variables with |X_i| <= 1 and E[X_i^2] <= p to within epsilon with
+// probability 1-delta, via the two-sided Bennett inequality:
+//
+//	n = ln(2/delta) / (p * h(epsilon/p))
+//
+// Callers that budget delta differently (the paper variously charges
+// delta/2 or delta/4 to this test; see patterns.DeltaBudget) pass the
+// already-adjusted delta.
+func BennettSampleSize(p, epsilon, delta float64) (int, error) {
+	if err := checkPEpsDelta(p, epsilon, delta); err != nil {
+		return 0, err
+	}
+	n := math.Log(2/delta) / (p * BennettH(epsilon/p))
+	return ceilToInt(n), nil
+}
+
+// BennettSampleSizeOneSided drops the leading factor 2:
+// n = ln(1/delta) / (p h(epsilon/p)). The paper's headline Pattern-1 formula
+// n = (ln H - ln(delta/4)) / (p h(epsilon/p)) is this one-sided form with
+// delta already divided by 4H; both budget styles are reachable from the
+// patterns package.
+func BennettSampleSizeOneSided(p, epsilon, delta float64) (int, error) {
+	if err := checkPEpsDelta(p, epsilon, delta); err != nil {
+		return 0, err
+	}
+	n := math.Log(1/delta) / (p * BennettH(epsilon/p))
+	return ceilToInt(n), nil
+}
+
+// BennettEpsilon inverts the two-sided sample size: the tolerance achieved
+// by n samples under variance proxy p with probability 1-delta.
+func BennettEpsilon(n int, p, delta float64) (float64, error) {
+	if n <= 0 {
+		return 0, fmt.Errorf("bounds: n must be positive, got %d", n)
+	}
+	if err := checkPEpsDelta(p, 1, delta); err != nil {
+		return 0, err
+	}
+	y := math.Log(2/delta) / (float64(n) * p)
+	return p * bennettHInverse(y), nil
+}
+
+// BernsteinSampleSize is the closed-form small-variance alternative kept for
+// ablation benchmarks: from Bernstein's inequality
+//
+//	Pr[|mean - E| > epsilon] <= 2 exp( - n epsilon^2 / (2 sigma^2 + 2 b epsilon / 3) )
+//
+// with sigma^2 <= p and b = 1,
+//
+//	n = (2p + 2 epsilon/3) ln(2/delta) / epsilon^2.
+func BernsteinSampleSize(p, epsilon, delta float64) (int, error) {
+	if err := checkPEpsDelta(p, epsilon, delta); err != nil {
+		return 0, err
+	}
+	n := (2*p + 2*epsilon/3) * math.Log(2/delta) / (epsilon * epsilon)
+	return ceilToInt(n), nil
+}
+
+func checkPEpsDelta(p, epsilon, delta float64) error {
+	if !(p > 0) || p > 1 {
+		return fmt.Errorf("bounds: variance proxy p must be in (0,1], got %v", p)
+	}
+	if !(epsilon > 0) || math.IsInf(epsilon, 0) || math.IsNaN(epsilon) {
+		return fmt.Errorf("bounds: epsilon must be positive and finite, got %v", epsilon)
+	}
+	if !(delta > 0 && delta < 1) {
+		return fmt.Errorf("bounds: delta must be in (0,1), got %v", delta)
+	}
+	return nil
+}

@@ -1,0 +1,203 @@
+package bounds
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBennettH(t *testing.T) {
+	if got := BennettH(0); got != 0 {
+		t.Errorf("h(0) = %v, want 0", got)
+	}
+	if got := BennettH(-1); got != 0 {
+		t.Errorf("h(-1) = %v, want 0 (clamped)", got)
+	}
+	// h(0.1) = 1.1 ln 1.1 - 0.1.
+	want := 1.1*math.Log(1.1) - 0.1
+	if got := BennettH(0.1); math.Abs(got-want) > 1e-15 {
+		t.Errorf("h(0.1) = %v, want %v", got, want)
+	}
+}
+
+func TestBennettHIncreasingConvex(t *testing.T) {
+	prev, prevSlope := 0.0, 0.0
+	for u := 0.01; u < 20; u += 0.01 {
+		v := BennettH(u)
+		if v <= prev {
+			t.Fatalf("h not increasing at u=%v", u)
+		}
+		slope := v - prev
+		if slope+1e-12 < prevSlope {
+			t.Fatalf("h not convex at u=%v", u)
+		}
+		prev, prevSlope = v, slope
+	}
+}
+
+func TestBennettPaperSampleSizes(t *testing.T) {
+	// Section 4.1.1: p=0.1, 1-delta=0.9999, epsilon=0.01, H=32:
+	// "29K samples for 32 non-adaptive steps" via
+	// n = (ln H - ln(delta/4)) / (p h(eps/p)),
+	// i.e. one-sided Bennett with delta' = delta/(4H).
+	delta := 0.0001
+	n, err := BennettSampleSizeOneSided(0.1, 0.01, delta/(4*32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n < 29046 || n > 29049 {
+		t.Errorf("Pattern-1 non-adaptive H=32 = %d, want ~29048 (\"29K\")", n)
+	}
+
+	// "67K samples for 32 fully-adaptive steps": delta' = delta/(4*2^32).
+	n, err = BennettSampleSizeOneSided(0.1, 0.01, delta/(4*math.Pow(2, 32)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n < 67700 || n > 67710 {
+		t.Errorf("Pattern-1 fully adaptive H=32 = %d, want ~67705 (\"67K\")", n)
+	}
+
+	// Section 4.1.2 active labeling: per-commit labels
+	// n * p with n = -ln(delta/4) / (p h(eps/p)) ~= 2188.
+	nf := math.Log(4/delta) / (0.1 * BennettH(0.01/0.1))
+	labels := nf * 0.1
+	if labels < 2188 || labels > 2190 {
+		t.Errorf("active labeling per-commit labels = %v, want ~2188.8", labels)
+	}
+}
+
+func TestBennettSemEvalNumbers(t *testing.T) {
+	// Section 5.2 / Figure 5: H=7, delta=0.002, p=0.1.
+	// Non-adaptive conditions I & II: eps=0.02, one-sided Bennett at
+	// delta' = (delta/2)/H -> 4713 samples.
+	delta := 0.002
+	n, err := BennettSampleSizeOneSided(0.1, 0.02, delta/2/7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 4713 {
+		t.Errorf("SemEval non-adaptive sample size = %d, want 4713", n)
+	}
+
+	// Fully adaptive at eps=0.022: delta' = (delta/2)/2^7 -> 5204 samples.
+	n, err = BennettSampleSizeOneSided(0.1, 0.022, delta/2/math.Pow(2, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 5204 {
+		t.Errorf("SemEval adaptive eps=0.022 sample size = %d, want 5204", n)
+	}
+
+	// Fully adaptive at eps=0.02 "would be more than 6K".
+	n, err = BennettSampleSizeOneSided(0.1, 0.02, delta/2/math.Pow(2, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n <= 6000 {
+		t.Errorf("SemEval adaptive eps=0.02 sample size = %d, want > 6000", n)
+	}
+}
+
+func TestBennettTailMatchesSampleSize(t *testing.T) {
+	p, eps, delta := 0.1, 0.01, 0.001
+	n, err := BennettSampleSize(p, eps, delta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tail, err := BennettTail(n, float64(n)*p, 1, eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tail > delta {
+		t.Errorf("tail at returned n = %v > delta %v", tail, delta)
+	}
+	tailPrev, err := BennettTail(n-1, float64(n-1)*p, 1, eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tailPrev <= delta {
+		t.Errorf("tail at n-1 = %v <= delta %v; n not minimal", tailPrev, delta)
+	}
+}
+
+func TestBennettEpsilonInverse(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := 0.02 + rng.Float64()*0.5
+		delta := math.Pow(10, -1-3*rng.Float64())
+		n := 500 + rng.Intn(100000)
+		eps, err := BennettEpsilon(n, p, delta)
+		if err != nil || eps <= 0 {
+			return false
+		}
+		// Plugging the achieved epsilon back must need <= n samples.
+		n2, err := BennettSampleSize(p, eps, delta)
+		if err != nil {
+			return false
+		}
+		return n2 <= n+1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBennettBeatsHoeffdingSmallVariance(t *testing.T) {
+	// The whole point of Pattern 1: to estimate n-o (a range-2 variable)
+	// with p = 0.1 and epsilon = 0.01, Bennett needs roughly 10x fewer
+	// samples than the Hoeffding baseline (Section 4.1.1: "10x fewer than
+	// the baseline (Figure 2)").
+	h, err := HoeffdingSampleSizeTwoSided(2, 0.01, 0.0001)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := BennettSampleSize(0.1, 0.01, 0.0001)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := float64(h) / float64(b)
+	if ratio < 8 || ratio > 12 {
+		t.Errorf("Hoeffding/Bennett ratio = %v, want ~10x", ratio)
+	}
+}
+
+func TestBernsteinComparableToBennett(t *testing.T) {
+	// Bernstein is slightly looser than Bennett but same regime.
+	b, err := BennettSampleSize(0.1, 0.01, 0.0001)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bern, err := BernsteinSampleSize(0.1, 0.01, 0.0001)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bern < b {
+		t.Errorf("Bernstein %d < Bennett %d; Bennett should be tighter", bern, b)
+	}
+	if float64(bern) > 1.2*float64(b) {
+		t.Errorf("Bernstein %d unexpectedly loose vs Bennett %d", bern, b)
+	}
+}
+
+func TestBennettErrors(t *testing.T) {
+	if _, err := BennettSampleSize(0, 0.01, 0.1); err == nil {
+		t.Error("p=0 should fail")
+	}
+	if _, err := BennettSampleSize(1.5, 0.01, 0.1); err == nil {
+		t.Error("p>1 should fail")
+	}
+	if _, err := BennettSampleSize(0.1, 0, 0.1); err == nil {
+		t.Error("epsilon=0 should fail")
+	}
+	if _, err := BennettSampleSize(0.1, 0.01, 0); err == nil {
+		t.Error("delta=0 should fail")
+	}
+	if _, err := BennettTail(0, 1, 1, 0.1); err == nil {
+		t.Error("n=0 should fail")
+	}
+	if _, err := BennettEpsilon(-5, 0.1, 0.1); err == nil {
+		t.Error("negative n should fail")
+	}
+}

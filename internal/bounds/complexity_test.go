@@ -1,0 +1,50 @@
+package bounds
+
+import (
+	"math"
+	"testing"
+)
+
+// TestLabelComplexityRootEpsilonRegime verifies the asymptotic claim of the
+// paper's related-work discussion (Section 6): with active labeling, when
+// the model-overlap bound is p = O(sqrt(epsilon)), the label complexity is
+// O(1/epsilon) rather than Hoeffding's O(1/epsilon^2). Labels per commit =
+// p * BennettSampleSize(p, eps) = ln(2/delta)/h(eps/p); with p = sqrt(eps),
+// h(sqrt(eps)) ~ eps/2, so labels * eps should approach a constant
+// (2 ln(2/delta)) as eps -> 0.
+func TestLabelComplexityRootEpsilonRegime(t *testing.T) {
+	delta := 0.001
+	limit := 2 * math.Log(2/delta)
+	prevNormalized := math.Inf(1)
+	for _, eps := range []float64{0.04, 0.01, 0.0025, 0.000625} {
+		p := math.Sqrt(eps)
+		n, err := BennettSampleSize(p, eps, delta)
+		if err != nil {
+			t.Fatal(err)
+		}
+		labels := float64(n) * p
+		normalized := labels * eps
+		// Monotonically approaching the limit from above, within 30% by
+		// eps = 6.25e-4.
+		if normalized > prevNormalized+1e-9 {
+			t.Errorf("eps=%v: labels*eps = %v not decreasing (prev %v)", eps, normalized, prevNormalized)
+		}
+		prevNormalized = normalized
+		if eps < 0.001 && math.Abs(normalized-limit)/limit > 0.3 {
+			t.Errorf("eps=%v: labels*eps = %v, want within 30%% of %v", eps, normalized, limit)
+		}
+	}
+
+	// Contrast: Hoeffding's labels * eps diverges like 1/eps.
+	h1, err := HoeffdingSampleSizeTwoSided(2, 0.01, delta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, err := HoeffdingSampleSizeTwoSided(2, 0.0025, delta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if float64(h2)*0.0025 <= float64(h1)*0.01 {
+		t.Error("Hoeffding labels*eps should diverge as eps shrinks")
+	}
+}

@@ -1,0 +1,23 @@
+// Package bounds implements the concentration inequalities that power every
+// sample-size computation in ease.ml/ci:
+//
+//   - Hoeffding's inequality (the paper's baseline, Section 3.1),
+//   - Bennett's inequality for small-variance variables (Proposition 1,
+//     the engine behind Pattern 1 and Pattern 2, Section 4),
+//   - Bernstein's inequality (a closed-form small-variance alternative,
+//     kept for ablations),
+//   - exact binomial tail inversion ("tight numerical bounds", Section 4.3,
+//     following Langford's test-set bound), and
+//   - McDiarmid's inequality (the paper's proposed route to F1/AUC support,
+//     Section 2.2 "Beyond accuracy").
+//
+// All functions are pure and deterministic. Sample sizes are returned as the
+// smallest integer n satisfying the bound (ceiling of the real-valued
+// solution); tolerance/confidence inversions are exact to ~1e-12.
+//
+// Conventions: epsilon is the error tolerance (half-width of the confidence
+// interval), delta the failure probability (1-delta the reliability), r the
+// dynamic range of the variable, and p an upper bound on E[X_i^2] for the
+// centered per-example variables (for the difference of two models that
+// disagree on at most a fraction p of examples, E[(n_i-o_i)^2] <= p).
+package bounds

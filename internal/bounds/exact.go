@@ -1,0 +1,173 @@
+package bounds
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/easeml/ci/internal/stats"
+)
+
+// Exact ("tight numerical") bounds, Section 4.3 of the paper: for a test
+// condition over n i.i.d. Bernoulli draws one can compute the exact failure
+// probability of the empirical-mean estimator from the binomial pmf, and
+// pick the minimal n whose worst case over the unknown true mean p meets
+// delta. There is no closed form; the paper leaves efficient approximation
+// as future work, and this file implements the direct numerical search.
+
+// ExactFailureProb returns Pr[ |K/n - p| > epsilon ] for K ~ Binomial(n, p):
+// the exact two-sided failure probability of the empirical mean.
+func ExactFailureProb(n int, p, epsilon float64) (float64, error) {
+	if n <= 0 {
+		return 0, fmt.Errorf("bounds: n must be positive, got %d", n)
+	}
+	if p < 0 || p > 1 {
+		return 0, fmt.Errorf("bounds: mean p must be in [0,1], got %v", p)
+	}
+	if !(epsilon > 0) {
+		return 0, fmt.Errorf("bounds: epsilon must be positive, got %v", epsilon)
+	}
+	nf := float64(n)
+	// |k/n - p| > eps  <=>  k < n(p-eps)  or  k > n(p+eps). Both cuts use
+	// strict inequalities: a k exactly on the boundary is not a failure,
+	// which ceil-1/floor+1 handle including the case where n(p±eps) is an
+	// integer.
+	loCut := int(math.Ceil(nf*(p-epsilon))) - 1  // largest k with k/n < p-eps
+	hiCut := int(math.Floor(nf*(p+epsilon))) + 1 // smallest k with k/n > p+eps
+	lower := stats.BinomialCDF(loCut, n, p)
+	upper := stats.BinomialSurvival(hiCut, n, p)
+	f := lower + upper
+	if f > 1 {
+		f = 1
+	}
+	return f, nil
+}
+
+// ExactWorstCaseFailure returns max over p in [pLo, pHi] of
+// ExactFailureProb(n, p, epsilon), evaluated on a grid with local
+// refinement. The failure probability is piecewise smooth in p with ripples
+// at the lattice points k/n +- epsilon, so a grid finer than 1/n around the
+// coarse maximum captures the true maximum to well under 1% relative error,
+// which is enough for sample-size search (the result is then validated by
+// re-evaluation at the returned n).
+func ExactWorstCaseFailure(n int, epsilon, pLo, pHi float64) (float64, error) {
+	if pLo < 0 || pHi > 1 || pLo > pHi {
+		return 0, fmt.Errorf("bounds: invalid mean interval [%v,%v]", pLo, pHi)
+	}
+	const coarse = 64
+	worst := 0.0
+	worstP := pLo
+	step := (pHi - pLo) / coarse
+	if step == 0 {
+		return ExactFailureProb(n, pLo, epsilon)
+	}
+	for i := 0; i <= coarse; i++ {
+		p := pLo + float64(i)*step
+		f, err := ExactFailureProb(n, p, epsilon)
+		if err != nil {
+			return 0, err
+		}
+		if f > worst {
+			worst, worstP = f, p
+		}
+	}
+	// Local refinement around the coarse argmax at lattice resolution.
+	lo := math.Max(pLo, worstP-step)
+	hi := math.Min(pHi, worstP+step)
+	fineSteps := 4 * n / coarse
+	if fineSteps < 32 {
+		fineSteps = 32
+	}
+	if fineSteps > 512 {
+		fineSteps = 512
+	}
+	for i := 0; i <= fineSteps; i++ {
+		p := lo + (hi-lo)*float64(i)/float64(fineSteps)
+		f, err := ExactFailureProb(n, p, epsilon)
+		if err != nil {
+			return 0, err
+		}
+		if f > worst {
+			worst = f
+		}
+	}
+	return worst, nil
+}
+
+// ExactSampleSize returns the smallest n such that the exact two-sided
+// failure probability of the empirical mean is at most delta for every true
+// mean in [pLo, pHi]. Passing the full interval [0, 1] reproduces the
+// assumption-free tight bound; narrowing it (e.g. [0.9, 1] for the
+// "n > 0.9" pattern of Section 4.2) yields the variance-adaptive savings.
+//
+// The worst-case failure is not exactly monotone in n (lattice effects), so
+// after an exponential bracket and binary search the result is nudged
+// forward past any local non-monotonicity.
+func ExactSampleSize(epsilon, delta, pLo, pHi float64) (int, error) {
+	if err := checkREpsDelta(1, epsilon, delta); err != nil {
+		return 0, err
+	}
+	if pLo < 0 || pHi > 1 || pLo > pHi {
+		return 0, fmt.Errorf("bounds: invalid mean interval [%v,%v]", pLo, pHi)
+	}
+	ok := func(n int) (bool, error) {
+		w, err := ExactWorstCaseFailure(n, epsilon, pLo, pHi)
+		return w <= delta, err
+	}
+	// Exponential bracket, seeded at a fraction of the Hoeffding size
+	// (the exact bound is never worse than two-sided Hoeffding).
+	upper, err := HoeffdingSampleSizeTwoSided(1, epsilon, delta)
+	if err != nil {
+		return 0, err
+	}
+	lo, hi := 1, upper
+	if good, err := ok(hi); err != nil {
+		return 0, err
+	} else if !good {
+		// Lattice ripple at the Hoeffding size; expand conservatively.
+		for {
+			hi = hi + hi/4 + 1
+			good, err := ok(hi)
+			if err != nil {
+				return 0, err
+			}
+			if good {
+				break
+			}
+			if hi > 1<<28 {
+				return 0, fmt.Errorf("bounds: exact sample size search diverged (epsilon=%v delta=%v)", epsilon, delta)
+			}
+		}
+	}
+	for lo < hi {
+		mid := lo + (hi-lo)/2
+		good, err := ok(mid)
+		if err != nil {
+			return 0, err
+		}
+		if good {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	// Guard against lattice non-monotonicity: advance until the bound holds
+	// at n and n+1 (two consecutive successes make later failures vanishingly
+	// unlikely in practice).
+	for {
+		g1, err := ok(lo)
+		if err != nil {
+			return 0, err
+		}
+		g2, err := ok(lo + 1)
+		if err != nil {
+			return 0, err
+		}
+		if g1 && g2 {
+			return lo, nil
+		}
+		lo++
+		if lo > 1<<28 {
+			return 0, fmt.Errorf("bounds: exact sample size stabilization diverged")
+		}
+	}
+}

@@ -1,0 +1,163 @@
+package bounds
+
+import (
+	"math"
+	"testing"
+)
+
+func TestExactFailureProbSimple(t *testing.T) {
+	// n=1, p=0.5, eps=0.4: k in {0,1} gives |k/n - 0.5| = 0.5 > 0.4 always.
+	f, err := ExactFailureProb(1, 0.5, 0.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(f-1) > 1e-12 {
+		t.Errorf("failure prob = %v, want 1", f)
+	}
+	// eps=0.6: never fails.
+	f, err = ExactFailureProb(1, 0.5, 0.6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f != 0 {
+		t.Errorf("failure prob = %v, want 0", f)
+	}
+}
+
+func TestExactFailureProbAgainstMonteCarloCounts(t *testing.T) {
+	// Cross-check against a direct enumeration for a small case. Epsilon is
+	// chosen off the k/n lattice so float rounding cannot flip a boundary
+	// point between the two computations.
+	n, p, eps := 20, 0.3, 0.149
+	want := 0.0
+	for k := 0; k <= n; k++ {
+		if math.Abs(float64(k)/float64(n)-p) > eps {
+			want += binomPMFRef(k, n, p)
+		}
+	}
+	got, err := ExactFailureProb(n, p, eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("failure prob = %v, want %v", got, want)
+	}
+}
+
+func binomPMFRef(k, n int, p float64) float64 {
+	c := 1.0
+	for i := 0; i < k; i++ {
+		c = c * float64(n-i) / float64(i+1)
+	}
+	return c * math.Pow(p, float64(k)) * math.Pow(1-p, float64(n-k))
+}
+
+func TestExactSampleSizeBeatsHoeffding(t *testing.T) {
+	eps, delta := 0.05, 0.01
+	exact, err := ExactSampleSize(eps, delta, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hoeff, err := HoeffdingSampleSizeTwoSided(1, eps, delta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exact > hoeff {
+		t.Errorf("exact %d > two-sided Hoeffding %d", exact, hoeff)
+	}
+	// And it must actually satisfy the guarantee.
+	w, err := ExactWorstCaseFailure(exact, eps, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w > delta {
+		t.Errorf("worst-case failure at returned n = %v > delta %v", w, delta)
+	}
+}
+
+func TestExactSampleSizeRestrictedMeanIsSmaller(t *testing.T) {
+	// Section 4.2: knowing n > 0.9 should shrink the testset.
+	eps, delta := 0.02, 0.001
+	full, err := ExactSampleSize(eps, delta, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	high, err := ExactSampleSize(eps, delta, 0.9, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if high >= full {
+		t.Errorf("restricted-mean size %d not smaller than full-range %d", high, full)
+	}
+	// Variance at p=0.95 is ~5x smaller than at p=0.5; expect a substantial cut.
+	if float64(high) > 0.6*float64(full) {
+		t.Errorf("restricted-mean size %d saves too little vs %d", high, full)
+	}
+}
+
+func TestExactSampleSizeErrors(t *testing.T) {
+	if _, err := ExactSampleSize(0, 0.1, 0, 1); err == nil {
+		t.Error("epsilon=0 should fail")
+	}
+	if _, err := ExactSampleSize(0.1, 0, 0, 1); err == nil {
+		t.Error("delta=0 should fail")
+	}
+	if _, err := ExactSampleSize(0.1, 0.1, 0.8, 0.2); err == nil {
+		t.Error("inverted mean interval should fail")
+	}
+	if _, err := ExactFailureProb(0, 0.5, 0.1); err == nil {
+		t.Error("n=0 should fail")
+	}
+	if _, err := ExactFailureProb(10, 1.5, 0.1); err == nil {
+		t.Error("p>1 should fail")
+	}
+}
+
+func TestMcDiarmidAccuracyMatchesHoeffding(t *testing.T) {
+	// With sensitivity scale s=1 (accuracy), McDiarmid == two-sided Hoeffding.
+	m, err := McDiarmidSampleSize(1, 0.01, 0.001)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := HoeffdingSampleSizeTwoSided(1, 0.01, 0.001)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m != h {
+		t.Errorf("McDiarmid(s=1) = %d, Hoeffding two-sided = %d; want equal", m, h)
+	}
+}
+
+func TestMcDiarmidTail(t *testing.T) {
+	c := make([]float64, 100)
+	for i := range c {
+		c[i] = 0.01 // mean-like statistic on n=100
+	}
+	tail, err := McDiarmidTail(c, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 2 * math.Exp(-2*0.01/0.01) // sum c^2 = 0.01
+	if math.Abs(tail-want) > 1e-12 {
+		t.Errorf("tail = %v, want %v", tail, want)
+	}
+	if _, err := McDiarmidTail(nil, 0.1); err == nil {
+		t.Error("empty sensitivities should fail")
+	}
+	if _, err := McDiarmidTail([]float64{-1}, 0.1); err == nil {
+		t.Error("negative sensitivity should fail")
+	}
+}
+
+func TestF1Sensitivity(t *testing.T) {
+	s, err := F1Sensitivity(0.25)
+	if err != nil || s != 8 {
+		t.Errorf("F1Sensitivity(0.25) = %v, %v; want 8", s, err)
+	}
+	if _, err := F1Sensitivity(0); err == nil {
+		t.Error("minPositive=0 should fail")
+	}
+	if _, err := F1Sensitivity(2); err == nil {
+		t.Error("minPositive>1 should fail")
+	}
+}

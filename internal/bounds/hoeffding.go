@@ -1,0 +1,83 @@
+package bounds
+
+import (
+	"fmt"
+	"math"
+)
+
+// HoeffdingSampleSize returns the number of samples needed to estimate a
+// variable with dynamic range r to within epsilon with probability 1-delta,
+// using the one-sided Hoeffding inequality exactly as the paper's baseline
+// estimator does (Section 3.1):
+//
+//	n(v, r, epsilon, delta) = -r^2 ln(delta) / (2 epsilon^2)
+//
+// The result is rounded up to the next integer.
+func HoeffdingSampleSize(r, epsilon, delta float64) (int, error) {
+	if err := checkREpsDelta(r, epsilon, delta); err != nil {
+		return 0, err
+	}
+	n := r * r * math.Log(1/delta) / (2 * epsilon * epsilon)
+	return ceilToInt(n), nil
+}
+
+// HoeffdingSampleSizeTwoSided is the two-sided variant (failure probability
+// split across both tails), n = r^2 ln(2/delta) / (2 epsilon^2).
+func HoeffdingSampleSizeTwoSided(r, epsilon, delta float64) (int, error) {
+	if err := checkREpsDelta(r, epsilon, delta); err != nil {
+		return 0, err
+	}
+	n := r * r * math.Log(2/delta) / (2 * epsilon * epsilon)
+	return ceilToInt(n), nil
+}
+
+// HoeffdingEpsilon inverts the one-sided bound: given n samples of a
+// variable with range r, it returns the tolerance achieved with probability
+// 1-delta: epsilon = r sqrt(ln(1/delta) / (2n)).
+func HoeffdingEpsilon(r float64, n int, delta float64) (float64, error) {
+	if n <= 0 {
+		return 0, fmt.Errorf("bounds: n must be positive, got %d", n)
+	}
+	if err := checkREpsDelta(r, 1, delta); err != nil {
+		return 0, err
+	}
+	return r * math.Sqrt(math.Log(1/delta)/(2*float64(n))), nil
+}
+
+// HoeffdingDelta returns the failure probability of an epsilon-accurate
+// one-sided estimate from n samples: delta = exp(-2 n epsilon^2 / r^2).
+func HoeffdingDelta(r float64, n int, epsilon float64) (float64, error) {
+	if n <= 0 {
+		return 0, fmt.Errorf("bounds: n must be positive, got %d", n)
+	}
+	if err := checkREpsDelta(r, epsilon, 0.5); err != nil {
+		return 0, err
+	}
+	return math.Exp(-2 * float64(n) * epsilon * epsilon / (r * r)), nil
+}
+
+func checkREpsDelta(r, epsilon, delta float64) error {
+	if !(r > 0) || math.IsInf(r, 0) || math.IsNaN(r) {
+		return fmt.Errorf("bounds: range must be positive and finite, got %v", r)
+	}
+	if !(epsilon > 0) || math.IsInf(epsilon, 0) || math.IsNaN(epsilon) {
+		return fmt.Errorf("bounds: epsilon must be positive and finite, got %v", epsilon)
+	}
+	if !(delta > 0 && delta < 1) {
+		return fmt.Errorf("bounds: delta must be in (0,1), got %v", delta)
+	}
+	return nil
+}
+
+// ceilToInt converts a positive float sample size to int, guarding against
+// overflow on absurd inputs (tiny epsilon with tiny delta).
+func ceilToInt(n float64) int {
+	c := math.Ceil(n)
+	if c > math.MaxInt32 {
+		return math.MaxInt32
+	}
+	if c < 1 {
+		return 1
+	}
+	return int(c)
+}

@@ -1,0 +1,139 @@
+package bounds
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestHoeffdingSampleSizePaperNumbers(t *testing.T) {
+	// Section 1 / 3.6 of the paper: an (epsilon=0.01, delta=1e-4) estimate of
+	// a [0,1] variable needs "more than 46K labels".
+	n, err := HoeffdingSampleSize(1, 0.01, 0.0001)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 46052 {
+		t.Errorf("HoeffdingSampleSize(1, 0.01, 1e-4) = %d, want 46052", n)
+	}
+
+	// Section 3.3: F :- n > 0.8 +/- 0.05 with delta/2^32 needs 6279 samples.
+	n, err = HoeffdingSampleSize(1, 0.05, 0.0001/math.Pow(2, 32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 6279 {
+		t.Errorf("fully adaptive H=32 sample size = %d, want 6279", n)
+	}
+
+	// Same condition at epsilon=0.01 "blows up to 156,955" (the paper's
+	// Figure 2 prints the ceiling 156,956).
+	n, err = HoeffdingSampleSize(1, 0.01, 0.0001/math.Pow(2, 32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 156956 {
+		t.Errorf("fully adaptive H=32 epsilon=0.01 sample size = %d, want 156956", n)
+	}
+
+	// Non-adaptive H=32: 63K labels (Figure 2: 63,381).
+	n, err = HoeffdingSampleSize(1, 0.01, 0.0001/32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 63381 {
+		t.Errorf("non-adaptive H=32 sample size = %d, want 63381", n)
+	}
+}
+
+func TestHoeffdingSampleSizeRangeScaling(t *testing.T) {
+	n1, err := HoeffdingSampleSize(1, 0.02, 0.001)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n2, err := HoeffdingSampleSize(2, 0.02, 0.001)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Quadrupling with range 2 (up to rounding).
+	if n2 < 4*n1-4 || n2 > 4*n1+4 {
+		t.Errorf("range-2 size %d not ~4x range-1 size %d", n2, n1)
+	}
+}
+
+func TestHoeffdingSampleSizeErrors(t *testing.T) {
+	cases := []struct {
+		r, eps, delta float64
+	}{
+		{0, 0.1, 0.1}, {-1, 0.1, 0.1}, {1, 0, 0.1}, {1, -0.5, 0.1},
+		{1, 0.1, 0}, {1, 0.1, 1}, {1, 0.1, 1.5}, {math.NaN(), 0.1, 0.1},
+		{1, math.Inf(1), 0.1},
+	}
+	for _, c := range cases {
+		if _, err := HoeffdingSampleSize(c.r, c.eps, c.delta); err == nil {
+			t.Errorf("HoeffdingSampleSize(%v,%v,%v) should fail", c.r, c.eps, c.delta)
+		}
+	}
+}
+
+func TestHoeffdingEpsilonInvertsSampleSize(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		r := 0.5 + rng.Float64()*1.5
+		eps := 0.005 + rng.Float64()*0.1
+		delta := math.Pow(10, -1-4*rng.Float64())
+		n, err := HoeffdingSampleSize(r, eps, delta)
+		if err != nil {
+			return false
+		}
+		got, err := HoeffdingEpsilon(r, n, delta)
+		if err != nil {
+			return false
+		}
+		// n was rounded up, so achieved epsilon must be <= requested
+		// and within the one-sample discretization of it.
+		if got > eps {
+			return false
+		}
+		gotPrev, err := HoeffdingEpsilon(r, n-1, delta)
+		return err == nil && gotPrev > eps
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHoeffdingDeltaConsistency(t *testing.T) {
+	n := 5000
+	eps := 0.02
+	d, err := HoeffdingDelta(1, n, eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := HoeffdingEpsilon(1, n, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(e-eps) > 1e-9 {
+		t.Errorf("round trip epsilon = %v, want %v", e, eps)
+	}
+}
+
+func TestHoeffdingMonotonicity(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		eps := 0.01 + rng.Float64()*0.2
+		delta := 0.0001 + rng.Float64()*0.1
+		n1, err1 := HoeffdingSampleSize(1, eps, delta)
+		n2, err2 := HoeffdingSampleSize(1, eps/2, delta)
+		n3, err3 := HoeffdingSampleSize(1, eps, delta/10)
+		if err1 != nil || err2 != nil || err3 != nil {
+			return false
+		}
+		return n2 >= n1 && n3 >= n1 // tighter eps or delta never needs fewer samples
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

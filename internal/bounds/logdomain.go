@@ -1,0 +1,72 @@
+package bounds
+
+import (
+	"fmt"
+	"math"
+)
+
+// Log-domain variants. The fully adaptive scenario charges delta/2^H to
+// each of the 2^H possible feedback histories (Section 3.3); for H beyond
+// ~50, delta/2^H underflows float64, so the estimator layer works with
+// ln(1/delta_effective) = ln(1/delta) + ln(M) directly.
+
+// checkLogInvDelta validates ln(1/delta) > 0, i.e. delta in (0,1).
+func checkLogInvDelta(logInvDelta float64) error {
+	if !(logInvDelta > 0) || math.IsInf(logInvDelta, 0) || math.IsNaN(logInvDelta) {
+		return fmt.Errorf("bounds: ln(1/delta) must be positive and finite, got %v", logInvDelta)
+	}
+	return nil
+}
+
+// HoeffdingSampleSizeLog is HoeffdingSampleSize with delta given as
+// ln(1/delta): n = r^2 * logInvDelta / (2 epsilon^2).
+func HoeffdingSampleSizeLog(r, epsilon, logInvDelta float64) (int, error) {
+	if err := checkREpsDelta(r, epsilon, 0.5); err != nil {
+		return 0, err
+	}
+	if err := checkLogInvDelta(logInvDelta); err != nil {
+		return 0, err
+	}
+	return ceilToInt(r * r * logInvDelta / (2 * epsilon * epsilon)), nil
+}
+
+// HoeffdingEpsilonLog inverts HoeffdingSampleSizeLog for a given n.
+func HoeffdingEpsilonLog(r float64, n int, logInvDelta float64) (float64, error) {
+	if n <= 0 {
+		return 0, fmt.Errorf("bounds: n must be positive, got %d", n)
+	}
+	if err := checkREpsDelta(r, 1, 0.5); err != nil {
+		return 0, err
+	}
+	if err := checkLogInvDelta(logInvDelta); err != nil {
+		return 0, err
+	}
+	return r * math.Sqrt(logInvDelta/(2*float64(n))), nil
+}
+
+// BennettSampleSizeLog is the one-sided Bennett sample size with delta given
+// as ln(1/delta): n = logInvDelta / (p h(epsilon/p)). Callers wanting the
+// two-sided form add ln 2 to logInvDelta.
+func BennettSampleSizeLog(p, epsilon, logInvDelta float64) (int, error) {
+	if err := checkPEpsDelta(p, epsilon, 0.5); err != nil {
+		return 0, err
+	}
+	if err := checkLogInvDelta(logInvDelta); err != nil {
+		return 0, err
+	}
+	return ceilToInt(logInvDelta / (p * BennettH(epsilon/p))), nil
+}
+
+// BennettEpsilonLog inverts BennettSampleSizeLog for a given n.
+func BennettEpsilonLog(n int, p, logInvDelta float64) (float64, error) {
+	if n <= 0 {
+		return 0, fmt.Errorf("bounds: n must be positive, got %d", n)
+	}
+	if err := checkPEpsDelta(p, 1, 0.5); err != nil {
+		return 0, err
+	}
+	if err := checkLogInvDelta(logInvDelta); err != nil {
+		return 0, err
+	}
+	return p * bennettHInverse(logInvDelta/(float64(n)*p)), nil
+}

@@ -1,0 +1,112 @@
+package bounds
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestLogDomainAgreesWithLinearDomain: for deltas that do not underflow,
+// the log-domain entry points must agree exactly with the linear ones.
+func TestLogDomainAgreesWithLinearDomain(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		r := 0.5 + 1.5*rng.Float64()
+		eps := 0.005 + 0.1*rng.Float64()
+		delta := math.Pow(10, -1-6*rng.Float64())
+		logInv := math.Log(1 / delta)
+
+		n1, err1 := HoeffdingSampleSize(r, eps, delta)
+		n2, err2 := HoeffdingSampleSizeLog(r, eps, logInv)
+		if err1 != nil || err2 != nil || n1 != n2 {
+			return false
+		}
+		e1, err1 := HoeffdingEpsilon(r, n1, delta)
+		e2, err2 := HoeffdingEpsilonLog(r, n1, logInv)
+		if err1 != nil || err2 != nil || math.Abs(e1-e2) > 1e-12 {
+			return false
+		}
+
+		p := 0.02 + 0.5*rng.Float64()
+		b1, err1 := BennettSampleSizeOneSided(p, eps, delta)
+		b2, err2 := BennettSampleSizeLog(p, eps, logInv)
+		if err1 != nil || err2 != nil || b1 != b2 {
+			return false
+		}
+		// Two-sided: add ln 2 in log domain.
+		b3, err1 := BennettSampleSize(p, eps, delta)
+		b4, err2 := BennettSampleSizeLog(p, eps, logInv+math.Ln2)
+		if err1 != nil || err2 != nil || b3 != b4 {
+			return false
+		}
+		be1, err1 := BennettEpsilon(b3, p, delta)
+		be2, err2 := BennettEpsilonLog(b3, p, logInv+math.Ln2)
+		return err1 == nil && err2 == nil && math.Abs(be1-be2) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestLogDomainSurvivesHugeMultipliers: the whole point of the log-domain
+// API is H = 1000 fully adaptive, where delta/2^H underflows float64.
+func TestLogDomainSurvivesHugeMultipliers(t *testing.T) {
+	logInv := math.Log(1/0.0001) + 1000*math.Ln2 // delta / 2^1000
+	n, err := HoeffdingSampleSizeLog(1, 0.05, logInv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// n = (ln(1/delta) + 1000 ln 2) / (2 * 0.0025).
+	want := int(math.Ceil(logInv / (2 * 0.05 * 0.05)))
+	if n != want {
+		t.Errorf("n = %d, want %d", n, want)
+	}
+	// The linear-domain call would need delta ~ 1e-305; verify the log
+	// call stays finite and positive well past that.
+	n2, err := BennettSampleSizeLog(0.1, 0.01, math.Log(1/0.0001)+5000*math.Ln2)
+	if err != nil || n2 <= 0 {
+		t.Errorf("huge-multiplier Bennett = %d, %v", n2, err)
+	}
+}
+
+func TestLogDomainValidation(t *testing.T) {
+	if _, err := HoeffdingSampleSizeLog(1, 0.05, 0); err == nil {
+		t.Error("logInvDelta = 0 should fail")
+	}
+	if _, err := HoeffdingSampleSizeLog(1, 0.05, math.Inf(1)); err == nil {
+		t.Error("infinite logInvDelta should fail")
+	}
+	if _, err := HoeffdingSampleSizeLog(0, 0.05, 1); err == nil {
+		t.Error("range 0 should fail")
+	}
+	if _, err := HoeffdingEpsilonLog(1, 0, 1); err == nil {
+		t.Error("n=0 should fail")
+	}
+	if _, err := HoeffdingEpsilonLog(1, 10, math.NaN()); err == nil {
+		t.Error("NaN logInvDelta should fail")
+	}
+	if _, err := BennettSampleSizeLog(0, 0.05, 1); err == nil {
+		t.Error("p=0 should fail")
+	}
+	if _, err := BennettSampleSizeLog(0.1, 0.05, -1); err == nil {
+		t.Error("negative logInvDelta should fail")
+	}
+	if _, err := BennettEpsilonLog(0, 0.1, 1); err == nil {
+		t.Error("n=0 should fail")
+	}
+	if _, err := BennettEpsilonLog(10, 0.1, -1); err == nil {
+		t.Error("negative logInvDelta should fail")
+	}
+}
+
+func TestCeilToIntOverflowGuard(t *testing.T) {
+	// Absurd requests saturate instead of overflowing.
+	n, err := HoeffdingSampleSizeLog(1, 1e-9, 1e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != math.MaxInt32 {
+		t.Errorf("n = %d, want saturation at MaxInt32", n)
+	}
+}

@@ -1,0 +1,67 @@
+package bounds
+
+import (
+	"fmt"
+	"math"
+)
+
+// McDiarmid support. The paper's "Beyond accuracy" extension (Section 2.2)
+// proposes replacing Bennett's inequality with McDiarmid's plus the
+// sensitivity of the target metric (F1, AUC, ...). McDiarmid's inequality:
+// if changing example i changes the statistic by at most c_i,
+//
+//	Pr[ |f - E f| > epsilon ] <= 2 exp( -2 epsilon^2 / sum c_i^2 )
+//
+// For a metric whose per-example sensitivity on an n-example testset is
+// s/n (s = 1 for accuracy; s is larger for F1 on skewed data), the sample
+// size for a two-sided (epsilon, delta) estimate is
+//
+//	n = s^2 ln(2/delta) / (2 epsilon^2).
+
+// McDiarmidTail returns the two-sided McDiarmid tail probability for a
+// statistic with per-coordinate sensitivities c.
+func McDiarmidTail(c []float64, epsilon float64) (float64, error) {
+	if len(c) == 0 {
+		return 0, fmt.Errorf("bounds: sensitivities must be non-empty")
+	}
+	sum := 0.0
+	for i, ci := range c {
+		if ci < 0 {
+			return 0, fmt.Errorf("bounds: sensitivity c[%d] = %v is negative", i, ci)
+		}
+		sum += ci * ci
+	}
+	if sum == 0 {
+		return 0, nil
+	}
+	p := 2 * math.Exp(-2*epsilon*epsilon/sum)
+	if p > 1 {
+		p = 1
+	}
+	return p, nil
+}
+
+// McDiarmidSampleSize returns n for a statistic with uniform per-example
+// sensitivity s/n (scaled-mean form): n = s^2 ln(2/delta) / (2 epsilon^2).
+func McDiarmidSampleSize(s, epsilon, delta float64) (int, error) {
+	if !(s > 0) {
+		return 0, fmt.Errorf("bounds: sensitivity scale s must be positive, got %v", s)
+	}
+	if err := checkREpsDelta(1, epsilon, delta); err != nil {
+		return 0, err
+	}
+	n := s * s * math.Log(2/delta) / (2 * epsilon * epsilon)
+	return ceilToInt(n), nil
+}
+
+// F1Sensitivity returns a conservative sensitivity scale s for the F1 score
+// on a testset where at least a fraction minPositive of examples belong to
+// the positive class. Changing one example changes precision/recall counts
+// by one; a standard bound on the induced F1 change is 2/(n*minPositive),
+// i.e. s = 2/minPositive.
+func F1Sensitivity(minPositive float64) (float64, error) {
+	if !(minPositive > 0) || minPositive > 1 {
+		return 0, fmt.Errorf("bounds: minPositive must be in (0,1], got %v", minPositive)
+	}
+	return 2 / minPositive, nil
+}

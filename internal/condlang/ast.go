@@ -1,0 +1,302 @@
+package condlang
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Var is one of the three random variables of the logical data model
+// (Section 2.2): n (accuracy of the new model), o (accuracy of the old
+// model), d (fraction of predictions that differ). All range over [0, 1].
+type Var string
+
+// The three variables of the condition language.
+const (
+	VarN Var = "n"
+	VarO Var = "o"
+	VarD Var = "d"
+)
+
+// AllVars lists the variables in canonical order.
+var AllVars = []Var{VarN, VarO, VarD}
+
+// Range returns the dynamic range r_v of the variable (all are [0,1], so 1).
+func (v Var) Range() float64 { return 1 }
+
+// Valid reports whether v is one of n, o, d.
+func (v Var) Valid() bool { return v == VarN || v == VarO || v == VarD }
+
+// Cmp is a comparison operator in a clause.
+type Cmp int
+
+// Comparison operators.
+const (
+	CmpGreater Cmp = iota // >
+	CmpLess               // <
+)
+
+// String implements fmt.Stringer.
+func (c Cmp) String() string {
+	if c == CmpGreater {
+		return ">"
+	}
+	return "<"
+}
+
+// Expr is a node of an expression over {n, o, d}: variables combined with
+// +, -, and multiplication by constants (the grammar's EXP).
+type Expr interface {
+	fmt.Stringer
+	// exprNode restricts implementations to this package.
+	exprNode()
+}
+
+// VarExpr is a variable reference.
+type VarExpr struct{ Name Var }
+
+// ConstExpr is a floating point constant.
+type ConstExpr struct{ Value float64 }
+
+// BinOp is the operator of a BinaryExpr.
+type BinOp int
+
+// Binary operators.
+const (
+	OpAdd BinOp = iota
+	OpSub
+	OpMul
+)
+
+// BinaryExpr combines two sub-expressions.
+type BinaryExpr struct {
+	Op   BinOp
+	L, R Expr
+}
+
+func (VarExpr) exprNode()    {}
+func (ConstExpr) exprNode()  {}
+func (BinaryExpr) exprNode() {}
+
+// String renders the variable name.
+func (e VarExpr) String() string { return string(e.Name) }
+
+// String renders the constant with minimal digits.
+func (e ConstExpr) String() string {
+	return strconv.FormatFloat(e.Value, 'g', -1, 64)
+}
+
+// String renders the expression with explicit structure; parentheses are
+// emitted only where re-parsing would otherwise change the tree.
+func (e BinaryExpr) String() string {
+	op := map[BinOp]string{OpAdd: "+", OpSub: "-", OpMul: "*"}[e.Op]
+	l, r := e.L.String(), e.R.String()
+	if e.Op == OpMul {
+		if lb, ok := e.L.(BinaryExpr); ok && lb.Op != OpMul {
+			l = "(" + l + ")"
+		}
+		if rb, ok := e.R.(BinaryExpr); ok && rb.Op != OpMul {
+			r = "(" + r + ")"
+		}
+	}
+	if e.Op == OpSub {
+		if rb, ok := e.R.(BinaryExpr); ok && rb.Op != OpMul {
+			r = "(" + r + ")"
+		}
+	}
+	return l + " " + op + " " + r
+}
+
+// Clause is "EXP cmp c +/- eps": an expression compared against a threshold
+// with an explicit error tolerance.
+type Clause struct {
+	Expr      Expr
+	Cmp       Cmp
+	Threshold float64
+	// Tolerance is the epsilon following "+/-": the half-width of the
+	// confidence interval the system must achieve for this clause.
+	Tolerance float64
+}
+
+// String renders the clause in canonical syntax.
+func (c Clause) String() string {
+	return fmt.Sprintf("%s %s %s +/- %s",
+		c.Expr, c.Cmp,
+		strconv.FormatFloat(c.Threshold, 'g', -1, 64),
+		strconv.FormatFloat(c.Tolerance, 'g', -1, 64))
+}
+
+// Formula is a conjunction of clauses.
+type Formula struct {
+	Clauses []Clause
+}
+
+// String renders the formula joined by the conjunction operator.
+func (f Formula) String() string {
+	parts := make([]string, len(f.Clauses))
+	for i, c := range f.Clauses {
+		parts[i] = c.String()
+	}
+	return strings.Join(parts, " /\\ ")
+}
+
+// Vars returns the set of variables appearing anywhere in the formula, in
+// canonical (n, o, d) order.
+func (f Formula) Vars() []Var {
+	seen := map[Var]bool{}
+	for _, c := range f.Clauses {
+		collectVars(c.Expr, seen)
+	}
+	var out []Var
+	for _, v := range AllVars {
+		if seen[v] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+func collectVars(e Expr, into map[Var]bool) {
+	switch t := e.(type) {
+	case VarExpr:
+		into[t.Name] = true
+	case BinaryExpr:
+		collectVars(t.L, into)
+		collectVars(t.R, into)
+	}
+}
+
+// LinearForm is the canonical affine representation of an expression:
+// sum of Coef[v]*v plus Const. Every well-formed expression in the grammar
+// is affine because multiplication is only allowed against constants.
+type LinearForm struct {
+	Coef  map[Var]float64
+	Const float64
+}
+
+// Linearize canonicalizes an expression to its affine form. It returns an
+// error if the expression multiplies two variable-bearing sub-expressions
+// (which the grammar cannot produce, but a hand-built AST could).
+func Linearize(e Expr) (LinearForm, error) {
+	switch t := e.(type) {
+	case VarExpr:
+		if !t.Name.Valid() {
+			return LinearForm{}, fmt.Errorf("condlang: unknown variable %q", t.Name)
+		}
+		return LinearForm{Coef: map[Var]float64{t.Name: 1}}, nil
+	case ConstExpr:
+		return LinearForm{Coef: map[Var]float64{}, Const: t.Value}, nil
+	case BinaryExpr:
+		l, err := Linearize(t.L)
+		if err != nil {
+			return LinearForm{}, err
+		}
+		r, err := Linearize(t.R)
+		if err != nil {
+			return LinearForm{}, err
+		}
+		switch t.Op {
+		case OpAdd:
+			return l.add(r, 1), nil
+		case OpSub:
+			return l.add(r, -1), nil
+		case OpMul:
+			if len(r.Coef) == 0 {
+				return l.scale(r.Const), nil
+			}
+			if len(l.Coef) == 0 {
+				return r.scale(l.Const), nil
+			}
+			return LinearForm{}, fmt.Errorf("condlang: nonlinear expression: %s", e)
+		default:
+			return LinearForm{}, fmt.Errorf("condlang: unknown operator in %s", e)
+		}
+	default:
+		return LinearForm{}, fmt.Errorf("condlang: unknown expression node %T", e)
+	}
+}
+
+func (l LinearForm) add(r LinearForm, sign float64) LinearForm {
+	out := LinearForm{Coef: map[Var]float64{}, Const: l.Const + sign*r.Const}
+	for v, c := range l.Coef {
+		out.Coef[v] += c
+	}
+	for v, c := range r.Coef {
+		out.Coef[v] += sign * c
+	}
+	out.prune()
+	return out
+}
+
+func (l LinearForm) scale(c float64) LinearForm {
+	out := LinearForm{Coef: map[Var]float64{}, Const: l.Const * c}
+	for v, k := range l.Coef {
+		out.Coef[v] = k * c
+	}
+	out.prune()
+	return out
+}
+
+// prune drops exactly-zero coefficients so Vars() reflects the effective
+// expression (e.g. "n - n + o" depends only on o).
+func (l *LinearForm) prune() {
+	for v, c := range l.Coef {
+		if c == 0 {
+			delete(l.Coef, v)
+		}
+	}
+}
+
+// Vars returns the variables with non-zero coefficients in canonical order.
+func (l LinearForm) Vars() []Var {
+	var out []Var
+	for _, v := range AllVars {
+		if _, ok := l.Coef[v]; ok {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// Range returns the dynamic range of the affine expression given each
+// variable's unit range: sum over |coef_v| * r_v. The constant offset does
+// not contribute.
+func (l LinearForm) Range() float64 {
+	sum := 0.0
+	for v, c := range l.Coef {
+		if c < 0 {
+			sum += -c * v.Range()
+		} else {
+			sum += c * v.Range()
+		}
+	}
+	return sum
+}
+
+// Eval computes the expression value for given variable assignments.
+// Missing variables evaluate as 0.
+func (l LinearForm) Eval(assign map[Var]float64) float64 {
+	sum := l.Const
+	for v, c := range l.Coef {
+		sum += c * assign[v]
+	}
+	return sum
+}
+
+// String renders the linear form deterministically (canonical var order).
+func (l LinearForm) String() string {
+	var keys []string
+	for _, v := range l.Vars() {
+		keys = append(keys, fmt.Sprintf("%g*%s", l.Coef[v], v))
+	}
+	sort.Strings(keys) // canonical order already; sort defends hand-built forms
+	s := strings.Join(keys, " + ")
+	if l.Const != 0 || s == "" {
+		if s != "" {
+			s += " + "
+		}
+		s += strconv.FormatFloat(l.Const, 'g', -1, 64)
+	}
+	return s
+}

@@ -1,0 +1,151 @@
+package condlang
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// lexer produces tokens from a condition string.
+type lexer struct {
+	src string
+	pos int
+}
+
+func newLexer(src string) *lexer { return &lexer{src: src} }
+
+// Lex tokenizes the whole input, returning the token stream including the
+// trailing EOF token.
+func Lex(src string) ([]Token, error) {
+	lx := newLexer(src)
+	var toks []Token
+	for {
+		tok, err := lx.next()
+		if err != nil {
+			return nil, err
+		}
+		toks = append(toks, tok)
+		if tok.Kind == TokenEOF {
+			return toks, nil
+		}
+	}
+}
+
+func (lx *lexer) errorf(pos int, format string, args ...interface{}) error {
+	return &ParseError{Pos: pos, Msg: fmt.Sprintf(format, args...), Src: lx.src}
+}
+
+func (lx *lexer) next() (Token, error) {
+	for lx.pos < len(lx.src) && isSpace(lx.src[lx.pos]) {
+		lx.pos++
+	}
+	if lx.pos >= len(lx.src) {
+		return Token{Kind: TokenEOF, Pos: lx.pos}, nil
+	}
+	start := lx.pos
+	c := lx.src[lx.pos]
+	switch {
+	case c == '+':
+		// Disambiguate '+' from '+/-'.
+		if strings.HasPrefix(lx.src[lx.pos:], "+/-") {
+			lx.pos += 3
+			return Token{Kind: TokenPlusMinus, Text: "+/-", Pos: start}, nil
+		}
+		lx.pos++
+		return Token{Kind: TokenPlus, Text: "+", Pos: start}, nil
+	case c == '-':
+		lx.pos++
+		return Token{Kind: TokenMinus, Text: "-", Pos: start}, nil
+	case c == '*':
+		lx.pos++
+		return Token{Kind: TokenStar, Text: "*", Pos: start}, nil
+	case c == '>':
+		lx.pos++
+		return Token{Kind: TokenGreater, Text: ">", Pos: start}, nil
+	case c == '<':
+		lx.pos++
+		return Token{Kind: TokenLess, Text: "<", Pos: start}, nil
+	case c == '(':
+		lx.pos++
+		return Token{Kind: TokenLParen, Text: "(", Pos: start}, nil
+	case c == ')':
+		lx.pos++
+		return Token{Kind: TokenRParen, Text: ")", Pos: start}, nil
+	case c == '/':
+		if strings.HasPrefix(lx.src[lx.pos:], "/\\") {
+			lx.pos += 2
+			return Token{Kind: TokenAnd, Text: "/\\", Pos: start}, nil
+		}
+		return Token{}, lx.errorf(start, "division is not part of the condition language (ratio statistics are future work)")
+	case c >= '0' && c <= '9' || c == '.':
+		return lx.lexNumber()
+	case isLetter(c):
+		return lx.lexIdent()
+	default:
+		return Token{}, lx.errorf(start, "unexpected character %q", string(c))
+	}
+}
+
+func (lx *lexer) lexNumber() (Token, error) {
+	start := lx.pos
+	seenDot := false
+	for lx.pos < len(lx.src) {
+		c := lx.src[lx.pos]
+		if c == '.' {
+			if seenDot {
+				break
+			}
+			seenDot = true
+			lx.pos++
+			continue
+		}
+		if c < '0' || c > '9' {
+			// Scientific notation: 1e-3, 2.5E+4.
+			if (c == 'e' || c == 'E') && lx.pos+1 < len(lx.src) {
+				rest := lx.src[lx.pos+1:]
+				j := 0
+				if j < len(rest) && (rest[j] == '+' || rest[j] == '-') {
+					j++
+				}
+				if j < len(rest) && rest[j] >= '0' && rest[j] <= '9' {
+					lx.pos += 1 + j
+					for lx.pos < len(lx.src) && lx.src[lx.pos] >= '0' && lx.src[lx.pos] <= '9' {
+						lx.pos++
+					}
+					break
+				}
+			}
+			break
+		}
+		lx.pos++
+	}
+	text := lx.src[start:lx.pos]
+	v, err := strconv.ParseFloat(text, 64)
+	if err != nil {
+		return Token{}, lx.errorf(start, "malformed number %q", text)
+	}
+	return Token{Kind: TokenNumber, Text: text, Pos: start, Value: v}, nil
+}
+
+func (lx *lexer) lexIdent() (Token, error) {
+	start := lx.pos
+	for lx.pos < len(lx.src) && (isLetter(lx.src[lx.pos]) || lx.src[lx.pos] >= '0' && lx.src[lx.pos] <= '9') {
+		lx.pos++
+	}
+	text := lx.src[start:lx.pos]
+	switch text {
+	case "n", "o", "d":
+		return Token{Kind: TokenVar, Text: text, Pos: start}, nil
+	default:
+		return Token{}, lx.errorf(start, "unknown identifier %q (variables are n, o, d)", text)
+	}
+}
+
+func isSpace(c byte) bool {
+	return c == ' ' || c == '\t' || c == '\n' || c == '\r'
+}
+
+func isLetter(c byte) bool {
+	return unicode.IsLetter(rune(c))
+}

@@ -1,0 +1,215 @@
+package condlang
+
+import "fmt"
+
+// parser implements recursive descent over the token stream:
+//
+//	F      := C ( "/\" C )*
+//	C      := EXP cmp NUMBER "+/-" NUMBER
+//	EXP    := term ( ("+"|"-") term )*
+//	term   := factor ( "*" factor )*
+//	factor := VAR | NUMBER | "-" factor | "(" EXP ")"
+//
+// This accepts exactly the paper's grammar (modulo the harmless extensions
+// of parentheses and unary minus on constants) with ordinary precedence.
+type parser struct {
+	toks []Token
+	pos  int
+	src  string
+}
+
+// Parse parses a full condition formula, e.g.
+// "n - 1.1 * o > 0.01 +/- 0.01 /\ d < 0.1 +/- 0.01".
+func Parse(src string) (Formula, error) {
+	toks, err := Lex(src)
+	if err != nil {
+		return Formula{}, err
+	}
+	p := &parser{toks: toks, src: src}
+	f, err := p.parseFormula()
+	if err != nil {
+		return Formula{}, err
+	}
+	if p.peek().Kind != TokenEOF {
+		return Formula{}, p.errorf("unexpected %s after end of formula", p.peek().Kind)
+	}
+	return f, nil
+}
+
+// ParseClause parses a single clause (no conjunction).
+func ParseClause(src string) (Clause, error) {
+	f, err := Parse(src)
+	if err != nil {
+		return Clause{}, err
+	}
+	if len(f.Clauses) != 1 {
+		return Clause{}, &ParseError{Pos: 0, Msg: "expected exactly one clause", Src: src}
+	}
+	return f.Clauses[0], nil
+}
+
+func (p *parser) peek() Token { return p.toks[p.pos] }
+func (p *parser) advance() Token {
+	t := p.toks[p.pos]
+	if t.Kind != TokenEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) errorf(format string, args ...interface{}) error {
+	return &ParseError{Pos: p.peek().Pos, Msg: fmt.Sprintf(format, args...), Src: p.src}
+}
+
+func (p *parser) expect(k TokenKind) (Token, error) {
+	if p.peek().Kind != k {
+		return Token{}, p.errorf("expected %s, found %s", k, p.peek().Kind)
+	}
+	return p.advance(), nil
+}
+
+func (p *parser) parseFormula() (Formula, error) {
+	var f Formula
+	for {
+		c, err := p.parseClause()
+		if err != nil {
+			return Formula{}, err
+		}
+		f.Clauses = append(f.Clauses, c)
+		if p.peek().Kind != TokenAnd {
+			return f, nil
+		}
+		p.advance()
+	}
+}
+
+func (p *parser) parseClause() (Clause, error) {
+	expr, err := p.parseExpr()
+	if err != nil {
+		return Clause{}, err
+	}
+	var cmp Cmp
+	switch p.peek().Kind {
+	case TokenGreater:
+		cmp = CmpGreater
+	case TokenLess:
+		cmp = CmpLess
+	default:
+		return Clause{}, p.errorf("expected '>' or '<', found %s", p.peek().Kind)
+	}
+	p.advance()
+	threshold, err := p.parseSignedNumber()
+	if err != nil {
+		return Clause{}, err
+	}
+	if _, err := p.expect(TokenPlusMinus); err != nil {
+		return Clause{}, err
+	}
+	tolTok := p.peek()
+	tol, err := p.parseSignedNumber()
+	if err != nil {
+		return Clause{}, err
+	}
+	if tol <= 0 {
+		return Clause{}, &ParseError{Pos: tolTok.Pos, Msg: "error tolerance must be positive", Src: p.src}
+	}
+	// Reject clauses whose expression has no variables: "0.5 > 0.1 +/- 0.1"
+	// is constant and meaningless as a test.
+	lf, err := Linearize(expr)
+	if err != nil {
+		return Clause{}, err
+	}
+	if len(lf.Coef) == 0 {
+		return Clause{}, &ParseError{Pos: 0, Msg: "clause expression contains no variables", Src: p.src}
+	}
+	return Clause{Expr: expr, Cmp: cmp, Threshold: threshold, Tolerance: tol}, nil
+}
+
+func (p *parser) parseSignedNumber() (float64, error) {
+	neg := false
+	if p.peek().Kind == TokenMinus {
+		neg = true
+		p.advance()
+	}
+	tok, err := p.expect(TokenNumber)
+	if err != nil {
+		return 0, err
+	}
+	if neg {
+		return -tok.Value, nil
+	}
+	return tok.Value, nil
+}
+
+func (p *parser) parseExpr() (Expr, error) {
+	left, err := p.parseTerm()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch p.peek().Kind {
+		case TokenPlus:
+			p.advance()
+			right, err := p.parseTerm()
+			if err != nil {
+				return nil, err
+			}
+			left = BinaryExpr{Op: OpAdd, L: left, R: right}
+		case TokenMinus:
+			p.advance()
+			right, err := p.parseTerm()
+			if err != nil {
+				return nil, err
+			}
+			left = BinaryExpr{Op: OpSub, L: left, R: right}
+		default:
+			return left, nil
+		}
+	}
+}
+
+func (p *parser) parseTerm() (Expr, error) {
+	left, err := p.parseFactor()
+	if err != nil {
+		return nil, err
+	}
+	for p.peek().Kind == TokenStar {
+		p.advance()
+		right, err := p.parseFactor()
+		if err != nil {
+			return nil, err
+		}
+		left = BinaryExpr{Op: OpMul, L: left, R: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseFactor() (Expr, error) {
+	switch tok := p.peek(); tok.Kind {
+	case TokenVar:
+		p.advance()
+		return VarExpr{Name: Var(tok.Text)}, nil
+	case TokenNumber:
+		p.advance()
+		return ConstExpr{Value: tok.Value}, nil
+	case TokenMinus:
+		p.advance()
+		inner, err := p.parseFactor()
+		if err != nil {
+			return nil, err
+		}
+		return BinaryExpr{Op: OpMul, L: ConstExpr{Value: -1}, R: inner}, nil
+	case TokenLParen:
+		p.advance()
+		inner, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokenRParen); err != nil {
+			return nil, err
+		}
+		return inner, nil
+	default:
+		return nil, p.errorf("expected variable, number, or '(', found %s", tok.Kind)
+	}
+}

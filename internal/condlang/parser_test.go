@@ -1,0 +1,261 @@
+package condlang
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func mustParse(t *testing.T, src string) Formula {
+	t.Helper()
+	f, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", src, err)
+	}
+	return f
+}
+
+func TestParsePaperExamples(t *testing.T) {
+	// Every condition string that appears in the paper must parse.
+	for _, src := range []string{
+		"n - o > 0.02 +/- 0.01",
+		"d < 0.1 +/- 0.01",
+		"n - 1.1 * o > 0.01 +/- 0.01 /\\ d < 0.1 +/- 0.01",
+		"n > 0.8 +/- 0.05",
+		"n - o > 0.1 +/- 0.01",
+		"n - o > 0.02 +/- 0.02",
+		"n - o > 0.018 +/- 0.022",
+		"d < 0.1 +/- 0.01 /\\ n - o > 0.02 +/- 0.01",
+		"n > 0.9 +/- 0.02",
+	} {
+		if _, err := Parse(src); err != nil {
+			t.Errorf("Parse(%q) failed: %v", src, err)
+		}
+	}
+}
+
+func TestParseSingleClauseStructure(t *testing.T) {
+	f := mustParse(t, "n - o > 0.02 +/- 0.01")
+	if len(f.Clauses) != 1 {
+		t.Fatalf("clauses = %d, want 1", len(f.Clauses))
+	}
+	c := f.Clauses[0]
+	if c.Cmp != CmpGreater || c.Threshold != 0.02 || c.Tolerance != 0.01 {
+		t.Errorf("clause = %+v", c)
+	}
+	lf, err := Linearize(c.Expr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lf.Coef[VarN] != 1 || lf.Coef[VarO] != -1 || lf.Const != 0 {
+		t.Errorf("linear form = %v", lf)
+	}
+}
+
+func TestParseConjunction(t *testing.T) {
+	f := mustParse(t, "n - 1.1 * o > 0.01 +/- 0.01 /\\ d < 0.1 +/- 0.01")
+	if len(f.Clauses) != 2 {
+		t.Fatalf("clauses = %d, want 2", len(f.Clauses))
+	}
+	lf0, _ := Linearize(f.Clauses[0].Expr)
+	if lf0.Coef[VarO] != -1.1 {
+		t.Errorf("coef o = %v, want -1.1", lf0.Coef[VarO])
+	}
+	if f.Clauses[1].Cmp != CmpLess {
+		t.Errorf("second clause cmp = %v", f.Clauses[1].Cmp)
+	}
+	vars := f.Vars()
+	if len(vars) != 3 {
+		t.Errorf("Vars = %v, want n,o,d", vars)
+	}
+}
+
+func TestParsePrecedence(t *testing.T) {
+	// 2 * n + o must parse as (2*n) + o, not 2*(n+o).
+	f := mustParse(t, "2 * n + o > 0.5 +/- 0.1")
+	lf, _ := Linearize(f.Clauses[0].Expr)
+	if lf.Coef[VarN] != 2 || lf.Coef[VarO] != 1 {
+		t.Errorf("linear form = %v", lf)
+	}
+}
+
+func TestParseParenthesesExtension(t *testing.T) {
+	f := mustParse(t, "(n - o) * 2 > 0.5 +/- 0.1")
+	lf, _ := Linearize(f.Clauses[0].Expr)
+	if lf.Coef[VarN] != 2 || lf.Coef[VarO] != -2 {
+		t.Errorf("linear form = %v", lf)
+	}
+}
+
+func TestParseUnaryMinusAndScientific(t *testing.T) {
+	f := mustParse(t, "n > -0.5 +/- 1e-2")
+	c := f.Clauses[0]
+	if c.Threshold != -0.5 || c.Tolerance != 0.01 {
+		t.Errorf("clause = %+v", c)
+	}
+	f = mustParse(t, "-1 * n + 1 < 0.2 +/- 0.01") // error rate as 1-n
+	lf, _ := Linearize(f.Clauses[0].Expr)
+	if lf.Coef[VarN] != -1 || lf.Const != 1 {
+		t.Errorf("linear form = %v", lf)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		src     string
+		wantSub string
+	}{
+		{"", "expected variable"},
+		{"n > 0.5", "expected '+/-'"},
+		{"n > 0.5 +/- 0", "tolerance must be positive"},
+		{"n > 0.5 +/- -0.1", "tolerance must be positive"},
+		{"x > 0.5 +/- 0.1", "unknown identifier"},
+		{"n / o > 0.5 +/- 0.1", "division"},
+		{"n * o > 0.5 +/- 0.1", "nonlinear"},
+		{"n > 0.5 +/- 0.1 /\\", "expected variable"},
+		{"n >> 0.5 +/- 0.1", "expected"},
+		{"n > 0.5 +/- 0.1 extra", "unknown identifier"},
+		{"0.5 > 0.1 +/- 0.1", "no variables"},
+		{"n - n > 0.1 +/- 0.1", "no variables"},
+		{"(n > 0.5 +/- 0.1", "expected"},
+		{"n > 0.5.5 +/- 0.1", ""}, // malformed number: any error accepted
+		{"n ? o > 0.5 +/- 0.1", "unexpected character"},
+	}
+	for _, c := range cases {
+		_, err := Parse(c.src)
+		if err == nil {
+			t.Errorf("Parse(%q) should fail", c.src)
+			continue
+		}
+		if c.wantSub != "" && !strings.Contains(err.Error(), c.wantSub) {
+			t.Errorf("Parse(%q) error %q does not mention %q", c.src, err, c.wantSub)
+		}
+	}
+}
+
+func TestParseClauseHelper(t *testing.T) {
+	c, err := ParseClause("d < 0.1 +/- 0.01")
+	if err != nil || c.Cmp != CmpLess {
+		t.Errorf("ParseClause = %+v, %v", c, err)
+	}
+	if _, err := ParseClause("n > 0.1 +/- 0.01 /\\ d < 0.1 +/- 0.01"); err == nil {
+		t.Error("ParseClause should reject conjunctions")
+	}
+	if _, err := ParseClause("garbage"); err == nil {
+		t.Error("ParseClause should propagate parse errors")
+	}
+}
+
+func TestPrintParseRoundTrip(t *testing.T) {
+	for _, src := range []string{
+		"n - o > 0.02 +/- 0.01",
+		"d < 0.1 +/- 0.01",
+		"n - 1.1 * o > 0.01 +/- 0.01 /\\ d < 0.1 +/- 0.01",
+		"2 * n + o - d > 0.5 +/- 0.025",
+	} {
+		f1 := mustParse(t, src)
+		f2 := mustParse(t, f1.String())
+		if f1.String() != f2.String() {
+			t.Errorf("round trip changed %q -> %q -> %q", src, f1, f2)
+		}
+		// Linear forms must agree too.
+		for i := range f1.Clauses {
+			l1, _ := Linearize(f1.Clauses[i].Expr)
+			l2, _ := Linearize(f2.Clauses[i].Expr)
+			if l1.String() != l2.String() {
+				t.Errorf("round trip changed semantics: %v vs %v", l1, l2)
+			}
+		}
+	}
+}
+
+func TestLinearFormRange(t *testing.T) {
+	cases := []struct {
+		src  string
+		want float64
+	}{
+		{"n > 0 +/- 0.1", 1},
+		{"n - o > 0 +/- 0.1", 2},
+		{"n - 1.1 * o > 0 +/- 0.1", 2.1},
+		{"2 * d < 1 +/- 0.1", 2},
+	}
+	for _, c := range cases {
+		f := mustParse(t, c.src)
+		lf, err := Linearize(f.Clauses[0].Expr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := lf.Range(); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Range(%q) = %v, want %v", c.src, got, c.want)
+		}
+	}
+}
+
+func TestLinearFormEval(t *testing.T) {
+	f := mustParse(t, "n - 1.1 * o + 0.5 > 0 +/- 0.1")
+	lf, _ := Linearize(f.Clauses[0].Expr)
+	got := lf.Eval(map[Var]float64{VarN: 0.9, VarO: 0.8})
+	want := 0.9 - 1.1*0.8 + 0.5
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("Eval = %v, want %v", got, want)
+	}
+}
+
+func TestLinearizeRejectsNonAffine(t *testing.T) {
+	// Hand-built AST multiplying two variables.
+	e := BinaryExpr{Op: OpMul, L: VarExpr{VarN}, R: VarExpr{VarO}}
+	if _, err := Linearize(e); err == nil {
+		t.Error("Linearize(n*o) should fail")
+	}
+	// Invalid variable in a hand-built AST.
+	if _, err := Linearize(VarExpr{Name: "q"}); err == nil {
+		t.Error("Linearize(invalid var) should fail")
+	}
+}
+
+func TestLexPositions(t *testing.T) {
+	toks, err := Lex("n - o > 0.02 +/- 0.01")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Pos != 0 || toks[0].Kind != TokenVar {
+		t.Errorf("tok0 = %+v", toks[0])
+	}
+	if toks[1].Kind != TokenMinus || toks[1].Pos != 2 {
+		t.Errorf("tok1 = %+v", toks[1])
+	}
+	last := toks[len(toks)-1]
+	if last.Kind != TokenEOF {
+		t.Errorf("missing EOF token")
+	}
+}
+
+func TestParseNeverPanicsProperty(t *testing.T) {
+	// Fuzz-ish property: Parse must return an error, never panic, on
+	// arbitrary strings.
+	f := func(s string) (ok bool) {
+		defer func() {
+			if recover() != nil {
+				ok = false
+			}
+		}()
+		_, _ = Parse(s)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVarHelpers(t *testing.T) {
+	if !VarN.Valid() || !VarO.Valid() || !VarD.Valid() || Var("x").Valid() {
+		t.Error("Var.Valid wrong")
+	}
+	if VarN.Range() != 1 {
+		t.Error("Var.Range wrong")
+	}
+	if CmpGreater.String() != ">" || CmpLess.String() != "<" {
+		t.Error("Cmp.String wrong")
+	}
+}

@@ -1,0 +1,130 @@
+package condlang
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randomExpr builds a random affine expression tree (the only kind the
+// grammar admits).
+func randomExpr(rng *rand.Rand, depth int) Expr {
+	if depth <= 0 || rng.Float64() < 0.3 {
+		vars := []Var{VarN, VarO, VarD}
+		return VarExpr{Name: vars[rng.Intn(3)]}
+	}
+	switch rng.Intn(4) {
+	case 0:
+		return BinaryExpr{Op: OpAdd, L: randomExpr(rng, depth-1), R: randomExpr(rng, depth-1)}
+	case 1:
+		return BinaryExpr{Op: OpSub, L: randomExpr(rng, depth-1), R: randomExpr(rng, depth-1)}
+	case 2:
+		// Multiply by a constant on the right (the grammar's EXP op2 c).
+		c := math.Round((0.1+3*rng.Float64())*100) / 100
+		return BinaryExpr{Op: OpMul, L: randomExpr(rng, depth-1), R: ConstExpr{Value: c}}
+	default:
+		c := math.Round((0.1+3*rng.Float64())*100) / 100
+		return BinaryExpr{Op: OpMul, L: ConstExpr{Value: c}, R: randomExpr(rng, depth-1)}
+	}
+}
+
+// TestPrintParsePropertyRoundTrip: printing any random expression and
+// re-parsing it preserves the linear form (semantics), for thousands of
+// random trees.
+func TestPrintParsePropertyRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		expr := randomExpr(rng, 4)
+		// Expressions like (o - o) * c cancel to a constant; the parser
+		// rejects variable-free clauses by design, so skip them here.
+		if lf, err := Linearize(expr); err != nil || len(lf.Coef) == 0 {
+			return true
+		}
+		clause := Clause{Expr: expr, Cmp: CmpGreater, Threshold: 0.5, Tolerance: 0.1}
+		formula := Formula{Clauses: []Clause{clause}}
+		parsed, err := Parse(formula.String())
+		if err != nil {
+			return false
+		}
+		l1, err1 := Linearize(expr)
+		l2, err2 := Linearize(parsed.Clauses[0].Expr)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		for _, v := range AllVars {
+			if math.Abs(l1.Coef[v]-l2.Coef[v]) > 1e-9 {
+				return false
+			}
+		}
+		return math.Abs(l1.Const-l2.Const) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestLinearizePropertyEvalAgreement: the linear form evaluates identically
+// to a direct recursive evaluation of the AST.
+func TestLinearizePropertyEvalAgreement(t *testing.T) {
+	var evalAST func(e Expr, assign map[Var]float64) float64
+	evalAST = func(e Expr, assign map[Var]float64) float64 {
+		switch n := e.(type) {
+		case VarExpr:
+			return assign[n.Name]
+		case ConstExpr:
+			return n.Value
+		case BinaryExpr:
+			l, r := evalAST(n.L, assign), evalAST(n.R, assign)
+			switch n.Op {
+			case OpAdd:
+				return l + r
+			case OpSub:
+				return l - r
+			default:
+				return l * r
+			}
+		}
+		return math.NaN()
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		expr := randomExpr(rng, 4)
+		lf, err := Linearize(expr)
+		if err != nil {
+			return false
+		}
+		assign := map[Var]float64{
+			VarN: rng.Float64(), VarO: rng.Float64(), VarD: rng.Float64(),
+		}
+		return math.Abs(lf.Eval(assign)-evalAST(expr, assign)) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestRangePropertyBoundsEval: |expr(x) - expr(y)| <= Range() for any two
+// assignments in the unit cube — Range really is the dynamic range.
+func TestRangePropertyBoundsEval(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		expr := randomExpr(rng, 3)
+		lf, err := Linearize(expr)
+		if err != nil {
+			return false
+		}
+		r := lf.Range()
+		for trial := 0; trial < 20; trial++ {
+			a := map[Var]float64{VarN: rng.Float64(), VarO: rng.Float64(), VarD: rng.Float64()}
+			b := map[Var]float64{VarN: rng.Float64(), VarO: rng.Float64(), VarD: rng.Float64()}
+			if math.Abs(lf.Eval(a)-lf.Eval(b)) > r+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,93 @@
+// Package condlang implements the ease.ml/ci condition language of
+// Appendix A.1 of the paper:
+//
+//	c   :- floating point constant
+//	v   :- n | o | d
+//	op1 :- + | -
+//	op2 :- *
+//	EXP :- v | v op1 EXP | EXP op2 c
+//	cmp :- > | <
+//	C   :- EXP cmp c +/- c
+//	F   :- C | C /\ F
+//
+// The package provides a lexer, a recursive-descent parser producing an AST,
+// canonicalization of expressions to an affine ("linear") form over the
+// variables {n, o, d}, and a printer that round-trips the canonical syntax.
+// Parenthesized sub-expressions are accepted as a strict extension (the
+// grammar above never needs them, but they cost nothing and help users).
+package condlang
+
+import "fmt"
+
+// TokenKind enumerates lexical token types.
+type TokenKind int
+
+// Token kinds.
+const (
+	TokenEOF TokenKind = iota
+	TokenVar           // n, o, d
+	TokenNumber
+	TokenPlus      // +
+	TokenMinus     // -
+	TokenStar      // *
+	TokenGreater   // >
+	TokenLess      // <
+	TokenPlusMinus // +/-
+	TokenAnd       // /\
+	TokenLParen    // (
+	TokenRParen    // )
+)
+
+// String implements fmt.Stringer for diagnostics.
+func (k TokenKind) String() string {
+	switch k {
+	case TokenEOF:
+		return "end of input"
+	case TokenVar:
+		return "variable"
+	case TokenNumber:
+		return "number"
+	case TokenPlus:
+		return "'+'"
+	case TokenMinus:
+		return "'-'"
+	case TokenStar:
+		return "'*'"
+	case TokenGreater:
+		return "'>'"
+	case TokenLess:
+		return "'<'"
+	case TokenPlusMinus:
+		return "'+/-'"
+	case TokenAnd:
+		return "'/\\'"
+	case TokenLParen:
+		return "'('"
+	case TokenRParen:
+		return "')'"
+	default:
+		return fmt.Sprintf("TokenKind(%d)", int(k))
+	}
+}
+
+// Token is a lexical token with its source position (byte offset).
+type Token struct {
+	Kind TokenKind
+	Text string
+	Pos  int
+	// Value is the parsed number for TokenNumber tokens.
+	Value float64
+}
+
+// ParseError reports a lexical or syntactic error with its position in the
+// condition source.
+type ParseError struct {
+	Pos int
+	Msg string
+	Src string
+}
+
+// Error implements the error interface, pointing at the offending position.
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("condlang: %s at offset %d in %q", e.Msg, e.Pos, e.Src)
+}

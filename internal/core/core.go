@@ -1,0 +1,202 @@
+// Package core ties the estimator and the optimization patterns together
+// into the planner that is the paper's headline contribution: given an
+// ease.ml/ci script, decide how the condition will be tested and how many
+// labeled and unlabeled examples the user must provide.
+//
+// The planner mirrors Section 4's dispatch: it first tries Pattern 1
+// (explicit d clause -> hierarchical testing + active labeling), then
+// Pattern 2 (bare n-o clause -> implicit variance bound), then the
+// coarse-to-fine accuracy pattern, and finally falls back to the baseline
+// Hoeffding estimator of Section 3. The baseline plan is always computed so
+// reports can show the savings.
+package core
+
+import (
+	"fmt"
+
+	"github.com/easeml/ci/internal/adaptivity"
+	"github.com/easeml/ci/internal/estimator"
+	"github.com/easeml/ci/internal/patterns"
+	"github.com/easeml/ci/internal/script"
+)
+
+// PlanKind says which estimation strategy the planner selected.
+type PlanKind int
+
+const (
+	// Baseline is the Section 3 Hoeffding estimator.
+	Baseline PlanKind = iota
+	// Pattern1 is hierarchical testing with an explicit d clause.
+	Pattern1
+	// Pattern2 is the implicit variance bound for a bare n-o clause.
+	Pattern2
+	// CoarseFine is the two-stage accuracy test for n > A with large A.
+	CoarseFine
+)
+
+// String implements fmt.Stringer.
+func (k PlanKind) String() string {
+	switch k {
+	case Baseline:
+		return "baseline"
+	case Pattern1:
+		return "pattern1"
+	case Pattern2:
+		return "pattern2"
+	case CoarseFine:
+		return "coarse-fine"
+	default:
+		return fmt.Sprintf("PlanKind(%d)", int(k))
+	}
+}
+
+// Options tunes the planner.
+type Options struct {
+	// DisableOptimizations forces the baseline estimator (ablation switch).
+	DisableOptimizations bool
+	// Budget selects the delta accounting for patterns.
+	Budget patterns.DeltaBudget
+	// Variance selects the variance proxy for Pattern 1.
+	Variance patterns.VarianceBound
+	// AssumedDisagreement sizes Pattern 2's labeled stage at planning time
+	// (the true size is only known at runtime, Section 4.2). Zero means
+	// "plan the unlabeled stage only".
+	AssumedDisagreement float64
+	// CoarseFineThreshold is the minimum A for the coarse-to-fine pattern
+	// ("only ... when the lower bound is large (e.g., 0.9)").
+	CoarseFineThreshold float64
+}
+
+// DefaultOptions mirror the paper's choices.
+func DefaultOptions() Options {
+	return Options{
+		Budget:              patterns.BudgetSplit,
+		Variance:            patterns.VarianceAtThreshold,
+		CoarseFineThreshold: 0.9,
+	}
+}
+
+// Plan is the complete labeling plan for a script.
+type Plan struct {
+	Kind   PlanKind
+	Config *script.Config
+	// BaselinePlan is the Section 3 estimate (always present).
+	BaselinePlan *estimator.Plan
+	// Exactly one of the following is non-nil unless Kind == Baseline.
+	Pattern1Plan   *patterns.Pattern1Plan
+	Pattern2Plan   *patterns.Pattern2Plan
+	CoarseFinePlan *patterns.CoarseFinePlan
+
+	// LabeledN is the number of labels required up front.
+	LabeledN int
+	// UnlabeledN is the size of the unlabeled pool required (0 when the
+	// plan needs none beyond the labeled set).
+	UnlabeledN int
+	// PerCommitLabels is the amortized per-commit label cost under active
+	// labeling (0 when active labeling does not apply).
+	PerCommitLabels int
+}
+
+// Savings reports the baseline-to-optimized label ratio (1 when the
+// baseline plan was selected).
+func (p *Plan) Savings() float64 {
+	if p.Kind == Baseline || p.LabeledN == 0 {
+		return 1
+	}
+	return float64(p.BaselinePlan.N) / float64(p.LabeledN)
+}
+
+// PlanForConfig runs the pattern dispatch for a validated script.
+func PlanForConfig(cfg *script.Config, opts Options) (*Plan, error) {
+	if cfg == nil {
+		return nil, fmt.Errorf("core: nil config")
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	kind, err := adaptivity.FromScript(cfg.Adaptivity.Kind)
+	if err != nil {
+		return nil, err
+	}
+	base, err := estimator.SampleSize(cfg.Condition, cfg.Delta(), estimator.Options{
+		Steps:      cfg.Steps,
+		Adaptivity: kind,
+		Strategy:   estimator.PerVariable,
+		Split:      estimator.SplitOptimal,
+	})
+	if err != nil {
+		return nil, err
+	}
+	plan := &Plan{Kind: Baseline, Config: cfg, BaselinePlan: base, LabeledN: base.N}
+	if opts.DisableOptimizations {
+		return plan, nil
+	}
+	popts := patterns.Options{
+		Steps:      cfg.Steps,
+		Adaptivity: kind,
+		Budget:     opts.Budget,
+		Variance:   opts.Variance,
+	}
+
+	if _, _, ok := patterns.MatchPattern1(cfg.Condition); ok {
+		p1, err := patterns.PlanPattern1(cfg.Condition, cfg.Delta(), popts)
+		if err != nil {
+			return nil, err
+		}
+		plan.Kind = Pattern1
+		plan.Pattern1Plan = p1
+		plan.LabeledN = p1.TestN
+		plan.UnlabeledN = p1.FilterN
+		plan.PerCommitLabels = p1.PerCommitLabels
+		return plan, nil
+	}
+
+	if patterns.MatchPattern2(cfg.Condition) {
+		p2, err := patterns.PlanPattern2(cfg.Condition, cfg.Delta(), popts)
+		if err != nil {
+			return nil, err
+		}
+		plan.Kind = Pattern2
+		plan.Pattern2Plan = p2
+		plan.UnlabeledN = p2.UnlabeledN
+		if opts.AssumedDisagreement > 0 {
+			n, err := p2.TestN(opts.AssumedDisagreement)
+			if err != nil {
+				return nil, err
+			}
+			plan.LabeledN = n
+			labels, err := p2.PerCommitLabels(opts.AssumedDisagreement)
+			if err != nil {
+				return nil, err
+			}
+			plan.PerCommitLabels = labels
+		} else {
+			// Labeled size is determined at runtime from the observed d.
+			plan.LabeledN = 0
+		}
+		return plan, nil
+	}
+
+	threshold := opts.CoarseFineThreshold
+	if threshold == 0 {
+		threshold = 0.9
+	}
+	if patterns.MatchCoarseFine(cfg.Condition, threshold) {
+		cf, err := patterns.PlanCoarseFine(cfg.Condition, cfg.Delta(), popts, threshold)
+		if err != nil {
+			return nil, err
+		}
+		// The fine stage is sized at runtime from the coarse certificate;
+		// plan the coarse stage and a worst-case fine stage at the clause
+		// threshold (the certificate can only be better).
+		fine, err := cf.FineN(cf.Clause.Threshold - cf.CoarseTolerance)
+		if err == nil && cf.CoarseN+fine < base.N {
+			plan.Kind = CoarseFine
+			plan.CoarseFinePlan = cf
+			plan.LabeledN = cf.CoarseN + fine
+			return plan, nil
+		}
+		// Otherwise the pattern does not pay off; keep the baseline.
+	}
+	return plan, nil
+}

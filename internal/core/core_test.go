@@ -1,0 +1,150 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/easeml/ci/internal/interval"
+	"github.com/easeml/ci/internal/patterns"
+	"github.com/easeml/ci/internal/script"
+)
+
+func cfg(t *testing.T, cond string, rel float64, steps int, kind script.AdaptivityKind) *script.Config {
+	t.Helper()
+	a := script.Adaptivity{Kind: kind}
+	if kind == script.AdaptivityNone {
+		a.Email = "qa@example.com"
+	}
+	c, err := script.New(cond, rel, interval.FPFree, a, steps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestDispatchPattern1(t *testing.T) {
+	c := cfg(t, "d < 0.1 +/- 0.01 /\\ n - o > 0.02 +/- 0.01", 0.9999, 32, script.AdaptivityNone)
+	plan, err := PlanForConfig(c, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Kind != Pattern1 {
+		t.Fatalf("kind = %v, want pattern1", plan.Kind)
+	}
+	if plan.Pattern1Plan == nil || plan.Pattern2Plan != nil || plan.CoarseFinePlan != nil {
+		t.Error("wrong sub-plan populated")
+	}
+	// Section 4.1.1's "29K" against the baseline 267K: ~10x savings.
+	if plan.LabeledN < 29000 || plan.LabeledN > 29100 {
+		t.Errorf("LabeledN = %d, want ~29048", plan.LabeledN)
+	}
+	if s := plan.Savings(); s < 8 {
+		t.Errorf("savings = %v, want ~9x", s)
+	}
+	if plan.PerCommitLabels == 0 {
+		t.Error("Pattern 1 must offer active labeling")
+	}
+	if plan.UnlabeledN == 0 {
+		t.Error("Pattern 1 must require an unlabeled filter pool")
+	}
+}
+
+func TestDispatchPattern2(t *testing.T) {
+	c := cfg(t, "n - o > 0.02 +/- 0.01", 0.9999, 32, script.AdaptivityFull)
+	plan, err := PlanForConfig(c, Options{
+		Budget:              patterns.BudgetSplit,
+		AssumedDisagreement: 0.1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Kind != Pattern2 {
+		t.Fatalf("kind = %v, want pattern2", plan.Kind)
+	}
+	if plan.UnlabeledN == 0 || plan.LabeledN == 0 || plan.PerCommitLabels == 0 {
+		t.Errorf("plan incomplete: %+v", plan)
+	}
+	// Fully adaptive Pattern-2 at p=0.1 is the "67K" regime.
+	if plan.LabeledN < 67000 || plan.LabeledN > 68500 {
+		t.Errorf("LabeledN = %d, want ~67.7K", plan.LabeledN)
+	}
+}
+
+func TestDispatchPattern2WithoutAssumedD(t *testing.T) {
+	c := cfg(t, "n - o > 0.02 +/- 0.01", 0.999, 8, script.AdaptivityFull)
+	plan, err := PlanForConfig(c, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Kind != Pattern2 {
+		t.Fatalf("kind = %v", plan.Kind)
+	}
+	if plan.LabeledN != 0 {
+		t.Errorf("LabeledN should be runtime-determined, got %d", plan.LabeledN)
+	}
+	if plan.UnlabeledN == 0 {
+		t.Error("unlabeled stage must be planned")
+	}
+}
+
+func TestDispatchCoarseFine(t *testing.T) {
+	c := cfg(t, "n > 0.95 +/- 0.01", 0.999, 8, script.AdaptivityFull)
+	plan, err := PlanForConfig(c, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Kind != CoarseFine {
+		t.Fatalf("kind = %v, want coarse-fine", plan.Kind)
+	}
+	if plan.LabeledN >= plan.BaselinePlan.N {
+		t.Errorf("coarse-fine plan %d not below baseline %d", plan.LabeledN, plan.BaselinePlan.N)
+	}
+}
+
+func TestDispatchBaselineFallback(t *testing.T) {
+	// A low-threshold accuracy floor matches no pattern.
+	c := cfg(t, "n > 0.5 +/- 0.05", 0.999, 32, script.AdaptivityNone)
+	plan, err := PlanForConfig(c, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Kind != Baseline {
+		t.Fatalf("kind = %v, want baseline", plan.Kind)
+	}
+	if plan.LabeledN != plan.BaselinePlan.N {
+		t.Error("baseline plan sizes disagree")
+	}
+	if plan.Savings() != 1 {
+		t.Errorf("baseline savings = %v, want 1", plan.Savings())
+	}
+}
+
+func TestDisableOptimizations(t *testing.T) {
+	c := cfg(t, "d < 0.1 +/- 0.01 /\\ n - o > 0.02 +/- 0.01", 0.9999, 32, script.AdaptivityNone)
+	plan, err := PlanForConfig(c, Options{DisableOptimizations: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Kind != Baseline {
+		t.Fatalf("kind = %v, want baseline (optimizations disabled)", plan.Kind)
+	}
+}
+
+func TestPlanErrors(t *testing.T) {
+	if _, err := PlanForConfig(nil, DefaultOptions()); err == nil {
+		t.Error("nil config should fail")
+	}
+	bad := &script.Config{}
+	if _, err := PlanForConfig(bad, DefaultOptions()); err == nil {
+		t.Error("invalid config should fail")
+	}
+}
+
+func TestPlanKindString(t *testing.T) {
+	if Baseline.String() != "baseline" || Pattern1.String() != "pattern1" ||
+		Pattern2.String() != "pattern2" || CoarseFine.String() != "coarse-fine" {
+		t.Error("PlanKind.String wrong")
+	}
+	if PlanKind(9).String() == "" {
+		t.Error("default String empty")
+	}
+}

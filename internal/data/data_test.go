@@ -1,0 +1,272 @@
+package data
+
+import (
+	"testing"
+)
+
+func TestBlobsShape(t *testing.T) {
+	ds, err := Blobs(300, 3, 5, 0.5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ds.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if ds.Len() != 300 || ds.Classes != 3 || len(ds.X[0]) != 5 {
+		t.Errorf("shape wrong: len=%d classes=%d dim=%d", ds.Len(), ds.Classes, len(ds.X[0]))
+	}
+	// Balanced classes by construction.
+	counts := make([]int, 3)
+	for _, y := range ds.Y {
+		counts[y]++
+	}
+	for c, n := range counts {
+		if n != 100 {
+			t.Errorf("class %d count = %d, want 100", c, n)
+		}
+	}
+}
+
+func TestBlobsDeterministic(t *testing.T) {
+	a, err := Blobs(50, 2, 3, 0.5, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Blobs(50, 2, 3, 0.5, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.X {
+		for j := range a.X[i] {
+			if a.X[i][j] != b.X[i][j] {
+				t.Fatal("same seed produced different data")
+			}
+		}
+	}
+	c, err := Blobs(50, 2, 3, 0.5, 43)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range a.X {
+		for j := range a.X[i] {
+			if a.X[i][j] != c.X[i][j] {
+				same = false
+			}
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical data")
+	}
+}
+
+func TestBlobsErrors(t *testing.T) {
+	if _, err := Blobs(1, 2, 3, 0.5, 0); err == nil {
+		t.Error("n < classes should fail")
+	}
+	if _, err := Blobs(10, 1, 3, 0.5, 0); err == nil {
+		t.Error("classes < 2 should fail")
+	}
+	if _, err := Blobs(10, 2, 0, 0.5, 0); err == nil {
+		t.Error("dim < 1 should fail")
+	}
+	if _, err := Blobs(10, 2, 3, 0, 0); err == nil {
+		t.Error("spread <= 0 should fail")
+	}
+}
+
+func TestSplit(t *testing.T) {
+	ds, err := Blobs(100, 2, 3, 0.5, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	train, test, err := ds.Split(0.7, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if train.Len() != 70 || test.Len() != 30 {
+		t.Errorf("split sizes = %d/%d", train.Len(), test.Len())
+	}
+	// No example lost or duplicated: total multiset of labels preserved.
+	sum := 0
+	for _, y := range ds.Y {
+		sum += y
+	}
+	sum2 := 0
+	for _, y := range train.Y {
+		sum2 += y
+	}
+	for _, y := range test.Y {
+		sum2 += y
+	}
+	if sum != sum2 {
+		t.Error("split lost or duplicated examples")
+	}
+	// Deterministic given seed.
+	train2, _, err := ds.Split(0.7, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range train.Y {
+		if train.Y[i] != train2.Y[i] {
+			t.Fatal("same-seed split differs")
+		}
+	}
+}
+
+func TestSplitErrors(t *testing.T) {
+	ds, _ := Blobs(10, 2, 2, 0.5, 0)
+	if _, _, err := ds.Split(0, 0); err == nil {
+		t.Error("frac 0 should fail")
+	}
+	if _, _, err := ds.Split(1, 0); err == nil {
+		t.Error("frac 1 should fail")
+	}
+	small, _ := Blobs(2, 2, 2, 0.5, 0)
+	if _, _, err := small.Split(0.01, 0); err == nil {
+		t.Error("empty-side split should fail")
+	}
+}
+
+func TestSubset(t *testing.T) {
+	ds, _ := Blobs(20, 2, 2, 0.5, 0)
+	sub, err := ds.Subset(5)
+	if err != nil || sub.Len() != 5 {
+		t.Errorf("Subset = %v, %v", sub.Len(), err)
+	}
+	if _, err := ds.Subset(0); err == nil {
+		t.Error("subset 0 should fail")
+	}
+	if _, err := ds.Subset(21); err == nil {
+		t.Error("oversized subset should fail")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	bad := &Dataset{X: [][]float64{{1}}, Y: []int{0, 1}, Classes: 2}
+	if err := bad.Validate(); err == nil {
+		t.Error("row/label mismatch should fail")
+	}
+	bad = &Dataset{X: [][]float64{{1}, {2, 3}}, Y: []int{0, 1}, Classes: 2}
+	if err := bad.Validate(); err == nil {
+		t.Error("ragged rows should fail")
+	}
+	bad = &Dataset{X: [][]float64{{1}}, Y: []int{5}, Classes: 2}
+	if err := bad.Validate(); err == nil {
+		t.Error("out-of-range label should fail")
+	}
+	bad = &Dataset{Classes: 2}
+	if err := bad.Validate(); err == nil {
+		t.Error("empty dataset should fail")
+	}
+	bad = &Dataset{X: [][]float64{{1}}, Y: []int{0}, Classes: 1}
+	if err := bad.Validate(); err == nil {
+		t.Error("single class should fail")
+	}
+}
+
+func TestEmotionCorpus(t *testing.T) {
+	ds, err := EmotionCorpus(2000, DefaultEmotionConfig(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ds.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if ds.Classes != 4 {
+		t.Errorf("classes = %d, want 4", ds.Classes)
+	}
+	// Skew: Others (class 3) must be the largest class.
+	counts := make([]int, 4)
+	for _, y := range ds.Y {
+		counts[y]++
+	}
+	for c := 0; c < 3; c++ {
+		if counts[3] <= counts[c] {
+			t.Errorf("Others (%d) not the majority vs class %d (%d)", counts[3], c, counts[c])
+		}
+	}
+	// Count features are non-negative and documents are non-empty.
+	for i, x := range ds.X {
+		total := 0.0
+		for _, v := range x {
+			if v < 0 {
+				t.Fatalf("negative count at doc %d", i)
+			}
+			total += v
+		}
+		if total == 0 {
+			t.Fatalf("empty document %d", i)
+		}
+	}
+}
+
+func TestEmotionCorpusDeterministic(t *testing.T) {
+	a, err := EmotionCorpus(100, DefaultEmotionConfig(), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := EmotionCorpus(100, DefaultEmotionConfig(), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Y {
+		if a.Y[i] != b.Y[i] {
+			t.Fatal("same-seed corpus differs")
+		}
+	}
+}
+
+func TestEmotionCorpusErrors(t *testing.T) {
+	cfg := DefaultEmotionConfig()
+	if _, err := EmotionCorpus(2, cfg, 0); err == nil {
+		t.Error("tiny corpus should fail")
+	}
+	bad := cfg
+	bad.Vocab = 3
+	if _, err := EmotionCorpus(100, bad, 0); err == nil {
+		t.Error("tiny vocab should fail")
+	}
+	bad = cfg
+	bad.DocLen = 0
+	if _, err := EmotionCorpus(100, bad, 0); err == nil {
+		t.Error("doc len 0 should fail")
+	}
+	bad = cfg
+	bad.Overlap = 1
+	if _, err := EmotionCorpus(100, bad, 0); err == nil {
+		t.Error("overlap 1 should fail")
+	}
+	bad = cfg
+	bad.OthersBias = -0.1
+	if _, err := EmotionCorpus(100, bad, 0); err == nil {
+		t.Error("negative bias should fail")
+	}
+}
+
+func TestCumulativeSampling(t *testing.T) {
+	// The corpus generator's word sampler must respect the distribution:
+	// with overlap 0 almost all words of a class-c document come from the
+	// class's own vocabulary slice.
+	cfg := EmotionConfig{Vocab: 400, DocLen: 50, Overlap: 0, OthersBias: 0}
+	ds, err := EmotionCorpus(400, cfg, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slice := cfg.Vocab / 4
+	for i, x := range ds.X {
+		c := ds.Y[i]
+		inSlice, total := 0.0, 0.0
+		for v, cnt := range x {
+			total += cnt
+			if v >= c*slice && v < (c+1)*slice {
+				inSlice += cnt
+			}
+		}
+		// Own-slice words carry weight 1.0 vs 0.1 background (both
+		// perturbed), so ~70%+ of tokens should land in the slice.
+		if inSlice/total < 0.5 {
+			t.Fatalf("doc %d (class %d): only %.2f in-class mass", i, c, inSlice/total)
+		}
+	}
+}

@@ -1,0 +1,85 @@
+package data
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Stream is an unbounded, deterministic example source — the stand-in for
+// the paper's "infinite MNIST" (Bottou): active labeling and testset
+// rotation both assume fresh samples from a stationary distribution are
+// cheap to draw, and Stream provides exactly that. Examples are generated
+// on demand; Take(n) consumes the next n.
+type Stream struct {
+	name    string
+	classes int
+	gen     func(rng *rand.Rand, class int) []float64
+	rng     *rand.Rand
+	drawn   int
+}
+
+// NewStream builds a stream over `classes` labels whose feature vectors
+// come from gen (invoked with a per-stream RNG and the example's class).
+func NewStream(name string, classes int, seed int64, gen func(rng *rand.Rand, class int) []float64) (*Stream, error) {
+	if classes < 2 {
+		return nil, fmt.Errorf("data: need >= 2 classes, got %d", classes)
+	}
+	if gen == nil {
+		return nil, fmt.Errorf("data: nil generator")
+	}
+	return &Stream{
+		name:    name,
+		classes: classes,
+		gen:     gen,
+		rng:     rand.New(rand.NewSource(seed)),
+	}, nil
+}
+
+// NewBlobStream is a convenience Stream over Gaussian class blobs, matching
+// the Blobs dataset generator.
+func NewBlobStream(classes, dim int, spread float64, seed int64) (*Stream, error) {
+	if dim < 1 || spread <= 0 {
+		return nil, fmt.Errorf("data: invalid blob stream dim=%d spread=%v", dim, spread)
+	}
+	centers := make([][]float64, classes)
+	centerRng := rand.New(rand.NewSource(seed))
+	for c := range centers {
+		centers[c] = make([]float64, dim)
+		for j := range centers[c] {
+			centers[c][j] = centerRng.NormFloat64() * 2
+		}
+	}
+	return NewStream("blob-stream", classes, seed+1, func(rng *rand.Rand, class int) []float64 {
+		x := make([]float64, dim)
+		for j := range x {
+			x[j] = centers[class][j] + rng.NormFloat64()*spread
+		}
+		return x
+	})
+}
+
+// Drawn returns how many examples the stream has produced.
+func (s *Stream) Drawn() int { return s.drawn }
+
+// Next produces one labeled example.
+func (s *Stream) Next() (x []float64, y int) {
+	y = s.rng.Intn(s.classes)
+	x = s.gen(s.rng, y)
+	s.drawn++
+	return x, y
+}
+
+// Take materializes the next n examples as a Dataset (e.g. a fresh testset
+// for rotation).
+func (s *Stream) Take(n int) (*Dataset, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("data: take %d", n)
+	}
+	ds := &Dataset{Name: s.name, Classes: s.classes}
+	for i := 0; i < n; i++ {
+		x, y := s.Next()
+		ds.X = append(ds.X, x)
+		ds.Y = append(ds.Y, y)
+	}
+	return ds, nil
+}

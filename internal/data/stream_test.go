@@ -1,0 +1,106 @@
+package data
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestStreamProducesValidDatasets(t *testing.T) {
+	s, err := NewBlobStream(3, 4, 0.5, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := s.Take(300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ds.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if ds.Len() != 300 || s.Drawn() != 300 {
+		t.Errorf("len=%d drawn=%d", ds.Len(), s.Drawn())
+	}
+	// Successive takes are fresh draws, not repeats.
+	ds2, err := s.Take(300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range ds.X {
+		for j := range ds.X[i] {
+			if ds.X[i][j] != ds2.X[i][j] {
+				same = false
+			}
+		}
+	}
+	if same {
+		t.Error("stream repeated itself")
+	}
+	if s.Drawn() != 600 {
+		t.Errorf("drawn = %d", s.Drawn())
+	}
+}
+
+func TestStreamDeterministicAcrossInstances(t *testing.T) {
+	a, err := NewBlobStream(2, 3, 0.5, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewBlobStream(2, 3, 0.5, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		xa, ya := a.Next()
+		xb, yb := b.Next()
+		if ya != yb {
+			t.Fatal("labels diverged")
+		}
+		for j := range xa {
+			if xa[j] != xb[j] {
+				t.Fatal("features diverged")
+			}
+		}
+	}
+}
+
+func TestStreamValidation(t *testing.T) {
+	if _, err := NewStream("x", 1, 0, func(*rand.Rand, int) []float64 { return nil }); err == nil {
+		t.Error("classes < 2 should fail")
+	}
+	if _, err := NewStream("x", 2, 0, nil); err == nil {
+		t.Error("nil generator should fail")
+	}
+	if _, err := NewBlobStream(2, 0, 0.5, 0); err == nil {
+		t.Error("dim 0 should fail")
+	}
+	if _, err := NewBlobStream(2, 2, 0, 0); err == nil {
+		t.Error("spread 0 should fail")
+	}
+	s, _ := NewBlobStream(2, 2, 0.5, 0)
+	if _, err := s.Take(0); err == nil {
+		t.Error("take 0 should fail")
+	}
+}
+
+func TestStreamFeedsTestsetRotation(t *testing.T) {
+	// The workflow the stream exists for: draw a testset, spend it, draw a
+	// fresh one. Class balance should be roughly uniform.
+	s, err := NewBlobStream(4, 2, 0.5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := s.Take(4000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int, 4)
+	for _, y := range ds.Y {
+		counts[y]++
+	}
+	for c, n := range counts {
+		if n < 800 || n > 1200 {
+			t.Errorf("class %d count = %d, want ~1000", c, n)
+		}
+	}
+}

@@ -1,0 +1,139 @@
+// Package drift implements the concept-drift monitor the paper sketches as
+// the dual of continuous integration (Section 2.2, Discussion): instead of
+// fixing the testset and testing a stream of models, fix one deployed model
+// and test its quality over a stream of fresh labeled windows. The same
+// (epsilon, delta) machinery sizes the windows and classifies each one as
+// OK, DRIFT, or UNKNOWN with the same rigor as a CI decision.
+package drift
+
+import (
+	"fmt"
+
+	"github.com/easeml/ci/internal/bounds"
+	"github.com/easeml/ci/internal/interval"
+)
+
+// Config parameterizes a drift monitor.
+type Config struct {
+	// ReferenceAccuracy is the model's accuracy certified at deployment.
+	ReferenceAccuracy float64
+	// MaxDrop is how far accuracy may degrade before it counts as drift.
+	MaxDrop float64
+	// Epsilon is the estimation tolerance per window.
+	Epsilon float64
+	// Delta is the failure budget across all windows.
+	Delta float64
+	// Windows is the number of monitoring windows the budget must cover
+	// (the monitoring analogue of steps).
+	Windows int
+}
+
+// Verdict classifies one monitoring window.
+type Verdict int
+
+const (
+	// OK: accuracy is provably above the drift threshold.
+	OK Verdict = iota
+	// Drift: accuracy is provably below the threshold.
+	Drift
+	// Unknown: the window cannot distinguish the two at this tolerance.
+	Unknown
+)
+
+// String implements fmt.Stringer.
+func (v Verdict) String() string {
+	switch v {
+	case OK:
+		return "OK"
+	case Drift:
+		return "DRIFT"
+	case Unknown:
+		return "UNKNOWN"
+	default:
+		return fmt.Sprintf("Verdict(%d)", int(v))
+	}
+}
+
+// Monitor watches a fixed model over labeled windows.
+type Monitor struct {
+	cfg       Config
+	windowN   int
+	threshold float64
+	history   []Verdict
+}
+
+// New validates the configuration and sizes the per-window sample
+// requirement with the one-sided Hoeffding bound at delta/Windows (the
+// non-adaptive union bound: windows do not feed back into the model).
+func New(cfg Config) (*Monitor, error) {
+	if !(cfg.ReferenceAccuracy > 0 && cfg.ReferenceAccuracy <= 1) {
+		return nil, fmt.Errorf("drift: reference accuracy %v outside (0,1]", cfg.ReferenceAccuracy)
+	}
+	if !(cfg.MaxDrop > 0 && cfg.MaxDrop < cfg.ReferenceAccuracy) {
+		return nil, fmt.Errorf("drift: max drop %v must be in (0, reference)", cfg.MaxDrop)
+	}
+	if cfg.Windows < 1 {
+		return nil, fmt.Errorf("drift: windows must be >= 1, got %d", cfg.Windows)
+	}
+	if !(cfg.Delta > 0 && cfg.Delta < 1) {
+		return nil, fmt.Errorf("drift: delta must be in (0,1), got %v", cfg.Delta)
+	}
+	n, err := bounds.HoeffdingSampleSize(1, cfg.Epsilon, cfg.Delta/float64(cfg.Windows))
+	if err != nil {
+		return nil, err
+	}
+	return &Monitor{
+		cfg:       cfg,
+		windowN:   n,
+		threshold: cfg.ReferenceAccuracy - cfg.MaxDrop,
+	}, nil
+}
+
+// WindowSize returns the number of labeled examples each window needs.
+func (m *Monitor) WindowSize() int { return m.windowN }
+
+// Threshold returns the accuracy below which the model counts as drifted.
+func (m *Monitor) Threshold() float64 { return m.threshold }
+
+// Observe classifies one window given the model's predictions and the
+// window's labels. It consumes one unit of the monitoring budget.
+func (m *Monitor) Observe(preds, labels []int) (Verdict, error) {
+	if len(m.history) >= m.cfg.Windows {
+		return Unknown, fmt.Errorf("drift: monitoring budget (%d windows) exhausted; recertify the model", m.cfg.Windows)
+	}
+	if len(preds) != len(labels) {
+		return Unknown, fmt.Errorf("drift: %d predictions vs %d labels", len(preds), len(labels))
+	}
+	if len(preds) < m.windowN {
+		return Unknown, fmt.Errorf("drift: window has %d examples, need %d", len(preds), m.windowN)
+	}
+	correct := 0
+	for i := range preds {
+		if preds[i] == labels[i] {
+			correct++
+		}
+	}
+	acc := float64(correct) / float64(len(preds))
+	iv := interval.Around(acc, m.cfg.Epsilon)
+	var v Verdict
+	switch iv.GreaterThan(m.threshold) {
+	case interval.True:
+		v = OK
+	case interval.False:
+		v = Drift
+	default:
+		v = Unknown
+	}
+	m.history = append(m.history, v)
+	return v, nil
+}
+
+// History returns the verdicts observed so far.
+func (m *Monitor) History() []Verdict {
+	out := make([]Verdict, len(m.history))
+	copy(out, m.history)
+	return out
+}
+
+// Remaining returns how many windows the budget still covers.
+func (m *Monitor) Remaining() int { return m.cfg.Windows - len(m.history) }

@@ -1,0 +1,153 @@
+package drift
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func validConfig() Config {
+	return Config{
+		ReferenceAccuracy: 0.9,
+		MaxDrop:           0.05,
+		Epsilon:           0.02,
+		Delta:             0.01,
+		Windows:           12,
+	}
+}
+
+func window(acc float64, n int, seed int64) (preds, labels []int) {
+	rng := rand.New(rand.NewSource(seed))
+	preds = make([]int, n)
+	labels = make([]int, n)
+	for i := range labels {
+		labels[i] = rng.Intn(4)
+		if rng.Float64() < acc {
+			preds[i] = labels[i]
+		} else {
+			preds[i] = (labels[i] + 1) % 4
+		}
+	}
+	return preds, labels
+}
+
+func TestMonitorClassifiesWindows(t *testing.T) {
+	m, err := New(validConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := m.WindowSize()
+	if n < 1000 {
+		t.Fatalf("window size %d suspiciously small", n)
+	}
+	// Healthy window: accuracy 0.9 >> threshold 0.85 + eps.
+	preds, labels := window(0.90, n, 1)
+	v, err := m.Observe(preds, labels)
+	if err != nil || v != OK {
+		t.Errorf("healthy window = %v, %v", v, err)
+	}
+	// Drifted window: accuracy 0.7 << threshold - eps.
+	preds, labels = window(0.70, n, 2)
+	v, err = m.Observe(preds, labels)
+	if err != nil || v != Drift {
+		t.Errorf("drifted window = %v, %v", v, err)
+	}
+	// Borderline window: accuracy at the threshold.
+	preds, labels = window(0.85, n, 3)
+	v, err = m.Observe(preds, labels)
+	if err != nil || v != Unknown {
+		t.Errorf("borderline window = %v, %v", v, err)
+	}
+	if len(m.History()) != 3 || m.Remaining() != 9 {
+		t.Errorf("bookkeeping: history=%d remaining=%d", len(m.History()), m.Remaining())
+	}
+}
+
+func TestMonitorBudget(t *testing.T) {
+	cfg := validConfig()
+	cfg.Windows = 2
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	preds, labels := window(0.9, m.WindowSize(), 1)
+	for i := 0; i < 2; i++ {
+		if _, err := m.Observe(preds, labels); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := m.Observe(preds, labels); err == nil {
+		t.Error("exhausted monitor must refuse windows")
+	}
+}
+
+func TestMonitorWindowValidation(t *testing.T) {
+	m, err := New(validConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	preds, labels := window(0.9, m.WindowSize(), 1)
+	if _, err := m.Observe(preds[:10], labels[:10]); err == nil {
+		t.Error("undersized window should fail")
+	}
+	if _, err := m.Observe(preds, labels[:len(labels)-1]); err == nil {
+		t.Error("length mismatch should fail")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := validConfig()
+	bad.ReferenceAccuracy = 0
+	if _, err := New(bad); err == nil {
+		t.Error("zero reference should fail")
+	}
+	bad = validConfig()
+	bad.MaxDrop = 0
+	if _, err := New(bad); err == nil {
+		t.Error("zero drop should fail")
+	}
+	bad = validConfig()
+	bad.MaxDrop = 0.95
+	if _, err := New(bad); err == nil {
+		t.Error("drop above reference should fail")
+	}
+	bad = validConfig()
+	bad.Windows = 0
+	if _, err := New(bad); err == nil {
+		t.Error("zero windows should fail")
+	}
+	bad = validConfig()
+	bad.Delta = 0
+	if _, err := New(bad); err == nil {
+		t.Error("zero delta should fail")
+	}
+	bad = validConfig()
+	bad.Epsilon = 0
+	if _, err := New(bad); err == nil {
+		t.Error("zero epsilon should fail")
+	}
+}
+
+func TestVerdictString(t *testing.T) {
+	if OK.String() != "OK" || Drift.String() != "DRIFT" || Unknown.String() != "UNKNOWN" {
+		t.Error("Verdict.String wrong")
+	}
+	if Verdict(9).String() == "" {
+		t.Error("default String empty")
+	}
+}
+
+func TestThresholdAndHistoryIsolation(t *testing.T) {
+	m, _ := New(validConfig())
+	if m.Threshold() != 0.85 {
+		t.Errorf("threshold = %v", m.Threshold())
+	}
+	preds, labels := window(0.9, m.WindowSize(), 1)
+	if _, err := m.Observe(preds, labels); err != nil {
+		t.Fatal(err)
+	}
+	h := m.History()
+	h[0] = Drift
+	if m.History()[0] != OK {
+		t.Error("History leaked internal state")
+	}
+}

@@ -1,0 +1,247 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/easeml/ci/internal/condlang"
+	"github.com/easeml/ci/internal/core"
+	"github.com/easeml/ci/internal/data"
+	"github.com/easeml/ci/internal/evaluator"
+	"github.com/easeml/ci/internal/interval"
+	"github.com/easeml/ci/internal/labeling"
+	"github.com/easeml/ci/internal/model"
+	"github.com/easeml/ci/internal/notify"
+	"github.com/easeml/ci/internal/script"
+)
+
+// ErrNeedNewTestset is returned by Commit when the installed testset's
+// statistical budget is spent; install a fresh one with RotateTestset.
+var ErrNeedNewTestset = errors.New("engine: testset budget exhausted; rotate in a new testset")
+
+// Commit evaluates a newly committed model and returns the result. The
+// evaluation consumes one unit of the testset's statistical budget.
+func (e *Engine) Commit(m model.Predictor, author, message string) (Result, error) {
+	if m == nil {
+		return Result{}, fmt.Errorf("engine: nil model")
+	}
+	if !e.tsm.CanEvaluate() {
+		return Result{}, ErrNeedNewTestset
+	}
+	ts := e.tsm.Current()
+	newPreds, err := model.PredictAll(m, ts.Data)
+	if err != nil {
+		return Result{}, err
+	}
+
+	truth, estimates, freshLabels, err := e.evaluateCondition(newPreds)
+	if err != nil {
+		return Result{}, err
+	}
+	e.costs.Charge(freshLabels)
+	pass := e.cfg.Mode.Collapse(truth)
+
+	event, err := e.tsm.Record(pass)
+	if err != nil {
+		return Result{}, err
+	}
+
+	commit, err := e.repo.Append(author, message, m.Name(), map[string]string{
+		"testset-generation": fmt.Sprint(ts.Generation),
+	})
+	if err != nil {
+		return Result{}, err
+	}
+
+	res := Result{
+		Commit:         commit,
+		Step:           event.Step,
+		Generation:     ts.Generation,
+		Estimates:      estimates,
+		Truth:          truth,
+		Pass:           pass,
+		Promoted:       pass,
+		NeedNewTestset: event.NeedNewTestset,
+		FreshLabels:    freshLabels,
+	}
+
+	// Signal routing per adaptivity mode (Section 2.2).
+	switch e.cfg.Adaptivity.Kind {
+	case script.AdaptivityNone:
+		// The developer always sees "accepted"; the truth goes to the
+		// third-party address.
+		res.Signal = true
+		if err := e.notifier.Send(notify.Notification{
+			Kind:    notify.KindResult,
+			To:      e.cfg.Adaptivity.Email,
+			Subject: fmt.Sprintf("ease.ml/ci result for commit %s", commit.ID),
+			Body:    fmt.Sprintf("model %q step %d: truth=%s pass=%v", m.Name(), res.Step, truth, pass),
+		}); err != nil {
+			return Result{}, err
+		}
+	default: // full, firstChange: release the real signal.
+		res.Signal = pass
+	}
+
+	if event.NeedNewTestset {
+		if err := e.notifier.Send(notify.Notification{
+			Kind:    notify.KindAlarm,
+			To:      "integration-team",
+			Subject: "ease.ml/ci: new testset required",
+			Body:    event.Reason,
+		}); err != nil {
+			return Result{}, err
+		}
+	}
+
+	// Promotion: a commit whose true outcome is pass becomes the baseline
+	// the next commit is compared against.
+	if pass {
+		e.active = newPreds
+		e.activeName = m.Name()
+	}
+	e.history = append(e.history, res)
+	return res, nil
+}
+
+// RotateTestset installs fresh data as the next-generation testset together
+// with its oracle, recomputes the baseline predictions, and returns the
+// retired testset (now releasable to the development team as a validation
+// set).
+func (e *Engine) RotateTestset(next *data.Dataset, oracle labeling.Oracle, activeModel model.Predictor) error {
+	if oracle == nil {
+		return fmt.Errorf("engine: nil oracle")
+	}
+	if activeModel == nil {
+		return fmt.Errorf("engine: the active model must be re-supplied to rotate (its predictions are testset-specific)")
+	}
+	if e.plan.LabeledN > 0 && next.Len() < e.plan.LabeledN {
+		return fmt.Errorf("engine: new testset has %d examples but the plan requires %d", next.Len(), e.plan.LabeledN)
+	}
+	if _, err := e.tsm.Rotate(next); err != nil {
+		return err
+	}
+	e.oracle = oracle
+	return e.setActive(activeModel)
+}
+
+// evaluateCondition measures the condition variables on the current testset
+// and returns the three-valued outcome, spending oracle labels as the plan
+// allows.
+func (e *Engine) evaluateCondition(newPreds []int) (interval.Truth, map[condlang.Var]float64, int, error) {
+	switch e.plan.Kind {
+	case core.Pattern1, core.Pattern2:
+		return e.evaluateActiveLabeling(newPreds)
+	default:
+		return e.evaluateFullyLabeled(newPreds)
+	}
+}
+
+// evaluateFullyLabeled is the baseline path: every label is revealed and
+// the three variables are measured directly.
+func (e *Engine) evaluateFullyLabeled(newPreds []int) (interval.Truth, map[condlang.Var]float64, int, error) {
+	ts := e.tsm.Current()
+	labels := make([]int, ts.Len())
+	fresh := 0
+	for i := range labels {
+		y, isFresh, err := e.revealLabel(i)
+		if err != nil {
+			return interval.Unknown, nil, 0, err
+		}
+		labels[i] = y
+		if isFresh {
+			fresh++
+		}
+	}
+	est, err := evaluator.Measure(e.active, newPreds, labels)
+	if err != nil {
+		return interval.Unknown, nil, 0, err
+	}
+	truth, err := evaluator.EvalFormula(e.cfg.Condition, est)
+	if err != nil {
+		return interval.Unknown, nil, 0, err
+	}
+	return truth, est.Values, fresh, nil
+}
+
+// evaluateActiveLabeling is the optimized path (Sections 4.1.2 / 4.2):
+// d needs no labels, and the n-o clause is measured by labeling only the
+// examples where the old and new models disagree.
+func (e *Engine) evaluateActiveLabeling(newPreds []int) (interval.Truth, map[condlang.Var]float64, int, error) {
+	ts := e.tsm.Current()
+	n := ts.Len()
+	diff := 0
+	for i := 0; i < n; i++ {
+		if e.active[i] != newPreds[i] {
+			diff++
+		}
+	}
+	dHat := float64(diff) / float64(n)
+	estimates := map[condlang.Var]float64{condlang.VarD: dHat}
+
+	truth := interval.True
+	fresh := 0
+	for _, clause := range e.cfg.Condition.Clauses {
+		lf, err := condlang.Linearize(clause.Expr)
+		if err != nil {
+			return interval.Unknown, nil, 0, err
+		}
+		var t interval.Truth
+		switch {
+		case len(lf.Coef) == 1 && lf.Coef[condlang.VarD] == 1:
+			t, err = evaluator.EvalClauseLHS(clause, dHat, clause.Tolerance)
+			if err != nil {
+				return interval.Unknown, nil, 0, err
+			}
+		case len(lf.Coef) == 2 && lf.Coef[condlang.VarN] == 1 && lf.Coef[condlang.VarO] == -1:
+			// Measure n - o over disagreements only: agreements contribute 0.
+			sum := 0
+			for i := 0; i < n; i++ {
+				if e.active[i] == newPreds[i] {
+					continue
+				}
+				y, isFresh, err := e.revealLabel(i)
+				if err != nil {
+					return interval.Unknown, nil, 0, err
+				}
+				if isFresh {
+					fresh++
+				}
+				if newPreds[i] == y {
+					sum++
+				}
+				if e.active[i] == y {
+					sum--
+				}
+			}
+			lhs := float64(sum) / float64(n)
+			t, err = evaluator.EvalClauseLHS(clause, lhs, clause.Tolerance)
+			if err != nil {
+				return interval.Unknown, nil, 0, err
+			}
+		default:
+			return interval.Unknown, nil, 0, fmt.Errorf("engine: pattern plan cannot evaluate clause %q", clause)
+		}
+		truth = truth.And(t)
+	}
+	return truth, estimates, fresh, nil
+}
+
+// revealLabel pays for one label through the oracle, cross-checking it
+// against the testset's ground truth bookkeeping.
+func (e *Engine) revealLabel(i int) (int, bool, error) {
+	ts := e.tsm.Current()
+	fresh := !ts.Revealed(i)
+	y, err := e.oracle.Label(i)
+	if err != nil {
+		return 0, false, err
+	}
+	stored, _, err := ts.Reveal(i)
+	if err != nil {
+		return 0, false, err
+	}
+	if stored != y {
+		return 0, false, fmt.Errorf("engine: oracle label %d disagrees with testset ground truth %d at example %d", y, stored, i)
+	}
+	return y, fresh, nil
+}

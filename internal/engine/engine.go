@@ -1,0 +1,165 @@
+// Package engine is the continuous-integration loop of ease.ml/ci
+// (Figure 1 of the paper): it accepts model commits, evaluates the script's
+// condition on the managed testset at the planned reliability, routes the
+// pass/fail signal according to the adaptivity mode, spends labeling budget
+// through the oracle (actively, when a pattern plan allows it), fires the
+// new-testset alarm, and promotes passing models to be the new baseline.
+package engine
+
+import (
+	"fmt"
+
+	"github.com/easeml/ci/internal/adaptivity"
+	"github.com/easeml/ci/internal/condlang"
+	"github.com/easeml/ci/internal/core"
+	"github.com/easeml/ci/internal/data"
+	"github.com/easeml/ci/internal/interval"
+	"github.com/easeml/ci/internal/labeling"
+	"github.com/easeml/ci/internal/model"
+	"github.com/easeml/ci/internal/notify"
+	"github.com/easeml/ci/internal/repository"
+	"github.com/easeml/ci/internal/script"
+	"github.com/easeml/ci/internal/testset"
+)
+
+// Result is the outcome of one commit's evaluation.
+type Result struct {
+	// Commit records the repository entry for the model.
+	Commit repository.Commit
+	// Step is the 1-based evaluation index on the current testset.
+	Step int
+	// Generation is the testset generation the commit was tested on.
+	Generation int
+	// Estimates holds the measured n/o/d point estimates that were
+	// available (n and o are absent under active labeling).
+	Estimates map[condlang.Var]float64
+	// Truth is the three-valued evaluation of the condition.
+	Truth interval.Truth
+	// Pass is the true outcome after mode collapse.
+	Pass bool
+	// Signal is what the developer sees. In the non-adaptive mode every
+	// commit signals accepted; the truth goes to the third-party address.
+	Signal bool
+	// Promoted reports whether the model became the new baseline.
+	Promoted bool
+	// NeedNewTestset mirrors the ledger alarm.
+	NeedNewTestset bool
+	// FreshLabels is the number of new oracle labels paid for by this
+	// commit.
+	FreshLabels int
+}
+
+// Engine drives the CI loop for one script.
+type Engine struct {
+	cfg      *script.Config
+	plan     *core.Plan
+	tsm      *testset.Manager
+	oracle   labeling.Oracle
+	costs    *labeling.Ledger
+	notifier notify.Notifier
+	repo     *repository.Store
+
+	// active holds the current baseline ("old") model's predictions on the
+	// current testset.
+	active     []int
+	activeName string
+	history    []Result
+}
+
+// Options configures engine construction.
+type Options struct {
+	// Planner tunes the core planner.
+	Planner core.Options
+	// InitialModel is H0, the deployed baseline the first commit is
+	// compared against.
+	InitialModel model.Predictor
+	// Notifier receives third-party results and alarms; defaults to an
+	// in-memory outbox when nil.
+	Notifier notify.Notifier
+}
+
+// New builds an engine for a validated script over the given first testset.
+// The oracle answers label queries against that testset's examples.
+func New(cfg *script.Config, first *data.Dataset, oracle labeling.Oracle, opts Options) (*Engine, error) {
+	if cfg == nil {
+		return nil, fmt.Errorf("engine: nil config")
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if oracle == nil {
+		return nil, fmt.Errorf("engine: nil oracle")
+	}
+	if opts.InitialModel == nil {
+		return nil, fmt.Errorf("engine: an initial (old) model is required")
+	}
+	plan, err := core.PlanForConfig(cfg, opts.Planner)
+	if err != nil {
+		return nil, err
+	}
+	if plan.LabeledN > 0 && first.Len() < plan.LabeledN {
+		return nil, fmt.Errorf("engine: testset has %d examples but the plan requires %d", first.Len(), plan.LabeledN)
+	}
+	kind, err := adaptivity.FromScript(cfg.Adaptivity.Kind)
+	if err != nil {
+		return nil, err
+	}
+	tsm, err := testset.NewManager(kind, cfg.Steps, first)
+	if err != nil {
+		return nil, err
+	}
+	notifier := opts.Notifier
+	if notifier == nil {
+		notifier = notify.NewOutbox()
+	}
+	eng := &Engine{
+		cfg:      cfg,
+		plan:     plan,
+		tsm:      tsm,
+		oracle:   oracle,
+		costs:    &labeling.Ledger{},
+		notifier: notifier,
+		repo:     repository.NewStore(),
+	}
+	if err := eng.setActive(opts.InitialModel); err != nil {
+		return nil, err
+	}
+	return eng, nil
+}
+
+// Plan exposes the labeling plan the engine runs under.
+func (e *Engine) Plan() *core.Plan { return e.plan }
+
+// Config exposes the script configuration.
+func (e *Engine) Config() *script.Config { return e.cfg }
+
+// Testsets exposes the testset manager.
+func (e *Engine) Testsets() *testset.Manager { return e.tsm }
+
+// Repository exposes the commit store.
+func (e *Engine) Repository() *repository.Store { return e.repo }
+
+// History returns all evaluation results so far.
+func (e *Engine) History() []Result {
+	out := make([]Result, len(e.history))
+	copy(out, e.history)
+	return out
+}
+
+// LabelCost returns the cumulative labeling ledger.
+func (e *Engine) LabelCost() *labeling.Ledger { return e.costs }
+
+// ActiveModelName returns the name of the current baseline model.
+func (e *Engine) ActiveModelName() string { return e.activeName }
+
+// setActive computes and installs the baseline predictions for the current
+// testset.
+func (e *Engine) setActive(p model.Predictor) error {
+	preds, err := model.PredictAll(p, e.tsm.Current().Data)
+	if err != nil {
+		return err
+	}
+	e.active = preds
+	e.activeName = p.Name()
+	return nil
+}

@@ -1,0 +1,62 @@
+package estimator
+
+import (
+	"fmt"
+
+	"github.com/easeml/ci/internal/condlang"
+)
+
+// Cheap mode (Section 2.3): "a 'cheap mode', where the number of labels per
+// day is easily reduced by a factor 10x, is achieved for most of the common
+// conditions by increasing the error tolerance by a single or two
+// percentage points." This file implements that trade-off explicitly so the
+// Sample Size Estimator can quote it.
+
+// CheapModeReport compares a formula's cost at its declared tolerances
+// against the same formula with every tolerance widened by extraTolerance.
+type CheapModeReport struct {
+	// Original and Widened are the two formulas.
+	Original, Widened condlang.Formula
+	// OriginalN and WidenedN are the corresponding testset sizes.
+	OriginalN, WidenedN int
+	// Savings is OriginalN / WidenedN.
+	Savings float64
+}
+
+// WidenTolerances returns a copy of the formula with every clause's
+// tolerance increased by extra (e.g. 0.01 for "a single percentage point").
+func WidenTolerances(f condlang.Formula, extra float64) (condlang.Formula, error) {
+	if extra <= 0 {
+		return condlang.Formula{}, fmt.Errorf("estimator: extra tolerance must be positive, got %v", extra)
+	}
+	out := condlang.Formula{Clauses: make([]condlang.Clause, len(f.Clauses))}
+	copy(out.Clauses, f.Clauses)
+	for i := range out.Clauses {
+		out.Clauses[i].Tolerance += extra
+	}
+	return out, nil
+}
+
+// CheapMode quantifies the Section 2.3 trade-off for a formula under the
+// given options.
+func CheapMode(f condlang.Formula, delta, extraTolerance float64, opts Options) (*CheapModeReport, error) {
+	widened, err := WidenTolerances(f, extraTolerance)
+	if err != nil {
+		return nil, err
+	}
+	orig, err := SampleSize(f, delta, opts)
+	if err != nil {
+		return nil, err
+	}
+	wide, err := SampleSize(widened, delta, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &CheapModeReport{
+		Original:  f,
+		Widened:   widened,
+		OriginalN: orig.N,
+		WidenedN:  wide.N,
+		Savings:   float64(orig.N) / float64(wide.N),
+	}, nil
+}

@@ -1,0 +1,57 @@
+package estimator
+
+import (
+	"testing"
+
+	"github.com/easeml/ci/internal/adaptivity"
+)
+
+func TestCheapModePaperClaim(t *testing.T) {
+	// Section 2.3: widening the tolerance by one or two points cuts labels
+	// by ~10x for common conditions. At eps=0.01 -> 0.02 the Hoeffding cost
+	// drops 4x; at 0.01 -> 0.0316 it drops ~10x. Check the 2-point claim
+	// lands in the right ballpark for the F2 condition.
+	f := mustFormula(t, "n - o > 0.02 +/- 0.01")
+	opts := Options{Steps: 32, Adaptivity: adaptivity.None, Strategy: PerVariable}
+	rep, err := CheapMode(f, 0.0001, 0.02, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OriginalN != 267385 {
+		t.Errorf("original N = %d, want Figure 2's 267385", rep.OriginalN)
+	}
+	// (0.03/0.01)^2 = 9x.
+	if rep.Savings < 8.5 || rep.Savings > 9.5 {
+		t.Errorf("savings = %v, want ~9x", rep.Savings)
+	}
+	if rep.Widened.Clauses[0].Tolerance != 0.03 {
+		t.Errorf("widened tolerance = %v", rep.Widened.Clauses[0].Tolerance)
+	}
+	// The original formula must be untouched.
+	if f.Clauses[0].Tolerance != 0.01 {
+		t.Error("CheapMode mutated its input")
+	}
+}
+
+func TestCheapModeSingleVariable(t *testing.T) {
+	f := mustFormula(t, "n > 0.8 +/- 0.01")
+	opts := Options{Steps: 32, Adaptivity: adaptivity.Full, Strategy: PerVariable}
+	rep, err := CheapMode(f, 0.0001, 0.01, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Doubling the tolerance quarters the cost.
+	if rep.Savings < 3.9 || rep.Savings > 4.1 {
+		t.Errorf("savings = %v, want ~4x", rep.Savings)
+	}
+}
+
+func TestWidenTolerancesValidation(t *testing.T) {
+	f := mustFormula(t, "n > 0.8 +/- 0.01")
+	if _, err := WidenTolerances(f, 0); err == nil {
+		t.Error("zero extra should fail")
+	}
+	if _, err := WidenTolerances(f, -0.01); err == nil {
+		t.Error("negative extra should fail")
+	}
+}

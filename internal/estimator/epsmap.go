@@ -1,0 +1,62 @@
+package estimator
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/easeml/ci/internal/bounds"
+	"github.com/easeml/ci/internal/condlang"
+)
+
+// ClauseVarEpsilons returns, for clause i of the plan, the per-variable
+// confidence half-widths achieved by a testset of n examples under the
+// clause's delta budgeting. The map plugs directly into
+// evaluator.VarEstimates.Eps, letting the engine evaluate a clause from
+// per-variable intervals instead of the aggregate clause tolerance —
+// useful when the testset is larger than required and the extra precision
+// should not be thrown away.
+func (p *Plan) ClauseVarEpsilons(i, n int) (map[condlang.Var]float64, error) {
+	if i < 0 || i >= len(p.Clauses) {
+		return nil, fmt.Errorf("estimator: clause index %d out of range [0,%d)", i, len(p.Clauses))
+	}
+	if n <= 0 {
+		return nil, fmt.Errorf("estimator: n must be positive, got %d", n)
+	}
+	cp := p.Clauses[i]
+	if cp.Strategy != PerVariable {
+		return nil, fmt.Errorf("estimator: clause %d was planned with the %v strategy; per-variable epsilons are undefined", i, cp.Strategy)
+	}
+	out := make(map[condlang.Var]float64, len(cp.Allocs))
+	for _, a := range cp.Allocs {
+		// The variable itself is estimated to eps_v = eps_alloc / |coef|;
+		// the evaluator multiplies by |coef| when building the interval.
+		eps, err := bounds.HoeffdingEpsilonLog(a.Var.Range(), n, a.LogInvDelta)
+		if err != nil {
+			return nil, err
+		}
+		out[a.Var] = eps
+	}
+	return out, nil
+}
+
+// AchievedTolerance returns the total confidence half-width clause i
+// reaches on a testset of n examples: sum over |coef_v| * eps_v. At
+// n == plan.N this is at most the clause's declared tolerance.
+func (p *Plan) AchievedTolerance(i, n int) (float64, error) {
+	if i < 0 || i >= len(p.Clauses) {
+		return 0, fmt.Errorf("estimator: clause index %d out of range [0,%d)", i, len(p.Clauses))
+	}
+	cp := p.Clauses[i]
+	if cp.Strategy == CompositeRange {
+		return bounds.HoeffdingEpsilonLog(cp.Linear.Range(), n, cp.LogInvDelta+math.Ln2)
+	}
+	eps, err := p.ClauseVarEpsilons(i, n)
+	if err != nil {
+		return 0, err
+	}
+	total := 0.0
+	for v, e := range eps {
+		total += math.Abs(cp.Linear.Coef[v]) * e
+	}
+	return total, nil
+}

@@ -1,0 +1,102 @@
+package estimator
+
+import (
+	"testing"
+
+	"github.com/easeml/ci/internal/adaptivity"
+	"github.com/easeml/ci/internal/condlang"
+	"github.com/easeml/ci/internal/evaluator"
+	"github.com/easeml/ci/internal/interval"
+)
+
+func TestClauseVarEpsilonsFeedEvaluator(t *testing.T) {
+	f := mustFormula(t, "n - o > 0.02 +/- 0.02")
+	opts := Options{Steps: 8, Adaptivity: adaptivity.None, Strategy: PerVariable, Split: SplitOptimal}
+	plan, err := SampleSize(f, 0.001, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At the planned size, per-variable epsilons reconstruct (at most) the
+	// clause tolerance.
+	eps, err := plan.ClauseVarEpsilons(0, plan.N)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := eps[condlang.VarN] + eps[condlang.VarO]
+	if total > 0.02+1e-9 {
+		t.Errorf("sum of per-variable eps = %v > tolerance 0.02", total)
+	}
+	// Feeding them to the evaluator: a 5-point gap is decisively True with
+	// a double-size testset but the same budget.
+	big := plan.N * 4
+	eps, err = plan.ClauseVarEpsilons(0, big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth, err := evaluator.EvalClause(f.Clauses[0], evaluator.VarEstimates{
+		Values: map[condlang.Var]float64{condlang.VarN: 0.85, condlang.VarO: 0.82},
+		Eps:    eps,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if truth != interval.True {
+		t.Errorf("3-point gap with quadruple testset = %v, want True", truth)
+	}
+}
+
+func TestAchievedTolerance(t *testing.T) {
+	f := mustFormula(t, "n - 1.1 * o > 0.01 +/- 0.01")
+	opts := Options{Steps: 8, Adaptivity: adaptivity.None, Strategy: PerVariable, Split: SplitOptimal}
+	plan, err := SampleSize(f, 0.001, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	at, err := plan.AchievedTolerance(0, plan.N)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if at > 0.01+1e-9 {
+		t.Errorf("achieved tolerance %v > declared 0.01", at)
+	}
+	// More data -> tighter.
+	at4, err := plan.AchievedTolerance(0, 4*plan.N)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if at4 >= at/1.9 {
+		t.Errorf("4x data should halve the tolerance: %v -> %v", at, at4)
+	}
+	// Composite plans report through the composite range.
+	cPlan, err := SampleSize(f, 0.001, Options{Steps: 8, Adaptivity: adaptivity.None, Strategy: CompositeRange})
+	if err != nil {
+		t.Fatal(err)
+	}
+	atC, err := cPlan.AchievedTolerance(0, cPlan.N)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if atC > 0.01+1e-9 {
+		t.Errorf("composite achieved tolerance %v > declared", atC)
+	}
+	if _, err := cPlan.ClauseVarEpsilons(0, cPlan.N); err == nil {
+		t.Error("per-variable epsilons undefined for composite plans")
+	}
+}
+
+func TestEpsMapErrors(t *testing.T) {
+	f := mustFormula(t, "n > 0.5 +/- 0.1")
+	plan, err := SampleSize(f, 0.01, Options{Steps: 1, Adaptivity: adaptivity.None, Strategy: PerVariable})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := plan.ClauseVarEpsilons(5, 100); err == nil {
+		t.Error("bad clause index should fail")
+	}
+	if _, err := plan.ClauseVarEpsilons(0, 0); err == nil {
+		t.Error("n=0 should fail")
+	}
+	if _, err := plan.AchievedTolerance(-1, 100); err == nil {
+		t.Error("negative clause index should fail")
+	}
+}

@@ -1,0 +1,313 @@
+// Package estimator implements the ease.ml/ci Sample Size Estimator
+// (Sections 3.1-3.4 of the paper): given a condition formula, a reliability
+// requirement, and an interaction mode, it computes how many labeled test
+// examples the user must provide, and how the error tolerance and failure
+// probability are allocated across clauses and variables.
+//
+// Two estimation strategies are provided:
+//
+//   - PerVariable (the paper's recursion): each variable in a clause is
+//     estimated independently with the one-sided Hoeffding bound; the
+//     clause's tolerance is split across variables optimally and the failure
+//     budget evenly.
+//   - CompositeRange (the arithmetic of Section 5.2): the clause's affine
+//     expression is treated as a single variable with dynamic range
+//     sum |c_i| r_i, estimated with the two-sided Hoeffding bound. For n-o
+//     the two strategies coincide; for uneven coefficients the composite
+//     form is slightly tighter but requires paired per-example evaluation.
+package estimator
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/easeml/ci/internal/adaptivity"
+	"github.com/easeml/ci/internal/bounds"
+	"github.com/easeml/ci/internal/condlang"
+	"github.com/easeml/ci/internal/script"
+)
+
+// Strategy selects how a clause's expression is estimated.
+type Strategy int
+
+const (
+	// PerVariable estimates each variable separately (the paper's
+	// Section 3.1 recursion).
+	PerVariable Strategy = iota
+	// CompositeRange estimates the whole affine expression as one variable.
+	CompositeRange
+)
+
+// String implements fmt.Stringer.
+func (s Strategy) String() string {
+	switch s {
+	case PerVariable:
+		return "per-variable"
+	case CompositeRange:
+		return "composite-range"
+	default:
+		return fmt.Sprintf("Strategy(%d)", int(s))
+	}
+}
+
+// Split selects how a clause's tolerance epsilon is divided among its
+// variables under the PerVariable strategy.
+type Split int
+
+const (
+	// SplitOptimal allocates epsilon_i proportional to |c_i| r_i, which
+	// minimizes the max per-variable sample size (the closed-form solution
+	// of the paper's Section 3.1 optimization problem).
+	SplitOptimal Split = iota
+	// SplitEven allocates epsilon_i = epsilon / m; kept for the ablation
+	// benchmark.
+	SplitEven
+)
+
+// String implements fmt.Stringer.
+func (s Split) String() string {
+	switch s {
+	case SplitOptimal:
+		return "optimal"
+	case SplitEven:
+		return "even"
+	default:
+		return fmt.Sprintf("Split(%d)", int(s))
+	}
+}
+
+// Options configures a sample-size computation.
+type Options struct {
+	// Steps is H, the number of evaluations the testset must support.
+	Steps int
+	// Adaptivity is the interaction mode (delta multiplier).
+	Adaptivity adaptivity.Kind
+	// Strategy selects per-variable vs composite estimation.
+	Strategy Strategy
+	// Split selects the epsilon allocation rule (PerVariable only).
+	Split Split
+}
+
+// VarAlloc records the tolerance/failure budget assigned to one variable of
+// a clause and the per-variable sample size it induces.
+type VarAlloc struct {
+	Var condlang.Var
+	// Coef is the variable's coefficient in the affine expression.
+	Coef float64
+	// Epsilon is this variable's share of the clause tolerance, measured on
+	// the expression scale (so sum over vars equals the clause tolerance).
+	Epsilon float64
+	// LogInvDelta is ln(1/delta_i) for this variable's estimate, including
+	// the adaptivity multiplier.
+	LogInvDelta float64
+	// N is the sample size this variable requires.
+	N int
+}
+
+// ClausePlan is the estimation plan for one clause.
+type ClausePlan struct {
+	Clause condlang.Clause
+	Linear condlang.LinearForm
+	// LogInvDelta is ln(1/delta') for the clause after dividing the formula
+	// budget by the clause count and the adaptivity multiplier.
+	LogInvDelta float64
+	Strategy    Strategy
+	// Allocs is the per-variable breakdown (PerVariable strategy only).
+	Allocs []VarAlloc
+	// N is the number of test examples this clause requires.
+	N int
+}
+
+// Plan is a complete sample-size plan for a formula.
+type Plan struct {
+	Formula    condlang.Formula
+	Delta      float64
+	Steps      int
+	Adaptivity adaptivity.Kind
+	Strategy   Strategy
+	Clauses    []ClausePlan
+	// N is the testset size: the max over clause requirements (all clauses
+	// are evaluated on the same testset).
+	N int
+}
+
+// SampleSize computes the plan for formula f at overall failure budget delta
+// under the given options (Section 3.1 recursion; Sections 3.2-3.4
+// adaptivity multipliers).
+func SampleSize(f condlang.Formula, delta float64, opts Options) (*Plan, error) {
+	if len(f.Clauses) == 0 {
+		return nil, fmt.Errorf("estimator: empty formula")
+	}
+	if !(delta > 0 && delta < 1) {
+		return nil, fmt.Errorf("estimator: delta must be in (0,1), got %v", delta)
+	}
+	if opts.Steps < 1 {
+		return nil, fmt.Errorf("estimator: steps must be >= 1, got %d", opts.Steps)
+	}
+	logM, err := opts.Adaptivity.LogMultiplier(opts.Steps)
+	if err != nil {
+		return nil, err
+	}
+	k := float64(len(f.Clauses))
+	plan := &Plan{
+		Formula:    f,
+		Delta:      delta,
+		Steps:      opts.Steps,
+		Adaptivity: opts.Adaptivity,
+		Strategy:   opts.Strategy,
+	}
+	for _, c := range f.Clauses {
+		// Per-clause budget: delta/k, then the adaptivity multiplier:
+		// ln(1/delta') = ln(1/delta) + ln k + ln M.
+		clauseLogInv := math.Log(1/delta) + math.Log(k) + logM
+		cp, err := planClause(c, clauseLogInv, opts)
+		if err != nil {
+			return nil, fmt.Errorf("estimator: clause %q: %w", c, err)
+		}
+		plan.Clauses = append(plan.Clauses, cp)
+		if cp.N > plan.N {
+			plan.N = cp.N
+		}
+	}
+	return plan, nil
+}
+
+// ForConfig computes the plan for a parsed script configuration using the
+// paper's defaults (per-variable strategy, optimal split).
+func ForConfig(cfg *script.Config) (*Plan, error) {
+	kind, err := adaptivity.FromScript(cfg.Adaptivity.Kind)
+	if err != nil {
+		return nil, err
+	}
+	return SampleSize(cfg.Condition, cfg.Delta(), Options{
+		Steps:      cfg.Steps,
+		Adaptivity: kind,
+		Strategy:   PerVariable,
+		Split:      SplitOptimal,
+	})
+}
+
+func planClause(c condlang.Clause, logInvDelta float64, opts Options) (ClausePlan, error) {
+	lf, err := condlang.Linearize(c.Expr)
+	if err != nil {
+		return ClausePlan{}, err
+	}
+	cp := ClausePlan{
+		Clause:      c,
+		Linear:      lf,
+		LogInvDelta: logInvDelta,
+		Strategy:    opts.Strategy,
+	}
+	switch opts.Strategy {
+	case CompositeRange:
+		// Two-sided Hoeffding on the whole expression (Section 5.2
+		// arithmetic: n = r^2 (ln M H/delta' + ln 2) / (2 eps^2)).
+		n, err := bounds.HoeffdingSampleSizeLog(lf.Range(), c.Tolerance, logInvDelta+math.Ln2)
+		if err != nil {
+			return ClausePlan{}, err
+		}
+		cp.N = n
+		return cp, nil
+	case PerVariable:
+		vars := lf.Vars()
+		m := float64(len(vars))
+		// Failure budget per variable: the paper's recursion halves delta at
+		// each binary operator; for the <=2-variable clauses the grammar is
+		// used with this is identical to an even split, and for more
+		// variables the even split is valid (union bound) and never looser.
+		varLogInv := logInvDelta + math.Log(m)
+		weights, total := splitWeights(lf, vars, opts.Split)
+		for i, v := range vars {
+			epsI := c.Tolerance * weights[i] / total
+			coef := lf.Coef[v]
+			// Estimate v to accuracy eps_i/|coef|; equivalently
+			// n = coef^2 r^2 ln(1/delta_i) / (2 eps_i^2)  (paper rule 1).
+			n, err := bounds.HoeffdingSampleSizeLog(math.Abs(coef)*v.Range(), epsI, varLogInv)
+			if err != nil {
+				return ClausePlan{}, err
+			}
+			cp.Allocs = append(cp.Allocs, VarAlloc{
+				Var:         v,
+				Coef:        coef,
+				Epsilon:     epsI,
+				LogInvDelta: varLogInv,
+				N:           n,
+			})
+			if n > cp.N {
+				cp.N = n
+			}
+		}
+		return cp, nil
+	default:
+		return ClausePlan{}, fmt.Errorf("unknown strategy %v", opts.Strategy)
+	}
+}
+
+// splitWeights returns the epsilon allocation weights for the variables.
+func splitWeights(lf condlang.LinearForm, vars []condlang.Var, split Split) ([]float64, float64) {
+	weights := make([]float64, len(vars))
+	total := 0.0
+	for i, v := range vars {
+		switch split {
+		case SplitEven:
+			weights[i] = 1
+		default: // SplitOptimal
+			weights[i] = math.Abs(lf.Coef[v]) * v.Range()
+		}
+		total += weights[i]
+	}
+	return weights, total
+}
+
+// EpsilonAt inverts the plan: given a testset of size n, it returns the
+// achievable tolerance for each clause of f under the same budgeting rules
+// (used, e.g., to answer "what can 5,509 SemEval test items support?").
+func EpsilonAt(f condlang.Formula, delta float64, n int, opts Options) ([]float64, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("estimator: n must be positive, got %d", n)
+	}
+	if len(f.Clauses) == 0 {
+		return nil, fmt.Errorf("estimator: empty formula")
+	}
+	if !(delta > 0 && delta < 1) {
+		return nil, fmt.Errorf("estimator: delta must be in (0,1), got %v", delta)
+	}
+	logM, err := opts.Adaptivity.LogMultiplier(opts.Steps)
+	if err != nil {
+		return nil, err
+	}
+	k := float64(len(f.Clauses))
+	out := make([]float64, len(f.Clauses))
+	for i, c := range f.Clauses {
+		lf, err := condlang.Linearize(c.Expr)
+		if err != nil {
+			return nil, err
+		}
+		clauseLogInv := math.Log(1/delta) + math.Log(k) + logM
+		switch opts.Strategy {
+		case CompositeRange:
+			eps, err := bounds.HoeffdingEpsilonLog(lf.Range(), n, clauseLogInv+math.Ln2)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = eps
+		case PerVariable:
+			vars := lf.Vars()
+			varLogInv := clauseLogInv + math.Log(float64(len(vars)))
+			total := 0.0
+			for _, v := range vars {
+				// Each variable achieves eps_v = |c_v| r_v sqrt(L/2n);
+				// the clause tolerance is their sum.
+				eps, err := bounds.HoeffdingEpsilonLog(math.Abs(lf.Coef[v])*v.Range(), n, varLogInv)
+				if err != nil {
+					return nil, err
+				}
+				total += eps
+			}
+			out[i] = total
+		default:
+			return nil, fmt.Errorf("estimator: unknown strategy %v", opts.Strategy)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,281 @@
+package estimator
+
+import (
+	"math"
+	"testing"
+
+	"github.com/easeml/ci/internal/adaptivity"
+	"github.com/easeml/ci/internal/condlang"
+	"github.com/easeml/ci/internal/interval"
+	"github.com/easeml/ci/internal/script"
+)
+
+func mustFormula(t *testing.T, src string) condlang.Formula {
+	t.Helper()
+	f, err := condlang.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func planFor(t *testing.T, src string, delta float64, opts Options) *Plan {
+	t.Helper()
+	p, err := SampleSize(mustFormula(t, src), delta, opts)
+	if err != nil {
+		t.Fatalf("SampleSize(%q): %v", src, err)
+	}
+	return p
+}
+
+// TestFigure2Cells asserts representative cells of the paper's Figure 2
+// table exactly (the full 64-cell table is asserted by the experiments
+// package, which regenerates the figure).
+func TestFigure2Cells(t *testing.T) {
+	cases := []struct {
+		cond  string
+		delta float64
+		eps   float64
+		kind  adaptivity.Kind
+		want  int
+	}{
+		// F1/F4 column (single variable).
+		{"n > 0.5 +/- 0.1", 0.01, 0.1, adaptivity.None, 404},
+		{"n > 0.5 +/- 0.1", 0.01, 0.1, adaptivity.Full, 1340},
+		{"n > 0.5 +/- 0.01", 0.0001, 0.01, adaptivity.None, 63381},
+		{"n > 0.5 +/- 0.01", 0.0001, 0.01, adaptivity.Full, 156956},
+		{"d < 0.1 +/- 0.025", 0.001, 0.025, adaptivity.None, 8299},
+		{"n > 0.5 +/- 0.05", 0.00001, 0.05, adaptivity.Full, 6739},
+		// F2/F3 column (n - o).
+		{"n - o > 0.02 +/- 0.1", 0.01, 0.1, adaptivity.None, 1753},
+		{"n - o > 0.02 +/- 0.1", 0.01, 0.1, adaptivity.Full, 5496},
+		{"n - o > 0.02 +/- 0.01", 0.0001, 0.01, adaptivity.None, 267385},
+		{"n - o > 0.02 +/- 0.01", 0.0001, 0.01, adaptivity.Full, 641684},
+		{"n - o > 0.02 +/- 0.025", 0.001, 0.025, adaptivity.None, 35414},
+		{"n - o > 0.02 +/- 0.05", 0.00001, 0.05, adaptivity.Full, 27510},
+		// firstChange (hybrid) matches non-adaptive (Section 3.4).
+		{"n - o > 0.1 +/- 0.01", 0.0001, 0.01, adaptivity.FirstChange, 267385},
+	}
+	for _, c := range cases {
+		p := planFor(t, c.cond, c.delta, Options{
+			Steps: 32, Adaptivity: c.kind, Strategy: PerVariable, Split: SplitOptimal,
+		})
+		if p.N != c.want {
+			t.Errorf("N(%q, delta=%v, %v) = %d, want %d", c.cond, c.delta, c.kind, p.N, c.want)
+		}
+	}
+}
+
+func TestSingleModelMatchesIntroNumber(t *testing.T) {
+	// Section 1: a single (0.01, 1-0.9999) estimate needs >46K labels.
+	p := planFor(t, "n > 0.5 +/- 0.01", 0.0001, Options{
+		Steps: 1, Adaptivity: adaptivity.None, Strategy: PerVariable,
+	})
+	if p.N != 46052 {
+		t.Errorf("single-model N = %d, want 46052", p.N)
+	}
+}
+
+func TestCompositeMatchesSemEvalArithmetic(t *testing.T) {
+	// Section 5.2: H=7, delta=0.002, eps=0.02, condition n-o:
+	// n > r^2 (ln H - ln(delta/2)) / (2 eps^2) = 44,268.
+	p := planFor(t, "n - o > 0.02 +/- 0.02", 0.002, Options{
+		Steps: 7, Adaptivity: adaptivity.None, Strategy: CompositeRange,
+	})
+	if p.N != 44269 && p.N != 44268 {
+		t.Errorf("composite SemEval N = %d, want 44268", p.N)
+	}
+	// "grows to up to 58K in the fully adaptive case".
+	p = planFor(t, "n - o > 0.02 +/- 0.02", 0.002, Options{
+		Steps: 7, Adaptivity: adaptivity.Full, Strategy: CompositeRange,
+	})
+	if p.N < 58000 || p.N > 59000 {
+		t.Errorf("composite SemEval fully adaptive N = %d, want ~58.8K", p.N)
+	}
+}
+
+func TestPerVariableEqualsCompositeForNMinusO(t *testing.T) {
+	// For coefficients (1, -1) the two strategies give the same size
+	// (per-variable: 2 ln(2M/delta)/eps^2; composite: same).
+	for _, kind := range []adaptivity.Kind{adaptivity.None, adaptivity.Full} {
+		pv := planFor(t, "n - o > 0.02 +/- 0.02", 0.001, Options{
+			Steps: 16, Adaptivity: kind, Strategy: PerVariable,
+		})
+		cr := planFor(t, "n - o > 0.02 +/- 0.02", 0.001, Options{
+			Steps: 16, Adaptivity: kind, Strategy: CompositeRange,
+		})
+		if pv.N != cr.N {
+			t.Errorf("%v: per-variable %d != composite %d", kind, pv.N, cr.N)
+		}
+	}
+}
+
+func TestConjunctionBudget(t *testing.T) {
+	// The paper's Section 3.1 example: two clauses split delta in half, and
+	// within the first clause the two variables split again (delta/4).
+	p := planFor(t, "n - 1.1 * o > 0.01 +/- 0.01 /\\ d < 0.1 +/- 0.01", 0.001, Options{
+		Steps: 1, Adaptivity: adaptivity.None, Strategy: PerVariable, Split: SplitOptimal,
+	})
+	if len(p.Clauses) != 2 {
+		t.Fatalf("clauses = %d", len(p.Clauses))
+	}
+	first := p.Clauses[0]
+	if len(first.Allocs) != 2 {
+		t.Fatalf("allocs = %d", len(first.Allocs))
+	}
+	// Clause budget ln(2/delta); variable budget ln(4/delta).
+	if math.Abs(first.LogInvDelta-math.Log(2/0.001)) > 1e-9 {
+		t.Errorf("clause LogInvDelta = %v", first.LogInvDelta)
+	}
+	if math.Abs(first.Allocs[0].LogInvDelta-math.Log(4/0.001)) > 1e-9 {
+		t.Errorf("var LogInvDelta = %v", first.Allocs[0].LogInvDelta)
+	}
+	// Optimal split: eps_n : eps_o = 1 : 1.1.
+	en, eo := first.Allocs[0].Epsilon, first.Allocs[1].Epsilon
+	if math.Abs(en+eo-0.01) > 1e-12 {
+		t.Errorf("epsilons don't sum to tolerance: %v + %v", en, eo)
+	}
+	if math.Abs(eo/en-1.1) > 1e-9 {
+		t.Errorf("split ratio = %v, want 1.1", eo/en)
+	}
+	// The overall N solves the paper's min-max: (1+1.1)^2 ln(4/delta)/(2 eps^2).
+	want := int(math.Ceil(2.1 * 2.1 * math.Log(4/0.001) / (2 * 0.01 * 0.01)))
+	if first.N != want {
+		t.Errorf("first clause N = %d, want %d", first.N, want)
+	}
+	// The d clause: ln(2/delta)/(2 eps^2).
+	wantD := int(math.Ceil(math.Log(2/0.001) / (2 * 0.01 * 0.01)))
+	if p.Clauses[1].N != wantD {
+		t.Errorf("d clause N = %d, want %d", p.Clauses[1].N, wantD)
+	}
+	if p.N != max(first.N, wantD) {
+		t.Errorf("plan N = %d, want max of clauses", p.N)
+	}
+}
+
+func TestOptimalSplitBeatsGridSearch(t *testing.T) {
+	// The closed-form split must (weakly) beat every grid split for the
+	// 2-variable clause n - 1.1*o.
+	f := mustFormula(t, "n - 1.1 * o > 0.01 +/- 0.01")
+	opt := planFor(t, "n - 1.1 * o > 0.01 +/- 0.01", 0.001, Options{
+		Steps: 1, Adaptivity: adaptivity.None, Strategy: PerVariable, Split: SplitOptimal,
+	})
+	eps := f.Clauses[0].Tolerance
+	logInv := math.Log(4 / 0.001)
+	best := math.MaxFloat64
+	for i := 1; i < 200; i++ {
+		e1 := eps * float64(i) / 200
+		e2 := eps - e1
+		n1 := logInv / (2 * e1 * e1)             // coef 1
+		n2 := 1.1 * 1.1 * logInv / (2 * e2 * e2) // coef 1.1
+		if m := math.Max(n1, n2); m < best {
+			best = m
+		}
+	}
+	if float64(opt.N) > best+1 {
+		t.Errorf("optimal split N = %d worse than grid best %v", opt.N, best)
+	}
+}
+
+func TestEvenSplitNeverBetter(t *testing.T) {
+	even := planFor(t, "n - 1.1 * o > 0.01 +/- 0.01", 0.001, Options{
+		Steps: 8, Adaptivity: adaptivity.None, Strategy: PerVariable, Split: SplitEven,
+	})
+	opt := planFor(t, "n - 1.1 * o > 0.01 +/- 0.01", 0.001, Options{
+		Steps: 8, Adaptivity: adaptivity.None, Strategy: PerVariable, Split: SplitOptimal,
+	})
+	if even.N < opt.N {
+		t.Errorf("even split %d beats optimal %d", even.N, opt.N)
+	}
+}
+
+func TestAdaptivityOrdering(t *testing.T) {
+	// full >= none == firstChange for the same condition.
+	for _, cond := range []string{"n > 0.5 +/- 0.02", "n - o > 0.02 +/- 0.02"} {
+		var ns [3]int
+		for i, kind := range []adaptivity.Kind{adaptivity.None, adaptivity.FirstChange, adaptivity.Full} {
+			ns[i] = planFor(t, cond, 0.001, Options{Steps: 32, Adaptivity: kind, Strategy: PerVariable}).N
+		}
+		if ns[0] != ns[1] {
+			t.Errorf("%q: none %d != firstChange %d", cond, ns[0], ns[1])
+		}
+		if ns[2] <= ns[0] {
+			t.Errorf("%q: full %d not larger than none %d", cond, ns[2], ns[0])
+		}
+	}
+}
+
+func TestEpsilonAtInvertsSampleSize(t *testing.T) {
+	opts := Options{Steps: 7, Adaptivity: adaptivity.Full, Strategy: PerVariable, Split: SplitOptimal}
+	f := mustFormula(t, "n - o > 0.02 +/- 0.022")
+	p, err := SampleSize(f, 0.002, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eps, err := EpsilonAt(f, 0.002, p.N, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eps[0] > 0.022 {
+		t.Errorf("achieved epsilon %v > requested 0.022", eps[0])
+	}
+	epsSmaller, err := EpsilonAt(f, 0.002, p.N-50, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if epsSmaller[0] <= eps[0] {
+		t.Errorf("fewer samples should give larger epsilon: %v vs %v", epsSmaller[0], eps[0])
+	}
+}
+
+func TestForConfig(t *testing.T) {
+	cfg, err := script.New("n - o > 0.02 +/- 0.01", 0.9999, interval.FPFree,
+		script.Adaptivity{Kind: script.AdaptivityFull}, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := ForConfig(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.N != 641684 {
+		t.Errorf("ForConfig N = %d, want Figure 2's 641684", p.N)
+	}
+}
+
+func TestSampleSizeErrors(t *testing.T) {
+	f := mustFormula(t, "n > 0.5 +/- 0.1")
+	if _, err := SampleSize(condlang.Formula{}, 0.01, Options{Steps: 1}); err == nil {
+		t.Error("empty formula should fail")
+	}
+	if _, err := SampleSize(f, 0, Options{Steps: 1}); err == nil {
+		t.Error("delta=0 should fail")
+	}
+	if _, err := SampleSize(f, 1, Options{Steps: 1}); err == nil {
+		t.Error("delta=1 should fail")
+	}
+	if _, err := SampleSize(f, 0.01, Options{Steps: 0}); err == nil {
+		t.Error("steps=0 should fail")
+	}
+	if _, err := SampleSize(f, 0.01, Options{Steps: 1, Strategy: Strategy(99)}); err == nil {
+		t.Error("unknown strategy should fail")
+	}
+	if _, err := EpsilonAt(f, 0.01, 0, Options{Steps: 1}); err == nil {
+		t.Error("EpsilonAt n=0 should fail")
+	}
+	if _, err := EpsilonAt(condlang.Formula{}, 0.01, 10, Options{Steps: 1}); err == nil {
+		t.Error("EpsilonAt empty formula should fail")
+	}
+}
+
+func TestStringers(t *testing.T) {
+	if PerVariable.String() != "per-variable" || CompositeRange.String() != "composite-range" {
+		t.Error("Strategy.String wrong")
+	}
+	if SplitOptimal.String() != "optimal" || SplitEven.String() != "even" {
+		t.Error("Split.String wrong")
+	}
+	if Strategy(9).String() == "" || Split(9).String() == "" {
+		t.Error("default stringers empty")
+	}
+}

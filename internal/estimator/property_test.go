@@ -1,0 +1,148 @@
+package estimator
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/easeml/ci/internal/adaptivity"
+	"github.com/easeml/ci/internal/condlang"
+)
+
+// randomFormula builds a random affine condition over n, o, d.
+func randomFormula(rng *rand.Rand) condlang.Formula {
+	vars := []condlang.Var{condlang.VarN, condlang.VarO, condlang.VarD}
+	clauses := 1 + rng.Intn(3)
+	f := condlang.Formula{}
+	for c := 0; c < clauses; c++ {
+		nVars := 1 + rng.Intn(3)
+		perm := rng.Perm(3)
+		var expr condlang.Expr
+		for v := 0; v < nVars; v++ {
+			coef := 0.25 + 2*rng.Float64()
+			var term condlang.Expr = condlang.BinaryExpr{
+				Op: condlang.OpMul,
+				L:  condlang.ConstExpr{Value: coef},
+				R:  condlang.VarExpr{Name: vars[perm[v]]},
+			}
+			if expr == nil {
+				expr = term
+			} else if rng.Intn(2) == 0 {
+				expr = condlang.BinaryExpr{Op: condlang.OpAdd, L: expr, R: term}
+			} else {
+				expr = condlang.BinaryExpr{Op: condlang.OpSub, L: expr, R: term}
+			}
+		}
+		cmp := condlang.CmpGreater
+		if rng.Intn(2) == 0 {
+			cmp = condlang.CmpLess
+		}
+		f.Clauses = append(f.Clauses, condlang.Clause{
+			Expr:      expr,
+			Cmp:       cmp,
+			Threshold: rng.Float64(),
+			Tolerance: 0.01 + 0.1*rng.Float64(),
+		})
+	}
+	return f
+}
+
+// TestSampleSizePropertyMonotone: for random formulas, the sample size is
+// monotone in delta, steps, and strategy-independent invariants hold.
+func TestSampleSizePropertyMonotone(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		formula := randomFormula(rng)
+		opts := Options{Steps: 1 + rng.Intn(40), Adaptivity: adaptivity.None, Strategy: PerVariable}
+		delta := 0.0001 + 0.05*rng.Float64()
+
+		base, err := SampleSize(formula, delta, opts)
+		if err != nil {
+			return false
+		}
+		// Tighter delta -> more samples.
+		tight, err := SampleSize(formula, delta/10, opts)
+		if err != nil || tight.N < base.N {
+			return false
+		}
+		// More steps -> more samples (non-adaptive union bound grows).
+		more := opts
+		more.Steps = opts.Steps * 2
+		stepped, err := SampleSize(formula, delta, more)
+		if err != nil || stepped.N < base.N {
+			return false
+		}
+		// Fully adaptive >= non-adaptive.
+		full := opts
+		full.Adaptivity = adaptivity.Full
+		adaptiveN, err := SampleSize(formula, delta, full)
+		if err != nil || adaptiveN.N < base.N {
+			return false
+		}
+		// The plan's N is the max over clause requirements.
+		maxClause := 0
+		for _, cp := range base.Clauses {
+			if cp.N > maxClause {
+				maxClause = cp.N
+			}
+		}
+		return base.N == maxClause
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSampleSizePropertyToleranceScaling: halving every tolerance costs
+// ~4x the samples (the O(1/eps^2) law), for random single-clause formulas.
+func TestSampleSizePropertyToleranceScaling(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		formula := randomFormula(rng)
+		formula.Clauses = formula.Clauses[:1]
+		opts := Options{Steps: 8, Adaptivity: adaptivity.None, Strategy: PerVariable}
+		base, err := SampleSize(formula, 0.001, opts)
+		if err != nil {
+			return false
+		}
+		halved := formula
+		halved.Clauses = append([]condlang.Clause(nil), formula.Clauses...)
+		halved.Clauses[0].Tolerance /= 2
+		tight, err := SampleSize(halved, 0.001, opts)
+		if err != nil {
+			return false
+		}
+		ratio := float64(tight.N) / float64(base.N)
+		return ratio > 3.8 && ratio < 4.2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestEpsilonAtPropertyConsistency: EpsilonAt at the planned N achieves at
+// most the declared tolerance for every clause.
+func TestEpsilonAtPropertyConsistency(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		formula := randomFormula(rng)
+		opts := Options{Steps: 1 + rng.Intn(16), Adaptivity: adaptivity.None, Strategy: PerVariable}
+		plan, err := SampleSize(formula, 0.001, opts)
+		if err != nil {
+			return false
+		}
+		eps, err := EpsilonAt(formula, 0.001, plan.N, opts)
+		if err != nil {
+			return false
+		}
+		for i, c := range formula.Clauses {
+			if eps[i] > c.Tolerance*1.0000001 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,121 @@
+// Package evaluator implements condition evaluation (Section 3.5 of the
+// paper): point estimates of the variables {n, o, d} are widened into
+// confidence intervals, combined through the interval algebra, compared in
+// three-valued logic, and collapsed to a pass/fail signal by the script's
+// fp-free / fn-free mode.
+package evaluator
+
+import (
+	"fmt"
+
+	"github.com/easeml/ci/internal/condlang"
+	"github.com/easeml/ci/internal/interval"
+)
+
+// VarEstimates carries the measured values of the condition variables on
+// the current testset, with optional per-variable confidence half-widths.
+type VarEstimates struct {
+	// Values maps each variable to its point estimate.
+	Values map[condlang.Var]float64
+	// Eps maps each variable to the half-width of its confidence interval.
+	// When nil, clause evaluation widens the whole left-hand side by the
+	// clause's own tolerance instead (the composite-range strategy).
+	Eps map[condlang.Var]float64
+}
+
+// ClauseInterval returns the confidence interval of the clause's left-hand
+// expression under the estimates.
+func ClauseInterval(c condlang.Clause, est VarEstimates) (interval.Interval, error) {
+	lf, err := condlang.Linearize(c.Expr)
+	if err != nil {
+		return interval.Interval{}, err
+	}
+	point := lf.Const
+	halfWidth := 0.0
+	for v, coef := range lf.Coef {
+		val, ok := est.Values[v]
+		if !ok {
+			return interval.Interval{}, fmt.Errorf("evaluator: no estimate for variable %s", v)
+		}
+		point += coef * val
+		if est.Eps != nil {
+			eps, ok := est.Eps[v]
+			if !ok {
+				return interval.Interval{}, fmt.Errorf("evaluator: no tolerance for variable %s", v)
+			}
+			if eps < 0 {
+				return interval.Interval{}, fmt.Errorf("evaluator: negative tolerance for variable %s", v)
+			}
+			if coef < 0 {
+				halfWidth += -coef * eps
+			} else {
+				halfWidth += coef * eps
+			}
+		}
+	}
+	if est.Eps == nil {
+		halfWidth = c.Tolerance
+	}
+	return interval.Around(point, halfWidth), nil
+}
+
+// EvalClauseLHS evaluates a clause directly from a point estimate of its
+// left-hand expression and a half-width. Active labeling measures n - o as
+// one quantity (only disagreements are labeled, so the individual
+// accuracies are unobservable); this entry point lets the engine evaluate
+// the clause from that composite estimate.
+func EvalClauseLHS(c condlang.Clause, lhs, halfWidth float64) (interval.Truth, error) {
+	if halfWidth < 0 {
+		return interval.Unknown, fmt.Errorf("evaluator: negative half-width %v", halfWidth)
+	}
+	iv := interval.Around(lhs, halfWidth)
+	if c.Cmp == condlang.CmpGreater {
+		return iv.GreaterThan(c.Threshold), nil
+	}
+	return iv.LessThan(c.Threshold), nil
+}
+
+// EvalClause evaluates one clause to three-valued logic.
+func EvalClause(c condlang.Clause, est VarEstimates) (interval.Truth, error) {
+	iv, err := ClauseInterval(c, est)
+	if err != nil {
+		return interval.Unknown, err
+	}
+	if c.Cmp == condlang.CmpGreater {
+		return iv.GreaterThan(c.Threshold), nil
+	}
+	return iv.LessThan(c.Threshold), nil
+}
+
+// EvalFormula evaluates a conjunction of clauses in three-valued logic.
+func EvalFormula(f condlang.Formula, est VarEstimates) (interval.Truth, error) {
+	if len(f.Clauses) == 0 {
+		return interval.Unknown, fmt.Errorf("evaluator: empty formula")
+	}
+	result := interval.True
+	for _, c := range f.Clauses {
+		t, err := EvalClause(c, est)
+		if err != nil {
+			return interval.Unknown, err
+		}
+		result = result.And(t)
+	}
+	return result, nil
+}
+
+// Decision is the outcome of evaluating a formula against estimates.
+type Decision struct {
+	// Truth is the raw three-valued result.
+	Truth interval.Truth
+	// Pass is the boolean signal after collapsing Unknown under the mode.
+	Pass bool
+}
+
+// Decide evaluates the formula and collapses the result under the mode.
+func Decide(f condlang.Formula, est VarEstimates, mode interval.Mode) (Decision, error) {
+	truth, err := EvalFormula(f, est)
+	if err != nil {
+		return Decision{}, err
+	}
+	return Decision{Truth: truth, Pass: mode.Collapse(truth)}, nil
+}

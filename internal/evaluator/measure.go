@@ -1,0 +1,93 @@
+package evaluator
+
+import (
+	"fmt"
+
+	"github.com/easeml/ci/internal/condlang"
+)
+
+// Measure computes the point estimates of the three condition variables
+// from prediction vectors on a shared testset:
+//
+//	n = accuracy of the new model,
+//	o = accuracy of the old model,
+//	d = fraction of examples where the two models' predictions differ.
+//
+// Labels may be shorter than the prediction vectors only in the sense of
+// being absent (-1) for unlabeled examples; accuracy is then computed over
+// the labeled subset while d still uses every example (the paper's
+// observation that d needs no labels, Section 4, Technical Observation 2).
+func Measure(oldPred, newPred, labels []int) (VarEstimates, error) {
+	if len(oldPred) != len(newPred) {
+		return VarEstimates{}, fmt.Errorf("evaluator: prediction lengths differ: %d vs %d", len(oldPred), len(newPred))
+	}
+	if len(labels) != len(oldPred) {
+		return VarEstimates{}, fmt.Errorf("evaluator: labels length %d != predictions %d", len(labels), len(oldPred))
+	}
+	if len(oldPred) == 0 {
+		return VarEstimates{}, fmt.Errorf("evaluator: empty testset")
+	}
+	var diff, labeled, oldCorrect, newCorrect int
+	for i := range oldPred {
+		if oldPred[i] != newPred[i] {
+			diff++
+		}
+		if labels[i] < 0 {
+			continue
+		}
+		labeled++
+		if oldPred[i] == labels[i] {
+			oldCorrect++
+		}
+		if newPred[i] == labels[i] {
+			newCorrect++
+		}
+	}
+	est := VarEstimates{Values: map[condlang.Var]float64{
+		condlang.VarD: float64(diff) / float64(len(oldPred)),
+	}}
+	if labeled > 0 {
+		est.Values[condlang.VarN] = float64(newCorrect) / float64(labeled)
+		est.Values[condlang.VarO] = float64(oldCorrect) / float64(labeled)
+	}
+	return est, nil
+}
+
+// Accuracy computes the fraction of predictions matching labels; examples
+// with negative labels are skipped. It errors when nothing is labeled.
+func Accuracy(pred, labels []int) (float64, error) {
+	if len(pred) != len(labels) {
+		return 0, fmt.Errorf("evaluator: length mismatch: %d vs %d", len(pred), len(labels))
+	}
+	correct, labeled := 0, 0
+	for i := range pred {
+		if labels[i] < 0 {
+			continue
+		}
+		labeled++
+		if pred[i] == labels[i] {
+			correct++
+		}
+	}
+	if labeled == 0 {
+		return 0, fmt.Errorf("evaluator: no labeled examples")
+	}
+	return float64(correct) / float64(labeled), nil
+}
+
+// Disagreement computes d between two prediction vectors (no labels needed).
+func Disagreement(a, b []int) (float64, error) {
+	if len(a) != len(b) {
+		return 0, fmt.Errorf("evaluator: length mismatch: %d vs %d", len(a), len(b))
+	}
+	if len(a) == 0 {
+		return 0, fmt.Errorf("evaluator: empty predictions")
+	}
+	diff := 0
+	for i := range a {
+		if a[i] != b[i] {
+			diff++
+		}
+	}
+	return float64(diff) / float64(len(a)), nil
+}

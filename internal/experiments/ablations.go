@@ -1,0 +1,121 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/easeml/ci/internal/adaptivity"
+	"github.com/easeml/ci/internal/bounds"
+	"github.com/easeml/ci/internal/condlang"
+	"github.com/easeml/ci/internal/estimator"
+	"github.com/easeml/ci/internal/patterns"
+)
+
+// AblationRow is one design-choice comparison from DESIGN.md's index.
+type AblationRow struct {
+	Name     string
+	Question string
+	A, B     int
+	// Ratio is A/B; what "better" means is per-row (documented in Question).
+	Ratio float64
+}
+
+// Ablations runs the four design-choice comparisons the benchmarks track,
+// returning them as a table for cmd/experiments.
+func Ablations() ([]AblationRow, error) {
+	var rows []AblationRow
+
+	// 1. Optimal vs even epsilon split on an uneven-coefficient clause.
+	uneven, err := condlang.Parse("n - 1.1 * o > 0.01 +/- 0.01")
+	if err != nil {
+		return nil, err
+	}
+	even, err := estimator.SampleSize(uneven, 0.001, estimator.Options{
+		Steps: 32, Adaptivity: adaptivity.None,
+		Strategy: estimator.PerVariable, Split: estimator.SplitEven,
+	})
+	if err != nil {
+		return nil, err
+	}
+	opt, err := estimator.SampleSize(uneven, 0.001, estimator.Options{
+		Steps: 32, Adaptivity: adaptivity.None,
+		Strategy: estimator.PerVariable, Split: estimator.SplitOptimal,
+	})
+	if err != nil {
+		return nil, err
+	}
+	rows = append(rows, AblationRow{
+		Name:     "epsilon-split",
+		Question: "even / optimal epsilon split (labels; lower is better)",
+		A:        even.N, B: opt.N, Ratio: float64(even.N) / float64(opt.N),
+	})
+
+	// 2. Delta budget for Pattern 1: split (4.1.1) vs test-only (5.2).
+	p1f, err := condlang.Parse("d < 0.1 +/- 0.01 /\\ n - o > 0.02 +/- 0.01")
+	if err != nil {
+		return nil, err
+	}
+	split, err := patterns.PlanPattern1(p1f, 0.0001, patterns.Options{
+		Steps: 32, Adaptivity: adaptivity.None, Budget: patterns.BudgetSplit,
+	})
+	if err != nil {
+		return nil, err
+	}
+	testOnly, err := patterns.PlanPattern1(p1f, 0.0001, patterns.Options{
+		Steps: 32, Adaptivity: adaptivity.None, Budget: patterns.BudgetTestOnly,
+	})
+	if err != nil {
+		return nil, err
+	}
+	rows = append(rows, AblationRow{
+		Name:     "delta-budget",
+		Question: "split / test-only budget (labels; split pays to estimate d)",
+		A:        split.TestN, B: testOnly.TestN, Ratio: float64(split.TestN) / float64(testOnly.TestN),
+	})
+
+	// 3. Variance proxy: at-threshold (paper arithmetic) vs conservative.
+	atThr, err := patterns.PlanPattern1(p1f, 0.0001, patterns.Options{
+		Steps: 32, Adaptivity: adaptivity.None, Variance: patterns.VarianceAtThreshold,
+	})
+	if err != nil {
+		return nil, err
+	}
+	cons, err := patterns.PlanPattern1(p1f, 0.0001, patterns.Options{
+		Steps: 32, Adaptivity: adaptivity.None, Variance: patterns.VarianceConservative,
+	})
+	if err != nil {
+		return nil, err
+	}
+	rows = append(rows, AblationRow{
+		Name:     "variance-proxy",
+		Question: "conservative / at-threshold variance bound (labels; rigor costs)",
+		A:        cons.TestN, B: atThr.TestN, Ratio: float64(cons.TestN) / float64(atThr.TestN),
+	})
+
+	// 4. Tight binomial (4.3) vs two-sided Hoeffding.
+	exact, err := bounds.ExactSampleSize(0.05, 0.01, 0, 1)
+	if err != nil {
+		return nil, err
+	}
+	hoeff, err := bounds.HoeffdingSampleSizeTwoSided(1, 0.05, 0.01)
+	if err != nil {
+		return nil, err
+	}
+	rows = append(rows, AblationRow{
+		Name:     "tight-binomial",
+		Question: "Hoeffding / exact binomial (labels saved by Section 4.3)",
+		A:        hoeff, B: exact, Ratio: float64(hoeff) / float64(exact),
+	})
+	return rows, nil
+}
+
+// RenderAblations prints the table.
+func RenderAblations(rows []AblationRow) string {
+	var b strings.Builder
+	fmt.Fprintln(&b, "Ablations: design choices the planner makes")
+	fmt.Fprintf(&b, "%-16s %10s %10s %7s  %s\n", "ablation", "A", "B", "A/B", "question")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-16s %10d %10d %6.2fx  %s\n", r.Name, r.A, r.B, r.Ratio, r.Question)
+	}
+	return b.String()
+}

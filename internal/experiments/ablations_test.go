@@ -1,0 +1,45 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAblationsTable(t *testing.T) {
+	rows, err := Ablations()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d, want 4", len(rows))
+	}
+	byName := map[string]AblationRow{}
+	for _, r := range rows {
+		byName[r.Name] = r
+		if r.A <= 0 || r.B <= 0 {
+			t.Errorf("%s: non-positive cells %d/%d", r.Name, r.A, r.B)
+		}
+	}
+	// Optimal split beats even split by ~(2.1/2)^2 = 1.1 on n - 1.1*o.
+	if r := byName["epsilon-split"]; r.Ratio < 1.05 || r.Ratio > 1.15 {
+		t.Errorf("epsilon-split ratio = %v, want ~1.10", r.Ratio)
+	}
+	// Split budget costs more than test-only (it pays for the d estimate).
+	if r := byName["delta-budget"]; r.Ratio <= 1 {
+		t.Errorf("delta-budget ratio = %v, want > 1", r.Ratio)
+	}
+	// Conservative variance proxy costs more than at-threshold.
+	if r := byName["variance-proxy"]; r.Ratio <= 1 {
+		t.Errorf("variance-proxy ratio = %v, want > 1", r.Ratio)
+	}
+	// The exact binomial bound saves over Hoeffding.
+	if r := byName["tight-binomial"]; r.Ratio <= 1.3 {
+		t.Errorf("tight-binomial ratio = %v, want > 1.3", r.Ratio)
+	}
+	text := RenderAblations(rows)
+	for _, want := range []string{"epsilon-split", "delta-budget", "variance-proxy", "tight-binomial"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("render missing %q", want)
+		}
+	}
+}

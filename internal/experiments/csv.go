@@ -1,0 +1,99 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+)
+
+// WriteCSV writes a header plus rows to path, creating parent directories.
+func WriteCSV(path string, header []string, rows [][]string) error {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return fmt.Errorf("experiments: %w", err)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("experiments: %w", err)
+	}
+	defer f.Close()
+	w := csv.NewWriter(f)
+	if err := w.Write(header); err != nil {
+		return fmt.Errorf("experiments: %w", err)
+	}
+	for _, r := range rows {
+		if err := w.Write(r); err != nil {
+			return fmt.Errorf("experiments: %w", err)
+		}
+	}
+	w.Flush()
+	return w.Error()
+}
+
+// Figure2CSV converts the table to CSV rows.
+func Figure2CSV(rows []Figure2Row) (header []string, out [][]string) {
+	header = []string{"reliability", "epsilon", "f1f4_none", "f1f4_full", "f2f3_none", "f2f3_full"}
+	for _, r := range rows {
+		out = append(out, []string{
+			fmtF(r.Reliability), fmtF(r.Epsilon),
+			strconv.Itoa(r.F1F4None), strconv.Itoa(r.F1F4Full),
+			strconv.Itoa(r.F2F3None), strconv.Itoa(r.F2F3Full),
+		})
+	}
+	return header, out
+}
+
+// Figure3CSV converts the series to CSV rows.
+func Figure3CSV(series []Figure3Series) (header []string, out [][]string) {
+	header = []string{"epsilon", "delta", "p", "hoeffding_n", "bennett_n", "active_labels", "improvement", "active_improvement"}
+	for _, s := range series {
+		for _, p := range s.Points {
+			out = append(out, []string{
+				fmtF(s.Epsilon), fmtF(s.Delta), fmtF(p.P),
+				strconv.Itoa(p.HoeffdingN), strconv.Itoa(p.BennettN), strconv.Itoa(p.ActiveLabels),
+				fmtF(p.Improvement), fmtF(p.ActiveImprovement),
+			})
+		}
+	}
+	return header, out
+}
+
+// Figure4CSV converts the sweep to CSV rows.
+func Figure4CSV(points []Figure4Point) (header []string, out [][]string) {
+	header = []string{"n", "empirical_eps", "baseline_eps", "optimized_eps"}
+	for _, p := range points {
+		out = append(out, []string{
+			strconv.Itoa(p.N), fmtF(p.EmpiricalEps), fmtF(p.BaselineEps), fmtF(p.OptimizedEps),
+		})
+	}
+	return header, out
+}
+
+// Figure5CSV converts the query traces to CSV rows.
+func Figure5CSV(res *Figure5Result) (header []string, out [][]string) {
+	header = []string{"query", "iteration", "truth", "pass", "signal", "active_after"}
+	for _, q := range res.Queries {
+		for _, o := range q.Outcomes {
+			out = append(out, []string{
+				q.Name, strconv.Itoa(o.Iteration), o.Truth.String(),
+				strconv.FormatBool(o.Pass), strconv.FormatBool(o.Signal),
+				strconv.Itoa(o.ActiveAfter),
+			})
+		}
+	}
+	return header, out
+}
+
+// Figure6CSV converts the accuracy curves to CSV rows.
+func Figure6CSV(res *Figure5Result) (header []string, out [][]string) {
+	header = []string{"iteration", "dev_accuracy", "test_accuracy"}
+	for i := range res.TestAccuracy {
+		out = append(out, []string{
+			strconv.Itoa(i + 1), fmtF(res.DevAccuracy[i]), fmtF(res.TestAccuracy[i]),
+		})
+	}
+	return header, out
+}
+
+func fmtF(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }

@@ -1,0 +1,336 @@
+package experiments
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// paperFigure2 is the paper's Figure 2 table, all 64 cells, in row order
+// (reliability-major, epsilon-minor; columns F1F4/none, F1F4/full,
+// F2F3/none, F2F3/full).
+var paperFigure2 = [][4]int{
+	{404, 1340, 1753, 5496}, {1615, 5358, 7012, 21984}, {6457, 21429, 28045, 87933}, {40355, 133930, 175282, 549581},
+	{519, 1455, 2214, 5957}, {2075, 5818, 8854, 23826}, {8299, 23271, 35414, 95302}, {51868, 145443, 221333, 595633},
+	{634, 1570, 2674, 6417}, {2536, 6279, 10696, 25668}, {10141, 25113, 42782, 102670}, {63381, 156956, 267385, 641684},
+	{749, 1685, 3135, 6878}, {2996, 6739, 12538, 27510}, {11983, 26955, 50150, 110038}, {74894, 168469, 313437, 687736},
+}
+
+func TestFigure2MatchesPaperExactly(t *testing.T) {
+	rows, err := Figure2(32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 16 {
+		t.Fatalf("rows = %d, want 16", len(rows))
+	}
+	for i, r := range rows {
+		got := [4]int{r.F1F4None, r.F1F4Full, r.F2F3None, r.F2F3Full}
+		if got != paperFigure2[i] {
+			t.Errorf("row %d (rel=%g eps=%g): got %v, paper %v",
+				i, r.Reliability, r.Epsilon, got, paperFigure2[i])
+		}
+	}
+}
+
+func TestFigure2Render(t *testing.T) {
+	rows, err := Figure2(32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := RenderFigure2(rows)
+	for _, want := range []string{"63381", "156956", "267385", "641684", "F1F4/none"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("rendered table missing %q", want)
+		}
+	}
+}
+
+func TestFigure3Shape(t *testing.T) {
+	series, err := Figure3([]float64{0.01}, []float64{0.0001}, DefaultFigure3Ps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 1 {
+		t.Fatalf("series = %d", len(series))
+	}
+	pts := series[0].Points
+	// Improvement decreases as p grows (less variance advantage).
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Improvement > pts[i-1].Improvement {
+			t.Errorf("improvement not decreasing at p=%v", pts[i].P)
+		}
+	}
+	// The paper's headline: ~10x at p = 0.1, and another ~10x from active
+	// labeling.
+	var at01 Figure3Point
+	for _, p := range pts {
+		if p.P == 0.1 {
+			at01 = p
+		}
+	}
+	if at01.Improvement < 8 || at01.Improvement > 12 {
+		t.Errorf("improvement at p=0.1 = %v, want ~10x", at01.Improvement)
+	}
+	if at01.ActiveImprovement < 80 {
+		t.Errorf("active improvement at p=0.1 = %v, want ~100x", at01.ActiveImprovement)
+	}
+	if err := func() error { _, err := Figure3(nil, nil, nil); return err }(); err == nil {
+		t.Error("empty sweep should fail")
+	}
+}
+
+func TestFigure4Soundness(t *testing.T) {
+	cfg := DefaultFigure4Config()
+	cfg.Ns = []int{500, 2000, 8000}
+	cfg.Trials = 300
+	pts, err := Figure4(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pts {
+		if p.BaselineEps < p.EmpiricalEps {
+			t.Errorf("n=%d: baseline %v below empirical %v", p.N, p.BaselineEps, p.EmpiricalEps)
+		}
+		if p.OptimizedEps < p.EmpiricalEps {
+			t.Errorf("n=%d: optimized %v below empirical %v", p.N, p.OptimizedEps, p.EmpiricalEps)
+		}
+		if p.OptimizedEps > p.BaselineEps {
+			t.Errorf("n=%d: optimized %v worse than baseline %v", p.N, p.OptimizedEps, p.BaselineEps)
+		}
+	}
+	// The optimized estimator should use significantly fewer samples: its
+	// epsilon at n matches the baseline's at a much larger n.
+	if pts[0].OptimizedEps > 0.6*pts[0].BaselineEps {
+		t.Errorf("optimized eps %v not clearly below baseline %v", pts[0].OptimizedEps, pts[0].BaselineEps)
+	}
+	if _, err := Figure4(Figure4Config{Trials: 1}); err == nil {
+		t.Error("too few trials should fail")
+	}
+}
+
+func TestFigure5MatchesPaperStory(t *testing.T) {
+	res, err := Figure5(2019)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Queries) != 3 {
+		t.Fatalf("queries = %d", len(res.Queries))
+	}
+	// Sample sizes match the paper's Figure 5 annotations exactly.
+	wantSizes := []int{4713, 4713, 5204}
+	for i, q := range res.Queries {
+		if q.SampleSize != wantSizes[i] {
+			t.Errorf("%s sample size = %d, want %d", q.Name, q.SampleSize, wantSizes[i])
+		}
+		// "all three queries will have the second last model chosen to be
+		// active".
+		if q.FinalActive != 7 {
+			t.Errorf("%s final active = iteration-%d, want 7", q.Name, q.FinalActive)
+		}
+		if len(q.Outcomes) != 7 {
+			t.Errorf("%s outcomes = %d, want 7", q.Name, len(q.Outcomes))
+		}
+		// The last commit must be rejected by every query (its accuracy
+		// drops).
+		last := q.Outcomes[len(q.Outcomes)-1]
+		if last.Pass {
+			t.Errorf("%s: iteration 8 must fail", q.Name)
+		}
+	}
+	// Non-adaptive mode hides failures: every signal is accept.
+	for _, q := range res.Queries[:2] {
+		for _, o := range q.Outcomes {
+			if !o.Signal {
+				t.Errorf("%s iteration %d: non-adaptive signal must be accept", q.Name, o.Iteration)
+			}
+		}
+	}
+	// Adaptive mode releases true outcomes.
+	for _, o := range res.Queries[2].Outcomes {
+		if o.Signal != o.Pass {
+			t.Errorf("adaptive signal != outcome at iteration %d", o.Iteration)
+		}
+	}
+	// fn-free accepts at least as many commits as fp-free.
+	passCount := func(q Figure5Query) int {
+		n := 0
+		for _, o := range q.Outcomes {
+			if o.Pass {
+				n++
+			}
+		}
+		return n
+	}
+	if passCount(res.Queries[1]) < passCount(res.Queries[0]) {
+		t.Error("fn-free must accept at least as many commits as fp-free")
+	}
+}
+
+func TestFigure6Trajectory(t *testing.T) {
+	res, err := Figure5(2019)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.TestAccuracy) != 8 || len(res.DevAccuracy) != 8 {
+		t.Fatalf("trajectory lengths: %d/%d", len(res.TestAccuracy), len(res.DevAccuracy))
+	}
+	// The shape of Figure 6: the peak is the second-to-last iteration and
+	// the last iteration dips.
+	peak := 0
+	for i, a := range res.TestAccuracy {
+		if a > res.TestAccuracy[peak] {
+			peak = i
+		}
+	}
+	if peak != 6 {
+		t.Errorf("test accuracy peak at iteration %d, want 7", peak+1)
+	}
+	if res.TestAccuracy[7] >= res.TestAccuracy[6] {
+		t.Error("iteration 8 must dip below iteration 7")
+	}
+	// Consecutive submissions stay close; across the whole chain the
+	// disagreement remains moderate.
+	if res.MaxPairwiseDisagreement > 0.15 {
+		t.Errorf("max pairwise disagreement = %v, want <= 0.15", res.MaxPairwiseDisagreement)
+	}
+}
+
+func TestFigure5Deterministic(t *testing.T) {
+	a, err := Figure5(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Figure5(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Queries {
+		for j := range a.Queries[i].Outcomes {
+			if a.Queries[i].Outcomes[j] != b.Queries[i].Outcomes[j] {
+				t.Fatalf("same-seed scenario diverged at query %d outcome %d", i, j)
+			}
+		}
+	}
+}
+
+func TestInTextNumbers(t *testing.T) {
+	n, err := ComputeInTextNumbers()
+	if err != nil {
+		t.Fatal(err)
+	}
+	checks := []struct {
+		name   string
+		got    int
+		lo, hi int
+	}{
+		{"single model", n.SingleModel, 46052, 46052},
+		{"non-adaptive 32", n.NonAdaptive32, 63381, 63381},
+		{"fully adaptive wide", n.FullyAdaptiveWide, 6279, 6279},
+		{"fully adaptive narrow", n.FullyAdaptiveNarrow, 156956, 156956},
+		{"pattern1 non-adaptive", n.Pattern1NonAdaptive, 29046, 29049},
+		{"pattern1 fully adaptive", n.Pattern1FullyAdaptive, 67700, 67710},
+		{"active labels per commit", n.ActiveLabelsPerCommit, 2188, 2190},
+		{"semeval hoeffding", n.SemEvalHoeffding, 44268, 44269},
+		{"semeval adaptive hoeffding", n.SemEvalHoeffdingAdaptive, 58790, 58810},
+		{"semeval adaptive bennett", n.SemEvalBennettAdaptive, 6001, 6500},
+	}
+	for _, c := range checks {
+		if c.got < c.lo || c.got > c.hi {
+			t.Errorf("%s = %d, want in [%d, %d]", c.name, c.got, c.lo, c.hi)
+		}
+	}
+	text := RenderInTextNumbers(n)
+	if !strings.Contains(text, "46052") {
+		t.Error("render missing single-model number")
+	}
+}
+
+func TestCSVWriters(t *testing.T) {
+	dir := t.TempDir()
+	rows, err := Figure2(32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, rs := Figure2CSV(rows)
+	path := filepath.Join(dir, "sub", "fig2.csv")
+	if err := WriteCSV(path, h, rs); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(raw)
+	if !strings.HasPrefix(text, "reliability,epsilon") {
+		t.Errorf("csv header wrong: %q", text[:40])
+	}
+	if !strings.Contains(text, "63381") {
+		t.Error("csv missing data")
+	}
+	if lines := strings.Count(text, "\n"); lines != 17 {
+		t.Errorf("csv lines = %d, want 17", lines)
+	}
+
+	series, _ := Figure3([]float64{0.01}, []float64{0.001}, []float64{0.1, 0.2})
+	h, rs = Figure3CSV(series)
+	if len(rs) != 2 || len(h) != 8 {
+		t.Errorf("fig3 csv shape: %d rows, %d cols", len(rs), len(h))
+	}
+
+	cfg := DefaultFigure4Config()
+	cfg.Ns = []int{500}
+	cfg.Trials = 50
+	pts, err := Figure4(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, rs = Figure4CSV(pts)
+	if len(rs) != 1 || len(h) != 4 {
+		t.Errorf("fig4 csv shape: %d rows, %d cols", len(rs), len(h))
+	}
+
+	res, err := Figure5(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, rs = Figure5CSV(res)
+	if len(rs) != 21 { // 3 queries x 7 iterations
+		t.Errorf("fig5 csv rows = %d, want 21", len(rs))
+	}
+	_, rs = Figure6CSV(res)
+	if len(rs) != 8 {
+		t.Errorf("fig6 csv rows = %d, want 8", len(rs))
+	}
+}
+
+func TestRenderers(t *testing.T) {
+	res, err := Figure5(2019)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f5 := RenderFigure5(res)
+	for _, want := range []string{"Non-Adaptive I", "Non-Adaptive II", "Adaptive", "4713", "5204", "final active model: iteration-7"} {
+		if !strings.Contains(f5, want) {
+			t.Errorf("figure 5 render missing %q", want)
+		}
+	}
+	f6 := RenderFigure6(res)
+	if !strings.Contains(f6, "iteration") || strings.Count(f6, "\n") != 10 {
+		t.Errorf("figure 6 render shape wrong:\n%s", f6)
+	}
+
+	series, _ := Figure3([]float64{0.01}, []float64{0.0001}, DefaultFigure3Ps)
+	if !strings.Contains(RenderFigure3(series), "Hoeffding baseline") {
+		t.Error("figure 3 render missing baseline")
+	}
+
+	cfg := DefaultFigure4Config()
+	cfg.Ns = []int{500}
+	cfg.Trials = 50
+	pts, _ := Figure4(cfg)
+	if !strings.Contains(RenderFigure4(pts, cfg), "empirical") {
+		t.Error("figure 4 render missing header")
+	}
+}

@@ -1,0 +1,93 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (Section 5 plus the Figure 2 practicality table and the
+// in-text numbers of Sections 3-4). Each driver returns structured rows and
+// has a text renderer; cmd/experiments prints them and bench_test.go at the
+// repository root exercises them as benchmarks.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/easeml/ci/internal/adaptivity"
+	"github.com/easeml/ci/internal/condlang"
+	"github.com/easeml/ci/internal/estimator"
+)
+
+// Figure2Row is one row of the paper's Figure 2 table: sample sizes for the
+// F1/F4 condition family (single variable) and the F2/F3 family (n - o)
+// under non-adaptive and fully-adaptive interaction.
+type Figure2Row struct {
+	Reliability float64
+	Epsilon     float64
+	F1F4None    int
+	F1F4Full    int
+	F2F3None    int
+	F2F3Full    int
+}
+
+// figure2Reliabilities and figure2Epsilons are the grid the paper tabulates.
+var (
+	figure2Reliabilities = []float64{0.99, 0.999, 0.9999, 0.99999}
+	figure2Epsilons      = []float64{0.1, 0.05, 0.025, 0.01}
+)
+
+// Figure2 computes the full table for H steps (the paper uses H = 32).
+func Figure2(steps int) ([]Figure2Row, error) {
+	f14, err := condlang.Parse("n > 0.5 +/- 0.1")
+	if err != nil {
+		return nil, err
+	}
+	f23, err := condlang.Parse("n - o > 0.02 +/- 0.1")
+	if err != nil {
+		return nil, err
+	}
+	var rows []Figure2Row
+	for _, rel := range figure2Reliabilities {
+		for _, eps := range figure2Epsilons {
+			row := Figure2Row{Reliability: rel, Epsilon: eps}
+			// Rewrite the clause tolerances to the grid epsilon.
+			f14.Clauses[0].Tolerance = eps
+			f23.Clauses[0].Tolerance = eps
+			delta := 1 - rel
+			cells := []struct {
+				f    condlang.Formula
+				kind adaptivity.Kind
+				dst  *int
+			}{
+				{f14, adaptivity.None, &row.F1F4None},
+				{f14, adaptivity.Full, &row.F1F4Full},
+				{f23, adaptivity.None, &row.F2F3None},
+				{f23, adaptivity.Full, &row.F2F3Full},
+			}
+			for _, c := range cells {
+				plan, err := estimator.SampleSize(c.f, delta, estimator.Options{
+					Steps:      steps,
+					Adaptivity: c.kind,
+					Strategy:   estimator.PerVariable,
+					Split:      estimator.SplitOptimal,
+				})
+				if err != nil {
+					return nil, err
+				}
+				*c.dst = plan.N
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+// RenderFigure2 formats the table the way the paper prints it.
+func RenderFigure2(rows []Figure2Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 2: number of samples required, H = 32 steps\n")
+	fmt.Fprintf(&b, "%-8s %-6s | %10s %10s | %10s %10s\n",
+		"1-delta", "eps", "F1F4/none", "F1F4/full", "F2F3/none", "F2F3/full")
+	fmt.Fprintln(&b, strings.Repeat("-", 66))
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-8g %-6g | %10d %10d | %10d %10d\n",
+			r.Reliability, r.Epsilon, r.F1F4None, r.F1F4Full, r.F2F3None, r.F2F3Full)
+	}
+	return b.String()
+}

@@ -1,0 +1,86 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"github.com/easeml/ci/internal/bounds"
+)
+
+// Figure3Point is one point of the label-complexity curves of Figure 3:
+// for a disagreement bound p, the Hoeffding baseline for n - o, the
+// Bennett-optimized size, and the per-commit active-labeling cost, plus the
+// improvement factors the paper plots.
+type Figure3Point struct {
+	P                 float64
+	HoeffdingN        int
+	BennettN          int
+	ActiveLabels      int
+	Improvement       float64 // HoeffdingN / BennettN
+	ActiveImprovement float64 // HoeffdingN / ActiveLabels
+}
+
+// Figure3Series is one curve: a fixed (epsilon, delta) pair swept over p.
+type Figure3Series struct {
+	Epsilon float64
+	Delta   float64
+	Points  []Figure3Point
+}
+
+// DefaultFigure3Ps is the disagreement-bound sweep.
+var DefaultFigure3Ps = []float64{0.01, 0.02, 0.05, 0.1, 0.2, 0.4, 0.6, 0.8, 1.0}
+
+// Figure3 sweeps the impact of epsilon, delta, and p on label complexity.
+// The baseline is the two-sided Hoeffding bound for the range-2 variable
+// n - o; the optimized size is the two-sided Bennett bound under second
+// moment p; active labeling multiplies by p (only disagreements are
+// labeled).
+func Figure3(epsilons, deltas, ps []float64) ([]Figure3Series, error) {
+	if len(epsilons) == 0 || len(deltas) == 0 || len(ps) == 0 {
+		return nil, fmt.Errorf("experiments: empty sweep")
+	}
+	var out []Figure3Series
+	for _, eps := range epsilons {
+		for _, delta := range deltas {
+			s := Figure3Series{Epsilon: eps, Delta: delta}
+			hoeff, err := bounds.HoeffdingSampleSizeTwoSided(2, eps, delta)
+			if err != nil {
+				return nil, err
+			}
+			for _, p := range ps {
+				bennett, err := bounds.BennettSampleSize(p, eps, delta)
+				if err != nil {
+					return nil, err
+				}
+				active := int(math.Ceil(float64(bennett) * p))
+				s.Points = append(s.Points, Figure3Point{
+					P:                 p,
+					HoeffdingN:        hoeff,
+					BennettN:          bennett,
+					ActiveLabels:      active,
+					Improvement:       float64(hoeff) / float64(bennett),
+					ActiveImprovement: float64(hoeff) / float64(active),
+				})
+			}
+			out = append(out, s)
+		}
+	}
+	return out, nil
+}
+
+// RenderFigure3 prints the series as aligned text.
+func RenderFigure3(series []Figure3Series) string {
+	var b strings.Builder
+	fmt.Fprintln(&b, "Figure 3: impact of epsilon, delta, and p on label complexity")
+	for _, s := range series {
+		fmt.Fprintf(&b, "\nepsilon=%g delta=%g (Hoeffding baseline for n-o: %d)\n",
+			s.Epsilon, s.Delta, s.Points[0].HoeffdingN)
+		fmt.Fprintf(&b, "%-6s %12s %12s %10s %10s\n", "p", "Bennett", "active", "improve", "act-improve")
+		for _, p := range s.Points {
+			fmt.Fprintf(&b, "%-6g %12d %12d %9.1fx %9.1fx\n",
+				p.P, p.BennettN, p.ActiveLabels, p.Improvement, p.ActiveImprovement)
+		}
+	}
+	return b.String()
+}

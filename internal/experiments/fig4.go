@@ -1,0 +1,92 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/easeml/ci/internal/bounds"
+	"github.com/easeml/ci/internal/sim"
+)
+
+// Figure4Point compares, at one testset size n, the tolerance the baseline
+// (Hoeffding) and optimized (Bennett, under variance bound p) estimators
+// promise against the empirically measured error of a model with ~98%
+// accuracy — the paper's GoogLeNet-on-infinite-MNIST experiment with the
+// model replaced by a controlled Bernoulli stream (see DESIGN.md,
+// substitution 1).
+type Figure4Point struct {
+	N            int
+	EmpiricalEps float64
+	BaselineEps  float64
+	OptimizedEps float64
+}
+
+// Figure4Config parameterizes the experiment.
+type Figure4Config struct {
+	// TrueAccuracy of the simulated model (the paper's is ~0.98).
+	TrueAccuracy float64
+	// P is the variance upper bound given to the optimized estimator.
+	P float64
+	// Delta is the per-estimate failure probability.
+	Delta float64
+	// Ns are the testset sizes to sweep.
+	Ns []int
+	// Trials is the number of Monte-Carlo testsets per point.
+	Trials int
+	// Seed drives the simulation.
+	Seed int64
+}
+
+// DefaultFigure4Config mirrors the paper's regime.
+func DefaultFigure4Config() Figure4Config {
+	return Figure4Config{
+		TrueAccuracy: 0.98,
+		P:            0.04, // a(1-a) <= 0.02 with headroom
+		Delta:        0.01,
+		Ns:           []int{250, 500, 1000, 2000, 4000, 8000, 16000},
+		Trials:       400,
+		Seed:         2019,
+	}
+}
+
+// Figure4 runs the comparison. Soundness demands BaselineEps and
+// OptimizedEps both dominate EmpiricalEps at every n, while OptimizedEps
+// stays well below BaselineEps — that is the figure's whole point.
+func Figure4(cfg Figure4Config) ([]Figure4Point, error) {
+	if cfg.Trials < 10 {
+		return nil, fmt.Errorf("experiments: need >= 10 trials, got %d", cfg.Trials)
+	}
+	var out []Figure4Point
+	for _, n := range cfg.Ns {
+		accs, err := sim.BernoulliAccuracies(cfg.TrueAccuracy, n, cfg.Trials, cfg.Seed+int64(n))
+		if err != nil {
+			return nil, err
+		}
+		emp, err := sim.EmpiricalEpsilon(accs, cfg.Delta)
+		if err != nil {
+			return nil, err
+		}
+		base, err := bounds.HoeffdingEpsilon(1, n, cfg.Delta)
+		if err != nil {
+			return nil, err
+		}
+		opt, err := bounds.BennettEpsilon(n, cfg.P, cfg.Delta)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Figure4Point{N: n, EmpiricalEps: emp, BaselineEps: base, OptimizedEps: opt})
+	}
+	return out, nil
+}
+
+// RenderFigure4 prints the sweep.
+func RenderFigure4(points []Figure4Point, cfg Figure4Config) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 4: estimated vs empirical error (true accuracy %.2f, p=%.2f, delta=%g)\n",
+		cfg.TrueAccuracy, cfg.P, cfg.Delta)
+	fmt.Fprintf(&b, "%-8s %12s %14s %14s\n", "n", "empirical", "baseline(Hoef)", "optimized(Ben)")
+	for _, p := range points {
+		fmt.Fprintf(&b, "%-8d %12.5f %14.5f %14.5f\n", p.N, p.EmpiricalEps, p.BaselineEps, p.OptimizedEps)
+	}
+	return b.String()
+}

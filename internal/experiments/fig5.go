@@ -1,0 +1,244 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/easeml/ci/internal/core"
+	"github.com/easeml/ci/internal/data"
+	"github.com/easeml/ci/internal/engine"
+	"github.com/easeml/ci/internal/interval"
+	"github.com/easeml/ci/internal/labeling"
+	"github.com/easeml/ci/internal/model"
+	"github.com/easeml/ci/internal/patterns"
+	"github.com/easeml/ci/internal/script"
+)
+
+// The Figure 5/6 scenario reproduces the paper's SemEval-2019 Task 3 case
+// study with the substitution documented in DESIGN.md: a synthetic emotion
+// corpus with a 5,509-item testset (the published testset size) and an
+// 8-model incremental commit chain whose accuracy trajectory rises, peaks
+// at the second-to-last model, and dips at the last one (the Figure 6
+// shape). Consecutive commits differ on a few percent of predictions, so
+// all three queries are optimized by Pattern 2 with the paper's "no more
+// than 10% difference" bound.
+
+// Figure5TestSize is the size of the SemEval-2019 Task 3 test split.
+const Figure5TestSize = 5509
+
+// figure5Deltas/Disagrees define the 7 evolution steps of the commit chain.
+var (
+	figure5Deltas    = []float64{0.007, 0.048, 0.004, 0.004, 0.004, 0.042, -0.015}
+	figure5Disagrees = []float64{0.013, 0.054, 0.010, 0.010, 0.010, 0.048, 0.021}
+	// figure5BaseAccuracy anchors iteration 1.
+	figure5BaseAccuracy = 0.845
+)
+
+// Figure5Outcome is one evaluated commit in one query.
+type Figure5Outcome struct {
+	// Iteration is the 1-based model index (2..8; iteration 1 is H0).
+	Iteration int
+	Truth     interval.Truth
+	// Pass is the true outcome; Signal is what the developer saw.
+	Pass, Signal bool
+	// ActiveAfter is the model index that is active after this commit.
+	ActiveAfter int
+}
+
+// Figure5Query is one of the three test conditions of the figure.
+type Figure5Query struct {
+	Name         string
+	ConditionSrc string
+	Adaptivity   script.AdaptivityKind
+	Mode         interval.Mode
+	Reliability  float64
+	// SampleSize is the labeled testset size the planner charges (the
+	// "# Samples" annotation in the figure).
+	SampleSize int
+	Outcomes   []Figure5Outcome
+	// FinalActive is the model left active after all 8 iterations.
+	FinalActive int
+}
+
+// Figure5Result bundles the three queries plus the accuracy trajectories
+// (Figure 6) measured on the synthetic corpus.
+type Figure5Result struct {
+	Queries []Figure5Query
+	// TestAccuracy and DevAccuracy are per-iteration accuracies on the
+	// test and development splits (Figure 6's two curves).
+	TestAccuracy []float64
+	DevAccuracy  []float64
+	// MaxPairwiseDisagreement is the largest prediction difference between
+	// any two of the 8 models on the testset.
+	MaxPairwiseDisagreement float64
+}
+
+// Figure5 builds the scenario and runs all three queries through the CI
+// engine. Deterministic given the seed.
+func Figure5(seed int64) (*Figure5Result, error) {
+	const devSize = 2755 // half the test split, like the competition's dev set
+	poolSize := Figure5TestSize + devSize
+	corpus, err := data.EmotionCorpus(poolSize, data.DefaultEmotionConfig(), seed)
+	if err != nil {
+		return nil, err
+	}
+	// The commit chain is constructed over the whole pool so dev and test
+	// accuracies move together, then evaluated separately per split.
+	initial, err := model.SimulatedPredictions(corpus.Y, corpus.Classes, figure5BaseAccuracy, seed+1)
+	if err != nil {
+		return nil, err
+	}
+	chain, err := model.EvolveChain(initial, corpus.Y, corpus.Classes, figure5Deltas, figure5Disagrees, seed+2)
+	if err != nil {
+		return nil, err
+	}
+
+	testLabels := corpus.Y[:Figure5TestSize]
+	devLabels := corpus.Y[Figure5TestSize:]
+	testDS := indexDataset("semeval-test", testLabels, corpus.Classes)
+
+	res := &Figure5Result{}
+	for k, preds := range chain {
+		res.TestAccuracy = append(res.TestAccuracy, sliceAccuracy(preds[:Figure5TestSize], testLabels))
+		res.DevAccuracy = append(res.DevAccuracy, sliceAccuracy(preds[Figure5TestSize:], devLabels))
+		for j := 0; j < k; j++ {
+			d := sliceDisagreement(chain[j][:Figure5TestSize], preds[:Figure5TestSize])
+			if d > res.MaxPairwiseDisagreement {
+				res.MaxPairwiseDisagreement = d
+			}
+		}
+	}
+
+	queries := []Figure5Query{
+		{
+			Name:         "Non-Adaptive I",
+			ConditionSrc: "n - o > 0.02 +/- 0.02",
+			Adaptivity:   script.AdaptivityNone,
+			Mode:         interval.FPFree,
+			Reliability:  0.998,
+		},
+		{
+			Name:         "Non-Adaptive II",
+			ConditionSrc: "n - o > 0.02 +/- 0.02",
+			Adaptivity:   script.AdaptivityNone,
+			Mode:         interval.FNFree,
+			Reliability:  0.998,
+		},
+		{
+			Name:         "Adaptive",
+			ConditionSrc: "n - o > 0.018 +/- 0.022",
+			Adaptivity:   script.AdaptivityFull,
+			Mode:         interval.FPFree,
+			Reliability:  0.998,
+		},
+	}
+	for qi := range queries {
+		if err := runFigure5Query(&queries[qi], chain, testDS); err != nil {
+			return nil, fmt.Errorf("experiments: query %q: %w", queries[qi].Name, err)
+		}
+	}
+	res.Queries = queries
+	return res, nil
+}
+
+func runFigure5Query(q *Figure5Query, chain [][]int, testDS *data.Dataset) error {
+	adapt := script.Adaptivity{Kind: q.Adaptivity}
+	if q.Adaptivity == script.AdaptivityNone {
+		adapt.Email = "integration@easeml.ci"
+	}
+	cfg, err := script.New(q.ConditionSrc, q.Reliability, q.Mode, adapt, len(chain)-1)
+	if err != nil {
+		return err
+	}
+	eng, err := engine.New(cfg, testDS, labeling.NewTruthOracle(testDS.Y), engine.Options{
+		InitialModel: model.NewFixedPredictions("iteration-1", chain[0][:Figure5TestSize]),
+		Planner: core.Options{
+			Budget:              patterns.BudgetTestOnly,
+			Variance:            patterns.VarianceAtThreshold,
+			AssumedDisagreement: 0.1, // the paper's any-two-submissions bound
+		},
+	})
+	if err != nil {
+		return err
+	}
+	q.SampleSize = eng.Plan().LabeledN
+	activeIdx := 1
+	for k := 1; k < len(chain); k++ {
+		name := fmt.Sprintf("iteration-%d", k+1)
+		m := model.NewFixedPredictions(name, chain[k][:Figure5TestSize])
+		r, err := eng.Commit(m, "ds3-emoContext", fmt.Sprintf("submission %d", k+1))
+		if err != nil {
+			return err
+		}
+		if r.Promoted {
+			activeIdx = k + 1
+		}
+		q.Outcomes = append(q.Outcomes, Figure5Outcome{
+			Iteration:   k + 1,
+			Truth:       r.Truth,
+			Pass:        r.Pass,
+			Signal:      r.Signal,
+			ActiveAfter: activeIdx,
+		})
+	}
+	q.FinalActive = activeIdx
+	return nil
+}
+
+// indexDataset wraps labels as an index-keyed dataset for FixedPredictions.
+func indexDataset(name string, labels []int, classes int) *data.Dataset {
+	ds := &data.Dataset{Name: name, Classes: classes}
+	for i, y := range labels {
+		ds.X = append(ds.X, []float64{float64(i)})
+		ds.Y = append(ds.Y, y)
+	}
+	return ds
+}
+
+func sliceAccuracy(preds, labels []int) float64 {
+	c := 0
+	for i := range preds {
+		if preds[i] == labels[i] {
+			c++
+		}
+	}
+	return float64(c) / float64(len(preds))
+}
+
+func sliceDisagreement(a, b []int) float64 {
+	d := 0
+	for i := range a {
+		if a[i] != b[i] {
+			d++
+		}
+	}
+	return float64(d) / float64(len(a))
+}
+
+// RenderFigure5 prints the per-iteration pass/fail trace of each query.
+func RenderFigure5(res *Figure5Result) string {
+	var b strings.Builder
+	fmt.Fprintln(&b, "Figure 5: continuous integration steps on the SemEval-style scenario")
+	for _, q := range res.Queries {
+		fmt.Fprintf(&b, "\n%s: %s  (adaptivity=%s, mode=%s, reliability=%g, #samples=%d)\n",
+			q.Name, q.ConditionSrc, q.Adaptivity, q.Mode, q.Reliability, q.SampleSize)
+		fmt.Fprintf(&b, "%-10s %-9s %-6s %-7s %-6s\n", "iteration", "truth", "pass", "signal", "active")
+		for _, o := range q.Outcomes {
+			fmt.Fprintf(&b, "%-10d %-9s %-6v %-7v %-6d\n", o.Iteration, o.Truth, o.Pass, o.Signal, o.ActiveAfter)
+		}
+		fmt.Fprintf(&b, "final active model: iteration-%d\n", q.FinalActive)
+	}
+	fmt.Fprintf(&b, "\nmax pairwise disagreement across the 8 submissions: %.3f\n", res.MaxPairwiseDisagreement)
+	return b.String()
+}
+
+// RenderFigure6 prints the accuracy-evolution curves.
+func RenderFigure6(res *Figure5Result) string {
+	var b strings.Builder
+	fmt.Fprintln(&b, "Figure 6: evolution of development and test accuracy")
+	fmt.Fprintf(&b, "%-10s %-10s %-10s\n", "iteration", "dev", "test")
+	for i := range res.TestAccuracy {
+		fmt.Fprintf(&b, "%-10d %-10.4f %-10.4f\n", i+1, res.DevAccuracy[i], res.TestAccuracy[i])
+	}
+	return b.String()
+}

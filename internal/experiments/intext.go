@@ -1,0 +1,134 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"github.com/easeml/ci/internal/adaptivity"
+	"github.com/easeml/ci/internal/bounds"
+	"github.com/easeml/ci/internal/condlang"
+	"github.com/easeml/ci/internal/estimator"
+	"github.com/easeml/ci/internal/patterns"
+)
+
+// InTextNumbers collects every sample-size number quoted in the prose of
+// Sections 1-5, recomputed from this implementation. EXPERIMENTS.md records
+// the paper-vs-measured comparison.
+type InTextNumbers struct {
+	// Section 1 / 3.1: single (0.01, 1e-4) Hoeffding estimate ("46K").
+	SingleModel int
+	// Section 3.6 / Figure 2: 32 non-adaptive steps ("63K").
+	NonAdaptive32 int
+	// Section 3.3: fully adaptive, eps=0.05 ("6,279").
+	FullyAdaptiveWide int
+	// Section 3.3: fully adaptive, eps=0.01 ("156,955").
+	FullyAdaptiveNarrow int
+	// Section 4.1.1: Pattern 1 non-adaptive ("29K").
+	Pattern1NonAdaptive int
+	// Section 4.1.1: Pattern 1 fully adaptive ("67K").
+	Pattern1FullyAdaptive int
+	// Section 4.1.2: active labeling per commit ("2,188").
+	ActiveLabelsPerCommit int
+	// Section 5.2: Hoeffding for the SemEval setting ("44,268").
+	SemEvalHoeffding int
+	// Section 5.2: the same fully adaptive ("up to 58K").
+	SemEvalHoeffdingAdaptive int
+	// Section 5.2: adaptive Bennett at eps=0.02 ("more than 6K").
+	SemEvalBennettAdaptive int
+}
+
+// ComputeInTextNumbers recomputes all of them.
+func ComputeInTextNumbers() (*InTextNumbers, error) {
+	out := &InTextNumbers{}
+	var err error
+	if out.SingleModel, err = bounds.HoeffdingSampleSize(1, 0.01, 0.0001); err != nil {
+		return nil, err
+	}
+	if out.NonAdaptive32, err = bounds.HoeffdingSampleSize(1, 0.01, 0.0001/32); err != nil {
+		return nil, err
+	}
+	if out.FullyAdaptiveWide, err = bounds.HoeffdingSampleSize(1, 0.05, 0.0001/math.Pow(2, 32)); err != nil {
+		return nil, err
+	}
+	if out.FullyAdaptiveNarrow, err = bounds.HoeffdingSampleSize(1, 0.01, 0.0001/math.Pow(2, 32)); err != nil {
+		return nil, err
+	}
+
+	pattern1, err := condlang.Parse("d < 0.1 +/- 0.01 /\\ n - o > 0.02 +/- 0.01")
+	if err != nil {
+		return nil, err
+	}
+	p1None, err := patterns.PlanPattern1(pattern1, 0.0001, patterns.Options{
+		Steps: 32, Adaptivity: adaptivity.None,
+		Budget: patterns.BudgetSplit, Variance: patterns.VarianceAtThreshold,
+	})
+	if err != nil {
+		return nil, err
+	}
+	out.Pattern1NonAdaptive = p1None.TestN
+	out.ActiveLabelsPerCommit = p1None.PerCommitLabels
+	p1Full, err := patterns.PlanPattern1(pattern1, 0.0001, patterns.Options{
+		Steps: 32, Adaptivity: adaptivity.Full,
+		Budget: patterns.BudgetSplit, Variance: patterns.VarianceAtThreshold,
+	})
+	if err != nil {
+		return nil, err
+	}
+	out.Pattern1FullyAdaptive = p1Full.TestN
+
+	semeval, err := condlang.Parse("n - o > 0.02 +/- 0.02")
+	if err != nil {
+		return nil, err
+	}
+	planNone, err := estimator.SampleSize(semeval, 0.002, estimator.Options{
+		Steps: 7, Adaptivity: adaptivity.None, Strategy: estimator.CompositeRange,
+	})
+	if err != nil {
+		return nil, err
+	}
+	out.SemEvalHoeffding = planNone.N
+	planFull, err := estimator.SampleSize(semeval, 0.002, estimator.Options{
+		Steps: 7, Adaptivity: adaptivity.Full, Strategy: estimator.CompositeRange,
+	})
+	if err != nil {
+		return nil, err
+	}
+	out.SemEvalHoeffdingAdaptive = planFull.N
+
+	p2, err := patterns.PlanPattern2(semeval, 0.002, patterns.Options{
+		Steps: 7, Adaptivity: adaptivity.Full, Budget: patterns.BudgetTestOnly,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if out.SemEvalBennettAdaptive, err = p2.TestN(0.1); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// RenderInTextNumbers prints the paper-vs-measured table.
+func RenderInTextNumbers(n *InTextNumbers) string {
+	var b strings.Builder
+	fmt.Fprintln(&b, "In-text sample sizes (paper quote -> recomputed)")
+	rows := []struct {
+		where, quote string
+		got          int
+	}{
+		{"Sec 1", "more than 46K", n.SingleModel},
+		{"Sec 3.6", "63K (Fig 2: 63,381)", n.NonAdaptive32},
+		{"Sec 3.3", "6,279", n.FullyAdaptiveWide},
+		{"Sec 3.3", "156,955 (Fig 2: 156,956)", n.FullyAdaptiveNarrow},
+		{"Sec 4.1.1", "29K", n.Pattern1NonAdaptive},
+		{"Sec 4.1.1", "67K", n.Pattern1FullyAdaptive},
+		{"Sec 4.1.2", "2,188", n.ActiveLabelsPerCommit},
+		{"Sec 5.2", "44,268", n.SemEvalHoeffding},
+		{"Sec 5.2", "up to 58K", n.SemEvalHoeffdingAdaptive},
+		{"Sec 5.2", "more than 6K", n.SemEvalBennettAdaptive},
+	}
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-10s %-28s -> %d\n", r.where, r.quote, r.got)
+	}
+	return b.String()
+}

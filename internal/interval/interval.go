@@ -1,0 +1,102 @@
+// Package interval implements the closed-interval algebra and three-valued
+// logic that ease.ml/ci uses to evaluate test conditions (Section 3.5 and
+// Appendix A.2 of the paper). Point estimates of the random variables
+// {n, o, d} are replaced by confidence intervals; arithmetic is performed on
+// intervals; comparisons against constants yield True, False, or Unknown;
+// and the user's mode (fp-free / fn-free) collapses Unknown to a boolean.
+package interval
+
+import (
+	"fmt"
+	"math"
+)
+
+// Interval is a closed real interval [Lo, Hi].
+type Interval struct {
+	Lo, Hi float64
+}
+
+// New returns the interval [lo, hi]. It panics if lo > hi or either bound is
+// NaN: intervals are always constructed from estimator output, and a
+// malformed one indicates a programming error, not a runtime condition.
+func New(lo, hi float64) Interval {
+	if math.IsNaN(lo) || math.IsNaN(hi) || lo > hi {
+		panic(fmt.Sprintf("interval: invalid bounds [%v, %v]", lo, hi))
+	}
+	return Interval{Lo: lo, Hi: hi}
+}
+
+// Point returns the degenerate interval [x, x].
+func Point(x float64) Interval { return New(x, x) }
+
+// Around returns the interval [x-eps, x+eps], the (epsilon, delta)
+// confidence interval around a point estimate.
+func Around(x, eps float64) Interval {
+	if eps < 0 {
+		panic(fmt.Sprintf("interval: negative half-width %v", eps))
+	}
+	return New(x-eps, x+eps)
+}
+
+// Add returns a + b = [a.Lo+b.Lo, a.Hi+b.Hi] (the paper's example algebra).
+func (a Interval) Add(b Interval) Interval {
+	return New(a.Lo+b.Lo, a.Hi+b.Hi)
+}
+
+// Sub returns a - b = [a.Lo-b.Hi, a.Hi-b.Lo].
+func (a Interval) Sub(b Interval) Interval {
+	return New(a.Lo-b.Hi, a.Hi-b.Lo)
+}
+
+// Scale returns c * a, flipping the bounds when c is negative.
+func (a Interval) Scale(c float64) Interval {
+	lo, hi := c*a.Lo, c*a.Hi
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	return New(lo, hi)
+}
+
+// Width returns Hi - Lo.
+func (a Interval) Width() float64 { return a.Hi - a.Lo }
+
+// Mid returns the midpoint.
+func (a Interval) Mid() float64 { return (a.Lo + a.Hi) / 2 }
+
+// Contains reports whether x lies in [Lo, Hi].
+func (a Interval) Contains(x float64) bool { return a.Lo <= x && x <= a.Hi }
+
+// Intersect reports whether a and b overlap.
+func (a Interval) Intersect(b Interval) bool {
+	return a.Lo <= b.Hi && b.Lo <= a.Hi
+}
+
+// GreaterThan evaluates "a > c" in three-valued logic: True if the entire
+// interval is above c, False if entirely at or below, Unknown otherwise.
+func (a Interval) GreaterThan(c float64) Truth {
+	switch {
+	case a.Lo > c:
+		return True
+	case a.Hi <= c:
+		return False
+	default:
+		return Unknown
+	}
+}
+
+// LessThan evaluates "a < c" in three-valued logic.
+func (a Interval) LessThan(c float64) Truth {
+	switch {
+	case a.Hi < c:
+		return True
+	case a.Lo >= c:
+		return False
+	default:
+		return Unknown
+	}
+}
+
+// String renders the interval as "[lo, hi]".
+func (a Interval) String() string {
+	return fmt.Sprintf("[%g, %g]", a.Lo, a.Hi)
+}

@@ -1,0 +1,141 @@
+package interval
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("New(1, 0) should panic")
+		}
+	}()
+	New(1, 0)
+}
+
+func TestNewNaNPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("New(NaN, 1) should panic")
+		}
+	}()
+	New(math.NaN(), 1)
+}
+
+func TestAroundNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Around(0, -1) should panic")
+		}
+	}()
+	Around(0, -1)
+}
+
+func TestAlgebra(t *testing.T) {
+	a := New(1, 2)
+	b := New(10, 20)
+	if got := a.Add(b); got != New(11, 22) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := a.Sub(b); got != New(-19, -8) {
+		t.Errorf("Sub = %v", got)
+	}
+	if got := a.Scale(3); got != New(3, 6) {
+		t.Errorf("Scale(3) = %v", got)
+	}
+	if got := a.Scale(-1); got != New(-2, -1) {
+		t.Errorf("Scale(-1) = %v", got)
+	}
+	if got := a.Scale(0); got != New(0, 0) {
+		t.Errorf("Scale(0) = %v", got)
+	}
+}
+
+func TestAccessors(t *testing.T) {
+	a := New(1, 3)
+	if a.Width() != 2 || a.Mid() != 2 {
+		t.Errorf("Width/Mid = %v/%v", a.Width(), a.Mid())
+	}
+	if !a.Contains(1) || !a.Contains(3) || a.Contains(3.01) {
+		t.Error("Contains endpoints misbehaves")
+	}
+	if !a.Intersect(New(3, 5)) || a.Intersect(New(4, 5)) {
+		t.Error("Intersect misbehaves")
+	}
+	if Point(2) != New(2, 2) {
+		t.Error("Point")
+	}
+	if a.String() != "[1, 3]" {
+		t.Errorf("String = %q", a.String())
+	}
+}
+
+func TestComparisonsPaperExample(t *testing.T) {
+	// Appendix A.2: condition x < 0.1 +/- 0.01 with estimator x̂.
+	// x̂ > 0.11 -> False; x̂ < 0.09 -> True; in between -> Unknown.
+	eps := 0.01
+	if got := Around(0.12, eps).LessThan(0.1); got != False {
+		t.Errorf("x̂=0.12: %v, want False", got)
+	}
+	if got := Around(0.08, eps).LessThan(0.1); got != True {
+		t.Errorf("x̂=0.08: %v, want True", got)
+	}
+	if got := Around(0.10, eps).LessThan(0.1); got != Unknown {
+		t.Errorf("x̂=0.10: %v, want Unknown", got)
+	}
+	// Mirror for GreaterThan.
+	if got := Around(0.12, eps).GreaterThan(0.1); got != True {
+		t.Errorf("GT x̂=0.12: %v, want True", got)
+	}
+	if got := Around(0.08, eps).GreaterThan(0.1); got != False {
+		t.Errorf("GT x̂=0.08: %v, want False", got)
+	}
+	if got := Around(0.10, eps).GreaterThan(0.1); got != Unknown {
+		t.Errorf("GT x̂=0.10: %v, want Unknown", got)
+	}
+}
+
+func TestComparisonExclusivity(t *testing.T) {
+	// For any interval and threshold, GreaterThan and LessThan can never
+	// both be True.
+	f := func(lo, w, c float64) bool {
+		if math.IsNaN(lo) || math.IsInf(lo, 0) || math.IsNaN(w) || math.IsInf(w, 0) || math.IsNaN(c) || math.IsInf(c, 0) {
+			return true
+		}
+		iv := New(lo, lo+math.Abs(w))
+		return !(iv.GreaterThan(c) == True && iv.LessThan(c) == True)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAddSubScaleContainment(t *testing.T) {
+	// Interval arithmetic must contain the corresponding point arithmetic:
+	// for any points inside the operands, the result point is inside the
+	// result interval.
+	rng := rand.New(rand.NewSource(42))
+	randInterval := func() Interval {
+		lo := rng.NormFloat64()
+		return New(lo, lo+rng.Float64()*5)
+	}
+	for i := 0; i < 1000; i++ {
+		a := randInterval()
+		b := randInterval()
+		x := a.Lo + rng.Float64()*a.Width()
+		y := b.Lo + rng.Float64()*b.Width()
+		c := rng.NormFloat64()
+		if !a.Add(b).Contains(x + y) {
+			t.Fatalf("Add containment failed: %v + %v, points %v+%v", a, b, x, y)
+		}
+		if !a.Sub(b).Contains(x - y) {
+			t.Fatalf("Sub containment failed")
+		}
+		if !a.Scale(c).Contains(c * x) {
+			t.Fatalf("Scale containment failed")
+		}
+	}
+}

@@ -1,0 +1,93 @@
+package interval
+
+// Truth is the three-valued logic a clause evaluates to (Section 3.5):
+// a clause may be definitely True, definitely False, or Unknown when the
+// confidence interval straddles the threshold.
+type Truth int
+
+const (
+	// False: the condition definitely does not hold (at the configured
+	// reliability).
+	False Truth = iota
+	// Unknown: the estimate cannot distinguish the two sides of the
+	// threshold at the configured tolerance.
+	Unknown
+	// True: the condition definitely holds.
+	True
+)
+
+// String implements fmt.Stringer.
+func (t Truth) String() string {
+	switch t {
+	case False:
+		return "False"
+	case Unknown:
+		return "Unknown"
+	case True:
+		return "True"
+	default:
+		return "Truth(?)"
+	}
+}
+
+// And is three-valued conjunction: False dominates, then Unknown.
+// It is commutative, associative, and has True as identity.
+func (t Truth) And(u Truth) Truth {
+	if t == False || u == False {
+		return False
+	}
+	if t == Unknown || u == Unknown {
+		return Unknown
+	}
+	return True
+}
+
+// Not is three-valued negation; Unknown stays Unknown.
+func (t Truth) Not() Truth {
+	switch t {
+	case True:
+		return False
+	case False:
+		return True
+	default:
+		return Unknown
+	}
+}
+
+// Mode determines how Unknown collapses to a boolean pass/fail signal
+// (Appendix A.2).
+type Mode int
+
+const (
+	// FPFree treats Unknown as False: whenever the system says True, the
+	// condition truly holds — no false positives.
+	FPFree Mode = iota
+	// FNFree treats Unknown as True: whenever the system says False, the
+	// condition truly fails — no false negatives.
+	FNFree
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	switch m {
+	case FPFree:
+		return "fp-free"
+	case FNFree:
+		return "fn-free"
+	default:
+		return "Mode(?)"
+	}
+}
+
+// Collapse maps a three-valued result to the pass/fail boolean under the
+// mode's policy for Unknown.
+func (m Mode) Collapse(t Truth) bool {
+	switch t {
+	case True:
+		return true
+	case False:
+		return false
+	default:
+		return m == FNFree
+	}
+}

@@ -1,0 +1,101 @@
+package interval
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+var truths = []Truth{False, Unknown, True}
+
+func TestAndTruthTable(t *testing.T) {
+	cases := []struct {
+		a, b, want Truth
+	}{
+		{True, True, True},
+		{True, Unknown, Unknown},
+		{True, False, False},
+		{Unknown, Unknown, Unknown},
+		{Unknown, False, False},
+		{False, False, False},
+	}
+	for _, c := range cases {
+		if got := c.a.And(c.b); got != c.want {
+			t.Errorf("%v AND %v = %v, want %v", c.a, c.b, got, c.want)
+		}
+		if got := c.b.And(c.a); got != c.want {
+			t.Errorf("%v AND %v (swapped) = %v, want %v", c.b, c.a, got, c.want)
+		}
+	}
+}
+
+func TestAndAssociativeCommutative(t *testing.T) {
+	for _, a := range truths {
+		for _, b := range truths {
+			if a.And(b) != b.And(a) {
+				t.Errorf("And not commutative for %v, %v", a, b)
+			}
+			for _, c := range truths {
+				if a.And(b).And(c) != a.And(b.And(c)) {
+					t.Errorf("And not associative for %v, %v, %v", a, b, c)
+				}
+			}
+		}
+	}
+}
+
+func TestAndIdentity(t *testing.T) {
+	for _, a := range truths {
+		if a.And(True) != a {
+			t.Errorf("True not identity for %v", a)
+		}
+		if a.And(False) != False {
+			t.Errorf("False not absorbing for %v", a)
+		}
+	}
+}
+
+func TestNot(t *testing.T) {
+	if True.Not() != False || False.Not() != True || Unknown.Not() != Unknown {
+		t.Error("Not truth table wrong")
+	}
+	f := func(i uint8) bool {
+		tr := truths[int(i)%3]
+		return tr.Not().Not() == tr
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestModeCollapse(t *testing.T) {
+	// fp-free: Unknown -> reject (false); fn-free: Unknown -> accept (true).
+	if FPFree.Collapse(Unknown) != false {
+		t.Error("fp-free must reject Unknown")
+	}
+	if FNFree.Collapse(Unknown) != true {
+		t.Error("fn-free must accept Unknown")
+	}
+	for _, m := range []Mode{FPFree, FNFree} {
+		if m.Collapse(True) != true {
+			t.Errorf("%v must accept True", m)
+		}
+		if m.Collapse(False) != false {
+			t.Errorf("%v must reject False", m)
+		}
+	}
+}
+
+func TestStringers(t *testing.T) {
+	if True.String() != "True" || False.String() != "False" || Unknown.String() != "Unknown" {
+		t.Error("Truth.String wrong")
+	}
+	if Truth(99).String() != "Truth(?)" {
+		t.Error("Truth.String default wrong")
+	}
+	if FPFree.String() != "fp-free" || FNFree.String() != "fn-free" {
+		t.Error("Mode.String wrong")
+	}
+	if Mode(9).String() != "Mode(?)" {
+		t.Error("Mode.String default wrong")
+	}
+}

@@ -1,0 +1,69 @@
+package labeling
+
+import (
+	"testing"
+	"time"
+)
+
+func TestTruthOracle(t *testing.T) {
+	o := NewTruthOracle([]int{2, 0, 1})
+	y, err := o.Label(0)
+	if err != nil || y != 2 {
+		t.Errorf("Label(0) = %d, %v", y, err)
+	}
+	if _, err := o.Label(-1); err == nil {
+		t.Error("negative index should fail")
+	}
+	if _, err := o.Label(3); err == nil {
+		t.Error("out-of-range index should fail")
+	}
+}
+
+func TestLedger(t *testing.T) {
+	var l Ledger
+	l.Charge(100)
+	l.Charge(50)
+	l.Charge(-5) // clamped to 0
+	if l.Total() != 150 {
+		t.Errorf("Total = %d", l.Total())
+	}
+	pc := l.PerCommit()
+	if len(pc) != 3 || pc[0] != 100 || pc[1] != 50 || pc[2] != 0 {
+		t.Errorf("PerCommit = %v", pc)
+	}
+	if l.MaxPerCommit() != 100 {
+		t.Errorf("MaxPerCommit = %d", l.MaxPerCommit())
+	}
+	// PerCommit must return a copy.
+	pc[0] = 9999
+	if l.PerCommit()[0] != 100 {
+		t.Error("PerCommit leaked internal state")
+	}
+}
+
+func TestEffortPaperArithmetic(t *testing.T) {
+	// Section 2.3: 30-60K labels at 2 s/label is one 8-hour day for 2-4
+	// engineers: 60000 * 2s = 120000s ~= 33.3 hours ~= 4.2 person-days.
+	d := Effort(60000, 2)
+	if d != 120000*time.Second {
+		t.Errorf("Effort = %v", d)
+	}
+	days := PersonDays(60000, 2)
+	if days < 4.1 || days > 4.3 {
+		t.Errorf("PersonDays(60000, 2) = %v, want ~4.17", days)
+	}
+	// Section 4.1.2: 2188 labels at 5 s/label is ~3 hours.
+	hours := Effort(2188, 5).Hours()
+	if hours < 2.9 || hours > 3.2 {
+		t.Errorf("2188 labels at 5s = %v hours, want ~3", hours)
+	}
+}
+
+func TestEffortEdge(t *testing.T) {
+	if Effort(-5, 2) != 0 || Effort(5, -2) != 0 {
+		t.Error("negative inputs must clamp to 0")
+	}
+	if PersonDays(0, 2) != 0 {
+		t.Error("zero labels must cost nothing")
+	}
+}

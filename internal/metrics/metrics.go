@@ -1,0 +1,126 @@
+// Package metrics implements the quality metrics beyond accuracy that the
+// paper lists as the first future extension (Section 2.2 "Beyond
+// accuracy"): confusion matrices, precision/recall/F1 (binary and macro),
+// and the McDiarmid-based sample-size estimation route the paper proposes
+// for them — replacing Bennett's inequality with McDiarmid's plus the
+// metric's per-example sensitivity.
+package metrics
+
+import (
+	"fmt"
+
+	"github.com/easeml/ci/internal/bounds"
+)
+
+// Confusion is a k-class confusion matrix: Counts[true][predicted].
+type Confusion struct {
+	Counts [][]int
+	// Total is the number of scored examples.
+	Total int
+}
+
+// NewConfusion tallies predictions against labels for k classes.
+func NewConfusion(pred, labels []int, k int) (*Confusion, error) {
+	if len(pred) != len(labels) {
+		return nil, fmt.Errorf("metrics: %d predictions vs %d labels", len(pred), len(labels))
+	}
+	if k < 2 {
+		return nil, fmt.Errorf("metrics: need >= 2 classes, got %d", k)
+	}
+	if len(pred) == 0 {
+		return nil, fmt.Errorf("metrics: empty input")
+	}
+	c := &Confusion{Counts: make([][]int, k)}
+	for i := range c.Counts {
+		c.Counts[i] = make([]int, k)
+	}
+	for i := range pred {
+		if labels[i] < 0 || labels[i] >= k {
+			return nil, fmt.Errorf("metrics: label %d out of range at %d", labels[i], i)
+		}
+		if pred[i] < 0 || pred[i] >= k {
+			return nil, fmt.Errorf("metrics: prediction %d out of range at %d", pred[i], i)
+		}
+		c.Counts[labels[i]][pred[i]]++
+		c.Total++
+	}
+	return c, nil
+}
+
+// Accuracy is the trace fraction.
+func (c *Confusion) Accuracy() float64 {
+	correct := 0
+	for i := range c.Counts {
+		correct += c.Counts[i][i]
+	}
+	return float64(correct) / float64(c.Total)
+}
+
+// Precision of one class: TP / (TP + FP). Returns 0 when nothing was
+// predicted as the class.
+func (c *Confusion) Precision(class int) float64 {
+	tp := c.Counts[class][class]
+	predicted := 0
+	for t := range c.Counts {
+		predicted += c.Counts[t][class]
+	}
+	if predicted == 0 {
+		return 0
+	}
+	return float64(tp) / float64(predicted)
+}
+
+// Recall of one class: TP / (TP + FN). Returns 0 when the class is absent.
+func (c *Confusion) Recall(class int) float64 {
+	tp := c.Counts[class][class]
+	actual := 0
+	for p := range c.Counts[class] {
+		actual += c.Counts[class][p]
+	}
+	if actual == 0 {
+		return 0
+	}
+	return float64(tp) / float64(actual)
+}
+
+// F1 of one class: harmonic mean of precision and recall.
+func (c *Confusion) F1(class int) float64 {
+	p, r := c.Precision(class), c.Recall(class)
+	if p+r == 0 {
+		return 0
+	}
+	return 2 * p * r / (p + r)
+}
+
+// MacroF1 averages F1 across classes.
+func (c *Confusion) MacroF1() float64 {
+	sum := 0.0
+	for class := range c.Counts {
+		sum += c.F1(class)
+	}
+	return sum / float64(len(c.Counts))
+}
+
+// ClassFraction returns the fraction of examples whose true label is class.
+func (c *Confusion) ClassFraction(class int) float64 {
+	actual := 0
+	for p := range c.Counts[class] {
+		actual += c.Counts[class][p]
+	}
+	return float64(actual) / float64(c.Total)
+}
+
+// F1SampleSize is the paper's proposed extension route: the number of test
+// examples needed to estimate the F1 score of the positive class to within
+// epsilon with probability 1-delta, via McDiarmid's inequality with the F1
+// sensitivity bound s = 2/minPositive (bounds.F1Sensitivity). minPositive
+// is a lower bound on the positive-class prevalence in the testset; skewed
+// tasks (small minPositive) need quadratically more labels, which is the
+// stratified-sampling motivation the paper mentions.
+func F1SampleSize(minPositive, epsilon, delta float64) (int, error) {
+	s, err := bounds.F1Sensitivity(minPositive)
+	if err != nil {
+		return 0, err
+	}
+	return bounds.McDiarmidSampleSize(s, epsilon, delta)
+}

@@ -1,0 +1,146 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+
+	"github.com/easeml/ci/internal/bounds"
+)
+
+// A small worked example: 3 classes, 10 examples.
+//
+//	labels: 0 0 0 0 1 1 1 2 2 2
+//	preds : 0 0 1 2 1 1 0 2 2 2
+func worked(t *testing.T) *Confusion {
+	t.Helper()
+	labels := []int{0, 0, 0, 0, 1, 1, 1, 2, 2, 2}
+	preds := []int{0, 0, 1, 2, 1, 1, 0, 2, 2, 2}
+	c, err := NewConfusion(preds, labels, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestConfusionCounts(t *testing.T) {
+	c := worked(t)
+	if c.Total != 10 {
+		t.Errorf("total = %d", c.Total)
+	}
+	if c.Counts[0][0] != 2 || c.Counts[0][1] != 1 || c.Counts[0][2] != 1 {
+		t.Errorf("row 0 = %v", c.Counts[0])
+	}
+	if c.Counts[1][1] != 2 || c.Counts[1][0] != 1 {
+		t.Errorf("row 1 = %v", c.Counts[1])
+	}
+	if c.Counts[2][2] != 3 {
+		t.Errorf("row 2 = %v", c.Counts[2])
+	}
+}
+
+func TestAccuracy(t *testing.T) {
+	if got := worked(t).Accuracy(); got != 0.7 {
+		t.Errorf("accuracy = %v, want 0.7", got)
+	}
+}
+
+func TestPrecisionRecallF1(t *testing.T) {
+	c := worked(t)
+	// Class 0: TP=2, predicted-as-0 = 3 (2 true + 1 from class 1), actual = 4.
+	if got := c.Precision(0); math.Abs(got-2.0/3) > 1e-12 {
+		t.Errorf("precision(0) = %v", got)
+	}
+	if got := c.Recall(0); got != 0.5 {
+		t.Errorf("recall(0) = %v", got)
+	}
+	p, r := 2.0/3, 0.5
+	if got := c.F1(0); math.Abs(got-2*p*r/(p+r)) > 1e-12 {
+		t.Errorf("f1(0) = %v", got)
+	}
+	// Class 2: TP=3, predicted-as-2 = 4, actual = 3.
+	if got := c.Recall(2); got != 1.0 {
+		t.Errorf("recall(2) = %v", got)
+	}
+	if got := c.Precision(2); got != 0.75 {
+		t.Errorf("precision(2) = %v", got)
+	}
+}
+
+func TestMacroF1(t *testing.T) {
+	c := worked(t)
+	want := (c.F1(0) + c.F1(1) + c.F1(2)) / 3
+	if got := c.MacroF1(); math.Abs(got-want) > 1e-12 {
+		t.Errorf("macro F1 = %v, want %v", got, want)
+	}
+}
+
+func TestClassFraction(t *testing.T) {
+	c := worked(t)
+	if got := c.ClassFraction(0); got != 0.4 {
+		t.Errorf("class fraction 0 = %v", got)
+	}
+	if got := c.ClassFraction(2); got != 0.3 {
+		t.Errorf("class fraction 2 = %v", got)
+	}
+}
+
+func TestDegenerateClasses(t *testing.T) {
+	// A class that never occurs and is never predicted has P=R=F1=0, not NaN.
+	labels := []int{0, 0, 1, 1}
+	preds := []int{0, 0, 1, 1}
+	c, err := NewConfusion(preds, labels, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Precision(2) != 0 || c.Recall(2) != 0 || c.F1(2) != 0 {
+		t.Error("absent class must score 0")
+	}
+	if math.IsNaN(c.MacroF1()) {
+		t.Error("macro F1 must not be NaN")
+	}
+}
+
+func TestNewConfusionErrors(t *testing.T) {
+	if _, err := NewConfusion([]int{0}, []int{0, 1}, 2); err == nil {
+		t.Error("length mismatch should fail")
+	}
+	if _, err := NewConfusion([]int{0}, []int{0}, 1); err == nil {
+		t.Error("k < 2 should fail")
+	}
+	if _, err := NewConfusion(nil, nil, 2); err == nil {
+		t.Error("empty should fail")
+	}
+	if _, err := NewConfusion([]int{5}, []int{0}, 2); err == nil {
+		t.Error("out-of-range prediction should fail")
+	}
+	if _, err := NewConfusion([]int{0}, []int{5}, 2); err == nil {
+		t.Error("out-of-range label should fail")
+	}
+}
+
+func TestF1SampleSize(t *testing.T) {
+	// Balanced binary task: sensitivity 2/0.5 = 4, so 16x the accuracy cost.
+	n, err := F1SampleSize(0.5, 0.01, 0.001)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc, err := bounds.McDiarmidSampleSize(1, 0.01, 0.001)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 16x up to the independent ceilings of the two computations.
+	if n < 16*acc-16 || n > 16*acc {
+		t.Errorf("F1 size %d, accuracy size %d: want ~16x", n, acc)
+	}
+	// Skew makes it worse quadratically.
+	skewed, err := F1SampleSize(0.1, 0.01, 0.001)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if skewed <= n {
+		t.Error("skewed task must need more labels")
+	}
+	if _, err := F1SampleSize(0, 0.01, 0.001); err == nil {
+		t.Error("zero prevalence should fail")
+	}
+}

@@ -1,0 +1,104 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/easeml/ci/internal/bounds"
+)
+
+// Stratified sampling, the optimization the paper flags for skewed cases
+// (Section 2.2: "more optimizations, such as using stratified samples, are
+// possible for skewed cases"). Overall accuracy decomposes over classes as
+//
+//	acc = sum_c w_c * acc_c
+//
+// with w_c the class prevalences. Estimating each per-class accuracy on its
+// own stratum and allocating both the tolerance and the labels across
+// strata optimally (eps_c proportional to w_c, the same closed form as the
+// estimator's epsilon split) beats uniform sampling whenever the label
+// distribution is skewed, because rare classes stop being estimated "for
+// free" at the majority class's sample rate.
+
+// Stratum is the plan for one class.
+type Stratum struct {
+	Class int
+	// Weight is the class prevalence w_c.
+	Weight float64
+	// Epsilon is the stratum's share of the overall tolerance.
+	Epsilon float64
+	// N is the number of labeled examples of this class to draw.
+	N int
+}
+
+// StratifiedPlan allocates labels across class strata for an (epsilon,
+// delta) estimate of overall accuracy.
+type StratifiedPlan struct {
+	Strata []Stratum
+	// TotalN is the stratified label budget.
+	TotalN int
+	// UniformN is the single-pool Hoeffding budget for comparison.
+	UniformN int
+}
+
+// Savings is UniformN / TotalN.
+func (p *StratifiedPlan) Savings() float64 {
+	if p.TotalN == 0 {
+		return 1
+	}
+	return float64(p.UniformN) / float64(p.TotalN)
+}
+
+// PlanStratified computes the allocation. weights must be a probability
+// vector over classes (the class prevalences, known from the unlabeled
+// pool — counting labels is free, knowing them is not).
+func PlanStratified(weights []float64, epsilon, delta float64) (*StratifiedPlan, error) {
+	if len(weights) < 2 {
+		return nil, fmt.Errorf("metrics: need >= 2 classes, got %d", len(weights))
+	}
+	sum := 0.0
+	for i, w := range weights {
+		if w <= 0 {
+			return nil, fmt.Errorf("metrics: weight %d = %v must be positive", i, w)
+		}
+		sum += w
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		return nil, fmt.Errorf("metrics: weights sum to %v, want 1", sum)
+	}
+	if !(epsilon > 0) || !(delta > 0 && delta < 1) {
+		return nil, fmt.Errorf("metrics: invalid epsilon %v or delta %v", epsilon, delta)
+	}
+	k := len(weights)
+	plan := &StratifiedPlan{}
+	// Each stratum receives delta/k. The contribution of stratum c to the
+	// overall error is w_c * eps_c-within-stratum; allocating the overall
+	// epsilon as eps_c = epsilon * w_c / sum(w) = epsilon * w_c makes the
+	// within-stratum tolerance epsilon for every class:
+	// n_c = ln(k/delta) / (2 epsilon^2), weighted by nothing — the skew
+	// advantage is that rare classes need the SAME n_c, not 1/w_c more
+	// examples as uniform sampling would force.
+	for c, w := range weights {
+		epsC := epsilon * w
+		n, err := bounds.HoeffdingSampleSize(1, epsC/w, delta/float64(k))
+		if err != nil {
+			return nil, err
+		}
+		plan.Strata = append(plan.Strata, Stratum{Class: c, Weight: w, Epsilon: epsC, N: n})
+		plan.TotalN += n
+	}
+	// Uniform baseline: to see enough of the rarest class for its accuracy
+	// to be epsilon-resolved, a single pool must be oversampled by 1/w_min.
+	wMin := weights[0]
+	for _, w := range weights {
+		if w < wMin {
+			wMin = w
+		}
+	}
+	perClass, err := bounds.HoeffdingSampleSize(1, epsilon, delta/float64(k))
+	if err != nil {
+		return nil, err
+	}
+	plan.UniformN = int(math.Ceil(float64(perClass) / wMin))
+	return plan, nil
+}

@@ -1,0 +1,65 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPlanStratifiedBalanced(t *testing.T) {
+	plan, err := PlanStratified([]float64{0.5, 0.5}, 0.02, 0.001)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Strata) != 2 {
+		t.Fatalf("strata = %d", len(plan.Strata))
+	}
+	// Balanced classes: both strata identical; savings = 2x (uniform must
+	// oversample by 1/0.5 while stratified draws each class directly).
+	if plan.Strata[0].N != plan.Strata[1].N {
+		t.Errorf("balanced strata differ: %d vs %d", plan.Strata[0].N, plan.Strata[1].N)
+	}
+	if s := plan.Savings(); math.Abs(s-1) > 0.01 {
+		// Two strata of n each vs uniform 2n: savings 1 for balanced data.
+		t.Errorf("balanced savings = %v, want ~1", s)
+	}
+}
+
+func TestPlanStratifiedSkewed(t *testing.T) {
+	// A heavily skewed task (the emotion corpus shape): the rare class
+	// dominates the uniform budget; stratification wins ~1/(k*w_min).
+	weights := []float64{0.05, 0.15, 0.30, 0.50}
+	plan, err := PlanStratified(weights, 0.02, 0.001)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := plan.Savings(); s < 4 {
+		t.Errorf("skewed savings = %v, want >= 4x", s)
+	}
+	// Per-stratum epsilon allocation follows the weights.
+	for i, st := range plan.Strata {
+		if math.Abs(st.Epsilon-0.02*weights[i]) > 1e-12 {
+			t.Errorf("stratum %d epsilon = %v", i, st.Epsilon)
+		}
+	}
+	if plan.TotalN <= 0 || plan.UniformN <= plan.TotalN {
+		t.Errorf("budgets: total=%d uniform=%d", plan.TotalN, plan.UniformN)
+	}
+}
+
+func TestPlanStratifiedValidation(t *testing.T) {
+	if _, err := PlanStratified([]float64{1}, 0.02, 0.001); err == nil {
+		t.Error("single class should fail")
+	}
+	if _, err := PlanStratified([]float64{0.5, 0.4}, 0.02, 0.001); err == nil {
+		t.Error("weights not summing to 1 should fail")
+	}
+	if _, err := PlanStratified([]float64{0.5, 0.5, 0}, 0.02, 0.001); err == nil {
+		t.Error("zero weight should fail")
+	}
+	if _, err := PlanStratified([]float64{0.5, 0.5}, 0, 0.001); err == nil {
+		t.Error("zero epsilon should fail")
+	}
+	if _, err := PlanStratified([]float64{0.5, 0.5}, 0.02, 1); err == nil {
+		t.Error("delta=1 should fail")
+	}
+}

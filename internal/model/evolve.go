@@ -1,0 +1,92 @@
+package model
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Evolve derives a successor model's predictions from a predecessor's by
+// flipping an exact number of examples, so that on this dataset the
+// successor's accuracy changes by exactly deltaAcc (up to 1/N rounding) and
+// its disagreement with the predecessor is exactly `disagree`. This builds
+// incremental commit chains (the Figure 5/6 scenario) whose measured
+// statistics are fully deterministic: the CI engine evaluates the whole
+// testset, so the constructed values are what it observes.
+//
+// Mechanics: let x = fraction flipped wrong->correct and y = fraction
+// flipped correct->wrong. Then x - y = deltaAcc and x + y = disagree, so
+// x = (disagree+deltaAcc)/2, y = (disagree-deltaAcc)/2; both must be
+// realizable within the predecessor's wrong/correct mass.
+func Evolve(prev, labels []int, classes int, deltaAcc, disagree float64, seed int64) ([]int, error) {
+	if len(prev) != len(labels) {
+		return nil, fmt.Errorf("model: predictions %d vs labels %d", len(prev), len(labels))
+	}
+	n := len(prev)
+	if n == 0 {
+		return nil, fmt.Errorf("model: empty predictions")
+	}
+	if classes < 2 {
+		return nil, fmt.Errorf("model: need >= 2 classes, got %d", classes)
+	}
+	if disagree < 0 || disagree > 1 {
+		return nil, fmt.Errorf("model: disagreement %v outside [0,1]", disagree)
+	}
+	if math.Abs(deltaAcc) > disagree+1e-12 {
+		return nil, fmt.Errorf("model: |deltaAcc| %v exceeds disagreement %v", deltaAcc, disagree)
+	}
+	x := (disagree + deltaAcc) / 2
+	y := (disagree - deltaAcc) / 2
+	kUp := int(math.Round(x * float64(n)))
+	kDown := int(math.Round(y * float64(n)))
+
+	var wrong, correct []int
+	for i := range prev {
+		if prev[i] == labels[i] {
+			correct = append(correct, i)
+		} else {
+			wrong = append(wrong, i)
+		}
+	}
+	if kUp > len(wrong) {
+		return nil, fmt.Errorf("model: need %d wrong->correct flips but only %d wrong predictions", kUp, len(wrong))
+	}
+	if kDown > len(correct) {
+		return nil, fmt.Errorf("model: need %d correct->wrong flips but only %d correct predictions", kDown, len(correct))
+	}
+	rng := rand.New(rand.NewSource(seed))
+	next := make([]int, n)
+	copy(next, prev)
+	rng.Shuffle(len(wrong), func(i, j int) { wrong[i], wrong[j] = wrong[j], wrong[i] })
+	rng.Shuffle(len(correct), func(i, j int) { correct[i], correct[j] = correct[j], correct[i] })
+	for _, i := range wrong[:kUp] {
+		next[i] = labels[i]
+	}
+	for _, i := range correct[:kDown] {
+		// A previously correct prediction becomes a wrong one; it must also
+		// differ from the predecessor's (correct) prediction, which any
+		// wrong class does.
+		next[i] = wrongClass(labels[i], classes, rng)
+	}
+	return next, nil
+}
+
+// EvolveChain derives a whole commit chain from an initial prediction
+// vector: step k applies Evolve with deltaAccs[k] and disagrees[k]. It
+// returns all models including the initial one.
+func EvolveChain(initial, labels []int, classes int, deltaAccs, disagrees []float64, seed int64) ([][]int, error) {
+	if len(deltaAccs) != len(disagrees) {
+		return nil, fmt.Errorf("model: %d deltas vs %d disagreements", len(deltaAccs), len(disagrees))
+	}
+	chain := [][]int{initial}
+	cur := initial
+	for k := range deltaAccs {
+		next, err := Evolve(cur, labels, classes, deltaAccs[k], disagrees[k], seed+int64(k)+1)
+		if err != nil {
+			return nil, fmt.Errorf("model: chain step %d: %w", k+1, err)
+		}
+		chain = append(chain, next)
+		cur = next
+	}
+	return chain, nil
+}

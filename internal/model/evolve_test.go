@@ -1,0 +1,134 @@
+package model
+
+import (
+	"math"
+	"testing"
+)
+
+func chainLabels(n, classes int) []int {
+	labels := make([]int, n)
+	for i := range labels {
+		labels[i] = i % classes
+	}
+	return labels
+}
+
+func accOf(preds, labels []int) float64 {
+	c := 0
+	for i := range preds {
+		if preds[i] == labels[i] {
+			c++
+		}
+	}
+	return float64(c) / float64(len(preds))
+}
+
+func disOf(a, b []int) float64 {
+	d := 0
+	for i := range a {
+		if a[i] != b[i] {
+			d++
+		}
+	}
+	return float64(d) / float64(len(a))
+}
+
+func TestEvolveExactCounts(t *testing.T) {
+	labels := chainLabels(10000, 4)
+	base, err := SimulatedPredictions(labels, 4, 0.85, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseAcc := accOf(base, labels)
+	next, err := Evolve(base, labels, 4, 0.05, 0.08, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Accuracy moves by exactly 0.05 and disagreement is exactly 0.08
+	// (up to 1/N rounding).
+	if got := accOf(next, labels) - baseAcc; math.Abs(got-0.05) > 2.0/10000 {
+		t.Errorf("delta accuracy = %v, want 0.05 exactly", got)
+	}
+	if got := disOf(base, next); math.Abs(got-0.08) > 2.0/10000 {
+		t.Errorf("disagreement = %v, want 0.08 exactly", got)
+	}
+}
+
+func TestEvolveDownward(t *testing.T) {
+	labels := chainLabels(5000, 4)
+	base, _ := SimulatedPredictions(labels, 4, 0.9, 3)
+	next, err := Evolve(base, labels, 4, -0.04, 0.06, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := accOf(next, labels) - accOf(base, labels); math.Abs(got+0.04) > 2.0/5000 {
+		t.Errorf("delta accuracy = %v, want -0.04", got)
+	}
+}
+
+func TestEvolveErrors(t *testing.T) {
+	labels := chainLabels(100, 4)
+	base, _ := SimulatedPredictions(labels, 4, 0.99, 5)
+	if _, err := Evolve(base, labels, 4, 0.5, 0.5, 6); err == nil {
+		t.Error("raising accuracy beyond wrong mass should fail")
+	}
+	if _, err := Evolve(base, labels, 4, 0.1, 0.05, 6); err == nil {
+		t.Error("|delta| > disagree should fail")
+	}
+	if _, err := Evolve(base, labels[:50], 4, 0, 0.01, 6); err == nil {
+		t.Error("length mismatch should fail")
+	}
+	if _, err := Evolve(base, labels, 1, 0, 0.01, 6); err == nil {
+		t.Error("classes < 2 should fail")
+	}
+	if _, err := Evolve(nil, nil, 4, 0, 0.01, 6); err == nil {
+		t.Error("empty should fail")
+	}
+	if _, err := Evolve(base, labels, 4, 0, 1.5, 6); err == nil {
+		t.Error("disagree > 1 should fail")
+	}
+}
+
+func TestEvolveChain(t *testing.T) {
+	labels := chainLabels(8000, 4)
+	base, _ := SimulatedPredictions(labels, 4, 0.845, 7)
+	deltas := []float64{0.007, 0.048, 0.002, 0.003, 0.003, 0.042, -0.015}
+	ds := []float64{0.013, 0.054, 0.008, 0.009, 0.009, 0.048, 0.021}
+	chain, err := EvolveChain(base, labels, 4, deltas, ds, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(chain) != 8 {
+		t.Fatalf("chain length = %d", len(chain))
+	}
+	acc := accOf(base, labels)
+	for k, delta := range deltas {
+		acc += delta
+		if got := accOf(chain[k+1], labels); math.Abs(got-acc) > 3.0/8000 {
+			t.Errorf("model %d accuracy = %v, want %v", k+1, got, acc)
+		}
+		if got := disOf(chain[k], chain[k+1]); math.Abs(got-ds[k]) > 3.0/8000 {
+			t.Errorf("step %d disagreement = %v, want %v", k+1, got, ds[k])
+		}
+	}
+	// Any-two-models disagreement stays moderate (the Section 4.2
+	// observation that motivates Pattern 2).
+	for i := 0; i < len(chain); i++ {
+		for j := i + 1; j < len(chain); j++ {
+			if d := disOf(chain[i], chain[j]); d > 0.15 {
+				t.Errorf("models %d and %d disagree on %v", i, j, d)
+			}
+		}
+	}
+}
+
+func TestEvolveChainErrors(t *testing.T) {
+	labels := chainLabels(100, 4)
+	base, _ := SimulatedPredictions(labels, 4, 0.8, 1)
+	if _, err := EvolveChain(base, labels, 4, []float64{0.1}, []float64{0.1, 0.2}, 1); err == nil {
+		t.Error("length mismatch should fail")
+	}
+	if _, err := EvolveChain(base, labels, 4, []float64{0.9}, []float64{0.9}, 1); err == nil {
+		t.Error("infeasible step should fail")
+	}
+}

@@ -1,0 +1,78 @@
+// Package model provides the model substrate: a minimal predictor
+// interface, trained-in-Go learners (multinomial naive Bayes, softmax
+// regression, averaged perceptron, majority class), and simulated models
+// with exactly controlled accuracy and pairwise disagreement for the
+// statistical experiments.
+package model
+
+import (
+	"fmt"
+
+	"github.com/easeml/ci/internal/data"
+)
+
+// Predictor is anything that can classify a feature vector.
+type Predictor interface {
+	// Name identifies the model in commit history and reports.
+	Name() string
+	// Predict returns the class label for one example.
+	Predict(x []float64) int
+}
+
+// PredictAll evaluates a predictor over an entire dataset. Predictions
+// outside the dataset's label alphabet are rejected: a silent out-of-range
+// prediction would skew every downstream estimate, so the failure is
+// surfaced at the boundary.
+func PredictAll(p Predictor, ds *data.Dataset) ([]int, error) {
+	if p == nil {
+		return nil, fmt.Errorf("model: nil predictor")
+	}
+	if err := ds.Validate(); err != nil {
+		return nil, err
+	}
+	out := make([]int, ds.Len())
+	for i, x := range ds.X {
+		y := p.Predict(x)
+		if y < 0 || y >= ds.Classes {
+			return nil, fmt.Errorf("model: %s predicted %d for example %d, outside [0,%d)",
+				p.Name(), y, i, ds.Classes)
+		}
+		out[i] = y
+	}
+	return out, nil
+}
+
+// Accuracy computes a predictor's accuracy on a dataset.
+func Accuracy(p Predictor, ds *data.Dataset) (float64, error) {
+	preds, err := PredictAll(p, ds)
+	if err != nil {
+		return 0, err
+	}
+	correct := 0
+	for i, y := range ds.Y {
+		if preds[i] == y {
+			correct++
+		}
+	}
+	return float64(correct) / float64(ds.Len()), nil
+}
+
+// Disagreement computes the fraction of examples on which two predictors
+// differ (no labels needed).
+func Disagreement(a, b Predictor, ds *data.Dataset) (float64, error) {
+	pa, err := PredictAll(a, ds)
+	if err != nil {
+		return 0, err
+	}
+	pb, err := PredictAll(b, ds)
+	if err != nil {
+		return 0, err
+	}
+	diff := 0
+	for i := range pa {
+		if pa[i] != pb[i] {
+			diff++
+		}
+	}
+	return float64(diff) / float64(len(pa)), nil
+}

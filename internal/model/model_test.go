@@ -1,0 +1,309 @@
+package model
+
+import (
+	"math"
+	"testing"
+
+	"github.com/easeml/ci/internal/data"
+)
+
+func blobTask(t *testing.T) (train, test *data.Dataset) {
+	t.Helper()
+	ds, err := data.Blobs(2000, 3, 6, 0.6, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Blob features can be negative; shift into non-negative range so the
+	// same task also feeds naive Bayes (count-like features).
+	for _, x := range ds.X {
+		for j := range x {
+			x[j] = x[j] + 10
+			if x[j] < 0 {
+				x[j] = 0
+			}
+		}
+	}
+	train, test, err = ds.Split(0.7, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return train, test
+}
+
+func emotionTask(t *testing.T) (train, test *data.Dataset) {
+	t.Helper()
+	ds, err := data.EmotionCorpus(4000, data.DefaultEmotionConfig(), 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	train, test, err = ds.Split(0.7, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return train, test
+}
+
+func TestNaiveBayesLearnsEmotion(t *testing.T) {
+	train, test := emotionTask(t)
+	nb, err := TrainNaiveBayes("nb", train, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc, err := Accuracy(nb, test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	maj, err := TrainMajority("maj", train)
+	if err != nil {
+		t.Fatal(err)
+	}
+	majAcc, err := Accuracy(maj, test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc < majAcc+0.15 {
+		t.Errorf("naive Bayes acc %.3f should clearly beat majority %.3f", acc, majAcc)
+	}
+}
+
+func TestSoftmaxLearnsBlobs(t *testing.T) {
+	train, test := blobTask(t)
+	m, err := TrainSoftmax("lr", train, SoftmaxConfig{Epochs: 5, LearnRate: 0.05, L2: 1e-4, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc, err := Accuracy(m, test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc < 0.85 {
+		t.Errorf("softmax accuracy %.3f too low on easy blobs", acc)
+	}
+}
+
+func TestPerceptronLearnsBlobs(t *testing.T) {
+	train, test := blobTask(t)
+	m, err := TrainPerceptron("ap", train, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc, err := Accuracy(m, test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc < 0.8 {
+		t.Errorf("perceptron accuracy %.3f too low on easy blobs", acc)
+	}
+}
+
+func TestMoreDataHelpsNaiveBayes(t *testing.T) {
+	// Incremental-commit realism: training on more data should not hurt
+	// much and typically helps. We assert a weak monotonicity (within 2%).
+	train, test := emotionTask(t)
+	small, err := train.Subset(train.Len() / 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nbSmall, err := TrainNaiveBayes("nb-small", small, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nbFull, err := TrainNaiveBayes("nb-full", train, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	accSmall, _ := Accuracy(nbSmall, test)
+	accFull, _ := Accuracy(nbFull, test)
+	if accFull < accSmall-0.02 {
+		t.Errorf("more data hurt: %.3f -> %.3f", accSmall, accFull)
+	}
+}
+
+func TestTrainingErrors(t *testing.T) {
+	ds, _ := data.Blobs(50, 2, 3, 0.5, 0)
+	if _, err := TrainNaiveBayes("x", ds, 0); err == nil {
+		t.Error("smoothing 0 should fail")
+	}
+	neg := &data.Dataset{X: [][]float64{{-1}, {1}}, Y: []int{0, 1}, Classes: 2}
+	if _, err := TrainNaiveBayes("x", neg, 1); err == nil {
+		t.Error("negative counts should fail for naive Bayes")
+	}
+	if _, err := TrainSoftmax("x", ds, SoftmaxConfig{Epochs: 0, LearnRate: 0.1}); err == nil {
+		t.Error("epochs 0 should fail")
+	}
+	if _, err := TrainSoftmax("x", ds, SoftmaxConfig{Epochs: 1, LearnRate: 0}); err == nil {
+		t.Error("lr 0 should fail")
+	}
+	if _, err := TrainPerceptron("x", ds, 0, 1); err == nil {
+		t.Error("epochs 0 should fail")
+	}
+	var empty data.Dataset
+	if _, err := TrainMajority("x", &empty); err == nil {
+		t.Error("empty dataset should fail")
+	}
+	if _, err := PredictAll(nil, ds); err == nil {
+		t.Error("nil predictor should fail")
+	}
+}
+
+func TestSimulatedPredictionsAccuracy(t *testing.T) {
+	labels := make([]int, 50000)
+	for i := range labels {
+		labels[i] = i % 4
+	}
+	preds, err := SimulatedPredictions(labels, 4, 0.9, 123)
+	if err != nil {
+		t.Fatal(err)
+	}
+	correct := 0
+	for i := range labels {
+		if preds[i] == labels[i] {
+			correct++
+		}
+	}
+	acc := float64(correct) / float64(len(labels))
+	if math.Abs(acc-0.9) > 0.01 {
+		t.Errorf("simulated accuracy = %.4f, want ~0.9", acc)
+	}
+	// Wrong predictions are never the true label and stay in range.
+	for i, p := range preds {
+		if p < 0 || p >= 4 {
+			t.Fatalf("prediction %d out of range at %d", p, i)
+		}
+	}
+}
+
+func TestSimulatedPredictionsErrors(t *testing.T) {
+	if _, err := SimulatedPredictions([]int{0}, 1, 0.9, 0); err == nil {
+		t.Error("classes < 2 should fail")
+	}
+	if _, err := SimulatedPredictions([]int{0}, 2, 1.5, 0); err == nil {
+		t.Error("accuracy > 1 should fail")
+	}
+	if _, err := SimulatedPredictions([]int{7}, 2, 0.9, 0); err == nil {
+		t.Error("out-of-range label should fail")
+	}
+}
+
+func TestSolvePairSpec(t *testing.T) {
+	spec, err := SolvePairSpec(0.85, 0.88, 0.1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := spec.A + spec.B + spec.C + spec.E + spec.F
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("spec sums to %v", sum)
+	}
+	if math.Abs(spec.A+spec.B-0.85) > 1e-9 {
+		t.Errorf("old accuracy = %v", spec.A+spec.B)
+	}
+	if math.Abs(spec.A+spec.C-0.88) > 1e-9 {
+		t.Errorf("new accuracy = %v", spec.A+spec.C)
+	}
+	if math.Abs(spec.B+spec.C+spec.F-0.1) > 1e-9 {
+		t.Errorf("disagreement = %v", spec.B+spec.C+spec.F)
+	}
+}
+
+func TestSolvePairSpecInfeasible(t *testing.T) {
+	// Disagreement below the accuracy gap is impossible.
+	if _, err := SolvePairSpec(0.95, 0.5, 0.1, 4); err == nil {
+		t.Error("d < |gap| should fail")
+	}
+	// Binary task cannot have both-wrong disagreement: high d with high
+	// accuracies is fine (b+c covers it), but d=1 with low accuracy needs f.
+	if _, err := SolvePairSpec(0.1, 0.1, 1.0, 2); err == nil {
+		t.Error("binary both-wrong disagreement should fail")
+	}
+	if _, err := SolvePairSpec(1.2, 0.5, 0.1, 3); err == nil {
+		t.Error("accuracy > 1 should fail")
+	}
+}
+
+func TestSimulatedPairStatistics(t *testing.T) {
+	labels := make([]int, 80000)
+	for i := range labels {
+		labels[i] = i % 4
+	}
+	oldPred, newPred, err := SimulatedPair(labels, 4, 0.87, 0.9, 0.08, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var oldC, newC, diff int
+	for i := range labels {
+		if oldPred[i] == labels[i] {
+			oldC++
+		}
+		if newPred[i] == labels[i] {
+			newC++
+		}
+		if oldPred[i] != newPred[i] {
+			diff++
+		}
+	}
+	n := float64(len(labels))
+	if math.Abs(float64(oldC)/n-0.87) > 0.01 {
+		t.Errorf("old accuracy = %.4f, want ~0.87", float64(oldC)/n)
+	}
+	if math.Abs(float64(newC)/n-0.90) > 0.01 {
+		t.Errorf("new accuracy = %.4f, want ~0.90", float64(newC)/n)
+	}
+	if math.Abs(float64(diff)/n-0.08) > 0.01 {
+		t.Errorf("disagreement = %.4f, want ~0.08", float64(diff)/n)
+	}
+}
+
+func TestSimulatedPairBothWrongDisagree(t *testing.T) {
+	// Force the f cell: low accuracies, high disagreement, >= 3 classes.
+	labels := make([]int, 60000)
+	for i := range labels {
+		labels[i] = i % 5
+	}
+	oldPred, newPred, err := SimulatedPair(labels, 5, 0.3, 0.3, 0.9, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diff := 0
+	for i := range labels {
+		if oldPred[i] != newPred[i] {
+			diff++
+		}
+	}
+	if math.Abs(float64(diff)/float64(len(labels))-0.9) > 0.01 {
+		t.Errorf("disagreement = %.4f, want ~0.9", float64(diff)/float64(len(labels)))
+	}
+}
+
+func TestFixedPredictions(t *testing.T) {
+	fp := NewFixedPredictions("m1", []int{3, 1, 2})
+	if fp.Name() != "m1" {
+		t.Error("name wrong")
+	}
+	if fp.Predict([]float64{1}) != 1 {
+		t.Error("index lookup wrong")
+	}
+	if fp.Predict([]float64{99}) != -1 {
+		t.Error("out of range must return -1")
+	}
+	if len(fp.Predictions()) != 3 {
+		t.Error("Predictions accessor wrong")
+	}
+}
+
+func TestDisagreementHelper(t *testing.T) {
+	ds, _ := data.Blobs(100, 2, 2, 0.5, 0)
+	a := NewFixedPredictions("a", make([]int, 100))
+	bPreds := make([]int, 100)
+	for i := 50; i < 100; i++ {
+		bPreds[i] = 1
+	}
+	b := NewFixedPredictions("b", bPreds)
+	// Index-keyed predictors need index features.
+	for i := range ds.X {
+		ds.X[i] = []float64{float64(i)}
+	}
+	d, err := Disagreement(a, b, ds)
+	if err != nil || d != 0.5 {
+		t.Errorf("Disagreement = %v, %v; want 0.5", d, err)
+	}
+}

@@ -1,0 +1,169 @@
+package model
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestSolvePairSpecPropertyFeasible: for randomly generated feasible
+// triples, the solved spec must be a valid probability distribution whose
+// marginals match the request exactly.
+func TestSolvePairSpecPropertyFeasible(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		accOld := 0.2 + 0.75*rng.Float64()
+		accNew := 0.2 + 0.75*rng.Float64()
+		base := math.Abs(accOld - accNew)
+		// Feasible ceiling for >= 3 classes: d <= min(1,
+		// (1-accOld)+(1-accNew)) and the symmetric-swap capacity; sample
+		// inside the conservative region base..base+swapRoom.
+		swapRoom := 2 * math.Min(math.Min(accOld, accNew), math.Min(1-accOld, 1-accNew))
+		d := base + swapRoom*rng.Float64()*0.95
+		if d > 1 {
+			d = 1
+		}
+		spec, err := SolvePairSpec(accOld, accNew, d, 5)
+		if err != nil {
+			return false
+		}
+		const tol = 1e-9
+		if spec.A < -tol || spec.B < -tol || spec.C < -tol || spec.E < -tol || spec.F < -tol {
+			return false
+		}
+		if math.Abs(spec.A+spec.B+spec.C+spec.E+spec.F-1) > tol {
+			return false
+		}
+		return math.Abs(spec.A+spec.B-accOld) < tol &&
+			math.Abs(spec.A+spec.C-accNew) < tol &&
+			math.Abs(spec.B+spec.C+spec.F-d) < tol
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSimulatedPairPropertyMatchesSpec: sampled predictions converge to the
+// requested statistics.
+func TestSimulatedPairPropertyMatchesSpec(t *testing.T) {
+	labels := make([]int, 40000)
+	for i := range labels {
+		labels[i] = i % 5
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		accOld := 0.5 + 0.4*rng.Float64()
+		accNew := 0.5 + 0.4*rng.Float64()
+		base := math.Abs(accOld - accNew)
+		d := base + 0.1*rng.Float64()
+		oldP, newP, err := SimulatedPair(labels, 5, accOld, accNew, d, seed)
+		if err != nil {
+			// Near-boundary requests may be infeasible; that is not a
+			// property violation.
+			return true
+		}
+		var oc, nc, diff int
+		for i := range labels {
+			if oldP[i] == labels[i] {
+				oc++
+			}
+			if newP[i] == labels[i] {
+				nc++
+			}
+			if oldP[i] != newP[i] {
+				diff++
+			}
+		}
+		n := float64(len(labels))
+		return math.Abs(float64(oc)/n-accOld) < 0.02 &&
+			math.Abs(float64(nc)/n-accNew) < 0.02 &&
+			math.Abs(float64(diff)/n-d) < 0.02
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestEvolvePropertyExact: evolution hits the requested accuracy delta and
+// disagreement exactly (to rounding) for random feasible parameters.
+func TestEvolvePropertyExact(t *testing.T) {
+	labels := make([]int, 20000)
+	for i := range labels {
+		labels[i] = i % 4
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		baseAcc := 0.4 + 0.4*rng.Float64()
+		base, err := SimulatedPredictions(labels, 4, baseAcc, seed)
+		if err != nil {
+			return false
+		}
+		delta := (rng.Float64() - 0.5) * 0.1 // +/- 5 points
+		d := math.Abs(delta) + 0.05*rng.Float64()
+		next, err := Evolve(base, labels, 4, delta, d, seed+1)
+		if err != nil {
+			return true // infeasible corner; fine
+		}
+		accOf := func(p []int) float64 {
+			c := 0
+			for i := range p {
+				if p[i] == labels[i] {
+					c++
+				}
+			}
+			return float64(c) / float64(len(p))
+		}
+		disOf := func(a, b []int) float64 {
+			c := 0
+			for i := range a {
+				if a[i] != b[i] {
+					c++
+				}
+			}
+			return float64(c) / float64(len(a))
+		}
+		const tol = 3.0 / 20000
+		return math.Abs(accOf(next)-accOf(base)-delta) < tol &&
+			math.Abs(disOf(base, next)-d) < tol
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSimulatedPredictionsDeterministic: the same seed yields the same
+// predictions, different seeds differ.
+func TestSimulatedPredictionsDeterministic(t *testing.T) {
+	labels := make([]int, 1000)
+	for i := range labels {
+		labels[i] = i % 3
+	}
+	a, err := SimulatedPredictions(labels, 3, 0.7, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SimulatedPredictions(labels, 3, 0.7, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := SimulatedPredictions(labels, 3, 0.7, 43)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same, diff := true, false
+	for i := range a {
+		if a[i] != b[i] {
+			same = false
+		}
+		if a[i] != c[i] {
+			diff = true
+		}
+	}
+	if !same {
+		t.Error("same seed diverged")
+	}
+	if !diff {
+		t.Error("different seeds identical")
+	}
+}

@@ -1,0 +1,210 @@
+package model
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Simulated models produce prediction vectors with exactly controlled
+// statistics, substituting for the paper's real workloads (GoogLeNet on
+// infinite MNIST, the SemEval submissions) in the statistical experiments:
+// the bounds only ever observe per-example correctness and agreement bits,
+// so a controlled synthetic joint distribution exercises the identical code
+// path.
+
+// SimulatedPredictions draws a single model's prediction vector over the
+// true labels: each prediction is correct with probability accuracy,
+// otherwise a uniformly random wrong class. Deterministic given the seed.
+func SimulatedPredictions(labels []int, classes int, accuracy float64, seed int64) ([]int, error) {
+	if classes < 2 {
+		return nil, fmt.Errorf("model: need >= 2 classes, got %d", classes)
+	}
+	if accuracy < 0 || accuracy > 1 {
+		return nil, fmt.Errorf("model: accuracy %v outside [0,1]", accuracy)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]int, len(labels))
+	for i, y := range labels {
+		if y < 0 || y >= classes {
+			return nil, fmt.Errorf("model: label %d out of range at %d", y, i)
+		}
+		if rng.Float64() < accuracy {
+			out[i] = y
+		} else {
+			out[i] = wrongClass(y, classes, rng)
+		}
+	}
+	return out, nil
+}
+
+// PairSpec describes the joint distribution of an (old, new) model pair on
+// a single example:
+//
+//	a: both correct (always agree)
+//	b: old correct, new wrong        (disagree)
+//	c: old wrong,  new correct       (disagree)
+//	e: both wrong, same wrong class  (agree)
+//	f: both wrong, different classes (disagree)
+//
+// so that accuracy(old) = a+b, accuracy(new) = a+c, disagreement = b+c+f.
+type PairSpec struct {
+	A, B, C, E, F float64
+}
+
+// SolvePairSpec finds a joint distribution matching the requested marginal
+// accuracies and disagreement rate. Disagreement mass is placed on the
+// asymmetric cells first (b, c) and overflows into the both-wrong-differ
+// cell f only when the correct mass cannot absorb it. Binary problems
+// cannot realize f (> 0 both-wrong predictions always coincide), which is
+// reported as infeasible.
+func SolvePairSpec(accOld, accNew, disagree float64, classes int) (PairSpec, error) {
+	if classes < 2 {
+		return PairSpec{}, fmt.Errorf("model: need >= 2 classes, got %d", classes)
+	}
+	for _, v := range []float64{accOld, accNew, disagree} {
+		if v < 0 || v > 1 {
+			return PairSpec{}, fmt.Errorf("model: probability %v outside [0,1]", v)
+		}
+	}
+	base := accOld - accNew
+	if base < 0 {
+		base = -base
+	}
+	if disagree < base-1e-12 {
+		return PairSpec{}, fmt.Errorf("model: disagreement %v below |accOld-accNew| = %v", disagree, base)
+	}
+	var spec PairSpec
+	// Start with the minimum asymmetric disagreement.
+	if accOld >= accNew {
+		spec.B = base
+	} else {
+		spec.C = base
+	}
+	remaining := disagree - base
+	// Symmetric swaps: push equal mass into b and c, limited by the
+	// remaining correct mass of each model.
+	bCap := accOld - spec.B // additional b requires old-correct mass
+	cCap := accNew - spec.C // additional c requires new-correct mass
+	s := remaining / 2
+	if s > bCap {
+		s = bCap
+	}
+	if s > cCap {
+		s = cCap
+	}
+	if s < 0 {
+		s = 0
+	}
+	spec.B += s
+	spec.C += s
+	remaining -= 2 * s
+	// Whatever is left must be both-wrong-disagreeing.
+	if remaining > 1e-12 {
+		if classes < 3 {
+			return PairSpec{}, fmt.Errorf("model: disagreement %v infeasible with 2 classes (both-wrong predictions always agree)", disagree)
+		}
+		spec.F = remaining
+	}
+	spec.A = accOld - spec.B
+	if aAlt := accNew - spec.C; aAlt < spec.A {
+		spec.A = aAlt
+	}
+	// A is pinned by both marginals; they must agree.
+	if d := (accOld - spec.B) - (accNew - spec.C); d > 1e-9 || d < -1e-9 {
+		return PairSpec{}, fmt.Errorf("model: internal inconsistency solving pair spec")
+	}
+	spec.E = 1 - spec.A - spec.B - spec.C - spec.F
+	if spec.A < -1e-12 || spec.E < -1e-12 {
+		return PairSpec{}, fmt.Errorf("model: infeasible pair (accOld=%v accNew=%v d=%v): a=%v e=%v",
+			accOld, accNew, disagree, spec.A, spec.E)
+	}
+	if spec.A < 0 {
+		spec.A = 0
+	}
+	if spec.E < 0 {
+		spec.E = 0
+	}
+	return spec, nil
+}
+
+// SimulatedPair draws prediction vectors for an (old, new) model pair with
+// the requested marginal accuracies and disagreement, deterministic given
+// the seed. It needs the true labels and the class count.
+func SimulatedPair(labels []int, classes int, accOld, accNew, disagree float64, seed int64) (oldPred, newPred []int, err error) {
+	spec, err := SolvePairSpec(accOld, accNew, disagree, classes)
+	if err != nil {
+		return nil, nil, err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	oldPred = make([]int, len(labels))
+	newPred = make([]int, len(labels))
+	for i, y := range labels {
+		if y < 0 || y >= classes {
+			return nil, nil, fmt.Errorf("model: label %d out of range at %d", y, i)
+		}
+		u := rng.Float64()
+		switch {
+		case u < spec.A:
+			oldPred[i], newPred[i] = y, y
+		case u < spec.A+spec.B:
+			oldPred[i], newPred[i] = y, wrongClass(y, classes, rng)
+		case u < spec.A+spec.B+spec.C:
+			oldPred[i], newPred[i] = wrongClass(y, classes, rng), y
+		case u < spec.A+spec.B+spec.C+spec.E:
+			w := wrongClass(y, classes, rng)
+			oldPred[i], newPred[i] = w, w
+		default:
+			w1 := wrongClass(y, classes, rng)
+			w2 := wrongClassExcept(y, w1, classes, rng)
+			oldPred[i], newPred[i] = w1, w2
+		}
+	}
+	return oldPred, newPred, nil
+}
+
+// FixedPredictions wraps a precomputed prediction vector as a Predictor
+// keyed by example index. The feature vector's first component is the
+// example index; this is how simulated models plug into the engine, which
+// otherwise works with real feature-based predictors.
+type FixedPredictions struct {
+	name  string
+	preds []int
+}
+
+// NewFixedPredictions builds the wrapper.
+func NewFixedPredictions(name string, preds []int) *FixedPredictions {
+	return &FixedPredictions{name: name, preds: preds}
+}
+
+// Name implements Predictor.
+func (f *FixedPredictions) Name() string { return f.name }
+
+// Predict implements Predictor: x[0] must be the example index.
+func (f *FixedPredictions) Predict(x []float64) int {
+	idx := int(x[0])
+	if idx < 0 || idx >= len(f.preds) {
+		return -1
+	}
+	return f.preds[idx]
+}
+
+// Predictions exposes the raw vector.
+func (f *FixedPredictions) Predictions() []int { return f.preds }
+
+func wrongClass(y, classes int, rng *rand.Rand) int {
+	w := rng.Intn(classes - 1)
+	if w >= y {
+		w++
+	}
+	return w
+}
+
+func wrongClassExcept(y, other, classes int, rng *rand.Rand) int {
+	// Uniform over classes excluding y and other (requires classes >= 3).
+	for {
+		w := wrongClass(y, classes, rng)
+		if w != other {
+			return w
+		}
+	}
+}

@@ -1,0 +1,131 @@
+// Package notify abstracts the two outbound channels of ease.ml/ci: the
+// third-party address that receives true test results in the non-adaptive
+// mode ("adaptivity: none -> xx@abc.com"), and the new-testset alarm sent
+// to the integration team (Section 2.3). The implementations simulate
+// e-mail with an in-memory or file-backed outbox; the information-flow
+// property that matters — the developer cannot read the channel — is
+// preserved by construction.
+package notify
+
+import (
+	"fmt"
+	"os"
+	"sync"
+)
+
+// Kind classifies notifications.
+type Kind int
+
+const (
+	// KindResult carries a true pass/fail outcome (non-adaptive mode).
+	KindResult Kind = iota
+	// KindAlarm is the new-testset alarm.
+	KindAlarm
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case KindResult:
+		return "result"
+	case KindAlarm:
+		return "alarm"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Notification is one outbound message.
+type Notification struct {
+	Kind    Kind
+	To      string
+	Subject string
+	Body    string
+	// Seq is a monotonically increasing sequence number assigned by the
+	// notifier (deterministic substitute for timestamps).
+	Seq int
+}
+
+// Notifier delivers notifications.
+type Notifier interface {
+	Send(n Notification) error
+}
+
+// Outbox is a thread-safe in-memory notifier.
+type Outbox struct {
+	mu   sync.Mutex
+	sent []Notification
+}
+
+// NewOutbox returns an empty in-memory outbox.
+func NewOutbox() *Outbox { return &Outbox{} }
+
+// Send implements Notifier.
+func (o *Outbox) Send(n Notification) error {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	n.Seq = len(o.sent) + 1
+	o.sent = append(o.sent, n)
+	return nil
+}
+
+// Messages returns a copy of everything sent.
+func (o *Outbox) Messages() []Notification {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	out := make([]Notification, len(o.sent))
+	copy(out, o.sent)
+	return out
+}
+
+// ByKind returns sent messages of one kind.
+func (o *Outbox) ByKind(k Kind) []Notification {
+	var out []Notification
+	for _, n := range o.Messages() {
+		if n.Kind == k {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// FileOutbox appends notifications to a text file, one block per message —
+// the closest a hermetic test environment gets to an SMTP hand-off.
+type FileOutbox struct {
+	mu   sync.Mutex
+	path string
+	seq  int
+}
+
+// NewFileOutbox creates (or truncates) the outbox file.
+func NewFileOutbox(path string) (*FileOutbox, error) {
+	if err := os.WriteFile(path, nil, 0o644); err != nil {
+		return nil, fmt.Errorf("notify: %w", err)
+	}
+	return &FileOutbox{path: path}, nil
+}
+
+// Send implements Notifier.
+func (f *FileOutbox) Send(n Notification) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.seq++
+	n.Seq = f.seq
+	block := fmt.Sprintf("--- message %d ---\nkind: %s\nto: %s\nsubject: %s\n\n%s\n",
+		n.Seq, n.Kind, n.To, n.Subject, n.Body)
+	file, err := os.OpenFile(f.path, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("notify: %w", err)
+	}
+	defer file.Close()
+	if _, err := file.WriteString(block); err != nil {
+		return fmt.Errorf("notify: %w", err)
+	}
+	return nil
+}
+
+// Discard drops every notification; useful in benchmarks.
+type Discard struct{}
+
+// Send implements Notifier.
+func (Discard) Send(Notification) error { return nil }

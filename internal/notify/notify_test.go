@@ -1,0 +1,102 @@
+package notify
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestOutbox(t *testing.T) {
+	o := NewOutbox()
+	if err := o.Send(Notification{Kind: KindResult, To: "a@b.c", Subject: "s1", Body: "b1"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.Send(Notification{Kind: KindAlarm, To: "team", Subject: "s2", Body: "b2"}); err != nil {
+		t.Fatal(err)
+	}
+	msgs := o.Messages()
+	if len(msgs) != 2 {
+		t.Fatalf("messages = %d", len(msgs))
+	}
+	if msgs[0].Seq != 1 || msgs[1].Seq != 2 {
+		t.Errorf("sequence numbers wrong: %d, %d", msgs[0].Seq, msgs[1].Seq)
+	}
+	if len(o.ByKind(KindAlarm)) != 1 || o.ByKind(KindAlarm)[0].Subject != "s2" {
+		t.Error("ByKind filter wrong")
+	}
+	// Messages must return a copy.
+	msgs[0].Subject = "mutated"
+	if o.Messages()[0].Subject != "s1" {
+		t.Error("Messages leaked internal state")
+	}
+}
+
+func TestOutboxConcurrent(t *testing.T) {
+	o := NewOutbox()
+	var wg sync.WaitGroup
+	for i := 0; i < 50; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_ = o.Send(Notification{Kind: KindResult, To: "x", Subject: "s", Body: "b"})
+		}()
+	}
+	wg.Wait()
+	if len(o.Messages()) != 50 {
+		t.Errorf("concurrent sends = %d, want 50", len(o.Messages()))
+	}
+	seen := map[int]bool{}
+	for _, m := range o.Messages() {
+		if seen[m.Seq] {
+			t.Fatalf("duplicate seq %d", m.Seq)
+		}
+		seen[m.Seq] = true
+	}
+}
+
+func TestFileOutbox(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "outbox.txt")
+	f, err := NewFileOutbox(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Send(Notification{Kind: KindResult, To: "dev@x", Subject: "hello", Body: "body text"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Send(Notification{Kind: KindAlarm, To: "team", Subject: "alarm", Body: "rotate"}); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(raw)
+	for _, want := range []string{"message 1", "message 2", "to: dev@x", "subject: alarm", "body text", "kind: result", "kind: alarm"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("outbox file missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestFileOutboxBadPath(t *testing.T) {
+	if _, err := NewFileOutbox(filepath.Join(t.TempDir(), "missing", "x.txt")); err == nil {
+		t.Error("unwritable path should fail")
+	}
+}
+
+func TestDiscard(t *testing.T) {
+	if err := (Discard{}).Send(Notification{}); err != nil {
+		t.Error("Discard must never fail")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if KindResult.String() != "result" || KindAlarm.String() != "alarm" {
+		t.Error("Kind.String wrong")
+	}
+	if Kind(9).String() == "" {
+		t.Error("default Kind.String empty")
+	}
+}

@@ -1,0 +1,103 @@
+package patterns
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/easeml/ci/internal/bounds"
+	"github.com/easeml/ci/internal/condlang"
+)
+
+// CoarseFinePlan is the second optimization of Section 4.2 for
+// "n > A +/- B" with large A (e.g. 0.9 or 0.95): a coarse estimate first
+// certifies a lower bound on the accuracy; conditioned on that bound the
+// per-example correctness variable has variance at most 1 - aLo, so a
+// Bennett (or exact binomial) test reaches tolerance B with far fewer
+// labels than the assumption-free Hoeffding bound.
+type CoarseFinePlan struct {
+	// Clause is "n > A +/- B".
+	Clause condlang.Clause
+	// CoarseTolerance is the tolerance of the first, coarse estimate
+	// (2B by default, mirroring Pattern 2's doubling).
+	CoarseTolerance float64
+	// CoarseN is the labeled size of the coarse stage.
+	CoarseN int
+	// Delta is the overall failure budget.
+	Delta float64
+	// Opts echoes the planning options.
+	Opts Options
+}
+
+// PlanCoarseFine builds the plan. minThreshold guards applicability: the
+// optimization "can only introduce improvement when the lower bound is
+// large (e.g., 0.9)".
+func PlanCoarseFine(f condlang.Formula, delta float64, opts Options, minThreshold float64) (*CoarseFinePlan, error) {
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	if !(delta > 0 && delta < 1) {
+		return nil, fmt.Errorf("patterns: delta must be in (0,1), got %v", delta)
+	}
+	if !MatchCoarseFine(f, minThreshold) {
+		return nil, fmt.Errorf("patterns: formula %q does not match n > A +/- B with A >= %v", f, minThreshold)
+	}
+	c := f.Clauses[0]
+	logM, err := opts.Adaptivity.LogMultiplier(opts.Steps)
+	if err != nil {
+		return nil, err
+	}
+	plan := &CoarseFinePlan{
+		Clause:          c,
+		CoarseTolerance: 2 * c.Tolerance,
+		Delta:           delta,
+		Opts:            opts,
+	}
+	// Coarse stage: one-sided lower estimate of n at 2B with delta/2.
+	n, err := bounds.HoeffdingSampleSizeLog(1, plan.CoarseTolerance, math.Log(2/delta)+logM)
+	if err != nil {
+		return nil, err
+	}
+	plan.CoarseN = n
+	return plan, nil
+}
+
+// FineN returns the fine-stage labeled size once the coarse stage certifies
+// accuracy >= aLo: the centered correctness variable has
+// E[X^2] = a(1-a) <= 1-aLo for aLo >= 1/2.
+func (p *CoarseFinePlan) FineN(aLo float64) (int, error) {
+	if !(aLo >= 0.5 && aLo < 1) {
+		return 0, fmt.Errorf("patterns: certified lower bound must be in [0.5,1), got %v", aLo)
+	}
+	logM, err := p.Opts.Adaptivity.LogMultiplier(p.Opts.Steps)
+	if err != nil {
+		return 0, err
+	}
+	varBound := 1 - aLo
+	return bounds.BennettSampleSizeLog(varBound, p.Clause.Tolerance, math.Log(4/p.Delta)+logM)
+}
+
+// FineNExact is the alternative fine stage using the exact binomial bound
+// of Section 4.3 restricted to means in [aLo, 1]; used by the ablation
+// benchmark comparing Bennett against tight numerical bounds.
+func (p *CoarseFinePlan) FineNExact(aLo float64) (int, error) {
+	if !(aLo >= 0.5 && aLo < 1) {
+		return 0, fmt.Errorf("patterns: certified lower bound must be in [0.5,1), got %v", aLo)
+	}
+	m, err := p.Opts.Adaptivity.Multiplier(p.Opts.Steps)
+	if err != nil {
+		return 0, err
+	}
+	if math.IsInf(m, 1) {
+		return 0, fmt.Errorf("patterns: exact bound unavailable for overflowing multiplier")
+	}
+	return bounds.ExactSampleSize(p.Clause.Tolerance, p.Delta/(2*m), aLo, 1)
+}
+
+// BaselineN is the unoptimized one-sided Hoeffding size for the clause.
+func (p *CoarseFinePlan) BaselineN() (int, error) {
+	logM, err := p.Opts.Adaptivity.LogMultiplier(p.Opts.Steps)
+	if err != nil {
+		return 0, err
+	}
+	return bounds.HoeffdingSampleSizeLog(1, p.Clause.Tolerance, math.Log(1/p.Delta)+logM)
+}

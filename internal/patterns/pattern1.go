@@ -1,0 +1,144 @@
+package patterns
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/easeml/ci/internal/bounds"
+	"github.com/easeml/ci/internal/condlang"
+)
+
+// Pattern1Plan is the two-level hierarchical test of Section 4.1.1 for
+// "d < A +/- B /\ n - o > C +/- D":
+//
+//  1. Filter: estimate d on FilterN *unlabeled* examples to tolerance eps'
+//     with half the failure budget; reject if the estimate exceeds A + eps'.
+//  2. Test: conditioned on the filter passing, per-example differences
+//     n_i - o_i have second moment below P, so Bennett's inequality bounds
+//     the labeled sample size TestN for the n - o clause.
+//
+// Active labeling (Section 4.1.2) additionally amortizes the labels: only
+// the ~P fraction of examples on which the two models disagree need labels,
+// so each commit costs PerCommitLabels fresh labels.
+type Pattern1Plan struct {
+	// DClause is "d < A +/- B"; QualityClause is "n - o > C +/- D".
+	DClause, QualityClause condlang.Clause
+	// FilterTolerance is eps', the tolerance of the unlabeled d estimate.
+	FilterTolerance float64
+	// P is the variance proxy used by the Bennett test.
+	P float64
+	// FilterN is the number of *unlabeled* examples for the d estimate.
+	FilterN int
+	// TestN is the number of *labeled* examples for the quality test,
+	// covering all Steps evaluations under the adaptivity multiplier.
+	TestN int
+	// PerCommitLabels is the active-labeling amortization: fresh labels
+	// needed per commit when only disagreements are labeled (no steps
+	// multiplier; each commit labels its own disagreement set).
+	PerCommitLabels int
+	// Delta is the overall failure budget the plan was computed for.
+	Delta float64
+	// Opts echoes the planning options.
+	Opts Options
+}
+
+// PlanPattern1 builds the hierarchical plan for a formula matching
+// Pattern 1. delta is the overall failure budget (1 - reliability).
+func PlanPattern1(f condlang.Formula, delta float64, opts Options) (*Pattern1Plan, error) {
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	if !(delta > 0 && delta < 1) {
+		return nil, fmt.Errorf("patterns: delta must be in (0,1), got %v", delta)
+	}
+	dIdx, qIdx, ok := MatchPattern1(f)
+	if !ok {
+		return nil, fmt.Errorf("patterns: formula %q does not match Pattern 1 (d < A +/- B /\\ n - o > C +/- D)", f)
+	}
+	dc, qc := f.Clauses[dIdx], f.Clauses[qIdx]
+	if !(dc.Threshold > 0 && dc.Threshold < 1) {
+		return nil, fmt.Errorf("patterns: d threshold must be in (0,1), got %v", dc.Threshold)
+	}
+	epsFilter := opts.FilterTolerance
+	if epsFilter == 0 {
+		epsFilter = dc.Tolerance
+	}
+	logM, err := opts.Adaptivity.LogMultiplier(opts.Steps)
+	if err != nil {
+		return nil, err
+	}
+
+	plan := &Pattern1Plan{
+		DClause:         dc,
+		QualityClause:   qc,
+		FilterTolerance: epsFilter,
+		Delta:           delta,
+		Opts:            opts,
+	}
+
+	// Variance proxy for the conditioned test.
+	switch opts.Variance {
+	case VarianceConservative:
+		plan.P = dc.Threshold + 2*epsFilter
+	default:
+		plan.P = dc.Threshold
+	}
+	if plan.P >= 1 {
+		return nil, fmt.Errorf("patterns: variance proxy %v >= 1; hierarchical testing cannot help", plan.P)
+	}
+
+	// Budget accounting.
+	var filterLogInv, testLogInv float64
+	switch opts.Budget {
+	case BudgetTestOnly:
+		// The d bound is assumed known; the filter is free and the test
+		// receives the whole budget, two-sided: ln(2/delta).
+		filterLogInv = 0
+		testLogInv = math.Log(2/delta) + logM
+	default: // BudgetSplit
+		// Filter: one-sided upper estimate of d with delta/2.
+		filterLogInv = math.Log(2/delta) + logM
+		// Test: two-sided Bennett with delta/2: ln(4/delta).
+		testLogInv = math.Log(4/delta) + logM
+	}
+
+	if filterLogInv > 0 {
+		n, err := bounds.HoeffdingSampleSizeLog(1, epsFilter, filterLogInv)
+		if err != nil {
+			return nil, err
+		}
+		plan.FilterN = n
+	}
+	testN, err := bounds.BennettSampleSizeLog(plan.P, qc.Tolerance, testLogInv)
+	if err != nil {
+		return nil, err
+	}
+	plan.TestN = testN
+
+	// Active labeling: per-commit labels = p * (single-step Bennett size).
+	perStepLogInv := testLogInv - logM
+	single, err := bounds.BennettSampleSizeLog(plan.P, qc.Tolerance, perStepLogInv)
+	if err != nil {
+		return nil, err
+	}
+	plan.PerCommitLabels = int(math.Ceil(float64(single) * plan.P))
+	return plan, nil
+}
+
+// TotalLabels returns the worst-case label cost of running the plan for the
+// configured number of steps with active labeling: each commit labels its
+// own disagreement set.
+func (p *Pattern1Plan) TotalLabels() int {
+	return p.PerCommitLabels * p.Opts.Steps
+}
+
+// BaselineN returns the sample size the un-optimized estimator would charge
+// for the same quality clause (two-sided Hoeffding on the range-2 variable
+// n-o), for reporting speedups.
+func (p *Pattern1Plan) BaselineN() (int, error) {
+	logM, err := p.Opts.Adaptivity.LogMultiplier(p.Opts.Steps)
+	if err != nil {
+		return 0, err
+	}
+	return bounds.HoeffdingSampleSizeLog(2, p.QualityClause.Tolerance, math.Log(2/p.Delta)+logM)
+}

@@ -1,0 +1,124 @@
+package patterns
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/easeml/ci/internal/bounds"
+	"github.com/easeml/ci/internal/condlang"
+)
+
+// Pattern2Plan is the implicit-variance-bound optimization of Section 4.2
+// for a bare "n - o > C +/- D" condition. Even without an explicit d clause,
+// consecutive commits rarely disagree much (the paper's ImageNet-winners
+// observation), so:
+//
+//  1. A first, *unlabeled* testset estimates d up to 2D. It is 16x smaller
+//     than testing n - o directly at D: 4x from the doubled tolerance, 4x
+//     from d's halved range.
+//  2. If the resulting upper bound on d is small, a second labeled testset
+//     runs the Bennett test exactly as in Pattern 1, sized at runtime from
+//     the observed bound (active labeling grows it incrementally).
+type Pattern2Plan struct {
+	// QualityClause is "n - o > C +/- D".
+	QualityClause condlang.Clause
+	// UnlabeledTolerance is the d-estimate tolerance (2D).
+	UnlabeledTolerance float64
+	// UnlabeledN is the size of the first (unlabeled) testset.
+	UnlabeledN int
+	// Delta is the overall failure budget.
+	Delta float64
+	// Opts echoes the planning options.
+	Opts Options
+}
+
+// PlanPattern2 builds the plan for a formula matching Pattern 2.
+func PlanPattern2(f condlang.Formula, delta float64, opts Options) (*Pattern2Plan, error) {
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	if !(delta > 0 && delta < 1) {
+		return nil, fmt.Errorf("patterns: delta must be in (0,1), got %v", delta)
+	}
+	if !MatchPattern2(f) {
+		return nil, fmt.Errorf("patterns: formula %q does not match Pattern 2 (n - o > C +/- D)", f)
+	}
+	qc := f.Clauses[0]
+	logM, err := opts.Adaptivity.LogMultiplier(opts.Steps)
+	if err != nil {
+		return nil, err
+	}
+	plan := &Pattern2Plan{
+		QualityClause:      qc,
+		UnlabeledTolerance: 2 * qc.Tolerance,
+		Delta:              delta,
+		Opts:               opts,
+	}
+	// First testset: one-sided upper estimate of d at 2D with delta/2
+	// (or skipped entirely when the bound is known a priori).
+	if opts.Budget != BudgetTestOnly {
+		n, err := bounds.HoeffdingSampleSizeLog(1, plan.UnlabeledTolerance, math.Log(2/delta)+logM)
+		if err != nil {
+			return nil, err
+		}
+		plan.UnlabeledN = n
+	}
+	return plan, nil
+}
+
+// testLogInv returns the ln(1/delta') budget of the labeled test.
+func (p *Pattern2Plan) testLogInv() (float64, error) {
+	logM, err := p.Opts.Adaptivity.LogMultiplier(p.Opts.Steps)
+	if err != nil {
+		return 0, err
+	}
+	if p.Opts.Budget == BudgetTestOnly {
+		return math.Log(2/p.Delta) + logM, nil
+	}
+	return math.Log(4/p.Delta) + logM, nil
+}
+
+// TestN returns the labeled testset size once the disagreement upper bound
+// dUpper is known (from the unlabeled estimate plus its tolerance, or a
+// priori knowledge). The system cannot know this before execution
+// (Section 4.2), which is why it is a method rather than a field.
+func (p *Pattern2Plan) TestN(dUpper float64) (int, error) {
+	if !(dUpper > 0 && dUpper < 1) {
+		return 0, fmt.Errorf("patterns: disagreement bound must be in (0,1), got %v", dUpper)
+	}
+	logInv, err := p.testLogInv()
+	if err != nil {
+		return 0, err
+	}
+	return bounds.BennettSampleSizeLog(dUpper, p.QualityClause.Tolerance, logInv)
+}
+
+// PerCommitLabels is the active-labeling amortization at disagreement bound
+// dUpper: labels needed per commit when only the disagreement set is
+// labeled, without the steps multiplier.
+func (p *Pattern2Plan) PerCommitLabels(dUpper float64) (int, error) {
+	if !(dUpper > 0 && dUpper < 1) {
+		return 0, fmt.Errorf("patterns: disagreement bound must be in (0,1), got %v", dUpper)
+	}
+	var logInv float64
+	if p.Opts.Budget == BudgetTestOnly {
+		logInv = math.Log(2 / p.Delta)
+	} else {
+		logInv = math.Log(4 / p.Delta)
+	}
+	n, err := bounds.BennettSampleSizeLog(dUpper, p.QualityClause.Tolerance, logInv)
+	if err != nil {
+		return 0, err
+	}
+	return int(math.Ceil(float64(n) * dUpper)), nil
+}
+
+// BaselineN is the unoptimized direct test of n - o at tolerance D
+// (two-sided Hoeffding, range 2), for reporting the 16x/overall savings.
+func (p *Pattern2Plan) BaselineN() (int, error) {
+	logM, err := p.Opts.Adaptivity.LogMultiplier(p.Opts.Steps)
+	if err != nil {
+		return 0, err
+	}
+	return bounds.HoeffdingSampleSizeLog(2, p.QualityClause.Tolerance, math.Log(2/p.Delta)+logM)
+}

@@ -1,0 +1,165 @@
+// Package patterns implements the label-complexity optimizations of
+// Section 4 of the ease.ml/ci paper. The estimator package charges the
+// worst-case O(1/epsilon^2) Hoeffding price for every condition; this
+// package recognizes sub-families of conditions where a variance bound on
+// the difference between consecutive models makes Bennett's inequality
+// applicable, cutting the required labels by up to two orders of magnitude:
+//
+//   - Pattern 1 (Section 4.1): "d < A +/- B  /\  n - o > C +/- D".
+//     Hierarchical testing first bounds d on unlabeled data, then tests
+//     n - o under the variance bound; active labeling (Section 4.1.2)
+//     amortizes labels across commits by labeling only disagreements.
+//   - Pattern 2 (Section 4.2): "n - o > C +/- D" alone. An implicit
+//     variance bound is obtained from a 16x-smaller unlabeled testset.
+//   - Coarse-to-fine (Section 4.2, second half): "n > A +/- B" with large A.
+//     A coarse estimate lower-bounds the accuracy, which bounds the
+//     Bernoulli variance for a finer Bennett test.
+package patterns
+
+import (
+	"fmt"
+
+	"github.com/easeml/ci/internal/adaptivity"
+	"github.com/easeml/ci/internal/condlang"
+)
+
+// DeltaBudget selects how the overall failure budget delta is charged to
+// the filter (d estimate) and the quality test.
+type DeltaBudget int
+
+const (
+	// BudgetSplit is the paper's Section 4.1.1 accounting: delta/2 to the
+	// unlabeled filter, delta/2 to the labeled Bennett test (two-sided),
+	// giving the ln(4/delta) term of the paper's formula.
+	BudgetSplit DeltaBudget = iota
+	// BudgetTestOnly charges the whole delta to the test (two-sided,
+	// ln(2/delta)): the Section 5.2 accounting, applicable when the
+	// disagreement bound is known a priori rather than estimated.
+	BudgetTestOnly
+)
+
+// String implements fmt.Stringer.
+func (b DeltaBudget) String() string {
+	switch b {
+	case BudgetSplit:
+		return "split"
+	case BudgetTestOnly:
+		return "test-only"
+	default:
+		return fmt.Sprintf("DeltaBudget(%d)", int(b))
+	}
+}
+
+// VarianceBound selects the variance proxy used once the filter passes.
+type VarianceBound int
+
+const (
+	// VarianceAtThreshold uses p = A (the d-clause threshold), matching the
+	// arithmetic of the paper's worked examples ("When p = 0.1 ... 29K").
+	VarianceAtThreshold VarianceBound = iota
+	// VarianceConservative uses p = A + 2*eps', the bound the filter
+	// actually certifies (Section 4.1.1's "conditioned on d < A + 2eps'").
+	VarianceConservative
+)
+
+// String implements fmt.Stringer.
+func (v VarianceBound) String() string {
+	switch v {
+	case VarianceAtThreshold:
+		return "at-threshold"
+	case VarianceConservative:
+		return "conservative"
+	default:
+		return fmt.Sprintf("VarianceBound(%d)", int(v))
+	}
+}
+
+// Options configures pattern planning.
+type Options struct {
+	// Steps is H.
+	Steps int
+	// Adaptivity is the interaction mode.
+	Adaptivity adaptivity.Kind
+	// Budget selects the delta accounting (default BudgetSplit).
+	Budget DeltaBudget
+	// Variance selects the variance proxy (default VarianceAtThreshold).
+	Variance VarianceBound
+	// FilterTolerance is eps' for the unlabeled d estimate; when zero it
+	// defaults to the d clause's own tolerance.
+	FilterTolerance float64
+}
+
+func (o Options) validate() error {
+	if o.Steps < 1 {
+		return fmt.Errorf("patterns: steps must be >= 1, got %d", o.Steps)
+	}
+	if o.FilterTolerance < 0 {
+		return fmt.Errorf("patterns: filter tolerance must be >= 0, got %v", o.FilterTolerance)
+	}
+	return nil
+}
+
+// isVar reports whether the clause's expression is exactly +1 * v.
+func isVar(lf condlang.LinearForm, v condlang.Var) bool {
+	return len(lf.Coef) == 1 && lf.Coef[v] == 1 && lf.Const == 0
+}
+
+// isDiff reports whether the clause's expression is exactly n - o.
+func isDiff(lf condlang.LinearForm) bool {
+	return len(lf.Coef) == 2 && lf.Coef[condlang.VarN] == 1 &&
+		lf.Coef[condlang.VarO] == -1 && lf.Const == 0
+}
+
+// MatchPattern1 looks for the two-clause shape
+// "d < A +/- B /\ n - o > C +/- D" (in either order). It returns the clause
+// indices of the d clause and the difference clause.
+func MatchPattern1(f condlang.Formula) (dIdx, diffIdx int, ok bool) {
+	if len(f.Clauses) != 2 {
+		return 0, 0, false
+	}
+	dIdx, diffIdx = -1, -1
+	for i, c := range f.Clauses {
+		lf, err := condlang.Linearize(c.Expr)
+		if err != nil {
+			return 0, 0, false
+		}
+		switch {
+		case isVar(lf, condlang.VarD) && c.Cmp == condlang.CmpLess:
+			dIdx = i
+		case isDiff(lf) && c.Cmp == condlang.CmpGreater:
+			diffIdx = i
+		}
+	}
+	if dIdx < 0 || diffIdx < 0 {
+		return 0, 0, false
+	}
+	return dIdx, diffIdx, true
+}
+
+// MatchPattern2 looks for a single-clause "n - o > C +/- D".
+func MatchPattern2(f condlang.Formula) bool {
+	if len(f.Clauses) != 1 {
+		return false
+	}
+	c := f.Clauses[0]
+	lf, err := condlang.Linearize(c.Expr)
+	if err != nil {
+		return false
+	}
+	return isDiff(lf) && c.Cmp == condlang.CmpGreater
+}
+
+// MatchCoarseFine looks for a single-clause "n > A +/- B" with A at least
+// minThreshold (the optimization only helps for large A, Section 4.2).
+func MatchCoarseFine(f condlang.Formula, minThreshold float64) bool {
+	if len(f.Clauses) != 1 {
+		return false
+	}
+	c := f.Clauses[0]
+	lf, err := condlang.Linearize(c.Expr)
+	if err != nil {
+		return false
+	}
+	return isVar(lf, condlang.VarN) && c.Cmp == condlang.CmpGreater &&
+		c.Threshold >= minThreshold
+}

@@ -1,0 +1,372 @@
+package patterns
+
+import (
+	"math"
+	"testing"
+
+	"github.com/easeml/ci/internal/adaptivity"
+	"github.com/easeml/ci/internal/condlang"
+)
+
+func mustFormula(t *testing.T, src string) condlang.Formula {
+	t.Helper()
+	f, err := condlang.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestMatchPattern1(t *testing.T) {
+	cases := []struct {
+		src  string
+		want bool
+	}{
+		{"d < 0.1 +/- 0.01 /\\ n - o > 0.02 +/- 0.01", true},
+		{"n - o > 0.02 +/- 0.01 /\\ d < 0.1 +/- 0.01", true}, // order-insensitive
+		{"d < 0.1 +/- 0.01", false},                          // missing quality clause
+		{"n - o > 0.02 +/- 0.01", false},                     // missing d clause
+		{"d > 0.1 +/- 0.01 /\\ n - o > 0.02 +/- 0.01", false},
+		{"d < 0.1 +/- 0.01 /\\ n - o < 0.02 +/- 0.01", false},
+		{"d < 0.1 +/- 0.01 /\\ o - n > 0.02 +/- 0.01", false},
+		{"2 * d < 0.1 +/- 0.01 /\\ n - o > 0.02 +/- 0.01", false},
+		{"d < 0.1 +/- 0.01 /\\ n - 1.1 * o > 0.02 +/- 0.01", false},
+		{"d < 0.1 +/- 0.01 /\\ n - o > 0.02 +/- 0.01 /\\ n > 0.5 +/- 0.1", false}, // 3 clauses
+	}
+	for _, c := range cases {
+		_, _, ok := MatchPattern1(mustFormula(t, c.src))
+		if ok != c.want {
+			t.Errorf("MatchPattern1(%q) = %v, want %v", c.src, ok, c.want)
+		}
+	}
+	// Indices point at the right clauses regardless of order.
+	dIdx, qIdx, _ := MatchPattern1(mustFormula(t, "n - o > 0.02 +/- 0.01 /\\ d < 0.1 +/- 0.01"))
+	if dIdx != 1 || qIdx != 0 {
+		t.Errorf("indices = %d, %d; want 1, 0", dIdx, qIdx)
+	}
+}
+
+func TestPlanPattern1PaperNumbers(t *testing.T) {
+	// Section 4.1.1: p=0.1, 1-delta=0.9999, eps=0.01, H=32.
+	f := mustFormula(t, "d < 0.1 +/- 0.01 /\\ n - o > 0.02 +/- 0.01")
+	plan, err := PlanPattern1(f, 0.0001, Options{
+		Steps: 32, Adaptivity: adaptivity.None,
+		Budget: BudgetSplit, Variance: VarianceAtThreshold,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// "we only need 29K samples for 32 non-adaptive steps".
+	if plan.TestN < 29000 || plan.TestN > 29100 {
+		t.Errorf("TestN = %d, want ~29048", plan.TestN)
+	}
+	// Section 4.1.2: "n = 2188" labels per commit.
+	if plan.PerCommitLabels < 2188 || plan.PerCommitLabels > 2190 {
+		t.Errorf("PerCommitLabels = %d, want ~2189", plan.PerCommitLabels)
+	}
+	if plan.P != 0.1 {
+		t.Errorf("P = %v, want 0.1", plan.P)
+	}
+
+	// "and 67K samples for 32 fully-adaptive steps".
+	planFull, err := PlanPattern1(f, 0.0001, Options{
+		Steps: 32, Adaptivity: adaptivity.Full,
+		Budget: BudgetSplit, Variance: VarianceAtThreshold,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if planFull.TestN < 67600 || planFull.TestN > 67800 {
+		t.Errorf("fully adaptive TestN = %d, want ~67706", planFull.TestN)
+	}
+
+	// "10x fewer than the baseline (Figure 2)".
+	base, err := plan.BaselineN()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ratio := float64(base) / float64(plan.TestN); ratio < 8 {
+		t.Errorf("baseline/test ratio = %v, want ~10", ratio)
+	}
+}
+
+func TestPlanPattern1ConservativeVariance(t *testing.T) {
+	f := mustFormula(t, "d < 0.1 +/- 0.01 /\\ n - o > 0.02 +/- 0.01")
+	at, err := PlanPattern1(f, 0.001, Options{
+		Steps: 8, Adaptivity: adaptivity.None, Variance: VarianceAtThreshold,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cons, err := PlanPattern1(f, 0.001, Options{
+		Steps: 8, Adaptivity: adaptivity.None, Variance: VarianceConservative,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(cons.P-0.12) > 1e-12 {
+		t.Errorf("conservative P = %v, want 0.12", cons.P)
+	}
+	if cons.TestN <= at.TestN {
+		t.Errorf("conservative TestN %d should exceed at-threshold %d", cons.TestN, at.TestN)
+	}
+}
+
+func TestPlanPattern1Budgets(t *testing.T) {
+	f := mustFormula(t, "d < 0.1 +/- 0.01 /\\ n - o > 0.02 +/- 0.01")
+	split, err := PlanPattern1(f, 0.001, Options{Steps: 8, Adaptivity: adaptivity.None, Budget: BudgetSplit})
+	if err != nil {
+		t.Fatal(err)
+	}
+	testOnly, err := PlanPattern1(f, 0.001, Options{Steps: 8, Adaptivity: adaptivity.None, Budget: BudgetTestOnly})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if split.FilterN == 0 {
+		t.Error("split budget must size the unlabeled filter")
+	}
+	if testOnly.FilterN != 0 {
+		t.Error("test-only budget must not size a filter")
+	}
+	if testOnly.TestN >= split.TestN {
+		t.Errorf("test-only TestN %d should be below split TestN %d", testOnly.TestN, split.TestN)
+	}
+	if split.TotalLabels() != split.PerCommitLabels*8 {
+		t.Error("TotalLabels arithmetic wrong")
+	}
+}
+
+func TestPlanPattern1Errors(t *testing.T) {
+	good := mustFormula(t, "d < 0.1 +/- 0.01 /\\ n - o > 0.02 +/- 0.01")
+	if _, err := PlanPattern1(mustFormula(t, "n > 0.5 +/- 0.1"), 0.001, Options{Steps: 1}); err == nil {
+		t.Error("non-matching formula should fail")
+	}
+	if _, err := PlanPattern1(good, 0, Options{Steps: 1}); err == nil {
+		t.Error("delta=0 should fail")
+	}
+	if _, err := PlanPattern1(good, 0.001, Options{Steps: 0}); err == nil {
+		t.Error("steps=0 should fail")
+	}
+	if _, err := PlanPattern1(good, 0.001, Options{Steps: 1, FilterTolerance: -1}); err == nil {
+		t.Error("negative filter tolerance should fail")
+	}
+	bad := mustFormula(t, "d < 0.99 +/- 0.01 /\\ n - o > 0.02 +/- 0.01")
+	if _, err := PlanPattern1(bad, 0.001, Options{Steps: 1, Variance: VarianceConservative}); err == nil {
+		t.Error("variance proxy >= 1 should fail")
+	}
+}
+
+func TestMatchPattern2(t *testing.T) {
+	cases := []struct {
+		src  string
+		want bool
+	}{
+		{"n - o > 0.02 +/- 0.01", true},
+		{"n - o > 0.02 +/- 0.02", true},
+		{"n - o < 0.02 +/- 0.01", false},
+		{"o - n > 0.02 +/- 0.01", false},
+		{"n > 0.02 +/- 0.01", false},
+		{"n - o > 0.02 +/- 0.01 /\\ d < 0.1 +/- 0.01", false}, // that's Pattern 1
+	}
+	for _, c := range cases {
+		if got := MatchPattern2(mustFormula(t, c.src)); got != c.want {
+			t.Errorf("MatchPattern2(%q) = %v, want %v", c.src, got, c.want)
+		}
+	}
+}
+
+func TestPlanPattern2SemEvalNumbers(t *testing.T) {
+	// Figure 5: H=7, delta=0.002, d bound 0.1 known a priori (test-only
+	// budget). Non-adaptive eps=0.02 -> 4713; fully adaptive eps=0.022 ->
+	// 5204; fully adaptive eps=0.02 -> >6K.
+	f1 := mustFormula(t, "n - o > 0.02 +/- 0.02")
+	plan, err := PlanPattern2(f1, 0.002, Options{
+		Steps: 7, Adaptivity: adaptivity.None, Budget: BudgetTestOnly,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := plan.TestN(0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 4713 {
+		t.Errorf("non-adaptive TestN = %d, want 4713", n)
+	}
+	if plan.UnlabeledN != 0 {
+		t.Errorf("test-only budget should skip the unlabeled set, got %d", plan.UnlabeledN)
+	}
+
+	f3 := mustFormula(t, "n - o > 0.018 +/- 0.022")
+	planA, err := PlanPattern2(f3, 0.002, Options{
+		Steps: 7, Adaptivity: adaptivity.Full, Budget: BudgetTestOnly,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err = planA.TestN(0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 5204 {
+		t.Errorf("adaptive eps=0.022 TestN = %d, want 5204", n)
+	}
+
+	planB, err := PlanPattern2(f1, 0.002, Options{
+		Steps: 7, Adaptivity: adaptivity.Full, Budget: BudgetTestOnly,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err = planB.TestN(0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n <= 6000 {
+		t.Errorf("adaptive eps=0.02 TestN = %d, want > 6000", n)
+	}
+}
+
+func TestPlanPattern2SixteenX(t *testing.T) {
+	// "the first testset will be 16x smaller than testing n-o directly".
+	f := mustFormula(t, "n - o > 0.02 +/- 0.01")
+	plan, err := PlanPattern2(f, 0.001, Options{Steps: 8, Adaptivity: adaptivity.None, Budget: BudgetSplit})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := plan.BaselineN()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := float64(base) / float64(plan.UnlabeledN)
+	if ratio < 14 || ratio > 18 {
+		t.Errorf("baseline/unlabeled ratio = %v, want ~16", ratio)
+	}
+}
+
+func TestPattern2PerCommitLabels(t *testing.T) {
+	f := mustFormula(t, "n - o > 0.02 +/- 0.01")
+	plan, err := PlanPattern2(f, 0.0001, Options{Steps: 32, Adaptivity: adaptivity.Full, Budget: BudgetSplit})
+	if err != nil {
+		t.Fatal(err)
+	}
+	labels, err := plan.PerCommitLabels(0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same arithmetic as Pattern 1's active labeling: ~2189.
+	if labels < 2188 || labels > 2190 {
+		t.Errorf("PerCommitLabels = %d, want ~2189", labels)
+	}
+	if _, err := plan.PerCommitLabels(0); err == nil {
+		t.Error("dUpper=0 should fail")
+	}
+	if _, err := plan.TestN(1.5); err == nil {
+		t.Error("dUpper>1 should fail")
+	}
+}
+
+func TestPattern2MonotoneInDisagreement(t *testing.T) {
+	f := mustFormula(t, "n - o > 0.02 +/- 0.01")
+	plan, err := PlanPattern2(f, 0.001, Options{Steps: 8, Adaptivity: adaptivity.None})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := 0
+	for _, d := range []float64{0.02, 0.05, 0.1, 0.2, 0.4} {
+		n, err := plan.TestN(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n <= prev {
+			t.Errorf("TestN(%v) = %d not increasing (prev %d)", d, n, prev)
+		}
+		prev = n
+	}
+}
+
+func TestMatchCoarseFine(t *testing.T) {
+	if !MatchCoarseFine(mustFormula(t, "n > 0.9 +/- 0.02"), 0.9) {
+		t.Error("n > 0.9 should match")
+	}
+	if MatchCoarseFine(mustFormula(t, "n > 0.8 +/- 0.02"), 0.9) {
+		t.Error("n > 0.8 should not match at threshold 0.9")
+	}
+	if MatchCoarseFine(mustFormula(t, "n < 0.9 +/- 0.02"), 0.5) {
+		t.Error("n < ... should not match")
+	}
+	if MatchCoarseFine(mustFormula(t, "d > 0.9 +/- 0.02"), 0.5) {
+		t.Error("d > ... should not match")
+	}
+}
+
+func TestCoarseFineImproves(t *testing.T) {
+	f := mustFormula(t, "n > 0.9 +/- 0.01")
+	plan, err := PlanCoarseFine(f, 0.001, Options{Steps: 8, Adaptivity: adaptivity.None}, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fine, err := plan.FineN(0.88) // coarse stage certified a >= 0.88
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := plan.BaselineN()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.CoarseN+fine >= base {
+		t.Errorf("coarse %d + fine %d not below baseline %d", plan.CoarseN, fine, base)
+	}
+	// The exact-binomial fine stage must be at least as tight as Bennett.
+	fineExact, err := plan.FineNExact(0.88)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fineExact > fine {
+		t.Errorf("exact fine stage %d worse than Bennett %d", fineExact, fine)
+	}
+	if _, err := plan.FineN(0.3); err == nil {
+		t.Error("aLo < 0.5 should fail")
+	}
+}
+
+func TestCoarseFineErrors(t *testing.T) {
+	if _, err := PlanCoarseFine(mustFormula(t, "n > 0.5 +/- 0.1"), 0.01, Options{Steps: 1}, 0.9); err == nil {
+		t.Error("threshold below minimum should fail")
+	}
+	if _, err := PlanCoarseFine(mustFormula(t, "n > 0.95 +/- 0.01"), 0, Options{Steps: 1}, 0.9); err == nil {
+		t.Error("delta=0 should fail")
+	}
+}
+
+func TestStringers(t *testing.T) {
+	if BudgetSplit.String() != "split" || BudgetTestOnly.String() != "test-only" {
+		t.Error("DeltaBudget.String wrong")
+	}
+	if VarianceAtThreshold.String() != "at-threshold" || VarianceConservative.String() != "conservative" {
+		t.Error("VarianceBound.String wrong")
+	}
+	if DeltaBudget(9).String() == "" || VarianceBound(9).String() == "" {
+		t.Error("default stringers empty")
+	}
+}
+
+func TestPattern1FilterScalesWithTolerance(t *testing.T) {
+	f := mustFormula(t, "d < 0.1 +/- 0.01 /\\ n - o > 0.02 +/- 0.01")
+	tight, err := PlanPattern1(f, 0.001, Options{Steps: 4, Adaptivity: adaptivity.None, FilterTolerance: 0.005})
+	if err != nil {
+		t.Fatal(err)
+	}
+	loose, err := PlanPattern1(f, 0.001, Options{Steps: 4, Adaptivity: adaptivity.None, FilterTolerance: 0.02})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tight.FilterN <= loose.FilterN {
+		t.Errorf("tighter filter tolerance must need more unlabeled data: %d vs %d", tight.FilterN, loose.FilterN)
+	}
+	// Filter size ratio should be ~ (0.02/0.005)^2 = 16.
+	ratio := float64(tight.FilterN) / float64(loose.FilterN)
+	if math.Abs(ratio-16) > 0.5 {
+		t.Errorf("filter ratio = %v, want ~16", ratio)
+	}
+}

@@ -1,0 +1,133 @@
+// Package repository is the commit store of the CI loop: an append-only,
+// hash-addressed history of model commits, standing in for the GitHub
+// repository of Figure 1. It records what was committed and in what order;
+// evaluation results live with the engine.
+package repository
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Commit is one committed model version.
+type Commit struct {
+	// ID is the content hash of the commit.
+	ID string
+	// Parent is the previous commit's ID ("" for the root).
+	Parent string
+	// Seq is the 1-based position in history.
+	Seq int
+	// Author and Message mirror ordinary VCS metadata.
+	Author, Message string
+	// ModelName identifies the committed model artifact.
+	ModelName string
+	// Meta carries arbitrary key/value annotations (hyperparameters, data
+	// slice, ...), kept sorted when hashed for determinism.
+	Meta map[string]string
+}
+
+// Store is an append-only commit log. It is safe for concurrent use.
+type Store struct {
+	mu      sync.RWMutex
+	commits []Commit
+	byID    map[string]int
+}
+
+// NewStore returns an empty store.
+func NewStore() *Store {
+	return &Store{byID: make(map[string]int)}
+}
+
+// Append adds a commit with the given metadata and returns it with ID,
+// Parent, and Seq filled in.
+func (s *Store) Append(author, message, modelName string, meta map[string]string) (Commit, error) {
+	if modelName == "" {
+		return Commit{}, fmt.Errorf("repository: model name must not be empty")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c := Commit{
+		Parent:    "",
+		Seq:       len(s.commits) + 1,
+		Author:    author,
+		Message:   message,
+		ModelName: modelName,
+		Meta:      copyMeta(meta),
+	}
+	if len(s.commits) > 0 {
+		c.Parent = s.commits[len(s.commits)-1].ID
+	}
+	c.ID = hashCommit(c)
+	if _, dup := s.byID[c.ID]; dup {
+		return Commit{}, fmt.Errorf("repository: duplicate commit id %s", c.ID)
+	}
+	s.byID[c.ID] = len(s.commits)
+	s.commits = append(s.commits, c)
+	return c, nil
+}
+
+// Head returns the latest commit.
+func (s *Store) Head() (Commit, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if len(s.commits) == 0 {
+		return Commit{}, fmt.Errorf("repository: empty history")
+	}
+	return s.commits[len(s.commits)-1], nil
+}
+
+// Get looks a commit up by ID.
+func (s *Store) Get(id string) (Commit, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	i, ok := s.byID[id]
+	if !ok {
+		return Commit{}, fmt.Errorf("repository: unknown commit %q", id)
+	}
+	return s.commits[i], nil
+}
+
+// Len returns the number of commits.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.commits)
+}
+
+// History returns all commits oldest-first.
+func (s *Store) History() []Commit {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]Commit, len(s.commits))
+	copy(out, s.commits)
+	return out
+}
+
+func copyMeta(m map[string]string) map[string]string {
+	if m == nil {
+		return nil
+	}
+	out := make(map[string]string, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+func hashCommit(c Commit) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "parent:%s\nseq:%d\nauthor:%s\nmessage:%s\nmodel:%s\n",
+		c.Parent, c.Seq, c.Author, c.Message, c.ModelName)
+	keys := make([]string, 0, len(c.Meta))
+	for k := range c.Meta {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(h, "meta:%s=%s\n", k, c.Meta[k])
+	}
+	return hex.EncodeToString(h.Sum(nil))[:16]
+}

@@ -1,0 +1,108 @@
+package repository
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestAppendAndChain(t *testing.T) {
+	s := NewStore()
+	c1, err := s.Append("alice", "first model", "nb-v1", map[string]string{"lr": "0.1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c1.Parent != "" || c1.Seq != 1 || c1.ID == "" {
+		t.Errorf("root commit wrong: %+v", c1)
+	}
+	c2, err := s.Append("bob", "tuned", "nb-v2", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c2.Parent != c1.ID || c2.Seq != 2 {
+		t.Errorf("chain wrong: %+v", c2)
+	}
+	head, err := s.Head()
+	if err != nil || head.ID != c2.ID {
+		t.Errorf("head = %+v, %v", head, err)
+	}
+	got, err := s.Get(c1.ID)
+	if err != nil || got.ModelName != "nb-v1" {
+		t.Errorf("Get = %+v, %v", got, err)
+	}
+	if s.Len() != 2 {
+		t.Errorf("Len = %d", s.Len())
+	}
+	hist := s.History()
+	if len(hist) != 2 || hist[0].ID != c1.ID {
+		t.Error("History wrong")
+	}
+}
+
+func TestEmptyStore(t *testing.T) {
+	s := NewStore()
+	if _, err := s.Head(); err == nil {
+		t.Error("Head of empty store should fail")
+	}
+	if _, err := s.Get("nope"); err == nil {
+		t.Error("Get unknown id should fail")
+	}
+	if _, err := s.Append("a", "m", "", nil); err == nil {
+		t.Error("empty model name should fail")
+	}
+}
+
+func TestMetaIsolation(t *testing.T) {
+	s := NewStore()
+	meta := map[string]string{"k": "v"}
+	c, err := s.Append("a", "m", "model", meta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	meta["k"] = "mutated"
+	got, _ := s.Get(c.ID)
+	if got.Meta["k"] != "v" {
+		t.Error("store shares caller's meta map")
+	}
+}
+
+func TestHashDeterminismAndUniqueness(t *testing.T) {
+	s1 := NewStore()
+	s2 := NewStore()
+	a1, _ := s1.Append("a", "m", "model", map[string]string{"x": "1", "y": "2"})
+	a2, _ := s2.Append("a", "m", "model", map[string]string{"y": "2", "x": "1"})
+	if a1.ID != a2.ID {
+		t.Error("same content must hash identically regardless of map order")
+	}
+	b, _ := s1.Append("a", "m", "model", map[string]string{"x": "1", "y": "2"})
+	if b.ID == a1.ID {
+		t.Error("different seq/parent must change the hash")
+	}
+}
+
+func TestConcurrentAppends(t *testing.T) {
+	s := NewStore()
+	var wg sync.WaitGroup
+	for i := 0; i < 40; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := s.Append("a", "m", "model", nil); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+	if s.Len() != 40 {
+		t.Errorf("Len = %d, want 40", s.Len())
+	}
+	// Chain integrity: every parent must exist and seqs must be 1..40.
+	hist := s.History()
+	for i, c := range hist {
+		if c.Seq != i+1 {
+			t.Fatalf("seq %d at position %d", c.Seq, i)
+		}
+		if i > 0 && c.Parent != hist[i-1].ID {
+			t.Fatalf("broken chain at %d", i)
+		}
+	}
+}

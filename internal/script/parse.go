@@ -1,0 +1,192 @@
+package script
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"github.com/easeml/ci/internal/condlang"
+	"github.com/easeml/ci/internal/interval"
+)
+
+// Parse reads a .travis.yml-style document and extracts the ml section into
+// a validated Config. Lines outside the ml section are ignored (a real
+// Travis file carries language/install/script keys this system does not
+// interpret).
+func Parse(r io.Reader) (*Config, error) {
+	entries, err := readMLSection(r)
+	if err != nil {
+		return nil, err
+	}
+	return fromEntries(entries)
+}
+
+// ParseString is Parse over an in-memory document.
+func ParseString(s string) (*Config, error) {
+	return Parse(strings.NewReader(s))
+}
+
+// ParseFile is Parse over a file path.
+func ParseFile(path string) (*Config, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("script: %w", err)
+	}
+	defer f.Close()
+	cfg, err := Parse(f)
+	if err != nil {
+		return nil, fmt.Errorf("script: %s: %w", path, err)
+	}
+	return cfg, nil
+}
+
+// entry is one "key : value" item of the ml section with its line number.
+type entry struct {
+	key, value string
+	line       int
+}
+
+// readMLSection scans for "ml:" and collects the indented "- key : value"
+// items (the paper's format) or plain "key: value" items that follow.
+func readMLSection(r io.Reader) ([]entry, error) {
+	sc := bufio.NewScanner(r)
+	var entries []entry
+	inML := false
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		raw := sc.Text()
+		line := strings.TrimRight(raw, " \t")
+		trimmed := strings.TrimSpace(line)
+		if trimmed == "" || strings.HasPrefix(trimmed, "#") {
+			continue
+		}
+		if !inML {
+			if trimmed == "ml:" {
+				inML = true
+			}
+			continue
+		}
+		// The section ends at the next top-level key (no indentation, no dash).
+		if !strings.HasPrefix(line, " ") && !strings.HasPrefix(line, "\t") && !strings.HasPrefix(trimmed, "-") {
+			break
+		}
+		item := strings.TrimSpace(strings.TrimPrefix(trimmed, "-"))
+		k, v, ok := strings.Cut(item, ":")
+		if !ok {
+			return nil, fmt.Errorf("script: line %d: expected 'key : value', got %q", lineNo, trimmed)
+		}
+		entries = append(entries, entry{
+			key:   strings.TrimSpace(k),
+			value: strings.TrimSpace(v),
+			line:  lineNo,
+		})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("script: %w", err)
+	}
+	if !inML {
+		return nil, fmt.Errorf("script: no ml section found")
+	}
+	if len(entries) == 0 {
+		return nil, fmt.Errorf("script: ml section is empty")
+	}
+	return entries, nil
+}
+
+func fromEntries(entries []entry) (*Config, error) {
+	cfg := &Config{
+		// Defaults for optional fields; condition/reliability are mandatory.
+		Mode:       interval.FPFree,
+		Adaptivity: Adaptivity{Kind: AdaptivityFull},
+		Steps:      32,
+	}
+	seen := map[string]bool{}
+	for _, e := range entries {
+		if seen[e.key] {
+			return nil, fmt.Errorf("script: line %d: duplicate key %q", e.line, e.key)
+		}
+		seen[e.key] = true
+		switch e.key {
+		case "script":
+			cfg.Script = e.value
+		case "condition":
+			f, err := condlang.Parse(e.value)
+			if err != nil {
+				return nil, fmt.Errorf("script: line %d: %w", e.line, err)
+			}
+			cfg.Condition = f
+			cfg.ConditionSrc = e.value
+		case "reliability":
+			v, err := strconv.ParseFloat(e.value, 64)
+			if err != nil {
+				return nil, fmt.Errorf("script: line %d: reliability: %w", e.line, err)
+			}
+			cfg.Reliability = v
+		case "mode":
+			switch e.value {
+			case "fp-free":
+				cfg.Mode = interval.FPFree
+			case "fn-free":
+				cfg.Mode = interval.FNFree
+			default:
+				return nil, fmt.Errorf("script: line %d: mode must be fp-free or fn-free, got %q", e.line, e.value)
+			}
+		case "adaptivity":
+			a, err := parseAdaptivity(e.value)
+			if err != nil {
+				return nil, fmt.Errorf("script: line %d: %w", e.line, err)
+			}
+			cfg.Adaptivity = a
+		case "steps":
+			v, err := strconv.Atoi(e.value)
+			if err != nil {
+				return nil, fmt.Errorf("script: line %d: steps: %w", e.line, err)
+			}
+			cfg.Steps = v
+		default:
+			return nil, fmt.Errorf("script: line %d: unknown key %q", e.line, e.key)
+		}
+	}
+	if !seen["condition"] {
+		return nil, fmt.Errorf("script: missing required key \"condition\"")
+	}
+	if !seen["reliability"] {
+		return nil, fmt.Errorf("script: missing required key \"reliability\"")
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return cfg, nil
+}
+
+// parseAdaptivity parses "full", "firstChange", "none -> addr", and the
+// paper's "full | none" shorthand is NOT accepted: a concrete script must
+// pick one mode.
+func parseAdaptivity(s string) (Adaptivity, error) {
+	if s == "full" {
+		return Adaptivity{Kind: AdaptivityFull}, nil
+	}
+	if s == "firstChange" {
+		return Adaptivity{Kind: AdaptivityFirstChange}, nil
+	}
+	if rest, ok := strings.CutPrefix(s, "none"); ok {
+		rest = strings.TrimSpace(rest)
+		if rest == "" {
+			return Adaptivity{Kind: AdaptivityNone}, nil
+		}
+		addr, ok := strings.CutPrefix(rest, "->")
+		if !ok {
+			return Adaptivity{}, fmt.Errorf("adaptivity: expected \"none -> address\", got %q", s)
+		}
+		addr = strings.TrimSpace(addr)
+		if addr == "" || !strings.Contains(addr, "@") {
+			return Adaptivity{}, fmt.Errorf("adaptivity: invalid third-party address %q", addr)
+		}
+		return Adaptivity{Kind: AdaptivityNone, Email: addr}, nil
+	}
+	return Adaptivity{}, fmt.Errorf("adaptivity must be full, none, or firstChange; got %q", s)
+}

@@ -1,0 +1,158 @@
+// Package script implements the ease.ml/ci configuration script: the "ml"
+// section the paper adds to the .travis.yml format (Section 2.2). A script
+// specifies the test condition, the (epsilon, delta)-reliability
+// requirement, the evaluation mode, the adaptivity of the integration
+// process, and the number of steps a testset must support.
+//
+// Only the stdlib is used: the package includes a minimal YAML-subset reader
+// covering exactly the shapes Travis-style files use for the ml section
+// (top-level keys, and a list of "key : value" entries under "ml:").
+package script
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"github.com/easeml/ci/internal/condlang"
+	"github.com/easeml/ci/internal/interval"
+)
+
+// AdaptivityKind is the interaction mode between the CI system and the
+// developer (Section 2.2).
+type AdaptivityKind int
+
+const (
+	// AdaptivityNone accepts all commits and sends the true result to a
+	// third-party address the developer cannot read.
+	AdaptivityNone AdaptivityKind = iota
+	// AdaptivityFull releases the pass/fail signal to the developer
+	// immediately after every commit.
+	AdaptivityFull
+	// AdaptivityFirstChange (the hybrid scenario, Section 3.4) releases the
+	// signal but requests a fresh testset as soon as a commit passes.
+	AdaptivityFirstChange
+)
+
+// String renders the script syntax for the kind.
+func (k AdaptivityKind) String() string {
+	switch k {
+	case AdaptivityNone:
+		return "none"
+	case AdaptivityFull:
+		return "full"
+	case AdaptivityFirstChange:
+		return "firstChange"
+	default:
+		return fmt.Sprintf("AdaptivityKind(%d)", int(k))
+	}
+}
+
+// Adaptivity is the adaptivity flag plus its optional routing target
+// ("none -> xx@abc.com").
+type Adaptivity struct {
+	Kind AdaptivityKind
+	// Email receives the true pass/fail signal in the non-adaptive mode.
+	Email string
+}
+
+// String renders the flag as written in a script.
+func (a Adaptivity) String() string {
+	if a.Kind == AdaptivityNone && a.Email != "" {
+		return "none -> " + a.Email
+	}
+	return a.Kind.String()
+}
+
+// Config is a parsed and validated ease.ml/ci script.
+type Config struct {
+	// Script is the user's test command (informational; the engine invokes
+	// it through a build hook).
+	Script string
+	// Condition is the parsed test condition.
+	Condition condlang.Formula
+	// ConditionSrc preserves the original condition text.
+	ConditionSrc string
+	// Reliability is 1 - delta.
+	Reliability float64
+	// Mode says how Unknown evaluations collapse to pass/fail.
+	Mode interval.Mode
+	// Adaptivity is the interaction mode.
+	Adaptivity Adaptivity
+	// Steps is H: the number of commits one testset must support.
+	Steps int
+}
+
+// Delta returns the failure probability budget delta = 1 - Reliability.
+func (c *Config) Delta() float64 { return 1 - c.Reliability }
+
+// Validate checks all semantic constraints on the configuration.
+func (c *Config) Validate() error {
+	if len(c.Condition.Clauses) == 0 {
+		return fmt.Errorf("script: missing or empty condition")
+	}
+	if !(c.Reliability > 0 && c.Reliability < 1) {
+		return fmt.Errorf("script: reliability must be in (0,1), got %v", c.Reliability)
+	}
+	if c.Steps < 1 {
+		return fmt.Errorf("script: steps must be >= 1, got %d", c.Steps)
+	}
+	if c.Steps > 4096 {
+		return fmt.Errorf("script: steps = %d is unreasonably large (one testset per %d evaluations)", c.Steps, c.Steps)
+	}
+	for _, cl := range c.Condition.Clauses {
+		if !(cl.Tolerance > 0) {
+			return fmt.Errorf("script: clause %q has non-positive tolerance", cl)
+		}
+		if math.IsNaN(cl.Threshold) || math.IsInf(cl.Threshold, 0) {
+			return fmt.Errorf("script: clause %q has invalid threshold", cl)
+		}
+	}
+	if c.Adaptivity.Kind == AdaptivityNone && c.Adaptivity.Email == "" {
+		return fmt.Errorf("script: adaptivity 'none' requires a third-party address (none -> a@b.c)")
+	}
+	return nil
+}
+
+// String renders the configuration as a .travis.yml ml section.
+func (c *Config) String() string {
+	var b strings.Builder
+	b.WriteString("ml:\n")
+	fmt.Fprintf(&b, "  - script     : %s\n", c.Script)
+	fmt.Fprintf(&b, "  - condition  : %s\n", c.conditionText())
+	fmt.Fprintf(&b, "  - reliability: %s\n", strconv.FormatFloat(c.Reliability, 'g', -1, 64))
+	fmt.Fprintf(&b, "  - mode       : %s\n", c.Mode)
+	fmt.Fprintf(&b, "  - adaptivity : %s\n", c.Adaptivity)
+	fmt.Fprintf(&b, "  - steps      : %d\n", c.Steps)
+	return b.String()
+}
+
+func (c *Config) conditionText() string {
+	if c.ConditionSrc != "" {
+		return c.ConditionSrc
+	}
+	return c.Condition.String()
+}
+
+// New builds a validated Config directly from values (the programmatic
+// alternative to parsing a script file).
+func New(conditionSrc string, reliability float64, mode interval.Mode, adaptivity Adaptivity, steps int) (*Config, error) {
+	f, err := condlang.Parse(conditionSrc)
+	if err != nil {
+		return nil, err
+	}
+	cfg := &Config{
+		Script:       "./test_model",
+		Condition:    f,
+		ConditionSrc: conditionSrc,
+		Reliability:  reliability,
+		Mode:         mode,
+		Adaptivity:   adaptivity,
+		Steps:        steps,
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return cfg, nil
+}

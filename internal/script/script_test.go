@@ -1,0 +1,230 @@
+package script
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/easeml/ci/internal/interval"
+)
+
+// paperScript1 is the first example script of Section 2.2 verbatim.
+const paperScript1 = `
+ml:
+  - script     : ./test_model.py
+  - condition  : n - o > 0.02 +/- 0.01
+  - reliability: 0.9999
+  - mode       : fp-free
+  - adaptivity : full
+  - steps      : 32
+`
+
+// paperScript2 is the second (non-adaptive) example of Section 2.2.
+const paperScript2 = `
+ml:
+  - script     : ./test_model.py
+  - condition  : d < 0.1 +/- 0.01
+  - reliability: 0.9999
+  - mode       : fp-free
+  - adaptivity : none -> xx@abc.com
+  - steps      : 32
+`
+
+func TestParsePaperScripts(t *testing.T) {
+	cfg, err := ParseString(paperScript1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Script != "./test_model.py" {
+		t.Errorf("script = %q", cfg.Script)
+	}
+	if cfg.ConditionSrc != "n - o > 0.02 +/- 0.01" {
+		t.Errorf("condition src = %q", cfg.ConditionSrc)
+	}
+	if cfg.Reliability != 0.9999 {
+		t.Errorf("reliability = %v", cfg.Reliability)
+	}
+	if cfg.Mode != interval.FPFree {
+		t.Errorf("mode = %v", cfg.Mode)
+	}
+	if cfg.Adaptivity.Kind != AdaptivityFull {
+		t.Errorf("adaptivity = %v", cfg.Adaptivity)
+	}
+	if cfg.Steps != 32 {
+		t.Errorf("steps = %d", cfg.Steps)
+	}
+	if d := cfg.Delta(); d < 0.00009999 || d > 0.00010001 {
+		t.Errorf("delta = %v", d)
+	}
+
+	cfg2, err := ParseString(paperScript2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg2.Adaptivity.Kind != AdaptivityNone || cfg2.Adaptivity.Email != "xx@abc.com" {
+		t.Errorf("adaptivity = %+v", cfg2.Adaptivity)
+	}
+}
+
+func TestParseEmbeddedInTravisFile(t *testing.T) {
+	doc := `
+language: python
+install:
+  - pip install -r requirements.txt
+script:
+  - true
+
+ml:
+  - script     : ./test_model.py
+  - condition  : n > 0.8 +/- 0.05
+  - reliability: 0.999
+  - mode       : fn-free
+  - adaptivity : firstChange
+  - steps      : 16
+
+notifications:
+  email: false
+`
+	cfg, err := ParseString(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Adaptivity.Kind != AdaptivityFirstChange {
+		t.Errorf("adaptivity = %v", cfg.Adaptivity)
+	}
+	if cfg.Mode != interval.FNFree {
+		t.Errorf("mode = %v", cfg.Mode)
+	}
+	if cfg.Steps != 16 {
+		t.Errorf("steps = %d", cfg.Steps)
+	}
+}
+
+func TestParseDefaults(t *testing.T) {
+	cfg, err := ParseString(`
+ml:
+  - condition  : n > 0.8 +/- 0.05
+  - reliability: 0.999
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Mode != interval.FPFree || cfg.Adaptivity.Kind != AdaptivityFull || cfg.Steps != 32 {
+		t.Errorf("defaults wrong: %+v", cfg)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name, doc, wantSub string
+	}{
+		{"no ml", "language: go\n", "no ml section"},
+		{"empty ml", "ml:\n\nother:\n", "empty"}, // section ends immediately
+		{"missing condition", "ml:\n  - reliability: 0.99\n", "condition"},
+		{"missing reliability", "ml:\n  - condition: n > 0.5 +/- 0.1\n", "reliability"},
+		{"bad condition", "ml:\n  - condition: n >> 0.5\n  - reliability: 0.99\n", "condlang"},
+		{"bad reliability", "ml:\n  - condition: n > 0.5 +/- 0.1\n  - reliability: high\n", "reliability"},
+		{"reliability 1", "ml:\n  - condition: n > 0.5 +/- 0.1\n  - reliability: 1\n", "reliability"},
+		{"bad mode", "ml:\n  - condition: n > 0.5 +/- 0.1\n  - reliability: 0.99\n  - mode: strict\n", "mode"},
+		{"bad adaptivity", "ml:\n  - condition: n > 0.5 +/- 0.1\n  - reliability: 0.99\n  - adaptivity: maybe\n", "adaptivity"},
+		{"none without email", "ml:\n  - condition: n > 0.5 +/- 0.1\n  - reliability: 0.99\n  - adaptivity: none\n", "third-party"},
+		{"none bad email", "ml:\n  - condition: n > 0.5 +/- 0.1\n  - reliability: 0.99\n  - adaptivity: none -> nobody\n", "address"},
+		{"bad steps", "ml:\n  - condition: n > 0.5 +/- 0.1\n  - reliability: 0.99\n  - steps: many\n", "steps"},
+		{"zero steps", "ml:\n  - condition: n > 0.5 +/- 0.1\n  - reliability: 0.99\n  - steps: 0\n", "steps"},
+		{"huge steps", "ml:\n  - condition: n > 0.5 +/- 0.1\n  - reliability: 0.99\n  - steps: 100000\n", "steps"},
+		{"unknown key", "ml:\n  - condition: n > 0.5 +/- 0.1\n  - reliability: 0.99\n  - budget: 7\n", "unknown key"},
+		{"duplicate key", "ml:\n  - condition: n > 0.5 +/- 0.1\n  - condition: d < 0.1 +/- 0.1\n  - reliability: 0.99\n", "duplicate"},
+		{"missing colon", "ml:\n  - condition n > 0.5\n", "key : value"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := ParseString(c.doc)
+			if err == nil {
+				t.Fatalf("ParseString should fail")
+			}
+			if !strings.Contains(err.Error(), c.wantSub) {
+				t.Errorf("error %q does not mention %q", err, c.wantSub)
+			}
+		})
+	}
+}
+
+func TestParseFile(t *testing.T) {
+	cfg, err := ParseFile("testdata/ci.yml")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.ConditionSrc != "d < 0.1 +/- 0.01 /\\ n - o > 0.02 +/- 0.01" {
+		t.Errorf("condition = %q", cfg.ConditionSrc)
+	}
+	if cfg.Adaptivity.Email != "integration-team@example.com" {
+		t.Errorf("email = %q", cfg.Adaptivity.Email)
+	}
+	if cfg.Steps != 32 || cfg.Reliability != 0.9999 {
+		t.Errorf("config = %+v", cfg)
+	}
+	if _, err := ParseFile("testdata/missing.yml"); err == nil {
+		t.Error("missing file should fail")
+	}
+}
+
+func TestStringRoundTrip(t *testing.T) {
+	cfg, err := ParseString(paperScript2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg2, err := ParseString(cfg.String())
+	if err != nil {
+		t.Fatalf("re-parse of %q failed: %v", cfg.String(), err)
+	}
+	if cfg2.ConditionSrc != cfg.ConditionSrc || cfg2.Reliability != cfg.Reliability ||
+		cfg2.Mode != cfg.Mode || cfg2.Adaptivity != cfg.Adaptivity || cfg2.Steps != cfg.Steps {
+		t.Errorf("round trip changed config:\n%+v\n%+v", cfg, cfg2)
+	}
+}
+
+func TestNewValidates(t *testing.T) {
+	if _, err := New("n > 0.5 +/- 0.1", 0.999, interval.FPFree, Adaptivity{Kind: AdaptivityFull}, 32); err != nil {
+		t.Errorf("valid config rejected: %v", err)
+	}
+	if _, err := New("garbage", 0.999, interval.FPFree, Adaptivity{Kind: AdaptivityFull}, 32); err == nil {
+		t.Error("bad condition accepted")
+	}
+	if _, err := New("n > 0.5 +/- 0.1", 0, interval.FPFree, Adaptivity{Kind: AdaptivityFull}, 32); err == nil {
+		t.Error("reliability 0 accepted")
+	}
+	if _, err := New("n > 0.5 +/- 0.1", 0.999, interval.FPFree, Adaptivity{Kind: AdaptivityNone}, 32); err == nil {
+		t.Error("none without email accepted")
+	}
+}
+
+func TestCommentsAndBlankLines(t *testing.T) {
+	cfg, err := ParseString(`
+# CI configuration
+ml:
+  # the condition under test
+  - condition  : n > 0.8 +/- 0.05
+
+  - reliability: 0.999
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Reliability != 0.999 {
+		t.Errorf("reliability = %v", cfg.Reliability)
+	}
+}
+
+func TestAdaptivityString(t *testing.T) {
+	if (Adaptivity{Kind: AdaptivityNone, Email: "a@b.c"}).String() != "none -> a@b.c" {
+		t.Error("none with email String wrong")
+	}
+	if (Adaptivity{Kind: AdaptivityFull}).String() != "full" {
+		t.Error("full String wrong")
+	}
+	if AdaptivityFirstChange.String() != "firstChange" {
+		t.Error("firstChange String wrong")
+	}
+	if AdaptivityKind(9).String() == "" {
+		t.Error("default String empty")
+	}
+}

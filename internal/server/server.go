@@ -1,0 +1,279 @@
+// Package server exposes the CI engine over HTTP — the hosted face of the
+// Figure 1 workflow. A developer's test script produces a prediction vector
+// for the current testset and POSTs it as a commit; the server replies with
+// the (adaptivity-filtered) signal, and the integration team reads status,
+// plans, and history, and rotates testsets when the alarm fires.
+//
+// Endpoints (JSON):
+//
+//	GET  /api/v1/plan     the labeling plan for the configured script
+//	GET  /api/v1/status   testset generation/budget, active model, label cost
+//	GET  /api/v1/history  evaluation results so far
+//	POST /api/v1/commit   {"model":..., "author":..., "message":..., "predictions":[...]}
+//	POST /api/v1/testset  {"labels":[...], "active_predictions":[...]}  (rotation)
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+
+	"github.com/easeml/ci/internal/data"
+	"github.com/easeml/ci/internal/engine"
+	"github.com/easeml/ci/internal/labeling"
+	"github.com/easeml/ci/internal/model"
+	"github.com/easeml/ci/internal/script"
+)
+
+// Server wraps an engine behind an http.Handler. The engine is not
+// concurrency-safe; the server serializes all mutating requests.
+type Server struct {
+	mu  sync.Mutex
+	eng *engine.Engine
+	cfg *script.Config
+	mux *http.ServeMux
+}
+
+// New builds a server around an existing engine and its script config.
+func New(cfg *script.Config, eng *engine.Engine) (*Server, error) {
+	if cfg == nil || eng == nil {
+		return nil, fmt.Errorf("server: nil config or engine")
+	}
+	s := &Server{eng: eng, cfg: cfg, mux: http.NewServeMux()}
+	s.mux.HandleFunc("/api/v1/plan", s.handlePlan)
+	s.mux.HandleFunc("/api/v1/status", s.handleStatus)
+	s.mux.HandleFunc("/api/v1/history", s.handleHistory)
+	s.mux.HandleFunc("/api/v1/commit", s.handleCommit)
+	s.mux.HandleFunc("/api/v1/testset", s.handleRotate)
+	return s, nil
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// --- wire types ---------------------------------------------------------
+
+// PlanResponse mirrors core.Plan for the API.
+type PlanResponse struct {
+	Kind            string  `json:"kind"`
+	Condition       string  `json:"condition"`
+	Reliability     float64 `json:"reliability"`
+	Steps           int     `json:"steps"`
+	BaselineLabels  int     `json:"baseline_labels"`
+	LabeledN        int     `json:"labeled_examples"`
+	UnlabeledN      int     `json:"unlabeled_examples"`
+	PerCommitLabels int     `json:"per_commit_labels"`
+}
+
+// StatusResponse reports the engine's current state.
+type StatusResponse struct {
+	ActiveModel       string `json:"active_model"`
+	TestsetGeneration int    `json:"testset_generation"`
+	TestsetSize       int    `json:"testset_size"`
+	BudgetUsed        int    `json:"budget_used"`
+	BudgetTotal       int    `json:"budget_total"`
+	CanEvaluate       bool   `json:"can_evaluate"`
+	LabelsSpent       int    `json:"labels_spent"`
+	Commits           int    `json:"commits"`
+}
+
+// CommitRequest is a developer's model submission: the prediction vector
+// their test script produced on the current testset.
+type CommitRequest struct {
+	Model       string `json:"model"`
+	Author      string `json:"author"`
+	Message     string `json:"message"`
+	Predictions []int  `json:"predictions"`
+}
+
+// CommitResponse is what the developer gets back. True outcomes are only
+// included when the adaptivity mode permits releasing them.
+type CommitResponse struct {
+	CommitID       string             `json:"commit_id"`
+	Step           int                `json:"step"`
+	Signal         bool               `json:"signal"`
+	Truth          string             `json:"truth,omitempty"`
+	Pass           *bool              `json:"pass,omitempty"`
+	Estimates      map[string]float64 `json:"estimates,omitempty"`
+	FreshLabels    int                `json:"fresh_labels"`
+	NeedNewTestset bool               `json:"need_new_testset"`
+}
+
+// RotateRequest installs a fresh testset: its labels, plus the active
+// model's predictions on it (predictions are testset-specific).
+type RotateRequest struct {
+	Labels            []int `json:"labels"`
+	ActivePredictions []int `json:"active_predictions"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// --- handlers -----------------------------------------------------------
+
+func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p := s.eng.Plan()
+	writeJSON(w, http.StatusOK, PlanResponse{
+		Kind:            p.Kind.String(),
+		Condition:       s.cfg.ConditionSrc,
+		Reliability:     s.cfg.Reliability,
+		Steps:           s.cfg.Steps,
+		BaselineLabels:  p.BaselinePlan.N,
+		LabeledN:        p.LabeledN,
+		UnlabeledN:      p.UnlabeledN,
+		PerCommitLabels: p.PerCommitLabels,
+	})
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	tsm := s.eng.Testsets()
+	writeJSON(w, http.StatusOK, StatusResponse{
+		ActiveModel:       s.eng.ActiveModelName(),
+		TestsetGeneration: tsm.Current().Generation,
+		TestsetSize:       tsm.Current().Len(),
+		BudgetUsed:        tsm.Budget() - tsm.Remaining(),
+		BudgetTotal:       tsm.Budget(),
+		CanEvaluate:       tsm.CanEvaluate(),
+		LabelsSpent:       s.eng.LabelCost().Total(),
+		Commits:           s.eng.Repository().Len(),
+	})
+}
+
+func (s *Server) handleHistory(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	history := s.eng.History()
+	out := make([]CommitResponse, 0, len(history))
+	for _, res := range history {
+		out = append(out, s.resultToResponse(res))
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleCommit(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	var req CommitRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "malformed JSON: "+err.Error())
+		return
+	}
+	if req.Model == "" {
+		writeError(w, http.StatusBadRequest, "model name required")
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if got, want := len(req.Predictions), s.eng.Testsets().Current().Len(); got != want {
+		writeError(w, http.StatusBadRequest,
+			fmt.Sprintf("predictions length %d != testset size %d", got, want))
+		return
+	}
+	res, err := s.eng.Commit(model.NewFixedPredictions(req.Model, req.Predictions), req.Author, req.Message)
+	if errors.Is(err, engine.ErrNeedNewTestset) {
+		writeError(w, http.StatusConflict, err.Error())
+		return
+	}
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, s.resultToResponse(res))
+}
+
+func (s *Server) handleRotate(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	var req RotateRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "malformed JSON: "+err.Error())
+		return
+	}
+	if len(req.Labels) == 0 || len(req.Labels) != len(req.ActivePredictions) {
+		writeError(w, http.StatusBadRequest, "labels and active_predictions must be non-empty and equal length")
+		return
+	}
+	classes := s.cfgClasses()
+	next := &data.Dataset{Name: "rotated", Classes: classes}
+	for i, y := range req.Labels {
+		if y < 0 || y >= classes {
+			writeError(w, http.StatusBadRequest, fmt.Sprintf("label %d out of range at %d", y, i))
+			return
+		}
+		next.X = append(next.X, []float64{float64(i)})
+		next.Y = append(next.Y, y)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	active := model.NewFixedPredictions(s.eng.ActiveModelName(), req.ActivePredictions)
+	if err := s.eng.RotateTestset(next, labeling.NewTruthOracle(next.Y), active); err != nil {
+		writeError(w, http.StatusUnprocessableEntity, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"generation": s.eng.Testsets().Current().Generation,
+	})
+}
+
+// cfgClasses infers the label alphabet from the installed testset.
+func (s *Server) cfgClasses() int {
+	return s.eng.Testsets().Current().Data.Classes
+}
+
+// resultToResponse applies the adaptivity mode's information flow: in the
+// non-adaptive mode the developer-facing API must not reveal the truth.
+func (s *Server) resultToResponse(res engine.Result) CommitResponse {
+	out := CommitResponse{
+		CommitID:       res.Commit.ID,
+		Step:           res.Step,
+		Signal:         res.Signal,
+		FreshLabels:    res.FreshLabels,
+		NeedNewTestset: res.NeedNewTestset,
+	}
+	if s.cfg.Adaptivity.Kind != script.AdaptivityNone {
+		out.Truth = res.Truth.String()
+		pass := res.Pass
+		out.Pass = &pass
+		out.Estimates = map[string]float64{}
+		for v, x := range res.Estimates {
+			// Keys are the condition-language variables n, o, d.
+			out.Estimates[string(v)] = x
+		}
+	}
+	return out
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, errorResponse{Error: msg})
+}

@@ -1,0 +1,264 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"github.com/easeml/ci/internal/data"
+	"github.com/easeml/ci/internal/engine"
+	"github.com/easeml/ci/internal/interval"
+	"github.com/easeml/ci/internal/labeling"
+	"github.com/easeml/ci/internal/model"
+	"github.com/easeml/ci/internal/script"
+)
+
+const (
+	testClasses = 4
+	testSize    = 700
+)
+
+func testLabels() []int {
+	labels := make([]int, testSize)
+	for i := range labels {
+		labels[i] = i % testClasses
+	}
+	return labels
+}
+
+func newTestServer(t *testing.T, adaptKind script.AdaptivityKind) (*Server, []int) {
+	t.Helper()
+	labels := testLabels()
+	ds := &data.Dataset{Name: "srv", Classes: testClasses}
+	for i, y := range labels {
+		ds.X = append(ds.X, []float64{float64(i)})
+		ds.Y = append(ds.Y, y)
+	}
+	adapt := script.Adaptivity{Kind: adaptKind}
+	if adaptKind == script.AdaptivityNone {
+		adapt.Email = "qa@x.y"
+	}
+	cfg, err := script.New("n > 0.6 +/- 0.1", 0.99, interval.FPFree, adapt, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h0, err := model.SimulatedPredictions(labels, testClasses, 0.5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := engine.New(cfg, ds, labeling.NewTruthOracle(ds.Y), engine.Options{
+		InitialModel: model.NewFixedPredictions("h0", h0),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := New(cfg, eng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return srv, labels
+}
+
+func doJSON(t *testing.T, srv *Server, method, path string, body any) (*httptest.ResponseRecorder, map[string]json.RawMessage) {
+	t.Helper()
+	var buf bytes.Buffer
+	if body != nil {
+		if err := json.NewEncoder(&buf).Encode(body); err != nil {
+			t.Fatal(err)
+		}
+	}
+	req := httptest.NewRequest(method, path, &buf)
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, req)
+	out := map[string]json.RawMessage{}
+	if rec.Body.Len() > 0 && rec.Body.Bytes()[0] == '{' {
+		if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+			t.Fatalf("bad JSON response: %v: %s", err, rec.Body.String())
+		}
+	}
+	return rec, out
+}
+
+func goodPredictions(t *testing.T, labels []int, acc float64, seed int64) []int {
+	t.Helper()
+	preds, err := model.SimulatedPredictions(labels, testClasses, acc, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return preds
+}
+
+func TestPlanEndpoint(t *testing.T) {
+	srv, _ := newTestServer(t, script.AdaptivityFull)
+	rec, _ := doJSON(t, srv, http.MethodGet, "/api/v1/plan", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d: %s", rec.Code, rec.Body.String())
+	}
+	var plan PlanResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &plan); err != nil {
+		t.Fatal(err)
+	}
+	if plan.Kind == "" || plan.Condition != "n > 0.6 +/- 0.1" || plan.Steps != 3 {
+		t.Errorf("plan = %+v", plan)
+	}
+	rec, _ = doJSON(t, srv, http.MethodPost, "/api/v1/plan", nil)
+	if rec.Code != http.StatusMethodNotAllowed {
+		t.Errorf("POST plan status = %d", rec.Code)
+	}
+}
+
+func TestCommitAndStatusFlow(t *testing.T) {
+	srv, labels := newTestServer(t, script.AdaptivityFull)
+	rec, _ := doJSON(t, srv, http.MethodPost, "/api/v1/commit", CommitRequest{
+		Model: "good", Author: "dev", Message: "better",
+		Predictions: goodPredictions(t, labels, 0.9, 2),
+	})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("commit status = %d: %s", rec.Code, rec.Body.String())
+	}
+	var res CommitResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &res); err != nil {
+		t.Fatal(err)
+	}
+	if !res.Signal || res.Truth != "True" || res.Pass == nil || !*res.Pass {
+		t.Errorf("commit response = %+v", res)
+	}
+	if res.Estimates["n"] < 0.85 {
+		t.Errorf("estimates = %v", res.Estimates)
+	}
+
+	var status StatusResponse
+	rec, _ = doJSON(t, srv, http.MethodGet, "/api/v1/status", nil)
+	if err := json.Unmarshal(rec.Body.Bytes(), &status); err != nil {
+		t.Fatal(err)
+	}
+	if status.ActiveModel != "good" || status.BudgetUsed != 1 || status.Commits != 1 {
+		t.Errorf("status = %+v", status)
+	}
+
+	rec, _ = doJSON(t, srv, http.MethodGet, "/api/v1/history", nil)
+	var history []CommitResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &history); err != nil {
+		t.Fatal(err)
+	}
+	if len(history) != 1 || history[0].CommitID != res.CommitID {
+		t.Errorf("history = %+v", history)
+	}
+}
+
+func TestNonAdaptiveModeHidesTruth(t *testing.T) {
+	srv, labels := newTestServer(t, script.AdaptivityNone)
+	rec, _ := doJSON(t, srv, http.MethodPost, "/api/v1/commit", CommitRequest{
+		Model: "weak", Predictions: goodPredictions(t, labels, 0.3, 3),
+	})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("commit status = %d: %s", rec.Code, rec.Body.String())
+	}
+	var res CommitResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &res); err != nil {
+		t.Fatal(err)
+	}
+	if !res.Signal {
+		t.Error("non-adaptive signal must be accept")
+	}
+	if res.Truth != "" || res.Pass != nil || res.Estimates != nil {
+		t.Errorf("non-adaptive response leaks the truth: %+v", res)
+	}
+}
+
+func TestCommitValidation(t *testing.T) {
+	srv, labels := newTestServer(t, script.AdaptivityFull)
+	rec, _ := doJSON(t, srv, http.MethodPost, "/api/v1/commit", CommitRequest{
+		Model: "short", Predictions: []int{1, 2, 3},
+	})
+	if rec.Code != http.StatusBadRequest {
+		t.Errorf("short predictions status = %d", rec.Code)
+	}
+	rec, _ = doJSON(t, srv, http.MethodPost, "/api/v1/commit", CommitRequest{
+		Predictions: goodPredictions(t, labels, 0.9, 2),
+	})
+	if rec.Code != http.StatusBadRequest {
+		t.Errorf("missing model name status = %d", rec.Code)
+	}
+	req := httptest.NewRequest(http.MethodPost, "/api/v1/commit", bytes.NewBufferString("{nope"))
+	rec2 := httptest.NewRecorder()
+	srv.ServeHTTP(rec2, req)
+	if rec2.Code != http.StatusBadRequest {
+		t.Errorf("malformed JSON status = %d", rec2.Code)
+	}
+	rec, _ = doJSON(t, srv, http.MethodGet, "/api/v1/commit", nil)
+	if rec.Code != http.StatusMethodNotAllowed {
+		t.Errorf("GET commit status = %d", rec.Code)
+	}
+}
+
+func TestBudgetExhaustionAndRotation(t *testing.T) {
+	srv, labels := newTestServer(t, script.AdaptivityFull)
+	// Burn the 3-step budget.
+	for i := 0; i < 3; i++ {
+		rec, _ := doJSON(t, srv, http.MethodPost, "/api/v1/commit", CommitRequest{
+			Model: fmt.Sprintf("m%d", i), Predictions: goodPredictions(t, labels, 0.9, int64(10+i)),
+		})
+		if rec.Code != http.StatusOK {
+			t.Fatalf("commit %d status = %d", i, rec.Code)
+		}
+	}
+	rec, _ := doJSON(t, srv, http.MethodPost, "/api/v1/commit", CommitRequest{
+		Model: "overflow", Predictions: goodPredictions(t, labels, 0.9, 20),
+	})
+	if rec.Code != http.StatusConflict {
+		t.Fatalf("post-budget commit status = %d, want 409", rec.Code)
+	}
+
+	// Rotate a fresh testset in.
+	rec, _ = doJSON(t, srv, http.MethodPost, "/api/v1/testset", RotateRequest{
+		Labels:            labels,
+		ActivePredictions: goodPredictions(t, labels, 0.9, 21),
+	})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("rotate status = %d: %s", rec.Code, rec.Body.String())
+	}
+	var status StatusResponse
+	rec, _ = doJSON(t, srv, http.MethodGet, "/api/v1/status", nil)
+	if err := json.Unmarshal(rec.Body.Bytes(), &status); err != nil {
+		t.Fatal(err)
+	}
+	if status.TestsetGeneration != 2 || !status.CanEvaluate {
+		t.Errorf("post-rotation status = %+v", status)
+	}
+
+	rec, _ = doJSON(t, srv, http.MethodPost, "/api/v1/commit", CommitRequest{
+		Model: "fresh", Predictions: goodPredictions(t, labels, 0.9, 22),
+	})
+	if rec.Code != http.StatusOK {
+		t.Errorf("post-rotation commit status = %d", rec.Code)
+	}
+}
+
+func TestRotateValidation(t *testing.T) {
+	srv, labels := newTestServer(t, script.AdaptivityFull)
+	rec, _ := doJSON(t, srv, http.MethodPost, "/api/v1/testset", RotateRequest{})
+	if rec.Code != http.StatusBadRequest {
+		t.Errorf("empty rotate status = %d", rec.Code)
+	}
+	rec, _ = doJSON(t, srv, http.MethodPost, "/api/v1/testset", RotateRequest{
+		Labels: []int{99}, ActivePredictions: []int{0},
+	})
+	if rec.Code != http.StatusBadRequest {
+		t.Errorf("bad label rotate status = %d", rec.Code)
+	}
+	rec, _ = doJSON(t, srv, http.MethodGet, "/api/v1/testset", nil)
+	if rec.Code != http.StatusMethodNotAllowed {
+		t.Errorf("GET testset status = %d", rec.Code)
+	}
+	_ = labels
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(nil, nil); err == nil {
+		t.Error("nil args should fail")
+	}
+}

@@ -1,0 +1,81 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// AdaptiveAttackResult summarizes an overfitting attack against a testset.
+type AdaptiveAttackResult struct {
+	// ApparentAccuracy is the best testset accuracy the attacker reached.
+	ApparentAccuracy float64
+	// TrueAccuracy is the attacker's final accuracy on the underlying
+	// distribution (here: fresh data), exposing the overfit gap.
+	TrueAccuracy float64
+	// Rounds is the number of feedback bits consumed.
+	Rounds int
+}
+
+// Overfit returns the apparent-minus-true accuracy gain the attacker
+// manufactured out of feedback bits.
+func (r AdaptiveAttackResult) Overfit() float64 {
+	return r.ApparentAccuracy - r.TrueAccuracy
+}
+
+// AdaptiveAttack simulates the adversary the fully-adaptive bound defends
+// against (Section 3.3, after Ladder): a developer with no knowledge of the
+// task proposes random prediction flips and keeps a change exactly when the
+// 1-bit pass/fail feedback says the testset accuracy improved. Any apparent
+// progress is pure testset overfitting.
+//
+// The attacker plays on a testset of size testN for `rounds` feedback bits;
+// true accuracy is evaluated on a disjoint holdout of the same size drawn
+// from the same distribution (uniform labels over `classes`).
+func AdaptiveAttack(classes, testN, rounds, flipsPerRound int, seed int64) (AdaptiveAttackResult, error) {
+	if classes < 2 || testN <= 0 || rounds <= 0 || flipsPerRound <= 0 {
+		return AdaptiveAttackResult{}, fmt.Errorf("sim: invalid attack shape (classes=%d n=%d rounds=%d flips=%d)",
+			classes, testN, rounds, flipsPerRound)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	testLabels := make([]int, testN)
+	holdoutLabels := make([]int, testN)
+	for i := range testLabels {
+		testLabels[i] = rng.Intn(classes)
+		holdoutLabels[i] = rng.Intn(classes)
+	}
+	// The attacker maintains one prediction vector; because it has no real
+	// signal, predictions are label-agnostic and any testset gain is noise
+	// mining. The same vector indexes the holdout (same distribution).
+	current := make([]int, testN)
+	for i := range current {
+		current[i] = rng.Intn(classes)
+	}
+	accOn := func(labels, preds []int) float64 {
+		correct := 0
+		for i := range preds {
+			if preds[i] == labels[i] {
+				correct++
+			}
+		}
+		return float64(correct) / float64(len(preds))
+	}
+	best := accOn(testLabels, current)
+	for r := 0; r < rounds; r++ {
+		proposal := make([]int, testN)
+		copy(proposal, current)
+		for f := 0; f < flipsPerRound; f++ {
+			i := rng.Intn(testN)
+			proposal[i] = rng.Intn(classes)
+		}
+		if acc := accOn(testLabels, proposal); acc > best {
+			// The 1-bit feedback: the CI system reported an improvement.
+			best = acc
+			current = proposal
+		}
+	}
+	return AdaptiveAttackResult{
+		ApparentAccuracy: best,
+		TrueAccuracy:     accOn(holdoutLabels, current),
+		Rounds:           rounds,
+	}, nil
+}

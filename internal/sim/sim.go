@@ -1,0 +1,93 @@
+// Package sim is the Monte-Carlo harness behind the paper's empirical
+// validation (Section 5.1): it draws repeated testsets from controlled
+// distributions, measures the spread of the resulting estimates (the
+// "empirical error" of Figure 4), and simulates an adaptive developer to
+// probe the fully-adaptive bound.
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/easeml/ci/internal/stats"
+)
+
+// BernoulliAccuracies draws `trials` independent testsets of size n from a
+// model with the given true accuracy and returns the observed accuracy of
+// each testset. This reproduces the paper's GoogLeNet-on-infinite-MNIST
+// setup: the bounds only see per-example correctness bits, so a Bernoulli
+// stream at the same accuracy exercises the identical estimator path.
+func BernoulliAccuracies(trueAcc float64, n, trials int, seed int64) ([]float64, error) {
+	if trueAcc < 0 || trueAcc > 1 {
+		return nil, fmt.Errorf("sim: accuracy %v outside [0,1]", trueAcc)
+	}
+	if n <= 0 || trials <= 0 {
+		return nil, fmt.Errorf("sim: n and trials must be positive (n=%d trials=%d)", n, trials)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]float64, trials)
+	for t := range out {
+		correct := 0
+		for i := 0; i < n; i++ {
+			if rng.Float64() < trueAcc {
+				correct++
+			}
+		}
+		out[t] = float64(correct) / float64(n)
+	}
+	return out, nil
+}
+
+// DifferenceEstimates draws `trials` testsets of size n for an (old, new)
+// model pair with the given accuracies and disagreement, returning the
+// observed n-o on each. The per-example difference takes values in
+// {-1, 0, +1} with second moment equal to the disagreement rate — exactly
+// the small-variance regime Bennett's inequality exploits.
+func DifferenceEstimates(accOld, accNew, disagree float64, n, trials int, seed int64) ([]float64, error) {
+	if n <= 0 || trials <= 0 {
+		return nil, fmt.Errorf("sim: n and trials must be positive (n=%d trials=%d)", n, trials)
+	}
+	base := accNew - accOld
+	if base < 0 {
+		base = -base
+	}
+	if disagree < base || disagree > 1 {
+		return nil, fmt.Errorf("sim: disagreement %v infeasible for accuracy gap %v", disagree, base)
+	}
+	// Per-example distribution: P(new right, old wrong) = c,
+	// P(old right, new wrong) = b, with c - b = accNew - accOld and
+	// b + c <= disagree; disagreements that don't change correctness
+	// contribute 0 like agreements do.
+	c := (disagree + (accNew - accOld)) / 2
+	b := (disagree - (accNew - accOld)) / 2
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]float64, trials)
+	for t := range out {
+		sum := 0
+		for i := 0; i < n; i++ {
+			u := rng.Float64()
+			switch {
+			case u < c:
+				sum++
+			case u < c+b:
+				sum--
+			}
+		}
+		out[t] = float64(sum) / float64(n)
+	}
+	return out, nil
+}
+
+// EmpiricalEpsilon is the paper's empirical error measure (Figure 4,
+// footnote 1): half the gap between the delta and 1-delta quantiles of the
+// observed estimates.
+func EmpiricalEpsilon(samples []float64, delta float64) (float64, error) {
+	if !(delta > 0 && delta < 0.5) {
+		return 0, fmt.Errorf("sim: delta must be in (0, 0.5), got %v", delta)
+	}
+	gap, err := stats.QuantileGap(samples, delta)
+	if err != nil {
+		return 0, err
+	}
+	return gap / 2, nil
+}

@@ -1,0 +1,149 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"github.com/easeml/ci/internal/bounds"
+)
+
+func TestBernoulliAccuraciesMoments(t *testing.T) {
+	accs, err := BernoulliAccuracies(0.98, 2000, 400, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mean := 0.0
+	for _, a := range accs {
+		mean += a
+	}
+	mean /= float64(len(accs))
+	if math.Abs(mean-0.98) > 0.002 {
+		t.Errorf("mean accuracy = %v, want ~0.98", mean)
+	}
+}
+
+func TestBernoulliAccuraciesErrors(t *testing.T) {
+	if _, err := BernoulliAccuracies(1.5, 10, 10, 0); err == nil {
+		t.Error("bad accuracy should fail")
+	}
+	if _, err := BernoulliAccuracies(0.5, 0, 10, 0); err == nil {
+		t.Error("n=0 should fail")
+	}
+	if _, err := BernoulliAccuracies(0.5, 10, 0, 0); err == nil {
+		t.Error("trials=0 should fail")
+	}
+}
+
+func TestHoeffdingDominatesEmpirical(t *testing.T) {
+	// The Figure 4 soundness property: the estimated epsilon must dominate
+	// the empirical error at matching n and delta.
+	delta := 0.05
+	for _, n := range []int{500, 2000, 8000} {
+		accs, err := BernoulliAccuracies(0.98, n, 600, int64(n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		emp, err := EmpiricalEpsilon(accs, delta)
+		if err != nil {
+			t.Fatal(err)
+		}
+		est, err := bounds.HoeffdingEpsilon(1, n, delta)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if est < emp {
+			t.Errorf("n=%d: Hoeffding epsilon %v below empirical %v", n, est, emp)
+		}
+	}
+}
+
+func TestBennettDominatesEmpiricalAndBeatsHoeffding(t *testing.T) {
+	// Difference estimation with 10% disagreement: Bennett's epsilon must
+	// dominate the empirical spread while being well below Hoeffding's.
+	delta := 0.05
+	n := 4000
+	diffs, err := DifferenceEstimates(0.85, 0.88, 0.10, n, 600, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	emp, err := EmpiricalEpsilon(diffs, delta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bennett, err := bounds.BennettEpsilon(n, 0.10, delta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hoeff, err := bounds.HoeffdingEpsilon(2, n, delta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bennett < emp {
+		t.Errorf("Bennett epsilon %v below empirical %v", bennett, emp)
+	}
+	if bennett > hoeff*0.6 {
+		t.Errorf("Bennett %v should clearly beat Hoeffding %v at p=0.1", bennett, hoeff)
+	}
+}
+
+func TestDifferenceEstimatesMean(t *testing.T) {
+	diffs, err := DifferenceEstimates(0.85, 0.88, 0.10, 5000, 300, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mean := 0.0
+	for _, d := range diffs {
+		mean += d
+	}
+	mean /= float64(len(diffs))
+	if math.Abs(mean-0.03) > 0.003 {
+		t.Errorf("mean difference = %v, want ~0.03", mean)
+	}
+}
+
+func TestDifferenceEstimatesErrors(t *testing.T) {
+	if _, err := DifferenceEstimates(0.9, 0.5, 0.1, 100, 10, 0); err == nil {
+		t.Error("infeasible disagreement should fail")
+	}
+	if _, err := DifferenceEstimates(0.9, 0.92, 0.1, 0, 10, 0); err == nil {
+		t.Error("n=0 should fail")
+	}
+}
+
+func TestEmpiricalEpsilonValidation(t *testing.T) {
+	if _, err := EmpiricalEpsilon([]float64{1, 2}, 0.6); err == nil {
+		t.Error("delta >= 0.5 should fail")
+	}
+	if _, err := EmpiricalEpsilon(nil, 0.05); err == nil {
+		t.Error("empty samples should fail")
+	}
+}
+
+func TestAdaptiveAttackOverfits(t *testing.T) {
+	// With a tiny testset and many feedback bits, the attacker manufactures
+	// a large apparent gain that does not transfer to fresh data.
+	res, err := AdaptiveAttack(4, 100, 3000, 3, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Overfit() < 0.1 {
+		t.Errorf("attacker should overfit a 100-example testset: gap %v", res.Overfit())
+	}
+	// On a testset sized for the adaptive setting the gap shrinks hard.
+	big, err := AdaptiveAttack(4, 20000, 3000, 3, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if big.Overfit() > res.Overfit()/2 {
+		t.Errorf("larger testset should slash overfitting: %v vs %v", big.Overfit(), res.Overfit())
+	}
+}
+
+func TestAdaptiveAttackValidation(t *testing.T) {
+	if _, err := AdaptiveAttack(1, 10, 10, 1, 0); err == nil {
+		t.Error("classes < 2 should fail")
+	}
+	if _, err := AdaptiveAttack(2, 0, 10, 1, 0); err == nil {
+		t.Error("n = 0 should fail")
+	}
+}

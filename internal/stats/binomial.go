@@ -1,0 +1,156 @@
+package stats
+
+import "math"
+
+// Binomial distribution functions, computed in log space for numerical
+// stability at the testset sizes this system works with (n up to ~10^6).
+// They back the exact tail-inversion bounds of Section 4.3 of the paper.
+
+// LogBinomialCoeff returns ln C(n, k) using the log-gamma function.
+// It returns -Inf for k < 0 or k > n.
+func LogBinomialCoeff(n, k int) float64 {
+	if k < 0 || k > n {
+		return math.Inf(-1)
+	}
+	lgN, _ := math.Lgamma(float64(n) + 1)
+	lgK, _ := math.Lgamma(float64(k) + 1)
+	lgNK, _ := math.Lgamma(float64(n-k) + 1)
+	return lgN - lgK - lgNK
+}
+
+// BinomialLogPMF returns ln Pr[X = k] for X ~ Binomial(n, p).
+func BinomialLogPMF(k, n int, p float64) float64 {
+	if k < 0 || k > n {
+		return math.Inf(-1)
+	}
+	switch {
+	case p <= 0:
+		if k == 0 {
+			return 0
+		}
+		return math.Inf(-1)
+	case p >= 1:
+		if k == n {
+			return 0
+		}
+		return math.Inf(-1)
+	}
+	return LogBinomialCoeff(n, k) +
+		float64(k)*math.Log(p) +
+		float64(n-k)*math.Log1p(-p)
+}
+
+// BinomialPMF returns Pr[X = k] for X ~ Binomial(n, p).
+func BinomialPMF(k, n int, p float64) float64 {
+	return math.Exp(BinomialLogPMF(k, n, p))
+}
+
+// BinomialCDF returns Pr[X <= k] for X ~ Binomial(n, p).
+//
+// The sum runs over whichever tail is shorter and uses the recurrence
+// pmf(k+1) = pmf(k) * (n-k)/(k+1) * p/(1-p) seeded from a log-space anchor,
+// so the cost is O(min(k, n-k)) with no catastrophic cancellation.
+func BinomialCDF(k, n int, p float64) float64 {
+	if k < 0 {
+		return 0
+	}
+	if k >= n {
+		return 1
+	}
+	if p <= 0 {
+		return 1
+	}
+	if p >= 1 {
+		return 0
+	}
+	if k <= n/2 {
+		return binomialTailSum(0, k, n, p)
+	}
+	// Complement over the other (shorter) tail.
+	return 1 - binomialTailSum(k+1, n, n, p)
+}
+
+// BinomialSurvival returns Pr[X >= k].
+func BinomialSurvival(k, n int, p float64) float64 {
+	if k <= 0 {
+		return 1
+	}
+	if k > n {
+		return 0
+	}
+	return 1 - BinomialCDF(k-1, n, p)
+}
+
+// binomialTailSum returns sum_{i=lo..hi} pmf(i, n, p). The recurrence
+// pmf(i+1) = pmf(i) * (n-i)/(i+1) * p/(1-p) is carried in log domain with a
+// streaming log-sum-exp accumulator: a linear-domain recurrence would anchor
+// at a term that can underflow to zero deep in a tail (e.g. k ~ 0.9n with
+// p = 0.999) and silently zero out the entire sum.
+func binomialTailSum(lo, hi, n int, p float64) float64 {
+	if lo > hi {
+		return 0
+	}
+	logPQ := math.Log(p) - math.Log1p(-p)
+	logTerm := BinomialLogPMF(lo, n, p)
+	maxLog := logTerm
+	scaled := 1.0 // sum of exp(logTerm_i - maxLog)
+	for i := lo; i < hi; i++ {
+		logTerm += math.Log(float64(n-i)) - math.Log(float64(i+1)) + logPQ
+		if logTerm > maxLog {
+			scaled = scaled*math.Exp(maxLog-logTerm) + 1
+			maxLog = logTerm
+		} else {
+			scaled += math.Exp(logTerm - maxLog)
+		}
+	}
+	sum := math.Exp(maxLog) * scaled
+	if sum > 1 {
+		return 1
+	}
+	return sum
+}
+
+// BinomialUpperConfidence returns the smallest mean p such that
+// Pr[Binomial(n, p) <= k] <= delta, i.e. the exact (Clopper-Pearson style)
+// upper confidence bound on the true success probability after observing
+// k successes in n trials.
+//
+// This is the inversion used by Langford's test-set bound, which Section 4.3
+// of the paper cites as the route to tight numerical sample sizes.
+func BinomialUpperConfidence(k, n int, delta float64) float64 {
+	if k >= n {
+		return 1
+	}
+	return bisectMonotone(func(p float64) float64 {
+		// Decreasing in p.
+		return BinomialCDF(k, n, p) - delta
+	})
+}
+
+// BinomialLowerConfidence returns the largest mean p such that
+// Pr[Binomial(n, p) >= k] <= delta: the exact lower confidence bound.
+func BinomialLowerConfidence(k, n int, delta float64) float64 {
+	if k <= 0 {
+		return 0
+	}
+	return bisectMonotone(func(p float64) float64 {
+		// Increasing in p, so negate to reuse the decreasing-root solver.
+		return delta - BinomialSurvival(k, n, p)
+	})
+}
+
+// bisectMonotone finds the root in (0,1) of a function that is positive at 0
+// and negative at 1 (monotonically decreasing). 60 iterations pin the root
+// to ~1e-18, far below any tolerance used by callers.
+func bisectMonotone(f func(float64) float64) float64 {
+	lo, hi := 0.0, 1.0
+	for i := 0; i < 60; i++ {
+		mid := (lo + hi) / 2
+		if f(mid) > 0 {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2
+}

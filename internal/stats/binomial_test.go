@@ -1,0 +1,187 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestLogBinomialCoeff(t *testing.T) {
+	tests := []struct {
+		n, k int
+		want float64 // C(n,k)
+	}{
+		{0, 0, 1},
+		{5, 0, 1},
+		{5, 5, 1},
+		{5, 2, 10},
+		{10, 3, 120},
+		{52, 5, 2598960},
+	}
+	for _, tt := range tests {
+		got := math.Exp(LogBinomialCoeff(tt.n, tt.k))
+		if math.Abs(got-tt.want)/tt.want > 1e-10 {
+			t.Errorf("C(%d,%d) = %v, want %v", tt.n, tt.k, got, tt.want)
+		}
+	}
+	if !math.IsInf(LogBinomialCoeff(5, 6), -1) {
+		t.Error("C(5,6) should be log(0)")
+	}
+	if !math.IsInf(LogBinomialCoeff(5, -1), -1) {
+		t.Error("C(5,-1) should be log(0)")
+	}
+}
+
+func TestBinomialPMFSumsToOne(t *testing.T) {
+	for _, n := range []int{1, 7, 100} {
+		for _, p := range []float64{0.02, 0.5, 0.98} {
+			sum := 0.0
+			for k := 0; k <= n; k++ {
+				sum += BinomialPMF(k, n, p)
+			}
+			if math.Abs(sum-1) > 1e-9 {
+				t.Errorf("sum pmf(n=%d,p=%v) = %v, want 1", n, p, sum)
+			}
+		}
+	}
+}
+
+func TestBinomialPMFDegenerate(t *testing.T) {
+	if got := BinomialPMF(0, 10, 0); got != 1 {
+		t.Errorf("pmf(0;10,0) = %v, want 1", got)
+	}
+	if got := BinomialPMF(10, 10, 1); got != 1 {
+		t.Errorf("pmf(10;10,1) = %v, want 1", got)
+	}
+	if got := BinomialPMF(3, 10, 0); got != 0 {
+		t.Errorf("pmf(3;10,0) = %v, want 0", got)
+	}
+}
+
+func TestBinomialCDFAgainstDirectSum(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(200)
+		p := rng.Float64()
+		k := rng.Intn(n + 1)
+		direct := 0.0
+		for i := 0; i <= k; i++ {
+			direct += BinomialPMF(i, n, p)
+		}
+		if direct > 1 {
+			direct = 1
+		}
+		got := BinomialCDF(k, n, p)
+		if math.Abs(got-direct) > 1e-9 {
+			t.Fatalf("cdf(%d;%d,%v) = %v, direct sum %v", k, n, p, got, direct)
+		}
+	}
+}
+
+func TestBinomialCDFBounds(t *testing.T) {
+	if got := BinomialCDF(-1, 10, 0.5); got != 0 {
+		t.Errorf("cdf(-1) = %v", got)
+	}
+	if got := BinomialCDF(10, 10, 0.5); got != 1 {
+		t.Errorf("cdf(n) = %v", got)
+	}
+	if got := BinomialCDF(3, 10, 0); got != 1 {
+		t.Errorf("cdf(k;p=0) = %v", got)
+	}
+	if got := BinomialCDF(3, 10, 1); got != 0 {
+		t.Errorf("cdf(3;10,p=1) = %v", got)
+	}
+}
+
+func TestBinomialCDFMonotoneInK(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(500)
+		p := rng.Float64()
+		prev := 0.0
+		for k := 0; k <= n; k++ {
+			c := BinomialCDF(k, n, p)
+			if c < prev-1e-12 || c > 1+1e-12 {
+				return false
+			}
+			prev = c
+		}
+		return math.Abs(prev-1) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBinomialSurvivalComplement(t *testing.T) {
+	n, p := 40, 0.3
+	for k := 0; k <= n; k++ {
+		s := BinomialSurvival(k, n, p)
+		c := BinomialCDF(k-1, n, p)
+		if math.Abs(s+c-1) > 1e-9 {
+			t.Fatalf("survival(%d)+cdf(%d) = %v, want 1", k, k-1, s+c)
+		}
+	}
+}
+
+func TestBinomialUpperConfidence(t *testing.T) {
+	// Rule of three: with 0 successes in n trials the exact upper 95% bound
+	// on p is 1-delta^(1/n) ~= 3/n.
+	n := 100
+	got := BinomialUpperConfidence(0, n, 0.05)
+	want := 1 - math.Pow(0.05, 1.0/float64(n))
+	if math.Abs(got-want) > 1e-6 {
+		t.Errorf("upper(0,%d,0.05) = %v, want %v", n, got, want)
+	}
+	if got := BinomialUpperConfidence(10, 10, 0.05); got != 1 {
+		t.Errorf("upper(k=n) = %v, want 1", got)
+	}
+}
+
+func TestBinomialLowerConfidence(t *testing.T) {
+	// With all successes the lower bound mirrors the rule of three.
+	n := 100
+	got := BinomialLowerConfidence(n, n, 0.05)
+	want := math.Pow(0.05, 1.0/float64(n))
+	if math.Abs(got-want) > 1e-6 {
+		t.Errorf("lower(%d,%d,0.05) = %v, want %v", n, n, got, want)
+	}
+	if got := BinomialLowerConfidence(0, 10, 0.05); got != 0 {
+		t.Errorf("lower(k=0) = %v, want 0", got)
+	}
+}
+
+func TestConfidenceBoundsCoverTruth(t *testing.T) {
+	// For the bound definition used here, the coverage statement is:
+	// Pr[k <= cutoff] <= delta where cutoff is such that upper bound < true p.
+	// We verify the defining property directly: at p = upper(k,n,delta),
+	// Pr[X <= k] == delta.
+	for _, tc := range []struct {
+		k, n  int
+		delta float64
+	}{{5, 50, 0.01}, {30, 100, 0.001}, {490, 500, 0.05}} {
+		u := BinomialUpperConfidence(tc.k, tc.n, tc.delta)
+		if got := BinomialCDF(tc.k, tc.n, u); math.Abs(got-tc.delta) > 1e-6 {
+			t.Errorf("cdf(%d;%d,upper) = %v, want %v", tc.k, tc.n, got, tc.delta)
+		}
+		l := BinomialLowerConfidence(tc.k, tc.n, tc.delta)
+		if got := BinomialSurvival(tc.k, tc.n, l); math.Abs(got-tc.delta) > 1e-6 {
+			t.Errorf("surv(%d;%d,lower) = %v, want %v", tc.k, tc.n, got, tc.delta)
+		}
+		if l >= u {
+			t.Errorf("lower %v >= upper %v", l, u)
+		}
+	}
+}
+
+func TestBinomialLargeN(t *testing.T) {
+	// Stability check at the sample sizes the estimators actually request.
+	n := 200000
+	p := 0.98
+	k := int(float64(n) * p)
+	c := BinomialCDF(k, n, p)
+	if c < 0.4 || c > 0.6 {
+		t.Errorf("cdf at the mean of Binomial(%d, %v) = %v, want ~0.5", n, p, c)
+	}
+}

@@ -1,0 +1,102 @@
+// Package stats provides the small numerical toolbox the rest of the system
+// is built on: descriptive statistics, empirical quantiles, and numerically
+// stable binomial distribution functions used by the exact ("tight
+// numerical") sample-size bounds of Section 4.3 of the ease.ml/ci paper.
+//
+// Everything in this package is deterministic and allocation-light; it is
+// deliberately restricted to what the estimators and simulators need rather
+// than being a general statistics library.
+package stats
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// ErrEmpty is returned by descriptive statistics that require at least one
+// observation.
+var ErrEmpty = errors.New("stats: empty sample")
+
+// Mean returns the arithmetic mean of xs.
+// It returns ErrEmpty when xs is empty.
+func Mean(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs)), nil
+}
+
+// Variance returns the population variance of xs (dividing by n, not n-1):
+// the estimators in this repository reason about variances of known
+// distributions, where the population convention matches the paper's
+// E[(n_i-o_i)^2] usage.
+func Variance(xs []float64) (float64, error) {
+	m, err := Mean(xs)
+	if err != nil {
+		return 0, err
+	}
+	sum := 0.0
+	for _, x := range xs {
+		d := x - m
+		sum += d * d
+	}
+	return sum / float64(len(xs)), nil
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) of xs using linear
+// interpolation between order statistics (type-7, the numpy/R default).
+// The input slice is not modified.
+func Quantile(xs []float64, q float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	if q < 0 || q > 1 || math.IsNaN(q) {
+		return 0, errors.New("stats: quantile q must be in [0,1]")
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	if len(sorted) == 1 {
+		return sorted[0], nil
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo], nil
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac, nil
+}
+
+// QuantileGap returns the distance between the (1-q)- and q-quantiles of xs.
+// The ease.ml/ci paper uses this as the "empirical error" of an estimator:
+// the gap between the delta and 1-delta quantiles of observed test
+// accuracies (Section 5.1, footnote 1).
+func QuantileGap(xs []float64, q float64) (float64, error) {
+	lo, err := Quantile(xs, q)
+	if err != nil {
+		return 0, err
+	}
+	hi, err := Quantile(xs, 1-q)
+	if err != nil {
+		return 0, err
+	}
+	return hi - lo, nil
+}
+
+// Clamp returns x restricted to [lo, hi].
+func Clamp(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}

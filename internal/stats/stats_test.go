@@ -1,0 +1,149 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol
+}
+
+func TestMean(t *testing.T) {
+	tests := []struct {
+		name string
+		in   []float64
+		want float64
+	}{
+		{"single", []float64{3}, 3},
+		{"pair", []float64{1, 3}, 2},
+		{"negatives", []float64{-2, 2, -4, 4}, 0},
+		{"fractional", []float64{0.1, 0.2, 0.3}, 0.2},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got, err := Mean(tt.in)
+			if err != nil {
+				t.Fatalf("Mean(%v) error: %v", tt.in, err)
+			}
+			if !almostEqual(got, tt.want, 1e-12) {
+				t.Errorf("Mean(%v) = %v, want %v", tt.in, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestMeanEmpty(t *testing.T) {
+	if _, err := Mean(nil); err != ErrEmpty {
+		t.Errorf("Mean(nil) error = %v, want ErrEmpty", err)
+	}
+}
+
+func TestVariance(t *testing.T) {
+	got, err := Variance([]float64{1, 1, 1})
+	if err != nil || got != 0 {
+		t.Errorf("Variance(constant) = %v, %v; want 0, nil", got, err)
+	}
+	got, err = Variance([]float64{0, 1})
+	if err != nil || !almostEqual(got, 0.25, 1e-12) {
+		t.Errorf("Variance([0,1]) = %v, %v; want 0.25", got, err)
+	}
+}
+
+func TestVarianceEmpty(t *testing.T) {
+	if _, err := Variance(nil); err != ErrEmpty {
+		t.Errorf("Variance(nil) error = %v, want ErrEmpty", err)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{4, 1, 3, 2} // unsorted on purpose
+	tests := []struct {
+		q    float64
+		want float64
+	}{
+		{0, 1},
+		{1, 4},
+		{0.5, 2.5},
+		{0.25, 1.75},
+	}
+	for _, tt := range tests {
+		got, err := Quantile(xs, tt.q)
+		if err != nil {
+			t.Fatalf("Quantile(%v) error: %v", tt.q, err)
+		}
+		if !almostEqual(got, tt.want, 1e-12) {
+			t.Errorf("Quantile(xs, %v) = %v, want %v", tt.q, got, tt.want)
+		}
+	}
+	// The input must not be reordered.
+	if xs[0] != 4 || xs[3] != 2 {
+		t.Errorf("Quantile mutated its input: %v", xs)
+	}
+}
+
+func TestQuantileErrors(t *testing.T) {
+	if _, err := Quantile(nil, 0.5); err != ErrEmpty {
+		t.Errorf("Quantile(nil) error = %v, want ErrEmpty", err)
+	}
+	if _, err := Quantile([]float64{1}, -0.1); err == nil {
+		t.Error("Quantile(q=-0.1) should fail")
+	}
+	if _, err := Quantile([]float64{1}, 1.1); err == nil {
+		t.Error("Quantile(q=1.1) should fail")
+	}
+	if _, err := Quantile([]float64{1}, math.NaN()); err == nil {
+		t.Error("Quantile(q=NaN) should fail")
+	}
+}
+
+func TestQuantileGapSymmetricSample(t *testing.T) {
+	xs := make([]float64, 1001)
+	for i := range xs {
+		xs[i] = float64(i) / 1000
+	}
+	gap, err := QuantileGap(xs, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(gap, 0.8, 1e-9) {
+		t.Errorf("QuantileGap(uniform, 0.1) = %v, want 0.8", gap)
+	}
+}
+
+func TestQuantileOrderedProperty(t *testing.T) {
+	// Quantiles are monotone in q.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		xs := make([]float64, 50)
+		for i := range xs {
+			xs[i] = rng.NormFloat64()
+		}
+		prev := math.Inf(-1)
+		for q := 0.0; q <= 1.0; q += 0.05 {
+			v, err := Quantile(xs, q)
+			if err != nil || v < prev-1e-12 {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestClamp(t *testing.T) {
+	if got := Clamp(5, 0, 1); got != 1 {
+		t.Errorf("Clamp(5,0,1) = %v", got)
+	}
+	if got := Clamp(-5, 0, 1); got != 0 {
+		t.Errorf("Clamp(-5,0,1) = %v", got)
+	}
+	if got := Clamp(0.5, 0, 1); got != 0.5 {
+		t.Errorf("Clamp(0.5,0,1) = %v", got)
+	}
+}

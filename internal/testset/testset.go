@@ -1,0 +1,131 @@
+// Package testset manages the integration team's test data over its life
+// cycle (Section 2.3 of the paper): a testset is installed with a budget of
+// H evaluations, its statistical power is consumed commit by commit, the
+// "new testset alarm" fires when it can no longer support the next model,
+// and the retired testset is released to the development team as a
+// validation set.
+package testset
+
+import (
+	"fmt"
+
+	"github.com/easeml/ci/internal/adaptivity"
+	"github.com/easeml/ci/internal/data"
+)
+
+// Testset is one installed testset: ground-truth data owned by the
+// integration team plus the bookkeeping of which labels have been revealed
+// to the measurement process (active labeling reveals them lazily).
+type Testset struct {
+	// Generation numbers testsets from 1 as they rotate in.
+	Generation int
+	// Data holds features and ground-truth labels.
+	Data *data.Dataset
+	// revealed marks examples whose labels were already paid for.
+	revealed []bool
+}
+
+// New wraps a dataset as a fresh testset.
+func New(generation int, ds *data.Dataset) (*Testset, error) {
+	if err := ds.Validate(); err != nil {
+		return nil, err
+	}
+	if generation < 1 {
+		return nil, fmt.Errorf("testset: generation must be >= 1, got %d", generation)
+	}
+	return &Testset{
+		Generation: generation,
+		Data:       ds,
+		revealed:   make([]bool, ds.Len()),
+	}, nil
+}
+
+// Len returns the number of examples.
+func (t *Testset) Len() int { return t.Data.Len() }
+
+// Revealed reports whether example i's label has been revealed.
+func (t *Testset) Revealed(i int) bool { return t.revealed[i] }
+
+// Reveal marks example i's label as revealed and returns it, along with
+// whether this reveal was new (false when already paid for).
+func (t *Testset) Reveal(i int) (label int, fresh bool, err error) {
+	if i < 0 || i >= t.Len() {
+		return 0, false, fmt.Errorf("testset: index %d out of range [0,%d)", i, t.Len())
+	}
+	fresh = !t.revealed[i]
+	t.revealed[i] = true
+	return t.Data.Y[i], fresh, nil
+}
+
+// RevealedCount returns how many labels have been revealed so far.
+func (t *Testset) RevealedCount() int {
+	n := 0
+	for _, r := range t.revealed {
+		if r {
+			n++
+		}
+	}
+	return n
+}
+
+// Manager rotates testsets under an adaptivity ledger and fires the
+// new-testset alarm.
+type Manager struct {
+	kind    adaptivity.Kind
+	budget  int
+	ledger  *adaptivity.Ledger
+	current *Testset
+	// released accumulates retired testsets; the user may hand them to the
+	// development team as validation data (Section 2.3).
+	released []*Testset
+}
+
+// NewManager installs the first testset with the given adaptivity mode and
+// per-testset budget (steps).
+func NewManager(kind adaptivity.Kind, budget int, first *data.Dataset) (*Manager, error) {
+	ledger, err := adaptivity.NewLedger(kind, budget)
+	if err != nil {
+		return nil, err
+	}
+	ts, err := New(1, first)
+	if err != nil {
+		return nil, err
+	}
+	return &Manager{kind: kind, budget: budget, ledger: ledger, current: ts}, nil
+}
+
+// Current returns the installed testset.
+func (m *Manager) Current() *Testset { return m.current }
+
+// Budget returns H, the per-testset evaluation budget.
+func (m *Manager) Budget() int { return m.budget }
+
+// CanEvaluate reports whether the installed testset still has budget.
+func (m *Manager) CanEvaluate() bool { return m.ledger.CanEvaluate() }
+
+// Remaining returns the number of evaluations the current testset still
+// supports.
+func (m *Manager) Remaining() int { return m.ledger.Remaining() }
+
+// Record consumes one evaluation with the given true outcome, returning the
+// ledger event (whose NeedNewTestset flag is the paper's alarm).
+func (m *Manager) Record(pass bool) (adaptivity.Event, error) {
+	return m.ledger.Record(pass)
+}
+
+// Rotate installs a fresh dataset as the next-generation testset and
+// returns the retired testset (now releasable to the developer).
+func (m *Manager) Rotate(next *data.Dataset) (*Testset, error) {
+	ts, err := New(m.current.Generation+1, next)
+	if err != nil {
+		return nil, err
+	}
+	retired := m.current
+	m.released = append(m.released, retired)
+	m.current = ts
+	m.ledger.Reset()
+	return retired, nil
+}
+
+// Released returns the retired testsets, oldest first.
+func (m *Manager) Released() []*Testset { return m.released }

@@ -1,0 +1,132 @@
+package testset
+
+import (
+	"testing"
+
+	"github.com/easeml/ci/internal/adaptivity"
+	"github.com/easeml/ci/internal/data"
+)
+
+func dataset(t *testing.T, n int, seed int64) *data.Dataset {
+	t.Helper()
+	ds, err := data.Blobs(n, 2, 3, 0.5, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+func TestNewTestset(t *testing.T) {
+	ts, err := New(1, dataset(t, 10, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ts.Len() != 10 || ts.Generation != 1 || ts.RevealedCount() != 0 {
+		t.Errorf("fresh testset state wrong: %+v", ts)
+	}
+	if _, err := New(0, dataset(t, 10, 1)); err == nil {
+		t.Error("generation 0 should fail")
+	}
+	var empty data.Dataset
+	if _, err := New(1, &empty); err == nil {
+		t.Error("invalid dataset should fail")
+	}
+}
+
+func TestReveal(t *testing.T) {
+	ts, _ := New(1, dataset(t, 10, 1))
+	y, fresh, err := ts.Reveal(3)
+	if err != nil || !fresh {
+		t.Fatalf("first reveal: %v %v %v", y, fresh, err)
+	}
+	if y != ts.Data.Y[3] {
+		t.Errorf("revealed label %d != truth %d", y, ts.Data.Y[3])
+	}
+	_, fresh, err = ts.Reveal(3)
+	if err != nil || fresh {
+		t.Error("second reveal must not be fresh")
+	}
+	if ts.RevealedCount() != 1 {
+		t.Errorf("revealed count = %d", ts.RevealedCount())
+	}
+	if !ts.Revealed(3) || ts.Revealed(4) {
+		t.Error("Revealed() bookkeeping wrong")
+	}
+	if _, _, err := ts.Reveal(-1); err == nil {
+		t.Error("negative index should fail")
+	}
+	if _, _, err := ts.Reveal(10); err == nil {
+		t.Error("out-of-range index should fail")
+	}
+}
+
+func TestManagerLifecycle(t *testing.T) {
+	m, err := NewManager(adaptivity.None, 2, dataset(t, 10, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.CanEvaluate() || m.Remaining() != 2 {
+		t.Error("fresh manager state wrong")
+	}
+	if _, err := m.Record(false); err != nil {
+		t.Fatal(err)
+	}
+	ev, err := m.Record(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ev.NeedNewTestset {
+		t.Error("alarm must fire at budget exhaustion")
+	}
+	if m.CanEvaluate() {
+		t.Error("exhausted manager must refuse evaluation")
+	}
+
+	retired, err := m.Rotate(dataset(t, 12, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if retired.Generation != 1 {
+		t.Errorf("retired generation = %d", retired.Generation)
+	}
+	if m.Current().Generation != 2 || m.Current().Len() != 12 {
+		t.Errorf("current = gen %d len %d", m.Current().Generation, m.Current().Len())
+	}
+	if !m.CanEvaluate() || m.Remaining() != 2 {
+		t.Error("rotation must re-arm the budget")
+	}
+	if len(m.Released()) != 1 || m.Released()[0] != retired {
+		t.Error("released bookkeeping wrong")
+	}
+}
+
+func TestManagerFirstChange(t *testing.T) {
+	m, err := NewManager(adaptivity.FirstChange, 5, dataset(t, 10, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev, err := m.Record(true) // first pass retires immediately
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ev.NeedNewTestset {
+		t.Error("hybrid pass must fire the alarm")
+	}
+	if m.CanEvaluate() {
+		t.Error("hybrid pass must retire the testset")
+	}
+}
+
+func TestManagerErrors(t *testing.T) {
+	if _, err := NewManager(adaptivity.None, 0, dataset(t, 10, 1)); err == nil {
+		t.Error("budget 0 should fail")
+	}
+	var empty data.Dataset
+	if _, err := NewManager(adaptivity.None, 2, &empty); err == nil {
+		t.Error("invalid dataset should fail")
+	}
+	m, _ := NewManager(adaptivity.None, 1, dataset(t, 10, 1))
+	if _, err := m.Rotate(&empty); err == nil {
+		t.Error("rotating in invalid data should fail")
+	}
+}

@@ -1,0 +1,279 @@
+package ci_test
+
+// End-to-end integration tests for the five production use cases of
+// Section 3.6 of the paper, each run through the public façade: script →
+// plan → engine → signals/alarms/notifications.
+
+import (
+	"errors"
+	"testing"
+
+	ci "github.com/easeml/ci"
+	"github.com/easeml/ci/internal/engine"
+	"github.com/easeml/ci/internal/interval"
+	"github.com/easeml/ci/internal/model"
+	"github.com/easeml/ci/internal/notify"
+)
+
+// indexTestset builds an index-keyed testset for prediction-vector models.
+func indexTestset(n, classes int) *ci.Dataset {
+	ds := &ci.Dataset{Name: "usecase", Classes: classes}
+	for i := 0; i < n; i++ {
+		ds.X = append(ds.X, []float64{float64(i)})
+		ds.Y = append(ds.Y, i%classes)
+	}
+	return ds
+}
+
+func fixedModel(t *testing.T, name string, ds *ci.Dataset, acc float64, seed int64) ci.Predictor {
+	t.Helper()
+	preds, err := model.SimulatedPredictions(ds.Y, ds.Classes, acc, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return model.NewFixedPredictions(name, preds)
+}
+
+// TestUseCaseF1WorstCaseQualityFloor: "n > [c]", non-adaptive, fn-free —
+// quality control against accidentally terrible commits.
+func TestUseCaseF1WorstCaseQualityFloor(t *testing.T) {
+	ds := indexTestset(700, 4)
+	cfg, err := ci.NewConfig("n > 0.6 +/- 0.1", 0.99, ci.FNFree,
+		ci.Adaptivity{Kind: ci.AdaptivityNone, Email: "qa@team.example"}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	outbox := ci.NewOutbox()
+	eng, err := ci.NewEngine(cfg, ds, ci.NewTruthOracle(ds.Y), ci.EngineOptions{
+		InitialModel: fixedModel(t, "h0", ds, 0.8, 1),
+		Notifier:     outbox,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name      string
+		acc       float64
+		wantTruth interval.Truth
+		wantPass  bool
+	}{
+		{"solid", 0.90, interval.True, true},
+		{"borderline", 0.65, interval.Unknown, true}, // fn-free accepts Unknown
+		{"quality-bug", 0.30, interval.False, false}, // the case F1 exists for
+	}
+	for i, c := range cases {
+		res, err := eng.Commit(fixedModel(t, c.name, ds, c.acc, int64(10+i)), "dev", c.name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Truth != c.wantTruth || res.Pass != c.wantPass {
+			t.Errorf("%s: truth=%v pass=%v, want %v/%v", c.name, res.Truth, res.Pass, c.wantTruth, c.wantPass)
+		}
+		if !res.Signal {
+			t.Errorf("%s: non-adaptive mode must always signal accepted", c.name)
+		}
+	}
+	// The integration team's inbox has all three true outcomes.
+	results := outbox.ByKind(notify.KindResult)
+	if len(results) != 3 {
+		t.Fatalf("result notifications = %d, want 3", len(results))
+	}
+	for _, n := range results {
+		if n.To != "qa@team.example" {
+			t.Errorf("result routed to %q", n.To)
+		}
+	}
+}
+
+// TestUseCaseF2IncrementalImprovement: "n - o > [small c]", fully adaptive,
+// fp-free — end-user-facing quality must only move up.
+func TestUseCaseF2IncrementalImprovement(t *testing.T) {
+	ds := indexTestset(1200, 4)
+	cfg, err := ci.NewConfig("n - o > 0.02 +/- 0.05", 0.99, ci.FPFree,
+		ci.Adaptivity{Kind: ci.AdaptivityFull}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := ci.NewEngine(cfg, ds, ci.NewTruthOracle(ds.Y), ci.EngineOptions{
+		InitialModel: fixedModel(t, "v1", ds, 0.70, 1),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A decisive improvement passes and is promoted.
+	res, err := eng.Commit(fixedModel(t, "v2", ds, 0.85, 2), "dev", "big jump")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Pass || !res.Signal || eng.ActiveModelName() != "v2" {
+		t.Errorf("decisive improvement rejected: %+v", res)
+	}
+	// A borderline improvement is Unknown and rejected fp-free: end users
+	// never see an unverified "improvement".
+	res, err = eng.Commit(fixedModel(t, "v3", ds, 0.88, 3), "dev", "small jump")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Truth != interval.Unknown || res.Pass {
+		t.Errorf("borderline improvement: truth=%v pass=%v", res.Truth, res.Pass)
+	}
+	if eng.ActiveModelName() != "v2" {
+		t.Error("rejected commit must not be promoted")
+	}
+}
+
+// TestUseCaseF3QualityMilestones: "n - o > [large c]", firstChange hybrid,
+// fp-free — only log 10-point jumps; the first pass retires the testset.
+func TestUseCaseF3QualityMilestones(t *testing.T) {
+	ds := indexTestset(900, 4)
+	cfg, err := ci.NewConfig("n - o > 0.1 +/- 0.05", 0.99, ci.FPFree,
+		ci.Adaptivity{Kind: ci.AdaptivityFirstChange}, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	outbox := ci.NewOutbox()
+	eng, err := ci.NewEngine(cfg, ds, ci.NewTruthOracle(ds.Y), ci.EngineOptions{
+		InitialModel: fixedModel(t, "base", ds, 0.60, 1),
+		Notifier:     outbox,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Incremental tinkering fails the milestone bar but keeps the testset.
+	for i, acc := range []float64{0.62, 0.68} {
+		res, err := eng.Commit(fixedModel(t, "tinker", ds, acc, int64(20+i)), "dev", "tinker")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Pass || res.NeedNewTestset {
+			t.Fatalf("tinkering commit %d: pass=%v alarm=%v", i, res.Pass, res.NeedNewTestset)
+		}
+	}
+	// The milestone passes and immediately retires the testset.
+	res, err := eng.Commit(fixedModel(t, "milestone", ds, 0.80, 30), "dev", "milestone")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Pass || !res.NeedNewTestset {
+		t.Fatalf("milestone: pass=%v alarm=%v", res.Pass, res.NeedNewTestset)
+	}
+	if len(outbox.ByKind(notify.KindAlarm)) != 1 {
+		t.Error("milestone must trigger the new-testset alarm")
+	}
+	if _, err := eng.Commit(fixedModel(t, "next", ds, 0.82, 31), "dev", "next"); !errors.Is(err, engine.ErrNeedNewTestset) {
+		t.Errorf("commit after milestone = %v, want ErrNeedNewTestset", err)
+	}
+	// Rotation re-arms the loop with the milestone model as baseline.
+	next := indexTestset(900, 4)
+	if err := eng.RotateTestset(next, ci.NewTruthOracle(next.Y), fixedModel(t, "milestone", next, 0.80, 32)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Commit(fixedModel(t, "post", next, 0.82, 33), "dev", "post"); err != nil {
+		t.Errorf("post-rotation commit failed: %v", err)
+	}
+}
+
+// TestUseCaseF4NoSignificantChanges: "d < [c]", fn-free — an end-user-facing
+// application must not change behaviour wildly between versions.
+func TestUseCaseF4NoSignificantChanges(t *testing.T) {
+	ds := indexTestset(1600, 4)
+	cfg, err := ci.NewConfig("d < 0.15 +/- 0.05", 0.99, ci.FNFree,
+		ci.Adaptivity{Kind: ci.AdaptivityFull}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	basePreds, err := model.SimulatedPredictions(ds.Y, 4, 0.8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := ci.NewEngine(cfg, ds, ci.NewTruthOracle(ds.Y), ci.EngineOptions{
+		InitialModel: model.NewFixedPredictions("prod", basePreds),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Evolve variants of the production model with controlled disagreement.
+	variant := func(name string, d float64, seed int64) ci.Predictor {
+		preds, err := model.Evolve(basePreds, ds.Y, 4, 0, d, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return model.NewFixedPredictions(name, preds)
+	}
+	cases := []struct {
+		name     string
+		d        float64
+		want     interval.Truth
+		wantPass bool
+	}{
+		{"refactor", 0.05, interval.True, true},      // clearly within budget
+		{"borderline", 0.13, interval.Unknown, true}, // fn-free accepts
+		{"rewrite", 0.35, interval.False, false},     // provably too different
+	}
+	for i, c := range cases {
+		res, err := eng.Commit(variant(c.name, c.d, int64(40+i)), "dev", c.name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Truth != c.want || res.Pass != c.wantPass {
+			t.Errorf("%s (d=%v): truth=%v pass=%v, want %v/%v",
+				c.name, c.d, res.Truth, res.Pass, c.want, c.wantPass)
+		}
+	}
+}
+
+// TestUseCaseF5Compositional: F4 /\ F2 — "the most popular test condition":
+// quality must improve AND predictions must not change dramatically. This
+// is exactly Pattern 1, so active labeling kicks in.
+func TestUseCaseF5Compositional(t *testing.T) {
+	ds := indexTestset(2500, 4)
+	cfg, err := ci.NewConfig("d < 0.1 +/- 0.01 /\\ n - o > 0.02 +/- 0.03", 0.99, ci.FPFree,
+		ci.Adaptivity{Kind: ci.AdaptivityNone, Email: "qa@team.example"}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := ci.PlanForConfig(cfg, ci.DefaultPlannerOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Kind.String() != "pattern1" {
+		t.Fatalf("plan kind = %v, want pattern1", plan.Kind)
+	}
+	oldPreds, newPreds, err := model.SimulatedPair(ds.Y, 4, 0.80, 0.87, 0.08, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := ci.NewEngine(cfg, ds, ci.NewTruthOracle(ds.Y), ci.EngineOptions{
+		InitialModel: model.NewFixedPredictions("prod", oldPreds),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng.Commit(model.NewFixedPredictions("candidate", newPreds), "dev", "fine-tune")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Truth != interval.True || !res.Pass {
+		t.Fatalf("good candidate rejected: truth=%v estimates=%v", res.Truth, res.Estimates)
+	}
+	// Active labeling: far fewer labels than the testset size.
+	if res.FreshLabels >= ds.Len()/4 {
+		t.Errorf("active labeling spent %d labels on a %d testset", res.FreshLabels, ds.Len())
+	}
+	// A candidate that improves but changes too much fails the F4 guard.
+	// (d = 0.30 is near the feasibility ceiling for accuracies 0.80/0.85:
+	// disagreement cannot exceed the total wrong mass of the two models.)
+	_, wildPreds, err := model.SimulatedPair(ds.Y, 4, 0.80, 0.85, 0.30, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Re-anchor the wild candidate against the promoted model's predictions:
+	// disagreement with the new baseline is what the engine measures.
+	res, err = eng.Commit(model.NewFixedPredictions("wild", wildPreds), "dev", "wild rewrite")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Truth == interval.True || res.Pass {
+		t.Errorf("wild candidate accepted: truth=%v estimates=%v", res.Truth, res.Estimates)
+	}
+}
