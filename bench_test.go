@@ -25,6 +25,7 @@ import (
 	"github.com/easeml/ci/internal/labeling"
 	"github.com/easeml/ci/internal/model"
 	"github.com/easeml/ci/internal/patterns"
+	"github.com/easeml/ci/internal/planner"
 	"github.com/easeml/ci/internal/script"
 	"github.com/easeml/ci/internal/stats"
 )
@@ -209,7 +210,9 @@ func BenchmarkAblationStrategy(b *testing.B) {
 }
 
 // BenchmarkAblationTightBinomial compares the exact binomial sample size
-// (Section 4.3) against two-sided Hoeffding.
+// (Section 4.3) against two-sided Hoeffding. Repeated iterations hit the
+// worst-case memo, so this measures the steady-state (served) latency; see
+// BenchmarkAblationTightBinomialCold for the uncached search.
 func BenchmarkAblationTightBinomial(b *testing.B) {
 	var exact, hoeff int
 	for i := 0; i < b.N; i++ {
@@ -224,6 +227,18 @@ func BenchmarkAblationTightBinomial(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(hoeff)/float64(exact), "hoeffding_over_exact")
+}
+
+// BenchmarkAblationTightBinomialCold is the same search with the memo
+// emptied every iteration: the honest cost of one full exact-bound
+// binary search plus stabilization.
+func BenchmarkAblationTightBinomialCold(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		bounds.ResetExactCache()
+		if _, err := bounds.ExactSampleSize(0.05, 0.01, 0, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
 }
 
 // --- Micro-benchmarks ----------------------------------------------------
@@ -247,6 +262,27 @@ func BenchmarkSampleSizeEstimator(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := estimator.SampleSize(f, 0.0001, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPlanCacheHit measures the server hot path: a plan request that
+// the LRU plan cache absorbs.
+func BenchmarkPlanCacheHit(b *testing.B) {
+	cfg, err := script.New("d < 0.1 +/- 0.01 /\\ n - o > 0.02 +/- 0.01", 0.9999, interval.FPFree,
+		script.Adaptivity{Kind: script.AdaptivityNone, Email: "a@b.c"}, 32)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cache := planner.New(64)
+	if _, err := cache.PlanForConfig(cfg, core.DefaultOptions()); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := cache.PlanForConfig(cfg, core.DefaultOptions()); err != nil {
 			b.Fatal(err)
 		}
 	}

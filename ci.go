@@ -12,6 +12,7 @@ import (
 	"github.com/easeml/ci/internal/model"
 	"github.com/easeml/ci/internal/notify"
 	"github.com/easeml/ci/internal/patterns"
+	"github.com/easeml/ci/internal/planner"
 	"github.com/easeml/ci/internal/script"
 )
 
@@ -79,10 +80,16 @@ func DefaultPlannerOptions() PlannerOptions { return core.DefaultOptions() }
 
 // PlanForConfig runs the paper's pattern dispatch (Section 4) and returns
 // the labeling plan: the testset sizes the Sample Size Estimator utility
-// reports to the user (Section 2.3).
+// reports to the user (Section 2.3). Results flow through the shared plan
+// cache, so repeated identical requests (a server fielding plan queries, a
+// CLI sweeping a parameter grid) are served without recomputation.
 func PlanForConfig(cfg *Config, opts PlannerOptions) (*Plan, error) {
-	return core.PlanForConfig(cfg, opts)
+	return planner.Default.PlanForConfig(cfg, opts)
 }
+
+// PlanCacheStats snapshots the shared plan cache's hit/miss counters
+// (observability for plan-query serving).
+func PlanCacheStats() planner.Stats { return planner.Default.Stats() }
 
 // SampleSize is the one-call convenience: the labeled testset size for a
 // condition at a reliability over H steps with the given adaptivity flag

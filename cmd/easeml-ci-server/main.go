@@ -10,6 +10,8 @@
 //
 //	easeml-ci-server -addr :8080 -script ci.yml
 //	curl localhost:8080/api/v1/plan
+//	curl 'localhost:8080/api/v1/plan?condition=n+-+o+%3E+0.02+%2B%2F-+0.01&steps=8'
+//	curl localhost:8080/api/v1/metrics          # plan-cache hit/miss counters
 //	curl -X POST localhost:8080/api/v1/commit -d '{"model":"v2","predictions":[...]}'
 package main
 

@@ -32,6 +32,7 @@ func main() {
 		email       = flag.String("email", "third-party@example.com", "result address for adaptivity=none")
 		disagree    = flag.Float64("assumed-disagreement", 0.1, "planning-time bound on prediction difference between consecutive models (Pattern 2)")
 		secPerLabel = flag.Float64("seconds-per-label", 2, "labeling rate for the effort report")
+		cacheStats  = flag.Bool("cache-stats", false, "print plan-cache hit/miss counters after the report")
 	)
 	flag.Parse()
 
@@ -48,6 +49,11 @@ func main() {
 		os.Exit(1)
 	}
 	report(cfg, plan, *secPerLabel)
+	if *cacheStats {
+		st := ci.PlanCacheStats()
+		fmt.Printf("\nplan cache        : %d hits / %d misses (%d plans cached)\n",
+			st.PlanHits, st.PlanMisses, st.PlanEntries)
+	}
 }
 
 func loadConfig(path, condition string, reliability float64, steps int, adaptFlag, modeFlag, email string) (*ci.Config, error) {

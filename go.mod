@@ -1,0 +1,3 @@
+module github.com/easeml/ci
+
+go 1.21

@@ -15,6 +15,31 @@
 // smallest integer n satisfying the bound (ceiling of the real-valued
 // solution); tolerance/confidence inversions are exact to ~1e-12.
 //
+// # The fast exact-bound engine
+//
+// The paper leaves efficient computation of the Section 4.3 tight bound as
+// future work; exact.go implements it as a three-layer fast path whose
+// results are identical to the straightforward search (regression-pinned in
+// exact_equiv_test.go):
+//
+//   - internal/stats walks each binomial tail from a mode anchor with the
+//     multiplicative pmf recurrence over a cached log-factorial table, so a
+//     tail costs O(sqrt(n p (1-p))) multiplies instead of O(n) Lgamma
+//     calls (~165x on BenchmarkBinomialCDF: 147.6us -> 0.9us at n=10^4);
+//   - the worst-case-over-p grid fans across a bounded worker pool
+//     (internal/parallel) and the sample-size search probes speculative
+//     bracket candidates concurrently;
+//   - every (n, epsilon, pLo, pHi) worst-case result is memoized in an LRU
+//     (internal/lru), so the binary search's stabilization pass re-checks
+//     its answer for free and repeated searches are served at LRU-lookup
+//     cost.
+//
+// Measured on the ablation benchmark (ExactSampleSize at epsilon=0.05,
+// delta=0.01): 20.6ms before; 0.71ms cold (~29x) and ~1us memo-warm after.
+// The stabilization pass is window-bounded (stabilizeWindow): a pathological
+// input errors out instead of creeping one step at a time toward the 2^28
+// search limit.
+//
 // Conventions: epsilon is the error tolerance (half-width of the confidence
 // interval), delta the failure probability (1-delta the reliability), r the
 // dynamic range of the variable, and p an upper bound on E[X_i^2] for the

@@ -3,7 +3,10 @@ package bounds
 import (
 	"fmt"
 	"math"
+	"sync/atomic"
 
+	"github.com/easeml/ci/internal/lru"
+	"github.com/easeml/ci/internal/parallel"
 	"github.com/easeml/ci/internal/stats"
 )
 
@@ -12,7 +15,35 @@ import (
 // probability of the empirical-mean estimator from the binomial pmf, and
 // pick the minimal n whose worst case over the unknown true mean p meets
 // delta. There is no closed form; the paper leaves efficient approximation
-// as future work, and this file implements the direct numerical search.
+// as future work, and this file implements a fast numerical search:
+//
+//   - each grid point costs O(sigma) instead of O(n): the binomial tails are
+//     walked from a mode anchor with the multiplicative pmf recurrence
+//     (internal/stats), not summed term-by-term through Lgamma;
+//   - the cut indices loCut/hiCut change only at the lattice points
+//     k/n -+ epsilon, so adjacent grid points share their tail structure and
+//     the whole sweep stays near the distribution mode;
+//   - the coarse and refinement grids fan across a bounded worker pool
+//     (internal/parallel), as do the speculative bracket-expansion probes of
+//     the sample-size search;
+//   - worst-case results are memoized by (n, epsilon, pLo, pHi) in an LRU
+//     (internal/lru), so the binary search, its stabilization pass, and any
+//     repeated server-side plan query never recompute a probe.
+
+// worstKey identifies one worst-case evaluation.
+type worstKey struct {
+	n             int
+	eps, pLo, pHi float64
+}
+
+// worstCache memoizes ExactWorstCaseFailure. 1<<15 entries x ~50 bytes is
+// ~1.6 MB, enough to hold every probe of many concurrent sample-size
+// searches.
+var worstCache = lru.New[worstKey, float64](1 << 15)
+
+// worstEvals counts uncached worst-case evaluations (test/observability
+// hook for the memoization guarantees).
+var worstEvals atomic.Uint64
 
 // ExactFailureProb returns Pr[ |K/n - p| > epsilon ] for K ~ Binomial(n, p):
 // the exact two-sided failure probability of the empirical mean.
@@ -49,26 +80,61 @@ func ExactFailureProb(n int, p, epsilon float64) (float64, error) {
 // coarse maximum captures the true maximum to well under 1% relative error,
 // which is enough for sample-size search (the result is then validated by
 // re-evaluation at the returned n).
+//
+// Results are memoized by (n, epsilon, pLo, pHi); uncached evaluations fan
+// the grid across the worker pool.
 func ExactWorstCaseFailure(n int, epsilon, pLo, pHi float64) (float64, error) {
 	if pLo < 0 || pHi > 1 || pLo > pHi {
 		return 0, fmt.Errorf("bounds: invalid mean interval [%v,%v]", pLo, pHi)
 	}
+	key := worstKey{n: n, eps: epsilon, pLo: pLo, pHi: pHi}
+	if w, ok := worstCache.Get(key); ok {
+		return w, nil
+	}
+	w, err := exactWorstCaseUncached(n, epsilon, pLo, pHi)
+	if err != nil {
+		return 0, err
+	}
+	worstCache.Put(key, w)
+	return w, nil
+}
+
+// exactWorstCaseUncached is the grid search proper. The evaluation points
+// and the argmax scan order are kept identical to a straightforward serial
+// loop, so parallel execution cannot change the returned value.
+func exactWorstCaseUncached(n int, epsilon, pLo, pHi float64) (float64, error) {
+	worstEvals.Add(1)
 	const coarse = 64
-	worst := 0.0
-	worstP := pLo
 	step := (pHi - pLo) / coarse
 	if step == 0 {
 		return ExactFailureProb(n, pLo, epsilon)
 	}
-	for i := 0; i <= coarse; i++ {
-		p := pLo + float64(i)*step
-		f, err := ExactFailureProb(n, p, epsilon)
+	gridMax := func(at func(i int) float64, points int) (float64, float64, error) {
+		fs := make([]float64, points)
+		err := parallel.ForErr(points, func(i int) error {
+			f, err := ExactFailureProb(n, at(i), epsilon)
+			if err != nil {
+				return err
+			}
+			fs[i] = f
+			return nil
+		})
 		if err != nil {
-			return 0, err
+			return 0, 0, err
 		}
-		if f > worst {
-			worst, worstP = f, p
+		worst, worstP := 0.0, pLo
+		for i, f := range fs {
+			if f > worst {
+				worst, worstP = f, at(i)
+			}
 		}
+		return worst, worstP, nil
+	}
+	worst, worstP, err := gridMax(func(i int) float64 {
+		return pLo + float64(i)*step
+	}, coarse+1)
+	if err != nil {
+		return 0, err
 	}
 	// Local refinement around the coarse argmax at lattice resolution.
 	lo := math.Max(pLo, worstP-step)
@@ -80,18 +146,31 @@ func ExactWorstCaseFailure(n int, epsilon, pLo, pHi float64) (float64, error) {
 	if fineSteps > 512 {
 		fineSteps = 512
 	}
-	for i := 0; i <= fineSteps; i++ {
-		p := lo + (hi-lo)*float64(i)/float64(fineSteps)
-		f, err := ExactFailureProb(n, p, epsilon)
-		if err != nil {
-			return 0, err
-		}
-		if f > worst {
-			worst = f
-		}
+	fineWorst, _, err := gridMax(func(i int) float64 {
+		return lo + (hi-lo)*float64(i)/float64(fineSteps)
+	}, fineSteps+1)
+	if err != nil {
+		return 0, err
+	}
+	if fineWorst > worst {
+		worst = fineWorst
 	}
 	return worst, nil
 }
+
+// searchLimit bounds every growth loop of the sample-size search.
+const searchLimit = 1 << 28
+
+// stabilizeWindow bounds how far past the binary-search answer the
+// lattice-ripple stabilization pass may creep. Ripples at realistic
+// (epsilon, delta) die out within a handful of steps; a window this wide
+// failing indicates a genuinely pathological input, which is reported as an
+// error instead of silently scanning millions of candidates.
+const stabilizeWindow = 64
+
+// expandBatch is how many speculative bracket-expansion probes run
+// concurrently when the Hoeffding seed turns out to sit on a lattice ripple.
+const expandBatch = 3
 
 // ExactSampleSize returns the smallest n such that the exact two-sided
 // failure probability of the empirical mean is at most delta for every true
@@ -101,7 +180,10 @@ func ExactWorstCaseFailure(n int, epsilon, pLo, pHi float64) (float64, error) {
 //
 // The worst-case failure is not exactly monotone in n (lattice effects), so
 // after an exponential bracket and binary search the result is nudged
-// forward past any local non-monotonicity.
+// forward past any local non-monotonicity. Probes flow through the
+// worst-case memo, so the stabilization pass re-checks the binary-search
+// answer for free and repeated searches at the same (epsilon, delta) are
+// near-instant.
 func ExactSampleSize(epsilon, delta, pLo, pHi float64) (int, error) {
 	if err := checkREpsDelta(1, epsilon, delta); err != nil {
 		return 0, err
@@ -113,8 +195,8 @@ func ExactSampleSize(epsilon, delta, pLo, pHi float64) (int, error) {
 		w, err := ExactWorstCaseFailure(n, epsilon, pLo, pHi)
 		return w <= delta, err
 	}
-	// Exponential bracket, seeded at a fraction of the Hoeffding size
-	// (the exact bound is never worse than two-sided Hoeffding).
+	// Exponential bracket, seeded at the two-sided Hoeffding size (the
+	// exact bound is never worse than two-sided Hoeffding).
 	upper, err := HoeffdingSampleSizeTwoSided(1, epsilon, delta)
 	if err != nil {
 		return 0, err
@@ -123,17 +205,40 @@ func ExactSampleSize(epsilon, delta, pLo, pHi float64) (int, error) {
 	if good, err := ok(hi); err != nil {
 		return 0, err
 	} else if !good {
-		// Lattice ripple at the Hoeffding size; expand conservatively.
+		// Lattice ripple at the Hoeffding size; expand conservatively,
+		// probing a small batch of candidates concurrently and taking the
+		// first (smallest) that satisfies the bound.
 		for {
-			hi = hi + hi/4 + 1
-			good, err := ok(hi)
+			cands := make([]int, 0, expandBatch)
+			for c := hi; len(cands) < expandBatch && c <= searchLimit; {
+				c = c + c/4 + 1
+				cands = append(cands, c)
+			}
+			if len(cands) == 0 {
+				return 0, fmt.Errorf("bounds: exact sample size search diverged (epsilon=%v delta=%v)", epsilon, delta)
+			}
+			goods := make([]bool, len(cands))
+			err := parallel.ForErr(len(cands), func(i int) error {
+				g, err := ok(cands[i])
+				goods[i] = g
+				return err
+			})
 			if err != nil {
 				return 0, err
 			}
-			if good {
+			hi = cands[len(cands)-1]
+			found := false
+			for i, g := range goods {
+				if g {
+					hi = cands[i]
+					found = true
+					break
+				}
+			}
+			if found {
 				break
 			}
-			if hi > 1<<28 {
+			if hi > searchLimit {
 				return 0, fmt.Errorf("bounds: exact sample size search diverged (epsilon=%v delta=%v)", epsilon, delta)
 			}
 		}
@@ -152,8 +257,10 @@ func ExactSampleSize(epsilon, delta, pLo, pHi float64) (int, error) {
 	}
 	// Guard against lattice non-monotonicity: advance until the bound holds
 	// at n and n+1 (two consecutive successes make later failures vanishingly
-	// unlikely in practice).
-	for {
+	// unlikely in practice). ok(lo) is a memo hit on the first iteration —
+	// the binary search just computed it — and the window is bounded so a
+	// pathological input fails loudly instead of creeping toward infinity.
+	for nudges := 0; nudges <= stabilizeWindow; nudges++ {
 		g1, err := ok(lo)
 		if err != nil {
 			return 0, err
@@ -166,8 +273,22 @@ func ExactSampleSize(epsilon, delta, pLo, pHi float64) (int, error) {
 			return lo, nil
 		}
 		lo++
-		if lo > 1<<28 {
-			return 0, fmt.Errorf("bounds: exact sample size stabilization diverged")
-		}
 	}
+	return 0, fmt.Errorf("bounds: exact sample size did not stabilize within %d steps of the binary-search answer (epsilon=%v delta=%v)", stabilizeWindow, epsilon, delta)
+}
+
+// ExactProbeEvals reports how many uncached worst-case grid evaluations
+// have run process-wide (observability: the difference across a request
+// measures how much real work the memo saved).
+func ExactProbeEvals() uint64 { return worstEvals.Load() }
+
+// ExactCacheStats reports the worst-case memo's hit/miss counters and size.
+func ExactCacheStats() (hits, misses uint64, len_ int) {
+	return worstCache.Hits(), worstCache.Misses(), worstCache.Len()
+}
+
+// ResetExactCache empties the worst-case memo and its counters (test hook).
+func ResetExactCache() {
+	worstCache.Reset()
+	worstEvals.Store(0)
 }

@@ -1,0 +1,173 @@
+package bounds
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// refWorstCase is the straightforward serial grid search (the pre-rewrite
+// ExactWorstCaseFailure shape): same evaluation points, same argmax scan,
+// no memo, no worker pool. The parallel implementation must reproduce it
+// bit-for-bit because it evaluates the identical points and reduces them in
+// the identical order.
+func refWorstCase(n int, epsilon, pLo, pHi float64) (float64, error) {
+	const coarse = 64
+	worst := 0.0
+	worstP := pLo
+	step := (pHi - pLo) / coarse
+	if step == 0 {
+		return ExactFailureProb(n, pLo, epsilon)
+	}
+	for i := 0; i <= coarse; i++ {
+		p := pLo + float64(i)*step
+		f, err := ExactFailureProb(n, p, epsilon)
+		if err != nil {
+			return 0, err
+		}
+		if f > worst {
+			worst, worstP = f, p
+		}
+	}
+	lo := math.Max(pLo, worstP-step)
+	hi := math.Min(pHi, worstP+step)
+	fineSteps := 4 * n / coarse
+	if fineSteps < 32 {
+		fineSteps = 32
+	}
+	if fineSteps > 512 {
+		fineSteps = 512
+	}
+	for i := 0; i <= fineSteps; i++ {
+		p := lo + (hi-lo)*float64(i)/float64(fineSteps)
+		f, err := ExactFailureProb(n, p, epsilon)
+		if err != nil {
+			return 0, err
+		}
+		if f > worst {
+			worst = f
+		}
+	}
+	return worst, nil
+}
+
+// TestExactWorstCaseEquivalence sweeps randomized (n, epsilon, pLo, pHi)
+// and demands the memoized/parallel implementation agree with the serial
+// reference to 1e-12 relative error (bit-identical in practice).
+func TestExactWorstCaseEquivalence(t *testing.T) {
+	ResetExactCache()
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 60; trial++ {
+		n := 1 + rng.Intn(4000)
+		eps := math.Pow(10, -0.5-2*rng.Float64()) // ~0.3 .. 0.003
+		pLo, pHi := 0.0, 1.0
+		if trial%3 == 1 {
+			pLo = rng.Float64() * 0.9
+			pHi = pLo + rng.Float64()*(1-pLo)
+		} else if trial%3 == 2 {
+			pLo = pHi // degenerate interval
+		}
+		got, err := ExactWorstCaseFailure(n, eps, pLo, pHi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := refWorstCase(n, eps, pLo, pHi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var rel float64
+		if got != want {
+			rel = math.Abs(got-want) / math.Max(math.Abs(got), math.Abs(want))
+		}
+		if rel > 1e-12 {
+			t.Fatalf("ExactWorstCaseFailure(%d, %g, %g, %g) = %.17g, serial reference %.17g (rel %.3g)",
+				n, eps, pLo, pHi, got, want, rel)
+		}
+		// Second call must come from the memo and still agree.
+		again, err := ExactWorstCaseFailure(n, eps, pLo, pHi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if again != got {
+			t.Fatalf("memoized result %v != first result %v", again, got)
+		}
+	}
+}
+
+// TestExactSampleSizeRegression pins the sample sizes produced by the
+// pre-optimization implementation (recorded before the rewrite): the fast
+// engine must reproduce them exactly.
+func TestExactSampleSizeRegression(t *testing.T) {
+	cases := []struct {
+		eps, delta float64
+		pLo, pHi   float64
+		want       int
+	}{
+		{0.05, 0.01, 0, 1, 670},
+		{0.05, 0.001, 0, 1, 1090},
+		{0.1, 0.01, 0, 1, 170},
+		{0.025, 0.05, 0, 1, 1559},
+		{0.02, 0.001, 0, 1, 6800},
+		{0.05, 0.01, 0.9, 1, 250},
+	}
+	for _, c := range cases {
+		n, err := ExactSampleSize(c.eps, c.delta, c.pLo, c.pHi)
+		if err != nil {
+			t.Fatalf("ExactSampleSize(%v, %v, %v, %v): %v", c.eps, c.delta, c.pLo, c.pHi, err)
+		}
+		if n != c.want {
+			t.Errorf("ExactSampleSize(%v, %v, %v, %v) = %d, want %d (pre-optimization value)",
+				c.eps, c.delta, c.pLo, c.pHi, n, c.want)
+		}
+	}
+}
+
+// TestExactSampleSizeMemoReuse is the regression test for the stabilization
+// loop fix: the pass must reuse the binary search's memoized probes (its
+// first ok(lo) is free), and a repeated identical search must run entirely
+// from the memo.
+func TestExactSampleSizeMemoReuse(t *testing.T) {
+	ResetExactCache()
+	n1, err := ExactSampleSize(0.05, 0.01, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	evalsAfterFirst := ExactProbeEvals()
+	if evalsAfterFirst == 0 {
+		t.Fatal("first search should have evaluated probes")
+	}
+	hits1, _, _ := ExactCacheStats()
+	if hits1 == 0 {
+		t.Error("stabilization pass should have hit the memo at least once (it re-checks the binary-search answer)")
+	}
+	n2, err := ExactSampleSize(0.05, 0.01, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n2 != n1 {
+		t.Fatalf("repeated search disagrees: %d then %d", n1, n2)
+	}
+	if evals := ExactProbeEvals(); evals != evalsAfterFirst {
+		t.Errorf("repeated identical search recomputed %d probes; want 0 (full memo reuse)",
+			evals-evalsAfterFirst)
+	}
+}
+
+// TestExactSampleSizeStabilizationBounded documents the nudge-window bound:
+// the loop runs at most stabilizeWindow+1 extra candidates past the binary
+// search instead of creeping toward 1<<28. (The window itself is a compile
+// time constant; this test pins the probe-count contract for a normal
+// search, which must stay far below the window.)
+func TestExactSampleSizeStabilizationBounded(t *testing.T) {
+	ResetExactCache()
+	if _, err := ExactSampleSize(0.1, 0.05, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	evals := ExactProbeEvals()
+	// An exponential bracket + binary search on a range bounded by the
+	// Hoeffding size (~738 here) takes ~12 probes; the stabilization pass
+	// may add a handful. 12 + stabilizeWindow is a hard ceiling.
+	if max := uint64(12 + stabilizeWindow); evals > max {
+		t.Errorf("search used %d uncached probes, want <= %d (stabilization must be window-bounded)", evals, max)
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"github.com/easeml/ci/internal/labeling"
 	"github.com/easeml/ci/internal/model"
 	"github.com/easeml/ci/internal/notify"
+	"github.com/easeml/ci/internal/planner"
 	"github.com/easeml/ci/internal/repository"
 	"github.com/easeml/ci/internal/script"
 	"github.com/easeml/ci/internal/testset"
@@ -51,13 +52,14 @@ type Result struct {
 
 // Engine drives the CI loop for one script.
 type Engine struct {
-	cfg      *script.Config
-	plan     *core.Plan
-	tsm      *testset.Manager
-	oracle   labeling.Oracle
-	costs    *labeling.Ledger
-	notifier notify.Notifier
-	repo     *repository.Store
+	cfg         *script.Config
+	plan        *core.Plan
+	plannerOpts core.Options
+	tsm         *testset.Manager
+	oracle      labeling.Oracle
+	costs       *labeling.Ledger
+	notifier    notify.Notifier
+	repo        *repository.Store
 
 	// active holds the current baseline ("old") model's predictions on the
 	// current testset.
@@ -93,7 +95,7 @@ func New(cfg *script.Config, first *data.Dataset, oracle labeling.Oracle, opts O
 	if opts.InitialModel == nil {
 		return nil, fmt.Errorf("engine: an initial (old) model is required")
 	}
-	plan, err := core.PlanForConfig(cfg, opts.Planner)
+	plan, err := planner.Default.PlanForConfig(cfg, opts.Planner)
 	if err != nil {
 		return nil, err
 	}
@@ -113,13 +115,14 @@ func New(cfg *script.Config, first *data.Dataset, oracle labeling.Oracle, opts O
 		notifier = notify.NewOutbox()
 	}
 	eng := &Engine{
-		cfg:      cfg,
-		plan:     plan,
-		tsm:      tsm,
-		oracle:   oracle,
-		costs:    &labeling.Ledger{},
-		notifier: notifier,
-		repo:     repository.NewStore(),
+		cfg:         cfg,
+		plan:        plan,
+		plannerOpts: opts.Planner,
+		tsm:         tsm,
+		oracle:      oracle,
+		costs:       &labeling.Ledger{},
+		notifier:    notifier,
+		repo:        repository.NewStore(),
 	}
 	if err := eng.setActive(opts.InitialModel); err != nil {
 		return nil, err
@@ -129,6 +132,11 @@ func New(cfg *script.Config, first *data.Dataset, oracle labeling.Oracle, opts O
 
 // Plan exposes the labeling plan the engine runs under.
 func (e *Engine) Plan() *core.Plan { return e.plan }
+
+// PlannerOptions exposes the planner options that plan was computed with,
+// so a serving layer can answer plan queries consistently with the plan
+// the engine actually enforces.
+func (e *Engine) PlannerOptions() core.Options { return e.plannerOpts }
 
 // Config exposes the script configuration.
 func (e *Engine) Config() *script.Config { return e.cfg }

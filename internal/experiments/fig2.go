@@ -12,6 +12,7 @@ import (
 	"github.com/easeml/ci/internal/adaptivity"
 	"github.com/easeml/ci/internal/condlang"
 	"github.com/easeml/ci/internal/estimator"
+	"github.com/easeml/ci/internal/parallel"
 )
 
 // Figure2Row is one row of the paper's Figure 2 table: sample sizes for the
@@ -33,47 +34,62 @@ var (
 )
 
 // Figure2 computes the full table for H steps (the paper uses H = 32).
+// The 16 x 4 cells are independent sample-size computations, so they fan
+// across the worker pool; each row parses its own formulas to keep the
+// tolerance rewrite goroutine-local.
 func Figure2(steps int) ([]Figure2Row, error) {
-	f14, err := condlang.Parse("n > 0.5 +/- 0.1")
-	if err != nil {
-		return nil, err
+	type gridPoint struct {
+		rel, eps float64
 	}
-	f23, err := condlang.Parse("n - o > 0.02 +/- 0.1")
-	if err != nil {
-		return nil, err
-	}
-	var rows []Figure2Row
+	var grid []gridPoint
 	for _, rel := range figure2Reliabilities {
 		for _, eps := range figure2Epsilons {
-			row := Figure2Row{Reliability: rel, Epsilon: eps}
-			// Rewrite the clause tolerances to the grid epsilon.
-			f14.Clauses[0].Tolerance = eps
-			f23.Clauses[0].Tolerance = eps
-			delta := 1 - rel
-			cells := []struct {
-				f    condlang.Formula
-				kind adaptivity.Kind
-				dst  *int
-			}{
-				{f14, adaptivity.None, &row.F1F4None},
-				{f14, adaptivity.Full, &row.F1F4Full},
-				{f23, adaptivity.None, &row.F2F3None},
-				{f23, adaptivity.Full, &row.F2F3Full},
-			}
-			for _, c := range cells {
-				plan, err := estimator.SampleSize(c.f, delta, estimator.Options{
-					Steps:      steps,
-					Adaptivity: c.kind,
-					Strategy:   estimator.PerVariable,
-					Split:      estimator.SplitOptimal,
-				})
-				if err != nil {
-					return nil, err
-				}
-				*c.dst = plan.N
-			}
-			rows = append(rows, row)
+			grid = append(grid, gridPoint{rel, eps})
 		}
+	}
+	rows := make([]Figure2Row, len(grid))
+	err := parallel.ForErr(len(grid), func(i int) error {
+		f14, err := condlang.Parse("n > 0.5 +/- 0.1")
+		if err != nil {
+			return err
+		}
+		f23, err := condlang.Parse("n - o > 0.02 +/- 0.1")
+		if err != nil {
+			return err
+		}
+		rel, eps := grid[i].rel, grid[i].eps
+		row := Figure2Row{Reliability: rel, Epsilon: eps}
+		// Rewrite the clause tolerances to the grid epsilon.
+		f14.Clauses[0].Tolerance = eps
+		f23.Clauses[0].Tolerance = eps
+		delta := 1 - rel
+		cells := []struct {
+			f    condlang.Formula
+			kind adaptivity.Kind
+			dst  *int
+		}{
+			{f14, adaptivity.None, &row.F1F4None},
+			{f14, adaptivity.Full, &row.F1F4Full},
+			{f23, adaptivity.None, &row.F2F3None},
+			{f23, adaptivity.Full, &row.F2F3Full},
+		}
+		for _, c := range cells {
+			plan, err := estimator.SampleSize(c.f, delta, estimator.Options{
+				Steps:      steps,
+				Adaptivity: c.kind,
+				Strategy:   estimator.PerVariable,
+				Split:      estimator.SplitOptimal,
+			})
+			if err != nil {
+				return err
+			}
+			*c.dst = plan.N
+		}
+		rows[i] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }

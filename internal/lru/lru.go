@@ -1,0 +1,108 @@
+// Package lru provides a small thread-safe LRU cache with hit/miss
+// counters. Two hot paths share it: the exact-bound worst-case memo
+// (internal/bounds) and the plan cache in front of the sample-size planner
+// (internal/planner), both of which see heavy key re-use — the bound
+// search re-probes the same (n, epsilon, interval) tuples and a CI server
+// sees the same plan query from every commit hook.
+package lru
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+)
+
+// Cache is a fixed-capacity LRU map from K to V. The zero value is not
+// usable; construct with New.
+type Cache[K comparable, V any] struct {
+	mu    sync.Mutex
+	cap   int
+	ll    *list.List
+	items map[K]*list.Element
+
+	hits   atomic.Uint64
+	misses atomic.Uint64
+}
+
+type entry[K comparable, V any] struct {
+	key K
+	val V
+}
+
+// New returns an empty cache holding at most capacity entries. Capacities
+// below 1 are raised to 1.
+func New[K comparable, V any](capacity int) *Cache[K, V] {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Cache[K, V]{
+		cap:   capacity,
+		ll:    list.New(),
+		items: make(map[K]*list.Element, capacity),
+	}
+}
+
+// Get returns the cached value and whether it was present, refreshing the
+// entry's recency on a hit.
+func (c *Cache[K, V]) Get(key K) (V, bool) {
+	c.mu.Lock()
+	el, ok := c.items[key]
+	if ok {
+		c.ll.MoveToFront(el)
+		v := el.Value.(*entry[K, V]).val
+		c.mu.Unlock()
+		c.hits.Add(1)
+		return v, true
+	}
+	c.mu.Unlock()
+	c.misses.Add(1)
+	var zero V
+	return zero, false
+}
+
+// Put inserts or refreshes key -> val, evicting the least-recently-used
+// entry when the cache is full.
+func (c *Cache[K, V]) Put(key K, val V) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		el.Value.(*entry[K, V]).val = val
+		c.ll.MoveToFront(el)
+		return
+	}
+	if c.ll.Len() >= c.cap {
+		oldest := c.ll.Back()
+		if oldest != nil {
+			c.ll.Remove(oldest)
+			delete(c.items, oldest.Value.(*entry[K, V]).key)
+		}
+	}
+	c.items[key] = c.ll.PushFront(&entry[K, V]{key: key, val: val})
+}
+
+// Len reports the current number of entries.
+func (c *Cache[K, V]) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// Cap reports the capacity.
+func (c *Cache[K, V]) Cap() int { return c.cap }
+
+// Hits reports the number of Get calls that found their key.
+func (c *Cache[K, V]) Hits() uint64 { return c.hits.Load() }
+
+// Misses reports the number of Get calls that did not.
+func (c *Cache[K, V]) Misses() uint64 { return c.misses.Load() }
+
+// Reset empties the cache and zeroes the counters (test hook; also used
+// when a server rotates configuration).
+func (c *Cache[K, V]) Reset() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.ll.Init()
+	clear(c.items)
+	c.hits.Store(0)
+	c.misses.Store(0)
+}

@@ -1,0 +1,102 @@
+package lru
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestGetPutBasics(t *testing.T) {
+	c := New[string, int](2)
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("empty cache returned a value")
+	}
+	c.Put("a", 1)
+	c.Put("b", 2)
+	if v, ok := c.Get("a"); !ok || v != 1 {
+		t.Fatalf("Get(a) = %v, %v", v, ok)
+	}
+	if hits, misses := c.Hits(), c.Misses(); hits != 1 || misses != 1 {
+		t.Errorf("counters = %d hits / %d misses, want 1/1", hits, misses)
+	}
+}
+
+func TestEvictionOrder(t *testing.T) {
+	c := New[string, int](2)
+	c.Put("a", 1)
+	c.Put("b", 2)
+	c.Get("a")    // refresh a; b is now LRU
+	c.Put("c", 3) // evicts b
+	if _, ok := c.Get("b"); ok {
+		t.Error("b should have been evicted")
+	}
+	if v, ok := c.Get("a"); !ok || v != 1 {
+		t.Error("a should have survived (it was refreshed)")
+	}
+	if v, ok := c.Get("c"); !ok || v != 3 {
+		t.Error("c should be present")
+	}
+	if c.Len() != 2 {
+		t.Errorf("Len = %d, want 2", c.Len())
+	}
+}
+
+func TestPutUpdatesExisting(t *testing.T) {
+	c := New[string, int](2)
+	c.Put("a", 1)
+	c.Put("a", 9)
+	if v, _ := c.Get("a"); v != 9 {
+		t.Errorf("updated value = %d, want 9", v)
+	}
+	if c.Len() != 1 {
+		t.Errorf("Len = %d, want 1", c.Len())
+	}
+}
+
+func TestTinyCapacity(t *testing.T) {
+	c := New[int, int](0) // raised to 1
+	if c.Cap() != 1 {
+		t.Fatalf("Cap = %d, want 1", c.Cap())
+	}
+	c.Put(1, 1)
+	c.Put(2, 2)
+	if _, ok := c.Get(1); ok {
+		t.Error("capacity-1 cache kept two entries")
+	}
+}
+
+func TestReset(t *testing.T) {
+	c := New[string, int](4)
+	c.Put("a", 1)
+	c.Get("a")
+	c.Get("zzz")
+	c.Reset()
+	if c.Len() != 0 || c.Hits() != 0 || c.Misses() != 0 {
+		t.Errorf("after Reset: len=%d hits=%d misses=%d, want all 0", c.Len(), c.Hits(), c.Misses())
+	}
+}
+
+// TestConcurrentAccess hammers the cache from many goroutines; run under
+// -race this validates the locking discipline.
+func TestConcurrentAccess(t *testing.T) {
+	c := New[int, int](64)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				k := (g*7 + i) % 100
+				if v, ok := c.Get(k); ok && v != k*10 {
+					panic(fmt.Sprintf("key %d holds %d, want %d", k, v, k*10))
+				}
+				c.Put(k, k*10)
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Len() > 64 {
+		t.Errorf("cache exceeded capacity: %d > 64", c.Len())
+	}
+}

@@ -1,0 +1,83 @@
+// Package parallel provides a tiny bounded fan-out helper for the
+// embarrassingly-parallel loops in the bound search and the experiment
+// drivers (grid sweeps, Monte-Carlo trials, table cells).
+//
+// The design deliberately avoids a shared global worker pool: each call
+// spawns its own bounded set of workers that pull indices from an atomic
+// counter, so nested calls (a parallel grid inside a parallel probe) cannot
+// deadlock — they just multiply up to workers^2 goroutines, which is
+// harmless at the sizes involved. On a single-CPU host every call runs
+// inline with zero goroutine or channel overhead, keeping microbenchmarks
+// honest.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers is the bound on concurrent workers per call. It defaults to
+// GOMAXPROCS and is a variable only so tests can exercise the spawn path on
+// single-CPU machines.
+var Workers = runtime.GOMAXPROCS(0)
+
+// For runs fn(i) for every i in [0, n), fanning across at most Workers
+// goroutines. It returns when all iterations complete.
+func For(n int, fn func(i int)) {
+	_ = ForErr(n, func(i int) error {
+		fn(i)
+		return nil
+	})
+}
+
+// ForErr runs fn(i) for every i in [0, n) and returns the error of the
+// lowest iteration index that failed (deterministic regardless of
+// scheduling). All iterations run even when one fails: fn is assumed cheap
+// enough that cancellation machinery would cost more than it saves.
+func ForErr(n int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	workers := Workers
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		var firstErr error
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+		return firstErr
+	}
+	var (
+		next    atomic.Int64
+		wg      sync.WaitGroup
+		mu      sync.Mutex
+		errIdx  = n
+		firstEr error
+	)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				if err := fn(i); err != nil {
+					mu.Lock()
+					if i < errIdx {
+						errIdx, firstEr = i, err
+					}
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return firstEr
+}

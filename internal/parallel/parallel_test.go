@@ -1,0 +1,72 @@
+package parallel
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+)
+
+func withWorkers(t *testing.T, n int) {
+	t.Helper()
+	old := Workers
+	Workers = n
+	t.Cleanup(func() { Workers = old })
+}
+
+func TestForCoversAllIndices(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		withWorkers(t, workers)
+		seen := make([]atomic.Int32, 100)
+		For(100, func(i int) { seen[i].Add(1) })
+		for i := range seen {
+			if got := seen[i].Load(); got != 1 {
+				t.Fatalf("workers=%d: index %d visited %d times", workers, i, got)
+			}
+		}
+	}
+}
+
+func TestForErrReturnsLowestIndexError(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		withWorkers(t, workers)
+		errA, errB := errors.New("a"), errors.New("b")
+		err := ForErr(50, func(i int) error {
+			switch i {
+			case 7:
+				return errB
+			case 3:
+				return errA
+			}
+			return nil
+		})
+		if err != errA {
+			t.Fatalf("workers=%d: err = %v, want the error from the lowest failing index", workers, err)
+		}
+	}
+}
+
+func TestForErrNilOnSuccess(t *testing.T) {
+	if err := ForErr(10, func(int) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestForEmptyAndNegative(t *testing.T) {
+	called := false
+	For(0, func(int) { called = true })
+	For(-5, func(int) { called = true })
+	if called {
+		t.Fatal("fn called for empty range")
+	}
+}
+
+func TestNestedCallsDoNotDeadlock(t *testing.T) {
+	withWorkers(t, 4)
+	var total atomic.Int32
+	For(8, func(int) {
+		For(8, func(int) { total.Add(1) })
+	})
+	if total.Load() != 64 {
+		t.Fatalf("nested total = %d, want 64", total.Load())
+	}
+}

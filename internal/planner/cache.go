@@ -1,0 +1,150 @@
+// Package planner provides a cached front to the sample-size planner: an
+// LRU keyed by the canonical condition formula plus every parameter that
+// can change the answer. Plans are pure functions of their inputs, so a
+// CI server fielding heavy plan-query traffic (every commit hook asks for
+// the current plan, dashboards poll it, and ad-hoc queries sweep parameter
+// grids) should compute each distinct plan exactly once.
+//
+// Cached plans are shared pointers: callers must treat them as immutable,
+// which every caller in this codebase already does (plans are pure
+// read-only reports).
+package planner
+
+import (
+	"github.com/easeml/ci/internal/adaptivity"
+	"github.com/easeml/ci/internal/condlang"
+	"github.com/easeml/ci/internal/core"
+	"github.com/easeml/ci/internal/estimator"
+	"github.com/easeml/ci/internal/interval"
+	"github.com/easeml/ci/internal/lru"
+	"github.com/easeml/ci/internal/patterns"
+	"github.com/easeml/ci/internal/script"
+)
+
+// planKey identifies one core.PlanForConfig computation: the canonical
+// formula text plus every knob of the config and planner options.
+type planKey struct {
+	formula     string
+	delta       float64
+	steps       int
+	mode        interval.Mode
+	adaptivity  script.AdaptivityKind
+	disableOpts bool
+	budget      patterns.DeltaBudget
+	variance    patterns.VarianceBound
+	disagree    float64
+	coarseFine  float64
+}
+
+// sizeKey identifies one estimator.SampleSize computation.
+type sizeKey struct {
+	formula    string
+	delta      float64
+	steps      int
+	adaptivity adaptivity.Kind
+	strategy   estimator.Strategy
+	split      estimator.Split
+}
+
+// Cache memoizes planner and estimator results. Safe for concurrent use.
+type Cache struct {
+	plans *lru.Cache[planKey, *core.Plan]
+	sizes *lru.Cache[sizeKey, *estimator.Plan]
+}
+
+// Stats is a point-in-time snapshot of the cache counters, shaped for the
+// server's observability endpoint.
+type Stats struct {
+	PlanHits    uint64 `json:"plan_hits"`
+	PlanMisses  uint64 `json:"plan_misses"`
+	PlanEntries int    `json:"plan_entries"`
+	SizeHits    uint64 `json:"size_hits"`
+	SizeMisses  uint64 `json:"size_misses"`
+	SizeEntries int    `json:"size_entries"`
+}
+
+// New returns a cache holding at most capacity entries per result kind.
+func New(capacity int) *Cache {
+	return &Cache{
+		plans: lru.New[planKey, *core.Plan](capacity),
+		sizes: lru.New[sizeKey, *estimator.Plan](capacity),
+	}
+}
+
+// Default is the shared process-wide cache the server and CLIs plan
+// through. 4096 entries x two small structs is well under a megabyte.
+var Default = New(4096)
+
+// PlanForConfig is a caching core.PlanForConfig. Errors are not cached:
+// invalid requests are cheap to reject again.
+func (c *Cache) PlanForConfig(cfg *script.Config, opts core.Options) (*core.Plan, error) {
+	if cfg == nil {
+		return core.PlanForConfig(cfg, opts) // surface core's error
+	}
+	key := planKey{
+		formula:     cfg.Condition.String(),
+		delta:       cfg.Delta(),
+		steps:       cfg.Steps,
+		mode:        cfg.Mode,
+		adaptivity:  cfg.Adaptivity.Kind,
+		disableOpts: opts.DisableOptimizations,
+		budget:      opts.Budget,
+		variance:    opts.Variance,
+		disagree:    opts.AssumedDisagreement,
+		coarseFine:  opts.CoarseFineThreshold,
+	}
+	if p, ok := c.plans.Get(key); ok {
+		// Shallow-copy with the caller's config: the key canonicalizes
+		// away presentation details (original condition spelling, the
+		// adaptivity routing email), so the cached plan's Config may
+		// belong to a different request and must not leak across.
+		cp := *p
+		cp.Config = cfg
+		return &cp, nil
+	}
+	p, err := core.PlanForConfig(cfg, opts)
+	if err != nil {
+		return nil, err
+	}
+	c.plans.Put(key, p)
+	return p, nil
+}
+
+// SampleSize is a caching estimator.SampleSize.
+func (c *Cache) SampleSize(f condlang.Formula, delta float64, opts estimator.Options) (*estimator.Plan, error) {
+	key := sizeKey{
+		formula:    f.String(),
+		delta:      delta,
+		steps:      opts.Steps,
+		adaptivity: opts.Adaptivity,
+		strategy:   opts.Strategy,
+		split:      opts.Split,
+	}
+	if p, ok := c.sizes.Get(key); ok {
+		return p, nil
+	}
+	p, err := estimator.SampleSize(f, delta, opts)
+	if err != nil {
+		return nil, err
+	}
+	c.sizes.Put(key, p)
+	return p, nil
+}
+
+// Stats snapshots the hit/miss counters and sizes.
+func (c *Cache) Stats() Stats {
+	return Stats{
+		PlanHits:    c.plans.Hits(),
+		PlanMisses:  c.plans.Misses(),
+		PlanEntries: c.plans.Len(),
+		SizeHits:    c.sizes.Hits(),
+		SizeMisses:  c.sizes.Misses(),
+		SizeEntries: c.sizes.Len(),
+	}
+}
+
+// Reset empties both caches and zeroes their counters (test hook).
+func (c *Cache) Reset() {
+	c.plans.Reset()
+	c.sizes.Reset()
+}

@@ -1,0 +1,157 @@
+package planner
+
+import (
+	"sync"
+	"testing"
+
+	"github.com/easeml/ci/internal/adaptivity"
+	"github.com/easeml/ci/internal/condlang"
+	"github.com/easeml/ci/internal/core"
+	"github.com/easeml/ci/internal/estimator"
+	"github.com/easeml/ci/internal/interval"
+	"github.com/easeml/ci/internal/script"
+)
+
+func testConfig(t *testing.T, condition string) *script.Config {
+	t.Helper()
+	cfg, err := script.New(condition, 0.99, interval.FPFree,
+		script.Adaptivity{Kind: script.AdaptivityFull}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cfg
+}
+
+func TestPlanForConfigCachesIdenticalRequests(t *testing.T) {
+	c := New(16)
+	cfg := testConfig(t, "n - o > 0.02 +/- 0.05")
+	p1, err := c.PlanForConfig(cfg, core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := c.PlanForConfig(cfg, core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Hits return a shallow copy carrying the caller's config; the shared
+	// BaselinePlan pointer proves no recomputation happened.
+	if p1.BaselinePlan != p2.BaselinePlan {
+		t.Error("second identical request should reuse the cached plan")
+	}
+	st := c.Stats()
+	if st.PlanHits != 1 || st.PlanMisses != 1 || st.PlanEntries != 1 {
+		t.Errorf("stats = %+v, want 1 hit / 1 miss / 1 entry", st)
+	}
+	// An equivalent but distinct Config value (same canonical content)
+	// must also hit: the key is the canonical formula, not the pointer —
+	// and the returned plan must carry the *caller's* config, not the
+	// first requester's.
+	cfg2 := testConfig(t, "n - o > 0.02 +/- 0.05")
+	p3, err := c.PlanForConfig(cfg2, core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p3.BaselinePlan != p1.BaselinePlan {
+		t.Error("semantically identical config should hit the cache")
+	}
+	if p3.Config != cfg2 {
+		t.Error("cache hit leaked another request's Config")
+	}
+}
+
+func TestPlanForConfigDistinguishesParameters(t *testing.T) {
+	c := New(16)
+	cfg := testConfig(t, "n > 0.6 +/- 0.1")
+	if _, err := c.PlanForConfig(cfg, core.DefaultOptions()); err != nil {
+		t.Fatal(err)
+	}
+	// Different planner options -> different key.
+	opts := core.DefaultOptions()
+	opts.DisableOptimizations = true
+	if _, err := c.PlanForConfig(cfg, opts); err != nil {
+		t.Fatal(err)
+	}
+	// Different condition -> different key.
+	if _, err := c.PlanForConfig(testConfig(t, "n > 0.7 +/- 0.1"), core.DefaultOptions()); err != nil {
+		t.Fatal(err)
+	}
+	st := c.Stats()
+	if st.PlanHits != 0 || st.PlanMisses != 3 || st.PlanEntries != 3 {
+		t.Errorf("stats = %+v, want 0 hits / 3 misses / 3 entries", st)
+	}
+}
+
+func TestPlanForConfigDoesNotCacheErrors(t *testing.T) {
+	c := New(16)
+	if _, err := c.PlanForConfig(nil, core.DefaultOptions()); err == nil {
+		t.Fatal("nil config should error")
+	}
+	if st := c.Stats(); st.PlanEntries != 0 {
+		t.Errorf("error was cached: %+v", st)
+	}
+}
+
+func TestSampleSizeCaches(t *testing.T) {
+	c := New(16)
+	f, err := condlang.Parse("n - o > 0.02 +/- 0.05")
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := estimator.Options{Steps: 8, Adaptivity: adaptivity.Full, Strategy: estimator.PerVariable}
+	p1, err := c.SampleSize(f, 0.01, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := c.SampleSize(f, 0.01, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1 != p2 {
+		t.Error("second identical request should return the cached plan")
+	}
+	// Changing any option must miss.
+	opts.Split = estimator.SplitEven
+	if _, err := c.SampleSize(f, 0.01, opts); err != nil {
+		t.Fatal(err)
+	}
+	st := c.Stats()
+	if st.SizeHits != 1 || st.SizeMisses != 2 {
+		t.Errorf("stats = %+v, want 1 hit / 2 misses", st)
+	}
+}
+
+// TestConcurrentPlanAccess exercises the cache from many goroutines
+// (meaningful under -race): a server fields plan queries concurrently.
+func TestConcurrentPlanAccess(t *testing.T) {
+	c := New(8)
+	cfgs := []*script.Config{
+		testConfig(t, "n > 0.6 +/- 0.1"),
+		testConfig(t, "n - o > 0.02 +/- 0.05"),
+		testConfig(t, "d < 0.1 +/- 0.05"),
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				p, err := c.PlanForConfig(cfgs[(g+i)%len(cfgs)], core.DefaultOptions())
+				if err != nil {
+					panic(err)
+				}
+				if p.BaselinePlan == nil || p.BaselinePlan.N <= 0 {
+					panic("cached plan is malformed")
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	st := c.Stats()
+	if st.PlanMisses < uint64(len(cfgs)) {
+		t.Errorf("expected at least %d misses, got %+v", len(cfgs), st)
+	}
+	if st.PlanHits == 0 {
+		t.Error("expected cache hits under repeated concurrent queries")
+	}
+}

@@ -6,9 +6,14 @@
 //
 // Endpoints (JSON):
 //
-//	GET  /api/v1/plan     the labeling plan for the configured script
+//	GET  /api/v1/plan     the labeling plan; optional query parameters
+//	                      (condition, reliability, steps, adaptivity)
+//	                      override the configured script for ad-hoc plan
+//	                      queries — all plans are served through the LRU
+//	                      plan cache
 //	GET  /api/v1/status   testset generation/budget, active model, label cost
 //	GET  /api/v1/history  evaluation results so far
+//	GET  /api/v1/metrics  plan-cache and exact-bound-memo counters
 //	POST /api/v1/commit   {"model":..., "author":..., "message":..., "predictions":[...]}
 //	POST /api/v1/testset  {"labels":[...], "active_predictions":[...]}  (rotation)
 package server
@@ -18,22 +23,29 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 	"sync"
 
+	"github.com/easeml/ci/internal/bounds"
+	"github.com/easeml/ci/internal/core"
 	"github.com/easeml/ci/internal/data"
 	"github.com/easeml/ci/internal/engine"
 	"github.com/easeml/ci/internal/labeling"
 	"github.com/easeml/ci/internal/model"
+	"github.com/easeml/ci/internal/planner"
 	"github.com/easeml/ci/internal/script"
 )
 
 // Server wraps an engine behind an http.Handler. The engine is not
-// concurrency-safe; the server serializes all mutating requests.
+// concurrency-safe; the server serializes all mutating requests. Plan
+// queries are read-only and served through the plan cache without touching
+// the engine lock.
 type Server struct {
-	mu  sync.Mutex
-	eng *engine.Engine
-	cfg *script.Config
-	mux *http.ServeMux
+	mu    sync.Mutex
+	eng   *engine.Engine
+	cfg   *script.Config
+	mux   *http.ServeMux
+	plans *planner.Cache
 }
 
 // New builds a server around an existing engine and its script config.
@@ -41,10 +53,11 @@ func New(cfg *script.Config, eng *engine.Engine) (*Server, error) {
 	if cfg == nil || eng == nil {
 		return nil, fmt.Errorf("server: nil config or engine")
 	}
-	s := &Server{eng: eng, cfg: cfg, mux: http.NewServeMux()}
+	s := &Server{eng: eng, cfg: cfg, mux: http.NewServeMux(), plans: planner.Default}
 	s.mux.HandleFunc("/api/v1/plan", s.handlePlan)
 	s.mux.HandleFunc("/api/v1/status", s.handleStatus)
 	s.mux.HandleFunc("/api/v1/history", s.handleHistory)
+	s.mux.HandleFunc("/api/v1/metrics", s.handleMetrics)
 	s.mux.HandleFunc("/api/v1/commit", s.handleCommit)
 	s.mux.HandleFunc("/api/v1/testset", s.handleRotate)
 	return s, nil
@@ -121,18 +134,106 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, "GET only")
 		return
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	p := s.eng.Plan()
+	cfg, err := s.planQueryConfig(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	// Served through the plan cache: repeated identical queries — the
+	// common case, since every commit hook and dashboard asks for the
+	// active plan — cost one LRU lookup, not a bound search.
+	// Parameterless requests use the engine's own planner options, so the
+	// answer is exactly the plan the engine enforces (and hits the cache
+	// entry engine construction seeded); ad-hoc what-if queries use the
+	// paper defaults.
+	opts := core.DefaultOptions()
+	if cfg == s.cfg {
+		opts = s.eng.PlannerOptions()
+	}
+	p, err := s.plans.PlanForConfig(cfg, opts)
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, err.Error())
+		return
+	}
 	writeJSON(w, http.StatusOK, PlanResponse{
 		Kind:            p.Kind.String(),
-		Condition:       s.cfg.ConditionSrc,
-		Reliability:     s.cfg.Reliability,
-		Steps:           s.cfg.Steps,
+		Condition:       cfg.ConditionSrc,
+		Reliability:     cfg.Reliability,
+		Steps:           cfg.Steps,
 		BaselineLabels:  p.BaselinePlan.N,
 		LabeledN:        p.LabeledN,
 		UnlabeledN:      p.UnlabeledN,
 		PerCommitLabels: p.PerCommitLabels,
+	})
+}
+
+// planQueryConfig resolves the config a plan query asks about: the server's
+// own script, with any of condition/reliability/steps/adaptivity overridden
+// by query parameters.
+func (s *Server) planQueryConfig(r *http.Request) (*script.Config, error) {
+	q := r.URL.Query()
+	if len(q) == 0 {
+		return s.cfg, nil
+	}
+	condition := s.cfg.ConditionSrc
+	reliability := s.cfg.Reliability
+	steps := s.cfg.Steps
+	adapt := s.cfg.Adaptivity
+	if v := q.Get("condition"); v != "" {
+		condition = v
+	}
+	if v := q.Get("reliability"); v != "" {
+		f, err := strconv.ParseFloat(v, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad reliability %q: %v", v, err)
+		}
+		reliability = f
+	}
+	if v := q.Get("steps"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			return nil, fmt.Errorf("bad steps %q: %v", v, err)
+		}
+		steps = n
+	}
+	if v := q.Get("adaptivity"); v != "" {
+		switch v {
+		case "none":
+			adapt = script.Adaptivity{Kind: script.AdaptivityNone, Email: "plan-query@localhost"}
+		case "full":
+			adapt = script.Adaptivity{Kind: script.AdaptivityFull}
+		case "firstChange":
+			adapt = script.Adaptivity{Kind: script.AdaptivityFirstChange}
+		default:
+			return nil, fmt.Errorf("bad adaptivity %q (none | full | firstChange)", v)
+		}
+	}
+	return script.New(condition, reliability, s.cfg.Mode, adapt, steps)
+}
+
+// MetricsResponse exposes the serving-path cache counters.
+type MetricsResponse struct {
+	PlanCache planner.Stats `json:"plan_cache"`
+	// ExactMemo is the exact-bound worst-case memo backing tight-bound
+	// plans; Evals counts uncached grid searches process-wide.
+	ExactMemoHits   uint64 `json:"exact_memo_hits"`
+	ExactMemoMisses uint64 `json:"exact_memo_misses"`
+	ExactMemoLen    int    `json:"exact_memo_entries"`
+	ExactEvals      uint64 `json:"exact_evals"`
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	hits, misses, entries := bounds.ExactCacheStats()
+	writeJSON(w, http.StatusOK, MetricsResponse{
+		PlanCache:       s.plans.Stats(),
+		ExactMemoHits:   hits,
+		ExactMemoMisses: misses,
+		ExactMemoLen:    entries,
+		ExactEvals:      bounds.ExactProbeEvals(),
 	})
 }
 

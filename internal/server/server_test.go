@@ -262,3 +262,78 @@ func TestNewValidation(t *testing.T) {
 		t.Error("nil args should fail")
 	}
 }
+
+func TestPlanServedFromCache(t *testing.T) {
+	srv, _ := newTestServer(t, script.AdaptivityFull)
+	before := srv.plans.Stats()
+	rec, _ := doJSON(t, srv, http.MethodGet, "/api/v1/plan", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("first plan status = %d: %s", rec.Code, rec.Body.String())
+	}
+	mid := srv.plans.Stats()
+	rec2, _ := doJSON(t, srv, http.MethodGet, "/api/v1/plan", nil)
+	if rec2.Code != http.StatusOK {
+		t.Fatalf("second plan status = %d: %s", rec2.Code, rec2.Body.String())
+	}
+	after := srv.plans.Stats()
+	if after.PlanHits <= mid.PlanHits {
+		t.Errorf("second identical plan request did not hit the cache: before=%+v mid=%+v after=%+v",
+			before, mid, after)
+	}
+	if !bytes.Equal(rec.Body.Bytes(), rec2.Body.Bytes()) {
+		t.Errorf("cached plan differs from computed plan:\n%s\n%s", rec.Body.String(), rec2.Body.String())
+	}
+}
+
+func TestPlanQueryParameters(t *testing.T) {
+	srv, _ := newTestServer(t, script.AdaptivityFull)
+	rec, _ := doJSON(t, srv, http.MethodGet,
+		"/api/v1/plan?steps=8&reliability=0.999&adaptivity=none", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d: %s", rec.Code, rec.Body.String())
+	}
+	var plan PlanResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &plan); err != nil {
+		t.Fatal(err)
+	}
+	if plan.Steps != 8 || plan.Reliability != 0.999 {
+		t.Errorf("overridden plan = %+v", plan)
+	}
+	// The configured plan must be untouched by ad-hoc queries.
+	rec, _ = doJSON(t, srv, http.MethodGet, "/api/v1/plan", nil)
+	var base PlanResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &base); err != nil {
+		t.Fatal(err)
+	}
+	if base.Steps != 3 {
+		t.Errorf("configured plan changed: %+v", base)
+	}
+	// Bad parameters are a client error.
+	for _, q := range []string{"steps=no", "reliability=x", "adaptivity=bogus", "condition=%21%21"} {
+		rec, _ = doJSON(t, srv, http.MethodGet, "/api/v1/plan?"+q, nil)
+		if rec.Code != http.StatusBadRequest && rec.Code != http.StatusUnprocessableEntity {
+			t.Errorf("query %q status = %d, want 4xx", q, rec.Code)
+		}
+	}
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	srv, _ := newTestServer(t, script.AdaptivityFull)
+	doJSON(t, srv, http.MethodGet, "/api/v1/plan", nil)
+	doJSON(t, srv, http.MethodGet, "/api/v1/plan", nil)
+	rec, _ := doJSON(t, srv, http.MethodGet, "/api/v1/metrics", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("metrics status = %d: %s", rec.Code, rec.Body.String())
+	}
+	var m MetricsResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &m); err != nil {
+		t.Fatal(err)
+	}
+	if m.PlanCache.PlanHits == 0 {
+		t.Errorf("metrics should report plan-cache hits after repeated plan requests: %+v", m)
+	}
+	rec, _ = doJSON(t, srv, http.MethodPost, "/api/v1/metrics", nil)
+	if rec.Code != http.StatusMethodNotAllowed {
+		t.Errorf("POST metrics status = %d", rec.Code)
+	}
+}

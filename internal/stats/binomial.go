@@ -5,17 +5,25 @@ import "math"
 // Binomial distribution functions, computed in log space for numerical
 // stability at the testset sizes this system works with (n up to ~10^6).
 // They back the exact tail-inversion bounds of Section 4.3 of the paper.
+//
+// The tail sums are the hot path of the tight-bound search, so they avoid
+// per-term transcendental calls: ln C(n,k) comes from the cached
+// log-factorial table (logfact.go), and BinomialCDF walks the tail with the
+// multiplicative pmf recurrence anchored at the distribution mode, where a
+// single log-domain seed is enough to keep every subsequent term a plain
+// multiply. Terms decay monotonically away from the mode, which yields a
+// rigorous truncation rule that stops the walk once the remaining geometric
+// tail cannot move the sum by one part in 10^17 — far below the 1e-12
+// equivalence tolerance the tests enforce against the straightforward
+// log-sum-exp evaluation.
 
-// LogBinomialCoeff returns ln C(n, k) using the log-gamma function.
+// LogBinomialCoeff returns ln C(n, k) using the cached log-factorial table.
 // It returns -Inf for k < 0 or k > n.
 func LogBinomialCoeff(n, k int) float64 {
 	if k < 0 || k > n {
 		return math.Inf(-1)
 	}
-	lgN, _ := math.Lgamma(float64(n) + 1)
-	lgK, _ := math.Lgamma(float64(k) + 1)
-	lgNK, _ := math.Lgamma(float64(n-k) + 1)
-	return lgN - lgK - lgNK
+	return LogFactorial(n) - LogFactorial(k) - LogFactorial(n-k)
 }
 
 // BinomialLogPMF returns ln Pr[X = k] for X ~ Binomial(n, p).
@@ -47,9 +55,15 @@ func BinomialPMF(k, n int, p float64) float64 {
 
 // BinomialCDF returns Pr[X <= k] for X ~ Binomial(n, p).
 //
-// The sum runs over whichever tail is shorter and uses the recurrence
-// pmf(k+1) = pmf(k) * (n-k)/(k+1) * p/(1-p) seeded from a log-space anchor,
-// so the cost is O(min(k, n-k)) with no catastrophic cancellation.
+// The sum runs over whichever tail holds the smaller probability mass —
+// [0, k] when k is below the mode, the complement of [k+1, n] otherwise —
+// anchored at the in-range term closest to the mode, so the cost is
+// O(sigma) = O(sqrt(n p (1-p))) rather than O(n): the walk stops as soon as
+// the remaining terms provably cannot affect the result. Branching on the
+// mode rather than on n/2 keeps the directly-summed side's mass at most
+// ~0.6, which eliminates the catastrophic cancellation the index-count rule
+// suffered for k between n/2 and the mode (where it formed 1 - (sum ~= 1)):
+// tiny tail probabilities now come out with full relative precision.
 func BinomialCDF(k, n int, p float64) float64 {
 	if k < 0 {
 		return 0
@@ -63,10 +77,10 @@ func BinomialCDF(k, n int, p float64) float64 {
 	if p >= 1 {
 		return 0
 	}
-	if k <= n/2 {
+	if k < int(math.Floor(float64(n+1)*p)) {
 		return binomialTailSum(0, k, n, p)
 	}
-	// Complement over the other (shorter) tail.
+	// Complement over the other (smaller-mass) tail.
 	return 1 - binomialTailSum(k+1, n, n, p)
 }
 
@@ -81,33 +95,69 @@ func BinomialSurvival(k, n int, p float64) float64 {
 	return 1 - BinomialCDF(k-1, n, p)
 }
 
-// binomialTailSum returns sum_{i=lo..hi} pmf(i, n, p). The recurrence
-// pmf(i+1) = pmf(i) * (n-i)/(i+1) * p/(1-p) is carried in log domain with a
-// streaming log-sum-exp accumulator: a linear-domain recurrence would anchor
-// at a term that can underflow to zero deep in a tail (e.g. k ~ 0.9n with
-// p = 0.999) and silently zero out the entire sum.
+// tailSumCutoff is the relative truncation threshold of the mode-anchored
+// walk: once the geometric bound on the unvisited remainder drops below
+// cutoff x (partial sum), the walk stops. 1e-17 is below one ulp of any
+// partial sum, so truncation is invisible at float64 precision.
+const tailSumCutoff = 1e-17
+
+// binomialTailSum returns sum_{i=lo..hi} pmf(i, n, p).
+//
+// The walk anchors at a = clamp(mode, lo, hi) where mode = floor((n+1)p) is
+// the integer maximizer of the pmf, seeds scale 1 there, and carries the
+// multiplicative recurrence outward in both directions:
+//
+//	down: pmf(i-1)/pmf(i) = i (1-p) / ((n-i+1) p)   <= 1 for i <= mode
+//	up:   pmf(i+1)/pmf(i) = (n-i) p / ((i+1)(1-p))  <= 1 for i >= mode
+//
+// Every scaled term is therefore <= 1 (no overflow) and the true answer is
+// exp(logpmf(a)) x (scaled sum), evaluated with a single log-domain seed.
+// Both ratio sequences are monotone in their walk direction, so once a ratio
+// r < 1 is seen the unvisited remainder is bounded by term x r/(1-r): the
+// rigorous early-exit used below.
 func binomialTailSum(lo, hi, n int, p float64) float64 {
 	if lo > hi {
 		return 0
 	}
-	logPQ := math.Log(p) - math.Log1p(-p)
-	logTerm := BinomialLogPMF(lo, n, p)
-	maxLog := logTerm
-	scaled := 1.0 // sum of exp(logTerm_i - maxLog)
-	for i := lo; i < hi; i++ {
-		logTerm += math.Log(float64(n-i)) - math.Log(float64(i+1)) + logPQ
-		if logTerm > maxLog {
-			scaled = scaled*math.Exp(maxLog-logTerm) + 1
-			maxLog = logTerm
-		} else {
-			scaled += math.Exp(logTerm - maxLog)
+	q := 1 - p
+	mode := int(math.Floor(float64(n+1) * p))
+	a := mode
+	if a < lo {
+		a = lo
+	}
+	if a > hi {
+		a = hi
+	}
+	logAnchor := BinomialLogPMF(a, n, p)
+	if math.IsInf(logAnchor, -1) {
+		return 0
+	}
+	sum := 1.0 // scaled pmf(a)
+	// Walk up from the anchor.
+	term := 1.0
+	for i := a; i < hi; i++ {
+		r := float64(n-i) * p / (float64(i+1) * q)
+		term *= r
+		sum += term
+		if r < 1 && term*r < tailSumCutoff*(1-r)*sum {
+			break
 		}
 	}
-	sum := math.Exp(maxLog) * scaled
-	if sum > 1 {
+	// Walk down from the anchor.
+	term = 1.0
+	for i := a; i > lo; i-- {
+		r := float64(i) * q / (float64(n-i+1) * p)
+		term *= r
+		sum += term
+		if r < 1 && term*r < tailSumCutoff*(1-r)*sum {
+			break
+		}
+	}
+	s := math.Exp(logAnchor) * sum
+	if s > 1 {
 		return 1
 	}
-	return sum
+	return s
 }
 
 // BinomialUpperConfidence returns the smallest mean p such that

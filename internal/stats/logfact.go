@@ -1,0 +1,98 @@
+package stats
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+)
+
+// Cached log-factorial table. Every binomial pmf/tail evaluation needs
+// ln(k!) for three indices; computing each with math.Lgamma costs ~50ns,
+// which dominates the exact-bound hot path (the tight-bound search evaluates
+// millions of pmf terms). The table turns each lookup into one slice index.
+//
+// The table is built with math.Lgamma itself, so a lookup returns the exact
+// same float64 the direct computation would — switching to the table cannot
+// perturb any downstream sample size.
+//
+// Concurrency: readers load an immutable snapshot through an atomic pointer
+// and never block. Growth happens under a mutex, copies the old prefix, and
+// publishes a strictly larger snapshot; concurrent growers serialize and
+// re-check. Indices at or above logFactCap bypass the table entirely so a
+// single absurd query cannot pin gigabytes of memory.
+
+const (
+	// logFactMinSize is the initial table size (covers small testsets
+	// without any growth churn).
+	logFactMinSize = 4096
+	// logFactCap bounds table memory at 32 MiB (4M entries x 8 bytes);
+	// sample sizes in this system top out well below that.
+	logFactCap = 1 << 22
+)
+
+var (
+	logFactTable atomic.Pointer[[]float64]
+	logFactMu    sync.Mutex
+)
+
+// LogFactorial returns ln(k!) (= Lgamma(k+1)) from the cached table,
+// growing it on demand. Out-of-range k falls back to Lgamma directly, so
+// the function is total over int.
+func LogFactorial(k int) float64 {
+	if k < 2 {
+		// 0! = 1! = 1. Negative k never occurs in-bounds callers; fall
+		// back to Lgamma's own domain handling for robustness.
+		if k >= 0 {
+			return 0
+		}
+		v, _ := math.Lgamma(float64(k) + 1)
+		return v
+	}
+	if k >= logFactCap {
+		v, _ := math.Lgamma(float64(k) + 1)
+		return v
+	}
+	if t := logFactTable.Load(); t != nil && k < len(*t) {
+		return (*t)[k]
+	}
+	return growLogFactorial(k)
+}
+
+// growLogFactorial extends the table to cover index k and returns ln(k!).
+func growLogFactorial(k int) float64 {
+	logFactMu.Lock()
+	defer logFactMu.Unlock()
+	var cur []float64
+	if t := logFactTable.Load(); t != nil {
+		cur = *t
+	}
+	if k < len(cur) { // another goroutine grew it first
+		return cur[k]
+	}
+	size := len(cur)
+	if size < logFactMinSize {
+		size = logFactMinSize
+	}
+	for size <= k {
+		size *= 2
+	}
+	if size > logFactCap {
+		size = logFactCap
+	}
+	next := make([]float64, size)
+	copy(next, cur)
+	for i := len(cur); i < size; i++ {
+		v, _ := math.Lgamma(float64(i) + 1)
+		next[i] = v
+	}
+	logFactTable.Store(&next)
+	return next[k]
+}
+
+// logFactTableLen reports the current table length (test hook).
+func logFactTableLen() int {
+	if t := logFactTable.Load(); t != nil {
+		return len(*t)
+	}
+	return 0
+}

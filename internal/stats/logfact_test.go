@@ -1,0 +1,73 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// TestLogFactorialMatchesLgamma demands bit-identical agreement with the
+// direct Lgamma computation: the table is built from Lgamma itself, so any
+// difference would mean the cache changes downstream sample sizes.
+func TestLogFactorialMatchesLgamma(t *testing.T) {
+	ks := []int{0, 1, 2, 3, 10, 100, 4095, 4096, 4097, 65536, 1 << 20}
+	for _, k := range ks {
+		want, _ := math.Lgamma(float64(k) + 1)
+		if got := LogFactorial(k); got != want {
+			t.Errorf("LogFactorial(%d) = %v, want %v (must be bit-identical)", k, got, want)
+		}
+	}
+}
+
+func TestLogFactorialBeyondCap(t *testing.T) {
+	k := logFactCap + 17
+	want, _ := math.Lgamma(float64(k) + 1)
+	if got := LogFactorial(k); got != want {
+		t.Errorf("LogFactorial(%d) beyond cap = %v, want %v", k, got, want)
+	}
+	if n := logFactTableLen(); n > logFactCap {
+		t.Errorf("table grew past cap: %d > %d", n, logFactCap)
+	}
+}
+
+func TestLogFactorialNegative(t *testing.T) {
+	// Lgamma has poles at non-positive integers; we only require no panic
+	// and agreement with the fallback.
+	want, _ := math.Lgamma(0) // k = -1 -> Lgamma(0) = +Inf
+	if got := LogFactorial(-1); got != want {
+		t.Errorf("LogFactorial(-1) = %v, want %v", got, want)
+	}
+}
+
+// TestLogFactorialConcurrentGrowth hammers the growable table from many
+// goroutines (meaningful under -race): readers must always see either a
+// complete snapshot or trigger a consistent growth.
+func TestLogFactorialConcurrentGrowth(t *testing.T) {
+	const goroutines = 16
+	const perG = 2000
+	var wg sync.WaitGroup
+	errs := make(chan string, goroutines)
+	for g := 0; g < goroutines; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g)))
+			for i := 0; i < perG; i++ {
+				k := rng.Intn(200000)
+				want, _ := math.Lgamma(float64(k) + 1)
+				if got := LogFactorial(k); got != want {
+					errs <- fmt.Sprintf("mismatch at k=%d", k)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Fatal(e)
+	}
+}
