@@ -1,11 +1,18 @@
 # Development targets for the ease.ml/ci reproduction.
 
+# bash + pipefail so a failing benchmark run can't be masked by the tee |
+# benchjson pipeline and still overwrite the tracked BENCH record.
+SHELL := /bin/bash
+.SHELLFLAGS := -o pipefail -c
+
 GO ?= go
-BENCH_OUT ?= BENCH_1.json
+BENCH_OUT ?= BENCH_2.json
 # The micro-benchmarks the perf trajectory tracks: the binomial-tail hot
 # path, the exact-bound ablation (warm = memo-served, cold = full search),
-# the estimator, the plan-cache hit path, and a full engine commit.
-BENCH_PATTERN = BenchmarkBinomialCDF$$|BenchmarkAblationTightBinomial$$|BenchmarkAblationTightBinomialCold$$|BenchmarkSampleSizeEstimator$$|BenchmarkPlanCacheHit$$|BenchmarkEngineCommit$$
+# the cold-search probe counts per bracket seed, the estimator, the
+# plan-cache hit path, the plan-cache contention pair (single mutex vs
+# sharded under >= 8 goroutines), and a full engine commit.
+BENCH_PATTERN = BenchmarkBinomialCDF$$|BenchmarkAblationTightBinomial$$|BenchmarkAblationTightBinomialCold$$|BenchmarkExactColdProbesNormalSeed$$|BenchmarkExactColdProbesHoeffdingSeed$$|BenchmarkSampleSizeEstimator$$|BenchmarkPlanCacheHit$$|BenchmarkLRUContentionSingle$$|BenchmarkLRUContentionSharded$$|BenchmarkEngineCommit$$
 
 .PHONY: all build test race vet bench clean
 

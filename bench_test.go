@@ -11,6 +11,8 @@ package ci_test
 // visible in benchmark logs.
 
 import (
+	"runtime"
+	"sync/atomic"
 	"testing"
 
 	"github.com/easeml/ci/internal/adaptivity"
@@ -23,6 +25,7 @@ import (
 	"github.com/easeml/ci/internal/experiments"
 	"github.com/easeml/ci/internal/interval"
 	"github.com/easeml/ci/internal/labeling"
+	"github.com/easeml/ci/internal/lru"
 	"github.com/easeml/ci/internal/model"
 	"github.com/easeml/ci/internal/patterns"
 	"github.com/easeml/ci/internal/planner"
@@ -241,6 +244,36 @@ func BenchmarkAblationTightBinomialCold(b *testing.B) {
 	}
 }
 
+// benchColdProbes times a cold exact-bound search under the given bracket
+// seed and reports how many uncached worst-case probes one search costs —
+// the number the normal-approximation seed exists to cut.
+func benchColdProbes(b *testing.B, seed bounds.BracketSeed) {
+	for i := 0; i < b.N; i++ {
+		bounds.ResetExactCache()
+		if _, err := bounds.ExactSampleSizeSeeded(0.05, 0.01, 0, 1, seed); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	bounds.ResetExactCache()
+	if _, err := bounds.ExactSampleSizeSeeded(0.05, 0.01, 0, 1, seed); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(float64(bounds.ExactProbeEvals()), "probes/search")
+}
+
+// BenchmarkExactColdProbesNormalSeed is the shipped configuration:
+// bracket seeded by the inverse-normal estimate.
+func BenchmarkExactColdProbesNormalSeed(b *testing.B) {
+	benchColdProbes(b, bounds.SeedNormal)
+}
+
+// BenchmarkExactColdProbesHoeffdingSeed is the ablation baseline: bracket
+// seeded at the two-sided Hoeffding size (the pre-seed behavior).
+func BenchmarkExactColdProbesHoeffdingSeed(b *testing.B) {
+	benchColdProbes(b, bounds.SeedHoeffding)
+}
+
 // --- Micro-benchmarks ----------------------------------------------------
 
 func BenchmarkParseCondition(b *testing.B) {
@@ -300,6 +333,59 @@ func BenchmarkPlannerDispatch(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// --- plan-cache contention ----------------------------------------------
+
+// kvCache is the Get/Put surface the single-mutex and sharded LRUs share.
+type kvCache interface {
+	Get(int) (int, bool)
+	Put(int, int)
+}
+
+// benchLRUContention hammers a cache with a mixed read-heavy workload
+// (3 Gets : 1 Put over 1024 keys) from at least 8 concurrent goroutines.
+// GOMAXPROCS is raised to 8 for the duration so the contention is real
+// even on small CI hosts: this is the serving profile of a plan-query
+// fleet, not a single-threaded microbenchmark.
+func benchLRUContention(b *testing.B, c kvCache) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(8))
+	for k := 0; k < 1024; k++ {
+		c.Put(k, k)
+	}
+	var goroutine atomic.Int64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		// Each goroutine walks its own deterministic key sequence.
+		x := uint64(goroutine.Add(1)) * 0x9e3779b97f4a7c15
+		for pb.Next() {
+			x = x*6364136223846793005 + 1442695040888963407
+			k := int(x>>32) & 1023
+			if x&3 == 0 {
+				c.Put(k, k)
+			} else {
+				c.Get(k)
+			}
+		}
+	})
+	// The -N name suffix reflects the harness's original GOMAXPROCS, not
+	// the contention level this benchmark actually ran at; record the
+	// truth alongside the timings.
+	b.ReportMetric(float64(goroutine.Load()), "goroutines")
+}
+
+// BenchmarkLRUContentionSingle is the pre-sharding baseline: every
+// Get/Put serializes on one mutex.
+func BenchmarkLRUContentionSingle(b *testing.B) {
+	benchLRUContention(b, lru.New[int, int](2048))
+}
+
+// BenchmarkLRUContentionSharded is the shipped plan-cache configuration:
+// 16-way sharded, per-shard mutex.
+func BenchmarkLRUContentionSharded(b *testing.B) {
+	benchLRUContention(b, lru.NewSharded[int, int](2048, func(k int) uint64 {
+		return lru.Mix64(uint64(k))
+	}))
 }
 
 func BenchmarkBinomialCDF(b *testing.B) {

@@ -9,16 +9,31 @@
 //	samplesize -script .travis.yml
 //	samplesize -condition "d < 0.1 +/- 0.01 /\ n - o > 0.02 +/- 0.01" \
 //	           -reliability 0.9999 -steps 32 -adaptivity none -mode fp-free
+//
+// Batch mode reads a JSON array of plan queries ({condition, reliability,
+// steps, adaptivity}, all fields optional) and answers them all, printing
+// a JSON results array to stdout. Planned locally, omitted fields default
+// to the other flags (or the -script config); planned remotely, they
+// default to the server's own configured script:
+//
+//	samplesize -batch queries.json                      # plan locally, fanned across the worker pool
+//	samplesize -batch queries.json -server http://host  # let a running CI server answer
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
 	"os"
 
 	ci "github.com/easeml/ci"
 	"github.com/easeml/ci/internal/core"
 	"github.com/easeml/ci/internal/labeling"
+	"github.com/easeml/ci/internal/parallel"
+	"github.com/easeml/ci/internal/server"
 )
 
 func main() {
@@ -33,8 +48,35 @@ func main() {
 		disagree    = flag.Float64("assumed-disagreement", 0.1, "planning-time bound on prediction difference between consecutive models (Pattern 2)")
 		secPerLabel = flag.Float64("seconds-per-label", 2, "labeling rate for the effort report")
 		cacheStats  = flag.Bool("cache-stats", false, "print plan-cache hit/miss counters after the report")
+		batchPath   = flag.String("batch", "", "path to a JSON array of plan queries (\"-\" for stdin); results go to stdout as JSON")
+		serverURL   = flag.String("server", "", "base URL of a running CI server to answer -batch queries (e.g. http://localhost:8080)")
 	)
 	flag.Parse()
+
+	if *batchPath != "" {
+		// For local batches -script supplies the defaults exactly as it
+		// overrides the inline flags in single-query mode; a remote batch
+		// is resolved against the server's config, so local defaults
+		// (script or flags) don't apply there.
+		if *serverURL == "" {
+			if err := applyScriptDefaults(*scriptPath, condition, reliability, steps, adaptFlag, modeFlag, email); err != nil {
+				fmt.Fprintln(os.Stderr, "samplesize:", err)
+				os.Exit(1)
+			}
+		}
+		if err := runBatch(*batchPath, *serverURL, *condition, *reliability, *steps, *adaptFlag, *modeFlag, *email, *disagree, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "samplesize:", err)
+			os.Exit(1)
+		}
+		// Local batches plan through this process's cache; a remote batch
+		// planned on the server, whose counters live at /api/v1/metrics.
+		if *cacheStats && *serverURL == "" {
+			st := ci.PlanCacheStats()
+			fmt.Fprintf(os.Stderr, "plan cache: %d hits / %d misses (%d plans cached)\n",
+				st.PlanHits, st.PlanMisses, st.PlanEntries)
+		}
+		return
+	}
 
 	cfg, err := loadConfig(*scriptPath, *condition, *reliability, *steps, *adaptFlag, *modeFlag, *email)
 	if err != nil {
@@ -84,6 +126,124 @@ func loadConfig(path, condition string, reliability float64, steps int, adaptFla
 		return nil, fmt.Errorf("adaptivity must be none, full, or firstChange, got %q", adaptFlag)
 	}
 	return ci.NewConfig(condition, reliability, mode, adapt, steps)
+}
+
+// applyScriptDefaults overwrites the flag values with the script's config
+// so batch queries default to it, matching single-query mode where -script
+// takes precedence over the inline flags. A missing path is a no-op.
+func applyScriptDefaults(scriptPath string, condition *string, reliability *float64, steps *int, adaptFlag, modeFlag, email *string) error {
+	if scriptPath == "" {
+		return nil
+	}
+	cfg, err := ci.ParseScriptFile(scriptPath)
+	if err != nil {
+		return err
+	}
+	*condition = cfg.ConditionSrc
+	*reliability = cfg.Reliability
+	*steps = cfg.Steps
+	switch cfg.Adaptivity.Kind {
+	case ci.AdaptivityNone:
+		*adaptFlag = "none"
+		*email = cfg.Adaptivity.Email
+	case ci.AdaptivityFull:
+		*adaptFlag = "full"
+	case ci.AdaptivityFirstChange:
+		*adaptFlag = "firstChange"
+	}
+	if cfg.Mode == ci.FNFree {
+		*modeFlag = "fn-free"
+	} else {
+		*modeFlag = "fp-free"
+	}
+	return nil
+}
+
+// runBatch answers a file of plan queries, either locally (fanned across
+// the worker pool, every plan flowing through the shared plan cache) or by
+// handing the whole batch to a running CI server. Output is the server
+// wire format either way, so dashboards can consume both transparently.
+func runBatch(path, serverURL, condition string, reliability float64, steps int, adaptFlag, modeFlag, email string, disagree float64, out io.Writer) error {
+	var src io.Reader = os.Stdin
+	if path != "-" {
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		src = f
+	}
+	var queries []server.PlanQuery
+	dec := json.NewDecoder(src)
+	// Mirror the server's contract: a typo'd field fails loudly instead
+	// of silently planning with the defaults.
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&queries); err != nil {
+		return fmt.Errorf("parsing %s: %v", path, err)
+	}
+	if len(queries) == 0 {
+		return fmt.Errorf("%s holds no queries", path)
+	}
+	if serverURL != "" {
+		return runBatchRemote(serverURL, queries, out)
+	}
+	opts := ci.DefaultPlannerOptions()
+	opts.AssumedDisagreement = disagree
+	results := make([]server.BatchPlanResult, len(queries))
+	parallel.For(len(queries), func(i int) {
+		q := queries[i]
+		cond := condition
+		if q.Condition != "" {
+			cond = q.Condition
+		}
+		rel := reliability
+		if q.Reliability != nil {
+			rel = *q.Reliability
+		}
+		st := steps
+		if q.Steps != nil {
+			st = *q.Steps
+		}
+		adapt := adaptFlag
+		if q.Adaptivity != "" {
+			adapt = q.Adaptivity
+		}
+		cfg, err := loadConfig("", cond, rel, st, adapt, modeFlag, email)
+		if err != nil {
+			results[i].Error = err.Error()
+			return
+		}
+		plan, err := ci.PlanForConfig(cfg, opts)
+		if err != nil {
+			results[i].Error = err.Error()
+			return
+		}
+		resp := server.NewPlanResponse(cfg, plan)
+		results[i].Plan = &resp
+	})
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	return enc.Encode(server.BatchPlanResponse{Results: results})
+}
+
+// runBatchRemote forwards the batch to a CI server's plan/batch endpoint
+// and streams its answer through.
+func runBatchRemote(serverURL string, queries []server.PlanQuery, out io.Writer) error {
+	var body bytes.Buffer
+	if err := json.NewEncoder(&body).Encode(server.BatchPlanRequest{Queries: queries}); err != nil {
+		return err
+	}
+	resp, err := http.Post(serverURL+"/api/v1/plan/batch", "application/json", &body)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return fmt.Errorf("server returned %s: %s", resp.Status, bytes.TrimSpace(msg))
+	}
+	_, err = io.Copy(out, resp.Body)
+	return err
 }
 
 func report(cfg *ci.Config, plan *ci.Plan, secPerLabel float64) {

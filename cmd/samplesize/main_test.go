@@ -1,11 +1,17 @@
 package main
 
 import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"testing"
 
 	ci "github.com/easeml/ci"
+	"github.com/easeml/ci/internal/model"
+	"github.com/easeml/ci/internal/server"
 )
 
 func TestLoadConfigInlineFlags(t *testing.T) {
@@ -72,4 +78,144 @@ func TestReportDoesNotPanic(t *testing.T) {
 		t.Fatal(err)
 	}
 	report(cfg, plan, 2) // exercises every branch with a pattern-1 plan
+}
+
+func writeQueriesFile(t *testing.T, doc string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "queries.json")
+	if err := os.WriteFile(path, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunBatchLocal(t *testing.T) {
+	path := writeQueriesFile(t, `[
+		{"condition": "n > 0.6 +/- 0.1"},
+		{"condition": "n > 0.6 +/- 0.1", "reliability": 0.999, "steps": 8, "adaptivity": "none"},
+		{"condition": "!!"},
+		{}
+	]`)
+	var out bytes.Buffer
+	if err := runBatch(path, "", "d < 0.1 +/- 0.05", 0.99, 4, "full", "fp-free", "a@b.c", 0.1, &out); err != nil {
+		t.Fatal(err)
+	}
+	var resp server.BatchPlanResponse
+	if err := json.Unmarshal(out.Bytes(), &resp); err != nil {
+		t.Fatalf("bad JSON output: %v: %s", err, out.String())
+	}
+	if len(resp.Results) != 4 {
+		t.Fatalf("got %d results, want 4", len(resp.Results))
+	}
+	if r := resp.Results[0]; r.Error != "" || r.Plan == nil || r.Plan.Steps != 4 || r.Plan.Reliability != 0.99 {
+		t.Errorf("result 0 = %+v (flag defaults should apply)", r)
+	}
+	if r := resp.Results[1]; r.Error != "" || r.Plan == nil || r.Plan.Steps != 8 || r.Plan.Reliability != 0.999 {
+		t.Errorf("result 1 = %+v", r)
+	}
+	if r := resp.Results[2]; r.Error == "" || r.Plan != nil {
+		t.Errorf("result 2 should fail to parse, got %+v", r)
+	}
+	if r := resp.Results[3]; r.Error != "" || r.Plan == nil || r.Plan.Condition != "d < 0.1 +/- 0.05" {
+		t.Errorf("result 3 = %+v (the -condition flag is the fallback)", r)
+	}
+}
+
+func TestRunBatchRemote(t *testing.T) {
+	labels := make([]int, 700)
+	for i := range labels {
+		labels[i] = i % 4
+	}
+	ds := &ci.Dataset{Name: "srv", Classes: 4}
+	for i, y := range labels {
+		ds.X = append(ds.X, []float64{float64(i)})
+		ds.Y = append(ds.Y, y)
+	}
+	cfg, err := ci.NewConfig("n > 0.6 +/- 0.1", 0.99, ci.FPFree, ci.Adaptivity{Kind: ci.AdaptivityFull}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	preds := make([]int, len(labels))
+	copy(preds, labels)
+	eng, err := ci.NewEngine(cfg, ds, ci.NewTruthOracle(ds.Y), ci.EngineOptions{
+		InitialModel: model.NewFixedPredictions("h0", preds),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := server.New(cfg, eng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	path := writeQueriesFile(t, `[{}, {"steps": 5}]`)
+	var out bytes.Buffer
+	if err := runBatch(path, ts.URL, "", 0.9999, 32, "full", "fp-free", "", 0.1, &out); err != nil {
+		t.Fatal(err)
+	}
+	var resp server.BatchPlanResponse
+	if err := json.Unmarshal(out.Bytes(), &resp); err != nil {
+		t.Fatalf("bad JSON output: %v: %s", err, out.String())
+	}
+	if len(resp.Results) != 2 {
+		t.Fatalf("got %d results, want 2", len(resp.Results))
+	}
+	// The parameterless query resolves against the *server's* config, not
+	// the local flags.
+	if r := resp.Results[0]; r.Error != "" || r.Plan == nil || r.Plan.Steps != 3 || r.Plan.Condition != "n > 0.6 +/- 0.1" {
+		t.Errorf("result 0 = %+v", r)
+	}
+	if r := resp.Results[1]; r.Error != "" || r.Plan == nil || r.Plan.Steps != 5 {
+		t.Errorf("result 1 = %+v", r)
+	}
+}
+
+func TestRunBatchErrors(t *testing.T) {
+	if err := runBatch(filepath.Join(t.TempDir(), "missing.json"), "", "", 0.99, 4, "full", "fp-free", "", 0.1, io.Discard); err == nil {
+		t.Error("missing file should fail")
+	}
+	if err := runBatch(writeQueriesFile(t, "[]"), "", "", 0.99, 4, "full", "fp-free", "", 0.1, io.Discard); err == nil {
+		t.Error("empty query list should fail")
+	}
+	if err := runBatch(writeQueriesFile(t, "{nope"), "", "", 0.99, 4, "full", "fp-free", "", 0.1, io.Discard); err == nil {
+		t.Error("malformed JSON should fail")
+	}
+	if err := runBatch(writeQueriesFile(t, `[{"relibility": 0.9999}]`), "", "n > 0.5 +/- 0.1", 0.99, 4, "full", "fp-free", "", 0.1, io.Discard); err == nil {
+		t.Error("typo'd field should fail instead of planning with the default")
+	}
+	if err := runBatch(writeQueriesFile(t, "[{}]"), "http://127.0.0.1:1", "", 0.99, 4, "full", "fp-free", "", 0.1, io.Discard); err == nil {
+		t.Error("unreachable server should fail")
+	}
+}
+
+func TestApplyScriptDefaults(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ci.yml")
+	doc := "ml:\n  - condition  : d < 0.1 +/- 0.01\n  - reliability: 0.999\n  - adaptivity : none -> qa@x.y\n  - steps      : 16\n  - mode       : fn-free\n"
+	if err := os.WriteFile(path, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cond, rel, steps := "", 0.9999, 32
+	adapt, mode, email := "full", "fp-free", "a@b.c"
+	if err := applyScriptDefaults(path, &cond, &rel, &steps, &adapt, &mode, &email); err != nil {
+		t.Fatal(err)
+	}
+	if cond != "d < 0.1 +/- 0.01" || rel != 0.999 || steps != 16 {
+		t.Errorf("defaults = %q, %v, %d", cond, rel, steps)
+	}
+	if mode != "fn-free" {
+		t.Errorf("mode = %q, want fn-free", mode)
+	}
+	// No script path leaves the flags untouched.
+	cond2 := "n > 0.5 +/- 0.1"
+	if err := applyScriptDefaults("", &cond2, &rel, &steps, &adapt, &mode, &email); err != nil {
+		t.Fatal(err)
+	}
+	if cond2 != "n > 0.5 +/- 0.1" {
+		t.Errorf("empty path changed condition to %q", cond2)
+	}
+	if err := applyScriptDefaults("/nonexistent.yml", &cond, &rel, &steps, &adapt, &mode, &email); err == nil {
+		t.Error("missing script should fail")
+	}
 }

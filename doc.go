@@ -24,15 +24,24 @@
 //
 // # Serving performance
 //
-// Plan computation is built to serve heavy query traffic. All planning
-// through PlanForConfig (and the engine and HTTP server on top of it) flows
-// through a shared LRU plan cache (internal/planner) keyed by the canonical
-// condition formula plus every parameter that can change the answer, with
-// hit/miss counters exposed via PlanCacheStats and the server's
-// /api/v1/metrics endpoint. Underneath, the exact "tight numerical" bound
-// of Section 4.3 runs on a fast engine (internal/bounds, internal/stats):
-// mode-anchored binomial tail walks over a cached log-factorial table, a
-// parallel worst-case grid search, and a memo over worst-case probes —
-// about 165x faster per tail evaluation and 29x per cold sample-size
-// search than the direct implementation, with byte-identical results.
+// Plan computation is built to serve heavy concurrent query traffic. All
+// planning through PlanForConfig (and the engine and HTTP server on top of
+// it) flows through a shared plan cache (internal/planner) keyed by the
+// canonical condition formula plus every parameter that can change the
+// answer. The cache — like the exact-bound memo under it — is a 16-way
+// sharded LRU (internal/lru), so parallel plan queries don't serialize on
+// a single mutex; the aggregated per-shard hit/miss counters are exposed
+// via PlanCacheStats and the server's /api/v1/metrics endpoint, and the
+// server's POST /api/v1/plan/batch endpoint (mirrored by the samplesize
+// CLI's -batch mode) answers whole dashboard sweeps in one request, fanned
+// across the worker pool.
+//
+// Underneath, the exact "tight numerical" bound of Section 4.3 runs on a
+// fast engine (internal/bounds, internal/stats): mode-anchored binomial
+// tail walks over a cached log-factorial table, a parallel worst-case grid
+// search, a memo over worst-case probes, and a sample-size search whose
+// bracket is seeded by an inverse-normal-CDF estimate of the tight bound —
+// about 165x faster per tail evaluation than the direct implementation and
+// roughly half the probes per cold search versus the Hoeffding-seeded
+// bracket, with byte-identical results.
 package ci

@@ -36,10 +36,15 @@ type worstKey struct {
 	eps, pLo, pHi float64
 }
 
+func hashWorstKey(k worstKey) uint64 {
+	return uint64(lru.NewKeyHash().I(k.n).F64(k.eps).F64(k.pLo).F64(k.pHi).Sum())
+}
+
 // worstCache memoizes ExactWorstCaseFailure. 1<<15 entries x ~50 bytes is
 // ~1.6 MB, enough to hold every probe of many concurrent sample-size
-// searches.
-var worstCache = lru.New[worstKey, float64](1 << 15)
+// searches; the cache is sharded so concurrent searches (every plan query
+// of a loaded server bottoms out here) don't serialize on one mutex.
+var worstCache = lru.NewSharded[worstKey, float64](1<<15, hashWorstKey)
 
 // worstEvals counts uncached worst-case evaluations (test/observability
 // hook for the memoization guarantees).
@@ -61,9 +66,13 @@ func ExactFailureProb(n int, p, epsilon float64) (float64, error) {
 	// |k/n - p| > eps  <=>  k < n(p-eps)  or  k > n(p+eps). Both cuts use
 	// strict inequalities: a k exactly on the boundary is not a failure,
 	// which ceil-1/floor+1 handle including the case where n(p±eps) is an
-	// integer.
-	loCut := int(math.Ceil(nf*(p-epsilon))) - 1  // largest k with k/n < p-eps
-	hiCut := int(math.Floor(nf*(p+epsilon))) + 1 // smallest k with k/n > p+eps
+	// integer. When n(p±eps) is mathematically an integer the two float
+	// roundings (p±eps, then the product) can land a few ULPs off it —
+	// e.g. 20*(0.3-0.15) = 3.0000000000000004 — which would shift the cut
+	// by one and mis-count the boundary lattice point, so values within a
+	// few ULPs of an integer are snapped onto it first.
+	loCut := int(math.Ceil(snapLattice(nf*(p-epsilon)))) - 1  // largest k with k/n < p-eps
+	hiCut := int(math.Floor(snapLattice(nf*(p+epsilon)))) + 1 // smallest k with k/n > p+eps
 	lower := stats.BinomialCDF(loCut, n, p)
 	upper := stats.BinomialSurvival(hiCut, n, p)
 	f := lower + upper
@@ -71,6 +80,23 @@ func ExactFailureProb(n int, p, epsilon float64) (float64, error) {
 		f = 1
 	}
 	return f, nil
+}
+
+// snapLattice rounds x to the nearest integer when it lies within a few
+// ULPs of one, compensating for the two float roundings in n*(p±eps); the
+// tolerance (8 ULPs relative, with an absolute floor near zero) is far
+// wider than the computation's error yet far narrower than the 1/n gap
+// between lattice points.
+func snapLattice(x float64) float64 {
+	r := math.Round(x)
+	if r == x {
+		return x
+	}
+	const ulp = 0x1p-52
+	if math.Abs(x-r) <= 8*ulp*math.Max(1, math.Abs(x)) {
+		return r
+	}
+	return x
 }
 
 // ExactWorstCaseFailure returns max over p in [pLo, pHi] of
@@ -172,19 +198,196 @@ const stabilizeWindow = 64
 // concurrently when the Hoeffding seed turns out to sit on a lattice ripple.
 const expandBatch = 3
 
+// BracketSeed selects how ExactSampleSizeSeeded brackets its binary
+// search before probing.
+type BracketSeed int
+
+const (
+	// SeedNormal brackets around an inverse-normal-CDF estimate of the
+	// tight bound, galloping out from it; the Hoeffding size remains the
+	// upper safety rail. This is the default: the estimate lands within a
+	// few percent of the answer and cuts cold-search probes roughly in
+	// half.
+	SeedNormal BracketSeed = iota
+	// SeedHoeffding is the pre-seed behavior: binary search over
+	// [1, HoeffdingSampleSizeTwoSided]. Kept as the ablation baseline for
+	// the probe-count benchmarks.
+	SeedHoeffding
+)
+
+// normalBracketSeed estimates the tight sample size from the central limit
+// theorem: the empirical mean of n Bernoulli(p) draws is approximately
+// N(p, p(1-p)/n), so the two-sided failure probability is about
+// 2(1 - Phi(eps sqrt(n)/sigma)) and meeting delta needs
+// n ≈ (z_{1-delta/2} sigma / eps)^2, with sigma^2 the worst-case variance
+// over the mean interval. The estimate is only a bracket seed — the search
+// still proves its answer with exact probes — so a skewed tail (tiny n,
+// extreme p) costs extra probes, never correctness.
+func normalBracketSeed(epsilon, delta, pLo, pHi float64) int {
+	sigma2 := pLo * (1 - pLo)
+	if v := pHi * (1 - pHi); v > sigma2 {
+		sigma2 = v
+	}
+	if pLo <= 0.5 && 0.5 <= pHi {
+		sigma2 = 0.25
+	}
+	z := stats.NormalQuantile(1 - delta/2)
+	n := z * z * sigma2 / (epsilon * epsilon)
+	if math.IsNaN(n) || n < 1 {
+		return 1
+	}
+	if n > searchLimit {
+		return searchLimit
+	}
+	return int(math.Ceil(n))
+}
+
+// expandBracket grows the search bracket past start (a known-bad size),
+// probing batches of geometrically spaced candidates concurrently. It
+// returns the tightened bracket: lo is one past the largest size known to
+// fail, hi the smallest size found to satisfy the bound. Candidates are
+// capped at searchLimit; if the bound still fails there, the search has
+// diverged.
+func expandBracket(ok func(int) (bool, error), start int) (lo, hi int, err error) {
+	lo, hi = start+1, start
+	for {
+		cands := make([]int, 0, expandBatch)
+		for c := hi; len(cands) < expandBatch; {
+			c = c + c/4 + 1
+			if c > searchLimit {
+				// Clamp the last candidate to searchLimit itself rather
+				// than skipping the sizes just below it.
+				if hi < searchLimit && (len(cands) == 0 || cands[len(cands)-1] < searchLimit) {
+					cands = append(cands, searchLimit)
+				}
+				break
+			}
+			cands = append(cands, c)
+		}
+		if len(cands) == 0 {
+			return 0, 0, fmt.Errorf("bounds: exact sample size search diverged (no candidate below %d)", searchLimit)
+		}
+		goods := make([]bool, len(cands))
+		err := parallel.ForErr(len(cands), func(i int) error {
+			g, err := ok(cands[i])
+			goods[i] = g
+			return err
+		})
+		if err != nil {
+			return 0, 0, err
+		}
+		for i, g := range goods {
+			if g {
+				// Everything before the first good candidate is known bad.
+				if i > 0 {
+					lo = cands[i-1] + 1
+				}
+				return lo, cands[i], nil
+			}
+		}
+		hi = cands[len(cands)-1]
+		lo = hi + 1
+		if hi >= searchLimit {
+			return 0, 0, fmt.Errorf("bounds: exact sample size search diverged (bound still fails at %d)", searchLimit)
+		}
+	}
+}
+
+// gallopDivisors are the successive step sizes (position/divisor) the
+// seeded bracket gallop takes away from the normal estimate: a tight first
+// step for the common case where the estimate is within a couple percent
+// of the answer, then exponentially coarser ones.
+var gallopDivisors = []int{32, 16, 8, 4, 2, 1}
+
+// bracketAround turns the normal-approximation estimate est into a binary
+// search bracket [lo, hi] with hi known to satisfy ok and lo-1 known (or
+// trivially assumed, at lo = 1) to fail, galloping outward from est with
+// geometrically growing steps. upper — the two-sided Hoeffding size — is
+// the safety rail: if the gallop climbs past it without success the search
+// falls back to the rail and, failing even there, to bracket expansion
+// beyond it.
+func bracketAround(ok func(int) (bool, error), est, upper int) (lo, hi int, err error) {
+	good, err := ok(est)
+	if err != nil {
+		return 0, 0, err
+	}
+	if good {
+		// Estimate satisfies the bound; gallop down to bracket the answer
+		// from below.
+		lo, hi = 1, est
+		for _, div := range gallopDivisors {
+			c := hi - hi/div - 2
+			if c < lo {
+				c = lo
+			}
+			if c >= hi {
+				break
+			}
+			g, err := ok(c)
+			if err != nil {
+				return 0, 0, err
+			}
+			if !g {
+				lo = c + 1
+				break
+			}
+			hi = c
+			if hi == 1 {
+				break
+			}
+		}
+		return lo, hi, nil
+	}
+	// Estimate falls short; gallop up toward the Hoeffding rail.
+	lo = est + 1
+	c := est
+	for _, div := range gallopDivisors {
+		c = c + c/div + 2
+		if c >= upper {
+			break
+		}
+		g, err := ok(c)
+		if err != nil {
+			return 0, 0, err
+		}
+		if g {
+			return lo, c, nil
+		}
+		lo = c + 1
+	}
+	good, err = ok(upper)
+	if err != nil {
+		return 0, 0, err
+	}
+	if good {
+		return lo, upper, nil
+	}
+	return expandBracket(ok, upper)
+}
+
 // ExactSampleSize returns the smallest n such that the exact two-sided
 // failure probability of the empirical mean is at most delta for every true
 // mean in [pLo, pHi]. Passing the full interval [0, 1] reproduces the
 // assumption-free tight bound; narrowing it (e.g. [0.9, 1] for the
 // "n > 0.9" pattern of Section 4.2) yields the variance-adaptive savings.
+func ExactSampleSize(epsilon, delta, pLo, pHi float64) (int, error) {
+	return ExactSampleSizeSeeded(epsilon, delta, pLo, pHi, SeedNormal)
+}
+
+// ExactSampleSizeSeeded is ExactSampleSize with an explicit bracket seed.
+// The seed decides where the first probes land and therefore how many are
+// needed; because the stabilization pass scans forward from the bracket's
+// answer to the first two consecutive successes, both seeds agree wherever
+// the failure curve's ripples are local (every case observed in practice —
+// the regression table pins them), though a pathological curve could in
+// principle part them.
 //
 // The worst-case failure is not exactly monotone in n (lattice effects), so
-// after an exponential bracket and binary search the result is nudged
-// forward past any local non-monotonicity. Probes flow through the
-// worst-case memo, so the stabilization pass re-checks the binary-search
-// answer for free and repeated searches at the same (epsilon, delta) are
-// near-instant.
-func ExactSampleSize(epsilon, delta, pLo, pHi float64) (int, error) {
+// after bracketing and binary search the result is nudged forward past any
+// local non-monotonicity. Probes flow through the worst-case memo, so the
+// stabilization pass re-checks the binary-search answer for free and
+// repeated searches at the same (epsilon, delta) are near-instant.
+func ExactSampleSizeSeeded(epsilon, delta, pLo, pHi float64, seed BracketSeed) (int, error) {
 	if err := checkREpsDelta(1, epsilon, delta); err != nil {
 		return 0, err
 	}
@@ -195,53 +398,28 @@ func ExactSampleSize(epsilon, delta, pLo, pHi float64) (int, error) {
 		w, err := ExactWorstCaseFailure(n, epsilon, pLo, pHi)
 		return w <= delta, err
 	}
-	// Exponential bracket, seeded at the two-sided Hoeffding size (the
-	// exact bound is never worse than two-sided Hoeffding).
+	// The two-sided Hoeffding size is the upper safety rail: the exact
+	// bound is never worse than it (up to lattice ripple, which the
+	// expansion below absorbs).
 	upper, err := HoeffdingSampleSizeTwoSided(1, epsilon, delta)
 	if err != nil {
 		return 0, err
 	}
-	lo, hi := 1, upper
-	if good, err := ok(hi); err != nil {
-		return 0, err
-	} else if !good {
-		// Lattice ripple at the Hoeffding size; expand conservatively,
-		// probing a small batch of candidates concurrently and taking the
-		// first (smallest) that satisfies the bound.
-		for {
-			cands := make([]int, 0, expandBatch)
-			for c := hi; len(cands) < expandBatch && c <= searchLimit; {
-				c = c + c/4 + 1
-				cands = append(cands, c)
-			}
-			if len(cands) == 0 {
-				return 0, fmt.Errorf("bounds: exact sample size search diverged (epsilon=%v delta=%v)", epsilon, delta)
-			}
-			goods := make([]bool, len(cands))
-			err := parallel.ForErr(len(cands), func(i int) error {
-				g, err := ok(cands[i])
-				goods[i] = g
-				return err
-			})
-			if err != nil {
-				return 0, err
-			}
-			hi = cands[len(cands)-1]
-			found := false
-			for i, g := range goods {
-				if g {
-					hi = cands[i]
-					found = true
-					break
-				}
-			}
-			if found {
-				break
-			}
-			if hi > searchLimit {
-				return 0, fmt.Errorf("bounds: exact sample size search diverged (epsilon=%v delta=%v)", epsilon, delta)
-			}
+	var lo, hi int
+	est := normalBracketSeed(epsilon, delta, pLo, pHi)
+	if seed == SeedNormal && est < upper {
+		lo, hi, err = bracketAround(ok, est, upper)
+	} else {
+		lo, hi = 1, upper
+		if good, okErr := ok(hi); okErr != nil {
+			err = okErr
+		} else if !good {
+			// Lattice ripple at the Hoeffding size; expand conservatively.
+			lo, hi, err = expandBracket(ok, hi)
 		}
+	}
+	if err != nil {
+		return 0, fmt.Errorf("%w (epsilon=%v delta=%v)", err, epsilon, delta)
 	}
 	for lo < hi {
 		mid := lo + (hi-lo)/2

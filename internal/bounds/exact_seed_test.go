@@ -1,0 +1,249 @@
+package bounds
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"github.com/easeml/ci/internal/parallel"
+)
+
+// forceParallel makes the worker pool spawn real goroutines even on a
+// single-CPU host, so -race exercises the concurrent probe path.
+func forceParallel(t *testing.T) {
+	t.Helper()
+	old := parallel.Workers
+	parallel.Workers = 4
+	t.Cleanup(func() { parallel.Workers = old })
+}
+
+// seedCases is the regression table both bracket seeds must agree on (the
+// pinned sizes are in exact_equiv_test.go).
+var seedCases = []struct {
+	eps, delta, pLo, pHi float64
+}{
+	{0.05, 0.01, 0, 1},
+	{0.05, 0.001, 0, 1},
+	{0.1, 0.01, 0, 1},
+	{0.025, 0.05, 0, 1},
+	{0.02, 0.001, 0, 1},
+	{0.05, 0.01, 0.9, 1},
+}
+
+// TestSeedsAgree demands the normal-approximation seed return exactly the
+// sizes the Hoeffding seed does: the seed may only move the probes, never
+// the answer.
+func TestSeedsAgree(t *testing.T) {
+	for _, c := range seedCases {
+		ResetExactCache()
+		nh, err := ExactSampleSizeSeeded(c.eps, c.delta, c.pLo, c.pHi, SeedHoeffding)
+		if err != nil {
+			t.Fatalf("hoeffding seed (%v, %v, %v, %v): %v", c.eps, c.delta, c.pLo, c.pHi, err)
+		}
+		ResetExactCache()
+		nn, err := ExactSampleSizeSeeded(c.eps, c.delta, c.pLo, c.pHi, SeedNormal)
+		if err != nil {
+			t.Fatalf("normal seed (%v, %v, %v, %v): %v", c.eps, c.delta, c.pLo, c.pHi, err)
+		}
+		if nh != nn {
+			t.Errorf("seeds disagree at (%v, %v, %v, %v): hoeffding %d, normal %d",
+				c.eps, c.delta, c.pLo, c.pHi, nh, nn)
+		}
+	}
+}
+
+// TestNormalSeedReducesProbes is the ExactProbeEvals delta test for the
+// bracket seed: a cold search from the normal-approximation seed must cost
+// strictly fewer uncached worst-case evaluations than the same search from
+// the Hoeffding seed, and substantially fewer in aggregate.
+func TestNormalSeedReducesProbes(t *testing.T) {
+	var totalH, totalN uint64
+	for _, c := range seedCases {
+		ResetExactCache()
+		if _, err := ExactSampleSizeSeeded(c.eps, c.delta, c.pLo, c.pHi, SeedHoeffding); err != nil {
+			t.Fatal(err)
+		}
+		ph := ExactProbeEvals()
+		ResetExactCache()
+		if _, err := ExactSampleSizeSeeded(c.eps, c.delta, c.pLo, c.pHi, SeedNormal); err != nil {
+			t.Fatal(err)
+		}
+		pn := ExactProbeEvals()
+		t.Logf("(%v, %v, [%v,%v]): hoeffding %d probes, normal %d", c.eps, c.delta, c.pLo, c.pHi, ph, pn)
+		if pn >= ph {
+			t.Errorf("normal seed used %d probes at (%v, %v, [%v,%v]), hoeffding %d; want strictly fewer",
+				pn, c.eps, c.delta, c.pLo, c.pHi, ph)
+		}
+		totalH += ph
+		totalN += pn
+	}
+	// "Roughly half" across the table: demand at least a 25% aggregate cut
+	// so the guarantee has teeth without being brittle to gallop tweaks.
+	if float64(totalN) > 0.75*float64(totalH) {
+		t.Errorf("normal seed used %d total probes vs hoeffding %d; want <= 75%%", totalN, totalH)
+	}
+	ResetExactCache()
+}
+
+func TestNormalBracketSeedEstimate(t *testing.T) {
+	// z_{0.995} = 2.5758..., sigma = 0.5, eps = 0.05: n ~ 664. The true
+	// exact size is 670 — the estimate must land within a few percent.
+	est := normalBracketSeed(0.05, 0.01, 0, 1)
+	if est < 600 || est > 700 {
+		t.Errorf("normalBracketSeed(0.05, 0.01, 0, 1) = %d, want ~664", est)
+	}
+	// Restricted mean interval uses the worst-case variance over the
+	// interval: sigma^2 = 0.9*0.1 = 0.09 -> n ~ 239 (true size 250).
+	est = normalBracketSeed(0.05, 0.01, 0.9, 1)
+	if est < 200 || est > 260 {
+		t.Errorf("normalBracketSeed(0.05, 0.01, 0.9, 1) = %d, want ~239", est)
+	}
+	// An interval straddling 1/2 pins sigma^2 at 1/4 even when neither
+	// endpoint is 1/2.
+	if a, b := normalBracketSeed(0.05, 0.01, 0.3, 0.7), normalBracketSeed(0.05, 0.01, 0, 1); a != b {
+		t.Errorf("straddling interval seed %d != full interval seed %d", a, b)
+	}
+	if est := normalBracketSeed(1e-9, 1e-9, 0, 1); est != searchLimit {
+		t.Errorf("absurd inputs should clamp to searchLimit, got %d", est)
+	}
+}
+
+// --- bracket expansion (satellite bugfix) --------------------------------
+
+// okFromThreshold builds a probe predicate that succeeds at and above
+// threshold, recording every probed size. expandBracket calls it from the
+// worker pool, so the recording is mutex-guarded.
+func okFromThreshold(threshold int, probed *[]int) func(int) (bool, error) {
+	var mu sync.Mutex
+	return func(n int) (bool, error) {
+		mu.Lock()
+		*probed = append(*probed, n)
+		mu.Unlock()
+		return n >= threshold, nil
+	}
+}
+
+func TestExpandBracketNeverProbesBeyondLimit(t *testing.T) {
+	forceParallel(t)
+	// A threshold the expansion can never reach: every probe must still
+	// stay at or below searchLimit (the old loop could probe one candidate
+	// past it).
+	var probed []int
+	_, _, err := expandBracket(okFromThreshold(searchLimit+1, &probed), searchLimit/2)
+	if err == nil {
+		t.Fatal("unreachable threshold should report divergence")
+	}
+	for _, n := range probed {
+		if n > searchLimit {
+			t.Errorf("expansion probed %d beyond searchLimit %d", n, searchLimit)
+		}
+	}
+	if len(probed) == 0 {
+		t.Error("expansion should have probed the capped candidates below the limit")
+	}
+	// Starting just below the limit clamps the one remaining candidate to
+	// searchLimit itself — the sizes under the cap must still be reachable
+	// — and only then reports divergence.
+	probed = nil
+	if _, _, err := expandBracket(okFromThreshold(searchLimit+1, &probed), searchLimit-2); err == nil {
+		t.Fatal("expansion with an unreachable threshold should report divergence")
+	}
+	if len(probed) != 1 || probed[0] != searchLimit {
+		t.Errorf("expansion from searchLimit-2 probed %v, want just [searchLimit]", probed)
+	}
+	// And an answer hiding in that clamped gap is found.
+	probed = nil
+	lo, hi, err := expandBracket(okFromThreshold(searchLimit-1, &probed), searchLimit-2)
+	if err != nil {
+		t.Fatalf("answer below the cap should be bracketed, got %v", err)
+	}
+	if lo != searchLimit-1 || hi != searchLimit {
+		t.Errorf("bracket = [%d, %d], want [searchLimit-1, searchLimit]", lo, hi)
+	}
+}
+
+func TestExpandBracketTightensLo(t *testing.T) {
+	forceParallel(t)
+	// Expansion from 100 with threshold 400: batch one probes 126, 158,
+	// 198 (all fail), batch two 248, 311, 389 (all fail), batch three hits
+	// at 487. The returned bracket must start past the last known-bad
+	// candidate — lo = 390 — not back at 1 as the old search restart did.
+	var probed []int
+	lo, hi, err := expandBracket(okFromThreshold(400, &probed), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lo != 390 || hi != 487 {
+		t.Errorf("bracket = [%d, %d], want [390, 487] (lo one past the last failing probe)", lo, hi)
+	}
+}
+
+func TestExpandBracketFirstBatchHit(t *testing.T) {
+	forceParallel(t)
+	// Threshold 130 from start 100: the first batch probes 126 (fails)
+	// then 158 (succeeds), so the bracket is [127, 158] — the failing
+	// candidate inside the winning batch tightens lo too.
+	var probed []int
+	lo, hi, err := expandBracket(okFromThreshold(130, &probed), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lo != 127 || hi != 158 {
+		t.Errorf("bracket = [%d, %d], want [127, 158]", lo, hi)
+	}
+}
+
+// --- lattice cut snapping (satellite bugfix) -----------------------------
+
+// TestExactFailureProbLatticeBoundaries evaluates ExactFailureProb at
+// (n, p, eps) tuples where n(p-eps) and n(p+eps) are mathematically
+// integers but float rounding lands a few ULPs off (e.g. 20*(0.3-0.15) =
+// 3.0000000000000004). A k exactly on the boundary satisfies |k/n - p| =
+// eps and is NOT a failure; the cuts must exclude it.
+func TestExactFailureProbLatticeBoundaries(t *testing.T) {
+	cases := []struct {
+		n            int
+		p, eps       float64
+		loCut, hiCut int // failure <=> k <= loCut or k >= hiCut (mathematically)
+	}{
+		{20, 0.3, 0.15, 2, 10},     // 20*(0.3-0.15) = 3.0000000000000004 unsnapped
+		{640, 0.5, 0.05, 287, 353}, // 640*0.45 rounds above 288
+		{40, 0.5, 0.1, 15, 25},
+		{1000, 0.55, 0.05, 499, 601},
+		{10, 0.5, 0.3, 1, 9},
+	}
+	for _, c := range cases {
+		want := 0.0
+		for k := 0; k <= c.n; k++ {
+			if k <= c.loCut || k >= c.hiCut {
+				want += binomPMFRef(k, c.n, c.p)
+			}
+		}
+		got, err := ExactFailureProb(c.n, c.p, c.eps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-want) > 1e-9 {
+			t.Errorf("ExactFailureProb(%d, %v, %v) = %.12g, want %.12g (cuts %d/%d)",
+				c.n, c.p, c.eps, got, want, c.loCut, c.hiCut)
+		}
+	}
+}
+
+func TestSnapLattice(t *testing.T) {
+	if got := snapLattice(3.0000000000000004); got != 3 {
+		t.Errorf("snapLattice(3.0000000000000004) = %v, want 3", got)
+	}
+	if got := snapLattice(287.99999999999994); got != 288 {
+		t.Errorf("snapLattice(287.99999999999994) = %v, want 288", got)
+	}
+	if got := snapLattice(1e-17); got != 0 {
+		t.Errorf("snapLattice(1e-17) = %v, want 0", got)
+	}
+	// Values genuinely between lattice points must pass through untouched.
+	for _, x := range []float64{3.1, 2.9995, 0.4, 17.5} {
+		if got := snapLattice(x); got != x {
+			t.Errorf("snapLattice(%v) = %v, want unchanged", x, got)
+		}
+	}
+}

@@ -1,9 +1,12 @@
 // Package lru provides a small thread-safe LRU cache with hit/miss
-// counters. Two hot paths share it: the exact-bound worst-case memo
-// (internal/bounds) and the plan cache in front of the sample-size planner
-// (internal/planner), both of which see heavy key re-use — the bound
-// search re-probes the same (n, epsilon, interval) tuples and a CI server
-// sees the same plan query from every commit hook.
+// counters, in two flavors: Cache, guarded by a single mutex, and
+// Sharded, which splits the key space across sixteen Cache shards so
+// concurrent readers don't serialize on one lock. Two hot paths share
+// them: the exact-bound worst-case memo (internal/bounds) and the plan
+// cache in front of the sample-size planner (internal/planner), both of
+// which see heavy key re-use — the bound search re-probes the same
+// (n, epsilon, interval) tuples and a CI server sees the same plan query
+// from every commit hook, batch sweep, and dashboard poll.
 package lru
 
 import (

@@ -1,0 +1,151 @@
+package lru
+
+import "math"
+
+// Sharded is a fixed-capacity LRU split across DefaultShards independent
+// single-mutex Cache shards, routed by a caller-supplied key hash. Under
+// heavy concurrent plan-query traffic a single mutex serializes every
+// Get/Put; sharding lets up to DefaultShards goroutines proceed in
+// parallel, at the cost of eviction being per-shard rather than globally
+// least-recently-used (each shard holds capacity/DefaultShards entries).
+//
+// The zero value is not usable; construct with NewSharded.
+type Sharded[K comparable, V any] struct {
+	shards [DefaultShards]*Cache[K, V]
+	hash   func(K) uint64
+}
+
+// DefaultShards is the shard fan-out. 16 is comfortably past the
+// goroutine counts a plan-serving host sees per cache while keeping the
+// per-shard capacity large enough that sharded eviction behaves like
+// global LRU in practice.
+const DefaultShards = 16
+
+// NewSharded returns an empty sharded cache holding at most capacity
+// entries in total, routed by hash. Capacity is split evenly across
+// shards (rounded up, so the total may exceed capacity by up to
+// DefaultShards-1 entries); hash must be deterministic and should mix
+// its input well — see KeyHash and Mix64.
+func NewSharded[K comparable, V any](capacity int, hash func(K) uint64) *Sharded[K, V] {
+	per := (capacity + DefaultShards - 1) / DefaultShards
+	s := &Sharded[K, V]{hash: hash}
+	for i := range s.shards {
+		s.shards[i] = New[K, V](per)
+	}
+	return s
+}
+
+func (s *Sharded[K, V]) shard(key K) *Cache[K, V] {
+	return s.shards[s.hash(key)%DefaultShards]
+}
+
+// Get returns the cached value and whether it was present, refreshing the
+// entry's recency within its shard on a hit.
+func (s *Sharded[K, V]) Get(key K) (V, bool) {
+	return s.shard(key).Get(key)
+}
+
+// Put inserts or refreshes key -> val, evicting the least-recently-used
+// entry of the key's shard when that shard is full.
+func (s *Sharded[K, V]) Put(key K, val V) {
+	s.shard(key).Put(key, val)
+}
+
+// Len reports the current number of entries across all shards.
+func (s *Sharded[K, V]) Len() int {
+	n := 0
+	for _, sh := range s.shards {
+		n += sh.Len()
+	}
+	return n
+}
+
+// Cap reports the total capacity across all shards.
+func (s *Sharded[K, V]) Cap() int {
+	n := 0
+	for _, sh := range s.shards {
+		n += sh.Cap()
+	}
+	return n
+}
+
+// Hits reports the aggregate number of Get calls that found their key.
+func (s *Sharded[K, V]) Hits() uint64 {
+	var n uint64
+	for _, sh := range s.shards {
+		n += sh.Hits()
+	}
+	return n
+}
+
+// Misses reports the aggregate number of Get calls that did not.
+func (s *Sharded[K, V]) Misses() uint64 {
+	var n uint64
+	for _, sh := range s.shards {
+		n += sh.Misses()
+	}
+	return n
+}
+
+// Reset empties every shard and zeroes the counters.
+func (s *Sharded[K, V]) Reset() {
+	for _, sh := range s.shards {
+		sh.Reset()
+	}
+}
+
+// --- key hashing helpers -------------------------------------------------
+//
+// Shard routing needs a cheap deterministic hash of the key. Struct keys
+// (the plan cache's, the exact-bound memo's) fold their fields through a
+// KeyHash; plain integer keys can use Mix64 directly.
+
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+// KeyHash is an FNV-1a accumulator for building shard hashes from key
+// fields: lru.NewKeyHash().Str(formula).F64(delta).I(steps).Sum().
+type KeyHash uint64
+
+// NewKeyHash returns the FNV-1a offset basis.
+func NewKeyHash() KeyHash { return fnvOffset }
+
+// Str folds a string into the hash.
+func (h KeyHash) Str(s string) KeyHash {
+	for i := 0; i < len(s); i++ {
+		h = (h ^ KeyHash(s[i])) * fnvPrime
+	}
+	return h
+}
+
+// U64 folds a 64-bit word into the hash byte by byte.
+func (h KeyHash) U64(v uint64) KeyHash {
+	for i := 0; i < 8; i++ {
+		h = (h ^ KeyHash(v&0xff)) * fnvPrime
+		v >>= 8
+	}
+	return h
+}
+
+// F64 folds a float64's bit pattern into the hash.
+func (h KeyHash) F64(v float64) KeyHash { return h.U64(math.Float64bits(v)) }
+
+// I folds an int into the hash.
+func (h KeyHash) I(v int) KeyHash { return h.U64(uint64(v)) }
+
+// Sum finalizes the hash with an avalanche pass so that keys differing
+// only in low-entropy fields still spread across shards.
+func (h KeyHash) Sum() uint64 { return Mix64(uint64(h)) }
+
+// Mix64 is the splitmix64 finalizer: a full-avalanche bijection on 64-bit
+// words, suitable as a Sharded hash for integer keys.
+func Mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}

@@ -1,0 +1,139 @@
+package lru
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+func intHash(k int) uint64 { return Mix64(uint64(k)) }
+
+func TestShardedBasics(t *testing.T) {
+	c := NewSharded[int, int](64, intHash)
+	if _, ok := c.Get(1); ok {
+		t.Fatal("empty cache returned a value")
+	}
+	c.Put(1, 10)
+	c.Put(2, 20)
+	if v, ok := c.Get(1); !ok || v != 10 {
+		t.Fatalf("Get(1) = %v, %v", v, ok)
+	}
+	if hits, misses := c.Hits(), c.Misses(); hits != 1 || misses != 1 {
+		t.Errorf("counters = %d hits / %d misses, want 1/1", hits, misses)
+	}
+	if c.Len() != 2 {
+		t.Errorf("Len = %d, want 2", c.Len())
+	}
+	c.Put(1, 11)
+	if v, _ := c.Get(1); v != 11 {
+		t.Errorf("updated value = %d, want 11", v)
+	}
+	c.Reset()
+	if c.Len() != 0 || c.Hits() != 0 || c.Misses() != 0 {
+		t.Errorf("after Reset: len=%d hits=%d misses=%d, want all 0", c.Len(), c.Hits(), c.Misses())
+	}
+}
+
+func TestShardedCapacitySplit(t *testing.T) {
+	c := NewSharded[int, int](64, intHash)
+	if c.Cap() != 64 {
+		t.Errorf("Cap = %d, want 64", c.Cap())
+	}
+	// Capacity rounds up per shard: 10 entries over 16 shards is 1 each.
+	small := NewSharded[int, int](10, intHash)
+	if small.Cap() != DefaultShards {
+		t.Errorf("Cap = %d, want %d (one per shard)", small.Cap(), DefaultShards)
+	}
+	// Each shard bounds its own entry count, so the total never exceeds Cap.
+	for i := 0; i < 10000; i++ {
+		c.Put(i, i)
+	}
+	if c.Len() > c.Cap() {
+		t.Errorf("Len %d exceeds Cap %d", c.Len(), c.Cap())
+	}
+}
+
+// TestShardedMatchesSingleMutexLRU pins the sharded cache's results and
+// aggregate counters against the single-mutex LRU under a deterministic
+// access sequence. With capacity ample for the key range, eviction never
+// fires and the two must agree exactly — value for value, counter for
+// counter.
+func TestShardedMatchesSingleMutexLRU(t *testing.T) {
+	const keys = 512
+	single := New[int, int](4 * keys)
+	sharded := NewSharded[int, int](4*keys, intHash)
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 50000; i++ {
+		k := rng.Intn(keys)
+		if rng.Intn(4) == 0 {
+			v := k*1000 + i
+			single.Put(k, v)
+			sharded.Put(k, v)
+			continue
+		}
+		v1, ok1 := single.Get(k)
+		v2, ok2 := sharded.Get(k)
+		if v1 != v2 || ok1 != ok2 {
+			t.Fatalf("step %d key %d: single = (%v,%v), sharded = (%v,%v)", i, k, v1, ok1, v2, ok2)
+		}
+	}
+	if single.Hits() != sharded.Hits() || single.Misses() != sharded.Misses() {
+		t.Errorf("counters diverged: single %d/%d, sharded %d/%d",
+			single.Hits(), single.Misses(), sharded.Hits(), sharded.Misses())
+	}
+	if single.Len() != sharded.Len() {
+		t.Errorf("Len diverged: single %d, sharded %d", single.Len(), sharded.Len())
+	}
+}
+
+// TestShardedConcurrentAccess hammers the sharded cache from many
+// goroutines; under -race this validates the per-shard locking discipline
+// and the lock-free counter aggregation.
+func TestShardedConcurrentAccess(t *testing.T) {
+	c := NewSharded[int, int](256, intHash)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				k := (g*13 + i) % 300
+				if v, ok := c.Get(k); ok && v != k*10 {
+					panic(fmt.Sprintf("key %d holds %d, want %d", k, v, k*10))
+				}
+				c.Put(k, k*10)
+				if i%64 == 0 {
+					c.Len()
+					c.Hits()
+					c.Misses()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Len() > c.Cap() {
+		t.Errorf("cache exceeded capacity: %d > %d", c.Len(), c.Cap())
+	}
+}
+
+func TestKeyHashSpreadsShards(t *testing.T) {
+	// Keys differing in a single low-entropy field must still cover many
+	// shards, or the plan cache would collapse onto one mutex.
+	occupied := map[uint64]bool{}
+	for steps := 0; steps < 64; steps++ {
+		h := NewKeyHash().Str("n - o > 0.02 +/- 0.01").F64(1e-4).I(steps).Sum()
+		occupied[h%DefaultShards] = true
+	}
+	if len(occupied) < DefaultShards/2 {
+		t.Errorf("64 near-identical keys landed on only %d/%d shards", len(occupied), DefaultShards)
+	}
+	occupied = map[uint64]bool{}
+	for i := 0; i < 64; i++ {
+		occupied[Mix64(uint64(i))%DefaultShards] = true
+	}
+	if len(occupied) < DefaultShards/2 {
+		t.Errorf("64 sequential ints landed on only %d/%d shards", len(occupied), DefaultShards)
+	}
+}

@@ -46,10 +46,31 @@ type sizeKey struct {
 	split      estimator.Split
 }
 
-// Cache memoizes planner and estimator results. Safe for concurrent use.
+// hashPlanKey routes plan keys across cache shards. The formula plus the
+// high-entropy scalars are enough spread; the full key still guards
+// correctness inside the shard.
+func hashPlanKey(k planKey) uint64 {
+	h := lru.NewKeyHash().Str(k.formula).F64(k.delta).I(k.steps).
+		I(int(k.mode)).I(int(k.adaptivity)).F64(k.disagree).F64(k.coarseFine).
+		I(int(k.budget)).I(int(k.variance))
+	if k.disableOpts {
+		h = h.I(1)
+	}
+	return h.Sum()
+}
+
+func hashSizeKey(k sizeKey) uint64 {
+	return lru.NewKeyHash().Str(k.formula).F64(k.delta).I(k.steps).
+		I(int(k.adaptivity)).I(int(k.strategy)).I(int(k.split)).Sum()
+}
+
+// Cache memoizes planner and estimator results. Safe for concurrent use;
+// both maps are sharded LRUs so heavy concurrent plan traffic (a server
+// fielding batch plan queries across a worker pool) doesn't serialize on
+// one mutex.
 type Cache struct {
-	plans *lru.Cache[planKey, *core.Plan]
-	sizes *lru.Cache[sizeKey, *estimator.Plan]
+	plans *lru.Sharded[planKey, *core.Plan]
+	sizes *lru.Sharded[sizeKey, *estimator.Plan]
 }
 
 // Stats is a point-in-time snapshot of the cache counters, shaped for the
@@ -63,11 +84,12 @@ type Stats struct {
 	SizeEntries int    `json:"size_entries"`
 }
 
-// New returns a cache holding at most capacity entries per result kind.
+// New returns a cache holding at most capacity entries per result kind
+// (rounded up to the shard fan-out).
 func New(capacity int) *Cache {
 	return &Cache{
-		plans: lru.New[planKey, *core.Plan](capacity),
-		sizes: lru.New[sizeKey, *estimator.Plan](capacity),
+		plans: lru.NewSharded[planKey, *core.Plan](capacity, hashPlanKey),
+		sizes: lru.NewSharded[sizeKey, *estimator.Plan](capacity, hashSizeKey),
 	}
 }
 

@@ -6,16 +6,29 @@
 //
 // Endpoints (JSON):
 //
-//	GET  /api/v1/plan     the labeling plan; optional query parameters
-//	                      (condition, reliability, steps, adaptivity)
-//	                      override the configured script for ad-hoc plan
-//	                      queries — all plans are served through the LRU
-//	                      plan cache
-//	GET  /api/v1/status   testset generation/budget, active model, label cost
-//	GET  /api/v1/history  evaluation results so far
-//	GET  /api/v1/metrics  plan-cache and exact-bound-memo counters
-//	POST /api/v1/commit   {"model":..., "author":..., "message":..., "predictions":[...]}
-//	POST /api/v1/testset  {"labels":[...], "active_predictions":[...]}  (rotation)
+//	GET  /api/v1/plan        the labeling plan; optional query parameters
+//	                         (condition, reliability, steps, adaptivity)
+//	                         override the configured script for ad-hoc plan
+//	                         queries — unknown parameters are rejected with
+//	                         400, and a parameter set equal to the server's
+//	                         own config is served with the engine's planner
+//	                         options, exactly as the engine enforces it
+//	POST /api/v1/plan/batch  {"queries":[{condition?, reliability?, steps?,
+//	                         adaptivity?}, ...]} — up to MaxBatchQueries
+//	                         plan queries resolved in one request, fanned
+//	                         across the worker pool, with per-item results
+//	                         or errors; amortizes HTTP overhead for
+//	                         dashboard sweeps
+//	GET  /api/v1/status      testset generation/budget, active model, label cost
+//	GET  /api/v1/history     evaluation results so far
+//	GET  /api/v1/metrics     plan-cache and exact-bound-memo counters
+//	POST /api/v1/commit      {"model":..., "author":..., "message":..., "predictions":[...]}
+//	POST /api/v1/testset     {"labels":[...], "active_predictions":[...]}  (rotation)
+//
+// All plans — single and batch — are served through the sharded LRU plan
+// cache (internal/planner), so concurrent plan traffic neither recomputes
+// identical plans nor serializes on a single cache mutex; /api/v1/metrics
+// exposes the aggregated per-shard hit/miss/entry counters.
 package server
 
 import (
@@ -32,6 +45,7 @@ import (
 	"github.com/easeml/ci/internal/engine"
 	"github.com/easeml/ci/internal/labeling"
 	"github.com/easeml/ci/internal/model"
+	"github.com/easeml/ci/internal/parallel"
 	"github.com/easeml/ci/internal/planner"
 	"github.com/easeml/ci/internal/script"
 )
@@ -55,6 +69,7 @@ func New(cfg *script.Config, eng *engine.Engine) (*Server, error) {
 	}
 	s := &Server{eng: eng, cfg: cfg, mux: http.NewServeMux(), plans: planner.Default}
 	s.mux.HandleFunc("/api/v1/plan", s.handlePlan)
+	s.mux.HandleFunc("/api/v1/plan/batch", s.handlePlanBatch)
 	s.mux.HandleFunc("/api/v1/status", s.handleStatus)
 	s.mux.HandleFunc("/api/v1/history", s.handleHistory)
 	s.mux.HandleFunc("/api/v1/metrics", s.handleMetrics)
@@ -142,20 +157,36 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 	// Served through the plan cache: repeated identical queries — the
 	// common case, since every commit hook and dashboard asks for the
 	// active plan — cost one LRU lookup, not a bound search.
-	// Parameterless requests use the engine's own planner options, so the
-	// answer is exactly the plan the engine enforces (and hits the cache
-	// entry engine construction seeded); ad-hoc what-if queries use the
-	// paper defaults.
+	resp, err := s.servePlan(cfg)
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// servePlan plans cfg through the cache and shapes the wire response.
+// Requests for the server's own config use the engine's planner options,
+// so the answer is exactly the plan the engine enforces (and hits the
+// cache entry engine construction seeded); ad-hoc what-if queries use the
+// paper defaults.
+func (s *Server) servePlan(cfg *script.Config) (*PlanResponse, error) {
 	opts := core.DefaultOptions()
 	if cfg == s.cfg {
 		opts = s.eng.PlannerOptions()
 	}
 	p, err := s.plans.PlanForConfig(cfg, opts)
 	if err != nil {
-		writeError(w, http.StatusUnprocessableEntity, err.Error())
-		return
+		return nil, err
 	}
-	writeJSON(w, http.StatusOK, PlanResponse{
+	resp := NewPlanResponse(cfg, p)
+	return &resp, nil
+}
+
+// NewPlanResponse shapes a plan into the wire format. Shared with the
+// samplesize CLI's local batch mode so the two outputs cannot drift.
+func NewPlanResponse(cfg *script.Config, p *core.Plan) PlanResponse {
+	return PlanResponse{
 		Kind:            p.Kind.String(),
 		Condition:       cfg.ConditionSrc,
 		Reliability:     cfg.Reliability,
@@ -164,51 +195,153 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 		LabeledN:        p.LabeledN,
 		UnlabeledN:      p.UnlabeledN,
 		PerCommitLabels: p.PerCommitLabels,
-	})
+	}
 }
 
 // planQueryConfig resolves the config a plan query asks about: the server's
 // own script, with any of condition/reliability/steps/adaptivity overridden
-// by query parameters.
+// by query parameters. Unknown parameters are an error — a typo'd override
+// must not silently return the default plan.
 func (s *Server) planQueryConfig(r *http.Request) (*script.Config, error) {
 	q := r.URL.Query()
-	if len(q) == 0 {
-		return s.cfg, nil
+	for key := range q {
+		switch key {
+		case "condition", "reliability", "steps", "adaptivity":
+		default:
+			return nil, fmt.Errorf("unknown query parameter %q (condition | reliability | steps | adaptivity)", key)
+		}
 	}
-	condition := s.cfg.ConditionSrc
-	reliability := s.cfg.Reliability
-	steps := s.cfg.Steps
-	adapt := s.cfg.Adaptivity
-	if v := q.Get("condition"); v != "" {
-		condition = v
-	}
+	var reliability *float64
 	if v := q.Get("reliability"); v != "" {
 		f, err := strconv.ParseFloat(v, 64)
 		if err != nil {
 			return nil, fmt.Errorf("bad reliability %q: %v", v, err)
 		}
-		reliability = f
+		reliability = &f
 	}
+	var steps *int
 	if v := q.Get("steps"); v != "" {
 		n, err := strconv.Atoi(v)
 		if err != nil {
 			return nil, fmt.Errorf("bad steps %q: %v", v, err)
 		}
-		steps = n
+		steps = &n
 	}
-	if v := q.Get("adaptivity"); v != "" {
-		switch v {
-		case "none":
-			adapt = script.Adaptivity{Kind: script.AdaptivityNone, Email: "plan-query@localhost"}
-		case "full":
-			adapt = script.Adaptivity{Kind: script.AdaptivityFull}
-		case "firstChange":
-			adapt = script.Adaptivity{Kind: script.AdaptivityFirstChange}
-		default:
-			return nil, fmt.Errorf("bad adaptivity %q (none | full | firstChange)", v)
+	return s.resolvePlanConfig(q.Get("condition"), reliability, steps, q.Get("adaptivity"))
+}
+
+// resolvePlanConfig applies overrides (empty/nil means "the server's own
+// value") to the configured script. A parameter set equal to the server
+// config resolves to the config itself, so the caller plans it with the
+// engine's own options rather than treating it as an ad-hoc query.
+func (s *Server) resolvePlanConfig(condition string, reliability *float64, steps *int, adaptivity string) (*script.Config, error) {
+	if condition == "" {
+		condition = s.cfg.ConditionSrc
+	}
+	rel := s.cfg.Reliability
+	if reliability != nil {
+		rel = *reliability
+	}
+	st := s.cfg.Steps
+	if steps != nil {
+		st = *steps
+	}
+	adapt := s.cfg.Adaptivity
+	switch adaptivity {
+	case "":
+	case "none":
+		adapt = script.Adaptivity{Kind: script.AdaptivityNone, Email: "plan-query@localhost"}
+	case "full":
+		adapt = script.Adaptivity{Kind: script.AdaptivityFull}
+	case "firstChange":
+		adapt = script.Adaptivity{Kind: script.AdaptivityFirstChange}
+	default:
+		return nil, fmt.Errorf("bad adaptivity %q (none | full | firstChange)", adaptivity)
+	}
+	if condition == s.cfg.ConditionSrc && rel == s.cfg.Reliability &&
+		st == s.cfg.Steps && adapt.Kind == s.cfg.Adaptivity.Kind {
+		return s.cfg, nil
+	}
+	return script.New(condition, rel, s.cfg.Mode, adapt, st)
+}
+
+// MaxBatchQueries bounds one batch plan request; a dashboard sweeping a
+// larger grid should page its queries.
+const MaxBatchQueries = 1024
+
+// PlanQuery is one entry of a batch plan request. Absent fields default to
+// the server's configured script.
+type PlanQuery struct {
+	Condition   string   `json:"condition,omitempty"`
+	Reliability *float64 `json:"reliability,omitempty"`
+	Steps       *int     `json:"steps,omitempty"`
+	Adaptivity  string   `json:"adaptivity,omitempty"`
+}
+
+// BatchPlanRequest is the wire shape of POST /api/v1/plan/batch.
+type BatchPlanRequest struct {
+	Queries []PlanQuery `json:"queries"`
+}
+
+// BatchPlanResult carries one query's plan or its error; exactly one of
+// the two fields is set.
+type BatchPlanResult struct {
+	Plan  *PlanResponse `json:"plan,omitempty"`
+	Error string        `json:"error,omitempty"`
+}
+
+// BatchPlanResponse mirrors the request order: Results[i] answers
+// Queries[i].
+type BatchPlanResponse struct {
+	Results []BatchPlanResult `json:"results"`
+}
+
+// handlePlanBatch answers many plan queries in one request, fanning them
+// across the worker pool. Malformed requests fail whole; a bad individual
+// query fails only its slot, so one typo doesn't void a dashboard sweep.
+func (s *Server) handlePlanBatch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	var req BatchPlanRequest
+	// Cap the body before decoding so the query limit bounds memory, not
+	// just slice length: MaxBatchQueries condition formulas fit well
+	// within this.
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 4<<20))
+	// A typo'd field ("relibility") must not silently plan with the
+	// default — the same contract the single plan endpoint enforces on
+	// its query parameters.
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "malformed JSON: "+err.Error())
+		return
+	}
+	if len(req.Queries) == 0 {
+		writeError(w, http.StatusBadRequest, "at least one query required")
+		return
+	}
+	if len(req.Queries) > MaxBatchQueries {
+		writeError(w, http.StatusBadRequest,
+			fmt.Sprintf("%d queries exceeds the %d per-request limit", len(req.Queries), MaxBatchQueries))
+		return
+	}
+	results := make([]BatchPlanResult, len(req.Queries))
+	parallel.For(len(req.Queries), func(i int) {
+		q := req.Queries[i]
+		cfg, err := s.resolvePlanConfig(q.Condition, q.Reliability, q.Steps, q.Adaptivity)
+		if err != nil {
+			results[i].Error = err.Error()
+			return
 		}
-	}
-	return script.New(condition, reliability, s.cfg.Mode, adapt, steps)
+		resp, err := s.servePlan(cfg)
+		if err != nil {
+			results[i].Error = err.Error()
+			return
+		}
+		results[i].Plan = resp
+	})
+	writeJSON(w, http.StatusOK, BatchPlanResponse{Results: results})
 }
 
 // MetricsResponse exposes the serving-path cache counters.

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"sync"
 	"testing"
 
 	"github.com/easeml/ci/internal/data"
@@ -335,5 +336,216 @@ func TestMetricsEndpoint(t *testing.T) {
 	rec, _ = doJSON(t, srv, http.MethodPost, "/api/v1/metrics", nil)
 	if rec.Code != http.StatusMethodNotAllowed {
 		t.Errorf("POST metrics status = %d", rec.Code)
+	}
+}
+
+func TestPlanUnknownQueryParamRejected(t *testing.T) {
+	srv, _ := newTestServer(t, script.AdaptivityFull)
+	// A typo'd override must not silently return a default-options plan.
+	for _, q := range []string{"foo=1", "steps=8&foo=1", "Condition=n+%3E+0.5+%2B%2F-+0.1"} {
+		rec, _ := doJSON(t, srv, http.MethodGet, "/api/v1/plan?"+q, nil)
+		if rec.Code != http.StatusBadRequest {
+			t.Errorf("query %q status = %d, want 400", q, rec.Code)
+		}
+	}
+}
+
+func TestPlanConfigEqualParamsUseEngineOptions(t *testing.T) {
+	srv, _ := newTestServer(t, script.AdaptivityFull)
+	// Explicit parameters equal to the server's own config (and empty
+	// overrides) must resolve to the config itself and be served exactly
+	// like the parameterless request — same plan, same cache entry.
+	base, _ := doJSON(t, srv, http.MethodGet, "/api/v1/plan", nil)
+	if base.Code != http.StatusOK {
+		t.Fatalf("base plan status = %d: %s", base.Code, base.Body.String())
+	}
+	mid := srv.plans.Stats()
+	for _, q := range []string{"steps=3", "condition=", "reliability=0.99&adaptivity=full", "condition=n+%3E+0.6+%2B%2F-+0.1"} {
+		rec, _ := doJSON(t, srv, http.MethodGet, "/api/v1/plan?"+q, nil)
+		if rec.Code != http.StatusOK {
+			t.Fatalf("query %q status = %d: %s", q, rec.Code, rec.Body.String())
+		}
+		if !bytes.Equal(rec.Body.Bytes(), base.Body.Bytes()) {
+			t.Errorf("query %q plan differs from the engine's own:\n%s\n%s", q, rec.Body.String(), base.Body.String())
+		}
+	}
+	after := srv.plans.Stats()
+	if after.PlanMisses != mid.PlanMisses {
+		t.Errorf("config-equal queries recomputed plans: %+v -> %+v", mid, after)
+	}
+	if after.PlanHits != mid.PlanHits+4 {
+		t.Errorf("config-equal queries should all hit the engine's cache entry: %+v -> %+v", mid, after)
+	}
+}
+
+func TestPlanBatchEndpoint(t *testing.T) {
+	srv, _ := newTestServer(t, script.AdaptivityFull)
+	rel := 0.999
+	steps := 8
+	rec, _ := doJSON(t, srv, http.MethodPost, "/api/v1/plan/batch", BatchPlanRequest{
+		Queries: []PlanQuery{
+			{}, // server's own plan
+			{Reliability: &rel, Steps: &steps, Adaptivity: "none"},
+			{Condition: "!!"}, // per-item error
+		},
+	})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("batch status = %d: %s", rec.Code, rec.Body.String())
+	}
+	var resp BatchPlanResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Results) != 3 {
+		t.Fatalf("got %d results, want 3", len(resp.Results))
+	}
+	if r := resp.Results[0]; r.Error != "" || r.Plan == nil || r.Plan.Steps != 3 || r.Plan.Condition != "n > 0.6 +/- 0.1" {
+		t.Errorf("result 0 = %+v", r)
+	}
+	if r := resp.Results[1]; r.Error != "" || r.Plan == nil || r.Plan.Steps != 8 || r.Plan.Reliability != 0.999 {
+		t.Errorf("result 1 = %+v", r)
+	}
+	if r := resp.Results[2]; r.Error == "" || r.Plan != nil {
+		t.Errorf("result 2 should carry a per-item error, got %+v", r)
+	}
+	// The batch's parameterless slot must agree with GET /api/v1/plan.
+	single, _ := doJSON(t, srv, http.MethodGet, "/api/v1/plan", nil)
+	var sp PlanResponse
+	if err := json.Unmarshal(single.Body.Bytes(), &sp); err != nil {
+		t.Fatal(err)
+	}
+	if *resp.Results[0].Plan != sp {
+		t.Errorf("batch plan %+v != single plan %+v", *resp.Results[0].Plan, sp)
+	}
+}
+
+func TestPlanBatchValidation(t *testing.T) {
+	srv, _ := newTestServer(t, script.AdaptivityFull)
+	rec, _ := doJSON(t, srv, http.MethodGet, "/api/v1/plan/batch", nil)
+	if rec.Code != http.StatusMethodNotAllowed {
+		t.Errorf("GET batch status = %d", rec.Code)
+	}
+	rec, _ = doJSON(t, srv, http.MethodPost, "/api/v1/plan/batch", BatchPlanRequest{})
+	if rec.Code != http.StatusBadRequest {
+		t.Errorf("empty batch status = %d", rec.Code)
+	}
+	req := httptest.NewRequest(http.MethodPost, "/api/v1/plan/batch", bytes.NewBufferString("{nope"))
+	rec2 := httptest.NewRecorder()
+	srv.ServeHTTP(rec2, req)
+	if rec2.Code != http.StatusBadRequest {
+		t.Errorf("malformed batch status = %d", rec2.Code)
+	}
+	// A typo'd field must not silently plan with the default value.
+	req = httptest.NewRequest(http.MethodPost, "/api/v1/plan/batch",
+		bytes.NewBufferString(`{"queries":[{"relibility":0.9999}]}`))
+	rec2 = httptest.NewRecorder()
+	srv.ServeHTTP(rec2, req)
+	if rec2.Code != http.StatusBadRequest {
+		t.Errorf("typo'd field batch status = %d, want 400", rec2.Code)
+	}
+	rec, _ = doJSON(t, srv, http.MethodPost, "/api/v1/plan/batch", BatchPlanRequest{
+		Queries: make([]PlanQuery, MaxBatchQueries+1),
+	})
+	if rec.Code != http.StatusBadRequest {
+		t.Errorf("oversized batch status = %d", rec.Code)
+	}
+}
+
+// TestConcurrentPlanBatchCommit hammers the read-only plan paths (single
+// and batch) while commits and rotations mutate the engine; run under
+// -race this validates that plan serving never touches engine state
+// without the lock and that the sharded caches hold up under fire.
+func TestConcurrentPlanBatchCommit(t *testing.T) {
+	srv, labels := newTestServer(t, script.AdaptivityFull)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 15; i++ {
+				path := "/api/v1/plan"
+				if i%2 == 0 {
+					path = fmt.Sprintf("/api/v1/plan?steps=%d", 2+(g+i)%4)
+				}
+				req := httptest.NewRequest(http.MethodGet, path, nil)
+				rec := httptest.NewRecorder()
+				srv.ServeHTTP(rec, req)
+				if rec.Code != http.StatusOK {
+					panic(fmt.Sprintf("plan status %d: %s", rec.Code, rec.Body.String()))
+				}
+			}
+		}()
+	}
+	for g := 0; g < 2; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 8; i++ {
+				steps := 2 + (g+i)%3
+				var buf bytes.Buffer
+				if err := json.NewEncoder(&buf).Encode(BatchPlanRequest{
+					Queries: []PlanQuery{{}, {Steps: &steps}, {Adaptivity: "none"}},
+				}); err != nil {
+					panic(err)
+				}
+				req := httptest.NewRequest(http.MethodPost, "/api/v1/plan/batch", &buf)
+				rec := httptest.NewRecorder()
+				srv.ServeHTTP(rec, req)
+				if rec.Code != http.StatusOK {
+					panic(fmt.Sprintf("batch status %d: %s", rec.Code, rec.Body.String()))
+				}
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 9; i++ {
+			var buf bytes.Buffer
+			if err := json.NewEncoder(&buf).Encode(CommitRequest{
+				Model:       fmt.Sprintf("m%d", i),
+				Predictions: goodPredictions(t, labels, 0.9, int64(100+i)),
+			}); err != nil {
+				panic(err)
+			}
+			req := httptest.NewRequest(http.MethodPost, "/api/v1/commit", &buf)
+			rec := httptest.NewRecorder()
+			srv.ServeHTTP(rec, req)
+			switch rec.Code {
+			case http.StatusOK:
+			case http.StatusConflict:
+				// Budget exhausted: rotate a fresh testset and keep going.
+				var rbuf bytes.Buffer
+				if err := json.NewEncoder(&rbuf).Encode(RotateRequest{
+					Labels:            labels,
+					ActivePredictions: goodPredictions(t, labels, 0.9, int64(200+i)),
+				}); err != nil {
+					panic(err)
+				}
+				rreq := httptest.NewRequest(http.MethodPost, "/api/v1/testset", &rbuf)
+				rrec := httptest.NewRecorder()
+				srv.ServeHTTP(rrec, rreq)
+				if rrec.Code != http.StatusOK {
+					panic(fmt.Sprintf("rotate status %d: %s", rrec.Code, rrec.Body.String()))
+				}
+			default:
+				panic(fmt.Sprintf("commit status %d: %s", rec.Code, rec.Body.String()))
+			}
+		}
+	}()
+	wg.Wait()
+	// The metrics endpoint must reflect the traffic without racing it.
+	rec, _ := doJSON(t, srv, http.MethodGet, "/api/v1/metrics", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("metrics status = %d", rec.Code)
+	}
+	var m MetricsResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &m); err != nil {
+		t.Fatal(err)
+	}
+	if m.PlanCache.PlanHits == 0 {
+		t.Errorf("concurrent identical plan queries should have hit the cache: %+v", m)
 	}
 }

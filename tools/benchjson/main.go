@@ -80,10 +80,14 @@ func parseBenchLine(line string) (Result, bool) {
 		return Result{}, false
 	}
 	name := fields[0]
+	procs := 0
 	if i := strings.LastIndex(name, "-"); i > 0 {
-		// Strip the GOMAXPROCS suffix.
-		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+		// Strip the GOMAXPROCS suffix, keeping it as a metric: for the
+		// parallel contention benchmarks the degree of parallelism is part
+		// of the result.
+		if n, err := strconv.Atoi(name[i+1:]); err == nil {
 			name = name[:i]
+			procs = n
 		}
 	}
 	iters, err := strconv.ParseInt(fields[1], 10, 64)
@@ -91,6 +95,9 @@ func parseBenchLine(line string) (Result, bool) {
 		return Result{}, false
 	}
 	r := Result{Name: name, Iterations: iters}
+	if procs > 1 {
+		r.Metrics = map[string]float64{"gomaxprocs": float64(procs)}
+	}
 	for i := 2; i+1 < len(fields); i += 2 {
 		val, err := strconv.ParseFloat(fields[i], 64)
 		if err != nil {
@@ -111,6 +118,12 @@ func parseBenchLine(line string) (Result, bool) {
 			}
 			r.Metrics[unit] = val
 		}
+	}
+	// A benchmark that reports its own goroutine count (the contention
+	// pair raises GOMAXPROCS internally) knows better than the name
+	// suffix, which reflects the harness's setting.
+	if _, ok := r.Metrics["goroutines"]; ok {
+		delete(r.Metrics, "gomaxprocs")
 	}
 	return r, true
 }
