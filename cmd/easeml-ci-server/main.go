@@ -2,24 +2,38 @@
 // prediction vectors as commits; the integration team reads plans, status,
 // and history, and rotates testsets. See internal/server for the API.
 //
+// Commits are evaluated through a bounded FIFO queue: the synchronous
+// endpoint enqueues and waits, the asynchronous endpoint answers 202 with
+// a job ID to poll (or a webhook to subscribe). The server shuts down
+// gracefully on SIGINT/SIGTERM, draining every accepted job first.
+//
 // The server boots with a synthetic labeled testset (this repository ships
 // no production data); point -testset-size and -classes at your scenario
 // and submit predictions of that length.
 //
 // Usage:
 //
-//	easeml-ci-server -addr :8080 -script ci.yml
+//	easeml-ci-server -addr :8080 -script ci.yml -queue-capacity 4096
 //	curl localhost:8080/api/v1/plan
 //	curl 'localhost:8080/api/v1/plan?condition=n+-+o+%3E+0.02+%2B%2F-+0.01&steps=8'
-//	curl localhost:8080/api/v1/metrics          # plan-cache hit/miss counters
+//	curl localhost:8080/api/v1/metrics          # cache + queue counters
 //	curl -X POST localhost:8080/api/v1/commit -d '{"model":"v2","predictions":[...]}'
+//	curl -X POST localhost:8080/api/v1/commit/async \
+//	     -d '{"model":"v2","predictions":[...],"webhook":"http://ci.example/hook"}'
+//	curl localhost:8080/api/v1/commit/jobs/job-1
+//	curl -X POST localhost:8080/api/v1/admin/reset-caches
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	ci "github.com/easeml/ci"
 	"github.com/easeml/ci/internal/data"
@@ -40,6 +54,7 @@ func main() {
 		classes     = flag.Int("classes", 4, "label alphabet size")
 		initialAcc  = flag.Float64("initial-accuracy", 0.8, "accuracy of the deployed baseline H0")
 		seed        = flag.Int64("seed", 1, "testset seed")
+		queueCap    = flag.Int("queue-capacity", 1024, "pending commit-job backlog bound (full backlog answers 503)")
 	)
 	flag.Parse()
 
@@ -47,12 +62,31 @@ func main() {
 	if err != nil {
 		log.Fatal("easeml-ci-server: ", err)
 	}
-	srv, err := buildServer(cfg, *testsetSize, *classes, *initialAcc, *seed)
+	srv, err := buildServer(cfg, *testsetSize, *classes, *initialAcc, *seed, server.Options{
+		QueueCapacity: *queueCap,
+	})
 	if err != nil {
 		log.Fatal("easeml-ci-server: ", err)
 	}
-	log.Printf("serving %q on %s", cfg.ConditionSrc, *addr)
-	log.Fatal(http.ListenAndServe(*addr, srv))
+	log.Printf("serving %q on %s (queue capacity %d)", cfg.ConditionSrc, *addr, *queueCap)
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		<-sig
+		log.Print("shutting down: draining commit queue")
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		_ = httpSrv.Shutdown(ctx) // stop accepting requests
+		srv.Close()               // drain accepted jobs
+	}()
+	if err := httpSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+		log.Fatal("easeml-ci-server: ", err)
+	}
+	<-done
 }
 
 func loadConfig(path, condition string, reliability float64, steps int) (*ci.Config, error) {
@@ -63,7 +97,7 @@ func loadConfig(path, condition string, reliability float64, steps int) (*ci.Con
 		ci.Adaptivity{Kind: ci.AdaptivityFull}, steps)
 }
 
-func buildServer(cfg *ci.Config, testsetSize, classes int, initialAcc float64, seed int64) (*server.Server, error) {
+func buildServer(cfg *ci.Config, testsetSize, classes int, initialAcc float64, seed int64, opts server.Options) (*server.Server, error) {
 	if testsetSize < 10 || classes < 2 {
 		return nil, fmt.Errorf("testset-size must be >= 10 and classes >= 2")
 	}
@@ -82,5 +116,5 @@ func buildServer(cfg *ci.Config, testsetSize, classes int, initialAcc float64, s
 	if err != nil {
 		return nil, err
 	}
-	return server.New(cfg, eng)
+	return server.NewWithOptions(cfg, eng, opts)
 }

@@ -1,9 +1,13 @@
 package main
 
 import (
+	"encoding/json"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"testing"
+
+	"github.com/easeml/ci/internal/server"
 )
 
 func TestLoadConfigInline(t *testing.T) {
@@ -27,14 +31,59 @@ func TestBuildServerServes(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv, err := buildServer(cfg, 700, 4, 0.8, 1)
+	srv, err := buildServer(cfg, 700, 4, 0.8, 1, server.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer srv.Close()
 	rec := httptest.NewRecorder()
 	srv.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/api/v1/status", nil))
 	if rec.Code != http.StatusOK {
 		t.Errorf("status endpoint = %d: %s", rec.Code, rec.Body.String())
+	}
+}
+
+// TestBuildServerAsyncFlow drives the configured queue options over the
+// wire: submit async, poll to terminal, exactly as the flags wire it.
+func TestBuildServerAsyncFlow(t *testing.T) {
+	cfg, err := loadConfig("", "n > 0.6 +/- 0.1", 0.99, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := buildServer(cfg, 700, 4, 0.8, 1, server.Options{QueueCapacity: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	preds := make([]int, 700)
+	for i := range preds {
+		preds[i] = i % 4
+	}
+	body, _ := json.Marshal(server.AsyncCommitRequest{
+		CommitRequest: server.CommitRequest{Model: "v2", Predictions: preds},
+	})
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/api/v1/commit/async", strings.NewReader(string(body))))
+	if rec.Code != http.StatusAccepted {
+		t.Fatalf("async submit = %d: %s", rec.Code, rec.Body.String())
+	}
+	var acc server.JobAcceptedResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &acc); err != nil {
+		t.Fatal(err)
+	}
+	// Close drains the queue, so the job is terminal afterwards.
+	srv.Close()
+	rec = httptest.NewRecorder()
+	srv.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, acc.Poll, nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("poll = %d: %s", rec.Code, rec.Body.String())
+	}
+	var st server.JobStatusResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.State != "done" || st.Result == nil {
+		t.Errorf("job after drain = %+v", st)
 	}
 }
 
@@ -43,13 +92,16 @@ func TestBuildServerValidation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := buildServer(cfg, 5, 4, 0.8, 1); err == nil {
+	if _, err := buildServer(cfg, 5, 4, 0.8, 1, server.Options{}); err == nil {
 		t.Error("tiny testset should fail")
 	}
-	if _, err := buildServer(cfg, 700, 1, 0.8, 1); err == nil {
+	if _, err := buildServer(cfg, 700, 1, 0.8, 1, server.Options{}); err == nil {
 		t.Error("single class should fail")
 	}
-	if _, err := buildServer(cfg, 700, 4, 1.5, 1); err == nil {
+	if _, err := buildServer(cfg, 700, 4, 1.5, 1, server.Options{}); err == nil {
 		t.Error("bad accuracy should fail")
+	}
+	if _, err := buildServer(cfg, 700, 4, 0.8, 1, server.Options{QueueCapacity: -1}); err == nil {
+		t.Error("negative queue capacity should fail")
 	}
 }

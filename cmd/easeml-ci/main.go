@@ -4,22 +4,35 @@
 // each one, and prints the signals, labeling costs, and alarms — the
 // Figure 1 workflow end to end on one machine.
 //
+// With -server it instead plays the developer against a running
+// easeml-ci-server: each commit is submitted to the asynchronous endpoint
+// (POST /api/v1/commit/async), and the job is polled to its terminal
+// state — the commit-hook shape of the Figure 1 workflow.
+//
 // Usage:
 //
 //	easeml-ci -script ci.yml -commits 8 -seed 1
 //	easeml-ci -condition "n - o > 0.02 +/- 0.02" -reliability 0.998 \
 //	          -adaptivity full -steps 8 -commits 8
+//	easeml-ci -server http://localhost:8080 -commits 8 -classes 4
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
 	"os"
+	"strings"
+	"time"
 
 	ci "github.com/easeml/ci"
 	"github.com/easeml/ci/internal/data"
 	"github.com/easeml/ci/internal/model"
 	"github.com/easeml/ci/internal/notify"
+	"github.com/easeml/ci/internal/server"
 )
 
 func main() {
@@ -33,9 +46,17 @@ func main() {
 		commits     = flag.Int("commits", 8, "number of model commits to simulate")
 		testN       = flag.Int("testset", 6000, "testset size")
 		seed        = flag.Int64("seed", 1, "scenario seed")
+		serverURL   = flag.String("server", "", "base URL of a running easeml-ci-server; commits go over the async API")
+		classes     = flag.Int("classes", 4, "label alphabet size of the remote server's testset (with -server)")
 	)
 	flag.Parse()
-	if err := run(*scriptPath, *condition, *reliability, *steps, *adaptFlag, *modeFlag, *commits, *testN, *seed); err != nil {
+	var err error
+	if *serverURL != "" {
+		err = runRemote(*serverURL, *commits, *classes, *seed)
+	} else {
+		err = run(*scriptPath, *condition, *reliability, *steps, *adaptFlag, *modeFlag, *commits, *testN, *seed)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "easeml-ci:", err)
 		os.Exit(1)
 	}
@@ -119,6 +140,118 @@ func run(scriptPath, condition string, reliability float64, steps int, adaptFlag
 		fmt.Printf("notification : [%s] to %s: %s\n", n.Kind, n.To, n.Subject)
 	}
 	return nil
+}
+
+// runRemote is the -server mode: submit -commits prediction vectors to a
+// running server's asynchronous endpoint and poll each job to its
+// terminal state. The synthetic predictions ramp in accuracy against the
+// server's own synthetic testset layout (label i%classes), mirroring the
+// local scenario's incrementally improving models.
+func runRemote(base string, commits, classes int, seed int64) error {
+	if commits < 1 || classes < 2 {
+		return fmt.Errorf("remote mode needs -commits >= 1 and -classes >= 2")
+	}
+	base = strings.TrimRight(base, "/")
+	var status server.StatusResponse
+	if err := getJSON(base+"/api/v1/status", &status); err != nil {
+		return fmt.Errorf("reading server status: %w", err)
+	}
+	fmt.Printf("remote server: active=%s testset=%d generation=%d budget=%d/%d\n\n",
+		status.ActiveModel, status.TestsetSize, status.TestsetGeneration,
+		status.BudgetUsed, status.BudgetTotal)
+	labels := make([]int, status.TestsetSize)
+	for i := range labels {
+		labels[i] = i % classes
+	}
+
+	fmt.Printf("%-4s %-10s %-9s %-8s %-7s %-8s\n", "k", "job", "state", "step", "signal", "alarm")
+	for k := 1; k <= commits; k++ {
+		acc := 0.70 + 0.25*float64(k)/float64(commits)
+		preds, err := model.SimulatedPredictions(labels, classes, acc, seed+int64(k))
+		if err != nil {
+			return err
+		}
+		var accepted server.JobAcceptedResponse
+		err = postJSON(base+"/api/v1/commit/async", server.AsyncCommitRequest{
+			CommitRequest: server.CommitRequest{
+				Model:       fmt.Sprintf("remote-%d", k),
+				Author:      "easeml-ci",
+				Message:     fmt.Sprintf("simulated commit %d", k),
+				Predictions: preds,
+			},
+		}, &accepted, http.StatusAccepted)
+		if err != nil {
+			return fmt.Errorf("submitting commit %d: %w", k, err)
+		}
+		st, err := pollJob(base+accepted.Poll, 30*time.Second)
+		if err != nil {
+			return fmt.Errorf("polling job %s: %w", accepted.JobID, err)
+		}
+		switch {
+		case st.Result != nil:
+			fmt.Printf("%-4d %-10s %-9s %-8d %-7v %-8v\n",
+				k, st.JobID, st.State, st.Result.Step, st.Result.Signal, st.Result.NeedNewTestset)
+			if st.Result.NeedNewTestset {
+				fmt.Println("     (new testset alarm fired; stopping)")
+				return nil
+			}
+		default:
+			fmt.Printf("%-4d %-10s %-9s %s\n", k, st.JobID, st.State, st.Error)
+		}
+	}
+	return nil
+}
+
+// pollJob polls a job-status URL until the job is terminal.
+func pollJob(url string, timeout time.Duration) (server.JobStatusResponse, error) {
+	deadline := time.Now().Add(timeout)
+	for {
+		var st server.JobStatusResponse
+		if err := getJSON(url, &st); err != nil {
+			return st, err
+		}
+		if st.State == "done" || st.State == "failed" {
+			return st, nil
+		}
+		if time.Now().After(deadline) {
+			return st, fmt.Errorf("job still %s after %s", st.State, timeout)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// remoteClient bounds every remote-mode request so a wedged server can't
+// hang the CLI past pollJob's deadline.
+var remoteClient = &http.Client{Timeout: 10 * time.Second}
+
+func getJSON(url string, out any) error {
+	resp, err := remoteClient.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		raw, _ := io.ReadAll(resp.Body)
+		return fmt.Errorf("GET %s: %s: %s", url, resp.Status, raw)
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+func postJSON(url string, body, out any, wantStatus int) error {
+	raw, err := json.Marshal(body)
+	if err != nil {
+		return err
+	}
+	resp, err := remoteClient.Post(url, "application/json", bytes.NewReader(raw))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != wantStatus {
+		msg, _ := io.ReadAll(resp.Body)
+		return fmt.Errorf("POST %s: %s: %s", url, resp.Status, msg)
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
 }
 
 func loadConfig(path, condition string, reliability float64, steps int, adaptFlag, modeFlag string) (*ci.Config, error) {

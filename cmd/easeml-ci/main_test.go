@@ -1,9 +1,16 @@
 package main
 
 import (
+	"net/http/httptest"
 	"testing"
 
 	ci "github.com/easeml/ci"
+	"github.com/easeml/ci/internal/data"
+	"github.com/easeml/ci/internal/engine"
+	"github.com/easeml/ci/internal/labeling"
+	"github.com/easeml/ci/internal/model"
+	"github.com/easeml/ci/internal/script"
+	"github.com/easeml/ci/internal/server"
 )
 
 func TestLoadConfigInline(t *testing.T) {
@@ -43,5 +50,52 @@ func TestRunScenarioFirstChange(t *testing.T) {
 	err := run("", "n - o > 0.02 +/- 0.05", 0.99, 8, "firstChange", "fp-free", 3, 1500, 2)
 	if err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestRunRemoteAgainstLiveServer exercises the -server mode end to end:
+// the CLI submits commits to a real HTTP server's async endpoint and
+// polls each job to completion.
+func TestRunRemoteAgainstLiveServer(t *testing.T) {
+	const size, classes = 700, 4
+	ds := &data.Dataset{Name: "srv", Classes: classes}
+	for i := 0; i < size; i++ {
+		ds.X = append(ds.X, []float64{float64(i)})
+		ds.Y = append(ds.Y, i%classes)
+	}
+	cfg, err := ci.NewConfig("n > 0.6 +/- 0.1", 0.99, ci.FPFree,
+		script.Adaptivity{Kind: script.AdaptivityFull}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h0, err := model.SimulatedPredictions(ds.Y, classes, 0.5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := engine.New(cfg, ds, labeling.NewTruthOracle(ds.Y), engine.Options{
+		InitialModel: model.NewFixedPredictions("h0", h0),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := server.New(cfg, eng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	if err := runRemote(ts.URL, 3, classes, 7); err != nil {
+		t.Fatal(err)
+	}
+	if got := eng.Repository().Len(); got != 3 {
+		t.Errorf("server saw %d commits, want 3", got)
+	}
+	if err := runRemote(ts.URL, 0, classes, 7); err == nil {
+		t.Error("zero commits should be rejected")
+	}
+	if err := runRemote("http://127.0.0.1:1/nope", 1, classes, 7); err == nil {
+		t.Error("unreachable server should fail")
 	}
 }

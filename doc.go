@@ -44,4 +44,20 @@
 // about 165x faster per tail evaluation than the direct implementation and
 // roughly half the probes per cold search versus the Hoeffding-seeded
 // bracket, with byte-identical results.
+//
+// # Asynchronous commits
+//
+// Commit evaluation is asynchronous under the hood: the HTTP server
+// (internal/server) drains every commit — synchronous or not — through a
+// bounded FIFO job queue (internal/queue) into the engine, so a burst of
+// submissions from many repositories is absorbed as 202-accepted jobs
+// instead of stacking callers on the engine lock. POST /api/v1/commit/async
+// returns a job ID to poll at GET /api/v1/commit/jobs/{id} (DELETE cancels
+// a still-queued job), and an optional "webhook" URL in the submission
+// receives the final job status as JSON (internal/notify). The synchronous
+// POST /api/v1/commit is the same queue with the handler waiting, so both
+// paths yield byte-identical responses and engine history for the same
+// commit sequence; see examples/rest_api for the full flow, and the
+// server's /api/v1/admin/reset-caches for the operator-facing cache-reset
+// hook.
 package ci

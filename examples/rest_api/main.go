@@ -1,7 +1,10 @@
 // REST API: ease.ml/ci as a service. Starts the HTTP server on a local
 // port, then plays both roles over the wire: the developer pushes model
 // commits as prediction vectors, the integration team watches status and
-// rotates the testset when the alarm fires.
+// rotates the testset when the alarm fires. The final act is the
+// asynchronous flow: a commit submitted to /api/v1/commit/async comes
+// back as a 202 job, is polled at /api/v1/commit/jobs/{id}, and fires a
+// webhook callback with the finished status.
 //
 // Run with: go run ./examples/rest_api
 package main
@@ -96,6 +99,82 @@ func main() {
 	fmt.Printf("status: active=%s generation=%d budget=%d/%d labels=%d\n",
 		status.ActiveModel, status.TestsetGeneration,
 		status.BudgetUsed, status.BudgetTotal, status.LabelsSpent)
+
+	// --- developer, asynchronously: submit, poll, and receive a webhook --
+	// A tiny subscriber stands in for the developer's CI system; the
+	// server POSTs the finished job status to it.
+	hooks := make(chan server.JobStatusResponse, 1)
+	hookLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	go func() {
+		_ = http.Serve(hookLn, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			var st server.JobStatusResponse
+			if err := json.NewDecoder(r.Body).Decode(&st); err == nil {
+				hooks <- st
+			}
+		}))
+	}()
+
+	preds, err := model.SimulatedPredictions(labels, classes, 0.9, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var accepted server.JobAcceptedResponse
+	postStatus(base+"/api/v1/commit/async", server.AsyncCommitRequest{
+		CommitRequest: server.CommitRequest{
+			Model: "candidate-async", Author: "dev",
+			Message: "submitted without waiting", Predictions: preds,
+		},
+		Webhook: "http://" + hookLn.Addr().String() + "/hook",
+	}, &accepted, http.StatusAccepted)
+	fmt.Printf("async submit accepted: %s (%s), polling %s\n",
+		accepted.JobID, accepted.State, accepted.Poll)
+
+	// Poll until the queue has evaluated the commit...
+	var polled server.JobStatusResponse
+	for {
+		get(base+accepted.Poll, &polled)
+		if polled.State == "done" || polled.State == "failed" {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if polled.Result == nil {
+		log.Fatalf("job %s %s: %s", polled.JobID, polled.State, polled.Error)
+	}
+	fmt.Printf("poll: job %s %s signal=%v\n", polled.JobID, polled.State, polled.Result.Signal)
+
+	// ...and the webhook arrives with the same final status.
+	select {
+	case st := <-hooks:
+		if st.Result == nil {
+			log.Fatalf("webhook job %s %s: %s", st.JobID, st.State, st.Error)
+		}
+		fmt.Printf("webhook: job %s %s step=%d\n", st.JobID, st.State, st.Result.Step)
+	case <-time.After(5 * time.Second):
+		log.Fatal("webhook never arrived")
+	}
+}
+
+// postStatus is post, but for endpoints whose success code isn't 200.
+func postStatus(url string, body, out any, want int) {
+	raw, err := json.Marshal(body)
+	if err != nil {
+		log.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(raw))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != want {
+		log.Fatalf("POST %s: %s", url, resp.Status)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		log.Fatal(err)
+	}
 }
 
 func waitReady(base string) {

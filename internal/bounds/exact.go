@@ -465,7 +465,8 @@ func ExactCacheStats() (hits, misses uint64, len_ int) {
 	return worstCache.Hits(), worstCache.Misses(), worstCache.Len()
 }
 
-// ResetExactCache empties the worst-case memo and its counters (test hook).
+// ResetExactCache empties the worst-case memo and its counters. Used by
+// tests and by the server's admin cache-reset endpoint.
 func ResetExactCache() {
 	worstCache.Reset()
 	worstEvals.Store(0)

@@ -1,16 +1,22 @@
-// Package notify abstracts the two outbound channels of ease.ml/ci: the
+// Package notify abstracts the outbound channels of ease.ml/ci: the
 // third-party address that receives true test results in the non-adaptive
-// mode ("adaptivity: none -> xx@abc.com"), and the new-testset alarm sent
-// to the integration team (Section 2.3). The implementations simulate
-// e-mail with an in-memory or file-backed outbox; the information-flow
-// property that matters — the developer cannot read the channel — is
-// preserved by construction.
+// mode ("adaptivity: none -> xx@abc.com"), the new-testset alarm sent
+// to the integration team (Section 2.3), and the webhook callbacks the
+// async commit pipeline fires when a queued job finishes. The e-mail
+// channels are simulated with an in-memory or file-backed outbox; the
+// information-flow property that matters — the developer cannot read the
+// channel — is preserved by construction. Webhooks are delivered for real
+// over HTTP by HTTPPoster, or captured by the same Outbox in tests.
 package notify
 
 import (
 	"fmt"
+	"net/http"
+	"net/url"
 	"os"
+	"strings"
 	"sync"
+	"time"
 )
 
 // Kind classifies notifications.
@@ -21,6 +27,10 @@ const (
 	KindResult Kind = iota
 	// KindAlarm is the new-testset alarm.
 	KindAlarm
+	// KindWebhook carries a JSON payload for a subscriber URL (the async
+	// commit pipeline's job-finished callback); To is the URL and Body
+	// the payload.
+	KindWebhook
 )
 
 // String implements fmt.Stringer.
@@ -30,6 +40,8 @@ func (k Kind) String() string {
 		return "result"
 	case KindAlarm:
 		return "alarm"
+	case KindWebhook:
+		return "webhook"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}
@@ -129,3 +141,37 @@ type Discard struct{}
 
 // Send implements Notifier.
 func (Discard) Send(Notification) error { return nil }
+
+// HTTPPoster delivers notifications over HTTP: the Body is POSTed as JSON
+// to the To URL. It is the production transport for KindWebhook callbacks.
+type HTTPPoster struct {
+	client *http.Client
+}
+
+// NewHTTPPoster builds an HTTP notifier; a nil client gets a default with
+// a 10-second timeout (a slow subscriber must not wedge the worker that
+// fires callbacks).
+func NewHTTPPoster(client *http.Client) *HTTPPoster {
+	if client == nil {
+		client = &http.Client{Timeout: 10 * time.Second}
+	}
+	return &HTTPPoster{client: client}
+}
+
+// Send implements Notifier. Non-2xx responses are errors so the caller's
+// delivery counters reflect what the subscriber actually acknowledged.
+func (p *HTTPPoster) Send(n Notification) error {
+	u, err := url.Parse(n.To)
+	if err != nil || (u.Scheme != "http" && u.Scheme != "https") || u.Host == "" {
+		return fmt.Errorf("notify: webhook target %q is not an http(s) URL", n.To)
+	}
+	resp, err := p.client.Post(n.To, "application/json", strings.NewReader(n.Body))
+	if err != nil {
+		return fmt.Errorf("notify: webhook POST %s: %w", n.To, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		return fmt.Errorf("notify: webhook POST %s: subscriber answered %s", n.To, resp.Status)
+	}
+	return nil
+}

@@ -1,6 +1,9 @@
 package notify
 
 import (
+	"io"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"strings"
@@ -93,10 +96,52 @@ func TestDiscard(t *testing.T) {
 }
 
 func TestKindString(t *testing.T) {
-	if KindResult.String() != "result" || KindAlarm.String() != "alarm" {
+	if KindResult.String() != "result" || KindAlarm.String() != "alarm" || KindWebhook.String() != "webhook" {
 		t.Error("Kind.String wrong")
 	}
 	if Kind(9).String() == "" {
 		t.Error("default Kind.String empty")
+	}
+}
+
+func TestHTTPPosterDelivers(t *testing.T) {
+	var mu sync.Mutex
+	var gotBody, gotType string
+	recv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		raw, _ := io.ReadAll(r.Body)
+		mu.Lock()
+		gotBody, gotType = string(raw), r.Header.Get("Content-Type")
+		mu.Unlock()
+	}))
+	defer recv.Close()
+	p := NewHTTPPoster(nil)
+	err := p.Send(Notification{Kind: KindWebhook, To: recv.URL, Body: `{"job_id":"job-1"}`})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if gotBody != `{"job_id":"job-1"}` || gotType != "application/json" {
+		t.Errorf("delivered body=%q type=%q", gotBody, gotType)
+	}
+}
+
+func TestHTTPPosterErrors(t *testing.T) {
+	p := NewHTTPPoster(nil)
+	for _, bad := range []string{"", "not-a-url", "ftp://x.y/hook", "http://"} {
+		if err := p.Send(Notification{To: bad}); err == nil {
+			t.Errorf("target %q should be rejected", bad)
+		}
+	}
+	failing := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "nope", http.StatusInternalServerError)
+	}))
+	defer failing.Close()
+	if err := p.Send(Notification{To: failing.URL, Body: "{}"}); err == nil {
+		t.Error("5xx subscriber answer should be an error")
+	}
+	failing.Close()
+	if err := p.Send(Notification{To: failing.URL, Body: "{}"}); err == nil {
+		t.Error("unreachable subscriber should be an error")
 	}
 }

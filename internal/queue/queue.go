@@ -1,0 +1,466 @@
+// Package queue is the asynchronous spine of the CI server: a bounded
+// FIFO job queue with a worker pool draining into an executor (in the
+// server's case, engine.Commit under the engine lock). A burst of commits
+// from many repositories is absorbed as 202-accepted jobs and evaluated
+// in submission order, instead of stalling every caller on one engine
+// lock.
+//
+// Every knob a concurrency test needs is injectable: the clock that
+// stamps job transitions, the worker count, and — for fully deterministic
+// interleavings — a manual mode with no background workers at all, where
+// the test drives execution one job at a time with RunNext. The
+// production configuration and the deterministic harness share every line
+// of state-machine code; only the goroutines differ.
+package queue
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// State is a job's position in its lifecycle. Transitions are
+// Queued -> Running -> Done|Failed, or Queued -> Failed directly when a
+// queued job is canceled or the queue shuts down non-gracefully. Done and
+// Failed are terminal.
+type State int32
+
+const (
+	// Queued means the job is waiting its FIFO turn.
+	Queued State = iota
+	// Running means a worker has dequeued the job and is executing it.
+	Running
+	// Done means the executor returned a result.
+	Done
+	// Failed means the executor returned an error, or the job was
+	// canceled while still queued (Err is ErrCanceled then).
+	Failed
+)
+
+// String implements fmt.Stringer; the values are the wire vocabulary of
+// the server's job-status endpoint.
+func (s State) String() string {
+	switch s {
+	case Queued:
+		return "queued"
+	case Running:
+		return "running"
+	case Done:
+		return "done"
+	case Failed:
+		return "failed"
+	default:
+		return fmt.Sprintf("State(%d)", int32(s))
+	}
+}
+
+// Terminal reports whether the state is final.
+func (s State) Terminal() bool { return s == Done || s == Failed }
+
+var (
+	// ErrFull rejects a submit when the pending backlog is at capacity.
+	ErrFull = errors.New("queue: full")
+	// ErrClosed rejects a submit after Close.
+	ErrClosed = errors.New("queue: closed")
+	// ErrCanceled is the terminal error of a job canceled while queued.
+	ErrCanceled = errors.New("queue: job canceled")
+	// ErrNotFound reports an unknown (or already evicted) job ID.
+	ErrNotFound = errors.New("queue: no such job")
+	// ErrNotCancelable reports a cancel attempt on a job that already
+	// started running or finished; only queued jobs can be canceled.
+	ErrNotCancelable = errors.New("queue: job is not queued")
+)
+
+// Clock supplies the timestamps stamped onto job transitions. It must be
+// safe for concurrent use. Tests inject a deterministic counter; the
+// default is wall time in Unix nanoseconds.
+type Clock func() int64
+
+// Exec runs one job's work and produces its result.
+type Exec[Req, Res any] func(Req) (Res, error)
+
+// Job is one unit of queued work. ID, Seq, and Req are immutable after
+// Submit; everything else is read through the accessor methods, which are
+// safe for concurrent use.
+type Job[Req, Res any] struct {
+	// ID names the job ("job-<seq>"), unique within its queue.
+	ID string
+	// Seq is the 1-based submission position; FIFO execution order equals
+	// ascending Seq.
+	Seq int
+	// Req is the submitted work item.
+	Req Req
+
+	mu       sync.Mutex
+	state    State
+	res      Res
+	err      error
+	enqueued int64
+	started  int64
+	finished int64
+	done     chan struct{}
+}
+
+// Status is a point-in-time, non-generic snapshot of a job, shaped for
+// wire responses and logs.
+type Status struct {
+	ID    string
+	Seq   int
+	State State
+	// Err is the failure message ("" unless State == Failed).
+	Err string
+	// EnqueuedAt/StartedAt/FinishedAt are Clock stamps of the
+	// transitions; zero when the transition has not happened.
+	EnqueuedAt, StartedAt, FinishedAt int64
+}
+
+// Done returns a channel closed when the job reaches a terminal state.
+func (j *Job[Req, Res]) Done() <-chan struct{} { return j.done }
+
+// State returns the job's current state.
+func (j *Job[Req, Res]) State() State {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state
+}
+
+// Peek atomically reads the state together with the result and error; the
+// latter two are meaningful only when the state is terminal.
+func (j *Job[Req, Res]) Peek() (State, Res, error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state, j.res, j.err
+}
+
+// Result returns the executor's result or error. Call after Done is
+// closed; before that it returns zero values.
+func (j *Job[Req, Res]) Result() (Res, error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.res, j.err
+}
+
+// Snapshot returns the job's current Status.
+func (j *Job[Req, Res]) Snapshot() Status {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.snapshotLocked()
+}
+
+func (j *Job[Req, Res]) snapshotLocked() Status {
+	st := Status{
+		ID: j.ID, Seq: j.Seq, State: j.state,
+		EnqueuedAt: j.enqueued, StartedAt: j.started, FinishedAt: j.finished,
+	}
+	if j.err != nil {
+		st.Err = j.err.Error()
+	}
+	return st
+}
+
+// Options configures a queue.
+type Options[Req, Res any] struct {
+	// Capacity bounds the pending (not yet running) backlog; Submit
+	// returns ErrFull beyond it. 0 means DefaultCapacity.
+	Capacity int
+	// Workers is the size of the draining worker pool. 0 means
+	// DefaultWorkers; ignored when Manual is set. The executor decides
+	// its own serialization (the CI server's executor takes the engine
+	// lock), so more than one worker is only useful for executors that
+	// can actually run concurrently.
+	Workers int
+	// Manual disables background workers; jobs execute only when the
+	// caller invokes RunNext. This is the deterministic test harness: the
+	// test chooses exactly when each job runs and observes every
+	// intermediate state.
+	Manual bool
+	// Retain bounds how many terminal jobs stay pollable before the
+	// oldest are evicted. 0 means DefaultRetain.
+	Retain int
+	// Clock stamps job transitions; nil means wall time.
+	Clock Clock
+	// OnFinish, when set, is called exactly once per job immediately
+	// after it reaches a terminal state (the server routes webhook
+	// callbacks through it). It runs on the finishing goroutine without
+	// queue locks held; it must not block for long.
+	OnFinish func(*Job[Req, Res])
+}
+
+// Defaults for Options zero values.
+const (
+	DefaultCapacity = 1024
+	DefaultWorkers  = 1
+	DefaultRetain   = 4096
+)
+
+// Queue is a bounded FIFO job queue. Safe for concurrent use.
+type Queue[Req, Res any] struct {
+	exec     Exec[Req, Res]
+	clock    Clock
+	onFinish func(*Job[Req, Res])
+	capacity int
+	retain   int
+	manual   bool
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	pending  []*Job[Req, Res]
+	jobs     map[string]*Job[Req, Res]
+	terminal []string // terminal job IDs in finish order, for eviction
+	closed   bool
+	nextSeq  int
+	running  int
+	stats    Stats
+
+	wg sync.WaitGroup
+}
+
+// Stats counts the queue's lifetime traffic.
+type Stats struct {
+	// Submitted counts accepted jobs (rejected submits are not jobs).
+	Submitted uint64 `json:"submitted"`
+	// Completed counts jobs that reached Done.
+	Completed uint64 `json:"completed"`
+	// Failed counts jobs whose executor returned an error.
+	Failed uint64 `json:"failed"`
+	// Canceled counts jobs canceled while queued (a subset of neither
+	// Completed nor Failed).
+	Canceled uint64 `json:"canceled"`
+	// Pending and Running are point-in-time gauges.
+	Pending int `json:"pending"`
+	Running int `json:"running"`
+}
+
+// New builds a queue around an executor and starts its workers (unless
+// opts.Manual).
+func New[Req, Res any](exec Exec[Req, Res], opts Options[Req, Res]) (*Queue[Req, Res], error) {
+	if exec == nil {
+		return nil, fmt.Errorf("queue: nil executor")
+	}
+	if opts.Capacity < 0 || opts.Workers < 0 || opts.Retain < 0 {
+		return nil, fmt.Errorf("queue: negative capacity, workers, or retain")
+	}
+	q := &Queue[Req, Res]{
+		exec:     exec,
+		clock:    opts.Clock,
+		onFinish: opts.OnFinish,
+		capacity: opts.Capacity,
+		retain:   opts.Retain,
+		manual:   opts.Manual,
+		jobs:     make(map[string]*Job[Req, Res]),
+	}
+	if q.clock == nil {
+		q.clock = func() int64 { return time.Now().UnixNano() }
+	}
+	if q.capacity == 0 {
+		q.capacity = DefaultCapacity
+	}
+	if q.retain == 0 {
+		q.retain = DefaultRetain
+	}
+	q.cond = sync.NewCond(&q.mu)
+	if !opts.Manual {
+		workers := opts.Workers
+		if workers == 0 {
+			workers = DefaultWorkers
+		}
+		q.wg.Add(workers)
+		for i := 0; i < workers; i++ {
+			go q.worker()
+		}
+	}
+	return q, nil
+}
+
+// Submit enqueues a work item and returns its job handle. It never
+// blocks: a full backlog is ErrFull, a closed queue ErrClosed.
+func (q *Queue[Req, Res]) Submit(req Req) (*Job[Req, Res], error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return nil, ErrClosed
+	}
+	if len(q.pending) >= q.capacity {
+		return nil, ErrFull
+	}
+	q.nextSeq++
+	j := &Job[Req, Res]{
+		ID:       fmt.Sprintf("job-%d", q.nextSeq),
+		Seq:      q.nextSeq,
+		Req:      req,
+		state:    Queued,
+		enqueued: q.clock(),
+		done:     make(chan struct{}),
+	}
+	q.pending = append(q.pending, j)
+	q.jobs[j.ID] = j
+	q.stats.Submitted++
+	q.cond.Signal()
+	return j, nil
+}
+
+// Job looks up a job by ID. Terminal jobs stay pollable until evicted by
+// the retain bound.
+func (q *Queue[Req, Res]) Job(id string) (*Job[Req, Res], bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	j, ok := q.jobs[id]
+	return j, ok
+}
+
+// Cancel fails a still-queued job with ErrCanceled, removes it from the
+// backlog, and returns it (so the caller can report its final status even
+// if eviction races the lookup). Running or finished jobs are not
+// cancelable (ErrNotCancelable); unknown IDs are ErrNotFound.
+func (q *Queue[Req, Res]) Cancel(id string) (*Job[Req, Res], error) {
+	q.mu.Lock()
+	j, ok := q.jobs[id]
+	if !ok {
+		q.mu.Unlock()
+		return nil, ErrNotFound
+	}
+	idx := -1
+	for i, p := range q.pending {
+		if p == j {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		q.mu.Unlock()
+		return nil, ErrNotCancelable
+	}
+	q.pending = append(q.pending[:idx], q.pending[idx+1:]...)
+	j.mu.Lock()
+	j.state = Failed
+	j.err = ErrCanceled
+	j.finished = q.clock()
+	close(j.done)
+	j.mu.Unlock()
+	q.stats.Canceled++
+	q.retireLocked(j)
+	q.mu.Unlock()
+	if q.onFinish != nil {
+		q.onFinish(j)
+	}
+	return j, nil
+}
+
+// Stats snapshots the traffic counters and gauges.
+func (q *Queue[Req, Res]) Stats() Stats {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	s := q.stats
+	s.Pending = len(q.pending)
+	s.Running = q.running
+	return s
+}
+
+// Close shuts the queue down gracefully: new submits are rejected with
+// ErrClosed, every already-accepted job still executes, and Close blocks
+// until the backlog has drained and all workers have exited. In manual
+// mode Close drains the backlog itself, so the postcondition is the same:
+// every accepted job has reached a terminal state. Idempotent.
+func (q *Queue[Req, Res]) Close() {
+	q.mu.Lock()
+	alreadyClosed := q.closed
+	q.closed = true
+	q.cond.Broadcast()
+	q.mu.Unlock()
+	// Only manual mode drains on the closing goroutine: with background
+	// workers the workers themselves finish the backlog (the worker loop
+	// exits only once closed AND empty), and a second drainer would race
+	// them for jobs and break FIFO completion order during shutdown.
+	if !alreadyClosed && q.manual {
+		for q.RunNext() {
+		}
+	}
+	q.wg.Wait()
+}
+
+// RunNext dequeues and executes the oldest pending job on the calling
+// goroutine, returning false when the backlog is empty. It is the manual
+// harness's drive wheel; with background workers it is also safe (a
+// worker and a RunNext caller never pop the same job) but rarely useful.
+func (q *Queue[Req, Res]) RunNext() bool {
+	j := q.pop(false)
+	if j == nil {
+		return false
+	}
+	q.run(j)
+	return true
+}
+
+// worker drains the backlog until the queue is closed and empty.
+func (q *Queue[Req, Res]) worker() {
+	defer q.wg.Done()
+	for {
+		j := q.pop(true)
+		if j == nil {
+			return
+		}
+		q.run(j)
+	}
+}
+
+// pop removes the FIFO head and marks it running. With block set it waits
+// for work, returning nil only when the queue is closed and drained;
+// without, it returns nil immediately on an empty backlog.
+func (q *Queue[Req, Res]) pop(block bool) *Job[Req, Res] {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for len(q.pending) == 0 {
+		if q.closed || !block {
+			return nil
+		}
+		q.cond.Wait()
+	}
+	j := q.pending[0]
+	q.pending = q.pending[1:]
+	q.running++
+	j.mu.Lock()
+	j.state = Running
+	j.started = q.clock()
+	j.mu.Unlock()
+	return j
+}
+
+// run executes a popped job and retires it.
+func (q *Queue[Req, Res]) run(j *Job[Req, Res]) {
+	res, err := q.exec(j.Req)
+	j.mu.Lock()
+	if err != nil {
+		j.state = Failed
+		j.err = err
+	} else {
+		j.state = Done
+		j.res = res
+	}
+	j.finished = q.clock()
+	close(j.done)
+	j.mu.Unlock()
+	q.mu.Lock()
+	q.running--
+	if err != nil {
+		q.stats.Failed++
+	} else {
+		q.stats.Completed++
+	}
+	q.retireLocked(j)
+	q.mu.Unlock()
+	if q.onFinish != nil {
+		q.onFinish(j)
+	}
+}
+
+// retireLocked records a terminal job and evicts the oldest terminal jobs
+// beyond the retain bound, so a long-lived server's job map stays bounded
+// while recent jobs remain pollable.
+func (q *Queue[Req, Res]) retireLocked(j *Job[Req, Res]) {
+	q.terminal = append(q.terminal, j.ID)
+	for len(q.terminal) > q.retain {
+		delete(q.jobs, q.terminal[0])
+		q.terminal = q.terminal[1:]
+	}
+}

@@ -1,0 +1,245 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/url"
+	"strings"
+
+	"github.com/easeml/ci/internal/bounds"
+	"github.com/easeml/ci/internal/engine"
+	"github.com/easeml/ci/internal/model"
+	"github.com/easeml/ci/internal/notify"
+	"github.com/easeml/ci/internal/queue"
+)
+
+// jobsPath is the poll/cancel endpoint prefix; job IDs follow it.
+const jobsPath = "/api/v1/commit/jobs/"
+
+// AsyncCommitRequest is a commit submission to the asynchronous pipeline:
+// the ordinary commit payload plus an optional webhook URL that receives
+// the job's final JobStatusResponse as JSON when it finishes.
+//
+// A webhook makes the server originate an HTTP POST to a caller-chosen
+// URL. Like every endpoint here (testset rotation, admin resets), this
+// assumes trusted callers inside one trust boundary; an internet-facing
+// deployment must put an authenticating proxy in front and restrict
+// webhook targets there.
+type AsyncCommitRequest struct {
+	CommitRequest
+	Webhook string `json:"webhook,omitempty"`
+}
+
+// JobAcceptedResponse is the 202 body of POST /api/v1/commit/async.
+type JobAcceptedResponse struct {
+	JobID string `json:"job_id"`
+	State string `json:"state"`
+	// Poll is the path to poll for the job's status.
+	Poll string `json:"poll"`
+}
+
+// JobStatusResponse reports one job's state; Result is present once the
+// job is done, Error once it has failed. The same shape is POSTed to the
+// job's webhook on completion.
+type JobStatusResponse struct {
+	JobID string `json:"job_id"`
+	// Seq is the job's FIFO submission position.
+	Seq   int    `json:"seq"`
+	State string `json:"state"`
+	// Result carries the commit outcome (byte-identical to what the
+	// synchronous endpoint returns for the same commit).
+	Result *CommitResponse `json:"result,omitempty"`
+	Error  string          `json:"error,omitempty"`
+}
+
+// badRequestError marks a commit failure as the caller's fault (HTTP 400
+// rather than 422): the job executor cannot write status codes, so it
+// types the error and the HTTP layer maps it.
+type badRequestError struct{ msg string }
+
+func (e badRequestError) Error() string { return e.msg }
+
+// commitErrorStatus maps a commit-job error to the status code the
+// synchronous endpoint has always used: 400 for malformed submissions,
+// 409 for an exhausted testset budget or a job canceled before it ran
+// (both "the engine state moved under you" conflicts, not evaluation
+// failures), 422 for evaluation failures.
+func commitErrorStatus(err error) int {
+	var br badRequestError
+	switch {
+	case errors.As(err, &br):
+		return http.StatusBadRequest
+	case errors.Is(err, engine.ErrNeedNewTestset), errors.Is(err, queue.ErrCanceled):
+		return http.StatusConflict
+	default:
+		return http.StatusUnprocessableEntity
+	}
+}
+
+// executeCommit is the queue's executor: the one code path both the
+// synchronous and asynchronous endpoints evaluate commits through. It
+// serializes on the engine lock; validation against the current testset
+// happens here (not at enqueue time) because a rotation may land between
+// submission and execution.
+func (s *Server) executeCommit(req AsyncCommitRequest) (CommitResponse, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if got, want := len(req.Predictions), s.eng.Testsets().Current().Len(); got != want {
+		return CommitResponse{}, badRequestError{fmt.Sprintf("predictions length %d != testset size %d", got, want)}
+	}
+	res, err := s.eng.Commit(model.NewFixedPredictions(req.Model, req.Predictions), req.Author, req.Message)
+	if err != nil {
+		return CommitResponse{}, err
+	}
+	return s.resultToResponse(res), nil
+}
+
+// handleCommitAsync accepts a commit into the queue and returns 202 with
+// the job handle; the caller polls the job or receives its webhook.
+func (s *Server) handleCommitAsync(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	var req AsyncCommitRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "malformed JSON: "+err.Error())
+		return
+	}
+	if req.Model == "" {
+		writeError(w, http.StatusBadRequest, "model name required")
+		return
+	}
+	if req.Webhook != "" {
+		u, err := url.Parse(req.Webhook)
+		if err != nil || (u.Scheme != "http" && u.Scheme != "https") || u.Host == "" {
+			writeError(w, http.StatusBadRequest, fmt.Sprintf("webhook %q is not an http(s) URL", req.Webhook))
+			return
+		}
+	}
+	job, err := s.jobs.Submit(req)
+	if err != nil {
+		// Both a full backlog and a draining server are transient
+		// server-side conditions; the client should retry later.
+		writeError(w, http.StatusServiceUnavailable, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusAccepted, JobAcceptedResponse{
+		JobID: job.ID,
+		State: job.State().String(),
+		Poll:  jobsPath + job.ID,
+	})
+}
+
+// handleCommitJob polls (GET) or cancels (DELETE) one queued commit job.
+// Job IDs are sequential, not capability tokens: like every endpoint on
+// this server (rotation, admin resets), cancellation assumes trusted
+// callers — there is no per-client authorization layer.
+func (s *Server) handleCommitJob(w http.ResponseWriter, r *http.Request) {
+	id := strings.TrimPrefix(r.URL.Path, jobsPath)
+	if id == "" || strings.Contains(id, "/") {
+		writeError(w, http.StatusNotFound, "job ID required: "+jobsPath+"{id}")
+		return
+	}
+	switch r.Method {
+	case http.MethodGet:
+		job, ok := s.jobs.Job(id)
+		if !ok {
+			writeError(w, http.StatusNotFound, fmt.Sprintf("no job %q (unknown, or evicted after completion)", id))
+			return
+		}
+		writeJSON(w, http.StatusOK, jobStatus(job))
+	case http.MethodDelete:
+		job, err := s.jobs.Cancel(id)
+		switch {
+		case errors.Is(err, queue.ErrNotFound):
+			writeError(w, http.StatusNotFound, err.Error())
+		case errors.Is(err, queue.ErrNotCancelable):
+			writeError(w, http.StatusConflict, err.Error())
+		case err != nil:
+			writeError(w, http.StatusInternalServerError, err.Error())
+		default:
+			writeJSON(w, http.StatusOK, jobStatus(job))
+		}
+	default:
+		writeError(w, http.StatusMethodNotAllowed, "GET or DELETE only")
+	}
+}
+
+// jobStatus shapes a job into its wire status.
+func jobStatus(job *queue.Job[AsyncCommitRequest, CommitResponse]) JobStatusResponse {
+	state, res, err := job.Peek()
+	out := JobStatusResponse{JobID: job.ID, Seq: job.Seq, State: state.String()}
+	switch state {
+	case queue.Done:
+		r := res
+		out.Result = &r
+	case queue.Failed:
+		out.Error = err.Error()
+	}
+	return out
+}
+
+// deliverWebhook is the queue's OnFinish hook: jobs submitted with a
+// webhook URL get their final status POSTed through the notify channel.
+// The POST itself runs on its own goroutine — OnFinish executes on the
+// commit worker, and a slow subscriber must not stall the queue behind
+// one job's callback. Delivery failures are counted, not retried — the
+// job result itself stays pollable either way; Server.Close waits for
+// in-flight deliveries.
+func (s *Server) deliverWebhook(job *queue.Job[AsyncCommitRequest, CommitResponse]) {
+	if job.Req.Webhook == "" {
+		return
+	}
+	payload, err := json.Marshal(jobStatus(job))
+	if err != nil {
+		s.webhooksFailed.Add(1)
+		return
+	}
+	n := notify.Notification{
+		Kind:    notify.KindWebhook,
+		To:      job.Req.Webhook,
+		Subject: fmt.Sprintf("easeml-ci job %s %s", job.ID, job.State()),
+		Body:    string(payload),
+	}
+	s.hookMu.Lock()
+	if s.hooksDraining {
+		// Close has already passed (or is in) its Wait; registering with
+		// the WaitGroup now would be Add-after-Wait misuse. Deliver
+		// synchronously on this goroutine instead (only cancels racing
+		// Close land here).
+		s.hookMu.Unlock()
+		s.sendWebhook(n)
+		return
+	}
+	s.hookWG.Add(1)
+	s.hookMu.Unlock()
+	go func() {
+		defer s.hookWG.Done()
+		s.sendWebhook(n)
+	}()
+}
+
+func (s *Server) sendWebhook(n notify.Notification) {
+	if err := s.webhooks.Send(n); err != nil {
+		s.webhooksFailed.Add(1)
+		return
+	}
+	s.webhooksSent.Add(1)
+}
+
+// handleAdminReset clears the plan cache and the exact-bound memo and
+// returns the pre-reset metrics snapshot, so an operator hot-reloading
+// scripts (or chasing a suspected stale entry) can see what was dropped.
+func (s *Server) handleAdminReset(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	pre := s.metricsSnapshot()
+	s.plans.Reset()
+	bounds.ResetExactCache()
+	writeJSON(w, http.StatusOK, pre)
+}

@@ -21,23 +21,37 @@
 //	                         dashboard sweeps
 //	GET  /api/v1/status      testset generation/budget, active model, label cost
 //	GET  /api/v1/history     evaluation results so far
-//	GET  /api/v1/metrics     plan-cache and exact-bound-memo counters
+//	GET  /api/v1/metrics     plan-cache, exact-bound-memo, commit-queue, and
+//	                         webhook counters
 //	POST /api/v1/commit      {"model":..., "author":..., "message":..., "predictions":[...]}
+//	POST /api/v1/commit/async       same payload plus optional "webhook";
+//	                                202 + job ID, evaluated FIFO off the queue
+//	GET  /api/v1/commit/jobs/{id}   poll one job (DELETE cancels it while queued)
 //	POST /api/v1/testset     {"labels":[...], "active_predictions":[...]}  (rotation)
+//	POST /api/v1/admin/reset-caches clear plan cache + exact-bound memo,
+//	                                returning the pre-reset counters
 //
 // All plans — single and batch — are served through the sharded LRU plan
 // cache (internal/planner), so concurrent plan traffic neither recomputes
 // identical plans nor serializes on a single cache mutex; /api/v1/metrics
 // exposes the aggregated per-shard hit/miss/entry counters.
+//
+// Commits — synchronous and asynchronous — flow through one bounded FIFO
+// queue (internal/queue) drained into engine.Commit: POST /api/v1/commit
+// enqueues and waits, POST /api/v1/commit/async enqueues and returns 202
+// immediately. Both paths execute the identical code, so for the same
+// commit sequence they produce byte-identical CommitResponses and engine
+// history; a burst of submissions is absorbed as queued jobs instead of
+// stacking callers on the engine lock.
 package server
 
 import (
 	"encoding/json"
-	"errors"
 	"fmt"
 	"net/http"
 	"strconv"
 	"sync"
+	"sync/atomic"
 
 	"github.com/easeml/ci/internal/bounds"
 	"github.com/easeml/ci/internal/core"
@@ -45,38 +59,117 @@ import (
 	"github.com/easeml/ci/internal/engine"
 	"github.com/easeml/ci/internal/labeling"
 	"github.com/easeml/ci/internal/model"
+	"github.com/easeml/ci/internal/notify"
 	"github.com/easeml/ci/internal/parallel"
 	"github.com/easeml/ci/internal/planner"
+	"github.com/easeml/ci/internal/queue"
 	"github.com/easeml/ci/internal/script"
 )
 
 // Server wraps an engine behind an http.Handler. The engine is not
-// concurrency-safe; the server serializes all mutating requests. Plan
-// queries are read-only and served through the plan cache without touching
-// the engine lock.
+// concurrency-safe; all commit evaluation is serialized through the job
+// queue and the engine lock. Plan queries are read-only and served
+// through the plan cache without touching the engine lock.
 type Server struct {
 	mu    sync.Mutex
 	eng   *engine.Engine
 	cfg   *script.Config
 	mux   *http.ServeMux
 	plans *planner.Cache
+
+	jobs     *queue.Queue[AsyncCommitRequest, CommitResponse]
+	webhooks notify.Notifier
+	// hookMu/hooksDraining gate hookWG.Add against Close's hookWG.Wait:
+	// a cancel-path delivery may race Close, and Add-after-Wait-from-zero
+	// is WaitGroup misuse.
+	hookMu         sync.Mutex
+	hooksDraining  bool
+	hookWG         sync.WaitGroup
+	webhooksSent   atomic.Uint64
+	webhooksFailed atomic.Uint64
 }
 
-// New builds a server around an existing engine and its script config.
+// Options tunes the server's asynchronous commit pipeline. The zero value
+// is the production default.
+type Options struct {
+	// QueueCapacity bounds the pending commit backlog (0 means
+	// queue.DefaultCapacity); a full backlog answers 503.
+	QueueCapacity int
+	// QueueRetain bounds how many finished jobs stay pollable.
+	QueueRetain int
+	// ManualQueue disables the background workers so a test can step the
+	// queue deterministically via RunNextJob.
+	ManualQueue bool
+	// Clock stamps job transitions (tests inject a counter).
+	Clock queue.Clock
+	// Webhooks delivers job-finished callbacks; nil means real HTTP
+	// delivery (notify.NewHTTPPoster). Tests inject a notify.Outbox.
+	Webhooks notify.Notifier
+}
+
+// New builds a server around an existing engine and its script config,
+// with default options.
 func New(cfg *script.Config, eng *engine.Engine) (*Server, error) {
+	return NewWithOptions(cfg, eng, Options{})
+}
+
+// NewWithOptions builds a server with an explicitly configured commit
+// queue. Callers must Close the server to drain the queue on shutdown.
+func NewWithOptions(cfg *script.Config, eng *engine.Engine, opts Options) (*Server, error) {
 	if cfg == nil || eng == nil {
 		return nil, fmt.Errorf("server: nil config or engine")
 	}
 	s := &Server{eng: eng, cfg: cfg, mux: http.NewServeMux(), plans: planner.Default}
+	s.webhooks = opts.Webhooks
+	if s.webhooks == nil {
+		s.webhooks = notify.NewHTTPPoster(nil)
+	}
+	// Exactly one worker: commit evaluation serializes on the engine lock
+	// anyway (more workers add no throughput), and a single drainer is
+	// what makes completion order equal FIFO submission order — the
+	// property the sync/async equivalence guarantee rests on.
+	jobs, err := queue.New(s.executeCommit, queue.Options[AsyncCommitRequest, CommitResponse]{
+		Capacity: opts.QueueCapacity,
+		Workers:  1,
+		Retain:   opts.QueueRetain,
+		Manual:   opts.ManualQueue,
+		Clock:    opts.Clock,
+		OnFinish: s.deliverWebhook,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("server: %w", err)
+	}
+	s.jobs = jobs
 	s.mux.HandleFunc("/api/v1/plan", s.handlePlan)
 	s.mux.HandleFunc("/api/v1/plan/batch", s.handlePlanBatch)
 	s.mux.HandleFunc("/api/v1/status", s.handleStatus)
 	s.mux.HandleFunc("/api/v1/history", s.handleHistory)
 	s.mux.HandleFunc("/api/v1/metrics", s.handleMetrics)
 	s.mux.HandleFunc("/api/v1/commit", s.handleCommit)
+	s.mux.HandleFunc("/api/v1/commit/async", s.handleCommitAsync)
+	s.mux.HandleFunc(jobsPath, s.handleCommitJob)
 	s.mux.HandleFunc("/api/v1/testset", s.handleRotate)
+	s.mux.HandleFunc("/api/v1/admin/reset-caches", s.handleAdminReset)
 	return s, nil
 }
+
+// Close drains the commit queue gracefully: accepted jobs finish, new
+// submissions are rejected, and Close returns once the workers have
+// exited and every in-flight webhook delivery has completed. (A cancel
+// racing Close may deliver its webhook on the canceling goroutine
+// instead; it still completes, just unawaited by Close.)
+func (s *Server) Close() {
+	s.jobs.Close()
+	s.hookMu.Lock()
+	s.hooksDraining = true
+	s.hookMu.Unlock()
+	s.hookWG.Wait()
+}
+
+// RunNextJob executes the oldest queued commit job on the calling
+// goroutine, returning false when the backlog is empty. Only meaningful
+// with Options.ManualQueue — it is the deterministic test harness's hook.
+func (s *Server) RunNextJob() bool { return s.jobs.RunNext() }
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
@@ -344,7 +437,8 @@ func (s *Server) handlePlanBatch(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, BatchPlanResponse{Results: results})
 }
 
-// MetricsResponse exposes the serving-path cache counters.
+// MetricsResponse exposes the serving-path cache, queue, and webhook
+// counters.
 type MetricsResponse struct {
 	PlanCache planner.Stats `json:"plan_cache"`
 	// ExactMemo is the exact-bound worst-case memo backing tight-bound
@@ -353,6 +447,28 @@ type MetricsResponse struct {
 	ExactMemoMisses uint64 `json:"exact_memo_misses"`
 	ExactMemoLen    int    `json:"exact_memo_entries"`
 	ExactEvals      uint64 `json:"exact_evals"`
+	// CommitQueue is the async pipeline's traffic counters.
+	CommitQueue queue.Stats `json:"commit_queue"`
+	// WebhooksSent/Failed count job-finished callback deliveries.
+	WebhooksSent   uint64 `json:"webhooks_sent"`
+	WebhooksFailed uint64 `json:"webhooks_failed"`
+}
+
+// metricsSnapshot gathers the point-in-time counters; shared by the
+// metrics endpoint and the admin cache-reset (which reports the pre-reset
+// values).
+func (s *Server) metricsSnapshot() MetricsResponse {
+	hits, misses, entries := bounds.ExactCacheStats()
+	return MetricsResponse{
+		PlanCache:       s.plans.Stats(),
+		ExactMemoHits:   hits,
+		ExactMemoMisses: misses,
+		ExactMemoLen:    entries,
+		ExactEvals:      bounds.ExactProbeEvals(),
+		CommitQueue:     s.jobs.Stats(),
+		WebhooksSent:    s.webhooksSent.Load(),
+		WebhooksFailed:  s.webhooksFailed.Load(),
+	}
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
@@ -360,14 +476,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, "GET only")
 		return
 	}
-	hits, misses, entries := bounds.ExactCacheStats()
-	writeJSON(w, http.StatusOK, MetricsResponse{
-		PlanCache:       s.plans.Stats(),
-		ExactMemoHits:   hits,
-		ExactMemoMisses: misses,
-		ExactMemoLen:    entries,
-		ExactEvals:      bounds.ExactProbeEvals(),
-	})
+	writeJSON(w, http.StatusOK, s.metricsSnapshot())
 }
 
 func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
@@ -405,6 +514,10 @@ func (s *Server) handleHistory(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, out)
 }
 
+// handleCommit is the synchronous endpoint, reimplemented as
+// enqueue-then-wait: the commit rides the same FIFO queue as the async
+// path and the handler blocks until its job finishes, so both endpoints
+// share one evaluation code path and serialize in one submission order.
 func (s *Server) handleCommit(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		writeError(w, http.StatusMethodNotAllowed, "POST only")
@@ -419,23 +532,18 @@ func (s *Server) handleCommit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "model name required")
 		return
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if got, want := len(req.Predictions), s.eng.Testsets().Current().Len(); got != want {
-		writeError(w, http.StatusBadRequest,
-			fmt.Sprintf("predictions length %d != testset size %d", got, want))
-		return
-	}
-	res, err := s.eng.Commit(model.NewFixedPredictions(req.Model, req.Predictions), req.Author, req.Message)
-	if errors.Is(err, engine.ErrNeedNewTestset) {
-		writeError(w, http.StatusConflict, err.Error())
-		return
-	}
+	job, err := s.jobs.Submit(AsyncCommitRequest{CommitRequest: req})
 	if err != nil {
-		writeError(w, http.StatusUnprocessableEntity, err.Error())
+		writeError(w, http.StatusServiceUnavailable, err.Error())
 		return
 	}
-	writeJSON(w, http.StatusOK, s.resultToResponse(res))
+	<-job.Done()
+	res, err := job.Result()
+	if err != nil {
+		writeError(w, commitErrorStatus(err), err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
 }
 
 func (s *Server) handleRotate(w http.ResponseWriter, r *http.Request) {

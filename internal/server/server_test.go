@@ -8,12 +8,14 @@ import (
 	"net/http/httptest"
 	"sync"
 	"testing"
+	"time"
 
 	"github.com/easeml/ci/internal/data"
 	"github.com/easeml/ci/internal/engine"
 	"github.com/easeml/ci/internal/interval"
 	"github.com/easeml/ci/internal/labeling"
 	"github.com/easeml/ci/internal/model"
+	"github.com/easeml/ci/internal/notify"
 	"github.com/easeml/ci/internal/script"
 )
 
@@ -547,5 +549,208 @@ func TestConcurrentPlanBatchCommit(t *testing.T) {
 	}
 	if m.PlanCache.PlanHits == 0 {
 		t.Errorf("concurrent identical plan queries should have hit the cache: %+v", m)
+	}
+}
+
+// TestConcurrentAsyncCommitHammer widens the PR-2 hammer to the async
+// pipeline: async submitters (some with webhooks), job pollers, job
+// cancelers, synchronous committers, and testset rotation all race. Run
+// under -race; the postcondition is the queue's core guarantee — every
+// accepted job reaches a terminal state exactly once.
+func TestConcurrentAsyncCommitHammer(t *testing.T) {
+	outbox := notify.NewOutbox()
+	srv, labels := newServerWith(t, script.AdaptivityFull, 8, 900, Options{Webhooks: outbox})
+
+	var mu sync.Mutex
+	var accepted []string
+	webhookJobs := map[string]bool{}
+	record := func(id string, hooked bool) {
+		mu.Lock()
+		accepted = append(accepted, id)
+		if hooked {
+			webhookJobs[id] = true
+		}
+		mu.Unlock()
+	}
+	randomAccepted := func(k int) (string, bool) {
+		mu.Lock()
+		defer mu.Unlock()
+		if len(accepted) == 0 {
+			return "", false
+		}
+		return accepted[k%len(accepted)], true
+	}
+
+	var wg sync.WaitGroup
+	// Async submitters: every third job subscribes a webhook.
+	for g := 0; g < 2; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 12; i++ {
+				hook := ""
+				if i%3 == 0 {
+					hook = "http://hooks.local/" + fmt.Sprint(g)
+				}
+				var buf bytes.Buffer
+				if err := json.NewEncoder(&buf).Encode(AsyncCommitRequest{
+					CommitRequest: CommitRequest{
+						Model:       fmt.Sprintf("a%d-%d", g, i),
+						Predictions: goodPredictions(t, labels, 0.9, int64(300+10*g+i)),
+					},
+					Webhook: hook,
+				}); err != nil {
+					panic(err)
+				}
+				req := httptest.NewRequest(http.MethodPost, "/api/v1/commit/async", &buf)
+				rec := httptest.NewRecorder()
+				srv.ServeHTTP(rec, req)
+				if rec.Code != http.StatusAccepted {
+					panic(fmt.Sprintf("async submit status %d: %s", rec.Code, rec.Body.String()))
+				}
+				var acc JobAcceptedResponse
+				if err := json.Unmarshal(rec.Body.Bytes(), &acc); err != nil {
+					panic(err)
+				}
+				record(acc.JobID, hook != "")
+			}
+		}()
+	}
+	// Pollers: hammer the job-status endpoint with whatever IDs exist.
+	for g := 0; g < 2; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 40; i++ {
+				id, ok := randomAccepted(g*7 + i)
+				if !ok {
+					continue
+				}
+				req := httptest.NewRequest(http.MethodGet, jobsPath+id, nil)
+				rec := httptest.NewRecorder()
+				srv.ServeHTTP(rec, req)
+				if rec.Code != http.StatusOK && rec.Code != http.StatusNotFound {
+					panic(fmt.Sprintf("poll status %d: %s", rec.Code, rec.Body.String()))
+				}
+			}
+		}()
+	}
+	// Canceler: cancels race execution; any of 200/404/409 is legal.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 15; i++ {
+			id, ok := randomAccepted(3 * i)
+			if !ok {
+				continue
+			}
+			req := httptest.NewRequest(http.MethodDelete, jobsPath+id, nil)
+			rec := httptest.NewRecorder()
+			srv.ServeHTTP(rec, req)
+			switch rec.Code {
+			case http.StatusOK, http.StatusNotFound, http.StatusConflict:
+			default:
+				panic(fmt.Sprintf("cancel status %d: %s", rec.Code, rec.Body.String()))
+			}
+		}
+	}()
+	// Synchronous committer + rotator: the sync path rides the same
+	// queue; budget exhaustion rotates a fresh testset in.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 10; i++ {
+			var buf bytes.Buffer
+			if err := json.NewEncoder(&buf).Encode(CommitRequest{
+				Model:       fmt.Sprintf("s%d", i),
+				Predictions: goodPredictions(t, labels, 0.9, int64(400+i)),
+			}); err != nil {
+				panic(err)
+			}
+			req := httptest.NewRequest(http.MethodPost, "/api/v1/commit", &buf)
+			rec := httptest.NewRecorder()
+			srv.ServeHTTP(rec, req)
+			switch rec.Code {
+			case http.StatusOK:
+			case http.StatusConflict:
+				var rbuf bytes.Buffer
+				if err := json.NewEncoder(&rbuf).Encode(RotateRequest{
+					Labels:            labels,
+					ActivePredictions: goodPredictions(t, labels, 0.9, int64(500+i)),
+				}); err != nil {
+					panic(err)
+				}
+				rreq := httptest.NewRequest(http.MethodPost, "/api/v1/testset", &rbuf)
+				rrec := httptest.NewRecorder()
+				srv.ServeHTTP(rrec, rreq)
+				if rrec.Code != http.StatusOK {
+					panic(fmt.Sprintf("rotate status %d: %s", rrec.Code, rrec.Body.String()))
+				}
+			default:
+				panic(fmt.Sprintf("sync commit status %d: %s", rec.Code, rec.Body.String()))
+			}
+		}
+	}()
+	wg.Wait()
+
+	// Drain: wait for the queue to go quiet, then check the exactly-once
+	// terminal guarantee through the public metrics.
+	deadline := time.Now().Add(10 * time.Second)
+	var m MetricsResponse
+	for {
+		rec, _ := doJSON(t, srv, http.MethodGet, "/api/v1/metrics", nil)
+		if rec.Code != http.StatusOK {
+			t.Fatalf("metrics status = %d", rec.Code)
+		}
+		if err := json.Unmarshal(rec.Body.Bytes(), &m); err != nil {
+			t.Fatal(err)
+		}
+		if m.CommitQueue.Pending == 0 && m.CommitQueue.Running == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("queue never drained: %+v", m.CommitQueue)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	q := m.CommitQueue
+	if q.Completed+q.Failed+q.Canceled != q.Submitted {
+		t.Errorf("terminal jobs %d != submitted %d: %+v", q.Completed+q.Failed+q.Canceled, q.Submitted, q)
+	}
+	// Every async-accepted job is individually terminal.
+	mu.Lock()
+	ids := append([]string(nil), accepted...)
+	hooked := len(webhookJobs)
+	mu.Unlock()
+	for _, id := range ids {
+		rec, _ := doJSON(t, srv, http.MethodGet, jobsPath+id, nil)
+		if rec.Code != http.StatusOK {
+			t.Errorf("job %s poll status = %d", id, rec.Code)
+			continue
+		}
+		st := decodeJobStatus(t, rec)
+		if st.State != "done" && st.State != "failed" {
+			t.Errorf("job %s not terminal: %+v", id, st)
+		}
+	}
+	// Webhook deliveries: exactly one callback per subscribed job
+	// (deliveries are async; wait for the expected count first).
+	perJob := map[string]int{}
+	for _, h := range waitForWebhooks(t, outbox, hooked) {
+		var st JobStatusResponse
+		if err := json.Unmarshal([]byte(h.Body), &st); err != nil {
+			t.Fatalf("webhook body: %v", err)
+		}
+		perJob[st.JobID]++
+	}
+	if len(perJob) != hooked {
+		t.Errorf("webhook deliveries reached %d jobs, want %d", len(perJob), hooked)
+	}
+	for id, n := range perJob {
+		if n != 1 {
+			t.Errorf("job %s delivered %d times", id, n)
+		}
 	}
 }
