@@ -6,15 +6,17 @@ SHELL := /bin/bash
 .SHELLFLAGS := -o pipefail -c
 
 GO ?= go
-BENCH_OUT ?= BENCH_2.json
+BENCH_OUT ?= BENCH_4.json
 # The micro-benchmarks the perf trajectory tracks: the binomial-tail hot
-# path, the exact-bound ablation (warm = memo-served, cold = full search),
-# the cold-search probe counts per bracket seed, the estimator, the
-# plan-cache hit path, the plan-cache contention pair (single mutex vs
-# sharded under >= 8 goroutines), and a full engine commit.
-BENCH_PATTERN = BenchmarkBinomialCDF$$|BenchmarkAblationTightBinomial$$|BenchmarkAblationTightBinomialCold$$|BenchmarkExactColdProbesNormalSeed$$|BenchmarkExactColdProbesHoeffdingSeed$$|BenchmarkSampleSizeEstimator$$|BenchmarkPlanCacheHit$$|BenchmarkLRUContentionSingle$$|BenchmarkLRUContentionSharded$$|BenchmarkEngineCommit$$
+# path, the worst-case sweep vs grid ablation pair (memo bypassed, three
+# representative n), the exact-bound ablation (warm = memo-served, cold =
+# full search), the cold-search probe counts per bracket seed, the
+# estimator, the plan-cache hit path, the plan-cache contention pair
+# (single mutex vs sharded under >= 8 goroutines), and a full engine
+# commit.
+BENCH_PATTERN = BenchmarkBinomialCDF$$|BenchmarkExactWorstCaseSweep$$|BenchmarkExactWorstCaseGrid$$|BenchmarkAblationTightBinomial$$|BenchmarkAblationTightBinomialCold$$|BenchmarkExactColdProbesNormalSeed$$|BenchmarkExactColdProbesHoeffdingSeed$$|BenchmarkSampleSizeEstimator$$|BenchmarkPlanCacheHit$$|BenchmarkLRUContentionSingle$$|BenchmarkLRUContentionSharded$$|BenchmarkEngineCommit$$
 
-.PHONY: all build test race vet bench clean
+.PHONY: all build test race vet bench benchdiff clean
 
 all: vet build test
 
@@ -34,6 +36,15 @@ vet:
 # machine-readable record the perf trajectory is graded on.
 bench:
 	$(GO) test -run XXX -bench '$(BENCH_PATTERN)' -benchmem -benchtime 1s . | tee /dev/stderr | $(GO) run ./tools/benchjson > $(BENCH_OUT)
+
+# benchdiff re-runs the tracked benchmarks against the working tree and
+# hard-fails if any regresses >25% ns/op versus the latest committed
+# BENCH_<n>.json. (CI runs the same tool report-only: shared runners are
+# too noisy for a hard gate there.)
+benchdiff:
+	tmp=$$(mktemp) && \
+	{ $(GO) test -run XXX -bench '$(BENCH_PATTERN)' -benchmem -benchtime 1s . | $(GO) run ./tools/benchjson > $$tmp && \
+	  $(GO) run ./tools/benchdiff -new $$tmp; }; rc=$$?; rm -f $$tmp; exit $$rc
 
 clean:
 	$(GO) clean ./...

@@ -11,6 +11,7 @@ package ci_test
 // visible in benchmark logs.
 
 import (
+	"fmt"
 	"runtime"
 	"sync/atomic"
 	"testing"
@@ -242,6 +243,51 @@ func BenchmarkAblationTightBinomialCold(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// worstCaseBenchCases are the representative (n, epsilon) points for the
+// event-driven sweep vs grid ablation pair: epsilon shrinks with n so the
+// worst-case failure stays near practical delta levels (the regime every
+// real sample-size search probes).
+var worstCaseBenchCases = []struct {
+	n   int
+	eps float64
+}{
+	{1000, 0.05},
+	{30000, 0.01},
+	{300000, 0.003},
+}
+
+// benchWorstCase drives one worst-case implementation with memoization
+// bypassed (both entry points are the raw searches; only
+// bounds.ExactWorstCaseFailure carries the memo).
+func benchWorstCase(b *testing.B, impl func(int, float64, float64, float64) (float64, error)) {
+	for _, c := range worstCaseBenchCases {
+		b.Run(fmt.Sprintf("n=%d", c.n), func(b *testing.B) {
+			var worst float64
+			for i := 0; i < b.N; i++ {
+				var err error
+				worst, err = impl(c.n, c.eps, 0, 1)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(worst, "worst_case_failure")
+		})
+	}
+}
+
+// BenchmarkExactWorstCaseSweep is the shipped event-driven sweep: lattice
+// event families localized by coarse bisection plus a medium-tolerance
+// ascent, full precision only at the located peaks.
+func BenchmarkExactWorstCaseSweep(b *testing.B) {
+	benchWorstCase(b, bounds.ExactWorstCaseFailureSweep)
+}
+
+// BenchmarkExactWorstCaseGrid is the ablation baseline the sweep replaced:
+// 64-point coarse grid plus up-to-512-point local refinement.
+func BenchmarkExactWorstCaseGrid(b *testing.B) {
+	benchWorstCase(b, bounds.ExactWorstCaseFailureGrid)
 }
 
 // benchColdProbes times a cold exact-bound search under the given bracket

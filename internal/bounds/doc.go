@@ -18,27 +18,54 @@
 // # The fast exact-bound engine
 //
 // The paper leaves efficient computation of the Section 4.3 tight bound as
-// future work; exact.go implements it as a three-layer fast path whose
-// results are identical to the straightforward search (regression-pinned in
-// exact_equiv_test.go):
+// future work; this package implements it as a three-layer fast path
+// (regression-pinned in exact_equiv_test.go and sweep_equiv_test.go):
 //
 //   - internal/stats walks each binomial tail from a mode anchor with the
 //     multiplicative pmf recurrence over a cached log-factorial table, so a
 //     tail costs O(sqrt(n p (1-p))) multiplies instead of O(n) Lgamma
 //     calls (~165x on BenchmarkBinomialCDF: 147.6us -> 0.9us at n=10^4);
-//   - the worst-case-over-p grid fans across a bounded worker pool
-//     (internal/parallel) and the sample-size search probes speculative
-//     bracket candidates concurrently;
-//   - every (n, epsilon, pLo, pHi) worst-case result is memoized in an LRU
-//     (internal/lru), so the binary search's stabilization pass re-checks
-//     its answer for free and repeated searches are served at LRU-lookup
-//     cost.
+//   - the worst case over the unknown mean p is an event-driven sweep
+//     (sweep.go): the failure curve's cuts change only at the lattice
+//     events k/n -+ epsilon, every fixed-cut segment between events is
+//     U-shaped (its closed-form derivative, stats.BinomialCDFDerivative,
+//     crosses zero - to + at most once), so the supremum is the maximum
+//     over the event points' one-sided limits — two smooth candidate
+//     families whose peaks a coarse-tolerance bisection plus a
+//     medium-tolerance ascent localize with O(log n) probes, evaluated
+//     exactly only at the top;
+//   - every (n, epsilon, pLo, pHi) worst-case result is memoized in a
+//     sharded LRU (internal/lru), so the binary search's stabilization pass
+//     re-checks its answer for free and repeated searches are served at
+//     LRU-lookup cost; the sample-size search's speculative bracket probes
+//     fan across a bounded worker pool (internal/parallel).
 //
-// Measured on the ablation benchmark (ExactSampleSize at epsilon=0.05,
-// delta=0.01): 20.6ms before; 0.71ms cold (~29x) and ~1us memo-warm after.
-// The stabilization pass is window-bounded (stabilizeWindow): a pathological
-// input errors out instead of creeping one step at a time toward the 2^28
-// search limit.
+// # Performance
+//
+// Measured on the ablation benchmarks (this container, 1 CPU):
+//
+//   - BenchmarkExactWorstCaseSweep vs BenchmarkExactWorstCaseGrid, memo
+//     bypassed: ~3x at n=10^3, ~15x at n=3*10^4, ~14x at n=3*10^5 (the
+//     grid pays 64 coarse + up to 512 refinement O(sigma) evaluations per
+//     probe; the sweep pays ~60-80, most at a third precision and cost).
+//   - ExactSampleSize at (0.05, 0.01): 20.6ms in the straightforward
+//     implementation; 0.71ms cold via the grid engine (~29x); ~0.1ms cold
+//     via the sweep; ~1us memo-warm.
+//
+// The sweep is also exact where the grid merely sampled: the event points
+// are evaluated with integer-lattice cuts (snapped like ExactFailureProb's),
+// so the returned worst case is the true supremum, where the grid's sampled
+// maximum ran up to ~10% under it on random inputs. That resolution error
+// was not free: the grid-era ExactSampleSize(0.025, 0.05, 0, 1) = 1559
+// violated its own guarantee (worst case 0.0511 > 0.05 at an attained p —
+// see TestExactSampleSizeGridErrorFixed); the sweep returns the smallest
+// truly sufficient size, 1560. The retired grid survives as
+// ExactWorstCaseFailureGrid (grid.go), the ablation baseline and the
+// equivalence oracle the property tests compare against.
+//
+// The stabilization pass of the sample-size search is window-bounded
+// (stabilizeWindow): a pathological input errors out instead of creeping
+// one step at a time toward the 2^28 search limit.
 //
 // Conventions: epsilon is the error tolerance (half-width of the confidence
 // interval), delta the failure probability (1-delta the reliability), r the

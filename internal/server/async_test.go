@@ -11,6 +11,7 @@ import (
 	"testing"
 	"time"
 
+	"github.com/easeml/ci/internal/bounds"
 	"github.com/easeml/ci/internal/data"
 	"github.com/easeml/ci/internal/engine"
 	"github.com/easeml/ci/internal/interval"
@@ -482,6 +483,63 @@ func TestAsyncSyncEquivalence(t *testing.T) {
 	}
 }
 
+// TestMetricsSweepCounters covers the sweep observability satellite:
+// /api/v1/metrics surfaces the event-driven sweep's process-wide counters
+// next to ExactEvals, an uncached worst-case evaluation moves all three,
+// and the admin cache reset returns them to zero.
+func TestMetricsSweepCounters(t *testing.T) {
+	srv, _ := newTestServer(t, script.AdaptivityFull)
+	doJSON(t, srv, http.MethodPost, "/api/v1/admin/reset-caches", nil)
+
+	// Drive one uncached worst-case evaluation through the same
+	// process-wide engine the tight-bound plans use.
+	if _, err := bounds.ExactWorstCaseFailure(5000, 0.02, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	rec, _ := doJSON(t, srv, http.MethodGet, "/api/v1/metrics", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("metrics status = %d", rec.Code)
+	}
+	var m MetricsResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &m); err != nil {
+		t.Fatal(err)
+	}
+	if m.ExactEvals == 0 {
+		t.Error("exact_evals should count the uncached evaluation")
+	}
+	if m.SweepEvents == 0 {
+		t.Error("sweep_events should count the enumerated lattice events")
+	}
+	if m.SweepSegmentsRefined == 0 {
+		t.Error("sweep_segments_refined should count the exactly evaluated events")
+	}
+	if m.SweepSegmentsAnalytic == 0 {
+		t.Error("sweep_segments_analytic should count the events the bisection excluded")
+	}
+	if m.SweepSegmentsAnalytic+m.SweepSegmentsRefined != m.SweepEvents {
+		t.Errorf("analytic (%d) + refined (%d) != events (%d)",
+			m.SweepSegmentsAnalytic, m.SweepSegmentsRefined, m.SweepEvents)
+	}
+
+	// The admin reset clears them along with the memo.
+	rec, _ = doJSON(t, srv, http.MethodPost, "/api/v1/admin/reset-caches", nil)
+	var pre MetricsResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &pre); err != nil {
+		t.Fatal(err)
+	}
+	if pre.SweepEvents == 0 {
+		t.Error("pre-reset snapshot should still show the sweep traffic")
+	}
+	rec, _ = doJSON(t, srv, http.MethodGet, "/api/v1/metrics", nil)
+	var post MetricsResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &post); err != nil {
+		t.Fatal(err)
+	}
+	if post.SweepEvents != 0 || post.SweepSegmentsAnalytic != 0 || post.SweepSegmentsRefined != 0 {
+		t.Errorf("post-reset sweep counters not zero: %+v", post)
+	}
+}
+
 // TestAdminResetCaches covers the ROADMAP item: the admin endpoint
 // returns the pre-reset counters, drops both caches to zero, and plans
 // recompute identically afterwards.
@@ -522,6 +580,10 @@ func TestAdminResetCaches(t *testing.T) {
 	if post.ExactMemoLen != 0 || post.ExactMemoHits != 0 || post.ExactMemoMisses != 0 {
 		t.Errorf("post-reset exact memo not empty: hits=%d misses=%d len=%d",
 			post.ExactMemoHits, post.ExactMemoMisses, post.ExactMemoLen)
+	}
+	if post.SweepEvents != 0 || post.SweepSegmentsAnalytic != 0 || post.SweepSegmentsRefined != 0 {
+		t.Errorf("post-reset sweep counters not zero: events=%d analytic=%d refined=%d",
+			post.SweepEvents, post.SweepSegmentsAnalytic, post.SweepSegmentsRefined)
 	}
 
 	// Plans recompute identically (a fresh miss, then the same bytes).

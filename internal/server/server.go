@@ -21,8 +21,8 @@
 //	                         dashboard sweeps
 //	GET  /api/v1/status      testset generation/budget, active model, label cost
 //	GET  /api/v1/history     evaluation results so far
-//	GET  /api/v1/metrics     plan-cache, exact-bound-memo, commit-queue, and
-//	                         webhook counters
+//	GET  /api/v1/metrics     plan-cache, exact-bound-memo, worst-case-sweep,
+//	                         commit-queue, and webhook counters
 //	POST /api/v1/commit      {"model":..., "author":..., "message":..., "predictions":[...]}
 //	POST /api/v1/commit/async       same payload plus optional "webhook";
 //	                                202 + job ID, evaluated FIFO off the queue
@@ -447,6 +447,14 @@ type MetricsResponse struct {
 	ExactMemoMisses uint64 `json:"exact_memo_misses"`
 	ExactMemoLen    int    `json:"exact_memo_entries"`
 	ExactEvals      uint64 `json:"exact_evals"`
+	// Sweep counters break one exact evaluation down further: lattice
+	// events enumerated by the event-driven worst-case sweep, and how
+	// many were resolved analytically (excluded by the unimodal-envelope
+	// bisection without a tail evaluation) versus by exact fallback
+	// refinement (bisection probes, ascents, windows, small families).
+	SweepEvents           uint64 `json:"sweep_events"`
+	SweepSegmentsAnalytic uint64 `json:"sweep_segments_analytic"`
+	SweepSegmentsRefined  uint64 `json:"sweep_segments_refined"`
 	// CommitQueue is the async pipeline's traffic counters.
 	CommitQueue queue.Stats `json:"commit_queue"`
 	// WebhooksSent/Failed count job-finished callback deliveries.
@@ -459,15 +467,19 @@ type MetricsResponse struct {
 // values).
 func (s *Server) metricsSnapshot() MetricsResponse {
 	hits, misses, entries := bounds.ExactCacheStats()
+	events, analytic, refined := bounds.ExactSweepStats()
 	return MetricsResponse{
-		PlanCache:       s.plans.Stats(),
-		ExactMemoHits:   hits,
-		ExactMemoMisses: misses,
-		ExactMemoLen:    entries,
-		ExactEvals:      bounds.ExactProbeEvals(),
-		CommitQueue:     s.jobs.Stats(),
-		WebhooksSent:    s.webhooksSent.Load(),
-		WebhooksFailed:  s.webhooksFailed.Load(),
+		PlanCache:             s.plans.Stats(),
+		ExactMemoHits:         hits,
+		ExactMemoMisses:       misses,
+		ExactMemoLen:          entries,
+		ExactEvals:            bounds.ExactProbeEvals(),
+		SweepEvents:           events,
+		SweepSegmentsAnalytic: analytic,
+		SweepSegmentsRefined:  refined,
+		CommitQueue:           s.jobs.Stats(),
+		WebhooksSent:          s.webhooksSent.Load(),
+		WebhooksFailed:        s.webhooksFailed.Load(),
 	}
 }
 

@@ -65,6 +65,18 @@ func BinomialPMF(k, n int, p float64) float64 {
 // suffered for k between n/2 and the mode (where it formed 1 - (sum ~= 1)):
 // tiny tail probabilities now come out with full relative precision.
 func BinomialCDF(k, n int, p float64) float64 {
+	return BinomialCDFTol(k, n, p, DefaultTailTol)
+}
+
+// BinomialCDFTol is BinomialCDF with an explicit relative truncation
+// tolerance for the mode-anchored walk. Looser tolerances buy shorter
+// walks (length scales with ln(1/tol)) at the cost of under-counting the
+// truncated remainder by at most tol relative: the event-driven sweep
+// uses coarse evaluations for its bisection and window prescans, where
+// only comparisons well above the tolerance matter, and re-evaluates the
+// few surviving candidates at full precision. BinomialCDF(k, n, p) ==
+// BinomialCDFTol(k, n, p, DefaultTailTol) exactly.
+func BinomialCDFTol(k, n int, p, tol float64) float64 {
 	if k < 0 {
 		return 0
 	}
@@ -78,30 +90,54 @@ func BinomialCDF(k, n int, p float64) float64 {
 		return 0
 	}
 	if k < int(math.Floor(float64(n+1)*p)) {
-		return binomialTailSum(0, k, n, p)
+		return binomialTailSumTol(0, k, n, p, tol)
 	}
-	// Complement over the other (smaller-mass) tail.
-	return 1 - binomialTailSum(k+1, n, n, p)
+	return 1 - binomialTailSumTol(k+1, n, n, p, tol)
 }
 
-// BinomialSurvival returns Pr[X >= k].
-func BinomialSurvival(k, n int, p float64) float64 {
+// BinomialSurvivalTol is BinomialSurvival with an explicit relative
+// truncation tolerance; see BinomialCDFTol.
+func BinomialSurvivalTol(k, n int, p, tol float64) float64 {
 	if k <= 0 {
 		return 1
 	}
 	if k > n {
 		return 0
 	}
-	return 1 - BinomialCDF(k-1, n, p)
+	if p <= 0 {
+		return 0
+	}
+	if p >= 1 {
+		return 1
+	}
+	if k > int(math.Floor(float64(n+1)*p)) {
+		return binomialTailSumTol(k, n, n, p, tol)
+	}
+	return 1 - binomialTailSumTol(0, k-1, n, p, tol)
 }
 
-// tailSumCutoff is the relative truncation threshold of the mode-anchored
-// walk: once the geometric bound on the unvisited remainder drops below
-// cutoff x (partial sum), the walk stops. 1e-17 is below one ulp of any
-// partial sum, so truncation is invisible at float64 precision.
-const tailSumCutoff = 1e-17
+// BinomialSurvival returns Pr[X >= k].
+//
+// Like BinomialCDF it sums whichever tail holds the smaller mass directly
+// — [k, n] when k is above the mode, the complement of [0, k-1] otherwise.
+// The direct branch matters: computing a tiny survival as 1 - CDF(k-1)
+// would round the intermediate through 1 and cap the result's accuracy at
+// ~1e-16 absolute, turning e.g. a 1e-15 upper tail into a value with only
+// ~2 correct digits (and step artifacts as the rounding flips). The
+// event-driven worst-case sweep bisects on differences of such tails, so
+// they must carry full relative precision at any magnitude.
+func BinomialSurvival(k, n int, p float64) float64 {
+	return BinomialSurvivalTol(k, n, p, DefaultTailTol)
+}
 
-// binomialTailSum returns sum_{i=lo..hi} pmf(i, n, p).
+// DefaultTailTol is the relative truncation threshold of the mode-anchored
+// walk: once the geometric bound on the unvisited remainder drops below
+// tol x (partial sum), the walk stops. 1e-17 is below one ulp of any
+// partial sum, so truncation is invisible at float64 precision.
+const DefaultTailTol = 1e-17
+
+// binomialTailSumTol returns sum_{i=lo..hi} pmf(i, n, p), truncating the
+// walk once the remainder bound drops below tol relative.
 //
 // The walk anchors at a = clamp(mode, lo, hi) where mode = floor((n+1)p) is
 // the integer maximizer of the pmf, seeds scale 1 there, and carries the
@@ -115,7 +151,7 @@ const tailSumCutoff = 1e-17
 // Both ratio sequences are monotone in their walk direction, so once a ratio
 // r < 1 is seen the unvisited remainder is bounded by term x r/(1-r): the
 // rigorous early-exit used below.
-func binomialTailSum(lo, hi, n int, p float64) float64 {
+func binomialTailSumTol(lo, hi, n int, p, tol float64) float64 {
 	if lo > hi {
 		return 0
 	}
@@ -139,7 +175,7 @@ func binomialTailSum(lo, hi, n int, p float64) float64 {
 		r := float64(n-i) * p / (float64(i+1) * q)
 		term *= r
 		sum += term
-		if r < 1 && term*r < tailSumCutoff*(1-r)*sum {
+		if r < 1 && term*r < tol*(1-r)*sum {
 			break
 		}
 	}
@@ -149,7 +185,7 @@ func binomialTailSum(lo, hi, n int, p float64) float64 {
 		r := float64(i) * q / (float64(n-i+1) * p)
 		term *= r
 		sum += term
-		if r < 1 && term*r < tailSumCutoff*(1-r)*sum {
+		if r < 1 && term*r < tol*(1-r)*sum {
 			break
 		}
 	}

@@ -1,0 +1,44 @@
+package stats
+
+import "math"
+
+// Log-domain derivative helpers for the binomial tail functions. The
+// event-driven worst-case sweep (internal/bounds) needs the p-derivative of
+// a fixed-cut segment function CDF(l; n, p) + Survival(h; n, p) to locate
+// each lattice family's peak analytically; the classical identity
+//
+//	d/dp Pr[X <= k] = -n * C(n-1, k) * p^k * (1-p)^(n-1-k)
+//
+// (telescoping the term-wise derivatives of the pmf sum) reduces that to
+// two single pmf-like evaluations over the cached log-factorial table —
+// O(1) per call, no tail walk.
+
+// BinomialCDFDerivative returns d/dp Pr[X <= k] for X ~ Binomial(n, p).
+// The derivative is always <= 0 (raising p shifts mass right, out of the
+// lower tail) and is 0 wherever the CDF is constant in p (k < 0 or k >= n).
+func BinomialCDFDerivative(k, n int, p float64) float64 {
+	if k < 0 || k >= n || n <= 0 {
+		return 0
+	}
+	switch {
+	case p <= 0:
+		// lim p->0+ of -n C(n-1,k) p^k (1-p)^(n-1-k): -n at k = 0, else 0.
+		if k == 0 {
+			return -float64(n)
+		}
+		return 0
+	case p >= 1:
+		if k == n-1 {
+			return -float64(n)
+		}
+		return 0
+	}
+	return -float64(n) * math.Exp(LogBinomialCoeff(n-1, k)+
+		float64(k)*math.Log(p)+float64(n-1-k)*math.Log1p(-p))
+}
+
+// BinomialSurvivalDerivative returns d/dp Pr[X >= k]: the mirror of
+// BinomialCDFDerivative (always >= 0), via Pr[X >= k] = 1 - Pr[X <= k-1].
+func BinomialSurvivalDerivative(k, n int, p float64) float64 {
+	return -BinomialCDFDerivative(k-1, n, p)
+}

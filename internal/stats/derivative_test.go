@@ -1,0 +1,82 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+// TestBinomialCDFDerivativeFiniteDifference checks the closed form against
+// a central finite difference of BinomialCDF across sizes and cuts,
+// including cuts far into either tail.
+func TestBinomialCDFDerivativeFiniteDifference(t *testing.T) {
+	cases := []struct {
+		k, n int
+		p    float64
+	}{
+		{3, 10, 0.3},
+		{5, 10, 0.5},
+		{0, 10, 0.2},
+		{9, 10, 0.8},
+		{40, 100, 0.5},
+		{60, 100, 0.5},
+		{480, 1000, 0.5},
+		{520, 1000, 0.47},
+		{100, 1000, 0.13},
+	}
+	for _, c := range cases {
+		got := BinomialCDFDerivative(c.k, c.n, c.p)
+		h := 1e-6
+		num := (BinomialCDF(c.k, c.n, c.p+h) - BinomialCDF(c.k, c.n, c.p-h)) / (2 * h)
+		scale := math.Max(math.Abs(num), math.Abs(got))
+		if scale == 0 {
+			continue
+		}
+		if math.Abs(got-num)/scale > 1e-4 {
+			t.Errorf("BinomialCDFDerivative(%d, %d, %v) = %v, finite difference %v",
+				c.k, c.n, c.p, got, num)
+		}
+		if got > 0 {
+			t.Errorf("BinomialCDFDerivative(%d, %d, %v) = %v > 0; lower-tail mass cannot grow with p",
+				c.k, c.n, c.p, got)
+		}
+	}
+}
+
+// TestBinomialSurvivalDerivativeMirror pins the survival derivative to its
+// CDF complement and its sign.
+func TestBinomialSurvivalDerivativeMirror(t *testing.T) {
+	for _, k := range []int{1, 5, 9} {
+		n, p := 10, 0.4
+		up := BinomialSurvivalDerivative(k, n, p)
+		down := BinomialCDFDerivative(k-1, n, p)
+		if up != -down {
+			t.Errorf("BinomialSurvivalDerivative(%d) = %v, want %v", k, up, -down)
+		}
+		if up < 0 {
+			t.Errorf("BinomialSurvivalDerivative(%d) = %v < 0", k, up)
+		}
+	}
+}
+
+// TestBinomialCDFDerivativeEdges pins the constant-CDF and degenerate-p
+// conventions.
+func TestBinomialCDFDerivativeEdges(t *testing.T) {
+	if got := BinomialCDFDerivative(-1, 10, 0.5); got != 0 {
+		t.Errorf("k=-1: got %v, want 0", got)
+	}
+	if got := BinomialCDFDerivative(10, 10, 0.5); got != 0 {
+		t.Errorf("k=n: got %v, want 0 (CDF identically 1)", got)
+	}
+	if got := BinomialCDFDerivative(0, 7, 0); got != -7 {
+		t.Errorf("k=0, p=0: got %v, want -n (d/dp (1-p)^n at 0)", got)
+	}
+	if got := BinomialCDFDerivative(3, 7, 0); got != 0 {
+		t.Errorf("k=3, p=0: got %v, want 0", got)
+	}
+	if got := BinomialCDFDerivative(6, 7, 1); got != -7 {
+		t.Errorf("k=n-1, p=1: got %v, want -n", got)
+	}
+	if got := BinomialCDFDerivative(3, 7, 1); got != 0 {
+		t.Errorf("k=3, p=1: got %v, want 0", got)
+	}
+}

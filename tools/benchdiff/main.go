@@ -1,0 +1,236 @@
+// Command benchdiff compares a freshly written benchmark JSON record (the
+// output of tools/benchjson) against the latest committed BENCH_<n>.json
+// and fails on ns/op regressions beyond a threshold, so a hot-path change
+// cannot silently give back what earlier PRs won.
+//
+// Usage:
+//
+//	go run ./tools/benchdiff -new /tmp/bench-head.json            # vs latest committed
+//	go run ./tools/benchdiff -old BENCH_3.json -new BENCH_4.json  # explicit pair
+//	go run ./tools/benchdiff -new BENCH_smoke.json -report-only   # CI annotation mode
+//
+// Benchmarks are matched by name (sub-benchmarks included); entries present
+// on only one side are reported but never fail the run, so adding or
+// retiring a benchmark does not break the gate. With -report-only the exit
+// status is always 0 and regressions are emitted as GitHub workflow
+// annotations — the mode the CI bench-smoke job uses, since its 1-iteration
+// timings on shared runners are too noisy to hard-fail on. Locally,
+// `make benchdiff` runs the full pattern and does hard-fail.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Result mirrors tools/benchjson's per-benchmark record (only the fields
+// benchdiff consumes).
+type Result struct {
+	Name    string  `json:"name"`
+	NsPerOp float64 `json:"ns_per_op"`
+}
+
+// Report mirrors tools/benchjson's top-level record.
+type Report struct {
+	Results []Result `json:"results"`
+}
+
+// Delta is one benchmark's comparison.
+type Delta struct {
+	Name     string
+	OldNs    float64
+	NewNs    float64
+	Ratio    float64 // NewNs / OldNs
+	Missing  bool    // present in old, absent in new
+	Appeared bool    // present in new, absent in old
+}
+
+// Regressed reports whether the delta exceeds the threshold (in percent).
+func (d Delta) Regressed(thresholdPct float64) bool {
+	return !d.Missing && !d.Appeared && d.OldNs > 0 &&
+		d.Ratio > 1+thresholdPct/100
+}
+
+// Compare matches the two reports by benchmark name.
+func Compare(old, new Report) []Delta {
+	newByName := map[string]float64{}
+	for _, r := range new.Results {
+		newByName[r.Name] = r.NsPerOp
+	}
+	var out []Delta
+	seen := map[string]bool{}
+	for _, r := range old.Results {
+		seen[r.Name] = true
+		d := Delta{Name: r.Name, OldNs: r.NsPerOp}
+		if ns, ok := newByName[r.Name]; ok {
+			d.NewNs = ns
+			if r.NsPerOp > 0 {
+				d.Ratio = ns / r.NsPerOp
+			}
+		} else {
+			d.Missing = true
+		}
+		out = append(out, d)
+	}
+	for _, r := range new.Results {
+		if !seen[r.Name] {
+			out = append(out, Delta{Name: r.Name, NewNs: r.NsPerOp, Appeared: true})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+var benchFilePattern = regexp.MustCompile(`^BENCH_(\d+)\.json$`)
+
+// latestName picks the BENCH_<n>.json with the highest n from a name list.
+func latestName(names []string) string {
+	best, bestN := "", -1
+	for _, name := range names {
+		m := benchFilePattern.FindStringSubmatch(name)
+		if m == nil {
+			continue
+		}
+		if n, err := strconv.Atoi(m[1]); err == nil && n > bestN {
+			best, bestN = name, n
+		}
+	}
+	return best
+}
+
+// LatestCommitted returns the name and contents of the newest committed
+// BENCH_<n>.json. Inside a git work tree both the candidate list and the
+// bytes come from HEAD, so a record freshly overwritten by `make bench`
+// cannot serve as its own baseline and the >25% gate keeps comparing
+// against what is actually committed. Outside git (or with no commits) it
+// falls back to scanning the directory.
+func LatestCommitted(dir string) (string, []byte, error) {
+	name, data, gitErr := gitCommitted(dir)
+	if gitErr == nil {
+		return name, data, nil
+	}
+	// Loud fallback: without git the baseline may be a working-tree file,
+	// including one the developer just overwrote — in which case the
+	// comparison degenerates to a self-diff and the gate proves nothing.
+	fmt.Fprintf(os.Stderr,
+		"benchdiff: warning: baseline resolved by directory scan, not git HEAD (%v); a freshly overwritten record would compare against itself\n",
+		gitErr)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return "", nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		names = append(names, e.Name())
+	}
+	best := latestName(names)
+	if best == "" {
+		return "", nil, fmt.Errorf("no BENCH_<n>.json found in %s", dir)
+	}
+	path := filepath.Join(dir, best)
+	data, err = os.ReadFile(path)
+	return path, data, err
+}
+
+// gitCommitted resolves the newest BENCH_<n>.json recorded in git HEAD.
+func gitCommitted(dir string) (string, []byte, error) {
+	out, err := exec.Command("git", "-C", dir, "ls-tree", "--name-only", "HEAD", ".").Output()
+	if err != nil {
+		return "", nil, err
+	}
+	best := latestName(strings.Split(strings.TrimSpace(string(out)), "\n"))
+	if best == "" {
+		return "", nil, fmt.Errorf("no BENCH_<n>.json committed at HEAD in %s", dir)
+	}
+	// The "./" prefix makes the path relative to -C's directory rather
+	// than the repository root.
+	data, err := exec.Command("git", "-C", dir, "show", "HEAD:./"+best).Output()
+	if err != nil {
+		return "", nil, err
+	}
+	return best + " @ HEAD", data, nil
+}
+
+func readReport(path string) (Report, error) {
+	var rep Report
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return rep, err
+	}
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return rep, fmt.Errorf("%s: %w", path, err)
+	}
+	return rep, nil
+}
+
+func main() {
+	oldPath := flag.String("old", "", "baseline bench JSON (default: latest committed BENCH_<n>.json in -dir)")
+	newPath := flag.String("new", "", "fresh bench JSON to check (required)")
+	dir := flag.String("dir", ".", "directory searched for the committed baseline")
+	threshold := flag.Float64("threshold", 25, "ns/op regression threshold in percent")
+	reportOnly := flag.Bool("report-only", false, "emit GitHub annotations instead of failing (noisy-runner mode)")
+	flag.Parse()
+	if *newPath == "" {
+		fmt.Fprintln(os.Stderr, "benchdiff: -new is required")
+		os.Exit(2)
+	}
+	var oldRep Report
+	if *oldPath == "" {
+		name, data, err := LatestCommitted(*dir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchdiff:", err)
+			os.Exit(2)
+		}
+		*oldPath = name
+		if err := json.Unmarshal(data, &oldRep); err != nil {
+			fmt.Fprintf(os.Stderr, "benchdiff: %s: %v\n", name, err)
+			os.Exit(2)
+		}
+	} else {
+		var err error
+		oldRep, err = readReport(*oldPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchdiff:", err)
+			os.Exit(2)
+		}
+	}
+	newRep, err := readReport(*newPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	deltas := Compare(oldRep, newRep)
+	regressions := 0
+	fmt.Printf("benchdiff: %s -> %s (threshold %.0f%%)\n", *oldPath, *newPath, *threshold)
+	for _, d := range deltas {
+		switch {
+		case d.Missing:
+			fmt.Printf("  %-60s %12.1f ns/op -> (absent)\n", d.Name, d.OldNs)
+		case d.Appeared:
+			fmt.Printf("  %-60s (new) -> %12.1f ns/op\n", d.Name, d.NewNs)
+		case d.Regressed(*threshold):
+			regressions++
+			fmt.Printf("  %-60s %12.1f -> %12.1f ns/op  %+.1f%%  REGRESSION\n",
+				d.Name, d.OldNs, d.NewNs, (d.Ratio-1)*100)
+			if *reportOnly {
+				fmt.Printf("::warning title=bench regression::%s: %.1f -> %.1f ns/op (%+.1f%% > %.0f%% threshold)\n",
+					d.Name, d.OldNs, d.NewNs, (d.Ratio-1)*100, *threshold)
+			}
+		default:
+			fmt.Printf("  %-60s %12.1f -> %12.1f ns/op  %+.1f%%\n",
+				d.Name, d.OldNs, d.NewNs, (d.Ratio-1)*100)
+		}
+	}
+	if regressions > 0 && !*reportOnly {
+		fmt.Fprintf(os.Stderr, "benchdiff: %d benchmark(s) regressed more than %.0f%%\n", regressions, *threshold)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,120 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+)
+
+func rep(pairs ...any) Report {
+	var r Report
+	for i := 0; i+1 < len(pairs); i += 2 {
+		r.Results = append(r.Results, Result{Name: pairs[i].(string), NsPerOp: pairs[i+1].(float64)})
+	}
+	return r
+}
+
+func TestCompareFlagsOnlyRealRegressions(t *testing.T) {
+	old := rep("A", 100.0, "B", 100.0, "C", 100.0, "Gone", 50.0)
+	new_ := rep("A", 124.0, "B", 126.0, "C", 80.0, "Fresh", 10.0)
+	deltas := Compare(old, new_)
+	byName := map[string]Delta{}
+	for _, d := range deltas {
+		byName[d.Name] = d
+	}
+	if byName["A"].Regressed(25) {
+		t.Error("A at +24% must pass a 25% threshold")
+	}
+	if !byName["B"].Regressed(25) {
+		t.Error("B at +26% must fail a 25% threshold")
+	}
+	if byName["C"].Regressed(25) {
+		t.Error("C improved; not a regression")
+	}
+	if !byName["Gone"].Missing {
+		t.Error("Gone should be reported missing")
+	}
+	if byName["Gone"].Regressed(25) {
+		t.Error("a retired benchmark must not fail the gate")
+	}
+	if !byName["Fresh"].Appeared {
+		t.Error("Fresh should be reported as new")
+	}
+	if byName["Fresh"].Regressed(25) {
+		t.Error("a new benchmark must not fail the gate")
+	}
+	if len(deltas) != 5 {
+		t.Errorf("got %d deltas, want 5", len(deltas))
+	}
+}
+
+func TestCompareSubBenchmarkNames(t *testing.T) {
+	old := rep("BenchmarkExactWorstCaseSweep/n=30000", 100000.0)
+	new_ := rep("BenchmarkExactWorstCaseSweep/n=30000", 140000.0)
+	d := Compare(old, new_)[0]
+	if !d.Regressed(25) {
+		t.Error("sub-benchmark regression not detected")
+	}
+	if d.Regressed(50) {
+		t.Error("sub-benchmark within a 50% threshold flagged")
+	}
+}
+
+func TestLatestCommittedFallback(t *testing.T) {
+	dir := t.TempDir() // not a git work tree: directory-scan fallback
+	for _, name := range []string{"BENCH_1.json", "BENCH_4.json", "BENCH_2.json", "BENCH_smoke.json", "notes.txt"} {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(`{"results":[]}`), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, _, err := LatestCommitted(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Base(got) != "BENCH_4.json" {
+		t.Errorf("latest = %s, want BENCH_4.json (numeric max, smoke excluded)", got)
+	}
+	if _, _, err := LatestCommitted(t.TempDir()); err == nil {
+		t.Error("empty dir should error")
+	}
+}
+
+// TestLatestCommittedPrefersGitHEAD guards the gate's integrity: after a
+// local `make bench` overwrites the tracked record, the baseline must
+// still be the committed bytes, not the freshly written ones (which would
+// make every comparison a vacuous self-diff).
+func TestLatestCommittedPrefersGitHEAD(t *testing.T) {
+	dir := t.TempDir()
+	run := func(args ...string) {
+		t.Helper()
+		cmd := exec.Command("git", append([]string{"-C", dir}, args...)...)
+		cmd.Env = append(os.Environ(),
+			"GIT_AUTHOR_NAME=t", "GIT_AUTHOR_EMAIL=t@t",
+			"GIT_COMMITTER_NAME=t", "GIT_COMMITTER_EMAIL=t@t")
+		if out, err := cmd.CombinedOutput(); err != nil {
+			t.Skipf("git unavailable: %v (%s)", err, out)
+		}
+	}
+	committed := `{"results":[{"name":"A","ns_per_op":100}]}`
+	if err := os.WriteFile(filepath.Join(dir, "BENCH_3.json"), []byte(committed), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	run("init")
+	run("add", "BENCH_3.json")
+	run("commit", "-m", "record")
+	// Overwrite the working-tree copy, as `make bench` would.
+	if err := os.WriteFile(filepath.Join(dir, "BENCH_3.json"), []byte(`{"results":[{"name":"A","ns_per_op":999}]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	name, data, err := LatestCommitted(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != committed {
+		t.Errorf("baseline bytes = %s, want the committed content", data)
+	}
+	if name != "BENCH_3.json @ HEAD" {
+		t.Errorf("baseline name = %q, want it labeled as HEAD content", name)
+	}
+}
