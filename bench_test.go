@@ -450,6 +450,123 @@ func BenchmarkBennettSampleSize(b *testing.B) {
 	}
 }
 
+// --- commit evaluation: packed vs scalar ---------------------------------
+
+// commitEvalEngine builds an engine over an n-example index dataset with a
+// fully-labeled (baseline-plan) condition, plus a candidate model, for the
+// commit-evaluation benchmarks. scalar selects the element-wise reference
+// path (the pre-packed pipeline, kept as the ablation baseline).
+func commitEvalEngine(b *testing.B, n int, scalar bool) (*engine.Engine, model.Predictor) {
+	b.Helper()
+	ds := &data.Dataset{Name: "commit-eval", Classes: 4}
+	for i := 0; i < n; i++ {
+		ds.X = append(ds.X, []float64{float64(i)})
+		ds.Y = append(ds.Y, i%4)
+	}
+	// The 1.1 coefficient keeps the planner off the active-labeling
+	// patterns, so this measures the fully-labeled path: the one that
+	// walks the whole testset every commit. Tolerance 0.3 keeps the
+	// planned sample size within the benchmark testset.
+	cfg, err := script.New("n - 1.1 * o > -0.3 +/- 0.3", 0.99, interval.FPFree,
+		script.Adaptivity{Kind: script.AdaptivityFull}, 4096)
+	if err != nil {
+		b.Fatal(err)
+	}
+	oldPreds, err := model.SimulatedPredictions(ds.Y, 4, 0.8, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng, err := engine.New(cfg, ds, labeling.NewTruthOracle(ds.Y), engine.Options{
+		InitialModel: model.NewFixedPredictions("h0", oldPreds),
+		ScalarEval:   scalar,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	newPreds, err := model.SimulatedPredictions(ds.Y, 4, 0.85, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return eng, model.NewFixedPredictions("candidate", newPreds)
+}
+
+// BenchmarkCommitEval measures steady-state commit evaluation — candidate
+// predictions, label access, {n, o, d} measurement, condition verdict — at
+// n=1e5 via engine.Evaluate (the measurement core without per-commit
+// bookkeeping). "packed" is the shipped bit-packed columnar path (target:
+// 0 allocs/op steady-state); "scalar" is the element-wise reference
+// pipeline it replaced, kept as the equivalence oracle — the pair is the
+// tentpole's >= 8x claim.
+func BenchmarkCommitEval(b *testing.B) {
+	const n = 100000
+	for _, mode := range []struct {
+		name   string
+		scalar bool
+	}{
+		{"packed", false},
+		{"scalar", true},
+	} {
+		b.Run(fmt.Sprintf("%s/n=%d", mode.name, n), func(b *testing.B) {
+			eng, m := commitEvalEngine(b, n, mode.scalar)
+			// Warm up: first evaluation reveals every label.
+			ev, err := eng.Evaluate(m)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				ev, err = eng.Evaluate(m)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(ev.D, "d_hat")
+		})
+	}
+}
+
+// BenchmarkCommitThroughput drives full commits (evaluation plus budget,
+// repository, history, and promotion bookkeeping) through the packed
+// engine at n=1e5 and reports the commits/sec the serving queue can drain.
+func BenchmarkCommitThroughput(b *testing.B) {
+	const n = 100000
+	eng, m := commitEvalEngine(b, n, false)
+	ds := eng.Testsets().Current().Data
+	h0 := model.NewFixedPredictions("h0", mustSimPreds(b, ds.Y, 0.8, 1))
+	oracle := labeling.NewTruthOracle(ds.Y)
+	if _, err := eng.Commit(m, "bench", "warmup"); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_, err := eng.Commit(m, "bench", "commit")
+		if err == engine.ErrNeedNewTestset {
+			if err := eng.RotateTestset(ds, oracle, h0); err != nil {
+				b.Fatal(err)
+			}
+			_, err = eng.Commit(m, "bench", "commit")
+		}
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if secs := b.Elapsed().Seconds(); secs > 0 {
+		b.ReportMetric(float64(b.N)/secs, "commits/s")
+	}
+}
+
+func mustSimPreds(b *testing.B, labels []int, acc float64, seed int64) []int {
+	b.Helper()
+	preds, err := model.SimulatedPredictions(labels, 4, acc, seed)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return preds
+}
+
 // BenchmarkEngineCommit measures one full commit evaluation (predictions,
 // active labeling, decision, bookkeeping) on a 5k testset.
 func BenchmarkEngineCommit(b *testing.B) {

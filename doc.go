@@ -63,4 +63,26 @@
 // commit sequence; see examples/rest_api for the full flow, and the
 // server's /api/v1/admin/reset-caches for the operator-facing cache-reset
 // hook.
+//
+// # Packed commit evaluation
+//
+// The per-commit measurement of {n, o, d} — the one O(n) pass a commit
+// cannot avoid — runs on a bit-packed columnar core (internal/evaluator):
+// per-example booleans are []uint64 bitmaps, 64 examples per word, so
+// disagreement and correctness are XOR/AND plus popcounts; the engine
+// (internal/engine) keeps the promoted baseline's correctness bitmap
+// cached across commits, narrows its label and baseline columns to bytes
+// when the alphabet allows (eight examples compared per word via a
+// zero-byte SWAR mask), reveals labels through one batched oracle call
+// per commit (labeling.BatchOracle, testset.RevealAll/RevealWhere)
+// instead of n round trips, and reuses its prediction buffers — so a
+// steady-state commit evaluation allocates nothing and runs an order of
+// magnitude faster than the element-wise pipeline (BenchmarkCommitEval:
+// ~16x at n=1e5). The element-wise path survives behind
+// engine.Options.ScalarEval as the equivalence oracle, property-tested to
+// produce bit-identical verdicts. Engine.Evaluate exposes the measurement
+// as a dry run ("what would this commit's verdict be?") without spending
+// budget or history, and the server reports commits_evaluated and
+// commit_eval_ns_total in /api/v1/metrics so served evaluation latency is
+// observable.
 package ci

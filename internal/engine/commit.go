@@ -19,6 +19,55 @@ import (
 // statistical budget is spent; install a fresh one with RotateTestset.
 var ErrNeedNewTestset = errors.New("engine: testset budget exhausted; rotate in a new testset")
 
+// Evaluation is the measurement outcome of evaluating one candidate model
+// against the current baseline: the three-valued truth of the condition,
+// its mode-collapsed pass signal, the point estimates that were
+// observable, and how many fresh oracle labels the measurement needed. It
+// is a plain value (no maps), so the steady-state evaluation path
+// allocates nothing.
+type Evaluation struct {
+	// Truth is the three-valued evaluation of the condition.
+	Truth interval.Truth
+	// Pass is the outcome after mode collapse.
+	Pass bool
+	// D is the measured disagreement fraction (always observable).
+	D float64
+	// N and O are the measured accuracies; only meaningful when
+	// HasAccuracy is true (active labeling cannot observe them).
+	N, O float64
+	// HasAccuracy reports whether N and O were measured.
+	HasAccuracy bool
+	// FreshLabels is the number of new oracle labels the measurement
+	// revealed.
+	FreshLabels int
+}
+
+// estimatesMap shapes the observable point estimates the way Result (and
+// the wire API) reports them.
+func (ev Evaluation) estimatesMap() map[condlang.Var]float64 {
+	est := map[condlang.Var]float64{condlang.VarD: ev.D}
+	if ev.HasAccuracy {
+		est[condlang.VarN] = ev.N
+		est[condlang.VarO] = ev.O
+	}
+	return est
+}
+
+// Evaluate measures the condition for a candidate model without recording
+// a commit: no budget is consumed, nothing is appended to history, and no
+// promotion happens. Labels the measurement reveals are spent for real on
+// the testset (they stay revealed) but are not booked to the per-commit
+// cost ledger — only Commit records cost. This is the dry-run surface
+// ("what would this commit's verdict be?") and the benchmark target for
+// the packed measurement core.
+func (e *Engine) Evaluate(m model.Predictor) (Evaluation, error) {
+	if m == nil {
+		return Evaluation{}, fmt.Errorf("engine: nil model")
+	}
+	_, ev, _, err := e.evaluateModel(m)
+	return ev, err
+}
+
 // Commit evaluates a newly committed model and returns the result. The
 // evaluation consumes one unit of the testset's statistical budget.
 func (e *Engine) Commit(m model.Predictor, author, message string) (Result, error) {
@@ -29,17 +78,12 @@ func (e *Engine) Commit(m model.Predictor, author, message string) (Result, erro
 		return Result{}, ErrNeedNewTestset
 	}
 	ts := e.tsm.Current()
-	newPreds, err := model.PredictAll(m, ts.Data)
+	newPreds, ev, borrowed, err := e.evaluateModel(m)
 	if err != nil {
 		return Result{}, err
 	}
-
-	truth, estimates, freshLabels, err := e.evaluateCondition(newPreds)
-	if err != nil {
-		return Result{}, err
-	}
-	e.costs.Charge(freshLabels)
-	pass := e.cfg.Mode.Collapse(truth)
+	e.costs.Charge(ev.FreshLabels)
+	pass := ev.Pass
 
 	event, err := e.tsm.Record(pass)
 	if err != nil {
@@ -57,12 +101,12 @@ func (e *Engine) Commit(m model.Predictor, author, message string) (Result, erro
 		Commit:         commit,
 		Step:           event.Step,
 		Generation:     ts.Generation,
-		Estimates:      estimates,
-		Truth:          truth,
+		Estimates:      ev.estimatesMap(),
+		Truth:          ev.Truth,
 		Pass:           pass,
 		Promoted:       pass,
 		NeedNewTestset: event.NeedNewTestset,
-		FreshLabels:    freshLabels,
+		FreshLabels:    ev.FreshLabels,
 	}
 
 	// Signal routing per adaptivity mode (Section 2.2).
@@ -75,7 +119,7 @@ func (e *Engine) Commit(m model.Predictor, author, message string) (Result, erro
 			Kind:    notify.KindResult,
 			To:      e.cfg.Adaptivity.Email,
 			Subject: fmt.Sprintf("ease.ml/ci result for commit %s", commit.ID),
-			Body:    fmt.Sprintf("model %q step %d: truth=%s pass=%v", m.Name(), res.Step, truth, pass),
+			Body:    fmt.Sprintf("model %q step %d: truth=%s pass=%v", m.Name(), res.Step, ev.Truth, pass),
 		}); err != nil {
 			return Result{}, err
 		}
@@ -97,7 +141,29 @@ func (e *Engine) Commit(m model.Predictor, author, message string) (Result, erro
 	// Promotion: a commit whose true outcome is pass becomes the baseline
 	// the next commit is compared against.
 	if pass {
-		e.active = newPreds
+		switch {
+		case e.scalarEval:
+			e.active = newPreds
+		case borrowed:
+			// The evaluation read the model's own vector in place; the
+			// baseline must be engine-owned, so promotion pays the copy
+			// the evaluation skipped.
+			copy(e.predBuf, newPreds)
+			e.active, e.predBuf = e.predBuf, e.active
+			e.activeMatch, e.newMatch = e.newMatch, e.activeMatch
+		default:
+			// newPreds is the engine's own predBuf: swap it with the
+			// retired baseline so both slices (and the two correctness
+			// bitmaps) keep cycling with zero allocation.
+			e.active, e.predBuf = newPreds, e.active
+			e.activeMatch, e.newMatch = e.newMatch, e.activeMatch
+		}
+		if !e.scalarEval && e.byteCols {
+			// The narrow baseline mirror follows the promotion.
+			for i, y := range e.active {
+				e.active8[i] = uint8(y)
+			}
+		}
 		e.activeName = m.Name()
 	}
 	e.history = append(e.history, res)
@@ -122,31 +188,217 @@ func (e *Engine) RotateTestset(next *data.Dataset, oracle labeling.Oracle, activ
 		return err
 	}
 	e.oracle = oracle
+	e.batch = labeling.AsBatch(oracle)
 	return e.setActive(activeModel)
 }
 
-// evaluateCondition measures the condition variables on the current testset
-// and returns the three-valued outcome, spending oracle labels as the plan
-// allows.
-func (e *Engine) evaluateCondition(newPreds []int) (interval.Truth, map[condlang.Var]float64, int, error) {
-	switch e.plan.Kind {
-	case core.Pattern1, core.Pattern2:
-		return e.evaluateActiveLabeling(newPreds)
-	default:
-		return e.evaluateFullyLabeled(newPreds)
+// evaluateModel produces the candidate's predictions and measures the
+// condition, through the packed bitmap core by default or the element-wise
+// scalar reference when the engine was built with Options.ScalarEval. The
+// returned borrowed flag reports that newPreds is the model's own vector
+// (zero-copy fast path): it is only read during this evaluation, and a
+// caller that wants to keep it (promotion) must copy it into engine-owned
+// storage first.
+func (e *Engine) evaluateModel(m model.Predictor) (newPreds []int, ev Evaluation, borrowed bool, err error) {
+	ts := e.tsm.Current()
+	if e.scalarEval {
+		// The reference pipeline, allocation profile included: a fresh
+		// prediction vector per commit.
+		newPreds, err = model.PredictAll(m, ts.Data)
+	} else {
+		// Zero-copy tier first: a prediction-vector model (the serving
+		// wire format) is measured in place — the fused pass only reads
+		// it, so the 8n-byte defensive copy would be pure memory traffic.
+		if sp, ok := m.(model.StaticPredictor); ok {
+			newPreds, borrowed = sp.StaticPredictions(ts.Data)
+		}
+		if !borrowed {
+			newPreds, err = model.PredictAllInto(m, ts.Data, e.predBuf)
+			if err == nil {
+				e.predBuf = newPreds
+			}
+		}
+	}
+	if err != nil {
+		return nil, Evaluation{}, false, err
+	}
+	if e.scalarEval {
+		ev, err = e.evaluateConditionScalar(newPreds)
+	} else {
+		ev, err = e.evaluateConditionPacked(newPreds)
+	}
+	if err != nil {
+		return nil, Evaluation{}, false, err
+	}
+	ev.Pass = e.cfg.Mode.Collapse(ev.Truth)
+	return newPreds, ev, borrowed, nil
+}
+
+// --- packed paths --------------------------------------------------------
+
+// fusedPass fills the diff and new-model correctness bitmaps for the
+// candidate, through the narrow byte columns when the alphabet allows.
+func (e *Engine) fusedPass(newPreds []int) {
+	if e.byteCols {
+		evaluator.CommitBitmapsBytes(newPreds, e.active8, e.labels8, &e.diff, &e.newMatch)
+	} else {
+		evaluator.CommitBitmaps(e.active, newPreds, e.labels, &e.diff, &e.newMatch)
 	}
 }
 
-// evaluateFullyLabeled is the baseline path: every label is revealed and
-// the three variables are measured directly.
-func (e *Engine) evaluateFullyLabeled(newPreds []int) (interval.Truth, map[condlang.Var]float64, int, error) {
+// evaluateConditionPacked measures the condition variables on the current
+// testset via the bit-packed columnar core.
+func (e *Engine) evaluateConditionPacked(newPreds []int) (Evaluation, error) {
+	switch e.plan.Kind {
+	case core.Pattern1, core.Pattern2:
+		return e.evaluateActiveLabelingPacked(newPreds)
+	default:
+		return e.evaluateFullyLabeledPacked(newPreds)
+	}
+}
+
+// evaluateFullyLabeledPacked is the baseline path: one bulk reveal brings
+// the whole testset's labels in (a no-op after the first commit of a
+// generation), then one fused pass builds the disagreement and correctness
+// bitmaps and the three variables are popcounts — the baseline's
+// correctness bitmap is already cached from promotion time, so the old
+// model's predictions are not even touched.
+func (e *Engine) evaluateFullyLabeledPacked(newPreds []int) (Evaluation, error) {
 	ts := e.tsm.Current()
-	labels := make([]int, ts.Len())
+	n := ts.Len()
+	fresh := 0
+	if ts.RevealedCount() != n {
+		var err error
+		if fresh, err = ts.RevealAll(e.batch); err != nil {
+			return Evaluation{}, err
+		}
+		copy(e.labels, ts.Data.Y)
+		evaluator.MatchBitmap(e.active, e.labels, &e.activeMatch)
+		if e.byteCols {
+			copyLabelBytes(e.labels8, e.labels)
+		}
+	}
+	e.fusedPass(newPreds)
+	ev := Evaluation{
+		D:           float64(e.diff.Count()) / float64(n),
+		FreshLabels: fresh,
+	}
+	e.estVals[condlang.VarD] = ev.D
+	if labeled := ts.RevealedCount(); labeled > 0 {
+		ev.N = float64(e.newMatch.Count()) / float64(labeled)
+		ev.O = float64(e.activeMatch.Count()) / float64(labeled)
+		ev.HasAccuracy = true
+		e.estVals[condlang.VarN] = ev.N
+		e.estVals[condlang.VarO] = ev.O
+	} else {
+		delete(e.estVals, condlang.VarN)
+		delete(e.estVals, condlang.VarO)
+	}
+	truth, err := e.compiled.Eval(evaluator.VarEstimates{Values: e.estVals})
+	if err != nil {
+		return Evaluation{}, err
+	}
+	ev.Truth = truth
+	return ev, nil
+}
+
+// evaluateActiveLabelingPacked is the optimized path (Sections 4.1.2 /
+// 4.2) on packed columns: d is the popcount of the disagreement bitmap
+// (no labels), and the n-o clause reveals only the disagreeing examples —
+// in one batched oracle call — then measures the accuracy difference as
+// two masked popcounts.
+func (e *Engine) evaluateActiveLabelingPacked(newPreds []int) (Evaluation, error) {
+	ts := e.tsm.Current()
+	n := ts.Len()
+	e.fusedPass(newPreds)
+	dHat := float64(e.diff.Count()) / float64(n)
+	ev := Evaluation{D: dHat}
+
+	truth := interval.True
+	revealed := false
+	for i := range e.compiled.Clauses {
+		cc := &e.compiled.Clauses[i]
+		var (
+			t   interval.Truth
+			err error
+		)
+		switch {
+		case cc.DOnly():
+			t, err = evaluator.EvalClauseLHS(cc.Clause, dHat, cc.Clause.Tolerance)
+		case cc.NMinusO():
+			if !revealed {
+				freshIdx, err2 := ts.RevealWhere(e.diff, e.batch)
+				if err2 != nil {
+					return Evaluation{}, err2
+				}
+				// Patch the freshly revealed entries into the label
+				// scratch column and both correctness bitmaps (the fused
+				// pass above ran before these labels existed).
+				for _, idx := range freshIdx {
+					y := ts.Data.Y[idx]
+					e.labels[idx] = y
+					if e.byteCols {
+						e.labels8[idx] = uint8(y)
+					}
+					if e.active[idx] == y {
+						e.activeMatch.Set(idx)
+					}
+					if newPreds[idx] == y {
+						e.newMatch.Set(idx)
+					}
+				}
+				ev.FreshLabels = len(freshIdx)
+				revealed = true
+			}
+			// Measure n - o over disagreements only: agreements contribute
+			// 0, so the sum is two masked popcounts.
+			sum := evaluator.AndCount(e.newMatch, e.diff) - evaluator.AndCount(e.activeMatch, e.diff)
+			t, err = evaluator.EvalClauseLHS(cc.Clause, float64(sum)/float64(n), cc.Clause.Tolerance)
+		default:
+			return Evaluation{}, fmt.Errorf("engine: pattern plan cannot evaluate clause %q", cc.Clause)
+		}
+		if err != nil {
+			return Evaluation{}, err
+		}
+		truth = truth.And(t)
+	}
+	ev.Truth = truth
+	return ev, nil
+}
+
+// --- scalar reference paths ----------------------------------------------
+//
+// The element-wise implementations below predate the packed core and are
+// kept verbatim as the equivalence oracle (Options.ScalarEval): property
+// tests drive both engines over identical commit sequences and assert
+// byte-identical results, the same pattern bounds.ExactWorstCaseFailureGrid
+// serves for the event-driven sweep.
+
+// evaluateConditionScalar dispatches the scalar reference path.
+func (e *Engine) evaluateConditionScalar(newPreds []int) (Evaluation, error) {
+	switch e.plan.Kind {
+	case core.Pattern1, core.Pattern2:
+		return e.evaluateActiveLabelingScalar(newPreds)
+	default:
+		return e.evaluateFullyLabeledScalar(newPreds)
+	}
+}
+
+// evaluateFullyLabeledScalar is the scalar baseline path: every label is
+// revealed one oracle round trip at a time and the three variables are
+// measured by an element-wise walk. The label column reuses the
+// engine-owned scratch buffer rather than reallocating per commit.
+func (e *Engine) evaluateFullyLabeledScalar(newPreds []int) (Evaluation, error) {
+	ts := e.tsm.Current()
+	if len(e.labels) != ts.Len() {
+		e.labels = make([]int, ts.Len())
+	}
+	labels := e.labels
 	fresh := 0
 	for i := range labels {
 		y, isFresh, err := e.revealLabel(i)
 		if err != nil {
-			return interval.Unknown, nil, 0, err
+			return Evaluation{}, err
 		}
 		labels[i] = y
 		if isFresh {
@@ -155,19 +407,23 @@ func (e *Engine) evaluateFullyLabeled(newPreds []int) (interval.Truth, map[condl
 	}
 	est, err := evaluator.Measure(e.active, newPreds, labels)
 	if err != nil {
-		return interval.Unknown, nil, 0, err
+		return Evaluation{}, err
 	}
 	truth, err := evaluator.EvalFormula(e.cfg.Condition, est)
 	if err != nil {
-		return interval.Unknown, nil, 0, err
+		return Evaluation{}, err
 	}
-	return truth, est.Values, fresh, nil
+	ev := Evaluation{Truth: truth, D: est.Values[condlang.VarD], FreshLabels: fresh}
+	if nv, ok := est.Values[condlang.VarN]; ok {
+		ev.N, ev.O, ev.HasAccuracy = nv, est.Values[condlang.VarO], true
+	}
+	return ev, nil
 }
 
-// evaluateActiveLabeling is the optimized path (Sections 4.1.2 / 4.2):
-// d needs no labels, and the n-o clause is measured by labeling only the
-// examples where the old and new models disagree.
-func (e *Engine) evaluateActiveLabeling(newPreds []int) (interval.Truth, map[condlang.Var]float64, int, error) {
+// evaluateActiveLabelingScalar is the scalar active-labeling path: d from
+// an element-wise disagreement count, labels revealed one at a time for
+// the disagreeing examples only.
+func (e *Engine) evaluateActiveLabelingScalar(newPreds []int) (Evaluation, error) {
 	ts := e.tsm.Current()
 	n := ts.Len()
 	diff := 0
@@ -177,21 +433,21 @@ func (e *Engine) evaluateActiveLabeling(newPreds []int) (interval.Truth, map[con
 		}
 	}
 	dHat := float64(diff) / float64(n)
-	estimates := map[condlang.Var]float64{condlang.VarD: dHat}
+	ev := Evaluation{D: dHat}
 
 	truth := interval.True
 	fresh := 0
 	for _, clause := range e.cfg.Condition.Clauses {
 		lf, err := condlang.Linearize(clause.Expr)
 		if err != nil {
-			return interval.Unknown, nil, 0, err
+			return Evaluation{}, err
 		}
 		var t interval.Truth
 		switch {
 		case len(lf.Coef) == 1 && lf.Coef[condlang.VarD] == 1:
 			t, err = evaluator.EvalClauseLHS(clause, dHat, clause.Tolerance)
 			if err != nil {
-				return interval.Unknown, nil, 0, err
+				return Evaluation{}, err
 			}
 		case len(lf.Coef) == 2 && lf.Coef[condlang.VarN] == 1 && lf.Coef[condlang.VarO] == -1:
 			// Measure n - o over disagreements only: agreements contribute 0.
@@ -202,7 +458,7 @@ func (e *Engine) evaluateActiveLabeling(newPreds []int) (interval.Truth, map[con
 				}
 				y, isFresh, err := e.revealLabel(i)
 				if err != nil {
-					return interval.Unknown, nil, 0, err
+					return Evaluation{}, err
 				}
 				if isFresh {
 					fresh++
@@ -217,14 +473,16 @@ func (e *Engine) evaluateActiveLabeling(newPreds []int) (interval.Truth, map[con
 			lhs := float64(sum) / float64(n)
 			t, err = evaluator.EvalClauseLHS(clause, lhs, clause.Tolerance)
 			if err != nil {
-				return interval.Unknown, nil, 0, err
+				return Evaluation{}, err
 			}
 		default:
-			return interval.Unknown, nil, 0, fmt.Errorf("engine: pattern plan cannot evaluate clause %q", clause)
+			return Evaluation{}, fmt.Errorf("engine: pattern plan cannot evaluate clause %q", clause)
 		}
 		truth = truth.And(t)
 	}
-	return truth, estimates, fresh, nil
+	ev.Truth = truth
+	ev.FreshLabels = fresh
+	return ev, nil
 }
 
 // revealLabel pays for one label through the oracle, cross-checking it

@@ -13,6 +13,7 @@ import (
 	"github.com/easeml/ci/internal/condlang"
 	"github.com/easeml/ci/internal/core"
 	"github.com/easeml/ci/internal/data"
+	"github.com/easeml/ci/internal/evaluator"
 	"github.com/easeml/ci/internal/interval"
 	"github.com/easeml/ci/internal/labeling"
 	"github.com/easeml/ci/internal/model"
@@ -57,15 +58,47 @@ type Engine struct {
 	plannerOpts core.Options
 	tsm         *testset.Manager
 	oracle      labeling.Oracle
+	batch       labeling.BatchOracle
 	costs       *labeling.Ledger
 	notifier    notify.Notifier
 	repo        *repository.Store
+
+	// scalarEval routes measurement through the element-wise reference
+	// implementation instead of the packed bitmap core; see
+	// Options.ScalarEval.
+	scalarEval bool
+	// compiled is the script condition with every clause pre-linearized,
+	// so per-commit evaluation does not re-derive (and re-allocate) the
+	// linear forms.
+	compiled evaluator.CompiledFormula
 
 	// active holds the current baseline ("old") model's predictions on the
 	// current testset.
 	active     []int
 	activeName string
-	history    []Result
+
+	// Packed measurement state. labels mirrors the testset's revealed
+	// labels (-1 where unrevealed); activeMatch is the baseline's packed
+	// correctness column over the revealed subset, maintained
+	// incrementally on reveal/promotion and rebuilt on rotation; predBuf,
+	// diff, and newMatch are per-commit scratch reused across commits so
+	// steady-state evaluation allocates nothing. estVals is the reusable
+	// estimates map behind compiled-formula evaluation.
+	predBuf     []int
+	labels      []int
+	diff        evaluator.Bitmap
+	newMatch    evaluator.Bitmap
+	activeMatch evaluator.Bitmap
+	estVals     map[condlang.Var]float64
+	// Narrow-column mirrors, used when the label alphabet fits a byte
+	// (the overwhelmingly common case): active8 mirrors active and
+	// labels8 mirrors labels with 255 as the unrevealed sentinel, so the
+	// fused pass streams 1/8th the bytes per engine-owned column.
+	byteCols bool
+	active8  []uint8
+	labels8  []uint8
+
+	history []Result
 }
 
 // Options configures engine construction.
@@ -78,6 +111,12 @@ type Options struct {
 	// Notifier receives third-party results and alarms; defaults to an
 	// in-memory outbox when nil.
 	Notifier notify.Notifier
+	// ScalarEval forces the element-wise scalar measurement path (per-
+	// example label reveals, int-slice walks) instead of the packed
+	// bitmap core. The scalar path is the equivalence oracle and ablation
+	// baseline — same role the retired grid search plays for the
+	// worst-case sweep; production engines leave this false.
+	ScalarEval bool
 }
 
 // New builds an engine for a validated script over the given first testset.
@@ -114,15 +153,23 @@ func New(cfg *script.Config, first *data.Dataset, oracle labeling.Oracle, opts O
 	if notifier == nil {
 		notifier = notify.NewOutbox()
 	}
+	compiled, err := evaluator.Compile(cfg.Condition)
+	if err != nil {
+		return nil, err
+	}
 	eng := &Engine{
 		cfg:         cfg,
 		plan:        plan,
 		plannerOpts: opts.Planner,
 		tsm:         tsm,
 		oracle:      oracle,
+		batch:       labeling.AsBatch(oracle),
 		costs:       &labeling.Ledger{},
 		notifier:    notifier,
 		repo:        repository.NewStore(),
+		scalarEval:  opts.ScalarEval,
+		compiled:    compiled,
+		estVals:     make(map[condlang.Var]float64, 3),
 	}
 	if err := eng.setActive(opts.InitialModel); err != nil {
 		return nil, err
@@ -161,13 +208,89 @@ func (e *Engine) LabelCost() *labeling.Ledger { return e.costs }
 func (e *Engine) ActiveModelName() string { return e.activeName }
 
 // setActive computes and installs the baseline predictions for the current
-// testset.
+// testset, then rebuilds the packed measurement state (the label scratch
+// column and the baseline's correctness bitmap) against it. The testset
+// was validated when it was installed, so the buffered predict path is
+// safe here.
 func (e *Engine) setActive(p model.Predictor) error {
-	preds, err := model.PredictAll(p, e.tsm.Current().Data)
+	preds, err := model.PredictAllInto(p, e.tsm.Current().Data, e.active)
 	if err != nil {
 		return err
 	}
 	e.active = preds
 	e.activeName = p.Name()
+	e.syncPackedState()
 	return nil
+}
+
+// syncPackedState resizes the per-commit scratch to the current testset
+// and rebuilds the label scratch column (revealed label or -1) and the
+// baseline correctness bitmap from the testset's revealed bookkeeping.
+// Called on construction and rotation; the commit paths afterwards keep
+// the state consistent incrementally.
+func (e *Engine) syncPackedState() {
+	ts := e.tsm.Current()
+	n := ts.Len()
+	if cap(e.predBuf) < n {
+		e.predBuf = make([]int, n)
+	} else {
+		e.predBuf = e.predBuf[:n]
+	}
+	if cap(e.labels) < n {
+		e.labels = make([]int, n)
+	} else {
+		e.labels = e.labels[:n]
+	}
+	switch ts.RevealedCount() {
+	case 0:
+		for i := range e.labels {
+			e.labels[i] = -1
+		}
+	case n:
+		copy(e.labels, ts.Data.Y)
+	default:
+		for i := range e.labels {
+			if ts.Revealed(i) {
+				e.labels[i] = ts.Data.Y[i]
+			} else {
+				e.labels[i] = -1
+			}
+		}
+	}
+	evaluator.MatchBitmap(e.active, e.labels, &e.activeMatch)
+	e.diff.Reset(n)
+	e.newMatch.Reset(n)
+
+	// Byte mirrors: only when every class id (and the 255 sentinel) fits.
+	e.byteCols = ts.Data.Classes <= 255
+	if e.byteCols {
+		if cap(e.active8) < n {
+			e.active8 = make([]uint8, n)
+			e.labels8 = make([]uint8, n)
+		} else {
+			e.active8 = e.active8[:n]
+			e.labels8 = e.labels8[:n]
+		}
+		e.syncByteCols()
+	}
+}
+
+// syncByteCols rebuilds both narrow mirrors from the wide columns.
+func (e *Engine) syncByteCols() {
+	for i, y := range e.active {
+		e.active8[i] = uint8(y)
+	}
+	copyLabelBytes(e.labels8, e.labels)
+}
+
+// copyLabelBytes narrows a revealed-label column (-1 = unrevealed) into
+// bytes with the 255 sentinel.
+func copyLabelBytes(dst []uint8, labels []int) {
+	for i, y := range labels {
+		if y < 0 {
+			dst[i] = 255
+		} else {
+			dst[i] = uint8(y)
+		}
+	}
 }

@@ -1,0 +1,129 @@
+package evaluator
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/easeml/ci/internal/condlang"
+	"github.com/easeml/ci/internal/interval"
+)
+
+// A script's condition is fixed for the life of an engine, but the generic
+// evaluation path re-linearizes every clause expression on every commit —
+// an allocation (and a map build) per clause per evaluation. Compile hoists
+// the linearization to construction time so the per-commit hot path is
+// allocation-free: the engine compiles its condition once and evaluates
+// the compiled form against a reusable estimates map.
+
+// Term is one coefficient of a compiled clause's linear left-hand side.
+type Term struct {
+	Var  condlang.Var
+	Coef float64
+}
+
+// CompiledClause is a clause with its left-hand side pre-linearized. Terms
+// are sorted by variable name, so the point estimate is accumulated in a
+// deterministic order (the map-backed path iterates in Go's randomized map
+// order; with the <= 2-term clauses the condition language produces, every
+// order rounds identically, so the two paths agree bit-for-bit).
+type CompiledClause struct {
+	Clause condlang.Clause
+	Const  float64
+	Terms  []Term
+}
+
+// CompiledFormula is a conjunction of compiled clauses.
+type CompiledFormula struct {
+	Clauses []CompiledClause
+}
+
+// Compile linearizes every clause of the formula once.
+func Compile(f condlang.Formula) (CompiledFormula, error) {
+	out := CompiledFormula{Clauses: make([]CompiledClause, 0, len(f.Clauses))}
+	for _, c := range f.Clauses {
+		lf, err := condlang.Linearize(c.Expr)
+		if err != nil {
+			return CompiledFormula{}, err
+		}
+		cc := CompiledClause{Clause: c, Const: lf.Const}
+		for v, coef := range lf.Coef {
+			cc.Terms = append(cc.Terms, Term{Var: v, Coef: coef})
+		}
+		sort.Slice(cc.Terms, func(i, j int) bool { return cc.Terms[i].Var < cc.Terms[j].Var })
+		out.Clauses = append(out.Clauses, cc)
+	}
+	return out, nil
+}
+
+// DOnly reports whether the clause's left-hand side is exactly the
+// disagreement variable d (coefficient 1) — evaluable without any labels.
+func (cc CompiledClause) DOnly() bool {
+	return len(cc.Terms) == 1 && cc.Terms[0].Var == condlang.VarD && cc.Terms[0].Coef == 1
+}
+
+// NMinusO reports whether the left-hand side is exactly n - o — the
+// accuracy-difference form active labeling measures over disagreements.
+func (cc CompiledClause) NMinusO() bool {
+	return len(cc.Terms) == 2 &&
+		cc.Terms[0].Var == condlang.VarN && cc.Terms[0].Coef == 1 &&
+		cc.Terms[1].Var == condlang.VarO && cc.Terms[1].Coef == -1
+}
+
+// Interval mirrors ClauseInterval on the pre-linearized form.
+func (cc CompiledClause) Interval(est VarEstimates) (interval.Interval, error) {
+	point := cc.Const
+	halfWidth := 0.0
+	for _, t := range cc.Terms {
+		val, ok := est.Values[t.Var]
+		if !ok {
+			return interval.Interval{}, fmt.Errorf("evaluator: no estimate for variable %s", t.Var)
+		}
+		point += t.Coef * val
+		if est.Eps != nil {
+			eps, ok := est.Eps[t.Var]
+			if !ok {
+				return interval.Interval{}, fmt.Errorf("evaluator: no tolerance for variable %s", t.Var)
+			}
+			if eps < 0 {
+				return interval.Interval{}, fmt.Errorf("evaluator: negative tolerance for variable %s", t.Var)
+			}
+			if t.Coef < 0 {
+				halfWidth += -t.Coef * eps
+			} else {
+				halfWidth += t.Coef * eps
+			}
+		}
+	}
+	if est.Eps == nil {
+		halfWidth = cc.Clause.Tolerance
+	}
+	return interval.Around(point, halfWidth), nil
+}
+
+// Eval evaluates one compiled clause to three-valued logic.
+func (cc CompiledClause) Eval(est VarEstimates) (interval.Truth, error) {
+	iv, err := cc.Interval(est)
+	if err != nil {
+		return interval.Unknown, err
+	}
+	if cc.Clause.Cmp == condlang.CmpGreater {
+		return iv.GreaterThan(cc.Clause.Threshold), nil
+	}
+	return iv.LessThan(cc.Clause.Threshold), nil
+}
+
+// Eval evaluates the compiled conjunction, mirroring EvalFormula.
+func (cf CompiledFormula) Eval(est VarEstimates) (interval.Truth, error) {
+	if len(cf.Clauses) == 0 {
+		return interval.Unknown, fmt.Errorf("evaluator: empty formula")
+	}
+	result := interval.True
+	for i := range cf.Clauses {
+		t, err := cf.Clauses[i].Eval(est)
+		if err != nil {
+			return interval.Unknown, err
+		}
+		result = result.And(t)
+	}
+	return result, nil
+}

@@ -3,6 +3,33 @@
 // confidence intervals, combined through the interval algebra, compared in
 // three-valued logic, and collapsed to a pass/fail signal by the script's
 // fp-free / fn-free mode.
+//
+// # Packed measurement
+//
+// Measuring {n, o, d} is one pass over the testset per commit, and with
+// exact-binomial plans asking for 30k-300k examples that pass dominates
+// per-commit latency. The hot path is therefore columnar and bit-packed
+// (packed.go): per-example booleans — "do the models disagree here?", "is
+// this prediction correct?", "is this label revealed?" — live in Bitmap
+// values, 64 examples per uint64 word, so the three variables are
+// XOR/AND + math/bits.OnesCount64 over n/64 words instead of n branchy
+// int comparisons. CommitBitmaps fuses the disagreement and correctness
+// columns into one sweep (fanned across internal/parallel above
+// ~256k examples); CommitBitmapsBytes is the narrow-column variant for
+// label alphabets that fit a byte (classes <= 255, with 255 as the
+// unrevealed sentinel), comparing eight examples per 64-bit word via a
+// zero-byte SWAR mask — the configuration the engine runs when it can,
+// since it moves an eighth of the memory traffic per engine-owned column.
+// Compiled formulas (compiled.go) hoist clause linearization out of the
+// per-commit path, so steady-state evaluation allocates nothing.
+//
+// The element-wise implementations (Measure, Accuracy, Disagreement) are
+// not dead code: they are the equivalence oracle, exactly as the retired
+// grid search serves the event-driven worst-case sweep in
+// internal/bounds. Property tests (TestMeasurePackedVsScalar and the
+// engine's packed-vs-scalar suites) hold the packed core to bit-identical
+// estimates and verdicts against them, including unlabeled entries and
+// word-boundary testset sizes.
 package evaluator
 
 import (

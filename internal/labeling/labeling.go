@@ -16,6 +16,44 @@ type Oracle interface {
 	Label(i int) (int, error)
 }
 
+// BatchOracle answers many label queries in one round trip. The engine's
+// packed evaluation paths reveal labels in bulk — one LabelBatch per
+// commit instead of one Label per example — which is also the realistic
+// shape of a human labeling workflow (a task batch, not n interactive
+// questions).
+type BatchOracle interface {
+	// LabelBatch returns the ground-truth labels of the given examples,
+	// one per index, in order.
+	LabelBatch(indices []int) ([]int, error)
+}
+
+// AsBatch adapts any Oracle to the batch interface. Oracles that already
+// implement BatchOracle (like TruthOracle) are returned unchanged; others
+// get a loop-based adapter, so existing single-label oracles keep working
+// behind the batched reveal paths.
+func AsBatch(o Oracle) BatchOracle {
+	if b, ok := o.(BatchOracle); ok {
+		return b
+	}
+	return loopBatch{o: o}
+}
+
+// loopBatch is the fallback adapter: one Label round trip per index.
+type loopBatch struct{ o Oracle }
+
+// LabelBatch implements BatchOracle.
+func (a loopBatch) LabelBatch(indices []int) ([]int, error) {
+	out := make([]int, len(indices))
+	for k, i := range indices {
+		y, err := a.o.Label(i)
+		if err != nil {
+			return nil, err
+		}
+		out[k] = y
+	}
+	return out, nil
+}
+
 // TruthOracle serves labels from a ground-truth slice: the simulation
 // substitute for a human labeling team.
 type TruthOracle struct {
@@ -33,6 +71,19 @@ func (o *TruthOracle) Label(i int) (int, error) {
 		return 0, fmt.Errorf("labeling: index %d out of range [0,%d)", i, len(o.labels))
 	}
 	return o.labels[i], nil
+}
+
+// LabelBatch implements BatchOracle natively: one bounds check per index,
+// no per-label interface dispatch.
+func (o *TruthOracle) LabelBatch(indices []int) ([]int, error) {
+	out := make([]int, len(indices))
+	for k, i := range indices {
+		if i < 0 || i >= len(o.labels) {
+			return nil, fmt.Errorf("labeling: index %d out of range [0,%d)", i, len(o.labels))
+		}
+		out[k] = o.labels[i]
+	}
+	return out, nil
 }
 
 // Ledger tracks cumulative labeling effort.

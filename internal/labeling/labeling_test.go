@@ -67,3 +67,52 @@ func TestEffortEdge(t *testing.T) {
 		t.Error("zero labels must cost nothing")
 	}
 }
+
+func TestTruthOracleLabelBatch(t *testing.T) {
+	o := NewTruthOracle([]int{3, 1, 4, 1, 5})
+	got, err := o.LabelBatch([]int{4, 0, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{5, 3, 4}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("LabelBatch = %v, want %v", got, want)
+		}
+	}
+	if _, err := o.LabelBatch([]int{5}); err == nil {
+		t.Error("out-of-range batch index should fail")
+	}
+	if got, err := o.LabelBatch(nil); err != nil || len(got) != 0 {
+		t.Errorf("empty batch: %v %v", got, err)
+	}
+}
+
+// singleOnly implements only the single-label interface, so AsBatch must
+// wrap it in the loop adapter.
+type singleOnly struct{ o Oracle }
+
+func (s singleOnly) Label(i int) (int, error) { return s.o.Label(i) }
+
+func TestAsBatch(t *testing.T) {
+	truth := NewTruthOracle([]int{2, 0, 1})
+	// A native batch oracle passes through unchanged.
+	if b := AsBatch(truth); b.(*TruthOracle) != truth {
+		t.Error("AsBatch must not re-wrap a native BatchOracle")
+	}
+	// A single-label oracle gets the loop adapter with equal answers.
+	b := AsBatch(singleOnly{o: truth})
+	got, err := b.LabelBatch([]int{2, 1, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, i := range []int{2, 1, 0} {
+		want, _ := truth.Label(i)
+		if got[k] != want {
+			t.Fatalf("adapter batch = %v", got)
+		}
+	}
+	if _, err := b.LabelBatch([]int{3}); err == nil {
+		t.Error("adapter must propagate per-index errors")
+	}
+}

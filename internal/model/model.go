@@ -19,6 +19,29 @@ type Predictor interface {
 	Predict(x []float64) int
 }
 
+// BulkPredictor is an optional fast path for predictors whose outputs are
+// precomputed (or vectorizable): instead of one Predict interface call per
+// example, the whole prediction vector is produced at once. dst has
+// exactly ds.Len() entries; implementations must fill every entry with a
+// class in [0, ds.Classes) or return an error, and must produce exactly
+// what element-wise Predict would.
+type BulkPredictor interface {
+	PredictAllInto(ds *data.Dataset, dst []int) error
+}
+
+// StaticPredictor is the zero-copy tier above BulkPredictor: predictors
+// whose prediction vector for the dataset already exists in memory (the
+// serving path, where a commit request IS a prediction vector) hand it
+// out directly. StaticPredictions returns (nil, false) when no valid
+// precomputed vector is available, in which case callers fall back to
+// PredictAllInto. A returned vector is owned by the predictor: callers
+// must treat it as read-only and must not retain it past the predictor's
+// own lifetime — the engine reads it during one evaluation and copies it
+// only if the model is promoted.
+type StaticPredictor interface {
+	StaticPredictions(ds *data.Dataset) ([]int, bool)
+}
+
 // PredictAll evaluates a predictor over an entire dataset. Predictions
 // outside the dataset's label alphabet are rejected: a silent out-of-range
 // prediction would skew every downstream estimate, so the failure is
@@ -30,7 +53,33 @@ func PredictAll(p Predictor, ds *data.Dataset) ([]int, error) {
 	if err := ds.Validate(); err != nil {
 		return nil, err
 	}
-	out := make([]int, ds.Len())
+	return PredictAllInto(p, ds, nil)
+}
+
+// PredictAllInto is PredictAll with a caller-owned buffer: when buf has
+// enough capacity the predictions are written in place and no allocation
+// happens, so a caller evaluating commit after commit (the engine) reuses
+// one buffer instead of allocating ds.Len() ints per commit. The (possibly
+// re-sliced) buffer is returned. It assumes ds has already been validated
+// — the engine's testsets are validated once at installation, not per
+// commit; external callers should use PredictAll.
+func PredictAllInto(p Predictor, ds *data.Dataset, buf []int) ([]int, error) {
+	if p == nil {
+		return nil, fmt.Errorf("model: nil predictor")
+	}
+	n := ds.Len()
+	out := buf
+	if cap(out) < n {
+		out = make([]int, n)
+	} else {
+		out = out[:n]
+	}
+	if bp, ok := p.(BulkPredictor); ok {
+		if err := bp.PredictAllInto(ds, out); err != nil {
+			return nil, err
+		}
+		return out, nil
+	}
 	for i, x := range ds.X {
 		y := p.Predict(x)
 		if y < 0 || y >= ds.Classes {

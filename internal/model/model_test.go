@@ -307,3 +307,83 @@ func TestDisagreementHelper(t *testing.T) {
 		t.Errorf("Disagreement = %v, %v; want 0.5", d, err)
 	}
 }
+
+func TestPredictAllIntoBufferReuse(t *testing.T) {
+	ds := &data.Dataset{Name: "idx", Classes: 3}
+	for i := 0; i < 100; i++ {
+		ds.X = append(ds.X, []float64{float64(i)})
+		ds.Y = append(ds.Y, i%3)
+	}
+	preds := make([]int, 100)
+	for i := range preds {
+		preds[i] = (i + 1) % 3
+	}
+	m := NewFixedPredictions("m", preds)
+
+	// Reference: the unbuffered path.
+	want, err := PredictAll(m, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Buffered path reuses the caller's slice when capacity suffices.
+	buf := make([]int, 100)
+	got, err := PredictAllInto(m, ds, buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &got[0] != &buf[0] {
+		t.Error("PredictAllInto must reuse the buffer")
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("bulk path differs at %d: %d vs %d", i, got[i], want[i])
+		}
+	}
+	// Undersized buffer grows.
+	got, err = PredictAllInto(m, ds, make([]int, 0, 10))
+	if err != nil || len(got) != 100 {
+		t.Fatalf("grow path: len=%d err=%v", len(got), err)
+	}
+	// Steady-state buffered predictions allocate nothing.
+	allocs := testing.AllocsPerRun(20, func() {
+		if _, err := PredictAllInto(m, ds, buf); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("buffered PredictAllInto allocates %v per run, want 0", allocs)
+	}
+}
+
+func TestPredictAllBulkErrorParity(t *testing.T) {
+	ds := &data.Dataset{Name: "idx", Classes: 2}
+	for i := 0; i < 5; i++ {
+		ds.X = append(ds.X, []float64{float64(i)})
+		ds.Y = append(ds.Y, i%2)
+	}
+	// A prediction outside the alphabet is rejected with the same error
+	// the element-wise path produces.
+	bad := NewFixedPredictions("bad", []int{0, 1, 2, 0, 1})
+	_, errBulk := PredictAll(bad, ds)
+	if errBulk == nil {
+		t.Fatal("out-of-alphabet prediction must fail")
+	}
+	wantMsg := "model: bad predicted 2 for example 2, outside [0,2)"
+	if errBulk.Error() != wantMsg {
+		t.Errorf("bulk error = %q, want %q", errBulk, wantMsg)
+	}
+	// A short prediction vector mirrors the element-wise -1 error.
+	short := NewFixedPredictions("short", []int{0, 1, 0})
+	if _, err := PredictAll(short, ds); err == nil {
+		t.Error("short prediction vector must fail")
+	}
+	// A bad prediction beyond the dataset's length does not fail the
+	// prefix (element-wise never saw it either).
+	longer := NewFixedPredictions("longer", []int{0, 1, 0, 1, 0, 99})
+	if _, err := PredictAll(longer, ds); err != nil {
+		t.Errorf("bad prediction past the dataset must not fail the prefix: %v", err)
+	}
+	if _, err := PredictAllInto(nil, ds, nil); err == nil {
+		t.Error("nil predictor should fail")
+	}
+}

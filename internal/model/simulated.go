@@ -3,6 +3,9 @@ package model
 import (
 	"fmt"
 	"math/rand"
+	"sync"
+
+	"github.com/easeml/ci/internal/data"
 )
 
 // Simulated models produce prediction vectors with exactly controlled
@@ -165,10 +168,17 @@ func SimulatedPair(labels []int, classes int, accOld, accNew, disagree float64, 
 // FixedPredictions wraps a precomputed prediction vector as a Predictor
 // keyed by example index. The feature vector's first component is the
 // example index; this is how simulated models plug into the engine, which
-// otherwise works with real feature-based predictors.
+// otherwise works with real feature-based predictors. The wrapped slice
+// must not be mutated after construction (the range scan is cached).
 type FixedPredictions struct {
 	name  string
 	preds []int
+
+	// scanOnce computes the prediction range once, so the bulk path's
+	// per-call validation is an O(1) min/max comparison instead of an
+	// O(n) rescan.
+	scanOnce         sync.Once
+	minPred, maxPred int
 }
 
 // NewFixedPredictions builds the wrapper.
@@ -188,8 +198,67 @@ func (f *FixedPredictions) Predict(x []float64) int {
 	return f.preds[idx]
 }
 
-// Predictions exposes the raw vector.
+// Predictions exposes the raw vector. Callers must not mutate it.
 func (f *FixedPredictions) Predictions() []int { return f.preds }
+
+// StaticPredictions implements StaticPredictor: the wrapped vector is
+// handed out without copying when it covers the dataset and every entry
+// is inside the label alphabet (checked against the cached range scan).
+// Out-of-range or undersized vectors report false so the copying path can
+// produce its precise error.
+func (f *FixedPredictions) StaticPredictions(ds *data.Dataset) ([]int, bool) {
+	if len(f.preds) < ds.Len() {
+		return nil, false
+	}
+	f.scanRange()
+	if f.minPred < 0 || f.maxPred >= ds.Classes {
+		return nil, false
+	}
+	return f.preds[:ds.Len()], true
+}
+
+// PredictAllInto implements BulkPredictor: predictions are positional, so
+// the bulk path is a range-checked copy — no per-example interface call,
+// no float64 round trip through the feature vector. This is the engine's
+// steady-state commit path (the serving wire format is a prediction
+// vector), so it is kept allocation-free.
+func (f *FixedPredictions) PredictAllInto(ds *data.Dataset, dst []int) error {
+	if len(dst) > len(f.preds) {
+		// Mirror what element-wise PredictAll reports when it walks past
+		// the end of the vector (Predict returns -1 there).
+		return fmt.Errorf("model: %s predicted -1 for example %d, outside [0,%d)",
+			f.name, len(f.preds), ds.Classes)
+	}
+	f.scanRange()
+	if f.minPred < 0 || f.maxPred >= ds.Classes {
+		// The vector holds a prediction outside this dataset's alphabet
+		// somewhere; find the first one inside dst's range (the global
+		// min/max may sit past it, in which case the prefix is fine).
+		for i := range dst {
+			if y := f.preds[i]; y < 0 || y >= ds.Classes {
+				return fmt.Errorf("model: %s predicted %d for example %d, outside [0,%d)",
+					f.name, y, i, ds.Classes)
+			}
+		}
+	}
+	copy(dst, f.preds)
+	return nil
+}
+
+// scanRange caches the vector's min/max prediction.
+func (f *FixedPredictions) scanRange() {
+	f.scanOnce.Do(func() {
+		f.minPred, f.maxPred = 0, -1
+		for k, y := range f.preds {
+			if k == 0 || y < f.minPred {
+				f.minPred = y
+			}
+			if k == 0 || y > f.maxPred {
+				f.maxPred = y
+			}
+		}
+	})
+}
 
 func wrongClass(y, classes int, rng *rand.Rand) int {
 	w := rng.Intn(classes - 1)

@@ -7,6 +7,7 @@ import (
 	"net/http"
 	"net/url"
 	"strings"
+	"time"
 
 	"github.com/easeml/ci/internal/bounds"
 	"github.com/easeml/ci/internal/engine"
@@ -89,10 +90,13 @@ func (s *Server) executeCommit(req AsyncCommitRequest) (CommitResponse, error) {
 	if got, want := len(req.Predictions), s.eng.Testsets().Current().Len(); got != want {
 		return CommitResponse{}, badRequestError{fmt.Sprintf("predictions length %d != testset size %d", got, want)}
 	}
+	start := time.Now()
 	res, err := s.eng.Commit(model.NewFixedPredictions(req.Model, req.Predictions), req.Author, req.Message)
 	if err != nil {
 		return CommitResponse{}, err
 	}
+	s.commitsEvaluated.Add(1)
+	s.commitEvalNs.Add(uint64(time.Since(start).Nanoseconds()))
 	return s.resultToResponse(res), nil
 }
 
@@ -230,9 +234,10 @@ func (s *Server) sendWebhook(n notify.Notification) {
 	s.webhooksSent.Add(1)
 }
 
-// handleAdminReset clears the plan cache and the exact-bound memo and
-// returns the pre-reset metrics snapshot, so an operator hot-reloading
-// scripts (or chasing a suspected stale entry) can see what was dropped.
+// handleAdminReset clears the plan cache, the exact-bound memo, and the
+// commit-evaluation counters, returning the pre-reset metrics snapshot,
+// so an operator hot-reloading scripts (or chasing a suspected stale
+// entry) can see what was dropped.
 func (s *Server) handleAdminReset(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		writeError(w, http.StatusMethodNotAllowed, "POST only")
@@ -241,5 +246,7 @@ func (s *Server) handleAdminReset(w http.ResponseWriter, r *http.Request) {
 	pre := s.metricsSnapshot()
 	s.plans.Reset()
 	bounds.ResetExactCache()
+	s.commitsEvaluated.Store(0)
+	s.commitEvalNs.Store(0)
 	writeJSON(w, http.StatusOK, pre)
 }

@@ -87,6 +87,12 @@ type Server struct {
 	hookWG         sync.WaitGroup
 	webhooksSent   atomic.Uint64
 	webhooksFailed atomic.Uint64
+
+	// commitsEvaluated / commitEvalNs track the measurement core's served
+	// throughput: successful engine evaluations and the cumulative wall
+	// time spent inside engine.Commit.
+	commitsEvaluated atomic.Uint64
+	commitEvalNs     atomic.Uint64
 }
 
 // Options tunes the server's asynchronous commit pipeline. The zero value
@@ -460,6 +466,13 @@ type MetricsResponse struct {
 	// WebhooksSent/Failed count job-finished callback deliveries.
 	WebhooksSent   uint64 `json:"webhooks_sent"`
 	WebhooksFailed uint64 `json:"webhooks_failed"`
+	// CommitsEvaluated counts commits the engine evaluated successfully;
+	// CommitEvalNsTotal is the cumulative wall time inside engine.Commit
+	// in nanoseconds, so total/count is the served per-commit evaluation
+	// latency the packed measurement core optimizes. Both reset via
+	// POST /api/v1/admin/reset-caches.
+	CommitsEvaluated  uint64 `json:"commits_evaluated"`
+	CommitEvalNsTotal uint64 `json:"commit_eval_ns_total"`
 }
 
 // metricsSnapshot gathers the point-in-time counters; shared by the
@@ -480,6 +493,8 @@ func (s *Server) metricsSnapshot() MetricsResponse {
 		CommitQueue:           s.jobs.Stats(),
 		WebhooksSent:          s.webhooksSent.Load(),
 		WebhooksFailed:        s.webhooksFailed.Load(),
+		CommitsEvaluated:      s.commitsEvaluated.Load(),
+		CommitEvalNsTotal:     s.commitEvalNs.Load(),
 	}
 }
 

@@ -754,3 +754,63 @@ func TestConcurrentAsyncCommitHammer(t *testing.T) {
 		}
 	}
 }
+
+// TestCommitEvalMetrics: successful commits bump the evaluation counters
+// (count and cumulative nanoseconds), failed submissions don't, and the
+// admin cache reset clears both while reporting the pre-reset values.
+func TestCommitEvalMetrics(t *testing.T) {
+	srv, labels := newTestServer(t, script.AdaptivityFull)
+	defer srv.Close()
+	metrics := func() MetricsResponse {
+		rec, _ := doJSON(t, srv, http.MethodGet, "/api/v1/metrics", nil)
+		if rec.Code != http.StatusOK {
+			t.Fatalf("metrics status = %d", rec.Code)
+		}
+		var m MetricsResponse
+		if err := json.Unmarshal(rec.Body.Bytes(), &m); err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	if m := metrics(); m.CommitsEvaluated != 0 || m.CommitEvalNsTotal != 0 {
+		t.Fatalf("fresh server counters: %+v", m)
+	}
+	for i := 0; i < 2; i++ {
+		rec, _ := doJSON(t, srv, http.MethodPost, "/api/v1/commit", CommitRequest{
+			Model: fmt.Sprintf("m%d", i), Author: "dev", Message: "x",
+			Predictions: goodPredictions(t, labels, 0.9, int64(2+i)),
+		})
+		if rec.Code != http.StatusOK {
+			t.Fatalf("commit %d status = %d: %s", i, rec.Code, rec.Body.String())
+		}
+	}
+	// A rejected submission (wrong length) must not count as evaluated.
+	rec, _ := doJSON(t, srv, http.MethodPost, "/api/v1/commit", CommitRequest{
+		Model: "bad", Author: "dev", Message: "x", Predictions: []int{1, 2, 3},
+	})
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("bad commit status = %d", rec.Code)
+	}
+	m := metrics()
+	if m.CommitsEvaluated != 2 {
+		t.Errorf("commits_evaluated = %d, want 2", m.CommitsEvaluated)
+	}
+	if m.CommitEvalNsTotal == 0 {
+		t.Error("commit_eval_ns_total must be nonzero after evaluations")
+	}
+	// Admin reset reports the pre-reset counters and clears them.
+	rec, _ = doJSON(t, srv, http.MethodPost, "/api/v1/admin/reset-caches", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("reset status = %d", rec.Code)
+	}
+	var pre MetricsResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &pre); err != nil {
+		t.Fatal(err)
+	}
+	if pre.CommitsEvaluated != 2 || pre.CommitEvalNsTotal == 0 {
+		t.Errorf("pre-reset snapshot: %+v", pre)
+	}
+	if m := metrics(); m.CommitsEvaluated != 0 || m.CommitEvalNsTotal != 0 {
+		t.Errorf("counters survived reset: %+v", m)
+	}
+}

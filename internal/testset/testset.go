@@ -11,6 +11,8 @@ import (
 
 	"github.com/easeml/ci/internal/adaptivity"
 	"github.com/easeml/ci/internal/data"
+	"github.com/easeml/ci/internal/evaluator"
+	"github.com/easeml/ci/internal/labeling"
 )
 
 // Testset is one installed testset: ground-truth data owned by the
@@ -21,8 +23,13 @@ type Testset struct {
 	Generation int
 	// Data holds features and ground-truth labels.
 	Data *data.Dataset
-	// revealed marks examples whose labels were already paid for.
-	revealed []bool
+	// revealed marks examples whose labels were already paid for, packed
+	// 64 examples per word so the measurement core can mask and popcount
+	// it directly.
+	revealed evaluator.Bitmap
+	// revealedCount caches popcount(revealed) so the steady-state "is
+	// everything already revealed?" check is O(1).
+	revealedCount int
 }
 
 // New wraps a dataset as a fresh testset.
@@ -36,7 +43,7 @@ func New(generation int, ds *data.Dataset) (*Testset, error) {
 	return &Testset{
 		Generation: generation,
 		Data:       ds,
-		revealed:   make([]bool, ds.Len()),
+		revealed:   evaluator.NewBitmap(ds.Len()),
 	}, nil
 }
 
@@ -44,7 +51,11 @@ func New(generation int, ds *data.Dataset) (*Testset, error) {
 func (t *Testset) Len() int { return t.Data.Len() }
 
 // Revealed reports whether example i's label has been revealed.
-func (t *Testset) Revealed(i int) bool { return t.revealed[i] }
+func (t *Testset) Revealed(i int) bool { return t.revealed.Get(i) }
+
+// RevealedBitmap exposes the packed revealed column. Callers must treat it
+// as read-only; it stays live as further labels are revealed.
+func (t *Testset) RevealedBitmap() evaluator.Bitmap { return t.revealed }
 
 // Reveal marks example i's label as revealed and returns it, along with
 // whether this reveal was new (false when already paid for).
@@ -52,20 +63,94 @@ func (t *Testset) Reveal(i int) (label int, fresh bool, err error) {
 	if i < 0 || i >= t.Len() {
 		return 0, false, fmt.Errorf("testset: index %d out of range [0,%d)", i, t.Len())
 	}
-	fresh = !t.revealed[i]
-	t.revealed[i] = true
+	fresh = !t.revealed.Get(i)
+	if fresh {
+		t.revealed.Set(i)
+		t.revealedCount++
+	}
 	return t.Data.Y[i], fresh, nil
 }
 
 // RevealedCount returns how many labels have been revealed so far.
-func (t *Testset) RevealedCount() int {
-	n := 0
-	for _, r := range t.revealed {
-		if r {
-			n++
+func (t *Testset) RevealedCount() int { return t.revealedCount }
+
+// RevealAll reveals every not-yet-revealed label through one bulk oracle
+// request, cross-checking each returned label against the ground truth,
+// and returns how many labels were freshly paid for. When everything is
+// already revealed it returns 0 without touching the oracle.
+func (t *Testset) RevealAll(o labeling.BatchOracle) (fresh int, err error) {
+	if t.revealedCount == t.Len() {
+		return 0, nil
+	}
+	missing := make([]int, 0, t.Len()-t.revealedCount)
+	for i := 0; i < t.Len(); i++ {
+		if !t.revealed.Get(i) {
+			missing = append(missing, i)
 		}
 	}
-	return n
+	return t.revealBatch(missing, o)
+}
+
+// RevealWhere reveals the labels of the examples whose bit is set in want
+// and not yet revealed, through one bulk oracle request. It returns the
+// freshly revealed indices (nil when nothing new was needed), so callers
+// maintaining incremental per-example state know exactly which entries
+// changed.
+func (t *Testset) RevealWhere(want evaluator.Bitmap, o labeling.BatchOracle) ([]int, error) {
+	if want.Len() != t.Len() {
+		return nil, fmt.Errorf("testset: reveal bitmap covers %d examples, testset has %d", want.Len(), t.Len())
+	}
+	missing := evaluator.AndNotCount(want, t.revealed)
+	if missing == 0 {
+		return nil, nil
+	}
+	idx := make([]int, 0, missing)
+	for i := 0; i < t.Len(); i++ {
+		if want.Get(i) && !t.revealed.Get(i) {
+			idx = append(idx, i)
+		}
+	}
+	if _, err := t.revealBatch(idx, o); err != nil {
+		return nil, err
+	}
+	return idx, nil
+}
+
+// revealBatch queries the oracle for the given indices, verifies every
+// label against the stored ground truth, and only then marks the batch
+// revealed. The all-then-mark order makes a failed batch atomic: callers
+// mirroring the revealed set incrementally (the engine's packed label
+// columns) never see indices marked revealed that they were not told
+// about, so an oracle mismatch cannot desync their state.
+func (t *Testset) revealBatch(indices []int, o labeling.BatchOracle) (int, error) {
+	if o == nil {
+		return 0, fmt.Errorf("testset: nil oracle")
+	}
+	if len(indices) == 0 {
+		return 0, nil
+	}
+	got, err := o.LabelBatch(indices)
+	if err != nil {
+		return 0, err
+	}
+	if len(got) != len(indices) {
+		return 0, fmt.Errorf("testset: oracle returned %d labels for %d indices", len(got), len(indices))
+	}
+	for k, i := range indices {
+		if got[k] != t.Data.Y[i] {
+			return 0, fmt.Errorf("testset: oracle label %d disagrees with ground truth %d at example %d",
+				got[k], t.Data.Y[i], i)
+		}
+	}
+	fresh := 0
+	for _, i := range indices {
+		if !t.revealed.Get(i) {
+			t.revealed.Set(i)
+			t.revealedCount++
+			fresh++
+		}
+	}
+	return fresh, nil
 }
 
 // Manager rotates testsets under an adaptivity ledger and fires the

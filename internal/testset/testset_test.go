@@ -5,6 +5,8 @@ import (
 
 	"github.com/easeml/ci/internal/adaptivity"
 	"github.com/easeml/ci/internal/data"
+	"github.com/easeml/ci/internal/evaluator"
+	"github.com/easeml/ci/internal/labeling"
 )
 
 func dataset(t *testing.T, n int, seed int64) *data.Dataset {
@@ -128,5 +130,138 @@ func TestManagerErrors(t *testing.T) {
 	m, _ := NewManager(adaptivity.None, 1, dataset(t, 10, 1))
 	if _, err := m.Rotate(&empty); err == nil {
 		t.Error("rotating in invalid data should fail")
+	}
+}
+
+func TestRevealAllBatch(t *testing.T) {
+	ds := dataset(t, 130, 1) // crosses two bitmap words
+	ts, _ := New(1, ds)
+	oracle := labeling.NewTruthOracle(ds.Y)
+	// Pre-reveal a couple so RevealAll mixes fresh and already-paid.
+	ts.Reveal(3)
+	ts.Reveal(64)
+	fresh, err := ts.RevealAll(oracle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fresh != 128 {
+		t.Errorf("fresh = %d, want 128", fresh)
+	}
+	if ts.RevealedCount() != 130 {
+		t.Errorf("revealed = %d", ts.RevealedCount())
+	}
+	// Steady state: no oracle needed at all.
+	fresh, err = ts.RevealAll(nil)
+	if err != nil || fresh != 0 {
+		t.Errorf("steady-state RevealAll: fresh=%d err=%v", fresh, err)
+	}
+	if got := ts.RevealedBitmap().Count(); got != 130 {
+		t.Errorf("revealed bitmap count = %d", got)
+	}
+}
+
+func TestRevealWhereBatch(t *testing.T) {
+	ds := dataset(t, 100, 2)
+	ts, _ := New(1, ds)
+	oracle := labeling.NewTruthOracle(ds.Y)
+	want := evaluator.NewBitmap(100)
+	for _, i := range []int{0, 5, 63, 64, 99} {
+		want.Set(i)
+	}
+	ts.Reveal(5) // already paid: must not be re-counted
+	idx, err := ts.RevealWhere(want, oracle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(idx) != 4 {
+		t.Fatalf("fresh indices = %v, want 4 entries", idx)
+	}
+	for _, i := range idx {
+		if !ts.Revealed(i) {
+			t.Errorf("index %d not marked revealed", i)
+		}
+	}
+	if ts.RevealedCount() != 5 {
+		t.Errorf("revealed = %d, want 5", ts.RevealedCount())
+	}
+	// Second call with the same mask: nothing fresh, no allocation path.
+	idx, err = ts.RevealWhere(want, nil)
+	if err != nil || idx != nil {
+		t.Errorf("steady-state RevealWhere: idx=%v err=%v", idx, err)
+	}
+	// Mismatched bitmap length is rejected.
+	if _, err := ts.RevealWhere(evaluator.NewBitmap(99), oracle); err == nil {
+		t.Error("length mismatch should fail")
+	}
+}
+
+// lyingOracle returns wrong labels, and shortOracle returns the wrong
+// count: both must be caught by the batch reveal verification.
+type lyingOracle struct{ y []int }
+
+func (o lyingOracle) LabelBatch(idx []int) ([]int, error) {
+	out := make([]int, len(idx))
+	for k, i := range idx {
+		out[k] = o.y[i] + 1
+	}
+	return out, nil
+}
+
+type shortOracle struct{}
+
+func (shortOracle) LabelBatch(idx []int) ([]int, error) { return nil, nil }
+
+// halfLyingOracle answers truthfully below index 5 and lies above, so a
+// mismatch surfaces mid-batch.
+type halfLyingOracle struct{ y []int }
+
+func (o halfLyingOracle) LabelBatch(idx []int) ([]int, error) {
+	out := make([]int, len(idx))
+	for k, i := range idx {
+		out[k] = o.y[i]
+		if i >= 5 {
+			out[k]++
+		}
+	}
+	return out, nil
+}
+
+func TestRevealBatchVerification(t *testing.T) {
+	ds := dataset(t, 10, 3)
+	ts, _ := New(1, ds)
+	if _, err := ts.RevealAll(lyingOracle{y: ds.Y}); err == nil {
+		t.Error("oracle/ground-truth mismatch must be detected")
+	}
+	ts2, _ := New(1, ds)
+	if _, err := ts2.RevealAll(shortOracle{}); err == nil {
+		t.Error("short oracle response must be detected")
+	}
+	ts3, _ := New(1, ds)
+	if _, err := ts3.RevealAll(nil); err == nil {
+		t.Error("nil oracle with work to do must fail")
+	}
+}
+
+// TestRevealBatchAtomicOnMismatch: a batch that fails verification
+// mid-way must reveal nothing at all — callers mirroring the revealed set
+// incrementally rely on never seeing a partially applied batch.
+func TestRevealBatchAtomicOnMismatch(t *testing.T) {
+	ds := dataset(t, 10, 3)
+	ts, _ := New(1, ds)
+	if _, err := ts.RevealAll(halfLyingOracle{y: ds.Y}); err == nil {
+		t.Fatal("mid-batch mismatch must be detected")
+	}
+	if got := ts.RevealedCount(); got != 0 {
+		t.Errorf("failed batch revealed %d labels, want 0 (atomic)", got)
+	}
+	for i := 0; i < ts.Len(); i++ {
+		if ts.Revealed(i) {
+			t.Fatalf("index %d marked revealed by a failed batch", i)
+		}
+	}
+	// The verified-good prefix is re-revealable once the oracle is honest.
+	fresh, err := ts.RevealAll(labeling.NewTruthOracle(ds.Y))
+	if err != nil || fresh != 10 {
+		t.Fatalf("recovery reveal: fresh=%d err=%v", fresh, err)
 	}
 }

@@ -9,13 +9,27 @@
 //	go run ./tools/benchdiff -old BENCH_3.json -new BENCH_4.json  # explicit pair
 //	go run ./tools/benchdiff -new BENCH_smoke.json -report-only   # CI annotation mode
 //
-// Benchmarks are matched by name (sub-benchmarks included); entries present
-// on only one side are reported but never fail the run, so adding or
-// retiring a benchmark does not break the gate. With -report-only the exit
-// status is always 0 and regressions are emitted as GitHub workflow
-// annotations — the mode the CI bench-smoke job uses, since its 1-iteration
-// timings on shared runners are too noisy to hard-fail on. Locally,
-// `make benchdiff` runs the full pattern and does hard-fail.
+// Benchmarks are matched by name (sub-benchmarks included); entries
+// present on only one side never fail the run — adding or retiring a
+// benchmark must not break the gate — but they are surfaced as explicit
+// warnings (and GitHub ::warning annotations in -report-only mode), so a
+// renamed or dropped benchmark cannot silently dodge the comparison.
+//
+// Besides the ns/op threshold, allocations are gated absolutely: a
+// benchmark recorded at 0 allocs/op that now allocates is a hard failure.
+// Zero-alloc status is a correctness-style property of the hot path
+// (steady-state commit evaluation, the binomial tail walk), and at a full
+// -benchtime there is no noise to excuse — allocs/op is deterministic.
+//
+// With -report-only the exit status is always 0 and both gates downgrade
+// to GitHub workflow annotations — the mode the CI bench-smoke job uses.
+// Its 1-iteration timings on shared runners are too noisy for the ns/op
+// gate, and at -benchtime 1x allocs/op includes one-time warm-up
+// (first-use buffer growth, RunParallel goroutine setup) that thousands
+// of iterations amortize to 0, so a hard alloc gate there would fail
+// benchmarks that are genuinely allocation-free in steady state.
+// Locally, `make benchdiff` runs the full pattern at the same -benchtime
+// as the committed baseline and hard-fails on both gates.
 package main
 
 import (
@@ -32,10 +46,13 @@ import (
 )
 
 // Result mirrors tools/benchjson's per-benchmark record (only the fields
-// benchdiff consumes).
+// benchdiff consumes). AllocsPerOp is a pointer because older records
+// (and runs without -benchmem) have no allocation column; absent means
+// "not gated", not "zero".
 type Result struct {
-	Name    string  `json:"name"`
-	NsPerOp float64 `json:"ns_per_op"`
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp *int64  `json:"allocs_per_op,omitempty"`
 }
 
 // Report mirrors tools/benchjson's top-level record.
@@ -45,12 +62,14 @@ type Report struct {
 
 // Delta is one benchmark's comparison.
 type Delta struct {
-	Name     string
-	OldNs    float64
-	NewNs    float64
-	Ratio    float64 // NewNs / OldNs
-	Missing  bool    // present in old, absent in new
-	Appeared bool    // present in new, absent in old
+	Name      string
+	OldNs     float64
+	NewNs     float64
+	Ratio     float64 // NewNs / OldNs
+	OldAllocs *int64  // nil when the side has no allocation record
+	NewAllocs *int64
+	Missing   bool // present in old, absent in new
+	Appeared  bool // present in new, absent in old
 }
 
 // Regressed reports whether the delta exceeds the threshold (in percent).
@@ -59,21 +78,38 @@ func (d Delta) Regressed(thresholdPct float64) bool {
 		d.Ratio > 1+thresholdPct/100
 }
 
+// AllocRegressed reports whether a benchmark recorded at 0 allocs/op now
+// allocates. This is the hard gate: zero-alloc steady state is a designed
+// property (the packed commit-evaluation path, the binomial tail walk),
+// allocs/op is deterministic, and losing it silently would erode the
+// latency work one "harmless" allocation at a time. Benchmarks without an
+// allocation record on either side are not gated.
+func (d Delta) AllocRegressed() bool {
+	return !d.Missing && !d.Appeared &&
+		d.OldAllocs != nil && d.NewAllocs != nil &&
+		*d.OldAllocs == 0 && *d.NewAllocs > 0
+}
+
+// OneSided reports whether the benchmark exists on only one side of the
+// comparison — worth a warning, never a failure.
+func (d Delta) OneSided() bool { return d.Missing || d.Appeared }
+
 // Compare matches the two reports by benchmark name.
 func Compare(old, new Report) []Delta {
-	newByName := map[string]float64{}
+	newByName := map[string]Result{}
 	for _, r := range new.Results {
-		newByName[r.Name] = r.NsPerOp
+		newByName[r.Name] = r
 	}
 	var out []Delta
 	seen := map[string]bool{}
 	for _, r := range old.Results {
 		seen[r.Name] = true
-		d := Delta{Name: r.Name, OldNs: r.NsPerOp}
-		if ns, ok := newByName[r.Name]; ok {
-			d.NewNs = ns
+		d := Delta{Name: r.Name, OldNs: r.NsPerOp, OldAllocs: r.AllocsPerOp}
+		if nr, ok := newByName[r.Name]; ok {
+			d.NewNs = nr.NsPerOp
+			d.NewAllocs = nr.AllocsPerOp
 			if r.NsPerOp > 0 {
-				d.Ratio = ns / r.NsPerOp
+				d.Ratio = nr.NsPerOp / r.NsPerOp
 			}
 		} else {
 			d.Missing = true
@@ -82,7 +118,7 @@ func Compare(old, new Report) []Delta {
 	}
 	for _, r := range new.Results {
 		if !seen[r.Name] {
-			out = append(out, Delta{Name: r.Name, NewNs: r.NsPerOp, Appeared: true})
+			out = append(out, Delta{Name: r.Name, NewNs: r.NsPerOp, NewAllocs: r.AllocsPerOp, Appeared: true})
 		}
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
@@ -208,14 +244,32 @@ func main() {
 		os.Exit(2)
 	}
 	deltas := Compare(oldRep, newRep)
-	regressions := 0
+	regressions, allocRegressions, oneSided := 0, 0, 0
 	fmt.Printf("benchdiff: %s -> %s (threshold %.0f%%)\n", *oldPath, *newPath, *threshold)
 	for _, d := range deltas {
 		switch {
 		case d.Missing:
-			fmt.Printf("  %-60s %12.1f ns/op -> (absent)\n", d.Name, d.OldNs)
+			oneSided++
+			fmt.Printf("  %-60s %12.1f ns/op -> (absent)  WARNING: not in new run\n", d.Name, d.OldNs)
+			if *reportOnly {
+				fmt.Printf("::warning title=bench missing::%s: recorded at %.1f ns/op but absent from this run (renamed, filtered out, or retired?)\n",
+					d.Name, d.OldNs)
+			}
 		case d.Appeared:
-			fmt.Printf("  %-60s (new) -> %12.1f ns/op\n", d.Name, d.NewNs)
+			oneSided++
+			fmt.Printf("  %-60s (new) -> %12.1f ns/op  WARNING: no committed baseline yet\n", d.Name, d.NewNs)
+			if *reportOnly {
+				fmt.Printf("::warning title=bench unbaselined::%s: %.1f ns/op has no committed BENCH_<n>.json baseline; commit a record so it enters the gate\n",
+					d.Name, d.NewNs)
+			}
+		case d.AllocRegressed():
+			allocRegressions++
+			fmt.Printf("  %-60s %12.1f -> %12.1f ns/op  0 -> %d allocs/op  ALLOC REGRESSION\n",
+				d.Name, d.OldNs, d.NewNs, *d.NewAllocs)
+			if *reportOnly {
+				fmt.Printf("::warning title=alloc regression::%s: was 0 allocs/op, now %d (may be 1-iteration warm-up; run `make benchdiff` for the hard gate at full benchtime)\n",
+					d.Name, *d.NewAllocs)
+			}
 		case d.Regressed(*threshold):
 			regressions++
 			fmt.Printf("  %-60s %12.1f -> %12.1f ns/op  %+.1f%%  REGRESSION\n",
@@ -229,8 +283,22 @@ func main() {
 				d.Name, d.OldNs, d.NewNs, (d.Ratio-1)*100)
 		}
 	}
+	if oneSided > 0 {
+		fmt.Fprintf(os.Stderr, "benchdiff: warning: %d benchmark(s) present on only one side were not gated\n", oneSided)
+	}
+	fail := false
+	if allocRegressions > 0 {
+		// Hard only at full benchtime: a 1-iteration -report-only run
+		// cannot distinguish steady-state allocations from one-time
+		// warm-up, so there it stays an annotation.
+		fmt.Fprintf(os.Stderr, "benchdiff: %d benchmark(s) lost their 0 allocs/op status\n", allocRegressions)
+		fail = !*reportOnly
+	}
 	if regressions > 0 && !*reportOnly {
 		fmt.Fprintf(os.Stderr, "benchdiff: %d benchmark(s) regressed more than %.0f%%\n", regressions, *threshold)
+		fail = true
+	}
+	if fail {
 		os.Exit(1)
 	}
 }

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -116,5 +117,94 @@ func TestLatestCommittedPrefersGitHEAD(t *testing.T) {
 	}
 	if name != "BENCH_3.json @ HEAD" {
 		t.Errorf("baseline name = %q, want it labeled as HEAD content", name)
+	}
+}
+
+func allocs(n int64) *int64 { return &n }
+
+func TestAllocGate(t *testing.T) {
+	old := Report{Results: []Result{
+		{Name: "ZeroAlloc", NsPerOp: 100, AllocsPerOp: allocs(0)},
+		{Name: "WasAllocating", NsPerOp: 100, AllocsPerOp: allocs(7)},
+		{Name: "NoRecord", NsPerOp: 100},
+	}}
+	new_ := Report{Results: []Result{
+		{Name: "ZeroAlloc", NsPerOp: 101, AllocsPerOp: allocs(3)},
+		{Name: "WasAllocating", NsPerOp: 101, AllocsPerOp: allocs(9)},
+		{Name: "NoRecord", NsPerOp: 101, AllocsPerOp: allocs(5)},
+	}}
+	byName := map[string]Delta{}
+	for _, d := range Compare(old, new_) {
+		byName[d.Name] = d
+	}
+	if !byName["ZeroAlloc"].AllocRegressed() {
+		t.Error("0 -> 3 allocs/op must trip the alloc gate")
+	}
+	if byName["ZeroAlloc"].Regressed(25) {
+		t.Error("+1% ns/op is not a timing regression")
+	}
+	if byName["WasAllocating"].AllocRegressed() {
+		t.Error("7 -> 9 allocs/op is not gated (only the 0-alloc invariant is)")
+	}
+	if byName["NoRecord"].AllocRegressed() {
+		t.Error("a benchmark without an old allocation record is not gated")
+	}
+}
+
+func TestAllocGateZeroStaysZero(t *testing.T) {
+	old := Report{Results: []Result{{Name: "A", NsPerOp: 100, AllocsPerOp: allocs(0)}}}
+	new_ := Report{Results: []Result{{Name: "A", NsPerOp: 90, AllocsPerOp: allocs(0)}}}
+	if Compare(old, new_)[0].AllocRegressed() {
+		t.Error("0 -> 0 allocs/op must pass")
+	}
+}
+
+// TestOneSidedIsWarningNotSkip: benchmarks present on only one side are
+// classified as one-sided (the CLI prints warnings for them) and never
+// trip either gate — but they are distinguishable from matched entries, so
+// the report cannot silently pretend they were compared.
+func TestOneSidedIsWarningNotSkip(t *testing.T) {
+	old := Report{Results: []Result{
+		{Name: "Retired", NsPerOp: 50, AllocsPerOp: allocs(0)},
+		{Name: "Kept", NsPerOp: 100},
+	}}
+	new_ := Report{Results: []Result{
+		{Name: "Kept", NsPerOp: 100},
+		{Name: "Fresh", NsPerOp: 10, AllocsPerOp: allocs(4)},
+	}}
+	byName := map[string]Delta{}
+	for _, d := range Compare(old, new_) {
+		byName[d.Name] = d
+	}
+	if !byName["Retired"].OneSided() || !byName["Fresh"].OneSided() {
+		t.Error("one-sided benchmarks must be flagged")
+	}
+	if byName["Kept"].OneSided() {
+		t.Error("a matched benchmark is not one-sided")
+	}
+	if byName["Fresh"].AllocRegressed() || byName["Fresh"].Regressed(25) {
+		t.Error("a new benchmark must not trip any gate")
+	}
+	if byName["Retired"].AllocRegressed() {
+		t.Error("a retired benchmark must not trip the alloc gate")
+	}
+}
+
+// TestAllocsSurviveJSONRoundTrip guards the wire contract with
+// tools/benchjson: allocs_per_op parses into the gated field.
+func TestAllocsSurviveJSONRoundTrip(t *testing.T) {
+	var rep Report
+	if err := json.Unmarshal([]byte(`{"results":[{"name":"A","ns_per_op":12.5,"allocs_per_op":0}]}`), &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Results[0].AllocsPerOp == nil || *rep.Results[0].AllocsPerOp != 0 {
+		t.Fatalf("allocs_per_op did not survive: %+v", rep.Results[0])
+	}
+	var rep2 Report
+	if err := json.Unmarshal([]byte(`{"results":[{"name":"A","ns_per_op":12.5}]}`), &rep2); err != nil {
+		t.Fatal(err)
+	}
+	if rep2.Results[0].AllocsPerOp != nil {
+		t.Fatal("absent allocs_per_op must decode as nil, not zero")
 	}
 }
