@@ -11,6 +11,7 @@ package ci_test
 // visible in benchmark logs.
 
 import (
+	"encoding/json"
 	"fmt"
 	"runtime"
 	"sync/atomic"
@@ -32,6 +33,7 @@ import (
 	"github.com/easeml/ci/internal/planner"
 	"github.com/easeml/ci/internal/script"
 	"github.com/easeml/ci/internal/stats"
+	"github.com/easeml/ci/internal/wal"
 )
 
 // BenchmarkFigure2SampleSizeTable regenerates the Figure 2 practicality
@@ -611,5 +613,89 @@ func BenchmarkEngineCommit(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// --- write-ahead log (internal/wal) -------------------------------------
+
+// walBenchPayload is shaped like the server's commit record: the payload
+// class the durable server appends most often.
+type walBenchPayload struct {
+	Job string          `json:"job"`
+	Res json.RawMessage `json:"res"`
+}
+
+var walBenchRes = json.RawMessage(`{"commit_id":"0123456789abcdef","step":3,"signal":true,"truth":"True","pass":true,"estimates":{"n":0.91},"fresh_labels":128,"need_new_testset":false}`)
+
+// BenchmarkWALAppend measures one unsynced record append (encode + CRC +
+// write): the cost each engine audit record adds to a durable commit.
+func BenchmarkWALAppend(b *testing.B) {
+	log, _, _, err := wal.Open(b.TempDir(), wal.Options{NoSync: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer log.Close()
+	p := walBenchPayload{Job: "job-42", Res: walBenchRes}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := log.Append("job.commit", p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWALAppendSync measures append+fsync: the durable commit point
+// a client's 200/202 waits behind.
+func BenchmarkWALAppendSync(b *testing.B) {
+	log, _, _, err := wal.Open(b.TempDir(), wal.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer log.Close()
+	p := walBenchPayload{Job: "job-42", Res: walBenchRes}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := log.Append("job.commit", p); err != nil {
+			b.Fatal(err)
+		}
+		if err := log.Sync(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWALReplay measures opening a 1000-record log: decode + CRC
+// verification for every record — the fixed cost of a crash restart
+// before the engine re-executes anything.
+func BenchmarkWALReplay(b *testing.B) {
+	dir := b.TempDir()
+	log, _, _, err := wal.Open(dir, wal.Options{NoSync: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := walBenchPayload{Job: "job-42", Res: walBenchRes}
+	for i := 0; i < 1000; i++ {
+		if _, err := log.Append("job.commit", p); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := log.Close(); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		l, _, recs, err := wal.Open(dir, wal.Options{NoSync: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(recs) != 1000 {
+			b.Fatalf("replayed %d records, want 1000", len(recs))
+		}
+		_ = l.Close()
+	}
+	if secs := b.Elapsed().Seconds(); secs > 0 {
+		b.ReportMetric(float64(b.N)*1000/secs, "records/s")
 	}
 }

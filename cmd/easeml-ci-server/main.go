@@ -55,6 +55,9 @@ func main() {
 		initialAcc  = flag.Float64("initial-accuracy", 0.8, "accuracy of the deployed baseline H0")
 		seed        = flag.Int64("seed", 1, "testset seed")
 		queueCap    = flag.Int("queue-capacity", 1024, "pending commit-job backlog bound (full backlog answers 503)")
+		dataDir     = flag.String("data-dir", "", "write-ahead log directory; empty runs in-memory (state dies with the process)")
+		walNoSync   = flag.Bool("wal-nosync", false, "skip fsync on the write-ahead log (trades crash safety for latency)")
+		compactAt   = flag.Int64("compact-at", 0, "auto-compact the log beyond this many bytes (0 = default, negative = never)")
 	)
 	flag.Parse()
 
@@ -62,13 +65,19 @@ func main() {
 	if err != nil {
 		log.Fatal("easeml-ci-server: ", err)
 	}
-	srv, err := buildServer(cfg, *testsetSize, *classes, *initialAcc, *seed, server.Options{
+	srv, err := buildServer(cfg, *testsetSize, *classes, *initialAcc, *seed, *dataDir, server.Options{
 		QueueCapacity: *queueCap,
+		WALNoSync:     *walNoSync,
+		CompactAt:     *compactAt,
 	})
 	if err != nil {
 		log.Fatal("easeml-ci-server: ", err)
 	}
 	log.Printf("serving %q on %s (queue capacity %d)", cfg.ConditionSrc, *addr, *queueCap)
+	if st := srv.WALStats(); st != nil {
+		log.Printf("durable mode: data-dir %s, recovered %d records (snapshot seq %d, %d torn bytes truncated)",
+			*dataDir, st.Replayed, st.SnapshotSeq, st.TornTruncated)
+	}
 
 	httpSrv := &http.Server{Addr: *addr, Handler: srv}
 	done := make(chan struct{})
@@ -97,7 +106,7 @@ func loadConfig(path, condition string, reliability float64, steps int) (*ci.Con
 		ci.Adaptivity{Kind: ci.AdaptivityFull}, steps)
 }
 
-func buildServer(cfg *ci.Config, testsetSize, classes int, initialAcc float64, seed int64, opts server.Options) (*server.Server, error) {
+func buildServer(cfg *ci.Config, testsetSize, classes int, initialAcc float64, seed int64, dataDir string, opts server.Options) (*server.Server, error) {
 	if testsetSize < 10 || classes < 2 {
 		return nil, fmt.Errorf("testset-size must be >= 10 and classes >= 2")
 	}
@@ -109,6 +118,21 @@ func buildServer(cfg *ci.Config, testsetSize, classes int, initialAcc float64, s
 	h0, err := model.SimulatedPredictions(ds.Y, classes, initialAcc, seed)
 	if err != nil {
 		return nil, err
+	}
+	if dataDir != "" {
+		// Durable mode: the genesis describes the same synthetic world,
+		// and any state already in dataDir wins over it.
+		return server.NewDurable(server.Genesis{
+			Condition:        cfg.ConditionSrc,
+			Reliability:      cfg.Reliability,
+			Mode:             cfg.Mode,
+			Adaptivity:       cfg.Adaptivity,
+			Steps:            cfg.Steps,
+			Labels:           ds.Y,
+			Classes:          classes,
+			ModelName:        "deployed-h0",
+			ModelPredictions: h0,
+		}, dataDir, opts)
 	}
 	eng, err := engine.New(cfg, ds, labeling.NewTruthOracle(ds.Y), engine.Options{
 		InitialModel: model.NewFixedPredictions("deployed-h0", h0),

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
@@ -31,7 +32,7 @@ func TestBuildServerServes(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv, err := buildServer(cfg, 700, 4, 0.8, 1, server.Options{})
+	srv, err := buildServer(cfg, 700, 4, 0.8, 1, "", server.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -50,7 +51,7 @@ func TestBuildServerAsyncFlow(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv, err := buildServer(cfg, 700, 4, 0.8, 1, server.Options{QueueCapacity: 8})
+	srv, err := buildServer(cfg, 700, 4, 0.8, 1, "", server.Options{QueueCapacity: 8})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -92,16 +93,58 @@ func TestBuildServerValidation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := buildServer(cfg, 5, 4, 0.8, 1, server.Options{}); err == nil {
+	if _, err := buildServer(cfg, 5, 4, 0.8, 1, "", server.Options{}); err == nil {
 		t.Error("tiny testset should fail")
 	}
-	if _, err := buildServer(cfg, 700, 1, 0.8, 1, server.Options{}); err == nil {
+	if _, err := buildServer(cfg, 700, 1, 0.8, 1, "", server.Options{}); err == nil {
 		t.Error("single class should fail")
 	}
-	if _, err := buildServer(cfg, 700, 4, 1.5, 1, server.Options{}); err == nil {
+	if _, err := buildServer(cfg, 700, 4, 1.5, 1, "", server.Options{}); err == nil {
 		t.Error("bad accuracy should fail")
 	}
-	if _, err := buildServer(cfg, 700, 4, 0.8, 1, server.Options{QueueCapacity: -1}); err == nil {
+	if _, err := buildServer(cfg, 700, 4, 0.8, 1, "", server.Options{QueueCapacity: -1}); err == nil {
 		t.Error("negative queue capacity should fail")
+	}
+}
+
+// TestBuildServerDurableRestart wires the -data-dir path: state written
+// through one server instance survives into the next.
+func TestBuildServerDurableRestart(t *testing.T) {
+	cfg, err := loadConfig("", "n > 0.6 +/- 0.1", 0.99, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	srv, err := buildServer(cfg, 700, 4, 0.8, 1, dir, server.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if srv.WALStats() == nil {
+		t.Fatal("data-dir server must be durable")
+	}
+	preds := make([]int, 700)
+	for i := range preds {
+		preds[i] = i % 4
+	}
+	body, _ := json.Marshal(server.CommitRequest{Model: "v2", Predictions: preds})
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/api/v1/commit", bytes.NewReader(body)))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("commit status = %d: %s", rec.Code, rec.Body.String())
+	}
+	rec = httptest.NewRecorder()
+	srv.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/api/v1/history", nil))
+	history := rec.Body.String()
+	srv.Close()
+
+	again, err := buildServer(cfg, 700, 4, 0.8, 1, dir, server.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer again.Close()
+	rec = httptest.NewRecorder()
+	again.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/api/v1/history", nil))
+	if rec.Body.String() != history {
+		t.Errorf("history changed across restart:\n%s\n%s", rec.Body.String(), history)
 	}
 }

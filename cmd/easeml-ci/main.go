@@ -20,6 +20,7 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -202,22 +203,43 @@ func runRemote(base string, commits, classes int, seed int64) error {
 	return nil
 }
 
-// pollJob polls a job-status URL until the job is terminal.
+// pollJob polls a job-status URL until the job is terminal. Transient
+// failures — connection refused/reset, or a 502/503/504 — are retried
+// within the deadline rather than aborting: a durable server restarting
+// mid-poll re-enqueues the job and answers the same URL once it is back.
 func pollJob(url string, timeout time.Duration) (server.JobStatusResponse, error) {
 	deadline := time.Now().Add(timeout)
 	for {
 		var st server.JobStatusResponse
-		if err := getJSON(url, &st); err != nil {
+		err := getJSON(url, &st)
+		switch {
+		case err == nil:
+			if st.State == "done" || st.State == "failed" {
+				return st, nil
+			}
+		case isTransient(err) && time.Now().Before(deadline):
+			// Server unreachable or restarting; keep polling.
+		default:
 			return st, err
-		}
-		if st.State == "done" || st.State == "failed" {
-			return st, nil
 		}
 		if time.Now().After(deadline) {
 			return st, fmt.Errorf("job still %s after %s", st.State, timeout)
 		}
 		time.Sleep(50 * time.Millisecond)
 	}
+}
+
+// transientError marks a remote failure worth retrying under a deadline:
+// the connection failed outright (the server is down or restarting) or
+// it answered with a gateway/unavailable status.
+type transientError struct{ err error }
+
+func (e transientError) Error() string { return e.err.Error() }
+func (e transientError) Unwrap() error { return e.err }
+
+func isTransient(err error) bool {
+	var te transientError
+	return errors.As(err, &te)
 }
 
 // remoteClient bounds every remote-mode request so a wedged server can't
@@ -227,12 +249,17 @@ var remoteClient = &http.Client{Timeout: 10 * time.Second}
 func getJSON(url string, out any) error {
 	resp, err := remoteClient.Get(url)
 	if err != nil {
-		return err
+		return transientError{err}
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		raw, _ := io.ReadAll(resp.Body)
-		return fmt.Errorf("GET %s: %s: %s", url, resp.Status, raw)
+		statusErr := fmt.Errorf("GET %s: %s: %s", url, resp.Status, raw)
+		switch resp.StatusCode {
+		case http.StatusBadGateway, http.StatusServiceUnavailable, http.StatusGatewayTimeout:
+			return transientError{statusErr}
+		}
+		return statusErr
 	}
 	return json.NewDecoder(resp.Body).Decode(out)
 }

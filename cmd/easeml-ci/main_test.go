@@ -1,8 +1,12 @@
 package main
 
 import (
+	"fmt"
+	"net/http"
 	"net/http/httptest"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	ci "github.com/easeml/ci"
 	"github.com/easeml/ci/internal/data"
@@ -97,5 +101,49 @@ func TestRunRemoteAgainstLiveServer(t *testing.T) {
 	}
 	if err := runRemote("http://127.0.0.1:1/nope", 1, classes, 7); err == nil {
 		t.Error("unreachable server should fail")
+	}
+}
+
+// TestPollJobRidesOutTransientFailures: a 503 (the shape of a durable
+// server mid-restart) is retried within the deadline; a permanent error
+// (404) aborts immediately.
+func TestPollJobRidesOutTransientFailures(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch calls.Add(1) {
+		case 1, 2:
+			http.Error(w, `{"error":"restarting"}`, http.StatusServiceUnavailable)
+		default:
+			w.Header().Set("Content-Type", "application/json")
+			fmt.Fprint(w, `{"job_id":"job-1","seq":1,"state":"done","result":{"commit_id":"abc","step":1,"signal":true}}`)
+		}
+	}))
+	defer ts.Close()
+	st, err := pollJob(ts.URL, 10*time.Second)
+	if err != nil {
+		t.Fatalf("pollJob did not ride out transient 503s: %v", err)
+	}
+	if st.State != "done" || calls.Load() != 3 {
+		t.Errorf("state=%q after %d calls", st.State, calls.Load())
+	}
+
+	notFound := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, `{"error":"no such job"}`, http.StatusNotFound)
+	}))
+	defer notFound.Close()
+	if _, err := pollJob(notFound.URL, 10*time.Second); err == nil || isTransient(err) {
+		t.Errorf("404 must abort immediately with a permanent error, got %v", err)
+	}
+
+	// A dead server (connection refused) is transient too: the deadline,
+	// not the first dial failure, decides.
+	dead := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	deadURL := dead.URL
+	dead.Close()
+	start := time.Now()
+	if _, err := pollJob(deadURL, 300*time.Millisecond); err == nil {
+		t.Error("poll against a dead server must eventually fail")
+	} else if time.Since(start) < 250*time.Millisecond {
+		t.Errorf("poll gave up after %s without exhausting the deadline", time.Since(start))
 	}
 }

@@ -85,4 +85,29 @@
 // budget or history, and the server reports commits_evaluated and
 // commit_eval_ns_total in /api/v1/metrics so served evaluation latency is
 // observable.
+//
+// # Durability
+//
+// The server can run durably: started with -data-dir, every acknowledged
+// mutation — commit submissions, evaluation results, testset rotations,
+// label reveals, webhook outcomes — is journaled to an append-only
+// write-ahead log (internal/wal) before or atomically with the HTTP
+// response that acknowledges it. Each record carries a CRC; on reopen a
+// torn tail from a mid-write crash is truncated and the surviving prefix
+// is replayed through the same deterministic evaluation path that
+// produced it, with the logged label reveals, budget charges, and
+// promotions verified byte-for-byte against the re-execution. Recovery
+// therefore lands on an exact record boundary: the restored state is
+// byte-identical to a server that never died, a commit job that was
+// accepted but not yet evaluated is re-enqueued and runs exactly once
+// (the logged commit record is the commit point), and a webhook promised
+// at submission is delivered by the revived process. Webhook delivery
+// itself retries with exponential backoff and jitter behind a
+// per-subscriber circuit breaker, all visible under webhook_retry and
+// wal in /api/v1/metrics; the log is compacted into a snapshot
+// automatically past a size threshold (or on demand via POST
+// /api/v1/admin/compact). If an append ever fails, the server refuses
+// further mutations with 503 rather than acknowledge writes it cannot
+// persist. See examples/rest_api for a simulated power cut mid-job and
+// the restart that makes it invisible to the polling client.
 package ci

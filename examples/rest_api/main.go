@@ -6,6 +6,12 @@
 // back as a 202 job, is polled at /api/v1/commit/jobs/{id}, and fires a
 // webhook callback with the finished status.
 //
+// The encore is durability: a second server runs with a data directory,
+// accepts an async commit, and suffers a simulated power cut before the
+// job runs. Reopening the same directory brings the job back, evaluates
+// it, and delivers the webhook — the client polls the same job URL
+// throughout and never learns the server died.
+//
 // Run with: go run ./examples/rest_api
 package main
 
@@ -16,6 +22,7 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"os"
 	"time"
 
 	ci "github.com/easeml/ci"
@@ -155,6 +162,116 @@ func main() {
 		fmt.Printf("webhook: job %s %s step=%d\n", st.JobID, st.State, st.Result.Step)
 	case <-time.After(5 * time.Second):
 		log.Fatal("webhook never arrived")
+	}
+
+	// --- encore: the durable server survives a power cut -----------------
+	// Same API, but the server journals every acknowledged mutation to a
+	// write-ahead log in -data-dir before answering. We submit an async
+	// commit, kill the server before the job runs, reopen the directory,
+	// and watch the job finish anyway.
+	dataDir, err := os.MkdirTemp("", "easeml-ci-data")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dataDir)
+
+	dcfg, err := ci.NewConfig("n > 0.6 +/- 0.1", 0.99, ci.FPFree,
+		ci.Adaptivity{Kind: ci.AdaptivityFull}, 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	dlabels := make([]int, 700)
+	for i := range dlabels {
+		dlabels[i] = i % classes
+	}
+	dh0, err := model.SimulatedPredictions(dlabels, classes, 0.70, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	genesis := server.Genesis{
+		Condition:        dcfg.ConditionSrc,
+		Reliability:      dcfg.Reliability,
+		Mode:             dcfg.Mode,
+		Adaptivity:       dcfg.Adaptivity,
+		Steps:            dcfg.Steps,
+		Labels:           dlabels,
+		Classes:          classes,
+		ModelName:        "deployed-h0",
+		ModelPredictions: dh0,
+	}
+
+	// ManualQueue holds the job in "queued" so the crash lands before the
+	// evaluation — the worst possible moment.
+	durable, err := server.NewDurable(genesis, dataDir, server.Options{ManualQueue: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	dLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	go func() { _ = http.Serve(dLn, durable) }()
+	dBase := "http://" + dLn.Addr().String()
+	waitReady(dBase)
+	fmt.Println("\ndurable server on", dBase, "(data dir", dataDir+")")
+
+	dPreds, err := model.SimulatedPredictions(dlabels, classes, 0.85, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var dAccepted server.JobAcceptedResponse
+	postStatus(dBase+"/api/v1/commit/async", server.AsyncCommitRequest{
+		CommitRequest: server.CommitRequest{
+			Model: "candidate-durable", Author: "dev",
+			Message: "submitted moments before the power cut", Predictions: dPreds,
+		},
+		Webhook: "http://" + hookLn.Addr().String() + "/hook",
+	}, &dAccepted, http.StatusAccepted)
+	var pending server.JobStatusResponse
+	get(dBase+dAccepted.Poll, &pending)
+	fmt.Printf("accepted %s, state %q — pulling the plug now\n", dAccepted.JobID, pending.State)
+
+	// Power cut: stop serving without Close(), so nothing is drained,
+	// snapshotted, or flushed beyond what the WAL already holds.
+	dLn.Close()
+
+	// Reopen the same directory. Recovery replays the log, re-enqueues the
+	// still-pending job, and a real worker evaluates it.
+	revived, err := server.NewDurable(genesis, dataDir, server.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer revived.Close()
+	dLn2, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	go func() { _ = http.Serve(dLn2, revived) }()
+	dBase2 := "http://" + dLn2.Addr().String()
+	waitReady(dBase2)
+	if st := revived.WALStats(); st != nil {
+		fmt.Printf("recovered: %d records replayed (snapshot seq %d)\n", st.Replayed, st.SnapshotSeq)
+	}
+
+	// The same job ID, same poll path — now on the revived server.
+	for {
+		get(dBase2+dAccepted.Poll, &polled)
+		if polled.State == "done" || polled.State == "failed" {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if polled.Result == nil {
+		log.Fatalf("revived job %s %s: %s", polled.JobID, polled.State, polled.Error)
+	}
+	fmt.Printf("after restart: job %s %s signal=%v\n", polled.JobID, polled.State, polled.Result.Signal)
+
+	// The webhook promised at submission is honored by the revived server.
+	select {
+	case st := <-hooks:
+		fmt.Printf("webhook after restart: job %s %s\n", st.JobID, st.State)
+	case <-time.After(5 * time.Second):
+		log.Fatal("post-restart webhook never arrived")
 	}
 }
 

@@ -40,8 +40,28 @@ func NewLedger(kind Kind, budget int) (*Ledger, error) {
 	return &Ledger{kind: kind, budget: budget}, nil
 }
 
+// RestoreLedger rebuilds a ledger at a recovered position (used + retired
+// flag), for crash recovery from a durable log.
+func RestoreLedger(kind Kind, budget, used int, retired bool) (*Ledger, error) {
+	l, err := NewLedger(kind, budget)
+	if err != nil {
+		return nil, err
+	}
+	if used < 0 || used > budget {
+		return nil, fmt.Errorf("adaptivity: restored used %d outside [0,%d]", used, budget)
+	}
+	l.used = used
+	l.retired = retired
+	return l, nil
+}
+
 // Kind returns the adaptivity mode the ledger accounts for.
 func (l *Ledger) Kind() Kind { return l.kind }
+
+// Retired reports whether a firstChange pass has retired the testset
+// early (the recovery snapshot must preserve it: a retired ledger with
+// remaining budget still refuses further evaluations).
+func (l *Ledger) Retired() bool { return l.retired }
 
 // Budget returns H, the total number of evaluations the testset supports.
 func (l *Ledger) Budget() int { return l.budget }

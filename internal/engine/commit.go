@@ -82,7 +82,17 @@ func (e *Engine) Commit(m model.Predictor, author, message string) (Result, erro
 	if err != nil {
 		return Result{}, err
 	}
+	if e.journal != nil && ev.FreshLabels > 0 {
+		if err := e.journal.JournalReveal(ev.FreshLabels); err != nil {
+			return Result{}, err
+		}
+	}
 	e.costs.Charge(ev.FreshLabels)
+	if e.journal != nil {
+		if err := e.journal.JournalCharge(ev.FreshLabels); err != nil {
+			return Result{}, err
+		}
+	}
 	pass := ev.Pass
 
 	event, err := e.tsm.Record(pass)
@@ -165,6 +175,11 @@ func (e *Engine) Commit(m model.Predictor, author, message string) (Result, erro
 			}
 		}
 		e.activeName = m.Name()
+		if e.journal != nil {
+			if err := e.journal.JournalPromote(m.Name()); err != nil {
+				return Result{}, err
+			}
+		}
 	}
 	e.history = append(e.history, res)
 	return res, nil

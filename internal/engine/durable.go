@@ -1,0 +1,186 @@
+package engine
+
+import (
+	"fmt"
+
+	"github.com/easeml/ci/internal/adaptivity"
+	"github.com/easeml/ci/internal/condlang"
+	"github.com/easeml/ci/internal/data"
+	"github.com/easeml/ci/internal/evaluator"
+	"github.com/easeml/ci/internal/labeling"
+	"github.com/easeml/ci/internal/notify"
+	"github.com/easeml/ci/internal/planner"
+	"github.com/easeml/ci/internal/repository"
+	"github.com/easeml/ci/internal/script"
+	"github.com/easeml/ci/internal/testset"
+)
+
+// Journal receives the engine's durable side effects while a commit is
+// being applied, before it lands in history. A durability layer appends
+// each callback to its write-ahead log; returning an error aborts the
+// commit mid-application, leaving the engine in an undefined state — the
+// caller must treat the whole engine as poisoned and recover by replay.
+// The callbacks double as the replay audit trail: re-executing the same
+// commits emits the same sequence, so recovery can cross-check the log.
+type Journal interface {
+	// JournalReveal records that the evaluation paid for count fresh
+	// oracle labels.
+	JournalReveal(count int) error
+	// JournalCharge records the labeling-ledger charge for the commit
+	// (possibly 0).
+	JournalCharge(labels int) error
+	// JournalPromote records that model became the new baseline.
+	JournalPromote(model string) error
+}
+
+// SetJournal installs (or, with nil, removes) the durability journal.
+func (e *Engine) SetJournal(j Journal) { e.journal = j }
+
+// SetNotifier swaps the notifier. Recovery replays commits against a
+// discard notifier (the notifications already happened before the
+// crash), then installs the real one before serving resumes.
+func (e *Engine) SetNotifier(n notify.Notifier) {
+	if n == nil {
+		n = notify.Discard{}
+	}
+	e.notifier = n
+}
+
+// State is the engine's complete durable state: everything needed to
+// rebuild an engine that is byte-identical — history, ledgers, revealed
+// labels, baseline — to the one that snapshotted it. It is the payload
+// a durability layer stores in its snapshot file.
+type State struct {
+	// Generation and Testset describe the installed testset; Revealed
+	// lists the example indices whose labels were already paid for.
+	Generation int           `json:"generation"`
+	Testset    *data.Dataset `json:"testset"`
+	Revealed   []int         `json:"revealed,omitempty"`
+	// BudgetUsed and Retired are the adaptivity ledger position.
+	BudgetUsed int  `json:"budget_used"`
+	Retired    bool `json:"retired,omitempty"`
+	// ActiveName and ActivePreds are the current baseline and its
+	// predictions on the installed testset.
+	ActiveName  string `json:"active_name"`
+	ActivePreds []int  `json:"active_preds"`
+	// Charges is the labeling ledger's per-commit label spend.
+	Charges []int `json:"charges,omitempty"`
+	// Commits is the full hash-chained commit history.
+	Commits []repository.Commit `json:"commits,omitempty"`
+	// History is the evaluation result per commit, in order.
+	History []Result `json:"history,omitempty"`
+}
+
+// Snapshot captures the engine's durable state. The caller must hold
+// whatever lock serializes commits; the returned value shares nothing
+// with the engine.
+func (e *Engine) Snapshot() State {
+	ts := e.tsm.Current()
+	return State{
+		Generation:  ts.Generation,
+		Testset:     cloneDataset(ts.Data),
+		Revealed:    ts.RevealedIndices(),
+		BudgetUsed:  e.tsm.Used(),
+		Retired:     e.tsm.Retired(),
+		ActiveName:  e.activeName,
+		ActivePreds: append([]int(nil), e.active...),
+		Charges:     e.costs.PerCommit(),
+		Commits:     e.repo.History(),
+		History:     e.History(),
+	}
+}
+
+// Restore rebuilds an engine from a snapshot taken by Snapshot. The
+// label oracle is re-derived from the testset's ground truth (the
+// simulation oracle is stateless), the commit chain is re-verified
+// hash by hash, and the packed measurement state is rebuilt from the
+// restored revealed set — so a restored engine evaluates subsequent
+// commits exactly as the snapshotted one would have.
+func Restore(cfg *script.Config, st State, opts Options) (*Engine, error) {
+	if cfg == nil {
+		return nil, fmt.Errorf("engine: nil config")
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if st.Testset == nil {
+		return nil, fmt.Errorf("engine: snapshot has no testset")
+	}
+	plan, err := planner.Default.PlanForConfig(cfg, opts.Planner)
+	if err != nil {
+		return nil, err
+	}
+	if plan.LabeledN > 0 && st.Testset.Len() < plan.LabeledN {
+		return nil, fmt.Errorf("engine: restored testset has %d examples but the plan requires %d", st.Testset.Len(), plan.LabeledN)
+	}
+	kind, err := adaptivity.FromScript(cfg.Adaptivity.Kind)
+	if err != nil {
+		return nil, err
+	}
+	ts, err := testset.Restore(st.Generation, st.Testset, st.Revealed)
+	if err != nil {
+		return nil, err
+	}
+	tsm, err := testset.RestoreManager(kind, cfg.Steps, ts, st.BudgetUsed, st.Retired)
+	if err != nil {
+		return nil, err
+	}
+	repo, err := repository.Restore(st.Commits)
+	if err != nil {
+		return nil, err
+	}
+	if len(st.History) != len(st.Commits) {
+		return nil, fmt.Errorf("engine: snapshot has %d results for %d commits", len(st.History), len(st.Commits))
+	}
+	if len(st.Charges) != len(st.Commits) {
+		return nil, fmt.Errorf("engine: snapshot has %d charges for %d commits", len(st.Charges), len(st.Commits))
+	}
+	if len(st.ActivePreds) != st.Testset.Len() {
+		return nil, fmt.Errorf("engine: snapshot baseline has %d predictions for %d examples", len(st.ActivePreds), st.Testset.Len())
+	}
+	for i, y := range st.ActivePreds {
+		if y < 0 || y >= st.Testset.Classes {
+			return nil, fmt.Errorf("engine: snapshot baseline prediction %d out of range at %d", y, i)
+		}
+	}
+	oracle := labeling.NewTruthOracle(st.Testset.Y)
+	notifier := opts.Notifier
+	if notifier == nil {
+		notifier = notify.NewOutbox()
+	}
+	compiled, err := evaluator.Compile(cfg.Condition)
+	if err != nil {
+		return nil, err
+	}
+	eng := &Engine{
+		cfg:         cfg,
+		plan:        plan,
+		plannerOpts: opts.Planner,
+		tsm:         tsm,
+		oracle:      oracle,
+		batch:       labeling.AsBatch(oracle),
+		costs:       labeling.RestoreLedger(st.Charges),
+		notifier:    notifier,
+		repo:        repo,
+		scalarEval:  opts.ScalarEval,
+		compiled:    compiled,
+		estVals:     make(map[condlang.Var]float64, 3),
+		activeName:  st.ActiveName,
+		active:      append([]int(nil), st.ActivePreds...),
+		history:     append([]Result(nil), st.History...),
+	}
+	eng.syncPackedState()
+	return eng, nil
+}
+
+// cloneDataset deep-copies the per-example slices so the snapshot stays
+// stable if a rotation later replaces the testset.
+func cloneDataset(d *data.Dataset) *data.Dataset {
+	out := &data.Dataset{Name: d.Name, Classes: d.Classes}
+	out.Y = append([]int(nil), d.Y...)
+	out.X = make([][]float64, len(d.X))
+	for i, x := range d.X {
+		out.X[i] = append([]float64(nil), x...)
+	}
+	return out
+}

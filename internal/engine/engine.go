@@ -99,6 +99,10 @@ type Engine struct {
 	labels8  []uint8
 
 	history []Result
+
+	// journal, when set, receives the durable side effects of each
+	// commit as it is applied; see SetJournal.
+	journal Journal
 }
 
 // Options configures engine construction.

@@ -92,6 +92,17 @@ type Ledger struct {
 	perCommit []int
 }
 
+// RestoreLedger rebuilds a ledger from its per-commit charges (the total
+// is re-derived), for crash recovery from a durable log.
+func RestoreLedger(perCommit []int) *Ledger {
+	l := &Ledger{perCommit: make([]int, len(perCommit))}
+	copy(l.perCommit, perCommit)
+	for _, n := range l.perCommit {
+		l.total += n
+	}
+	return l
+}
+
 // Charge records n labels attributed to one commit.
 func (l *Ledger) Charge(n int) {
 	if n < 0 {

@@ -10,6 +10,7 @@
 package notify
 
 import (
+	"context"
 	"fmt"
 	"net/http"
 	"net/url"
@@ -142,30 +143,64 @@ type Discard struct{}
 // Send implements Notifier.
 func (Discard) Send(Notification) error { return nil }
 
+// DefaultRequestTimeout bounds one webhook POST end to end: a hung
+// subscriber must not block delivery (or a graceful shutdown)
+// indefinitely.
+const DefaultRequestTimeout = 10 * time.Second
+
 // HTTPPoster delivers notifications over HTTP: the Body is POSTed as JSON
 // to the To URL. It is the production transport for KindWebhook callbacks.
 type HTTPPoster struct {
-	client *http.Client
+	client  *http.Client
+	timeout time.Duration
 }
 
-// NewHTTPPoster builds an HTTP notifier; a nil client gets a default with
-// a 10-second timeout (a slow subscriber must not wedge the worker that
-// fires callbacks).
+// NewHTTPPoster builds an HTTP notifier with the default per-request
+// timeout; a nil client gets http.DefaultTransport behind a fresh client.
 func NewHTTPPoster(client *http.Client) *HTTPPoster {
-	if client == nil {
-		client = &http.Client{Timeout: 10 * time.Second}
-	}
-	return &HTTPPoster{client: client}
+	return NewHTTPPosterTimeout(client, 0)
 }
 
-// Send implements Notifier. Non-2xx responses are errors so the caller's
-// delivery counters reflect what the subscriber actually acknowledged.
+// NewHTTPPosterTimeout builds an HTTP notifier whose every request
+// carries a context deadline of the given timeout (0 means
+// DefaultRequestTimeout, negative disables the deadline).
+func NewHTTPPosterTimeout(client *http.Client, timeout time.Duration) *HTTPPoster {
+	if client == nil {
+		client = &http.Client{}
+	}
+	if timeout == 0 {
+		timeout = DefaultRequestTimeout
+	}
+	return &HTTPPoster{client: client, timeout: timeout}
+}
+
+// Send implements Notifier under the poster's own request timeout.
 func (p *HTTPPoster) Send(n Notification) error {
+	ctx := context.Background()
+	if p.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, p.timeout)
+		defer cancel()
+	}
+	return p.SendContext(ctx, n)
+}
+
+// SendContext delivers one notification under the caller's context, so a
+// canceled or timed-out context abandons a hung subscriber instead of
+// wedging the delivery worker. Non-2xx responses are errors so the
+// caller's delivery counters reflect what the subscriber actually
+// acknowledged.
+func (p *HTTPPoster) SendContext(ctx context.Context, n Notification) error {
 	u, err := url.Parse(n.To)
 	if err != nil || (u.Scheme != "http" && u.Scheme != "https") || u.Host == "" {
 		return fmt.Errorf("notify: webhook target %q is not an http(s) URL", n.To)
 	}
-	resp, err := p.client.Post(n.To, "application/json", strings.NewReader(n.Body))
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, n.To, strings.NewReader(n.Body))
+	if err != nil {
+		return fmt.Errorf("notify: webhook POST %s: %w", n.To, err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := p.client.Do(req)
 	if err != nil {
 		return fmt.Errorf("notify: webhook POST %s: %w", n.To, err)
 	}

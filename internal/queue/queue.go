@@ -16,6 +16,7 @@ package queue
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 )
@@ -185,6 +186,47 @@ type Options[Req, Res any] struct {
 	// callbacks through it). It runs on the finishing goroutine without
 	// queue locks held; it must not block for long.
 	OnFinish func(*Job[Req, Res])
+	// OnSubmit, when set, is called under the queue lock after a job is
+	// built but before it is enqueued; an error aborts the submission and
+	// is returned from Submit (no job exists then, and its sequence
+	// number is not consumed). The durable server writes the job's
+	// write-ahead record here, so a job the caller was promised is a job
+	// the log can re-enqueue after a crash.
+	OnSubmit func(*Job[Req, Res]) error
+	// OnCancel, when set, is called under the queue lock after a job is
+	// confirmed cancelable but before its state changes; an error aborts
+	// the cancellation (the job stays queued) and is returned from
+	// Cancel. The durable server writes the cancel record here — ordering
+	// the record before the state change means a canceled job can never
+	// resurrect after a crash.
+	OnCancel func(*Job[Req, Res]) error
+	// ExecJob, when set, replaces the executor and additionally receives
+	// the job handle (the durable server needs the job ID inside the
+	// execution transaction). Exactly one of the constructor's exec and
+	// ExecJob must be non-nil.
+	ExecJob func(*Job[Req, Res]) (Res, error)
+	// Restore pre-populates the queue with jobs recovered from a durable
+	// log: terminal entries become pollable finished jobs, non-terminal
+	// entries are re-enqueued in Seq order and execute again when the
+	// workers start. Seen by workers only after New returns.
+	Restore []Restored[Req, Res]
+	// StartSeq floors the job sequence counter, so IDs of jobs pruned
+	// from a durable log are never reissued. Restored jobs may raise the
+	// floor further.
+	StartSeq int
+}
+
+// Restored is one recovered job for Options.Restore.
+type Restored[Req, Res any] struct {
+	ID    string
+	Seq   int
+	State State
+	Req   Req
+	// Res and Err are the terminal outcome (State Done or Failed). An Err
+	// equal to ErrCanceled.Error() is mapped back to ErrCanceled so the
+	// server's status-code mapping survives restarts.
+	Res Res
+	Err string
 }
 
 // Defaults for Options zero values.
@@ -197,8 +239,11 @@ const (
 // Queue is a bounded FIFO job queue. Safe for concurrent use.
 type Queue[Req, Res any] struct {
 	exec     Exec[Req, Res]
+	execJob  func(*Job[Req, Res]) (Res, error)
 	clock    Clock
 	onFinish func(*Job[Req, Res])
+	onSubmit func(*Job[Req, Res]) error
+	onCancel func(*Job[Req, Res]) error
 	capacity int
 	retain   int
 	manual   bool
@@ -235,20 +280,24 @@ type Stats struct {
 // New builds a queue around an executor and starts its workers (unless
 // opts.Manual).
 func New[Req, Res any](exec Exec[Req, Res], opts Options[Req, Res]) (*Queue[Req, Res], error) {
-	if exec == nil {
-		return nil, fmt.Errorf("queue: nil executor")
+	if (exec == nil) == (opts.ExecJob == nil) {
+		return nil, fmt.Errorf("queue: exactly one of exec and Options.ExecJob required")
 	}
-	if opts.Capacity < 0 || opts.Workers < 0 || opts.Retain < 0 {
-		return nil, fmt.Errorf("queue: negative capacity, workers, or retain")
+	if opts.Capacity < 0 || opts.Workers < 0 || opts.Retain < 0 || opts.StartSeq < 0 {
+		return nil, fmt.Errorf("queue: negative capacity, workers, retain, or start seq")
 	}
 	q := &Queue[Req, Res]{
 		exec:     exec,
+		execJob:  opts.ExecJob,
 		clock:    opts.Clock,
 		onFinish: opts.OnFinish,
+		onSubmit: opts.OnSubmit,
+		onCancel: opts.OnCancel,
 		capacity: opts.Capacity,
 		retain:   opts.Retain,
 		manual:   opts.Manual,
 		jobs:     make(map[string]*Job[Req, Res]),
+		nextSeq:  opts.StartSeq,
 	}
 	if q.clock == nil {
 		q.clock = func() int64 { return time.Now().UnixNano() }
@@ -260,6 +309,9 @@ func New[Req, Res any](exec Exec[Req, Res], opts Options[Req, Res]) (*Queue[Req,
 		q.retain = DefaultRetain
 	}
 	q.cond = sync.NewCond(&q.mu)
+	if err := q.restore(opts.Restore); err != nil {
+		return nil, err
+	}
 	if !opts.Manual {
 		workers := opts.Workers
 		if workers == 0 {
@@ -273,6 +325,62 @@ func New[Req, Res any](exec Exec[Req, Res], opts Options[Req, Res]) (*Queue[Req,
 	return q, nil
 }
 
+// restore seeds the queue from recovered jobs (see Options.Restore),
+// sorted into Seq order. Called during construction, before any worker
+// exists, so no locking is needed.
+func (q *Queue[Req, Res]) restore(restored []Restored[Req, Res]) error {
+	if len(restored) == 0 {
+		return nil
+	}
+	rs := make([]Restored[Req, Res], len(restored))
+	copy(rs, restored)
+	sort.Slice(rs, func(i, j int) bool { return rs[i].Seq < rs[j].Seq })
+	for _, r := range rs {
+		if r.Seq < 1 || r.ID == "" {
+			return fmt.Errorf("queue: restored job %q has invalid seq %d", r.ID, r.Seq)
+		}
+		if _, dup := q.jobs[r.ID]; dup {
+			return fmt.Errorf("queue: duplicate restored job %q", r.ID)
+		}
+		j := &Job[Req, Res]{
+			ID:    r.ID,
+			Seq:   r.Seq,
+			Req:   r.Req,
+			state: r.State,
+			done:  make(chan struct{}),
+		}
+		switch {
+		case r.State == Done:
+			j.res = r.Res
+			close(j.done)
+			q.terminal = append(q.terminal, j.ID)
+		case r.State == Failed:
+			if r.Err == ErrCanceled.Error() {
+				j.err = ErrCanceled
+			} else {
+				j.err = errors.New(r.Err)
+			}
+			close(j.done)
+			q.terminal = append(q.terminal, j.ID)
+		default:
+			// Queued or Running at crash time: re-enqueue. Exactly-once
+			// execution holds because a job whose evaluation record made
+			// it to the log is restored as terminal, never re-run.
+			j.state = Queued
+			q.pending = append(q.pending, j)
+		}
+		q.jobs[j.ID] = j
+		if r.Seq > q.nextSeq {
+			q.nextSeq = r.Seq
+		}
+	}
+	for len(q.terminal) > q.retain {
+		delete(q.jobs, q.terminal[0])
+		q.terminal = q.terminal[1:]
+	}
+	return nil
+}
+
 // Submit enqueues a work item and returns its job handle. It never
 // blocks: a full backlog is ErrFull, a closed queue ErrClosed.
 func (q *Queue[Req, Res]) Submit(req Req) (*Job[Req, Res], error) {
@@ -284,15 +392,22 @@ func (q *Queue[Req, Res]) Submit(req Req) (*Job[Req, Res], error) {
 	if len(q.pending) >= q.capacity {
 		return nil, ErrFull
 	}
-	q.nextSeq++
 	j := &Job[Req, Res]{
-		ID:       fmt.Sprintf("job-%d", q.nextSeq),
-		Seq:      q.nextSeq,
+		ID:       fmt.Sprintf("job-%d", q.nextSeq+1),
+		Seq:      q.nextSeq + 1,
 		Req:      req,
 		state:    Queued,
 		enqueued: q.clock(),
 		done:     make(chan struct{}),
 	}
+	if q.onSubmit != nil {
+		// The durability hook: if the job's record cannot be made durable,
+		// the job must not exist (its sequence number stays unconsumed).
+		if err := q.onSubmit(j); err != nil {
+			return nil, err
+		}
+	}
+	q.nextSeq = j.Seq
 	q.pending = append(q.pending, j)
 	q.jobs[j.ID] = j
 	q.stats.Submitted++
@@ -330,6 +445,15 @@ func (q *Queue[Req, Res]) Cancel(id string) (*Job[Req, Res], error) {
 	if idx < 0 {
 		q.mu.Unlock()
 		return nil, ErrNotCancelable
+	}
+	if q.onCancel != nil {
+		// Durability hook, ordered before the state change: a cancel whose
+		// record is not durable does not happen, and a recorded cancel can
+		// never resurrect as a queued job after a crash.
+		if err := q.onCancel(j); err != nil {
+			q.mu.Unlock()
+			return nil, err
+		}
 	}
 	q.pending = append(q.pending[:idx], q.pending[idx+1:]...)
 	j.mu.Lock()
@@ -428,7 +552,15 @@ func (q *Queue[Req, Res]) pop(block bool) *Job[Req, Res] {
 
 // run executes a popped job and retires it.
 func (q *Queue[Req, Res]) run(j *Job[Req, Res]) {
-	res, err := q.exec(j.Req)
+	var (
+		res Res
+		err error
+	)
+	if q.execJob != nil {
+		res, err = q.execJob(j)
+	} else {
+		res, err = q.exec(j.Req)
+	}
 	j.mu.Lock()
 	if err != nil {
 		j.state = Failed

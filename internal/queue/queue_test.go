@@ -58,6 +58,9 @@ func TestJobLifecycleDeterministic(t *testing.T) {
 	if state != Done || res != 70 || jerr != nil {
 		t.Errorf("peek = %v %d %v", state, res, jerr)
 	}
+	if res, jerr := j.Result(); res != 70 || jerr != nil {
+		t.Errorf("result = %d %v", res, jerr)
+	}
 	st = j.Snapshot()
 	// Fake clock ticks once per transition: enqueue=1, start=2, finish=3.
 	if st.EnqueuedAt != 1 || st.StartedAt != 2 || st.FinishedAt != 3 {

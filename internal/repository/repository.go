@@ -41,6 +41,33 @@ func NewStore() *Store {
 	return &Store{byID: make(map[string]int)}
 }
 
+// Restore rebuilds a store from a recovered history, re-verifying the
+// hash chain: every commit's ID must equal the content hash over its
+// fields and its Parent must point at the previous commit, so a
+// corrupted or tampered snapshot cannot smuggle in a history the hashes
+// don't vouch for.
+func Restore(commits []Commit) (*Store, error) {
+	s := NewStore()
+	parent := ""
+	for i, c := range commits {
+		if c.Seq != i+1 {
+			return nil, fmt.Errorf("repository: restored commit %d has seq %d", i, c.Seq)
+		}
+		if c.Parent != parent {
+			return nil, fmt.Errorf("repository: restored commit %s parent %q != %q", c.ID, c.Parent, parent)
+		}
+		if want := hashCommit(c); c.ID != want {
+			return nil, fmt.Errorf("repository: restored commit %d hash %s != computed %s", i, c.ID, want)
+		}
+		stored := c
+		stored.Meta = copyMeta(c.Meta)
+		s.byID[c.ID] = len(s.commits)
+		s.commits = append(s.commits, stored)
+		parent = c.ID
+	}
+	return s, nil
+}
+
 // Append adds a commit with the given metadata and returns it with ID,
 // Parent, and Seq filled in.
 func (s *Store) Append(author, message, modelName string, meta map[string]string) (Commit, error) {

@@ -14,6 +14,7 @@ import (
 	"github.com/easeml/ci/internal/model"
 	"github.com/easeml/ci/internal/notify"
 	"github.com/easeml/ci/internal/queue"
+	"github.com/easeml/ci/internal/script"
 )
 
 // jobsPath is the poll/cancel endpoint prefix; job IDs follow it.
@@ -74,30 +75,86 @@ func commitErrorStatus(err error) int {
 		return http.StatusBadRequest
 	case errors.Is(err, engine.ErrNeedNewTestset), errors.Is(err, queue.ErrCanceled):
 		return http.StatusConflict
+	case errors.Is(err, errWALPoisoned):
+		return http.StatusServiceUnavailable
 	default:
 		return http.StatusUnprocessableEntity
 	}
 }
 
-// executeCommit is the queue's executor: the one code path both the
-// synchronous and asynchronous endpoints evaluate commits through. It
-// serializes on the engine lock; validation against the current testset
-// happens here (not at enqueue time) because a rotation may land between
-// submission and execution.
-func (s *Server) executeCommit(req AsyncCommitRequest) (CommitResponse, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if got, want := len(req.Predictions), s.eng.Testsets().Current().Len(); got != want {
+// evalCommit runs one commit through an engine and shapes the response:
+// the single evaluation code path shared by live execution (under the
+// engine lock) and crash-recovery replay. Validation against the current
+// testset happens here (not at enqueue time) because a rotation may land
+// between submission and execution.
+func evalCommit(cfg *script.Config, eng *engine.Engine, req AsyncCommitRequest) (CommitResponse, error) {
+	if got, want := len(req.Predictions), eng.Testsets().Current().Len(); got != want {
 		return CommitResponse{}, badRequestError{fmt.Sprintf("predictions length %d != testset size %d", got, want)}
 	}
-	start := time.Now()
-	res, err := s.eng.Commit(model.NewFixedPredictions(req.Model, req.Predictions), req.Author, req.Message)
+	res, err := eng.Commit(model.NewFixedPredictions(req.Model, req.Predictions), req.Author, req.Message)
 	if err != nil {
 		return CommitResponse{}, err
 	}
-	s.commitsEvaluated.Add(1)
-	s.commitEvalNs.Add(uint64(time.Since(start).Nanoseconds()))
-	return s.resultToResponse(res), nil
+	return resultToResponse(cfg, res), nil
+}
+
+// executeCommitJob is the queue's executor: the one code path both the
+// synchronous and asynchronous endpoints evaluate commits through, all
+// serialized on the engine lock. In durable mode the commit record
+// appended here is the transaction's commit point: a job whose record
+// made it to disk never re-executes, a job whose record didn't is
+// re-enqueued on restart — exactly-once either way.
+func (s *Server) executeCommitJob(j *queue.Job[AsyncCommitRequest, CommitResponse]) (CommitResponse, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.wlog != nil && s.walFailed.Load() {
+		return CommitResponse{}, errWALPoisoned
+	}
+	start := time.Now()
+	resp, err := evalCommit(s.cfg, s.eng, j.Req)
+	if err == nil {
+		s.commitsEvaluated.Add(1)
+		s.commitEvalNs.Add(uint64(time.Since(start).Nanoseconds()))
+	}
+	if s.wlog == nil {
+		return resp, err
+	}
+	if s.walFailed.Load() {
+		// The engine's journal hit an append failure mid-commit; nothing
+		// was logged, so the restart replays to the pre-commit state and
+		// re-runs this job. Don't log a commit record for a half-applied
+		// commit.
+		return CommitResponse{}, errWALPoisoned
+	}
+	rec := recCommit{Job: j.ID}
+	if err != nil {
+		rec.Err = err.Error()
+	} else {
+		b, merr := json.Marshal(resp)
+		if merr != nil {
+			return CommitResponse{}, merr
+		}
+		rec.Res = b
+	}
+	s.tableMu.Lock()
+	werr := s.walAppendSyncLocked(recTypeCommit, rec)
+	if werr == nil {
+		if e := s.table[j.ID]; e != nil {
+			if err != nil {
+				e.State = jobFailed
+				e.Err = err.Error()
+			} else {
+				e.State = jobDone
+				e.Res = rec.Res
+			}
+		}
+	}
+	s.tableMu.Unlock()
+	if werr != nil {
+		return CommitResponse{}, werr
+	}
+	s.maybeCompactLocked()
+	return resp, err
 }
 
 // handleCommitAsync accepts a commit into the queue and returns 202 with
@@ -187,12 +244,11 @@ func jobStatus(job *queue.Job[AsyncCommitRequest, CommitResponse]) JobStatusResp
 }
 
 // deliverWebhook is the queue's OnFinish hook: jobs submitted with a
-// webhook URL get their final status POSTed through the notify channel.
-// The POST itself runs on its own goroutine — OnFinish executes on the
-// commit worker, and a slow subscriber must not stall the queue behind
-// one job's callback. Delivery failures are counted, not retried — the
-// job result itself stays pollable either way; Server.Close waits for
-// in-flight deliveries.
+// webhook URL get their final status POSTed through the retry queue,
+// which owns backoff, bounded attempts, and per-subscriber circuit
+// breaking — OnFinish executes on the commit worker, and a slow or down
+// subscriber must not stall the queue behind one job's callback. The
+// job result itself stays pollable whatever happens to its delivery.
 func (s *Server) deliverWebhook(job *queue.Job[AsyncCommitRequest, CommitResponse]) {
 	if job.Req.Webhook == "" {
 		return
@@ -202,36 +258,46 @@ func (s *Server) deliverWebhook(job *queue.Job[AsyncCommitRequest, CommitRespons
 		s.webhooksFailed.Add(1)
 		return
 	}
-	n := notify.Notification{
+	_ = s.deliver.Send(notify.Notification{
 		Kind:    notify.KindWebhook,
 		To:      job.Req.Webhook,
 		Subject: fmt.Sprintf("easeml-ci job %s %s", job.ID, job.State()),
 		Body:    string(payload),
-	}
-	s.hookMu.Lock()
-	if s.hooksDraining {
-		// Close has already passed (or is in) its Wait; registering with
-		// the WaitGroup now would be Add-after-Wait misuse. Deliver
-		// synchronously on this goroutine instead (only cancels racing
-		// Close land here).
-		s.hookMu.Unlock()
-		s.sendWebhook(n)
-		return
-	}
-	s.hookWG.Add(1)
-	s.hookMu.Unlock()
-	go func() {
-		defer s.hookWG.Done()
-		s.sendWebhook(n)
-	}()
+	})
 }
 
-func (s *Server) sendWebhook(n notify.Notification) {
-	if err := s.webhooks.Send(n); err != nil {
+// onWebhookOutcome is the retry queue's terminal-outcome hook: it keeps
+// the served counters, and in durable mode writes the delivery record
+// that stops the next start from redelivering. Deliveries abandoned
+// mid-backoff by Close never reach here — their missing record is what
+// schedules redelivery after restart.
+func (s *Server) onWebhookOutcome(n notify.Notification, delivered bool, attempts int, err error) {
+	if delivered {
+		s.webhooksSent.Add(1)
+	} else {
 		s.webhooksFailed.Add(1)
+	}
+	if s.wlog == nil {
 		return
 	}
-	s.webhooksSent.Add(1)
+	var body struct {
+		JobID string `json:"job_id"`
+	}
+	if json.Unmarshal([]byte(n.Body), &body) != nil || body.JobID == "" {
+		return
+	}
+	rec := recWebhook{Job: body.JobID, URL: n.To, Delivered: delivered, Attempts: attempts}
+	if err != nil {
+		rec.Err = err.Error()
+	}
+	s.tableMu.Lock()
+	defer s.tableMu.Unlock()
+	if s.walAppendSyncLocked(recTypeWebhook, rec) != nil {
+		return
+	}
+	if e := s.table[body.JobID]; e != nil {
+		e.WebhookDone = true
+	}
 }
 
 // handleAdminReset clears the plan cache, the exact-bound memo, and the

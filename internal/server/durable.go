@@ -1,0 +1,644 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"github.com/easeml/ci/internal/data"
+	"github.com/easeml/ci/internal/engine"
+	"github.com/easeml/ci/internal/interval"
+	"github.com/easeml/ci/internal/labeling"
+	"github.com/easeml/ci/internal/model"
+	"github.com/easeml/ci/internal/notify"
+	"github.com/easeml/ci/internal/queue"
+	"github.com/easeml/ci/internal/script"
+	"github.com/easeml/ci/internal/wal"
+)
+
+// errWALPoisoned is the answer of every mutating endpoint after a
+// write-ahead append has failed: the in-memory state may be ahead of the
+// log, so accepting further mutations would build on state a restart
+// cannot reproduce. Reads keep working; a restart replays the log back
+// to the last durable state and clears the condition.
+var errWALPoisoned = errors.New("server: write-ahead log failed; state is read-only until restart")
+
+// WAL record types. Submit/commit/cancel are the job lifecycle;
+// reveal/charge/promote are the engine's audit trail within one commit
+// (replay re-derives and cross-checks them); webhook closes the delivery
+// loop; rotate is a testset rotation; rollback marks trailing audit
+// records of a torn commit as discarded.
+const (
+	recTypeSubmit   = "job.submit"
+	recTypeCommit   = "job.commit"
+	recTypeCancel   = "job.cancel"
+	recTypeWebhook  = "webhook"
+	recTypeRotate   = "rotate"
+	recTypeReveal   = "reveal"
+	recTypeCharge   = "charge"
+	recTypePromote  = "promote"
+	recTypeRollback = "rollback"
+)
+
+type recSubmit struct {
+	Job string             `json:"job"`
+	Seq int                `json:"seq"`
+	Req AsyncCommitRequest `json:"req"`
+}
+
+// recCommit is the exactly-once commit point of a job: Res holds the
+// exact response bytes the client saw (Err the failure instead), and
+// replay re-executes the commit and byte-compares.
+type recCommit struct {
+	Job string          `json:"job"`
+	Res json.RawMessage `json:"res,omitempty"`
+	Err string          `json:"err,omitempty"`
+}
+
+type recCancel struct {
+	Job string `json:"job"`
+}
+
+type recWebhook struct {
+	Job       string `json:"job"`
+	URL       string `json:"url"`
+	Delivered bool   `json:"delivered"`
+	Attempts  int    `json:"attempts"`
+	Err       string `json:"err,omitempty"`
+}
+
+type recRotate struct {
+	Labels      []int `json:"labels"`
+	ActivePreds []int `json:"active_preds"`
+	Generation  int   `json:"generation"`
+}
+
+type recReveal struct {
+	Count int `json:"count"`
+}
+
+type recCharge struct {
+	Labels int `json:"labels"`
+}
+
+type recPromote struct {
+	Model string `json:"model"`
+}
+
+type recRollback struct {
+	Discarded int `json:"discarded"`
+}
+
+// Job table states (the WAL's materialized view of the queue).
+const (
+	jobQueued = "queued"
+	jobDone   = "done"
+	jobFailed = "failed"
+)
+
+// jobEntry mirrors one job's WAL records: what was submitted, how it
+// ended, and whether its webhook outcome was recorded. The table exists
+// so compaction can snapshot the queue without re-reading the log.
+type jobEntry struct {
+	ID          string             `json:"id"`
+	Seq         int                `json:"seq"`
+	Req         AsyncCommitRequest `json:"req"`
+	State       string             `json:"state"`
+	Res         json.RawMessage    `json:"res,omitempty"`
+	Err         string             `json:"err,omitempty"`
+	WebhookDone bool               `json:"webhook_done,omitempty"`
+}
+
+// walSnapshot is the compaction payload: the engine's full durable state
+// plus the job table, covering every record up to the snapshot point.
+type walSnapshot struct {
+	Engine     engine.State `json:"engine"`
+	Jobs       []*jobEntry  `json:"jobs,omitempty"`
+	NextJobSeq int          `json:"next_job_seq"`
+}
+
+// Genesis is the durable server's initial world: the script and the
+// first testset with the deployed baseline's predictions on it. It is
+// only consulted when the data directory holds no prior state — after
+// that, the log is the truth. (It is the durable-mode analogue of
+// building the engine yourself for NewWithOptions.)
+type Genesis struct {
+	// Condition, Reliability, Mode, Adaptivity, Steps define the script.
+	Condition   string
+	Reliability float64
+	Mode        interval.Mode
+	Adaptivity  script.Adaptivity
+	Steps       int
+	// Labels and Classes define the first testset (features are the
+	// example indices, matching the rotation endpoint's convention).
+	Labels  []int
+	Classes int
+	// ModelName and ModelPredictions are H0, the deployed baseline.
+	ModelName        string
+	ModelPredictions []int
+}
+
+func (g Genesis) config() (*script.Config, error) {
+	return script.New(g.Condition, g.Reliability, g.Mode, g.Adaptivity, g.Steps)
+}
+
+// datasetFromLabels builds the index-featured dataset the HTTP surface
+// trades in: example i has feature vector [i] and label labels[i].
+func datasetFromLabels(name string, labels []int, classes int) (*data.Dataset, error) {
+	ds := &data.Dataset{Name: name, Classes: classes}
+	for i, y := range labels {
+		if y < 0 || y >= classes {
+			return nil, fmt.Errorf("label %d out of range at %d", y, i)
+		}
+		ds.X = append(ds.X, []float64{float64(i)})
+		ds.Y = append(ds.Y, y)
+	}
+	if err := ds.Validate(); err != nil {
+		return nil, err
+	}
+	return ds, nil
+}
+
+// NewDurable builds a server whose state survives crashes: every
+// externally acknowledged mutation (job accepted, commit evaluated, job
+// canceled, testset rotated, webhook resolved) is in the write-ahead log
+// under dataDir before the acknowledgment, and a restart replays
+// snapshot + log through the same engine code to a byte-identical state
+// — pending jobs re-enqueue and run exactly once, unresolved webhooks
+// redeliver. Callers must Close the server to release the log.
+func NewDurable(g Genesis, dataDir string, opts Options) (*Server, error) {
+	if dataDir == "" {
+		return nil, fmt.Errorf("server: durable mode needs a data directory")
+	}
+	cfg, err := g.config()
+	if err != nil {
+		return nil, err
+	}
+	if len(g.ModelPredictions) != len(g.Labels) {
+		return nil, fmt.Errorf("server: genesis has %d model predictions for %d labels", len(g.ModelPredictions), len(g.Labels))
+	}
+	wlog, snap, records, err := wal.Open(dataDir, wal.Options{NoSync: opts.WALNoSync, WriteHook: opts.WALWriteHook})
+	if err != nil {
+		return nil, fmt.Errorf("server: %w", err)
+	}
+	d, err := recoverDurable(cfg, g, snap, records)
+	if err != nil {
+		_ = wlog.Close()
+		return nil, fmt.Errorf("server: recovery: %w", err)
+	}
+	d.log = wlog
+	if d.tornAudit > 0 {
+		// A commit was mid-application at the crash: its audit records
+		// have no commit record, so replay discarded them. Mark them
+		// rolled back so the next replay doesn't fold them into a later
+		// commit's audit trail.
+		if _, err := wlog.Append(recTypeRollback, recRollback{Discarded: d.tornAudit}); err == nil {
+			err = wlog.Sync()
+		}
+		if err != nil {
+			_ = wlog.Close()
+			return nil, fmt.Errorf("server: recovery rollback: %w", err)
+		}
+	}
+	s, err := newServer(cfg, d.eng, opts, d)
+	if err != nil {
+		_ = wlog.Close()
+		return nil, err
+	}
+	// Replay ran against a discard notifier (those notifications already
+	// happened before the crash); live traffic gets the real one, and
+	// from here every commit journals its side effects through the log.
+	en := opts.EngineNotifier
+	if en == nil {
+		en = notify.NewOutbox()
+	}
+	d.eng.SetNotifier(en)
+	d.eng.SetJournal(walJournal{s})
+	// Redeliver webhooks of jobs that finished but whose delivery never
+	// reached a recorded outcome (crash mid-backoff, or before the first
+	// attempt). The retry queue applies its usual backoff and breakers.
+	for _, id := range d.order {
+		e := d.table[id]
+		if e.State == jobQueued || e.Req.Webhook == "" || e.WebhookDone {
+			continue
+		}
+		payload, merr := json.Marshal(e.status())
+		if merr != nil {
+			continue
+		}
+		_ = s.deliver.Send(notify.Notification{
+			Kind:    notify.KindWebhook,
+			To:      e.Req.Webhook,
+			Subject: fmt.Sprintf("easeml-ci job %s %s", e.ID, e.State),
+			Body:    string(payload),
+		})
+	}
+	return s, nil
+}
+
+// status shapes a table entry as the wire status its webhook carries —
+// the restart-side twin of jobStatus.
+func (e *jobEntry) status() JobStatusResponse {
+	out := JobStatusResponse{JobID: e.ID, Seq: e.Seq, State: e.State}
+	switch e.State {
+	case jobDone:
+		var r CommitResponse
+		if json.Unmarshal(e.Res, &r) == nil {
+			out.Result = &r
+		}
+	case jobFailed:
+		out.Error = e.Err
+	}
+	return out
+}
+
+// recoverDurable rebuilds the engine and job table from snapshot +
+// records. The engine is restored from the snapshot (or built fresh from
+// genesis), then every logged commit re-executes through the identical
+// evaluation path, with the result byte-compared against the logged
+// response and the engine's journal cross-checked against the logged
+// audit records — recovery fails loudly on any divergence rather than
+// serving a history the log doesn't vouch for.
+func recoverDurable(cfg *script.Config, g Genesis, snap *wal.Snapshot, records []wal.Record) (*durableState, error) {
+	d := &durableState{table: make(map[string]*jobEntry)}
+	var eng *engine.Engine
+	if snap != nil {
+		var ws walSnapshot
+		if err := json.Unmarshal(snap.Data, &ws); err != nil {
+			return nil, fmt.Errorf("snapshot: %w", err)
+		}
+		var err error
+		eng, err = engine.Restore(cfg, ws.Engine, engine.Options{Notifier: notify.Discard{}})
+		if err != nil {
+			return nil, fmt.Errorf("snapshot: %w", err)
+		}
+		for _, e := range ws.Jobs {
+			d.table[e.ID] = e
+			d.order = append(d.order, e.ID)
+		}
+		d.nextSeq = ws.NextJobSeq
+	} else {
+		ds, err := datasetFromLabels("genesis", g.Labels, g.Classes)
+		if err != nil {
+			return nil, fmt.Errorf("genesis: %w", err)
+		}
+		eng, err = engine.New(cfg, ds, labeling.NewTruthOracle(ds.Y), engine.Options{
+			InitialModel: model.NewFixedPredictions(g.ModelName, g.ModelPredictions),
+			Notifier:     notify.Discard{},
+		})
+		if err != nil {
+			return nil, fmt.Errorf("genesis: %w", err)
+		}
+	}
+	d.eng = eng
+
+	var audit []wal.Record
+	for _, rec := range records {
+		switch rec.Type {
+		case recTypeSubmit:
+			var r recSubmit
+			if err := json.Unmarshal(rec.Data, &r); err != nil {
+				return nil, fmt.Errorf("record %d (%s): %w", rec.Seq, rec.Type, err)
+			}
+			if _, dup := d.table[r.Job]; dup {
+				return nil, fmt.Errorf("record %d: duplicate submit for job %s", rec.Seq, r.Job)
+			}
+			e := &jobEntry{ID: r.Job, Seq: r.Seq, Req: r.Req, State: jobQueued}
+			d.table[r.Job] = e
+			d.order = append(d.order, r.Job)
+			if r.Seq > d.nextSeq {
+				d.nextSeq = r.Seq
+			}
+		case recTypeReveal, recTypeCharge, recTypePromote:
+			audit = append(audit, rec)
+		case recTypeRollback:
+			audit = nil
+		case recTypeCommit:
+			var r recCommit
+			if err := json.Unmarshal(rec.Data, &r); err != nil {
+				return nil, fmt.Errorf("record %d (%s): %w", rec.Seq, rec.Type, err)
+			}
+			e := d.table[r.Job]
+			if e == nil {
+				return nil, fmt.Errorf("record %d: commit for unknown job %s", rec.Seq, r.Job)
+			}
+			v := &auditVerifier{pending: audit}
+			eng.SetJournal(v)
+			resp, err := evalCommit(cfg, eng, e.Req)
+			eng.SetJournal(nil)
+			audit = nil
+			if v.err != nil {
+				return nil, fmt.Errorf("record %d: job %s: %w", rec.Seq, r.Job, v.err)
+			}
+			if len(v.pending) != 0 {
+				return nil, fmt.Errorf("record %d: job %s: %d logged audit records not reproduced by replay", rec.Seq, r.Job, len(v.pending))
+			}
+			if r.Err != "" {
+				if err == nil || err.Error() != r.Err {
+					return nil, fmt.Errorf("record %d: job %s: logged failure %q, replay got %v", rec.Seq, r.Job, r.Err, err)
+				}
+				e.State = jobFailed
+				e.Err = r.Err
+				continue
+			}
+			if err != nil {
+				return nil, fmt.Errorf("record %d: job %s: replay failed (%v) where the log has a success", rec.Seq, r.Job, err)
+			}
+			got, merr := json.Marshal(resp)
+			if merr != nil {
+				return nil, merr
+			}
+			if !bytes.Equal(got, []byte(r.Res)) {
+				return nil, fmt.Errorf("record %d: job %s: replayed response diverges from log:\n  log:    %s\n  replay: %s", rec.Seq, r.Job, r.Res, got)
+			}
+			e.State = jobDone
+			e.Res = r.Res
+		case recTypeCancel:
+			var r recCancel
+			if err := json.Unmarshal(rec.Data, &r); err != nil {
+				return nil, fmt.Errorf("record %d (%s): %w", rec.Seq, rec.Type, err)
+			}
+			e := d.table[r.Job]
+			if e == nil {
+				return nil, fmt.Errorf("record %d: cancel for unknown job %s", rec.Seq, r.Job)
+			}
+			e.State = jobFailed
+			e.Err = queue.ErrCanceled.Error()
+		case recTypeWebhook:
+			var r recWebhook
+			if err := json.Unmarshal(rec.Data, &r); err != nil {
+				return nil, fmt.Errorf("record %d (%s): %w", rec.Seq, rec.Type, err)
+			}
+			if e := d.table[r.Job]; e != nil {
+				e.WebhookDone = true
+			}
+		case recTypeRotate:
+			var r recRotate
+			if err := json.Unmarshal(rec.Data, &r); err != nil {
+				return nil, fmt.Errorf("record %d (%s): %w", rec.Seq, rec.Type, err)
+			}
+			classes := eng.Testsets().Current().Data.Classes
+			next, err := datasetFromLabels("rotated", r.Labels, classes)
+			if err != nil {
+				return nil, fmt.Errorf("record %d (rotate): %w", rec.Seq, err)
+			}
+			active := model.NewFixedPredictions(eng.ActiveModelName(), r.ActivePreds)
+			if err := eng.RotateTestset(next, labeling.NewTruthOracle(next.Y), active); err != nil {
+				return nil, fmt.Errorf("record %d (rotate): %w", rec.Seq, err)
+			}
+			if got := eng.Testsets().Current().Generation; r.Generation != 0 && got != r.Generation {
+				return nil, fmt.Errorf("record %d (rotate): replayed generation %d, log says %d", rec.Seq, got, r.Generation)
+			}
+		default:
+			return nil, fmt.Errorf("record %d: unknown type %q", rec.Seq, rec.Type)
+		}
+	}
+	// Trailing audit records (a commit that crashed mid-application):
+	// discard — the replayed engine never executed that commit, so the
+	// recovered state is the pre-record state.
+	d.tornAudit = len(audit)
+
+	// Hand the table to the queue as restore entries, in submission
+	// order.
+	for _, id := range d.order {
+		e := d.table[id]
+		r := queue.Restored[AsyncCommitRequest, CommitResponse]{ID: e.ID, Seq: e.Seq, Req: e.Req}
+		switch e.State {
+		case jobDone:
+			r.State = queue.Done
+			if err := json.Unmarshal(e.Res, &r.Res); err != nil {
+				return nil, fmt.Errorf("job %s: stored response: %w", e.ID, err)
+			}
+		case jobFailed:
+			r.State = queue.Failed
+			r.Err = e.Err
+		default:
+			r.State = queue.Queued
+		}
+		d.restored = append(d.restored, r)
+	}
+	return d, nil
+}
+
+// auditVerifier is the replay-time engine journal: instead of appending,
+// it consumes the logged audit records and fails on any divergence
+// between what replay derives and what the live run logged.
+type auditVerifier struct {
+	pending []wal.Record
+	err     error
+}
+
+func (v *auditVerifier) take(typ string, payload any) error {
+	if v.err != nil {
+		return v.err
+	}
+	if len(v.pending) == 0 {
+		v.err = fmt.Errorf("replay produced a %s record the log does not have", typ)
+		return v.err
+	}
+	rec := v.pending[0]
+	v.pending = v.pending[1:]
+	want, merr := json.Marshal(payload)
+	if merr != nil {
+		v.err = merr
+		return v.err
+	}
+	if rec.Type != typ || !bytes.Equal(want, []byte(rec.Data)) {
+		v.err = fmt.Errorf("replay produced %s %s, log has %s %s", typ, want, rec.Type, rec.Data)
+		return v.err
+	}
+	return nil
+}
+
+func (v *auditVerifier) JournalReveal(count int) error {
+	return v.take(recTypeReveal, recReveal{Count: count})
+}
+func (v *auditVerifier) JournalCharge(labels int) error {
+	return v.take(recTypeCharge, recCharge{Labels: labels})
+}
+func (v *auditVerifier) JournalPromote(m string) error {
+	return v.take(recTypePromote, recPromote{Model: m})
+}
+
+// walJournal is the live-traffic engine journal: every engine side
+// effect inside a commit is appended (unsynced — the commit record's
+// fsync makes the whole transaction durable at once). An append failure
+// poisons the server and aborts the commit mid-application; the restart
+// replays to the pre-commit state.
+type walJournal struct{ s *Server }
+
+func (j walJournal) append(typ string, payload any) error {
+	if _, err := j.s.wlog.Append(typ, payload); err != nil {
+		j.s.walFailed.Store(true)
+		return fmt.Errorf("%w: %v", errWALPoisoned, err)
+	}
+	return nil
+}
+
+func (j walJournal) JournalReveal(count int) error {
+	return j.append(recTypeReveal, recReveal{Count: count})
+}
+func (j walJournal) JournalCharge(labels int) error {
+	return j.append(recTypeCharge, recCharge{Labels: labels})
+}
+func (j walJournal) JournalPromote(m string) error {
+	return j.append(recTypePromote, recPromote{Model: m})
+}
+
+// walAppendSyncLocked appends one record and fsyncs, poisoning the
+// server on failure. Callers hold tableMu (the append-side half of the
+// compaction freeze).
+func (s *Server) walAppendSyncLocked(typ string, payload any) error {
+	_, err := s.wlog.Append(typ, payload)
+	if err == nil {
+		err = s.wlog.Sync()
+	}
+	if err != nil {
+		s.walFailed.Store(true)
+		return fmt.Errorf("%w: %v", errWALPoisoned, err)
+	}
+	return nil
+}
+
+// walOnSubmit runs under the queue lock before a job is enqueued: the
+// submit record reaches disk before the 202 is possible, so an accepted
+// job is always a recoverable job. An append failure aborts the
+// submission (no job exists) and poisons the server.
+func (s *Server) walOnSubmit(j *queue.Job[AsyncCommitRequest, CommitResponse]) error {
+	if s.walFailed.Load() {
+		return errWALPoisoned
+	}
+	s.tableMu.Lock()
+	defer s.tableMu.Unlock()
+	if err := s.walAppendSyncLocked(recTypeSubmit, recSubmit{Job: j.ID, Seq: j.Seq, Req: j.Req}); err != nil {
+		return err
+	}
+	s.table[j.ID] = &jobEntry{ID: j.ID, Seq: j.Seq, Req: j.Req, State: jobQueued}
+	s.tableOrder = append(s.tableOrder, j.ID)
+	if j.Seq > s.tableNextSeq {
+		s.tableNextSeq = j.Seq
+	}
+	return nil
+}
+
+// walOnCancel runs under the queue lock before a cancelable job's state
+// changes: record first, cancel second, so a canceled job can never
+// resurrect as queued after a crash.
+func (s *Server) walOnCancel(j *queue.Job[AsyncCommitRequest, CommitResponse]) error {
+	if s.walFailed.Load() {
+		return errWALPoisoned
+	}
+	s.tableMu.Lock()
+	defer s.tableMu.Unlock()
+	if err := s.walAppendSyncLocked(recTypeCancel, recCancel{Job: j.ID}); err != nil {
+		return err
+	}
+	if e := s.table[j.ID]; e != nil {
+		e.State = jobFailed
+		e.Err = queue.ErrCanceled.Error()
+	}
+	return nil
+}
+
+// Compact freezes the server (engine lock + table lock, which together
+// block every appender), snapshots the engine and job table, and asks
+// the log to swap its records for the snapshot. The job table is pruned
+// first: terminal jobs with a resolved (or absent) webhook beyond the
+// queue's retain bound need never be recovered.
+func (s *Server) Compact() error {
+	if s.wlog == nil {
+		return fmt.Errorf("server: not a durable server")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.compactLocked()
+}
+
+func (s *Server) compactLocked() error {
+	s.tableMu.Lock()
+	defer s.tableMu.Unlock()
+	s.pruneTableLocked()
+	jobs := make([]*jobEntry, 0, len(s.tableOrder))
+	for _, id := range s.tableOrder {
+		jobs = append(jobs, s.table[id])
+	}
+	snap := walSnapshot{Engine: s.eng.Snapshot(), Jobs: jobs, NextJobSeq: s.tableNextSeq}
+	if err := s.wlog.Compact(snap); err != nil {
+		s.walFailed.Store(true)
+		return fmt.Errorf("%w: %v", errWALPoisoned, err)
+	}
+	return nil
+}
+
+// pruneTableLocked drops terminal, delivery-resolved jobs beyond the
+// retain bound (newest kept), mirroring the queue's own eviction: a job
+// the queue would no longer answer polls for need not be recovered.
+func (s *Server) pruneTableLocked() {
+	prunable := 0
+	for _, id := range s.tableOrder {
+		if s.tableEntryPrunable(s.table[id]) {
+			prunable++
+		}
+	}
+	drop := prunable - s.retain
+	if drop <= 0 {
+		return
+	}
+	kept := s.tableOrder[:0]
+	for _, id := range s.tableOrder {
+		if drop > 0 && s.tableEntryPrunable(s.table[id]) {
+			delete(s.table, id)
+			drop--
+			continue
+		}
+		kept = append(kept, id)
+	}
+	s.tableOrder = kept
+}
+
+func (s *Server) tableEntryPrunable(e *jobEntry) bool {
+	return e != nil && e.State != jobQueued && (e.Req.Webhook == "" || e.WebhookDone)
+}
+
+// maybeCompactLocked auto-compacts once the log outgrows the threshold.
+// Caller holds s.mu.
+func (s *Server) maybeCompactLocked() {
+	if s.wlog == nil || s.compactAt <= 0 || s.walFailed.Load() {
+		return
+	}
+	if s.wlog.Size() >= s.compactAt {
+		_ = s.compactLocked()
+	}
+}
+
+// WALStats reports the write-ahead log's counters (replayed records,
+// torn bytes truncated, snapshot seq, ...); nil on an in-memory server.
+// The serving process logs these at startup so an operator can see what
+// recovery did.
+func (s *Server) WALStats() *wal.Stats {
+	if s.wlog == nil {
+		return nil
+	}
+	st := s.wlog.Stats()
+	return &st
+}
+
+// handleAdminCompact snapshots and truncates the write-ahead log on
+// demand, returning the post-compaction log stats.
+func (s *Server) handleAdminCompact(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	if s.wlog == nil {
+		writeError(w, http.StatusConflict, "server is not durable (no data directory)")
+		return
+	}
+	if err := s.Compact(); err != nil {
+		writeError(w, http.StatusServiceUnavailable, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, s.wlog.Stats())
+}

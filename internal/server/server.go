@@ -52,6 +52,7 @@ import (
 	"strconv"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"github.com/easeml/ci/internal/bounds"
 	"github.com/easeml/ci/internal/core"
@@ -64,6 +65,7 @@ import (
 	"github.com/easeml/ci/internal/planner"
 	"github.com/easeml/ci/internal/queue"
 	"github.com/easeml/ci/internal/script"
+	"github.com/easeml/ci/internal/wal"
 )
 
 // Server wraps an engine behind an http.Handler. The engine is not
@@ -79,14 +81,31 @@ type Server struct {
 
 	jobs     *queue.Queue[AsyncCommitRequest, CommitResponse]
 	webhooks notify.Notifier
-	// hookMu/hooksDraining gate hookWG.Add against Close's hookWG.Wait:
-	// a cancel-path delivery may race Close, and Add-after-Wait-from-zero
-	// is WaitGroup misuse.
-	hookMu         sync.Mutex
-	hooksDraining  bool
-	hookWG         sync.WaitGroup
+	// deliver wraps the webhook notifier with the durable retry queue:
+	// exponential backoff, bounded attempts, and per-subscriber circuit
+	// breakers. All webhook traffic flows through it.
+	deliver        *notify.Reliable
 	webhooksSent   atomic.Uint64
 	webhooksFailed atomic.Uint64
+
+	// Durable-mode state (nil/zero when the server is in-memory). wlog is
+	// the write-ahead log; every externally visible state change appends
+	// a record before (or atomically with) being acknowledged. walFailed
+	// poisons the server after an append failure: mutating endpoints
+	// answer 503 until a restart replays the log back to the last durable
+	// state. table mirrors the WAL's job records so compaction can
+	// snapshot them without re-reading the log; tableMu guards it and
+	// every WAL append outside the engine lock (lock order: s.mu or the
+	// queue's lock, then tableMu, then the log's internal leaf mutex —
+	// Compact holds s.mu+tableMu, freezing all appenders).
+	wlog         *wal.Log
+	walFailed    atomic.Bool
+	tableMu      sync.Mutex
+	table        map[string]*jobEntry
+	tableOrder   []string
+	tableNextSeq int
+	compactAt    int64
+	retain       int
 
 	// commitsEvaluated / commitEvalNs track the measurement core's served
 	// throughput: successful engine evaluations and the cumulative wall
@@ -111,7 +130,35 @@ type Options struct {
 	// Webhooks delivers job-finished callbacks; nil means real HTTP
 	// delivery (notify.NewHTTPPoster). Tests inject a notify.Outbox.
 	Webhooks notify.Notifier
+	// RetryPolicy tunes webhook redelivery (backoff, attempts, circuit
+	// breakers); the zero value means the notify defaults.
+	RetryPolicy notify.RetryPolicy
+	// RetryClock / RetryJitter make retry scheduling deterministic in
+	// tests; nil means wall clock and math/rand.
+	RetryClock  func() time.Time
+	RetryJitter func() float64
+	// ManualRetry disables the webhook retry worker; deliveries happen
+	// only via RunDueWebhooks — the deterministic test harness.
+	ManualRetry bool
+	// WALNoSync skips fsync on the write-ahead log (durable servers
+	// only); crash-consistency tests and benchmarks set it.
+	WALNoSync bool
+	// WALWriteHook sees every encoded WAL record before it is written;
+	// returning an error fails the append. Disk-failure tests inject
+	// faults here (durable servers only).
+	WALWriteHook func(line []byte) error
+	// CompactAt triggers automatic WAL compaction when the log exceeds
+	// this many bytes (durable servers only). 0 means DefaultCompactAt;
+	// negative disables automatic compaction.
+	CompactAt int64
+	// EngineNotifier receives the engine's third-party results and
+	// alarms in durable mode (NewDurable builds the engine itself); nil
+	// means an in-memory outbox.
+	EngineNotifier notify.Notifier
 }
+
+// DefaultCompactAt is the automatic WAL compaction threshold.
+const DefaultCompactAt = 4 << 20
 
 // New builds a server around an existing engine and its script config,
 // with default options.
@@ -122,6 +169,22 @@ func New(cfg *script.Config, eng *engine.Engine) (*Server, error) {
 // NewWithOptions builds a server with an explicitly configured commit
 // queue. Callers must Close the server to drain the queue on shutdown.
 func NewWithOptions(cfg *script.Config, eng *engine.Engine, opts Options) (*Server, error) {
+	return newServer(cfg, eng, opts, nil)
+}
+
+// durableState carries the recovered write-ahead state from NewDurable
+// into the shared constructor; nil means an in-memory server.
+type durableState struct {
+	log       *wal.Log
+	eng       *engine.Engine
+	table     map[string]*jobEntry
+	order     []string
+	nextSeq   int
+	restored  []queue.Restored[AsyncCommitRequest, CommitResponse]
+	tornAudit int
+}
+
+func newServer(cfg *script.Config, eng *engine.Engine, opts Options, d *durableState) (*Server, error) {
 	if cfg == nil || eng == nil {
 		return nil, fmt.Errorf("server: nil config or engine")
 	}
@@ -130,19 +193,47 @@ func NewWithOptions(cfg *script.Config, eng *engine.Engine, opts Options) (*Serv
 	if s.webhooks == nil {
 		s.webhooks = notify.NewHTTPPoster(nil)
 	}
+	s.deliver = notify.NewReliable(s.webhooks, notify.ReliableOptions{
+		Policy:    opts.RetryPolicy,
+		Clock:     opts.RetryClock,
+		Jitter:    opts.RetryJitter,
+		Manual:    opts.ManualRetry,
+		OnOutcome: s.onWebhookOutcome,
+	})
 	// Exactly one worker: commit evaluation serializes on the engine lock
 	// anyway (more workers add no throughput), and a single drainer is
 	// what makes completion order equal FIFO submission order — the
 	// property the sync/async equivalence guarantee rests on.
-	jobs, err := queue.New(s.executeCommit, queue.Options[AsyncCommitRequest, CommitResponse]{
+	qopts := queue.Options[AsyncCommitRequest, CommitResponse]{
 		Capacity: opts.QueueCapacity,
 		Workers:  1,
 		Retain:   opts.QueueRetain,
 		Manual:   opts.ManualQueue,
 		Clock:    opts.Clock,
 		OnFinish: s.deliverWebhook,
-	})
+		ExecJob:  s.executeCommitJob,
+	}
+	if d != nil {
+		s.wlog = d.log
+		s.table = d.table
+		s.tableOrder = d.order
+		s.tableNextSeq = d.nextSeq
+		s.retain = opts.QueueRetain
+		if s.retain <= 0 {
+			s.retain = queue.DefaultRetain
+		}
+		s.compactAt = opts.CompactAt
+		if s.compactAt == 0 {
+			s.compactAt = DefaultCompactAt
+		}
+		qopts.OnSubmit = s.walOnSubmit
+		qopts.OnCancel = s.walOnCancel
+		qopts.Restore = d.restored
+		qopts.StartSeq = d.nextSeq
+	}
+	jobs, err := queue.New(nil, qopts)
 	if err != nil {
+		s.deliver.Close()
 		return nil, fmt.Errorf("server: %w", err)
 	}
 	s.jobs = jobs
@@ -156,20 +247,38 @@ func NewWithOptions(cfg *script.Config, eng *engine.Engine, opts Options) (*Serv
 	s.mux.HandleFunc(jobsPath, s.handleCommitJob)
 	s.mux.HandleFunc("/api/v1/testset", s.handleRotate)
 	s.mux.HandleFunc("/api/v1/admin/reset-caches", s.handleAdminReset)
+	s.mux.HandleFunc("/api/v1/admin/compact", s.handleAdminCompact)
 	return s, nil
 }
 
 // Close drains the commit queue gracefully: accepted jobs finish, new
 // submissions are rejected, and Close returns once the workers have
-// exited and every in-flight webhook delivery has completed. (A cancel
-// racing Close may deliver its webhook on the canceling goroutine
-// instead; it still completes, just unawaited by Close.)
+// exited and the webhook retry queue has drained (never-attempted
+// deliveries get one final attempt; deliveries waiting out a backoff are
+// abandoned — in durable mode their missing outcome record is what makes
+// the next start redeliver them). A durable server then compacts the log
+// (best effort — a crash here just means a longer replay) and closes it.
 func (s *Server) Close() {
 	s.jobs.Close()
-	s.hookMu.Lock()
-	s.hooksDraining = true
-	s.hookMu.Unlock()
-	s.hookWG.Wait()
+	s.deliver.Close()
+	if s.wlog != nil {
+		if !s.walFailed.Load() {
+			_ = s.Compact()
+		}
+		_ = s.wlog.Close()
+	}
+}
+
+// RunDueWebhooks attempts every webhook delivery whose schedule has come
+// due, returning how many attempts were made. Only meaningful with
+// Options.ManualRetry — the deterministic test harness's hook, the
+// webhook counterpart of RunNextJob.
+func (s *Server) RunDueWebhooks() int {
+	n := 0
+	for s.deliver.RunDue() {
+		n++
+	}
+	return n
 }
 
 // RunNextJob executes the oldest queued commit job on the calling
@@ -473,6 +582,14 @@ type MetricsResponse struct {
 	// POST /api/v1/admin/reset-caches.
 	CommitsEvaluated  uint64 `json:"commits_evaluated"`
 	CommitEvalNsTotal uint64 `json:"commit_eval_ns_total"`
+	// WebhookRetry is the webhook retry queue: attempts, backoff
+	// reschedules, per-kind delivery latency, and each subscriber's
+	// circuit breaker state. Not cleared by the admin cache reset — the
+	// retry queue is delivery state, not a cache.
+	WebhookRetry notify.RetryStats `json:"webhook_retry"`
+	// WAL reports the write-ahead log's traffic (durable servers only).
+	// Not cleared by the admin cache reset.
+	WAL *wal.Stats `json:"wal,omitempty"`
 }
 
 // metricsSnapshot gathers the point-in-time counters; shared by the
@@ -481,7 +598,7 @@ type MetricsResponse struct {
 func (s *Server) metricsSnapshot() MetricsResponse {
 	hits, misses, entries := bounds.ExactCacheStats()
 	events, analytic, refined := bounds.ExactSweepStats()
-	return MetricsResponse{
+	m := MetricsResponse{
 		PlanCache:             s.plans.Stats(),
 		ExactMemoHits:         hits,
 		ExactMemoMisses:       misses,
@@ -496,6 +613,12 @@ func (s *Server) metricsSnapshot() MetricsResponse {
 		CommitsEvaluated:      s.commitsEvaluated.Load(),
 		CommitEvalNsTotal:     s.commitEvalNs.Load(),
 	}
+	m.WebhookRetry = s.deliver.Stats()
+	if s.wlog != nil {
+		st := s.wlog.Stats()
+		m.WAL = &st
+	}
+	return m
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
@@ -599,13 +722,35 @@ func (s *Server) handleRotate(w http.ResponseWriter, r *http.Request) {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.wlog != nil && s.walFailed.Load() {
+		writeError(w, http.StatusServiceUnavailable, errWALPoisoned.Error())
+		return
+	}
 	active := model.NewFixedPredictions(s.eng.ActiveModelName(), req.ActivePredictions)
 	if err := s.eng.RotateTestset(next, labeling.NewTruthOracle(next.Y), active); err != nil {
 		writeError(w, http.StatusUnprocessableEntity, err.Error())
 		return
 	}
+	gen := s.eng.Testsets().Current().Generation
+	if s.wlog != nil {
+		// Apply-then-append: the 200 goes out only once the rotation is
+		// durable. A crash (or append failure, which poisons the server)
+		// in the gap loses an unacknowledged rotation — the same contract
+		// as a request that never arrived.
+		s.tableMu.Lock()
+		err := s.walAppendSyncLocked(recTypeRotate, recRotate{
+			Labels:      req.Labels,
+			ActivePreds: req.ActivePredictions,
+			Generation:  gen,
+		})
+		s.tableMu.Unlock()
+		if err != nil {
+			writeError(w, http.StatusServiceUnavailable, err.Error())
+			return
+		}
+	}
 	writeJSON(w, http.StatusOK, map[string]any{
-		"generation": s.eng.Testsets().Current().Generation,
+		"generation": gen,
 	})
 }
 
@@ -616,7 +761,10 @@ func (s *Server) cfgClasses() int {
 
 // resultToResponse applies the adaptivity mode's information flow: in the
 // non-adaptive mode the developer-facing API must not reveal the truth.
-func (s *Server) resultToResponse(res engine.Result) CommitResponse {
+// Standalone (not a method) so crash-recovery replay can re-shape replayed
+// results through the identical code path and byte-compare them against
+// the logged responses.
+func resultToResponse(cfg *script.Config, res engine.Result) CommitResponse {
 	out := CommitResponse{
 		CommitID:       res.Commit.ID,
 		Step:           res.Step,
@@ -624,7 +772,7 @@ func (s *Server) resultToResponse(res engine.Result) CommitResponse {
 		FreshLabels:    res.FreshLabels,
 		NeedNewTestset: res.NeedNewTestset,
 	}
-	if s.cfg.Adaptivity.Kind != script.AdaptivityNone {
+	if cfg.Adaptivity.Kind != script.AdaptivityNone {
 		out.Truth = res.Truth.String()
 		pass := res.Pass
 		out.Pass = &pass
@@ -635,6 +783,10 @@ func (s *Server) resultToResponse(res engine.Result) CommitResponse {
 		}
 	}
 	return out
+}
+
+func (s *Server) resultToResponse(res engine.Result) CommitResponse {
+	return resultToResponse(s.cfg, res)
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

@@ -1,0 +1,63 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"testing"
+
+	"github.com/easeml/ci/internal/engine"
+	"github.com/easeml/ci/internal/queue"
+	"github.com/easeml/ci/internal/script"
+)
+
+// TestCommitErrorStatusMapping pins the error→status contract of the
+// commit executor: 400 malformed, 409 state-moved conflicts, 503 when
+// the log is poisoned, 422 for evaluation failures.
+func TestCommitErrorStatusMapping(t *testing.T) {
+	cases := []struct {
+		err  error
+		want int
+	}{
+		{badRequestError{"short predictions"}, http.StatusBadRequest},
+		{engine.ErrNeedNewTestset, http.StatusConflict},
+		{queue.ErrCanceled, http.StatusConflict},
+		{fmt.Errorf("append: %w", errWALPoisoned), http.StatusServiceUnavailable},
+		{errors.New("evaluation blew up"), http.StatusUnprocessableEntity},
+	}
+	for _, tc := range cases {
+		if got := commitErrorStatus(tc.err); got != tc.want {
+			t.Errorf("commitErrorStatus(%v) = %d, want %d", tc.err, got, tc.want)
+		}
+	}
+}
+
+func TestDatasetFromLabelsRejectsBadLabels(t *testing.T) {
+	if _, err := datasetFromLabels("x", []int{0, 1, 5}, 2); err == nil {
+		t.Error("out-of-range label should fail")
+	}
+	if _, err := datasetFromLabels("x", []int{0, -1}, 2); err == nil {
+		t.Error("negative label should fail")
+	}
+}
+
+// TestMethodNotAllowed sweeps every endpoint with the wrong verb.
+func TestMethodNotAllowed(t *testing.T) {
+	srv, _ := newServerWith(t, script.AdaptivityFull, 3, testSize, Options{})
+	defer srv.Close()
+	cases := []struct{ method, path string }{
+		{http.MethodPost, "/api/v1/plan"},
+		{http.MethodPost, "/api/v1/status"},
+		{http.MethodPost, "/api/v1/history"},
+		{http.MethodPost, "/api/v1/metrics"},
+		{http.MethodGet, "/api/v1/commit"},
+		{http.MethodGet, "/api/v1/testset"},
+		{http.MethodGet, "/api/v1/admin/reset-caches"},
+	}
+	for _, tc := range cases {
+		rec, _ := doJSON(t, srv, tc.method, tc.path, nil)
+		if rec.Code != http.StatusMethodNotAllowed {
+			t.Errorf("%s %s = %d, want 405", tc.method, tc.path, rec.Code)
+		}
+	}
+}

@@ -47,6 +47,37 @@ func New(generation int, ds *data.Dataset) (*Testset, error) {
 	}, nil
 }
 
+// Restore rebuilds a testset at a recovered generation with the given
+// labels already revealed, for crash recovery from a durable log.
+func Restore(generation int, ds *data.Dataset, revealed []int) (*Testset, error) {
+	t, err := New(generation, ds)
+	if err != nil {
+		return nil, err
+	}
+	for _, i := range revealed {
+		if i < 0 || i >= t.Len() {
+			return nil, fmt.Errorf("testset: restored revealed index %d out of range [0,%d)", i, t.Len())
+		}
+		if !t.revealed.Get(i) {
+			t.revealed.Set(i)
+			t.revealedCount++
+		}
+	}
+	return t, nil
+}
+
+// RevealedIndices returns the revealed example indices in ascending
+// order — the snapshot-friendly form of the revealed bitmap.
+func (t *Testset) RevealedIndices() []int {
+	out := make([]int, 0, t.revealedCount)
+	for i := 0; i < t.Len(); i++ {
+		if t.revealed.Get(i) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
 // Len returns the number of examples.
 func (t *Testset) Len() int { return t.Data.Len() }
 
@@ -179,11 +210,33 @@ func NewManager(kind adaptivity.Kind, budget int, first *data.Dataset) (*Manager
 	return &Manager{kind: kind, budget: budget, ledger: ledger, current: ts}, nil
 }
 
+// RestoreManager rebuilds a manager around a recovered testset and
+// ledger position, for crash recovery from a durable log. Retired
+// testsets released before the snapshot are not reconstructed — their
+// statistical role ended when they were released.
+func RestoreManager(kind adaptivity.Kind, budget int, current *Testset, used int, retired bool) (*Manager, error) {
+	if current == nil {
+		return nil, fmt.Errorf("testset: nil restored testset")
+	}
+	ledger, err := adaptivity.RestoreLedger(kind, budget, used, retired)
+	if err != nil {
+		return nil, err
+	}
+	return &Manager{kind: kind, budget: budget, ledger: ledger, current: current}, nil
+}
+
 // Current returns the installed testset.
 func (m *Manager) Current() *Testset { return m.current }
 
 // Budget returns H, the per-testset evaluation budget.
 func (m *Manager) Budget() int { return m.budget }
+
+// Used returns how many evaluations the current testset has recorded.
+func (m *Manager) Used() int { return m.ledger.Used() }
+
+// Retired reports whether the current testset was retired early by a
+// firstChange pass (it then refuses evaluations with budget remaining).
+func (m *Manager) Retired() bool { return m.ledger.Retired() }
 
 // CanEvaluate reports whether the installed testset still has budget.
 func (m *Manager) CanEvaluate() bool { return m.ledger.CanEvaluate() }

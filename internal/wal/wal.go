@@ -1,0 +1,406 @@
+// Package wal is the durability substrate of the CI server: an
+// append-only, JSON-lines write-ahead log plus an atomically replaced
+// snapshot file. The log owns framing and integrity — sequence numbers,
+// a CRC-32C per record, torn-tail truncation on open — and stays agnostic
+// of what the records mean: callers append typed payloads and replay the
+// decoded records themselves. Recovery is therefore logical replay: the
+// server re-executes the logged inputs through the same deterministic
+// engine code that produced them, which is what makes a recovered process
+// byte-identical to an uninterrupted one.
+//
+// On-disk layout inside the data directory:
+//
+//	wal.log        one record per line: {"s":seq,"t":type,"c":crc,"d":payload}
+//	snapshot.json  {"s":lastSeq,"c":crc,"d":payload}, replaced atomically
+//
+// A record whose line is incomplete or fails its CRC at the tail of the
+// log is a torn write from a crash: it (and anything after it) is
+// truncated away, which is the rollback semantics of a write-ahead log —
+// a mutation whose record did not reach the disk never happened. The same
+// damage in the middle of the log, with valid records after it, is not a
+// crash signature and is reported as corruption instead of being silently
+// dropped.
+package wal
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// ErrCorrupt reports damage the torn-tail rule cannot explain: a bad
+// record followed by valid ones, a CRC mismatch in the snapshot, or a
+// sequence number that goes backwards.
+var ErrCorrupt = errors.New("wal: log corrupt")
+
+const (
+	logName      = "wal.log"
+	snapshotName = "snapshot.json"
+)
+
+// castagnoli is the CRC-32C table (the polynomial with hardware support
+// on amd64/arm64).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Record is one decoded log entry, handed back to the caller at Open for
+// replay. Data preserves the exact payload bytes that were appended.
+type Record struct {
+	Seq  uint64
+	Type string
+	Data json.RawMessage
+}
+
+// Snapshot is the decoded snapshot file: the caller's materialized state
+// covering every record with Seq <= LastSeq.
+type Snapshot struct {
+	LastSeq uint64
+	Data    json.RawMessage
+}
+
+// Options tunes a Log.
+type Options struct {
+	// NoSync makes Sync a no-op. Tests and benchmarks that measure encode
+	// cost (or create hundreds of logs) set it; production leaves it off.
+	NoSync bool
+	// WriteHook, when set, sees every encoded record line before it is
+	// written; returning an error fails the append without writing. It is
+	// the fault-injection point for disk-failure tests.
+	WriteHook func(line []byte) error
+}
+
+// Stats counts a log's lifetime traffic; exposed through the server's
+// metrics endpoint.
+type Stats struct {
+	// Appends / AppendErrors count record appends since open.
+	Appends      uint64 `json:"appends"`
+	AppendErrors uint64 `json:"append_errors"`
+	// Syncs counts fsync calls (0 under NoSync).
+	Syncs uint64 `json:"syncs"`
+	// Replayed is how many records Open decoded and handed back.
+	Replayed int `json:"replayed"`
+	// TornTruncated is how many trailing bytes Open cut off as a torn
+	// write (0 after a clean shutdown).
+	TornTruncated int `json:"torn_truncated_bytes"`
+	// SnapshotSeq is the LastSeq of the snapshot in effect (0 = none).
+	SnapshotSeq uint64 `json:"snapshot_seq"`
+	// Compactions counts Compact calls since open.
+	Compactions uint64 `json:"compactions"`
+	// LastSeq is the newest durable record's sequence number.
+	LastSeq uint64 `json:"last_seq"`
+	// SizeBytes is the current log file size.
+	SizeBytes int64 `json:"size_bytes"`
+}
+
+// Log is an open write-ahead log. Append/Sync/Compact are safe for
+// concurrent use; the internal mutex is a leaf lock (Log never calls
+// back into the caller).
+type Log struct {
+	dir  string
+	opts Options
+
+	mu      sync.Mutex
+	f       *os.File
+	nextSeq uint64
+	size    int64
+	stats   Stats
+}
+
+// Open opens (or creates) the log in dir and returns the snapshot in
+// effect (nil if none) plus every decoded record with Seq beyond the
+// snapshot, in order, after truncating a torn tail. The caller replays
+// snapshot + records to rebuild its state, then appends new records.
+func Open(dir string, opts Options) (*Log, *Snapshot, []Record, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, nil, fmt.Errorf("wal: %w", err)
+	}
+	snap, err := readSnapshot(filepath.Join(dir, snapshotName))
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	var snapSeq uint64
+	if snap != nil {
+		snapSeq = snap.LastSeq
+	}
+	records, torn, lastSeq, err := readLog(filepath.Join(dir, logName), snapSeq)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	f, err := os.OpenFile(filepath.Join(dir, logName), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("wal: %w", err)
+	}
+	info, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, nil, nil, fmt.Errorf("wal: %w", err)
+	}
+	if torn > 0 {
+		if err := f.Truncate(info.Size() - int64(torn)); err != nil {
+			f.Close()
+			return nil, nil, nil, fmt.Errorf("wal: truncating torn tail: %w", err)
+		}
+	}
+	if _, err := f.Seek(0, io.SeekEnd); err != nil {
+		f.Close()
+		return nil, nil, nil, fmt.Errorf("wal: %w", err)
+	}
+	next := lastSeq
+	if snapSeq > next {
+		next = snapSeq
+	}
+	l := &Log{dir: dir, opts: opts, f: f, nextSeq: next, size: info.Size() - int64(torn)}
+	l.stats.Replayed = len(records)
+	l.stats.TornTruncated = torn
+	l.stats.SnapshotSeq = snapSeq
+	l.stats.LastSeq = next
+	l.stats.SizeBytes = l.size
+	return l, snap, records, nil
+}
+
+// crcOf computes the record checksum over seq, type, and the exact
+// payload bytes — the same input at write and read time.
+func crcOf(seq uint64, typ string, data []byte) uint32 {
+	h := crc32.New(castagnoli)
+	fmt.Fprintf(h, "%d|%s|", seq, typ)
+	h.Write(data)
+	return h.Sum32()
+}
+
+// envelope is the wire shape of one log line (and of the snapshot file,
+// where S is the covered LastSeq).
+type envelope struct {
+	S uint64          `json:"s"`
+	T string          `json:"t,omitempty"`
+	C uint32          `json:"c"`
+	D json.RawMessage `json:"d"`
+}
+
+// readLog decodes the log file, returning records with Seq > afterSeq,
+// the number of trailing bytes to truncate as a torn write, and the
+// highest sequence number seen.
+func readLog(path string, afterSeq uint64) (records []Record, torn int, lastSeq uint64, err error) {
+	raw, err := os.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, 0, 0, nil
+	}
+	if err != nil {
+		return nil, 0, 0, fmt.Errorf("wal: %w", err)
+	}
+	offset := 0
+	badAt := -1 // offset of the first undecodable/invalid line
+	prevSeq := uint64(0)
+	for offset < len(raw) {
+		nl := bytes.IndexByte(raw[offset:], '\n')
+		if nl < 0 {
+			// No terminator: an append died mid-write.
+			badAt = offset
+			break
+		}
+		line := raw[offset : offset+nl]
+		rec, ok := decodeLine(line)
+		if !ok || (prevSeq != 0 && rec.Seq <= prevSeq) {
+			badAt = offset
+			break
+		}
+		prevSeq = rec.Seq
+		lastSeq = rec.Seq
+		if rec.Seq > afterSeq {
+			records = append(records, rec)
+		}
+		offset += nl + 1
+	}
+	if badAt < 0 {
+		return records, 0, lastSeq, nil
+	}
+	// The bad line is only a torn tail if no complete, valid record
+	// follows it — valid records after the damage mean mid-log corruption,
+	// which truncation would silently destroy.
+	rest := raw[badAt:]
+	if nl := bytes.IndexByte(rest, '\n'); nl >= 0 {
+		for _, line := range bytes.Split(rest[nl+1:], []byte{'\n'}) {
+			if _, ok := decodeLine(line); ok {
+				return nil, 0, 0, fmt.Errorf("%w: invalid record at byte %d followed by valid records", ErrCorrupt, badAt)
+			}
+		}
+	}
+	return records, len(raw) - badAt, lastSeq, nil
+}
+
+// decodeLine parses and CRC-verifies one log line.
+func decodeLine(line []byte) (Record, bool) {
+	var env envelope
+	if err := json.Unmarshal(line, &env); err != nil {
+		return Record{}, false
+	}
+	if env.S == 0 || env.T == "" || env.D == nil {
+		return Record{}, false
+	}
+	if crcOf(env.S, env.T, env.D) != env.C {
+		return Record{}, false
+	}
+	return Record{Seq: env.S, Type: env.T, Data: env.D}, true
+}
+
+// readSnapshot loads and verifies the snapshot file; a missing file is
+// (nil, nil).
+func readSnapshot(path string) (*Snapshot, error) {
+	raw, err := os.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	var env envelope
+	if err := json.Unmarshal(bytes.TrimSpace(raw), &env); err != nil {
+		return nil, fmt.Errorf("%w: snapshot: %v", ErrCorrupt, err)
+	}
+	if crcOf(env.S, "snapshot", env.D) != env.C {
+		return nil, fmt.Errorf("%w: snapshot CRC mismatch", ErrCorrupt)
+	}
+	return &Snapshot{LastSeq: env.S, Data: env.D}, nil
+}
+
+// Append encodes one typed record, assigns it the next sequence number,
+// and writes it to the log. It does not fsync — callers group the records
+// of one logical transaction and call Sync once at its commit point.
+func (l *Log) Append(typ string, payload any) (uint64, error) {
+	data, err := json.Marshal(payload)
+	if err != nil {
+		return 0, fmt.Errorf("wal: encoding %s record: %w", typ, err)
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	seq := l.nextSeq + 1
+	line := fmt.Sprintf("{\"s\":%d,\"t\":%q,\"c\":%d,\"d\":%s}\n", seq, typ, crcOf(seq, typ, data), data)
+	if l.opts.WriteHook != nil {
+		if err := l.opts.WriteHook([]byte(line)); err != nil {
+			l.stats.AppendErrors++
+			return 0, fmt.Errorf("wal: appending %s record: %w", typ, err)
+		}
+	}
+	if _, err := l.f.WriteString(line); err != nil {
+		l.stats.AppendErrors++
+		return 0, fmt.Errorf("wal: appending %s record: %w", typ, err)
+	}
+	l.nextSeq = seq
+	l.size += int64(len(line))
+	l.stats.Appends++
+	l.stats.LastSeq = seq
+	l.stats.SizeBytes = l.size
+	return seq, nil
+}
+
+// Sync flushes appended records to stable storage (no-op under NoSync).
+// A record is only durable — and the mutation it describes only
+// committed — once Sync has returned.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.opts.NoSync {
+		return nil
+	}
+	if err := l.f.Sync(); err != nil {
+		return fmt.Errorf("wal: sync: %w", err)
+	}
+	l.stats.Syncs++
+	return nil
+}
+
+// LastSeq returns the sequence number of the newest appended record.
+func (l *Log) LastSeq() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.nextSeq
+}
+
+// Size returns the current log file size in bytes.
+func (l *Log) Size() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.size
+}
+
+// Stats snapshots the counters.
+func (l *Log) Stats() Stats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.stats
+}
+
+// Compact writes payload as a snapshot covering every record appended so
+// far, then truncates the log. The caller must guarantee payload really
+// materializes all records up to LastSeq — the server takes its state
+// freeze locks around the whole call. Crash-safe ordering: the snapshot
+// is written to a temp file, fsynced, and renamed into place before the
+// log is truncated, so a crash at any point leaves either the old
+// (snapshot, log) pair or the new snapshot with a log whose records are
+// all covered by it (and skipped at replay by their sequence numbers).
+func (l *Log) Compact(payload any) error {
+	data, err := json.Marshal(payload)
+	if err != nil {
+		return fmt.Errorf("wal: encoding snapshot: %w", err)
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	seq := l.nextSeq
+	body := fmt.Sprintf("{\"s\":%d,\"c\":%d,\"d\":%s}\n", seq, crcOf(seq, "snapshot", data), data)
+	tmp := filepath.Join(l.dir, snapshotName+".tmp")
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: snapshot: %w", err)
+	}
+	if _, err := f.WriteString(body); err != nil {
+		f.Close()
+		return fmt.Errorf("wal: snapshot: %w", err)
+	}
+	if !l.opts.NoSync {
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return fmt.Errorf("wal: snapshot: %w", err)
+		}
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("wal: snapshot: %w", err)
+	}
+	if err := os.Rename(tmp, filepath.Join(l.dir, snapshotName)); err != nil {
+		return fmt.Errorf("wal: snapshot: %w", err)
+	}
+	l.syncDirLocked()
+	if err := l.f.Truncate(0); err != nil {
+		return fmt.Errorf("wal: truncating log after snapshot: %w", err)
+	}
+	if _, err := l.f.Seek(0, io.SeekStart); err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	l.size = 0
+	l.stats.SizeBytes = 0
+	l.stats.SnapshotSeq = seq
+	l.stats.Compactions++
+	return nil
+}
+
+// syncDirLocked fsyncs the data directory so a just-renamed snapshot
+// survives a power cut; best-effort (some filesystems refuse).
+func (l *Log) syncDirLocked() {
+	if l.opts.NoSync {
+		return
+	}
+	if d, err := os.Open(l.dir); err == nil {
+		_ = d.Sync()
+		d.Close()
+	}
+}
+
+// Close releases the log file. Appends after Close fail.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.f.Close()
+}
