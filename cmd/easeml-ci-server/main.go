@@ -120,8 +120,11 @@ func buildServer(cfg *ci.Config, testsetSize, classes int, initialAcc float64, s
 		return nil, err
 	}
 	if dataDir != "" {
-		// Durable mode: the genesis describes the same synthetic world,
-		// and any state already in dataDir wins over it.
+		// Durable mode: the genesis describes the same synthetic world.
+		// State already in dataDir wins over it, but the flags must still
+		// fingerprint-match the ones the data dir was created with —
+		// NewDurable refuses a mismatch rather than serve old state under
+		// a new config.
 		return server.NewDurable(server.Genesis{
 			Condition:        cfg.ConditionSrc,
 			Reliability:      cfg.Reliability,

@@ -106,8 +106,13 @@
 // per-subscriber circuit breaker, all visible under webhook_retry and
 // wal in /api/v1/metrics; the log is compacted into a snapshot
 // automatically past a size threshold (or on demand via POST
-// /api/v1/admin/compact). If an append ever fails, the server refuses
-// further mutations with 503 rather than acknowledge writes it cannot
-// persist. See examples/rest_api for a simulated power cut mid-job and
-// the restart that makes it invisible to the polling client.
+// /api/v1/admin/compact). A fresh data directory is stamped with a
+// fingerprint of the server's configuration (condition, reliability,
+// adaptivity, steps, testset, baseline); every restart verifies the
+// supplied flags against it and refuses a mismatch, so an existing log
+// can never be silently replayed under a config it was not written
+// under. If an append ever fails, the server refuses further mutations
+// with 503 rather than acknowledge writes it cannot persist. See
+// examples/rest_api for a simulated power cut mid-job and the restart
+// that makes it invisible to the polling client.
 package ci

@@ -210,6 +210,13 @@ type Options[Req, Res any] struct {
 	// entries are re-enqueued in Seq order and execute again when the
 	// workers start. Seen by workers only after New returns.
 	Restore []Restored[Req, Res]
+	// DeferStart makes New build the queue without spawning its workers;
+	// nothing — restored backlog included — executes until Start is
+	// called. The durable server constructs its queue this way so that
+	// recovery wiring (engine journal, notifier, webhook redelivery) is
+	// complete before any restored job can run. Ignored with Manual.
+	// A queue closed before Start abandons its backlog.
+	DeferStart bool
 	// StartSeq floors the job sequence counter, so IDs of jobs pruned
 	// from a durable log are never reissued. Restored jobs may raise the
 	// floor further.
@@ -247,6 +254,7 @@ type Queue[Req, Res any] struct {
 	capacity int
 	retain   int
 	manual   bool
+	workers  int
 
 	mu       sync.Mutex
 	cond     *sync.Cond
@@ -254,6 +262,7 @@ type Queue[Req, Res any] struct {
 	jobs     map[string]*Job[Req, Res]
 	terminal []string // terminal job IDs in finish order, for eviction
 	closed   bool
+	started  bool
 	nextSeq  int
 	running  int
 	stats    Stats
@@ -313,16 +322,32 @@ func New[Req, Res any](exec Exec[Req, Res], opts Options[Req, Res]) (*Queue[Req,
 		return nil, err
 	}
 	if !opts.Manual {
-		workers := opts.Workers
-		if workers == 0 {
-			workers = DefaultWorkers
+		q.workers = opts.Workers
+		if q.workers == 0 {
+			q.workers = DefaultWorkers
 		}
-		q.wg.Add(workers)
-		for i := 0; i < workers; i++ {
-			go q.worker()
+		if !opts.DeferStart {
+			q.Start()
 		}
 	}
 	return q, nil
+}
+
+// Start spawns the worker pool of a queue built with Options.DeferStart,
+// releasing the (possibly restored) backlog for execution. Everything the
+// caller wired up before Start happens-before the first job runs.
+// Idempotent; a no-op in manual mode.
+func (q *Queue[Req, Res]) Start() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.started || q.manual {
+		return
+	}
+	q.started = true
+	q.wg.Add(q.workers)
+	for i := 0; i < q.workers; i++ {
+		go q.worker()
+	}
 }
 
 // restore seeds the queue from recovered jobs (see Options.Restore),

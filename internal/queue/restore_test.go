@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sync"
 	"testing"
+	"time"
 )
 
 // TestRestoreMixedStates seeds a queue with terminal and pending jobs and
@@ -222,5 +223,55 @@ func TestRestoreRejectsDuplicates(t *testing.T) {
 		}})
 	if err == nil {
 		t.Fatal("duplicate restored IDs accepted")
+	}
+}
+
+// TestDeferStart: a queue built with DeferStart holds its backlog —
+// restored jobs included — until Start releases the workers, and Start is
+// idempotent. This is the gate the durable server uses to finish recovery
+// wiring before any restored job can execute.
+func TestDeferStart(t *testing.T) {
+	started := make(chan struct{})
+	var once sync.Once
+	var mu sync.Mutex
+	var ran []string
+	exec := func(req string) (string, error) {
+		once.Do(func() { close(started) })
+		mu.Lock()
+		defer mu.Unlock()
+		ran = append(ran, req)
+		return "res:" + req, nil
+	}
+	q, err := New(exec, Options[string, string]{
+		DeferStart: true,
+		Restore: []Restored[string, string]{
+			{ID: "job-1", Seq: 1, State: Queued, Req: "restored"},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	live, err := q.Submit("live")
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-started:
+		t.Fatal("a job executed before Start")
+	case <-time.After(20 * time.Millisecond):
+	}
+	q.Start()
+	q.Start() // idempotent
+	<-live.Done()
+	restored, ok := q.Job("job-1")
+	if !ok {
+		t.Fatal("restored job vanished")
+	}
+	<-restored.Done()
+	q.Close()
+	mu.Lock()
+	defer mu.Unlock()
+	if want := []string{"restored", "live"}; len(ran) != 2 || ran[0] != want[0] || ran[1] != want[1] {
+		t.Errorf("execution order = %v, want %v", ran, want)
 	}
 }

@@ -2,6 +2,8 @@ package server
 
 import (
 	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -31,6 +33,7 @@ var errWALPoisoned = errors.New("server: write-ahead log failed; state is read-o
 // loop; rotate is a testset rotation; rollback marks trailing audit
 // records of a torn commit as discarded.
 const (
+	recTypeGenesis  = "genesis"
 	recTypeSubmit   = "job.submit"
 	recTypeCommit   = "job.commit"
 	recTypeCancel   = "job.cancel"
@@ -41,6 +44,23 @@ const (
 	recTypePromote  = "promote"
 	recTypeRollback = "rollback"
 )
+
+// recGenesis is the first record of every fresh data directory: the
+// fingerprint of the Genesis the log was created under, plus a
+// human-readable summary for operators inspecting the log. Recovery
+// refuses a log whose fingerprint does not match the supplied Genesis —
+// restarting with different flags against an existing data dir would
+// otherwise silently serve old state under a config the log never saw.
+type recGenesis struct {
+	Fingerprint string  `json:"fingerprint"`
+	Condition   string  `json:"condition"`
+	Reliability float64 `json:"reliability"`
+	Adaptivity  string  `json:"adaptivity"`
+	Steps       int     `json:"steps"`
+	Examples    int     `json:"examples"`
+	Classes     int     `json:"classes"`
+	Model       string  `json:"model"`
+}
 
 type recSubmit struct {
 	Job string             `json:"job"`
@@ -113,17 +133,24 @@ type jobEntry struct {
 
 // walSnapshot is the compaction payload: the engine's full durable state
 // plus the job table, covering every record up to the snapshot point.
+// Genesis carries the config fingerprint forward once compaction has
+// truncated the genesis record out of the log.
 type walSnapshot struct {
+	Genesis    string       `json:"genesis"`
 	Engine     engine.State `json:"engine"`
 	Jobs       []*jobEntry  `json:"jobs,omitempty"`
 	NextJobSeq int          `json:"next_job_seq"`
 }
 
 // Genesis is the durable server's initial world: the script and the
-// first testset with the deployed baseline's predictions on it. It is
-// only consulted when the data directory holds no prior state — after
-// that, the log is the truth. (It is the durable-mode analogue of
-// building the engine yourself for NewWithOptions.)
+// first testset with the deployed baseline's predictions on it. A fresh
+// data directory is initialized from it and stamped with its
+// fingerprint; on every later start the log is the truth for state, but
+// the supplied Genesis must still fingerprint-match the stamp — a
+// restart with different flags against an existing data dir is refused
+// rather than silently serving old state under a new config. (It is the
+// durable-mode analogue of building the engine yourself for
+// NewWithOptions.)
 type Genesis struct {
 	// Condition, Reliability, Mode, Adaptivity, Steps define the script.
 	Condition   string
@@ -142,6 +169,41 @@ type Genesis struct {
 
 func (g Genesis) config() (*script.Config, error) {
 	return script.New(g.Condition, g.Reliability, g.Mode, g.Adaptivity, g.Steps)
+}
+
+// fingerprint hashes every Genesis field into the identity the data
+// directory is bound to. A restart whose flags produce a different
+// fingerprint is refused at recovery: the logged state was built under a
+// different config and replaying it under the new one would be unsound.
+func (g Genesis) fingerprint() string {
+	b, _ := json.Marshal(struct {
+		Condition   string
+		Reliability float64
+		Mode        interval.Mode
+		Adaptivity  script.Adaptivity
+		Steps       int
+		Labels      []int
+		Classes     int
+		ModelName   string
+		ModelPreds  []int
+	}{g.Condition, g.Reliability, g.Mode, g.Adaptivity, g.Steps, g.Labels, g.Classes, g.ModelName, g.ModelPredictions})
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:])
+}
+
+// genesisRecord shapes the fingerprint plus an operator-readable summary
+// into the log's first record.
+func (g Genesis) genesisRecord() recGenesis {
+	return recGenesis{
+		Fingerprint: g.fingerprint(),
+		Condition:   g.Condition,
+		Reliability: g.Reliability,
+		Adaptivity:  g.Adaptivity.Kind.String(),
+		Steps:       g.Steps,
+		Examples:    len(g.Labels),
+		Classes:     g.Classes,
+		Model:       g.ModelName,
+	}
 }
 
 // datasetFromLabels builds the index-featured dataset the HTTP surface
@@ -183,6 +245,19 @@ func NewDurable(g Genesis, dataDir string, opts Options) (*Server, error) {
 	if err != nil {
 		return nil, fmt.Errorf("server: %w", err)
 	}
+	if snap == nil && len(records) == 0 {
+		// Fresh data directory: stamp the config fingerprint as record 1,
+		// before any state-bearing record can exist. Every later open
+		// verifies it (or its copy in the snapshot) against the supplied
+		// Genesis before trusting the logged state.
+		if _, err := wlog.Append(recTypeGenesis, g.genesisRecord()); err == nil {
+			err = wlog.Sync()
+		}
+		if err != nil {
+			_ = wlog.Close()
+			return nil, fmt.Errorf("server: stamping genesis: %w", err)
+		}
+	}
 	d, err := recoverDurable(cfg, g, snap, records)
 	if err != nil {
 		_ = wlog.Close()
@@ -210,6 +285,10 @@ func NewDurable(g Genesis, dataDir string, opts Options) (*Server, error) {
 	// Replay ran against a discard notifier (those notifications already
 	// happened before the crash); live traffic gets the real one, and
 	// from here every commit journals its side effects through the log.
+	// The queue was built with DeferStart, so no worker exists yet and
+	// these writes happen-before any restored job executes — a job
+	// committing against a nil journal would fsync its commit record with
+	// no audit trail and poison every future recovery.
 	en := opts.EngineNotifier
 	if en == nil {
 		en = notify.NewOutbox()
@@ -219,8 +298,12 @@ func NewDurable(g Genesis, dataDir string, opts Options) (*Server, error) {
 	// Redeliver webhooks of jobs that finished but whose delivery never
 	// reached a recorded outcome (crash mid-backoff, or before the first
 	// attempt). The retry queue applies its usual backoff and breakers.
-	for _, id := range d.order {
-		e := d.table[id]
+	// Collect under tableMu first: the first Send puts the retry worker in
+	// play, and its recorded outcomes mutate the table concurrently.
+	s.tableMu.Lock()
+	var redeliver []notify.Notification
+	for _, id := range s.tableOrder {
+		e := s.table[id]
 		if e.State == jobQueued || e.Req.Webhook == "" || e.WebhookDone {
 			continue
 		}
@@ -228,13 +311,20 @@ func NewDurable(g Genesis, dataDir string, opts Options) (*Server, error) {
 		if merr != nil {
 			continue
 		}
-		_ = s.deliver.Send(notify.Notification{
+		redeliver = append(redeliver, notify.Notification{
 			Kind:    notify.KindWebhook,
 			To:      e.Req.Webhook,
 			Subject: fmt.Sprintf("easeml-ci job %s %s", e.ID, e.State),
 			Body:    string(payload),
 		})
 	}
+	s.tableMu.Unlock()
+	for _, n := range redeliver {
+		_ = s.deliver.Send(n)
+	}
+	// Recovery wiring is complete; release the workers. Restored queued
+	// jobs execute from here, with the journal and notifier in place.
+	s.jobs.Start()
 	return s, nil
 }
 
@@ -262,12 +352,15 @@ func (e *jobEntry) status() JobStatusResponse {
 // audit records — recovery fails loudly on any divergence rather than
 // serving a history the log doesn't vouch for.
 func recoverDurable(cfg *script.Config, g Genesis, snap *wal.Snapshot, records []wal.Record) (*durableState, error) {
-	d := &durableState{table: make(map[string]*jobEntry)}
+	d := &durableState{table: make(map[string]*jobEntry), fp: g.fingerprint()}
 	var eng *engine.Engine
 	if snap != nil {
 		var ws walSnapshot
 		if err := json.Unmarshal(snap.Data, &ws); err != nil {
 			return nil, fmt.Errorf("snapshot: %w", err)
+		}
+		if ws.Genesis != d.fp {
+			return nil, fmt.Errorf("snapshot: config fingerprint %q does not match the supplied genesis %q — the data directory was created under a different configuration (condition, reliability, adaptivity, steps, or testset); point the server at a fresh data directory or restore the original flags", ws.Genesis, d.fp)
 		}
 		var err error
 		eng, err = engine.Restore(cfg, ws.Engine, engine.Options{Notifier: notify.Discard{}})
@@ -294,9 +387,21 @@ func recoverDurable(cfg *script.Config, g Genesis, snap *wal.Snapshot, records [
 	}
 	d.eng = eng
 
+	if snap == nil && len(records) > 0 && records[0].Type != recTypeGenesis {
+		return nil, fmt.Errorf("record %d: log does not begin with a genesis record; cannot verify the data directory's configuration", records[0].Seq)
+	}
 	var audit []wal.Record
 	for _, rec := range records {
 		switch rec.Type {
+		case recTypeGenesis:
+			var r recGenesis
+			if err := json.Unmarshal(rec.Data, &r); err != nil {
+				return nil, fmt.Errorf("record %d (%s): %w", rec.Seq, rec.Type, err)
+			}
+			if r.Fingerprint != d.fp {
+				return nil, fmt.Errorf("record %d: config fingerprint %q does not match the supplied genesis %q — the data directory was created under a different configuration (logged: condition %q, reliability %v, adaptivity %s, steps %d, %d examples, %d classes, model %q); point the server at a fresh data directory or restore the original flags",
+					rec.Seq, r.Fingerprint, d.fp, r.Condition, r.Reliability, r.Adaptivity, r.Steps, r.Examples, r.Classes, r.Model)
+			}
 		case recTypeSubmit:
 			var r recSubmit
 			if err := json.Unmarshal(rec.Data, &r); err != nil {
@@ -564,7 +669,7 @@ func (s *Server) compactLocked() error {
 	for _, id := range s.tableOrder {
 		jobs = append(jobs, s.table[id])
 	}
-	snap := walSnapshot{Engine: s.eng.Snapshot(), Jobs: jobs, NextJobSeq: s.tableNextSeq}
+	snap := walSnapshot{Genesis: s.genesisFP, Engine: s.eng.Snapshot(), Jobs: jobs, NextJobSeq: s.tableNextSeq}
 	if err := s.wlog.Compact(snap); err != nil {
 		s.walFailed.Store(true)
 		return fmt.Errorf("%w: %v", errWALPoisoned, err)

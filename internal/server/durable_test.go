@@ -807,3 +807,115 @@ func TestNewDurableValidation(t *testing.T) {
 		t.Error("bad condition must fail")
 	}
 }
+
+// TestDurableRestoredJobRunsWithProductionWorkers is the regression test
+// for the startup race: with real (non-manual) queue workers, a job
+// restored as queued must not execute before NewDurable has wired the
+// engine journal and notifier — a job committing against a nil journal
+// would fsync a commit record with no audit records, and every subsequent
+// recovery would fail the audit cross-check, bricking the data dir. The
+// deferred worker start makes the production auto-worker path run the
+// restored job with its full audit trail, so a third start replays clean.
+func TestDurableRestoredJobRunsWithProductionWorkers(t *testing.T) {
+	g, labels := durableGenesis(t, 3, testSize)
+	dir := t.TempDir()
+
+	// Accept a job but never run it (manual queue), then crash.
+	srv, err := NewDurable(g, dir, Options{ManualQueue: true, Webhooks: notify.NewOutbox()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, _ := doJSON(t, srv, http.MethodPost, "/api/v1/commit/async", AsyncCommitRequest{
+		CommitRequest: CommitRequest{
+			Model: "m", Author: "dev", Message: "x",
+			Predictions: goodPredictions(t, labels, 0.9, 30),
+		},
+	})
+	if rec.Code != http.StatusAccepted {
+		t.Fatalf("async status = %d: %s", rec.Code, rec.Body.String())
+	}
+	var acc JobAcceptedResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &acc); err != nil {
+		t.Fatal(err)
+	}
+	// Abandon without Close: the job is in the log as queued, unevaluated.
+
+	// Restart on the production path: background workers, which execute
+	// the restored job as soon as NewDurable releases them.
+	revived, err := NewDurable(g, dir, Options{Webhooks: notify.NewOutbox()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := pollUntilTerminal(t, revived, acc.JobID); st.State != "done" {
+		t.Fatalf("restored job = %+v, want done", st)
+	}
+	waitQuiescent(t, revived, 0)
+	history := getBody(t, revived, "/api/v1/history")
+	// Abandon again without Close (no compaction): the third start must
+	// replay the raw log, including the restored job's charge/reveal
+	// records written by the revived process.
+	third, err := NewDurable(g, dir, Options{ManualQueue: true, Webhooks: notify.NewOutbox()})
+	if err != nil {
+		t.Fatalf("third start failed (restored job committed without its audit records?): %v", err)
+	}
+	defer third.Close()
+	if got := getBody(t, third, "/api/v1/history"); !bytes.Equal(history, got) {
+		t.Errorf("history diverged across restart:\n  before: %s\n  after:  %s", history, got)
+	}
+}
+
+// TestDurableGenesisMismatch: a data directory is bound to the config
+// fingerprint it was created under — restarting with different flags
+// (reliability, testset size, ...) must fail loudly at recovery, on both
+// the raw-log path (genesis record) and the post-compaction path
+// (snapshot), while the original genesis keeps working.
+func TestDurableGenesisMismatch(t *testing.T) {
+	g, labels := durableGenesis(t, 3, testSize)
+	dir := t.TempDir()
+	srv, err := NewDurable(g, dir, Options{Webhooks: notify.NewOutbox()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, _ := doJSON(t, srv, http.MethodPost, "/api/v1/commit", CommitRequest{
+		Model: "m0", Author: "dev", Message: "x",
+		Predictions: goodPredictions(t, labels, 0.9, 10),
+	})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("commit status = %d: %s", rec.Code, rec.Body.String())
+	}
+	waitQuiescent(t, srv, 0)
+	// Abandon without Close: the genesis record is still in the raw log.
+
+	badRel := g
+	badRel.Reliability = 0.95
+	badSize := g
+	badSize.Labels = g.Labels[:len(g.Labels)-2]
+	badSize.ModelPredictions = g.ModelPredictions[:len(g.ModelPredictions)-2]
+	for name, bad := range map[string]Genesis{"reliability": badRel, "testset size": badSize} {
+		if s, err := NewDurable(bad, dir, Options{}); err == nil {
+			s.Close()
+			t.Fatalf("restart with different %s accepted the old data dir", name)
+		} else if !strings.Contains(err.Error(), "fingerprint") {
+			t.Errorf("%s mismatch error = %v, want a fingerprint error", name, err)
+		}
+	}
+
+	// The original genesis still recovers; Close compacts, moving the
+	// fingerprint into the snapshot.
+	same, err := NewDurable(g, dir, Options{Webhooks: notify.NewOutbox()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	same.Close()
+	if s, err := NewDurable(badRel, dir, Options{}); err == nil {
+		s.Close()
+		t.Fatal("post-compaction restart with a different config accepted the old data dir")
+	} else if !strings.Contains(err.Error(), "fingerprint") {
+		t.Errorf("snapshot mismatch error = %v, want a fingerprint error", err)
+	}
+	final, err := NewDurable(g, dir, Options{Webhooks: notify.NewOutbox()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	final.Close()
+}

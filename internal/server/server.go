@@ -100,6 +100,7 @@ type Server struct {
 	// Compact holds s.mu+tableMu, freezing all appenders).
 	wlog         *wal.Log
 	walFailed    atomic.Bool
+	genesisFP    string
 	tableMu      sync.Mutex
 	table        map[string]*jobEntry
 	tableOrder   []string
@@ -177,6 +178,7 @@ func NewWithOptions(cfg *script.Config, eng *engine.Engine, opts Options) (*Serv
 type durableState struct {
 	log       *wal.Log
 	eng       *engine.Engine
+	fp        string // genesis config fingerprint, re-stamped into snapshots
 	table     map[string]*jobEntry
 	order     []string
 	nextSeq   int
@@ -215,6 +217,7 @@ func newServer(cfg *script.Config, eng *engine.Engine, opts Options, d *durableS
 	}
 	if d != nil {
 		s.wlog = d.log
+		s.genesisFP = d.fp
 		s.table = d.table
 		s.tableOrder = d.order
 		s.tableNextSeq = d.nextSeq
@@ -230,6 +233,11 @@ func newServer(cfg *script.Config, eng *engine.Engine, opts Options, d *durableS
 		qopts.OnCancel = s.walOnCancel
 		qopts.Restore = d.restored
 		qopts.StartSeq = d.nextSeq
+		// Workers must not run before NewDurable finishes wiring the
+		// engine journal, notifier, and webhook redelivery: a restored job
+		// executing earlier would commit without its audit records.
+		// NewDurable calls jobs.Start as its last step.
+		qopts.DeferStart = true
 	}
 	jobs, err := queue.New(nil, qopts)
 	if err != nil {
