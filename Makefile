@@ -6,7 +6,7 @@ SHELL := /bin/bash
 .SHELLFLAGS := -o pipefail -c
 
 GO ?= go
-BENCH_OUT ?= BENCH_6.json
+BENCH_OUT ?= BENCH_7.json
 # The micro-benchmarks the perf trajectory tracks: the binomial-tail hot
 # path, the worst-case sweep vs grid ablation pair (memo bypassed, three
 # representative n), the exact-bound ablation (warm = memo-served, cold =
@@ -16,8 +16,10 @@ BENCH_OUT ?= BENCH_6.json
 # the packed-vs-scalar commit-evaluation pair at n=1e5 (the packed side is
 # gated at 0 allocs/op by tools/benchdiff), full-commit throughput, and
 # the write-ahead log (unsynced append, append+fsync — the durable commit
-# point — and 1000-record replay, the fixed crash-restart cost).
-BENCH_PATTERN = BenchmarkBinomialCDF$$|BenchmarkExactWorstCaseSweep$$|BenchmarkExactWorstCaseGrid$$|BenchmarkAblationTightBinomial$$|BenchmarkAblationTightBinomialCold$$|BenchmarkExactColdProbesNormalSeed$$|BenchmarkExactColdProbesHoeffdingSeed$$|BenchmarkSampleSizeEstimator$$|BenchmarkPlanCacheHit$$|BenchmarkLRUContentionSingle$$|BenchmarkLRUContentionSharded$$|BenchmarkEngineCommit$$|BenchmarkCommitEval$$|BenchmarkCommitThroughput$$|BenchmarkWALAppend$$|BenchmarkWALAppendSync$$|BenchmarkWALReplay$$
+# point — and 1000-record replay, the fixed crash-restart cost), and
+# aggregate commit throughput across 8 projects of the multi-tenant
+# control plane (routing + quotas + weighted round-robin scheduling).
+BENCH_PATTERN = BenchmarkBinomialCDF$$|BenchmarkExactWorstCaseSweep$$|BenchmarkExactWorstCaseGrid$$|BenchmarkAblationTightBinomial$$|BenchmarkAblationTightBinomialCold$$|BenchmarkExactColdProbesNormalSeed$$|BenchmarkExactColdProbesHoeffdingSeed$$|BenchmarkSampleSizeEstimator$$|BenchmarkPlanCacheHit$$|BenchmarkLRUContentionSingle$$|BenchmarkLRUContentionSharded$$|BenchmarkEngineCommit$$|BenchmarkCommitEval$$|BenchmarkCommitThroughput$$|BenchmarkWALAppend$$|BenchmarkWALAppendSync$$|BenchmarkWALReplay$$|BenchmarkMultiTenantThroughput$$
 
 .PHONY: all build test race vet bench benchdiff clean
 

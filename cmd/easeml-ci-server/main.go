@@ -1,26 +1,34 @@
-// Command easeml-ci-server hosts the CI engine over HTTP. Developers POST
-// prediction vectors as commits; the integration team reads plans, status,
-// and history, and rotates testsets. See internal/server for the API.
+// Command easeml-ci-server hosts the CI control plane over HTTP. The
+// flags describe the implicit "default" project; further projects —
+// each with its own script, testset, engine, commit queue, and (in
+// durable mode) write-ahead log under -data-dir/<id>/ — register at
+// runtime through POST /api/v1/projects. All tenants share one plan
+// cache and one worker pool with weighted round-robin scheduling.
+// See internal/server for the API.
 //
-// Commits are evaluated through a bounded FIFO queue: the synchronous
-// endpoint enqueues and waits, the asynchronous endpoint answers 202 with
-// a job ID to poll (or a webhook to subscribe). The server shuts down
-// gracefully on SIGINT/SIGTERM, draining every accepted job first.
+// Commits are evaluated through bounded per-project FIFO queues: the
+// synchronous endpoint enqueues and waits, the asynchronous endpoint
+// answers 202 with a job ID to poll (or a webhook to subscribe). The
+// server shuts down gracefully on SIGINT/SIGTERM, draining every
+// accepted job on every project first.
 //
-// The server boots with a synthetic labeled testset (this repository ships
-// no production data); point -testset-size and -classes at your scenario
-// and submit predictions of that length.
+// The default project boots with a synthetic labeled testset (this
+// repository ships no production data); point -testset-size and
+// -classes at your scenario and submit predictions of that length.
 //
 // Usage:
 //
 //	easeml-ci-server -addr :8080 -script ci.yml -queue-capacity 4096
 //	curl localhost:8080/api/v1/plan
 //	curl 'localhost:8080/api/v1/plan?condition=n+-+o+%3E+0.02+%2B%2F-+0.01&steps=8'
-//	curl localhost:8080/api/v1/metrics          # cache + queue counters
+//	curl localhost:8080/api/v1/metrics          # caches, scheduler, per-tenant
 //	curl -X POST localhost:8080/api/v1/commit -d '{"model":"v2","predictions":[...]}'
 //	curl -X POST localhost:8080/api/v1/commit/async \
 //	     -d '{"model":"v2","predictions":[...],"webhook":"http://ci.example/hook"}'
 //	curl localhost:8080/api/v1/commit/jobs/job-1
+//	curl -X POST localhost:8080/api/v1/projects \
+//	     -d '{"id":"team-a","condition":"n > 0.9 +/- 0.05","reliability":0.99,"steps":8,"labels":[...],"classes":4,"model_predictions":[...]}'
+//	curl localhost:8080/api/v1/projects/team-a/plan
 //	curl -X POST localhost:8080/api/v1/admin/reset-caches
 package main
 
@@ -36,9 +44,6 @@ import (
 	"time"
 
 	ci "github.com/easeml/ci"
-	"github.com/easeml/ci/internal/data"
-	"github.com/easeml/ci/internal/engine"
-	"github.com/easeml/ci/internal/labeling"
 	"github.com/easeml/ci/internal/model"
 	"github.com/easeml/ci/internal/server"
 )
@@ -54,10 +59,11 @@ func main() {
 		classes     = flag.Int("classes", 4, "label alphabet size")
 		initialAcc  = flag.Float64("initial-accuracy", 0.8, "accuracy of the deployed baseline H0")
 		seed        = flag.Int64("seed", 1, "testset seed")
-		queueCap    = flag.Int("queue-capacity", 1024, "pending commit-job backlog bound (full backlog answers 503)")
-		dataDir     = flag.String("data-dir", "", "write-ahead log directory; empty runs in-memory (state dies with the process)")
-		walNoSync   = flag.Bool("wal-nosync", false, "skip fsync on the write-ahead log (trades crash safety for latency)")
-		compactAt   = flag.Int64("compact-at", 0, "auto-compact the log beyond this many bytes (0 = default, negative = never)")
+		queueCap    = flag.Int("queue-capacity", 1024, "pending commit-job backlog bound per project (full backlog answers 503)")
+		poolWorkers = flag.Int("pool-workers", 0, "shared worker pool size across all projects (0 = default)")
+		dataDir     = flag.String("data-dir", "", "state directory (control log + per-project WALs); empty runs in-memory (state dies with the process)")
+		walNoSync   = flag.Bool("wal-nosync", false, "skip fsync on the write-ahead logs (trades crash safety for latency)")
+		compactAt   = flag.Int64("compact-at", 0, "auto-compact each log beyond this many bytes (0 = default, negative = never)")
 	)
 	flag.Parse()
 
@@ -65,7 +71,7 @@ func main() {
 	if err != nil {
 		log.Fatal("easeml-ci-server: ", err)
 	}
-	srv, err := buildServer(cfg, *testsetSize, *classes, *initialAcc, *seed, *dataDir, server.Options{
+	srv, err := buildServer(cfg, *testsetSize, *classes, *initialAcc, *seed, *dataDir, *poolWorkers, server.Options{
 		QueueCapacity: *queueCap,
 		WALNoSync:     *walNoSync,
 		CompactAt:     *compactAt,
@@ -73,9 +79,10 @@ func main() {
 	if err != nil {
 		log.Fatal("easeml-ci-server: ", err)
 	}
-	log.Printf("serving %q on %s (queue capacity %d)", cfg.ConditionSrc, *addr, *queueCap)
-	if st := srv.WALStats(); st != nil {
-		log.Printf("durable mode: data-dir %s, recovered %d records (snapshot seq %d, %d torn bytes truncated)",
+	log.Printf("serving %q on %s (queue capacity %d); register projects at POST /api/v1/projects",
+		cfg.ConditionSrc, *addr, *queueCap)
+	if st := srv.Default().WALStats(); st != nil {
+		log.Printf("durable mode: data-dir %s, default project recovered %d records (snapshot seq %d, %d torn bytes truncated)",
 			*dataDir, st.Replayed, st.SnapshotSeq, st.TornTruncated)
 	}
 
@@ -106,42 +113,37 @@ func loadConfig(path, condition string, reliability float64, steps int) (*ci.Con
 		ci.Adaptivity{Kind: ci.AdaptivityFull}, steps)
 }
 
-func buildServer(cfg *ci.Config, testsetSize, classes int, initialAcc float64, seed int64, dataDir string, opts server.Options) (*server.Server, error) {
+// buildServer assembles the control plane: the flags shape the default
+// project's genesis, further projects register over the API. With a data
+// dir, state already on disk wins over the genesis, but the flags must
+// still fingerprint-match the ones the data dir was created with — the
+// default project refuses a mismatch rather than serve old state under a
+// new config.
+func buildServer(cfg *ci.Config, testsetSize, classes int, initialAcc float64, seed int64, dataDir string, poolWorkers int, opts server.Options) (*server.Multi, error) {
 	if testsetSize < 10 || classes < 2 {
 		return nil, fmt.Errorf("testset-size must be >= 10 and classes >= 2")
 	}
-	ds := &data.Dataset{Name: "served", Classes: classes}
-	for i := 0; i < testsetSize; i++ {
-		ds.X = append(ds.X, []float64{float64(i)})
-		ds.Y = append(ds.Y, i%classes)
+	labels := make([]int, testsetSize)
+	for i := range labels {
+		labels[i] = i % classes
 	}
-	h0, err := model.SimulatedPredictions(ds.Y, classes, initialAcc, seed)
+	h0, err := model.SimulatedPredictions(labels, classes, initialAcc, seed)
 	if err != nil {
 		return nil, err
 	}
-	if dataDir != "" {
-		// Durable mode: the genesis describes the same synthetic world.
-		// State already in dataDir wins over it, but the flags must still
-		// fingerprint-match the ones the data dir was created with —
-		// NewDurable refuses a mismatch rather than serve old state under
-		// a new config.
-		return server.NewDurable(server.Genesis{
-			Condition:        cfg.ConditionSrc,
-			Reliability:      cfg.Reliability,
-			Mode:             cfg.Mode,
-			Adaptivity:       cfg.Adaptivity,
-			Steps:            cfg.Steps,
-			Labels:           ds.Y,
-			Classes:          classes,
-			ModelName:        "deployed-h0",
-			ModelPredictions: h0,
-		}, dataDir, opts)
-	}
-	eng, err := engine.New(cfg, ds, labeling.NewTruthOracle(ds.Y), engine.Options{
-		InitialModel: model.NewFixedPredictions("deployed-h0", h0),
+	return server.NewMulti(server.Genesis{
+		Condition:        cfg.ConditionSrc,
+		Reliability:      cfg.Reliability,
+		Mode:             cfg.Mode,
+		Adaptivity:       cfg.Adaptivity,
+		Steps:            cfg.Steps,
+		Labels:           labels,
+		Classes:          classes,
+		ModelName:        "deployed-h0",
+		ModelPredictions: h0,
+	}, server.MultiOptions{
+		DataDir:     dataDir,
+		PoolWorkers: poolWorkers,
+		Tenant:      opts,
 	})
-	if err != nil {
-		return nil, err
-	}
-	return server.NewWithOptions(cfg, eng, opts)
 }

@@ -32,7 +32,7 @@ func TestBuildServerServes(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv, err := buildServer(cfg, 700, 4, 0.8, 1, "", server.Options{})
+	srv, err := buildServer(cfg, 700, 4, 0.8, 1, "", 0, server.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -51,7 +51,7 @@ func TestBuildServerAsyncFlow(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv, err := buildServer(cfg, 700, 4, 0.8, 1, "", server.Options{QueueCapacity: 8})
+	srv, err := buildServer(cfg, 700, 4, 0.8, 1, "", 0, server.Options{QueueCapacity: 8})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -93,16 +93,16 @@ func TestBuildServerValidation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := buildServer(cfg, 5, 4, 0.8, 1, "", server.Options{}); err == nil {
+	if _, err := buildServer(cfg, 5, 4, 0.8, 1, "", 0, server.Options{}); err == nil {
 		t.Error("tiny testset should fail")
 	}
-	if _, err := buildServer(cfg, 700, 1, 0.8, 1, "", server.Options{}); err == nil {
+	if _, err := buildServer(cfg, 700, 1, 0.8, 1, "", 0, server.Options{}); err == nil {
 		t.Error("single class should fail")
 	}
-	if _, err := buildServer(cfg, 700, 4, 1.5, 1, "", server.Options{}); err == nil {
+	if _, err := buildServer(cfg, 700, 4, 1.5, 1, "", 0, server.Options{}); err == nil {
 		t.Error("bad accuracy should fail")
 	}
-	if _, err := buildServer(cfg, 700, 4, 0.8, 1, "", server.Options{QueueCapacity: -1}); err == nil {
+	if _, err := buildServer(cfg, 700, 4, 0.8, 1, "", 0, server.Options{QueueCapacity: -1}); err == nil {
 		t.Error("negative queue capacity should fail")
 	}
 }
@@ -115,11 +115,11 @@ func TestBuildServerDurableRestart(t *testing.T) {
 		t.Fatal(err)
 	}
 	dir := t.TempDir()
-	srv, err := buildServer(cfg, 700, 4, 0.8, 1, dir, server.Options{})
+	srv, err := buildServer(cfg, 700, 4, 0.8, 1, dir, 0, server.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if srv.WALStats() == nil {
+	if srv.Default().WALStats() == nil {
 		t.Fatal("data-dir server must be durable")
 	}
 	preds := make([]int, 700)
@@ -137,7 +137,7 @@ func TestBuildServerDurableRestart(t *testing.T) {
 	history := rec.Body.String()
 	srv.Close()
 
-	again, err := buildServer(cfg, 700, 4, 0.8, 1, dir, server.Options{})
+	again, err := buildServer(cfg, 700, 4, 0.8, 1, dir, 0, server.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -146,5 +146,47 @@ func TestBuildServerDurableRestart(t *testing.T) {
 	again.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/api/v1/history", nil))
 	if rec.Body.String() != history {
 		t.Errorf("history changed across restart:\n%s\n%s", rec.Body.String(), history)
+	}
+}
+
+// TestBuildServerProjects exercises the multi-tenant surface exactly as
+// the flags wire it: a second project registers over the API and serves
+// the scoped paths while the flag-defined default keeps its aliases.
+func TestBuildServerProjects(t *testing.T) {
+	cfg, err := loadConfig("", "n > 0.6 +/- 0.1", 0.99, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := buildServer(cfg, 700, 4, 0.8, 1, "", 0, server.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	labels := make([]int, 700)
+	for i := range labels {
+		labels[i] = i % 4
+	}
+	body, _ := json.Marshal(server.CreateProjectRequest{
+		ID: "team-a",
+		ProjectSpec: server.ProjectSpec{
+			Condition:        "n > 0.5 +/- 0.1",
+			Reliability:      0.99,
+			Steps:            4,
+			Labels:           labels,
+			Classes:          4,
+			ModelPredictions: labels,
+		},
+	})
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/api/v1/projects", bytes.NewReader(body)))
+	if rec.Code != http.StatusCreated {
+		t.Fatalf("create project = %d: %s", rec.Code, rec.Body.String())
+	}
+	for _, path := range []string{"/api/v1/projects/team-a/plan", "/api/v1/plan", "/api/v1/metrics"} {
+		rec = httptest.NewRecorder()
+		srv.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, path, nil))
+		if rec.Code != http.StatusOK {
+			t.Errorf("GET %s = %d: %s", path, rec.Code, rec.Body.String())
+		}
 	}
 }

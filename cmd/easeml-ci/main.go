@@ -49,11 +49,12 @@ func main() {
 		seed        = flag.Int64("seed", 1, "scenario seed")
 		serverURL   = flag.String("server", "", "base URL of a running easeml-ci-server; commits go over the async API")
 		classes     = flag.Int("classes", 4, "label alphabet size of the remote server's testset (with -server)")
+		project     = flag.String("project", "", "remote project ID (with -server); empty targets the server's default project")
 	)
 	flag.Parse()
 	var err error
 	if *serverURL != "" {
-		err = runRemote(*serverURL, *commits, *classes, *seed)
+		err = runRemote(*serverURL, *project, *commits, *classes, *seed)
 	} else {
 		err = run(*scriptPath, *condition, *reliability, *steps, *adaptFlag, *modeFlag, *commits, *testN, *seed)
 	}
@@ -147,14 +148,18 @@ func run(scriptPath, condition string, reliability float64, steps int, adaptFlag
 // running server's asynchronous endpoint and poll each job to its
 // terminal state. The synthetic predictions ramp in accuracy against the
 // server's own synthetic testset layout (label i%classes), mirroring the
-// local scenario's incrementally improving models.
-func runRemote(base string, commits, classes int, seed int64) error {
+// local scenario's incrementally improving models. A non-empty project
+// targets that tenant's scoped API instead of the default aliases.
+func runRemote(base, project string, commits, classes int, seed int64) error {
 	if commits < 1 || classes < 2 {
 		return fmt.Errorf("remote mode needs -commits >= 1 and -classes >= 2")
 	}
-	base = strings.TrimRight(base, "/")
+	base = strings.TrimRight(base, "/") + "/api/v1"
+	if project != "" {
+		base += "/projects/" + project
+	}
 	var status server.StatusResponse
-	if err := getJSON(base+"/api/v1/status", &status); err != nil {
+	if err := getJSON(base+"/status", &status); err != nil {
 		return fmt.Errorf("reading server status: %w", err)
 	}
 	fmt.Printf("remote server: active=%s testset=%d generation=%d budget=%d/%d\n\n",
@@ -173,7 +178,7 @@ func runRemote(base string, commits, classes int, seed int64) error {
 			return err
 		}
 		var accepted server.JobAcceptedResponse
-		err = postJSON(base+"/api/v1/commit/async", server.AsyncCommitRequest{
+		err = postJSON(base+"/commit/async", server.AsyncCommitRequest{
 			CommitRequest: server.CommitRequest{
 				Model:       fmt.Sprintf("remote-%d", k),
 				Author:      "easeml-ci",
@@ -184,7 +189,8 @@ func runRemote(base string, commits, classes int, seed int64) error {
 		if err != nil {
 			return fmt.Errorf("submitting commit %d: %w", k, err)
 		}
-		st, err := pollJob(base+accepted.Poll, 30*time.Second)
+		// Poll is an alias path; rebase it under the project scope.
+		st, err := pollJob(base+strings.TrimPrefix(accepted.Poll, "/api/v1"), 30*time.Second)
 		if err != nil {
 			return fmt.Errorf("polling job %s: %w", accepted.JobID, err)
 		}

@@ -1,9 +1,11 @@
 package main
 
 import (
+	"encoding/json"
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -90,16 +92,16 @@ func TestRunRemoteAgainstLiveServer(t *testing.T) {
 	ts := httptest.NewServer(srv)
 	defer ts.Close()
 
-	if err := runRemote(ts.URL, 3, classes, 7); err != nil {
+	if err := runRemote(ts.URL, "", 3, classes, 7); err != nil {
 		t.Fatal(err)
 	}
 	if got := eng.Repository().Len(); got != 3 {
 		t.Errorf("server saw %d commits, want 3", got)
 	}
-	if err := runRemote(ts.URL, 0, classes, 7); err == nil {
+	if err := runRemote(ts.URL, "", 0, classes, 7); err == nil {
 		t.Error("zero commits should be rejected")
 	}
-	if err := runRemote("http://127.0.0.1:1/nope", 1, classes, 7); err == nil {
+	if err := runRemote("http://127.0.0.1:1/nope", "", 1, classes, 7); err == nil {
 		t.Error("unreachable server should fail")
 	}
 }
@@ -146,4 +148,73 @@ func TestPollJobRidesOutTransientFailures(t *testing.T) {
 	} else if time.Since(start) < 250*time.Millisecond {
 		t.Errorf("poll gave up after %s without exhausting the deadline", time.Since(start))
 	}
+}
+
+// TestRunRemoteScopedProject drives the -project flag: the CLI registers
+// nothing itself, but against a multi-project server its traffic lands on
+// the named tenant — and only there.
+func TestRunRemoteScopedProject(t *testing.T) {
+	const size, classes = 700, 4
+	labels := make([]int, size)
+	for i := range labels {
+		labels[i] = i % classes
+	}
+	h0, err := model.SimulatedPredictions(labels, classes, 0.5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := server.Genesis{
+		Condition:   "n > 0.6 +/- 0.1",
+		Reliability: 0.99,
+		Mode:        ci.FPFree,
+		Adaptivity:  script.Adaptivity{Kind: script.AdaptivityFull},
+		Steps:       4,
+		Labels:      labels, Classes: classes,
+		ModelName: "h0", ModelPredictions: h0,
+	}
+	m, err := server.NewMulti(g, server.MultiOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	ts := httptest.NewServer(m)
+	defer ts.Close()
+
+	body := fmt.Sprintf(`{"id":"team-a","condition":"n > 0.6 +/- 0.1","reliability":0.99,"steps":4,"labels":%s,"classes":%d,"model_predictions":%s}`,
+		intsJSON(labels), classes, intsJSON(h0))
+	resp, err := http.Post(ts.URL+"/api/v1/projects", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("create project = %d", resp.StatusCode)
+	}
+
+	if err := runRemote(ts.URL, "team-a", 2, classes, 7); err != nil {
+		t.Fatal(err)
+	}
+	var scoped, def []server.CommitResponse
+	for path, out := range map[string]*[]server.CommitResponse{
+		"/api/v1/projects/team-a/history": &scoped,
+		"/api/v1/history":                 &def,
+	} {
+		if err := getJSON(ts.URL+path, out); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(scoped) != 2 {
+		t.Errorf("scoped project saw %d commits, want 2", len(scoped))
+	}
+	if len(def) != 0 {
+		t.Errorf("default project saw %d commits, want 0", len(def))
+	}
+	if err := runRemote(ts.URL, "ghost", 1, classes, 7); err == nil {
+		t.Error("unknown project should fail")
+	}
+}
+
+func intsJSON(v []int) string {
+	b, _ := json.Marshal(v)
+	return string(b)
 }

@@ -28,6 +28,7 @@ import (
 	"io"
 	"net/http"
 	"os"
+	"strings"
 
 	ci "github.com/easeml/ci"
 	"github.com/easeml/ci/internal/core"
@@ -50,6 +51,7 @@ func main() {
 		cacheStats  = flag.Bool("cache-stats", false, "print plan-cache hit/miss counters after the report")
 		batchPath   = flag.String("batch", "", "path to a JSON array of plan queries (\"-\" for stdin); results go to stdout as JSON")
 		serverURL   = flag.String("server", "", "base URL of a running CI server to answer -batch queries (e.g. http://localhost:8080)")
+		project     = flag.String("project", "", "remote project ID (with -server); empty asks the server's default project")
 	)
 	flag.Parse()
 
@@ -64,7 +66,7 @@ func main() {
 				os.Exit(1)
 			}
 		}
-		if err := runBatch(*batchPath, *serverURL, *condition, *reliability, *steps, *adaptFlag, *modeFlag, *email, *disagree, os.Stdout); err != nil {
+		if err := runBatch(*batchPath, *serverURL, *project, *condition, *reliability, *steps, *adaptFlag, *modeFlag, *email, *disagree, os.Stdout); err != nil {
 			fmt.Fprintln(os.Stderr, "samplesize:", err)
 			os.Exit(1)
 		}
@@ -163,7 +165,7 @@ func applyScriptDefaults(scriptPath string, condition *string, reliability *floa
 // the worker pool, every plan flowing through the shared plan cache) or by
 // handing the whole batch to a running CI server. Output is the server
 // wire format either way, so dashboards can consume both transparently.
-func runBatch(path, serverURL, condition string, reliability float64, steps int, adaptFlag, modeFlag, email string, disagree float64, out io.Writer) error {
+func runBatch(path, serverURL, project, condition string, reliability float64, steps int, adaptFlag, modeFlag, email string, disagree float64, out io.Writer) error {
 	var src io.Reader = os.Stdin
 	if path != "-" {
 		f, err := os.Open(path)
@@ -185,7 +187,7 @@ func runBatch(path, serverURL, condition string, reliability float64, steps int,
 		return fmt.Errorf("%s holds no queries", path)
 	}
 	if serverURL != "" {
-		return runBatchRemote(serverURL, queries, out)
+		return runBatchRemote(serverURL, project, queries, out)
 	}
 	opts := ci.DefaultPlannerOptions()
 	opts.AssumedDisagreement = disagree
@@ -227,13 +229,18 @@ func runBatch(path, serverURL, condition string, reliability float64, steps int,
 }
 
 // runBatchRemote forwards the batch to a CI server's plan/batch endpoint
-// and streams its answer through.
-func runBatchRemote(serverURL string, queries []server.PlanQuery, out io.Writer) error {
+// — the named project's scoped one, or the default aliases — and streams
+// its answer through.
+func runBatchRemote(serverURL, project string, queries []server.PlanQuery, out io.Writer) error {
 	var body bytes.Buffer
 	if err := json.NewEncoder(&body).Encode(server.BatchPlanRequest{Queries: queries}); err != nil {
 		return err
 	}
-	resp, err := http.Post(serverURL+"/api/v1/plan/batch", "application/json", &body)
+	base := strings.TrimRight(serverURL, "/") + "/api/v1"
+	if project != "" {
+		base += "/projects/" + project
+	}
+	resp, err := http.Post(base+"/plan/batch", "application/json", &body)
 	if err != nil {
 		return err
 	}

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"io"
+	"net/http"
 	"net/http/httptest"
 	"os"
 	"path/filepath"
@@ -97,7 +98,7 @@ func TestRunBatchLocal(t *testing.T) {
 		{}
 	]`)
 	var out bytes.Buffer
-	if err := runBatch(path, "", "d < 0.1 +/- 0.05", 0.99, 4, "full", "fp-free", "a@b.c", 0.1, &out); err != nil {
+	if err := runBatch(path, "", "", "d < 0.1 +/- 0.05", 0.99, 4, "full", "fp-free", "a@b.c", 0.1, &out); err != nil {
 		t.Fatal(err)
 	}
 	var resp server.BatchPlanResponse
@@ -152,7 +153,7 @@ func TestRunBatchRemote(t *testing.T) {
 
 	path := writeQueriesFile(t, `[{}, {"steps": 5}]`)
 	var out bytes.Buffer
-	if err := runBatch(path, ts.URL, "", 0.9999, 32, "full", "fp-free", "", 0.1, &out); err != nil {
+	if err := runBatch(path, ts.URL, "", "", 0.9999, 32, "full", "fp-free", "", 0.1, &out); err != nil {
 		t.Fatal(err)
 	}
 	var resp server.BatchPlanResponse
@@ -173,19 +174,19 @@ func TestRunBatchRemote(t *testing.T) {
 }
 
 func TestRunBatchErrors(t *testing.T) {
-	if err := runBatch(filepath.Join(t.TempDir(), "missing.json"), "", "", 0.99, 4, "full", "fp-free", "", 0.1, io.Discard); err == nil {
+	if err := runBatch(filepath.Join(t.TempDir(), "missing.json"), "", "", "", 0.99, 4, "full", "fp-free", "", 0.1, io.Discard); err == nil {
 		t.Error("missing file should fail")
 	}
-	if err := runBatch(writeQueriesFile(t, "[]"), "", "", 0.99, 4, "full", "fp-free", "", 0.1, io.Discard); err == nil {
+	if err := runBatch(writeQueriesFile(t, "[]"), "", "", "", 0.99, 4, "full", "fp-free", "", 0.1, io.Discard); err == nil {
 		t.Error("empty query list should fail")
 	}
-	if err := runBatch(writeQueriesFile(t, "{nope"), "", "", 0.99, 4, "full", "fp-free", "", 0.1, io.Discard); err == nil {
+	if err := runBatch(writeQueriesFile(t, "{nope"), "", "", "", 0.99, 4, "full", "fp-free", "", 0.1, io.Discard); err == nil {
 		t.Error("malformed JSON should fail")
 	}
-	if err := runBatch(writeQueriesFile(t, `[{"relibility": 0.9999}]`), "", "n > 0.5 +/- 0.1", 0.99, 4, "full", "fp-free", "", 0.1, io.Discard); err == nil {
+	if err := runBatch(writeQueriesFile(t, `[{"relibility": 0.9999}]`), "", "", "n > 0.5 +/- 0.1", 0.99, 4, "full", "fp-free", "", 0.1, io.Discard); err == nil {
 		t.Error("typo'd field should fail instead of planning with the default")
 	}
-	if err := runBatch(writeQueriesFile(t, "[{}]"), "http://127.0.0.1:1", "", 0.99, 4, "full", "fp-free", "", 0.1, io.Discard); err == nil {
+	if err := runBatch(writeQueriesFile(t, "[{}]"), "http://127.0.0.1:1", "", "", 0.99, 4, "full", "fp-free", "", 0.1, io.Discard); err == nil {
 		t.Error("unreachable server should fail")
 	}
 }
@@ -217,5 +218,65 @@ func TestApplyScriptDefaults(t *testing.T) {
 	}
 	if err := applyScriptDefaults("/nonexistent.yml", &cond, &rel, &steps, &adapt, &mode, &email); err == nil {
 		t.Error("missing script should fail")
+	}
+}
+
+// TestRunBatchRemoteScopedProject: -project routes the batch to that
+// tenant's plan endpoint, whose config (not the default project's)
+// resolves parameterless queries.
+func TestRunBatchRemoteScopedProject(t *testing.T) {
+	labels := make([]int, 700)
+	for i := range labels {
+		labels[i] = i % 4
+	}
+	g := server.Genesis{
+		Condition:   "n > 0.6 +/- 0.1",
+		Reliability: 0.99,
+		Mode:        ci.FPFree,
+		Adaptivity:  ci.Adaptivity{Kind: ci.AdaptivityFull},
+		Steps:       3,
+		Labels:      labels, Classes: 4,
+		ModelName: "h0", ModelPredictions: labels,
+	}
+	m, err := server.NewMulti(g, server.MultiOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	ts := httptest.NewServer(m)
+	defer ts.Close()
+	body, _ := json.Marshal(server.CreateProjectRequest{
+		ID: "team-a",
+		ProjectSpec: server.ProjectSpec{
+			Condition: "n > 0.7 +/- 0.12", Reliability: 0.99, Steps: 5,
+			Labels: labels, Classes: 4, ModelPredictions: labels,
+		},
+	})
+	resp, err := http.Post(ts.URL+"/api/v1/projects", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("create project = %d", resp.StatusCode)
+	}
+
+	path := writeQueriesFile(t, `[{}]`)
+	var out bytes.Buffer
+	if err := runBatch(path, ts.URL, "team-a", "", 0.9999, 32, "full", "fp-free", "", 0.1, &out); err != nil {
+		t.Fatal(err)
+	}
+	var br server.BatchPlanResponse
+	if err := json.Unmarshal(out.Bytes(), &br); err != nil {
+		t.Fatalf("bad JSON output: %v: %s", err, out.String())
+	}
+	if len(br.Results) != 1 || br.Results[0].Plan == nil {
+		t.Fatalf("results = %+v", br.Results)
+	}
+	if p := br.Results[0].Plan; p.Steps != 5 || p.Condition != "n > 0.7 +/- 0.12" {
+		t.Errorf("plan resolved against the wrong project's config: %+v", p)
+	}
+	if err := runBatch(path, ts.URL, "ghost", "", 0.9999, 32, "full", "fp-free", "", 0.1, io.Discard); err == nil {
+		t.Error("unknown project should fail")
 	}
 }

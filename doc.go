@@ -115,4 +115,39 @@
 // with 503 rather than acknowledge writes it cannot persist. See
 // examples/rest_api for a simulated power cut mid-job and the restart
 // that makes it invisible to the polling client.
+//
+// # Multi-tenancy
+//
+// The served process is a multi-project control plane: projects are a
+// first-class resource, each an isolated tenant with its own ci script,
+// testset lineage, engine, commit queue, and — in durable mode — its own
+// write-ahead log under -data-dir/<project-id>/. POST /api/v1/projects
+// registers one at runtime (script, labels, baseline predictions, and
+// optional quotas in the body); the full single-tenant API then hangs
+// under /api/v1/projects/{id}/..., and every pre-projects path keeps
+// working as a byte-for-byte alias for the implicit "default" project
+// defined by the server's flags. The project registry is itself journaled
+// to a control-plane log (internal/registry, under -data-dir/_control),
+// replayed strictly on restart: registered projects reopen from their own
+// logs, suspended ones come back suspended, and a directory stranded by a
+// crash mid-delete is swept.
+//
+// Isolation is per-tenant state; the expensive read paths are shared.
+// All projects plan through one process-wide sharded plan cache and one
+// exact-bound memo, so tenants running the same script warm each other.
+// Evaluation capacity is shared too: one worker pool drains every
+// project's commit queue under smooth weighted round-robin (per-project
+// weight, bounded in-flight), so a tenant flooding its queue cannot
+// starve another's commits — it only spends its own share of the
+// scheduler. Per-tenant quotas bound the blast radius in the other
+// direction: a queue-depth cap answers 503 past the backlog bound, and a
+// cumulative label budget answers 429 once spent (deterministically, so
+// durable replay reproduces the refusals). GET /api/v1/metrics reports
+// the shared caches once plus scheduler and per-project counters;
+// /api/v1/projects/{id}/metrics is the single-tenant view, and the admin
+// endpoints (reset-caches, compact) take an optional ?project= scope.
+// Shutdown closes in dependency order — intake stops everywhere, the pool
+// drains every accepted job, then tenants and finally the control log
+// close — so a commit racing shutdown is either fully journaled or never
+// acknowledged. See examples/rest_api for a two-tenant walkthrough.
 package ci

@@ -12,6 +12,14 @@
 // it, and delivers the webhook — the client polls the same job URL
 // throughout and never learns the server died.
 //
+// The final act is multi-tenancy: the same process hosts two more teams
+// as registered projects, each with its own script, testset, and commit
+// queue, scheduled onto one shared worker pool. Two tenants running the
+// same condition warm each other through the shared plan cache, a
+// label-budgeted tenant is cut off with 429 when its quota runs dry, and
+// the old single-tenant paths keep answering for the default project
+// throughout.
+//
 // Run with: go run ./examples/rest_api
 package main
 
@@ -273,6 +281,88 @@ func main() {
 	case <-time.After(5 * time.Second):
 		log.Fatal("post-restart webhook never arrived")
 	}
+
+	// --- final act: one control plane, many teams ------------------------
+	// NewMulti hosts the flag-defined genesis as the "default" project and
+	// lets further teams register over the API, each an isolated tenant on
+	// a shared worker pool and a shared plan cache.
+	multi, err := server.NewMulti(genesis, server.MultiOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer multi.Close()
+	mLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	go func() { _ = http.Serve(mLn, multi) }()
+	mBase := "http://" + mLn.Addr().String()
+	waitReady(mBase)
+	fmt.Println("\nmulti-tenant control plane on", mBase)
+
+	// Two teams register. They run the same condition, so the second
+	// project's planning is a hit on the cache the first one warmed; team-b
+	// additionally carries a label budget.
+	spec := server.ProjectSpec{
+		Condition:   dcfg.ConditionSrc,
+		Reliability: dcfg.Reliability,
+		Steps:       dcfg.Steps,
+		Labels:      dlabels, Classes: classes,
+		ModelName: "deployed-h0", ModelPredictions: dh0,
+	}
+	for _, id := range []string{"team-a", "team-b"} {
+		sp := spec
+		if id == "team-b" {
+			sp.LabelQuota = 1 // any evaluated commit exhausts this
+		}
+		var info server.ProjectInfo
+		postStatus(mBase+"/api/v1/projects", server.CreateProjectRequest{ID: id, ProjectSpec: sp},
+			&info, http.StatusCreated)
+		fmt.Printf("registered project %s (state %s, weight %d)\n", info.ID, info.State, info.Weight)
+	}
+
+	// Each team commits to its own scoped API; the default project's alias
+	// paths keep working untouched.
+	var teamRes server.CommitResponse
+	post(mBase+"/api/v1/projects/team-a/commit", server.CommitRequest{
+		Model: "team-a-v1", Author: "dev", Predictions: dPreds,
+	}, &teamRes)
+	fmt.Printf("team-a commit: signal=%v truth=%s\n", teamRes.Signal, teamRes.Truth)
+	post(mBase+"/api/v1/commit", server.CommitRequest{
+		Model: "default-v1", Author: "dev", Predictions: dPreds,
+	}, &teamRes)
+	fmt.Printf("default commit (alias path): signal=%v truth=%s\n", teamRes.Signal, teamRes.Truth)
+
+	// team-b spends its one-label budget on the first commit; the second
+	// is refused with 429 while every other tenant keeps working.
+	post(mBase+"/api/v1/projects/team-b/commit", server.CommitRequest{
+		Model: "team-b-v1", Author: "dev", Predictions: dPreds,
+	}, &teamRes)
+	resp, err := http.Post(mBase+"/api/v1/projects/team-b/commit", "application/json",
+		bytes.NewReader(mustJSON(server.CommitRequest{Model: "team-b-v2", Author: "dev", Predictions: dPreds})))
+	if err != nil {
+		log.Fatal(err)
+	}
+	resp.Body.Close()
+	fmt.Printf("team-b second commit: HTTP %d (label quota spent)\n", resp.StatusCode)
+
+	// The control-plane metrics report the shared caches once, the
+	// scheduler, and every tenant.
+	var metrics server.MultiMetricsResponse
+	get(mBase+"/api/v1/metrics", &metrics)
+	fmt.Printf("plan cache shared by all tenants: %d hits / %d misses\n",
+		metrics.PlanCache.PlanHits, metrics.PlanCache.PlanMisses)
+	for _, p := range metrics.Projects {
+		fmt.Printf("  project %-8s state=%-9s commits_evaluated=%d\n", p.ID, p.State, p.CommitsEvaluated)
+	}
+}
+
+func mustJSON(v any) []byte {
+	raw, err := json.Marshal(v)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return raw
 }
 
 // postStatus is post, but for endpoints whose success code isn't 200.

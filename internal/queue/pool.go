@@ -1,0 +1,304 @@
+package queue
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Source is one schedulable job source — in the CI server, a project's
+// commit queue. RunNext executes the source's oldest pending job on the
+// calling goroutine and reports whether a job actually ran (false when
+// the backlog turned out to be empty, e.g. the job was canceled between
+// scheduling and execution).
+type Source interface {
+	RunNext() bool
+}
+
+// PoolOptions configures a Pool.
+type PoolOptions struct {
+	// Workers is the size of the shared worker pool draining all
+	// registered sources. 0 means DefaultPoolWorkers; ignored with Manual.
+	Workers int
+	// Manual disables background workers; jobs execute only when the
+	// caller invokes RunOne. This is the deterministic fairness-test
+	// harness: the test chooses exactly when each scheduling decision
+	// happens and can observe every pick.
+	Manual bool
+}
+
+// DefaultPoolWorkers is the worker count of a zero-valued PoolOptions.
+// Each source serializes its own execution anyway (the CI server caps a
+// project at one in-flight job, and commits serialize on the engine
+// lock), so workers bound how many *tenants* evaluate concurrently, not
+// how many jobs one tenant can run.
+const DefaultPoolWorkers = 4
+
+// Pool is a shared worker pool multiplexed across many Sources with
+// smooth weighted round-robin scheduling: each eligible source (pending
+// work, in-flight below its cap) accumulates credit proportional to its
+// weight and the highest credit is picked, so over any window the picks
+// of backlogged sources converge to their weight shares. One source
+// flooding its queue therefore cannot starve the others — it only ever
+// gets its weighted share of the workers.
+//
+// The pool does not watch queues; producers call Kick after every
+// accepted submission (and Unkick after a cancellation) so the pending
+// counts the scheduler sees are exactly the accepted-job counts.
+type Pool struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	sources map[string]*poolSource
+	order   []string // registration order: the WRR tie-break
+	pending int      // total pending across sources
+	closed  bool
+	manual  bool
+	workers int
+	wg      sync.WaitGroup
+}
+
+type poolSource struct {
+	id          string
+	src         Source
+	weight      int
+	maxInflight int
+	pending     int
+	inflight    int
+	credit      int
+	picks       uint64
+	removed     bool
+}
+
+// PoolStats is a point-in-time snapshot of the scheduler.
+type PoolStats struct {
+	Workers int               `json:"workers"`
+	Sources []PoolSourceStats `json:"sources"`
+}
+
+// PoolSourceStats reports one source's scheduling state; Picks counts
+// how many times the scheduler selected it since registration.
+type PoolSourceStats struct {
+	ID          string `json:"id"`
+	Weight      int    `json:"weight"`
+	MaxInflight int    `json:"max_inflight"`
+	Pending     int    `json:"pending"`
+	Inflight    int    `json:"inflight"`
+	Picks       uint64 `json:"picks"`
+}
+
+// NewPool builds a pool and starts its workers (unless opts.Manual).
+func NewPool(opts PoolOptions) *Pool {
+	p := &Pool{
+		sources: make(map[string]*poolSource),
+		manual:  opts.Manual,
+		workers: opts.Workers,
+	}
+	p.cond = sync.NewCond(&p.mu)
+	if p.manual {
+		p.workers = 0
+		return p
+	}
+	if p.workers <= 0 {
+		p.workers = DefaultPoolWorkers
+	}
+	p.wg.Add(p.workers)
+	for i := 0; i < p.workers; i++ {
+		go p.worker()
+	}
+	return p
+}
+
+// Register adds a source under id with the given scheduling weight and
+// in-flight cap (values below 1 mean 1). Duplicate IDs are an error; a
+// closed pool still accepts registrations (the source just never runs).
+func (p *Pool) Register(id string, src Source, weight, maxInflight int) error {
+	if src == nil {
+		return fmt.Errorf("queue: pool source %q is nil", id)
+	}
+	if weight < 1 {
+		weight = 1
+	}
+	if maxInflight < 1 {
+		maxInflight = 1
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if _, dup := p.sources[id]; dup {
+		return fmt.Errorf("queue: pool source %q already registered", id)
+	}
+	p.sources[id] = &poolSource{id: id, src: src, weight: weight, maxInflight: maxInflight}
+	p.order = append(p.order, id)
+	return nil
+}
+
+// Unregister removes a source and blocks until its in-flight jobs have
+// finished, so the caller may tear the source down (close its WAL, free
+// its engine) the moment Unregister returns. Pending work that was never
+// scheduled is forgotten by the pool — the source's own queue still
+// holds it, and draining or abandoning it is the caller's decision.
+// Unknown IDs are a no-op.
+func (p *Pool) Unregister(id string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	s, ok := p.sources[id]
+	if !ok {
+		return
+	}
+	delete(p.sources, id)
+	for i, oid := range p.order {
+		if oid == id {
+			p.order = append(p.order[:i], p.order[i+1:]...)
+			break
+		}
+	}
+	p.pending -= s.pending
+	s.pending = 0
+	s.removed = true
+	for s.inflight > 0 {
+		p.cond.Wait()
+	}
+}
+
+// Kick tells the scheduler one job was accepted into id's queue.
+// Unknown IDs are ignored (the source raced an unregister).
+func (p *Pool) Kick(id string) {
+	p.mu.Lock()
+	if s, ok := p.sources[id]; ok {
+		s.pending++
+		p.pending++
+		p.cond.Broadcast()
+	}
+	p.mu.Unlock()
+}
+
+// Unkick tells the scheduler one of id's pending jobs was removed
+// without running (canceled). Best-effort: an unmatched Unkick is
+// clamped, and a stale pending count only costs the scheduler a
+// no-op RunNext.
+func (p *Pool) Unkick(id string) {
+	p.mu.Lock()
+	if s, ok := p.sources[id]; ok && s.pending > 0 {
+		s.pending--
+		p.pending--
+	}
+	p.mu.Unlock()
+}
+
+// Stats snapshots the scheduler state, sources in registration order.
+func (p *Pool) Stats() PoolStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	st := PoolStats{Workers: p.workers}
+	for _, id := range p.order {
+		s := p.sources[id]
+		st.Sources = append(st.Sources, PoolSourceStats{
+			ID: s.id, Weight: s.weight, MaxInflight: s.maxInflight,
+			Pending: s.pending, Inflight: s.inflight, Picks: s.picks,
+		})
+	}
+	return st
+}
+
+// RunOne makes one scheduling decision and executes the picked job on
+// the calling goroutine, returning false when nothing is schedulable.
+// It is the manual harness's drive wheel, the pool counterpart of a
+// queue's RunNext.
+func (p *Pool) RunOne() bool {
+	s := p.pick(false)
+	if s == nil {
+		return false
+	}
+	p.execute(s)
+	return true
+}
+
+// Close stops the pool: no new scheduling decisions are made once the
+// remaining pending work has drained, and Close blocks until every
+// worker has exited. Callers stop intake on all sources first (the
+// queues' CloseIntake), so "pending" is a closed set by the time Close
+// drains it. In manual mode Close drains the backlog itself. Idempotent.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	alreadyClosed := p.closed
+	p.closed = true
+	p.cond.Broadcast()
+	p.mu.Unlock()
+	if !alreadyClosed && p.manual {
+		for p.RunOne() {
+		}
+	}
+	p.wg.Wait()
+}
+
+// worker drains scheduling decisions until the pool is closed and all
+// pending work is done.
+func (p *Pool) worker() {
+	defer p.wg.Done()
+	for {
+		s := p.pick(true)
+		if s == nil {
+			return
+		}
+		p.execute(s)
+	}
+}
+
+// pick makes one scheduling decision: the eligible source with the
+// highest smooth-WRR credit. With block set it waits for schedulable
+// work, returning nil only once the pool is closed and drained; without,
+// it returns nil immediately when nothing is schedulable.
+func (p *Pool) pick(block bool) *poolSource {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for {
+		if s := p.chooseLocked(); s != nil {
+			s.pending--
+			p.pending--
+			s.inflight++
+			s.picks++
+			return s
+		}
+		if p.closed && p.pending == 0 {
+			return nil
+		}
+		if !block {
+			return nil
+		}
+		p.cond.Wait()
+	}
+}
+
+// chooseLocked is smooth weighted round-robin over the eligible set:
+// every eligible source gains credit equal to its weight, the richest
+// source is picked (registration order breaks ties) and pays the round's
+// total weight back. For sources that stay backlogged this interleaves
+// picks in exact weight proportion — a 1:1:4 weighting yields a
+// ...ACBCCC... cadence rather than bursts — which is what bounds every
+// tenant's queue-wait at its weight share.
+func (p *Pool) chooseLocked() *poolSource {
+	total := 0
+	var best *poolSource
+	for _, id := range p.order {
+		s := p.sources[id]
+		if s.pending == 0 || s.inflight >= s.maxInflight {
+			continue
+		}
+		total += s.weight
+		s.credit += s.weight
+		if best == nil || s.credit > best.credit {
+			best = s
+		}
+	}
+	if best != nil {
+		best.credit -= total
+	}
+	return best
+}
+
+// execute runs one picked job and releases the source's in-flight slot.
+func (p *Pool) execute(s *poolSource) {
+	s.src.RunNext()
+	p.mu.Lock()
+	s.inflight--
+	p.cond.Broadcast()
+	p.mu.Unlock()
+}

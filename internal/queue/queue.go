@@ -506,11 +506,35 @@ func (q *Queue[Req, Res]) Stats() Stats {
 	return s
 }
 
+// CloseIntake rejects new submissions (ErrClosed) without draining or
+// waiting: the backlog and any running jobs are untouched. It is the
+// first phase of a multi-queue shutdown — the control plane stops intake
+// on every project queue before any of them drains, so a commit accepted
+// on one queue can never observe another queue already torn down. A
+// later Close (or an external scheduler draining the backlog) finishes
+// the shutdown. Idempotent.
+func (q *Queue[Req, Res]) CloseIntake() {
+	q.mu.Lock()
+	q.closed = true
+	q.cond.Broadcast()
+	q.mu.Unlock()
+}
+
+// Pending reports the current backlog depth (queued, not running).
+func (q *Queue[Req, Res]) Pending() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.pending)
+}
+
 // Close shuts the queue down gracefully: new submits are rejected with
 // ErrClosed, every already-accepted job still executes, and Close blocks
 // until the backlog has drained and all workers have exited. In manual
 // mode Close drains the backlog itself, so the postcondition is the same:
-// every accepted job has reached a terminal state. Idempotent.
+// every accepted job has reached a terminal state. Idempotent — except
+// that a manual-mode queue whose intake was closed via CloseIntake is
+// assumed to have been drained by its scheduler (Close skips the drain
+// then, exactly as a second Close would).
 func (q *Queue[Req, Res]) Close() {
 	q.mu.Lock()
 	alreadyClosed := q.closed

@@ -93,7 +93,13 @@ func TestFIFOOrder(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
+	if got := q.Pending(); got != 5 {
+		t.Fatalf("Pending() = %d before drain, want 5", got)
+	}
 	for q.RunNext() {
+	}
+	if got := q.Pending(); got != 0 {
+		t.Fatalf("Pending() = %d after drain, want 0", got)
 	}
 	for i, x := range ran {
 		if x != i {

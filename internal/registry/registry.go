@@ -1,0 +1,343 @@
+// Package registry is the control plane's project table: the set of
+// tenants a multi-project CI server hosts, their lifecycle state
+// (active or suspended), and an opaque per-project spec the serving
+// layer interprets (genesis, scheduling weight, quotas). Every mutation
+// is appended to a control-plane write-ahead log before it is applied,
+// so a restart recovers the full project set by replay — the same
+// record-then-apply discipline the per-project engine WALs use, one
+// level up.
+//
+// The registry deliberately does not know what a project *is*: specs
+// are raw JSON owned by the caller. That keeps the dependency direction
+// clean (the server imports the registry, never the reverse) and makes
+// the control-plane log a pure lifecycle journal:
+//
+//	project.create  {id, spec}
+//	project.suspend {id}
+//	project.resume  {id}
+//	project.delete  {id}
+//
+// Compaction snapshots the live table (id, state, spec, in creation
+// order), exactly like the engine WAL snapshots engine state.
+package registry
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"regexp"
+	"sync"
+
+	"github.com/easeml/ci/internal/wal"
+)
+
+// State is a project's lifecycle state.
+type State string
+
+const (
+	// Active projects accept commits.
+	Active State = "active"
+	// Suspended projects keep their state and answer reads, but the
+	// serving layer rejects new work for them.
+	Suspended State = "suspended"
+)
+
+var (
+	// ErrExists rejects a create for an ID already registered.
+	ErrExists = errors.New("registry: project already exists")
+	// ErrNotFound reports an unknown project ID.
+	ErrNotFound = errors.New("registry: no such project")
+)
+
+// idPattern is the project-ID alphabet: lowercase DNS-label-ish, safe to
+// use as a directory name under the data dir. A leading letter or digit
+// keeps "_control" (the registry's own directory) and dotfiles
+// unreachable by construction.
+var idPattern = regexp.MustCompile(`^[a-z0-9][a-z0-9-]{0,63}$`)
+
+// ValidID reports whether id is a legal project ID.
+func ValidID(id string) error {
+	if !idPattern.MatchString(id) {
+		return fmt.Errorf("registry: invalid project ID %q (want %s)", id, idPattern)
+	}
+	return nil
+}
+
+// Project is one registered tenant. Spec is the caller's payload,
+// stored verbatim.
+type Project struct {
+	ID    string          `json:"id"`
+	State State           `json:"state"`
+	Spec  json.RawMessage `json:"spec"`
+}
+
+// Options tunes a Registry.
+type Options struct {
+	// NoSync skips fsync on the control-plane log (tests and benchmarks).
+	NoSync bool
+}
+
+// Control-plane WAL record types.
+const (
+	recCreate  = "project.create"
+	recSuspend = "project.suspend"
+	recResume  = "project.resume"
+	recDelete  = "project.delete"
+)
+
+type recProject struct {
+	ID   string          `json:"id"`
+	Spec json.RawMessage `json:"spec,omitempty"`
+}
+
+// regSnapshot is the compaction payload: the live table in creation
+// order.
+type regSnapshot struct {
+	Projects []Project `json:"projects"`
+}
+
+// Registry is the project table. Safe for concurrent use. With a log it
+// is durable (append-then-apply on every mutation); without one it is a
+// plain in-memory table with identical semantics.
+type Registry struct {
+	mu    sync.Mutex
+	log   *wal.Log // nil in memory-only mode
+	table map[string]*Project
+	order []string
+}
+
+// Open opens (or creates) the registry's control-plane log in dir and
+// replays it into the project table. An empty dir builds a memory-only
+// registry (state dies with the process).
+func Open(dir string, opts Options) (*Registry, error) {
+	r := &Registry{table: make(map[string]*Project)}
+	if dir == "" {
+		return r, nil
+	}
+	log, snap, records, err := wal.Open(dir, wal.Options{NoSync: opts.NoSync})
+	if err != nil {
+		return nil, fmt.Errorf("registry: %w", err)
+	}
+	if snap != nil {
+		var rs regSnapshot
+		if err := json.Unmarshal(snap.Data, &rs); err != nil {
+			_ = log.Close()
+			return nil, fmt.Errorf("registry: snapshot: %w", err)
+		}
+		for i := range rs.Projects {
+			p := rs.Projects[i]
+			r.table[p.ID] = &p
+			r.order = append(r.order, p.ID)
+		}
+	}
+	for _, rec := range records {
+		if err := r.applyRecord(rec); err != nil {
+			_ = log.Close()
+			return nil, err
+		}
+	}
+	r.log = log
+	return r, nil
+}
+
+// applyRecord replays one lifecycle record during Open. Replay is strict:
+// a record that does not apply cleanly means the log and table have
+// diverged, and recovery fails loudly rather than serving a project set
+// the log does not vouch for.
+func (r *Registry) applyRecord(rec wal.Record) error {
+	var d recProject
+	if err := json.Unmarshal(rec.Data, &d); err != nil {
+		return fmt.Errorf("registry: record %d (%s): %w", rec.Seq, rec.Type, err)
+	}
+	switch rec.Type {
+	case recCreate:
+		if _, dup := r.table[d.ID]; dup {
+			return fmt.Errorf("registry: record %d: duplicate create for %q", rec.Seq, d.ID)
+		}
+		r.table[d.ID] = &Project{ID: d.ID, State: Active, Spec: d.Spec}
+		r.order = append(r.order, d.ID)
+	case recSuspend, recResume:
+		p, ok := r.table[d.ID]
+		if !ok {
+			return fmt.Errorf("registry: record %d: %s for unknown project %q", rec.Seq, rec.Type, d.ID)
+		}
+		if rec.Type == recSuspend {
+			p.State = Suspended
+		} else {
+			p.State = Active
+		}
+	case recDelete:
+		if _, ok := r.table[d.ID]; !ok {
+			return fmt.Errorf("registry: record %d: delete for unknown project %q", rec.Seq, d.ID)
+		}
+		delete(r.table, d.ID)
+		for i, id := range r.order {
+			if id == d.ID {
+				r.order = append(r.order[:i], r.order[i+1:]...)
+				break
+			}
+		}
+	default:
+		return fmt.Errorf("registry: record %d: unknown type %q", rec.Seq, rec.Type)
+	}
+	return nil
+}
+
+// append writes one record durably (record-then-apply: callers mutate
+// the table only after append returns nil). Memory-only registries
+// apply directly.
+func (r *Registry) append(typ string, d recProject) error {
+	if r.log == nil {
+		return nil
+	}
+	if _, err := r.log.Append(typ, d); err != nil {
+		return fmt.Errorf("registry: %w", err)
+	}
+	if err := r.log.Sync(); err != nil {
+		return fmt.Errorf("registry: %w", err)
+	}
+	return nil
+}
+
+// Create registers a new project with the given opaque spec, initially
+// Active. The create record is durable before Create returns.
+func (r *Registry) Create(id string, spec json.RawMessage) error {
+	if err := ValidID(id); err != nil {
+		return err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.table[id]; dup {
+		return fmt.Errorf("%w: %q", ErrExists, id)
+	}
+	if err := r.append(recCreate, recProject{ID: id, Spec: spec}); err != nil {
+		return err
+	}
+	r.table[id] = &Project{ID: id, State: Active, Spec: spec}
+	r.order = append(r.order, id)
+	return nil
+}
+
+// Suspend marks a project suspended; idempotent on an already-suspended
+// project.
+func (r *Registry) Suspend(id string) error { return r.setState(id, Suspended, recSuspend) }
+
+// Resume marks a suspended project active again; idempotent.
+func (r *Registry) Resume(id string) error { return r.setState(id, Active, recResume) }
+
+func (r *Registry) setState(id string, want State, typ string) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	p, ok := r.table[id]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrNotFound, id)
+	}
+	if p.State == want {
+		return nil
+	}
+	if err := r.append(typ, recProject{ID: id}); err != nil {
+		return err
+	}
+	p.State = want
+	return nil
+}
+
+// Delete removes a project from the table. The delete record is durable
+// before Delete returns; removing the project's own data directory is
+// the caller's job (and is safe the moment Delete returns — a crash in
+// between leaves an orphan directory the serving layer sweeps at the
+// next start).
+func (r *Registry) Delete(id string) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.table[id]; !ok {
+		return fmt.Errorf("%w: %q", ErrNotFound, id)
+	}
+	if err := r.append(recDelete, recProject{ID: id}); err != nil {
+		return err
+	}
+	delete(r.table, id)
+	for i, oid := range r.order {
+		if oid == id {
+			r.order = append(r.order[:i], r.order[i+1:]...)
+			break
+		}
+	}
+	return nil
+}
+
+// Get returns a copy of one project.
+func (r *Registry) Get(id string) (Project, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	p, ok := r.table[id]
+	if !ok {
+		return Project{}, false
+	}
+	return *p, true
+}
+
+// List returns the projects in creation order.
+func (r *Registry) List() []Project {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Project, 0, len(r.order))
+	for _, id := range r.order {
+		out = append(out, *r.table[id])
+	}
+	return out
+}
+
+// Len reports how many projects are registered.
+func (r *Registry) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.table)
+}
+
+// Compact snapshots the table and truncates the control-plane log.
+// No-op for a memory-only registry.
+func (r *Registry) Compact() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.compactLocked()
+}
+
+func (r *Registry) compactLocked() error {
+	if r.log == nil {
+		return nil
+	}
+	snap := regSnapshot{Projects: make([]Project, 0, len(r.order))}
+	for _, id := range r.order {
+		snap.Projects = append(snap.Projects, *r.table[id])
+	}
+	if err := r.log.Compact(snap); err != nil {
+		return fmt.Errorf("registry: %w", err)
+	}
+	return nil
+}
+
+// Stats reports the control-plane log's counters; nil for a memory-only
+// registry.
+func (r *Registry) Stats() *wal.Stats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.log == nil {
+		return nil
+	}
+	st := r.log.Stats()
+	return &st
+}
+
+// Close compacts (best effort) and closes the control-plane log.
+func (r *Registry) Close() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.log == nil {
+		return nil
+	}
+	_ = r.compactLocked()
+	err := r.log.Close()
+	r.log = nil
+	return err
+}

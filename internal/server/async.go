@@ -63,6 +63,13 @@ type badRequestError struct{ msg string }
 
 func (e badRequestError) Error() string { return e.msg }
 
+// quotaError marks a commit rejected by the tenant's label budget
+// (HTTP 429). Its message is a pure function of engine state and the
+// configured quota, so durable replay reproduces it byte-for-byte.
+type quotaError struct{ msg string }
+
+func (e quotaError) Error() string { return e.msg }
+
 // commitErrorStatus maps a commit-job error to the status code the
 // synchronous endpoint has always used: 400 for malformed submissions,
 // 409 for an exhausted testset budget or a job canceled before it ran
@@ -70,9 +77,12 @@ func (e badRequestError) Error() string { return e.msg }
 // failures), 422 for evaluation failures.
 func commitErrorStatus(err error) int {
 	var br badRequestError
+	var qe quotaError
 	switch {
 	case errors.As(err, &br):
 		return http.StatusBadRequest
+	case errors.As(err, &qe):
+		return http.StatusTooManyRequests
 	case errors.Is(err, engine.ErrNeedNewTestset), errors.Is(err, queue.ErrCanceled):
 		return http.StatusConflict
 	case errors.Is(err, errWALPoisoned):
@@ -85,11 +95,16 @@ func commitErrorStatus(err error) int {
 // evalCommit runs one commit through an engine and shapes the response:
 // the single evaluation code path shared by live execution (under the
 // engine lock) and crash-recovery replay. Validation against the current
-// testset happens here (not at enqueue time) because a rotation may land
-// between submission and execution.
-func evalCommit(cfg *script.Config, eng *engine.Engine, req AsyncCommitRequest) (CommitResponse, error) {
+// testset — and the tenant's label-budget quota — happens here (not at
+// enqueue time) because a rotation or another commit may land between
+// submission and execution, and because replay must reproduce the exact
+// accept/reject decision the live run made.
+func evalCommit(cfg *script.Config, eng *engine.Engine, labelQuota int, req AsyncCommitRequest) (CommitResponse, error) {
 	if got, want := len(req.Predictions), eng.Testsets().Current().Len(); got != want {
 		return CommitResponse{}, badRequestError{fmt.Sprintf("predictions length %d != testset size %d", got, want)}
+	}
+	if spent := eng.LabelCost().Total(); labelQuota > 0 && spent >= labelQuota {
+		return CommitResponse{}, quotaError{fmt.Sprintf("label quota exhausted: %d labels spent of %d", spent, labelQuota)}
 	}
 	res, err := eng.Commit(model.NewFixedPredictions(req.Model, req.Predictions), req.Author, req.Message)
 	if err != nil {
@@ -111,7 +126,7 @@ func (s *Server) executeCommitJob(j *queue.Job[AsyncCommitRequest, CommitRespons
 		return CommitResponse{}, errWALPoisoned
 	}
 	start := time.Now()
-	resp, err := evalCommit(s.cfg, s.eng, j.Req)
+	resp, err := evalCommit(s.cfg, s.eng, s.labelQuota, j.Req)
 	if err == nil {
 		s.commitsEvaluated.Add(1)
 		s.commitEvalNs.Add(uint64(time.Since(start).Nanoseconds()))
@@ -186,6 +201,9 @@ func (s *Server) handleCommitAsync(w http.ResponseWriter, r *http.Request) {
 		// server-side conditions; the client should retry later.
 		writeError(w, http.StatusServiceUnavailable, err.Error())
 		return
+	}
+	if s.onEnqueue != nil {
+		s.onEnqueue()
 	}
 	writeJSON(w, http.StatusAccepted, JobAcceptedResponse{
 		JobID: job.ID,

@@ -258,7 +258,7 @@ func NewDurable(g Genesis, dataDir string, opts Options) (*Server, error) {
 			return nil, fmt.Errorf("server: stamping genesis: %w", err)
 		}
 	}
-	d, err := recoverDurable(cfg, g, snap, records)
+	d, err := recoverDurable(cfg, g, opts.LabelQuota, snap, records)
 	if err != nil {
 		_ = wlog.Close()
 		return nil, fmt.Errorf("server: recovery: %w", err)
@@ -351,7 +351,7 @@ func (e *jobEntry) status() JobStatusResponse {
 // response and the engine's journal cross-checked against the logged
 // audit records — recovery fails loudly on any divergence rather than
 // serving a history the log doesn't vouch for.
-func recoverDurable(cfg *script.Config, g Genesis, snap *wal.Snapshot, records []wal.Record) (*durableState, error) {
+func recoverDurable(cfg *script.Config, g Genesis, labelQuota int, snap *wal.Snapshot, records []wal.Record) (*durableState, error) {
 	d := &durableState{table: make(map[string]*jobEntry), fp: g.fingerprint()}
 	var eng *engine.Engine
 	if snap != nil {
@@ -431,7 +431,7 @@ func recoverDurable(cfg *script.Config, g Genesis, snap *wal.Snapshot, records [
 			}
 			v := &auditVerifier{pending: audit}
 			eng.SetJournal(v)
-			resp, err := evalCommit(cfg, eng, e.Req)
+			resp, err := evalCommit(cfg, eng, labelQuota, e.Req)
 			eng.SetJournal(nil)
 			audit = nil
 			if v.err != nil {

@@ -1,0 +1,831 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+
+	"github.com/easeml/ci/internal/bounds"
+	"github.com/easeml/ci/internal/interval"
+	"github.com/easeml/ci/internal/planner"
+	"github.com/easeml/ci/internal/queue"
+	"github.com/easeml/ci/internal/registry"
+	"github.com/easeml/ci/internal/script"
+	"github.com/easeml/ci/internal/wal"
+)
+
+// Multi is the multi-project control plane: a registry of tenants, each
+// an isolated Server (own engine, commit queue, and — in durable mode —
+// own write-ahead log under dataDir/<project-id>/), multiplexed onto one
+// shared worker pool with weighted round-robin scheduling and one shared
+// plan cache. The pre-projects single-tenant API keeps working: every
+// old path is an alias for the implicit "default" project, served by the
+// identical Server code byte-for-byte.
+//
+// Routing:
+//
+//	POST /api/v1/projects                 register a project (spec below)
+//	GET  /api/v1/projects                 list projects, creation order
+//	GET  /api/v1/projects/{id}            one project's info
+//	DELETE /api/v1/projects/{id}          unregister + delete its state
+//	POST /api/v1/projects/{id}/suspend    stop accepting new work
+//	POST /api/v1/projects/{id}/resume     accept work again
+//	*    /api/v1/projects/{id}/<rest>     the single-tenant API, scoped
+//	GET  /api/v1/metrics                  control-plane metrics: shared
+//	                                      caches once, scheduler, per-tenant
+//	POST /api/v1/admin/reset-caches       reset shared caches + counters
+//	                                      (?project= scopes to one tenant)
+//	POST /api/v1/admin/compact            compact all logs (?project=)
+//	*    /api/v1/<anything else>          alias for the default project
+type Multi struct {
+	dataDir string
+	base    Options
+	reg     *registry.Registry
+	pool    *queue.Pool
+
+	mu      sync.RWMutex // guards tenants
+	tenants map[string]*Server
+
+	// lifecycleMu serializes create/suspend/resume/delete/Close against
+	// each other without blocking request routing.
+	lifecycleMu sync.Mutex
+	closed      bool
+}
+
+// DefaultProject is the implicit tenant every pre-projects API path
+// aliases to. It is defined by the serving process's own flags (not a
+// registry record), cannot be suspended or deleted, and in durable mode
+// lives under dataDir/default/.
+const DefaultProject = "default"
+
+// controlDirName is the registry's directory under the data dir; the
+// project-ID alphabet cannot produce it.
+const controlDirName = "_control"
+
+// MultiOptions configures the control plane.
+type MultiOptions struct {
+	// DataDir is the root state directory: the registry's control log
+	// lives in DataDir/_control, each project's WAL in DataDir/<id>/.
+	// Empty runs everything in-memory.
+	DataDir string
+	// PoolWorkers sizes the shared worker pool (0 means
+	// queue.DefaultPoolWorkers) — how many tenants evaluate concurrently.
+	PoolWorkers int
+	// ManualPool disables the pool's workers; tests drive scheduling
+	// decisions one at a time via RunOne.
+	ManualPool bool
+	// DefaultWeight is the default project's scheduling weight (<1 means 1).
+	DefaultWeight int
+	// Tenant is the per-tenant Options template: clock, webhooks, retry
+	// policy, and WAL tuning apply to every project; QueueCapacity and
+	// LabelQuota apply to the default project (registered projects carry
+	// their own in their specs).
+	Tenant Options
+}
+
+// ProjectSpec is a registered project's description — the POST body of
+// /api/v1/projects (minus the ID) and the opaque payload the registry
+// stores. It is the wire twin of Genesis plus the tenant's scheduling
+// weight and quotas.
+type ProjectSpec struct {
+	Condition   string  `json:"condition"`
+	Reliability float64 `json:"reliability"`
+	Steps       int     `json:"steps"`
+	// Mode collapses Unknown evaluations: "fp-free" (default) or "fn-free".
+	Mode string `json:"mode,omitempty"`
+	// Adaptivity is "full" (default), "none", or "firstChange"; "none"
+	// requires Email, the address true results are routed to.
+	Adaptivity string `json:"adaptivity,omitempty"`
+	Email      string `json:"email,omitempty"`
+	// Labels and Classes define the first testset; ModelPredictions are
+	// the deployed baseline's predictions on it.
+	Labels           []int  `json:"labels"`
+	Classes          int    `json:"classes"`
+	ModelName        string `json:"model,omitempty"`
+	ModelPredictions []int  `json:"model_predictions"`
+	// Weight is the tenant's share of the scheduler (<1 means 1).
+	Weight int `json:"weight,omitempty"`
+	// QueueCapacity bounds the tenant's pending commit backlog (its
+	// queue-depth quota); 0 means the queue default.
+	QueueCapacity int `json:"queue_capacity,omitempty"`
+	// LabelQuota caps the tenant's cumulative label spend; commits past
+	// it answer 429. 0 means unlimited.
+	LabelQuota int `json:"label_quota,omitempty"`
+}
+
+// genesis validates the spec and shapes it into the Genesis a tenant
+// server boots from.
+func (sp ProjectSpec) genesis() (Genesis, error) {
+	var mode interval.Mode
+	switch sp.Mode {
+	case "", "fp-free":
+		mode = interval.FPFree
+	case "fn-free":
+		mode = interval.FNFree
+	default:
+		return Genesis{}, fmt.Errorf("bad mode %q (fp-free | fn-free)", sp.Mode)
+	}
+	var adapt script.Adaptivity
+	switch sp.Adaptivity {
+	case "", "full":
+		adapt = script.Adaptivity{Kind: script.AdaptivityFull}
+	case "none":
+		adapt = script.Adaptivity{Kind: script.AdaptivityNone, Email: sp.Email}
+	case "firstChange":
+		adapt = script.Adaptivity{Kind: script.AdaptivityFirstChange}
+	default:
+		return Genesis{}, fmt.Errorf("bad adaptivity %q (none | full | firstChange)", sp.Adaptivity)
+	}
+	name := sp.ModelName
+	if name == "" {
+		name = "deployed-h0"
+	}
+	g := Genesis{
+		Condition:        sp.Condition,
+		Reliability:      sp.Reliability,
+		Mode:             mode,
+		Adaptivity:       adapt,
+		Steps:            sp.Steps,
+		Labels:           sp.Labels,
+		Classes:          sp.Classes,
+		ModelName:        name,
+		ModelPredictions: sp.ModelPredictions,
+	}
+	if _, err := g.config(); err != nil {
+		return Genesis{}, err
+	}
+	if len(g.ModelPredictions) != len(g.Labels) {
+		return Genesis{}, fmt.Errorf("%d model predictions for %d labels", len(g.ModelPredictions), len(g.Labels))
+	}
+	if _, err := datasetFromLabels("genesis", g.Labels, g.Classes); err != nil {
+		return Genesis{}, err
+	}
+	return g, nil
+}
+
+// tenantOptions shapes the spec's quotas onto the template. Every tenant
+// queue is Manual: the shared pool is the only executor.
+func (m *Multi) tenantOptions(id string, sp ProjectSpec) Options {
+	topts := m.base
+	topts.ManualQueue = true
+	topts.QueueCapacity = sp.QueueCapacity
+	topts.LabelQuota = sp.LabelQuota
+	topts.OnEnqueue = func() { m.pool.Kick(id) }
+	topts.OnDequeue = func() { m.pool.Unkick(id) }
+	return topts
+}
+
+// NewMulti builds the control plane: the default project from g and
+// opts.Tenant, then every registered project replayed from the control
+// log (durable mode), each reopening its own WAL. Callers must Close it.
+func NewMulti(g Genesis, opts MultiOptions) (*Multi, error) {
+	m := &Multi{
+		dataDir: opts.DataDir,
+		base:    opts.Tenant,
+		tenants: make(map[string]*Server),
+	}
+	// Clear the tenant-only hooks off the template; each tenant gets its
+	// own closures.
+	m.base.ManualQueue = true
+	controlDir := ""
+	if opts.DataDir != "" {
+		controlDir = filepath.Join(opts.DataDir, controlDirName)
+	}
+	reg, err := registry.Open(controlDir, registry.Options{NoSync: opts.Tenant.WALNoSync})
+	if err != nil {
+		return nil, fmt.Errorf("server: control plane: %w", err)
+	}
+	m.reg = reg
+	m.pool = queue.NewPool(queue.PoolOptions{Workers: opts.PoolWorkers, Manual: opts.ManualPool})
+
+	defOpts := m.tenantOptions(DefaultProject, ProjectSpec{
+		QueueCapacity: opts.Tenant.QueueCapacity,
+		LabelQuota:    opts.Tenant.LabelQuota,
+	})
+	if _, err := m.openTenant(DefaultProject, g, opts.DefaultWeight, defOpts); err != nil {
+		m.pool.Close()
+		_ = reg.Close()
+		return nil, err
+	}
+	// Recover registered projects in creation order. A project whose
+	// stored spec no longer opens is corruption, and the control plane
+	// refuses to start rather than silently serve a subset.
+	for _, p := range reg.List() {
+		var sp ProjectSpec
+		perr := json.Unmarshal(p.Spec, &sp)
+		var pg Genesis
+		if perr == nil {
+			pg, perr = sp.genesis()
+		}
+		if perr == nil {
+			_, perr = m.openTenant(p.ID, pg, sp.Weight, m.tenantOptions(p.ID, sp))
+		}
+		if perr != nil {
+			m.Close()
+			return nil, fmt.Errorf("server: control plane: project %q: %w", p.ID, perr)
+		}
+	}
+	m.sweepOrphans()
+	return m, nil
+}
+
+// openTenant builds one project's server (durable when the control plane
+// has a data dir), registers its queue with the scheduler, and re-kicks
+// any jobs recovery restored as queued.
+func (m *Multi) openTenant(id string, g Genesis, weight int, topts Options) (*Server, error) {
+	var srv *Server
+	var err error
+	if m.dataDir != "" {
+		srv, err = NewDurable(g, filepath.Join(m.dataDir, id), topts)
+	} else {
+		srv, err = NewFromGenesis(g, topts)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if err := m.pool.Register(id, srv.jobs, weight, 1); err != nil {
+		srv.Close()
+		return nil, err
+	}
+	// Restored queued jobs predate the scheduler's pending counts; hand
+	// the scheduler one kick per restored job now that the tenant is
+	// fully wired.
+	for i := srv.jobs.Pending(); i > 0; i-- {
+		m.pool.Kick(id)
+	}
+	m.mu.Lock()
+	m.tenants[id] = srv
+	m.mu.Unlock()
+	return srv, nil
+}
+
+// sweepOrphans removes project directories a crash stranded between the
+// registry's durable delete record and the directory removal. Only
+// directories holding a wal.log are touched, and never the control dir,
+// the default project, or a registered project.
+func (m *Multi) sweepOrphans() {
+	if m.dataDir == "" {
+		return
+	}
+	entries, err := os.ReadDir(m.dataDir)
+	if err != nil {
+		return
+	}
+	for _, e := range entries {
+		if !e.IsDir() || e.Name() == controlDirName || e.Name() == DefaultProject {
+			continue
+		}
+		if _, ok := m.reg.Get(e.Name()); ok {
+			continue
+		}
+		if _, err := os.Stat(filepath.Join(m.dataDir, e.Name(), "wal.log")); err != nil {
+			continue
+		}
+		_ = os.RemoveAll(filepath.Join(m.dataDir, e.Name()))
+	}
+}
+
+// tenant looks one project's server up.
+func (m *Multi) tenant(id string) *Server {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.tenants[id]
+}
+
+// Default returns the default project's server — the handler every
+// pre-projects API path aliases to.
+func (m *Multi) Default() *Server { return m.tenant(DefaultProject) }
+
+// RunOne drives one scheduling decision on the calling goroutine; only
+// meaningful with MultiOptions.ManualPool (the deterministic harness).
+func (m *Multi) RunOne() bool { return m.pool.RunOne() }
+
+// Close shuts the control plane down in dependency order: intake stops
+// on every project first, the shared pool then drains every accepted
+// job, and only then do the tenants compact and close their logs,
+// followed by the control log. A commit racing Close is therefore either
+// fully journaled or never acknowledged — never half of each.
+func (m *Multi) Close() {
+	m.lifecycleMu.Lock()
+	defer m.lifecycleMu.Unlock()
+	if m.closed {
+		return
+	}
+	m.closed = true
+	m.mu.RLock()
+	tenants := make([]*Server, 0, len(m.tenants))
+	for _, srv := range m.tenants {
+		tenants = append(tenants, srv)
+	}
+	m.mu.RUnlock()
+	for _, srv := range tenants {
+		srv.CloseIntake()
+	}
+	m.pool.Close()
+	for _, srv := range tenants {
+		srv.Close()
+	}
+	_ = m.reg.Close()
+}
+
+// --- wire types ---------------------------------------------------------
+
+// CreateProjectRequest is the POST /api/v1/projects body.
+type CreateProjectRequest struct {
+	ID string `json:"id"`
+	ProjectSpec
+}
+
+// ProjectInfo is one project's control-plane view.
+type ProjectInfo struct {
+	ID            string `json:"id"`
+	State         string `json:"state"`
+	Weight        int    `json:"weight"`
+	QueueCapacity int    `json:"queue_capacity,omitempty"`
+	LabelQuota    int    `json:"label_quota,omitempty"`
+	Default       bool   `json:"default,omitempty"`
+}
+
+// ProjectListResponse answers GET /api/v1/projects: the default project
+// first, registered projects in creation order.
+type ProjectListResponse struct {
+	Projects []ProjectInfo `json:"projects"`
+}
+
+// TenantMetrics is one project's slice of the control-plane metrics:
+// everything tenant-owned, none of the shared caches (those are reported
+// once at the top level).
+type TenantMetrics struct {
+	ID                string      `json:"id"`
+	State             string      `json:"state"`
+	CommitQueue       queue.Stats `json:"commit_queue"`
+	CommitsEvaluated  uint64      `json:"commits_evaluated"`
+	CommitEvalNsTotal uint64      `json:"commit_eval_ns_total"`
+	WebhooksSent      uint64      `json:"webhooks_sent"`
+	WebhooksFailed    uint64      `json:"webhooks_failed"`
+	WAL               *wal.Stats  `json:"wal,omitempty"`
+}
+
+// MultiMetricsResponse is GET /api/v1/metrics on the control plane: the
+// process-wide shared caches exactly once (tenants warm them for each
+// other, so per-tenant attribution would double-count), the scheduler,
+// the control log, and each tenant's own counters.
+type MultiMetricsResponse struct {
+	PlanCache             planner.Stats   `json:"plan_cache"`
+	ExactMemoHits         uint64          `json:"exact_memo_hits"`
+	ExactMemoMisses       uint64          `json:"exact_memo_misses"`
+	ExactMemoLen          int             `json:"exact_memo_entries"`
+	ExactEvals            uint64          `json:"exact_evals"`
+	SweepEvents           uint64          `json:"sweep_events"`
+	SweepSegmentsAnalytic uint64          `json:"sweep_segments_analytic"`
+	SweepSegmentsRefined  uint64          `json:"sweep_segments_refined"`
+	Scheduler             queue.PoolStats `json:"scheduler"`
+	ControlWAL            *wal.Stats      `json:"control_wal,omitempty"`
+	Projects              []TenantMetrics `json:"projects"`
+}
+
+// tenantMetrics gathers one server's tenant-owned counters.
+func (s *Server) tenantMetrics(id, state string) TenantMetrics {
+	return TenantMetrics{
+		ID:                id,
+		State:             state,
+		CommitQueue:       s.jobs.Stats(),
+		CommitsEvaluated:  s.commitsEvaluated.Load(),
+		CommitEvalNsTotal: s.commitEvalNs.Load(),
+		WebhooksSent:      s.webhooksSent.Load(),
+		WebhooksFailed:    s.webhooksFailed.Load(),
+		WAL:               s.WALStats(),
+	}
+}
+
+// resetCommitCounters clears the tenant-owned serving counters — the
+// per-tenant half of the admin cache reset.
+func (s *Server) resetCommitCounters() {
+	s.commitsEvaluated.Store(0)
+	s.commitEvalNs.Store(0)
+}
+
+// --- routing ------------------------------------------------------------
+
+const projectsPath = "/api/v1/projects"
+
+// ServeHTTP routes control-plane paths itself, scoped project paths to
+// their tenant, and everything else to the default project unchanged.
+func (m *Multi) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	path := r.URL.Path
+	switch {
+	case path == projectsPath || path == projectsPath+"/":
+		m.handleProjects(w, r)
+	case strings.HasPrefix(path, projectsPath+"/"):
+		m.handleProject(w, r, strings.TrimPrefix(path, projectsPath+"/"))
+	case path == "/api/v1/metrics":
+		m.handleMetrics(w, r)
+	case path == "/api/v1/admin/reset-caches":
+		m.handleAdminReset(w, r)
+	case path == "/api/v1/admin/compact":
+		m.handleAdminCompact(w, r)
+	default:
+		// The pre-projects single-tenant API: an alias for the default
+		// project, served by the identical handler chain byte-for-byte.
+		m.Default().ServeHTTP(w, r)
+	}
+}
+
+func (m *Multi) handleProjects(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodGet:
+		writeJSON(w, http.StatusOK, ProjectListResponse{Projects: m.projectInfos()})
+	case http.MethodPost:
+		m.handleCreateProject(w, r)
+	default:
+		writeError(w, http.StatusMethodNotAllowed, "GET or POST only")
+	}
+}
+
+// projectInfos lists the default project plus the registry, in creation
+// order.
+func (m *Multi) projectInfos() []ProjectInfo {
+	infos := []ProjectInfo{{
+		ID:            DefaultProject,
+		State:         string(registry.Active),
+		Weight:        m.poolWeight(DefaultProject),
+		QueueCapacity: m.base.QueueCapacity,
+		LabelQuota:    m.base.LabelQuota,
+		Default:       true,
+	}}
+	for _, p := range m.reg.List() {
+		infos = append(infos, m.projectInfo(p))
+	}
+	return infos
+}
+
+func (m *Multi) projectInfo(p registry.Project) ProjectInfo {
+	var sp ProjectSpec
+	_ = json.Unmarshal(p.Spec, &sp)
+	return ProjectInfo{
+		ID:            p.ID,
+		State:         string(p.State),
+		Weight:        m.poolWeight(p.ID),
+		QueueCapacity: sp.QueueCapacity,
+		LabelQuota:    sp.LabelQuota,
+	}
+}
+
+// poolWeight reads one source's effective (clamped) weight back from the
+// scheduler.
+func (m *Multi) poolWeight(id string) int {
+	for _, s := range m.pool.Stats().Sources {
+		if s.ID == id {
+			return s.Weight
+		}
+	}
+	return 0
+}
+
+func (m *Multi) handleCreateProject(w http.ResponseWriter, r *http.Request) {
+	var req CreateProjectRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 8<<20))
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "malformed JSON: "+err.Error())
+		return
+	}
+	if err := registry.ValidID(req.ID); err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if req.ID == DefaultProject {
+		writeError(w, http.StatusConflict, `"default" is the implicit project every unscoped path serves`)
+		return
+	}
+	g, err := req.ProjectSpec.genesis()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad project spec: "+err.Error())
+		return
+	}
+	spec, err := json.Marshal(req.ProjectSpec)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+
+	m.lifecycleMu.Lock()
+	defer m.lifecycleMu.Unlock()
+	if m.closed {
+		writeError(w, http.StatusServiceUnavailable, "control plane is shutting down")
+		return
+	}
+	// Record-then-open: the registry's create record is durable before
+	// the tenant exists, so a crash mid-open leaves a registered project
+	// that reopens (or refuses loudly) at the next start — never a
+	// half-known one.
+	if err := m.reg.Create(req.ID, spec); err != nil {
+		status := http.StatusUnprocessableEntity
+		if errors.Is(err, registry.ErrExists) {
+			status = http.StatusConflict
+		}
+		writeError(w, status, err.Error())
+		return
+	}
+	if _, err := m.openTenant(req.ID, g, req.Weight, m.tenantOptions(req.ID, req.ProjectSpec)); err != nil {
+		_ = m.reg.Delete(req.ID)
+		if m.dataDir != "" {
+			_ = os.RemoveAll(filepath.Join(m.dataDir, req.ID))
+		}
+		writeError(w, http.StatusUnprocessableEntity, err.Error())
+		return
+	}
+	p, _ := m.reg.Get(req.ID)
+	writeJSON(w, http.StatusCreated, m.projectInfo(p))
+}
+
+// handleProject dispatches /api/v1/projects/{id}[/...]: lifecycle verbs
+// handled here, everything else delegated to the tenant.
+func (m *Multi) handleProject(w http.ResponseWriter, r *http.Request, rest string) {
+	id, sub, _ := strings.Cut(rest, "/")
+	if id == "" {
+		writeError(w, http.StatusNotFound, "project ID required: "+projectsPath+"/{id}")
+		return
+	}
+	switch sub {
+	case "":
+		switch r.Method {
+		case http.MethodGet:
+			m.handleProjectInfo(w, id)
+		case http.MethodDelete:
+			m.handleDeleteProject(w, id)
+		default:
+			writeError(w, http.StatusMethodNotAllowed, "GET or DELETE only")
+		}
+	case "suspend", "resume":
+		if r.Method != http.MethodPost {
+			writeError(w, http.StatusMethodNotAllowed, "POST only")
+			return
+		}
+		m.handleProjectState(w, id, sub == "suspend")
+	default:
+		m.delegate(w, r, id, sub)
+	}
+}
+
+func (m *Multi) handleProjectInfo(w http.ResponseWriter, id string) {
+	if id == DefaultProject {
+		writeJSON(w, http.StatusOK, m.projectInfos()[0])
+		return
+	}
+	p, ok := m.reg.Get(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Sprintf("no project %q", id))
+		return
+	}
+	writeJSON(w, http.StatusOK, m.projectInfo(p))
+}
+
+func (m *Multi) handleProjectState(w http.ResponseWriter, id string, suspend bool) {
+	if id == DefaultProject {
+		writeError(w, http.StatusConflict, "the default project cannot be suspended")
+		return
+	}
+	m.lifecycleMu.Lock()
+	defer m.lifecycleMu.Unlock()
+	var err error
+	if suspend {
+		err = m.reg.Suspend(id)
+	} else {
+		err = m.reg.Resume(id)
+	}
+	switch {
+	case errors.Is(err, registry.ErrNotFound):
+		writeError(w, http.StatusNotFound, err.Error())
+	case err != nil:
+		writeError(w, http.StatusServiceUnavailable, err.Error())
+	default:
+		p, _ := m.reg.Get(id)
+		writeJSON(w, http.StatusOK, m.projectInfo(p))
+	}
+}
+
+// handleDeleteProject tears a tenant down: route removal first (no new
+// requests), then the scheduler (waits out its in-flight job), then the
+// server, then the durable delete record, then the directory. A crash
+// after the record leaves an orphan directory the next start sweeps.
+func (m *Multi) handleDeleteProject(w http.ResponseWriter, id string) {
+	if id == DefaultProject {
+		writeError(w, http.StatusConflict, "the default project cannot be deleted")
+		return
+	}
+	m.lifecycleMu.Lock()
+	defer m.lifecycleMu.Unlock()
+	if _, ok := m.reg.Get(id); !ok {
+		writeError(w, http.StatusNotFound, fmt.Sprintf("no project %q", id))
+		return
+	}
+	m.mu.Lock()
+	srv := m.tenants[id]
+	delete(m.tenants, id)
+	m.mu.Unlock()
+	if srv != nil {
+		srv.CloseIntake()
+		m.pool.Unregister(id)
+		srv.Close()
+	}
+	if err := m.reg.Delete(id); err != nil {
+		writeError(w, http.StatusServiceUnavailable, err.Error())
+		return
+	}
+	if m.dataDir != "" {
+		_ = os.RemoveAll(filepath.Join(m.dataDir, id))
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"deleted": id})
+}
+
+// delegate rewrites /api/v1/projects/{id}/<rest> to /api/v1/<rest> and
+// hands it to the tenant's own handler chain — the same code the alias
+// paths run, so a scoped response and an unscoped one cannot drift.
+// Suspended projects keep answering reads but refuse new work.
+func (m *Multi) delegate(w http.ResponseWriter, r *http.Request, id, rest string) {
+	srv := m.tenant(id)
+	if srv == nil {
+		writeError(w, http.StatusNotFound, fmt.Sprintf("no project %q", id))
+		return
+	}
+	if id != DefaultProject {
+		p, ok := m.reg.Get(id)
+		if !ok {
+			writeError(w, http.StatusNotFound, fmt.Sprintf("no project %q", id))
+			return
+		}
+		if p.State == registry.Suspended && mutatingSub(rest) {
+			writeError(w, http.StatusConflict, fmt.Sprintf("project %q is suspended", id))
+			return
+		}
+	}
+	r2 := new(http.Request)
+	*r2 = *r
+	u2 := *r.URL
+	u2.Path = "/api/v1/" + rest
+	r2.URL = &u2
+	srv.ServeHTTP(w, r2)
+}
+
+// mutatingSub reports whether a scoped sub-path accepts new work — the
+// endpoints a suspended project refuses. Reads (plan, status, history,
+// metrics, job polls) and job cancellation stay available.
+func mutatingSub(rest string) bool {
+	switch rest {
+	case "commit", "commit/async", "testset":
+		return true
+	}
+	return false
+}
+
+// --- control-plane metrics and admin ------------------------------------
+
+// metricsSnapshot gathers the control-plane metrics: shared caches once,
+// then every tenant.
+func (m *Multi) metricsSnapshot() MultiMetricsResponse {
+	hits, misses, entries := bounds.ExactCacheStats()
+	events, analytic, refined := bounds.ExactSweepStats()
+	resp := MultiMetricsResponse{
+		PlanCache:             planner.Default.Stats(),
+		ExactMemoHits:         hits,
+		ExactMemoMisses:       misses,
+		ExactMemoLen:          entries,
+		ExactEvals:            bounds.ExactProbeEvals(),
+		SweepEvents:           events,
+		SweepSegmentsAnalytic: analytic,
+		SweepSegmentsRefined:  refined,
+		Scheduler:             m.pool.Stats(),
+		ControlWAL:            m.reg.Stats(),
+	}
+	resp.Projects = append(resp.Projects, m.Default().tenantMetrics(DefaultProject, string(registry.Active)))
+	for _, p := range m.reg.List() {
+		if srv := m.tenant(p.ID); srv != nil {
+			resp.Projects = append(resp.Projects, srv.tenantMetrics(p.ID, string(p.State)))
+		}
+	}
+	return resp
+}
+
+func (m *Multi) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	writeJSON(w, http.StatusOK, m.metricsSnapshot())
+}
+
+// scopedTenant resolves an optional ?project= parameter: ("", nil, true)
+// when absent, or the named tenant; unknown IDs answer 404.
+func (m *Multi) scopedTenant(w http.ResponseWriter, r *http.Request) (string, *Server, bool) {
+	id := r.URL.Query().Get("project")
+	if id == "" {
+		return "", nil, true
+	}
+	srv := m.tenant(id)
+	if srv == nil {
+		writeError(w, http.StatusNotFound, fmt.Sprintf("no project %q", id))
+		return "", nil, false
+	}
+	return id, srv, true
+}
+
+// handleAdminReset is the project-aware cache reset. Unscoped, it clears
+// the shared caches exactly once plus every tenant's counters, and
+// reports the pre-reset control-plane snapshot (shared counters once,
+// not repeated per tenant). Scoped with ?project=, it clears only that
+// tenant's counters — the shared caches serve every tenant and are not a
+// single project's to drop.
+func (m *Multi) handleAdminReset(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	id, srv, ok := m.scopedTenant(w, r)
+	if !ok {
+		return
+	}
+	if srv != nil {
+		state := string(registry.Active)
+		if p, ok := m.reg.Get(id); ok {
+			state = string(p.State)
+		}
+		pre := srv.tenantMetrics(id, state)
+		srv.resetCommitCounters()
+		writeJSON(w, http.StatusOK, pre)
+		return
+	}
+	pre := m.metricsSnapshot()
+	planner.Default.Reset()
+	bounds.ResetExactCache()
+	m.mu.RLock()
+	for _, t := range m.tenants {
+		t.resetCommitCounters()
+	}
+	m.mu.RUnlock()
+	writeJSON(w, http.StatusOK, pre)
+}
+
+// CompactResponse answers the control plane's unscoped admin compact:
+// the post-compaction stats of every log it owns.
+type CompactResponse struct {
+	Control  *wal.Stats            `json:"control,omitempty"`
+	Projects map[string]*wal.Stats `json:"projects"`
+}
+
+// handleAdminCompact snapshots and truncates write-ahead logs on demand:
+// one project's with ?project=, otherwise every durable tenant's plus
+// the control log.
+func (m *Multi) handleAdminCompact(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	if m.dataDir == "" {
+		writeError(w, http.StatusConflict, "control plane is not durable (no data directory)")
+		return
+	}
+	id, srv, ok := m.scopedTenant(w, r)
+	if !ok {
+		return
+	}
+	if srv != nil {
+		if err := srv.Compact(); err != nil {
+			writeError(w, http.StatusServiceUnavailable, err.Error())
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]*wal.Stats{id: srv.WALStats()})
+		return
+	}
+	m.lifecycleMu.Lock()
+	defer m.lifecycleMu.Unlock()
+	resp := CompactResponse{Projects: make(map[string]*wal.Stats)}
+	compactOne := func(id string, srv *Server) bool {
+		if err := srv.Compact(); err != nil {
+			writeError(w, http.StatusServiceUnavailable, fmt.Sprintf("project %q: %v", id, err))
+			return false
+		}
+		resp.Projects[id] = srv.WALStats()
+		return true
+	}
+	if !compactOne(DefaultProject, m.Default()) {
+		return
+	}
+	for _, p := range m.reg.List() {
+		if srv := m.tenant(p.ID); srv != nil {
+			if !compactOne(p.ID, srv) {
+				return
+			}
+		}
+	}
+	if err := m.reg.Compact(); err != nil {
+		writeError(w, http.StatusServiceUnavailable, err.Error())
+		return
+	}
+	resp.Control = m.reg.Stats()
+	writeJSON(w, http.StatusOK, resp)
+}

@@ -113,6 +113,12 @@ type Server struct {
 	// time spent inside engine.Commit.
 	commitsEvaluated atomic.Uint64
 	commitEvalNs     atomic.Uint64
+
+	// Multi-tenant wiring: scheduler notifications and the tenant's label
+	// budget (see Options.OnEnqueue/OnDequeue/LabelQuota).
+	onEnqueue  func()
+	onDequeue  func()
+	labelQuota int
 }
 
 // Options tunes the server's asynchronous commit pipeline. The zero value
@@ -156,6 +162,21 @@ type Options struct {
 	// alarms in durable mode (NewDurable builds the engine itself); nil
 	// means an in-memory outbox.
 	EngineNotifier notify.Notifier
+	// OnEnqueue runs after a commit job is accepted into the queue (sync
+	// or async path, after the submit is durable); a multi-tenant front
+	// end kicks the shared scheduler here. OnDequeue runs after a queued
+	// job is canceled, taking the kick back. Nil means no-op.
+	OnEnqueue func()
+	OnDequeue func()
+	// LabelQuota caps the tenant's cumulative label spend: once the
+	// engine's label cost reaches it, further commits are rejected with a
+	// quota error (HTTP 429). 0 means unlimited. The check runs inside
+	// the shared evaluation path, so in durable mode quota rejections
+	// journal and replay deterministically — which also means the quota
+	// must not shrink across restarts of a durable server, or recovery
+	// will refuse the log (a commit the log accepted would now be
+	// rejected by replay).
+	LabelQuota int
 }
 
 // DefaultCompactAt is the automatic WAL compaction threshold.
@@ -170,6 +191,37 @@ func New(cfg *script.Config, eng *engine.Engine) (*Server, error) {
 // NewWithOptions builds a server with an explicitly configured commit
 // queue. Callers must Close the server to drain the queue on shutdown.
 func NewWithOptions(cfg *script.Config, eng *engine.Engine, opts Options) (*Server, error) {
+	return newServer(cfg, eng, opts, nil)
+}
+
+// NewFromGenesis builds an in-memory server from the same Genesis a
+// durable server starts from: script, first testset, and baseline model,
+// but no write-ahead log — state dies with the process. It is how a
+// multi-project control plane without a data directory instantiates
+// tenants from their registered specs.
+func NewFromGenesis(g Genesis, opts Options) (*Server, error) {
+	cfg, err := g.config()
+	if err != nil {
+		return nil, err
+	}
+	if len(g.ModelPredictions) != len(g.Labels) {
+		return nil, fmt.Errorf("server: genesis has %d model predictions for %d labels", len(g.ModelPredictions), len(g.Labels))
+	}
+	ds, err := datasetFromLabels("genesis", g.Labels, g.Classes)
+	if err != nil {
+		return nil, fmt.Errorf("server: genesis: %w", err)
+	}
+	en := opts.EngineNotifier
+	if en == nil {
+		en = notify.NewOutbox()
+	}
+	eng, err := engine.New(cfg, ds, labeling.NewTruthOracle(ds.Y), engine.Options{
+		InitialModel: model.NewFixedPredictions(g.ModelName, g.ModelPredictions),
+		Notifier:     en,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("server: genesis: %w", err)
+	}
 	return newServer(cfg, eng, opts, nil)
 }
 
@@ -191,6 +243,9 @@ func newServer(cfg *script.Config, eng *engine.Engine, opts Options, d *durableS
 		return nil, fmt.Errorf("server: nil config or engine")
 	}
 	s := &Server{eng: eng, cfg: cfg, mux: http.NewServeMux(), plans: planner.Default}
+	s.onEnqueue = opts.OnEnqueue
+	s.onDequeue = opts.OnDequeue
+	s.labelQuota = opts.LabelQuota
 	s.webhooks = opts.Webhooks
 	if s.webhooks == nil {
 		s.webhooks = notify.NewHTTPPoster(nil)
@@ -215,6 +270,12 @@ func newServer(cfg *script.Config, eng *engine.Engine, opts Options, d *durableS
 		OnFinish: s.deliverWebhook,
 		ExecJob:  s.executeCommitJob,
 	}
+	if d != nil || s.onDequeue != nil {
+		// The un-kick must fire under the queue lock, atomically with the
+		// cancel: taken out of band, a scheduler pick racing the cancel can
+		// strand a later job with no pending credit until the next kick.
+		qopts.OnCancel = s.onCancelHook
+	}
 	if d != nil {
 		s.wlog = d.log
 		s.genesisFP = d.fp
@@ -230,7 +291,6 @@ func newServer(cfg *script.Config, eng *engine.Engine, opts Options, d *durableS
 			s.compactAt = DefaultCompactAt
 		}
 		qopts.OnSubmit = s.walOnSubmit
-		qopts.OnCancel = s.walOnCancel
 		qopts.Restore = d.restored
 		qopts.StartSeq = d.nextSeq
 		// Workers must not run before NewDurable finishes wiring the
@@ -275,6 +335,26 @@ func (s *Server) Close() {
 		}
 		_ = s.wlog.Close()
 	}
+}
+
+// CloseIntake rejects new commit submissions (503) without draining the
+// backlog — phase one of a multi-tenant shutdown: the control plane
+// first closes intake on every project, then lets the shared pool drain
+// the already-accepted jobs, then Closes each server. Idempotent.
+func (s *Server) CloseIntake() { s.jobs.CloseIntake() }
+
+// onCancelHook runs under the queue lock for a cancelable job: the WAL
+// record first (record-then-cancel), then the scheduler un-kick.
+func (s *Server) onCancelHook(j *queue.Job[AsyncCommitRequest, CommitResponse]) error {
+	if s.wlog != nil {
+		if err := s.walOnCancel(j); err != nil {
+			return err
+		}
+	}
+	if s.onDequeue != nil {
+		s.onDequeue()
+	}
+	return nil
 }
 
 // RunDueWebhooks attempts every webhook delivery whose schedule has come
@@ -694,6 +774,9 @@ func (s *Server) handleCommit(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		writeError(w, http.StatusServiceUnavailable, err.Error())
 		return
+	}
+	if s.onEnqueue != nil {
+		s.onEnqueue()
 	}
 	<-job.Done()
 	res, err := job.Result()
