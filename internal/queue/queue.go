@@ -520,6 +520,38 @@ func (q *Queue[Req, Res]) CloseIntake() {
 	q.mu.Unlock()
 }
 
+// Abandon fails every still-queued job with ErrCanceled, without running
+// the OnCancel durability hook. It is the teardown path for a queue whose
+// backing state is about to be deleted wholesale (project deletion):
+// per-job cancel records in a log that is removed along with the queue
+// would be wasted work, and a hook failure must not leave a job queued
+// forever with its waiters blocked on Done. OnFinish still fires per job.
+// Returns how many jobs were abandoned. Callers are responsible for
+// making sure no scheduler will still drain this queue (pending jobs
+// abandoned here are gone, not deferred).
+func (q *Queue[Req, Res]) Abandon() int {
+	q.mu.Lock()
+	abandoned := q.pending
+	q.pending = nil
+	for _, j := range abandoned {
+		j.mu.Lock()
+		j.state = Failed
+		j.err = ErrCanceled
+		j.finished = q.clock()
+		close(j.done)
+		j.mu.Unlock()
+		q.stats.Canceled++
+		q.retireLocked(j)
+	}
+	q.mu.Unlock()
+	if q.onFinish != nil {
+		for _, j := range abandoned {
+			q.onFinish(j)
+		}
+	}
+	return len(abandoned)
+}
+
 // Pending reports the current backlog depth (queued, not running).
 func (q *Queue[Req, Res]) Pending() int {
 	q.mu.Lock()

@@ -374,3 +374,60 @@ func TestStateString(t *testing.T) {
 		t.Errorf("unknown state string = %q", fmt.Sprint(State(9)))
 	}
 }
+
+// TestAbandonFailsBacklogWithoutHooks: Abandon fails every queued job
+// with ErrCanceled — waking their waiters and firing OnFinish — without
+// invoking the OnCancel durability hook, and leaves terminal jobs alone.
+func TestAbandonFailsBacklogWithoutHooks(t *testing.T) {
+	var finished, canceledHook int
+	q := manualQueue(t, func(x int) (int, error) { return x, nil }, Options[int, int]{
+		OnFinish: func(*Job[int, int]) { finished++ },
+		OnCancel: func(*Job[int, int]) error { canceledHook++; return nil },
+	})
+	done, err := q.Submit(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !q.RunNext() {
+		t.Fatal("RunNext found no job")
+	}
+	finished = 0
+	var pending []*Job[int, int]
+	for i := 0; i < 3; i++ {
+		j, err := q.Submit(10 + i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pending = append(pending, j)
+	}
+	if got := q.Abandon(); got != 3 {
+		t.Fatalf("Abandon = %d, want 3", got)
+	}
+	for _, j := range pending {
+		select {
+		case <-j.Done():
+		default:
+			t.Fatalf("job %s still not terminal after Abandon", j.ID)
+		}
+		if _, err := j.Result(); !errors.Is(err, ErrCanceled) {
+			t.Errorf("job %s error = %v, want ErrCanceled", j.ID, err)
+		}
+	}
+	if canceledHook != 0 {
+		t.Errorf("OnCancel hook ran %d times during Abandon", canceledHook)
+	}
+	if finished != 3 {
+		t.Errorf("OnFinish ran %d times, want 3", finished)
+	}
+	if st, _, _ := done.Peek(); st != Done {
+		t.Errorf("already-finished job state = %v after Abandon", st)
+	}
+	st := q.Stats()
+	if st.Canceled != 3 || st.Pending != 0 {
+		t.Errorf("stats after Abandon = %+v", st)
+	}
+	if q.Abandon() != 0 {
+		t.Error("second Abandon found jobs")
+	}
+	q.Close()
+}

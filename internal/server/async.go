@@ -195,15 +195,14 @@ func (s *Server) handleCommitAsync(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	// Submit kicks the shared scheduler itself (under the queue lock, via
+	// the OnSubmit hook), so an accepted job is always a scheduled job.
 	job, err := s.jobs.Submit(req)
 	if err != nil {
 		// Both a full backlog and a draining server are transient
 		// server-side conditions; the client should retry later.
 		writeError(w, http.StatusServiceUnavailable, err.Error())
 		return
-	}
-	if s.onEnqueue != nil {
-		s.onEnqueue()
 	}
 	writeJSON(w, http.StatusAccepted, JobAcceptedResponse{
 		JobID: job.ID,

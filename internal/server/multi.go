@@ -194,6 +194,9 @@ func NewMulti(g Genesis, opts MultiOptions) (*Multi, error) {
 	m.base.ManualQueue = true
 	controlDir := ""
 	if opts.DataDir != "" {
+		if err := migrateLegacyLayout(opts.DataDir); err != nil {
+			return nil, fmt.Errorf("server: control plane: %w", err)
+		}
 		controlDir = filepath.Join(opts.DataDir, controlDirName)
 	}
 	reg, err := registry.Open(controlDir, registry.Options{NoSync: opts.Tenant.WALNoSync})
@@ -262,6 +265,40 @@ func (m *Multi) openTenant(id string, g Genesis, weight int, topts Options) (*Se
 	m.tenants[id] = srv
 	m.mu.Unlock()
 	return srv, nil
+}
+
+// migrateLegacyLayout moves a pre-projects data directory's root-level
+// write-ahead state (dataDir/wal.log plus its snapshot) into the default
+// project's directory, where the multi-tenant layout keeps it. An
+// in-place upgrade therefore carries its history forward instead of
+// silently booting a fresh default project next to an ignored log. The
+// snapshot moves first: a crash mid-migration leaves the legacy wal.log
+// at the root, so the next start resumes the migration — never a log
+// whose snapshot went missing. Both layouts populated at once is
+// ambiguous (which history is the default project's?) and refused.
+func migrateLegacyLayout(dataDir string) error {
+	legacy := filepath.Join(dataDir, "wal.log")
+	if _, err := os.Stat(legacy); err != nil {
+		return nil // no legacy root-level log: nothing to migrate
+	}
+	defDir := filepath.Join(dataDir, DefaultProject)
+	migrated := filepath.Join(defDir, "wal.log")
+	if _, err := os.Stat(migrated); err == nil {
+		return fmt.Errorf("both %s (pre-projects layout) and %s exist; remove whichever is stale and restart", legacy, migrated)
+	}
+	if err := os.MkdirAll(defDir, 0o755); err != nil {
+		return fmt.Errorf("migrating legacy layout: %w", err)
+	}
+	for _, name := range []string{"snapshot.json", "wal.log"} {
+		src := filepath.Join(dataDir, name)
+		if _, err := os.Stat(src); err != nil {
+			continue
+		}
+		if err := os.Rename(src, filepath.Join(defDir, name)); err != nil {
+			return fmt.Errorf("migrating legacy layout: %w", err)
+		}
+	}
+	return nil
 }
 
 // sweepOrphans removes project directories a crash stranded between the
@@ -631,6 +668,12 @@ func (m *Multi) handleDeleteProject(w http.ResponseWriter, id string) {
 	if srv != nil {
 		srv.CloseIntake()
 		m.pool.Unregister(id)
+		// The scheduler has forgotten this queue's unscheduled backlog;
+		// fail those jobs now so every accepted job reaches a terminal
+		// state — a synchronous commit waiting in it gets its 409 instead
+		// of blocking forever on a queue nothing will ever drain. (The
+		// WAL records skipped here are moot: the whole directory goes.)
+		srv.jobs.Abandon()
 		srv.Close()
 	}
 	if err := m.reg.Delete(id); err != nil {
@@ -673,12 +716,23 @@ func (m *Multi) delegate(w http.ResponseWriter, r *http.Request, id, rest string
 }
 
 // mutatingSub reports whether a scoped sub-path accepts new work — the
-// endpoints a suspended project refuses. Reads (plan, status, history,
-// metrics, job polls) and job cancellation stay available.
+// endpoints a suspended project refuses. The answer is derived from the
+// tenant route table (the same rows newServer registers handlers from),
+// so a future mutating endpoint cannot silently bypass the suspension
+// policy: it is either marked mutating in its route row or deliberately
+// not. Reads (plan, status, history, metrics, job polls) and job
+// cancellation stay available.
 func mutatingSub(rest string) bool {
-	switch rest {
-	case "commit", "commit/async", "testset":
-		return true
+	path := "/api/v1/" + rest
+	for _, rt := range tenantRoutes {
+		if !rt.mutating {
+			continue
+		}
+		// Mirror ServeMux semantics: a pattern ending in "/" matches the
+		// whole subtree, anything else matches exactly.
+		if path == rt.pattern || (strings.HasSuffix(rt.pattern, "/") && strings.HasPrefix(path, rt.pattern)) {
+			return true
+		}
 	}
 	return false
 }
@@ -789,6 +843,11 @@ func (m *Multi) handleAdminCompact(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusConflict, "control plane is not durable (no data directory)")
 		return
 	}
+	// Both scopes hold lifecycleMu across the compaction: a concurrent
+	// DELETE of the tenant being compacted must not close its WAL or
+	// remove its directory while Compact is writing a snapshot into it.
+	m.lifecycleMu.Lock()
+	defer m.lifecycleMu.Unlock()
 	id, srv, ok := m.scopedTenant(w, r)
 	if !ok {
 		return
@@ -801,8 +860,6 @@ func (m *Multi) handleAdminCompact(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]*wal.Stats{id: srv.WALStats()})
 		return
 	}
-	m.lifecycleMu.Lock()
-	defer m.lifecycleMu.Unlock()
 	resp := CompactResponse{Projects: make(map[string]*wal.Stats)}
 	compactOne := func(id string, srv *Server) bool {
 		if err := srv.Compact(); err != nil {

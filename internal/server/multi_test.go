@@ -226,6 +226,15 @@ func TestMultiProjectLifecycle(t *testing.T) {
 	if rec := doH(t, m, http.MethodPost, "/api/v1/projects/team-a/commit", commit); rec.Code != http.StatusConflict {
 		t.Fatalf("commit while suspended = %d: %s", rec.Code, rec.Body.String())
 	}
+	// Every route the table marks mutating refuses while suspended.
+	if rec := doH(t, m, http.MethodPost, "/api/v1/projects/team-a/commit/async", AsyncCommitRequest{CommitRequest: commit}); rec.Code != http.StatusConflict {
+		t.Fatalf("async commit while suspended = %d: %s", rec.Code, rec.Body.String())
+	}
+	if rec := doH(t, m, http.MethodPost, "/api/v1/projects/team-a/testset", RotateRequest{
+		Labels: labels, ActivePredictions: goodPredictions(t, labels, 0.9, 4),
+	}); rec.Code != http.StatusConflict {
+		t.Fatalf("rotate while suspended = %d: %s", rec.Code, rec.Body.String())
+	}
 	if rec := doH(t, m, http.MethodGet, "/api/v1/projects/team-a/history", nil); rec.Code != http.StatusOK {
 		t.Fatalf("history while suspended = %d", rec.Code)
 	}
@@ -881,5 +890,162 @@ func TestNewMultiStartupFailures(t *testing.T) {
 	opts := MultiOptions{DataDir: dir, Tenant: Options{WALNoSync: true, Webhooks: notify.NewOutbox()}}
 	if _, err := NewMulti(g, opts); err == nil {
 		t.Error("restart with a registered project's data wiped succeeded")
+	}
+}
+
+// TestMultiDeleteProjectFailsPendingBacklog: deleting a project whose
+// queue still holds accepted-but-unscheduled jobs fails those jobs
+// instead of stranding them — a synchronous commit blocked in the
+// backlog gets its terminal 409, not a handler goroutine that hangs
+// forever on a queue nothing will ever drain.
+func TestMultiDeleteProjectFailsPendingBacklog(t *testing.T) {
+	m := newTestMulti(t, MultiOptions{ManualPool: true})
+	defer m.Close()
+	if rec := doH(t, m, http.MethodPost, "/api/v1/projects", CreateProjectRequest{ID: "doomed", ProjectSpec: testSpec(t, 3, testSize, 2)}); rec.Code != http.StatusCreated {
+		t.Fatal(rec.Body.String())
+	}
+	labels := testLabels()
+	// One async job parks in the backlog (the manual pool never runs it).
+	rec := doH(t, m, http.MethodPost, "/api/v1/projects/doomed/commit/async", AsyncCommitRequest{
+		CommitRequest: CommitRequest{Model: "parked", Predictions: goodPredictions(t, labels, 0.9, 1)},
+	})
+	if rec.Code != http.StatusAccepted {
+		t.Fatal(rec.Body.String())
+	}
+	var acc JobAcceptedResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &acc); err != nil {
+		t.Fatal(err)
+	}
+	asyncJob, ok := m.tenant("doomed").jobs.Job(acc.JobID)
+	if !ok {
+		t.Fatalf("accepted job %s not in the tenant queue", acc.JobID)
+	}
+	// A sync commit behind it blocks its handler on the job's Done.
+	srv := m.tenant("doomed")
+	syncDone := make(chan *httptest.ResponseRecorder, 1)
+	go func() {
+		syncDone <- doH(t, m, http.MethodPost, "/api/v1/projects/doomed/commit", CommitRequest{
+			Model: "waiter", Predictions: goodPredictions(t, labels, 0.9, 2),
+		})
+	}()
+	deadline := time.Now().Add(10 * time.Second)
+	for srv.jobs.Pending() < 2 {
+		if time.Now().After(deadline) {
+			t.Fatal("sync commit never reached the backlog")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if rec := doH(t, m, http.MethodDelete, "/api/v1/projects/doomed", nil); rec.Code != http.StatusOK {
+		t.Fatalf("delete = %d: %s", rec.Code, rec.Body.String())
+	}
+	select {
+	case rec := <-syncDone:
+		if rec.Code != http.StatusConflict {
+			t.Fatalf("sync commit across delete = %d: %s", rec.Code, rec.Body.String())
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("sync commit handler still blocked after its project was deleted")
+	}
+	// The parked async job reached a terminal state too.
+	select {
+	case <-asyncJob.Done():
+	default:
+		t.Error("parked async job never reached a terminal state")
+	}
+}
+
+// TestMultiCloseNeverStrandsSyncWaiter: a synchronous commit racing
+// Multi.Close is either rejected at intake (503) or fully evaluated —
+// never accepted and then forgotten by the draining pool. The enqueue
+// kick fires under the queue lock, atomically with acceptance, so the
+// pool cannot observe zero pending while a just-accepted job exists.
+func TestMultiCloseNeverStrandsSyncWaiter(t *testing.T) {
+	labels := testLabels()
+	for round := 0; round < 8; round++ {
+		m := newTestMulti(t, MultiOptions{})
+		codes := make(chan int, 4)
+		var wg sync.WaitGroup
+		start := make(chan struct{})
+		for g := 0; g < 4; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				<-start
+				rec := doH(t, m, http.MethodPost, "/api/v1/commit", CommitRequest{
+					Model: fmt.Sprintf("r%d", g), Predictions: goodPredictions(t, labels, 0.9, int64(g)),
+				})
+				codes <- rec.Code
+			}(g)
+		}
+		close(start)
+		m.Close() // races the submitters
+		finished := make(chan struct{})
+		go func() { wg.Wait(); close(finished) }()
+		select {
+		case <-finished:
+		case <-time.After(30 * time.Second):
+			t.Fatal("a sync commit handler hung across Close")
+		}
+		close(codes)
+		for code := range codes {
+			switch code {
+			case http.StatusOK, http.StatusConflict, http.StatusServiceUnavailable:
+			default:
+				t.Fatalf("round %d: sync commit racing Close = %d", round, code)
+			}
+		}
+	}
+}
+
+// TestMultiMigratesLegacyLayout: a pre-projects durable server kept its
+// WAL at the data-dir root; the control plane moves that state under
+// default/ on startup, so an in-place upgrade serves its old history
+// instead of silently booting a fresh default project.
+func TestMultiMigratesLegacyLayout(t *testing.T) {
+	dir := t.TempDir()
+	g, labels := durableGenesis(t, 3, testSize)
+	legacy, err := NewDurable(g, dir, Options{WALNoSync: true, Webhooks: notify.NewOutbox()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec := doH(t, legacy, http.MethodPost, "/api/v1/commit", CommitRequest{
+		Model: "pre-upgrade", Predictions: goodPredictions(t, labels, 0.9, 1),
+	}); rec.Code != http.StatusOK {
+		t.Fatal(rec.Body.String())
+	}
+	wantHist := doH(t, legacy, http.MethodGet, "/api/v1/history", nil).Body.Bytes()
+	legacy.Close()
+	if _, err := os.Stat(filepath.Join(dir, "wal.log")); err != nil {
+		t.Fatalf("test setup: no legacy root-level wal.log: %v", err)
+	}
+
+	m := newTestMulti(t, MultiOptions{DataDir: dir})
+	defer m.Close()
+	for _, name := range []string{"wal.log", "snapshot.json"} {
+		if _, err := os.Stat(filepath.Join(dir, name)); !os.IsNotExist(err) {
+			t.Errorf("legacy %s still at the data-dir root (err=%v)", name, err)
+		}
+	}
+	rec := doH(t, m, http.MethodGet, "/api/v1/history", nil)
+	if rec.Code != http.StatusOK || !bytes.Equal(wantHist, rec.Body.Bytes()) {
+		t.Fatalf("history lost in layout migration:\n  legacy: %s\n  multi:  %d %s", wantHist, rec.Code, rec.Body.String())
+	}
+}
+
+// TestMultiLegacyLayoutAmbiguityRefused: a root-level wal.log next to an
+// existing default/ log is ambiguous, and the control plane refuses to
+// start rather than guess which history is real.
+func TestMultiLegacyLayoutAmbiguityRefused(t *testing.T) {
+	dir := t.TempDir()
+	m := newTestMulti(t, MultiOptions{DataDir: dir})
+	m.Close()
+	if err := os.WriteFile(filepath.Join(dir, "wal.log"), []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	g, _ := durableGenesis(t, 3, testSize)
+	if _, err := NewMulti(g, MultiOptions{DataDir: dir, Tenant: Options{WALNoSync: true, Webhooks: notify.NewOutbox()}}); err == nil {
+		t.Fatal("control plane started over an ambiguous (legacy + migrated) layout")
+	} else if !strings.Contains(err.Error(), "exist") {
+		t.Fatalf("ambiguity error = %v", err)
 	}
 }

@@ -162,10 +162,13 @@ type Options struct {
 	// alarms in durable mode (NewDurable builds the engine itself); nil
 	// means an in-memory outbox.
 	EngineNotifier notify.Notifier
-	// OnEnqueue runs after a commit job is accepted into the queue (sync
-	// or async path, after the submit is durable); a multi-tenant front
-	// end kicks the shared scheduler here. OnDequeue runs after a queued
-	// job is canceled, taking the kick back. Nil means no-op.
+	// OnEnqueue runs under the queue lock, atomically with a commit job's
+	// acceptance (sync or async path) and after its submit record is
+	// durable; a multi-tenant front end kicks the shared scheduler here.
+	// The lock is what makes a shutdown racing the submit observe either
+	// no job or a kicked job — never an accepted job the scheduler missed.
+	// OnDequeue runs under the queue lock after a queued job is canceled,
+	// taking the kick back. Nil means no-op.
 	OnEnqueue func()
 	OnDequeue func()
 	// LabelQuota caps the tenant's cumulative label spend: once the
@@ -276,6 +279,15 @@ func newServer(cfg *script.Config, eng *engine.Engine, opts Options, d *durableS
 		// strand a later job with no pending credit until the next kick.
 		qopts.OnCancel = s.onCancelHook
 	}
+	if d != nil || s.onEnqueue != nil {
+		// The kick mirrors the un-kick: fired under the queue lock,
+		// atomically with acceptance (and after the WAL submit record in
+		// durable mode). Out of band, a job accepted just before a
+		// shutdown could be journaled yet never kicked — the pool would
+		// observe zero pending, stop its workers, and strand the job's
+		// waiter in the live process.
+		qopts.OnSubmit = s.onSubmitHook
+	}
 	if d != nil {
 		s.wlog = d.log
 		s.genesisFP = d.fp
@@ -290,7 +302,6 @@ func newServer(cfg *script.Config, eng *engine.Engine, opts Options, d *durableS
 		if s.compactAt == 0 {
 			s.compactAt = DefaultCompactAt
 		}
-		qopts.OnSubmit = s.walOnSubmit
 		qopts.Restore = d.restored
 		qopts.StartSeq = d.nextSeq
 		// Workers must not run before NewDurable finishes wiring the
@@ -305,18 +316,40 @@ func newServer(cfg *script.Config, eng *engine.Engine, opts Options, d *durableS
 		return nil, fmt.Errorf("server: %w", err)
 	}
 	s.jobs = jobs
-	s.mux.HandleFunc("/api/v1/plan", s.handlePlan)
-	s.mux.HandleFunc("/api/v1/plan/batch", s.handlePlanBatch)
-	s.mux.HandleFunc("/api/v1/status", s.handleStatus)
-	s.mux.HandleFunc("/api/v1/history", s.handleHistory)
-	s.mux.HandleFunc("/api/v1/metrics", s.handleMetrics)
-	s.mux.HandleFunc("/api/v1/commit", s.handleCommit)
-	s.mux.HandleFunc("/api/v1/commit/async", s.handleCommitAsync)
-	s.mux.HandleFunc(jobsPath, s.handleCommitJob)
-	s.mux.HandleFunc("/api/v1/testset", s.handleRotate)
-	s.mux.HandleFunc("/api/v1/admin/reset-caches", s.handleAdminReset)
-	s.mux.HandleFunc("/api/v1/admin/compact", s.handleAdminCompact)
+	for _, rt := range tenantRoutes {
+		rt := rt
+		s.mux.HandleFunc(rt.pattern, func(w http.ResponseWriter, r *http.Request) { rt.handler(s, w, r) })
+	}
 	return s, nil
+}
+
+// tenantRoute is one row of the single-tenant API's route table.
+type tenantRoute struct {
+	pattern string
+	handler func(*Server, http.ResponseWriter, *http.Request)
+	// mutating marks endpoints that accept new work — the ones a
+	// suspended project answers 409. Reads, job polls and cancellation,
+	// and admin maintenance stay available while suspended.
+	mutating bool
+}
+
+// tenantRoutes is the single source of truth for the tenant API:
+// newServer registers every handler from it, and the control plane's
+// suspension policy (multi.go's mutatingSub) is derived from the same
+// rows — adding an endpoint here forces the accepts-new-work decision in
+// the same place the route is declared, so the two cannot drift.
+var tenantRoutes = []tenantRoute{
+	{"/api/v1/plan", (*Server).handlePlan, false},
+	{"/api/v1/plan/batch", (*Server).handlePlanBatch, false},
+	{"/api/v1/status", (*Server).handleStatus, false},
+	{"/api/v1/history", (*Server).handleHistory, false},
+	{"/api/v1/metrics", (*Server).handleMetrics, false},
+	{"/api/v1/commit", (*Server).handleCommit, true},
+	{"/api/v1/commit/async", (*Server).handleCommitAsync, true},
+	{jobsPath, (*Server).handleCommitJob, false},
+	{"/api/v1/testset", (*Server).handleRotate, true},
+	{"/api/v1/admin/reset-caches", (*Server).handleAdminReset, false},
+	{"/api/v1/admin/compact", (*Server).handleAdminCompact, false},
 }
 
 // Close drains the commit queue gracefully: accepted jobs finish, new
@@ -342,6 +375,22 @@ func (s *Server) Close() {
 // first closes intake on every project, then lets the shared pool drain
 // the already-accepted jobs, then Closes each server. Idempotent.
 func (s *Server) CloseIntake() { s.jobs.CloseIntake() }
+
+// onSubmitHook runs under the queue lock, atomically with a job's
+// acceptance: the WAL submit record first (record-then-accept — an
+// accepted job is a recoverable job), then the scheduler kick. The
+// enqueue-side mirror of onCancelHook.
+func (s *Server) onSubmitHook(j *queue.Job[AsyncCommitRequest, CommitResponse]) error {
+	if s.wlog != nil {
+		if err := s.walOnSubmit(j); err != nil {
+			return err
+		}
+	}
+	if s.onEnqueue != nil {
+		s.onEnqueue()
+	}
+	return nil
+}
 
 // onCancelHook runs under the queue lock for a cancelable job: the WAL
 // record first (record-then-cancel), then the scheduler un-kick.
@@ -770,13 +819,12 @@ func (s *Server) handleCommit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "model name required")
 		return
 	}
+	// Submit kicks the shared scheduler itself (under the queue lock, via
+	// the OnSubmit hook), so an accepted job is always a scheduled job.
 	job, err := s.jobs.Submit(AsyncCommitRequest{CommitRequest: req})
 	if err != nil {
 		writeError(w, http.StatusServiceUnavailable, err.Error())
 		return
-	}
-	if s.onEnqueue != nil {
-		s.onEnqueue()
 	}
 	<-job.Done()
 	res, err := job.Result()
