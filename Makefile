@@ -6,7 +6,7 @@ SHELL := /bin/bash
 .SHELLFLAGS := -o pipefail -c
 
 GO ?= go
-BENCH_OUT ?= BENCH_7.json
+BENCH_OUT ?= BENCH_8.json
 # The micro-benchmarks the perf trajectory tracks: the binomial-tail hot
 # path, the worst-case sweep vs grid ablation pair (memo bypassed, three
 # representative n), the exact-bound ablation (warm = memo-served, cold =
@@ -16,10 +16,13 @@ BENCH_OUT ?= BENCH_7.json
 # the packed-vs-scalar commit-evaluation pair at n=1e5 (the packed side is
 # gated at 0 allocs/op by tools/benchdiff), full-commit throughput, and
 # the write-ahead log (unsynced append, append+fsync — the durable commit
-# point — and 1000-record replay, the fixed crash-restart cost), and
+# point — and 1000-record replay, the fixed crash-restart cost),
 # aggregate commit throughput across 8 projects of the multi-tenant
-# control plane (routing + quotas + weighted round-robin scheduling).
-BENCH_PATTERN = BenchmarkBinomialCDF$$|BenchmarkExactWorstCaseSweep$$|BenchmarkExactWorstCaseGrid$$|BenchmarkAblationTightBinomial$$|BenchmarkAblationTightBinomialCold$$|BenchmarkExactColdProbesNormalSeed$$|BenchmarkExactColdProbesHoeffdingSeed$$|BenchmarkSampleSizeEstimator$$|BenchmarkPlanCacheHit$$|BenchmarkLRUContentionSingle$$|BenchmarkLRUContentionSharded$$|BenchmarkEngineCommit$$|BenchmarkCommitEval$$|BenchmarkCommitThroughput$$|BenchmarkWALAppend$$|BenchmarkWALAppendSync$$|BenchmarkWALReplay$$|BenchmarkMultiTenantThroughput$$
+# control plane (routing + quotas + weighted round-robin scheduling), and
+# the early-decision label-cost pair (median labels/commit on the
+# non-borderline workload, early vs static — the metric tools/benchdiff
+# gates so the sequential evaluation's saving cannot silently erode).
+BENCH_PATTERN = BenchmarkBinomialCDF$$|BenchmarkExactWorstCaseSweep$$|BenchmarkExactWorstCaseGrid$$|BenchmarkAblationTightBinomial$$|BenchmarkAblationTightBinomialCold$$|BenchmarkExactColdProbesNormalSeed$$|BenchmarkExactColdProbesHoeffdingSeed$$|BenchmarkSampleSizeEstimator$$|BenchmarkPlanCacheHit$$|BenchmarkLRUContentionSingle$$|BenchmarkLRUContentionSharded$$|BenchmarkEngineCommit$$|BenchmarkCommitEval$$|BenchmarkCommitThroughput$$|BenchmarkEarlyExitLabelCost$$|BenchmarkWALAppend$$|BenchmarkWALAppendSync$$|BenchmarkWALReplay$$|BenchmarkMultiTenantThroughput$$
 
 .PHONY: all build test race vet bench benchdiff clean
 
@@ -43,9 +46,9 @@ bench:
 	$(GO) test -run XXX -bench '$(BENCH_PATTERN)' -benchmem -benchtime 1s . | tee /dev/stderr | $(GO) run ./tools/benchjson > $(BENCH_OUT)
 
 # benchdiff re-runs the tracked benchmarks against the working tree and
-# hard-fails if any regresses >25% ns/op versus the latest committed
-# BENCH_<n>.json. (CI runs the same tool report-only: shared runners are
-# too noisy for a hard gate there.)
+# hard-fails if any regresses >25% ns/op — or pays more labels/commit —
+# versus the latest committed BENCH_<n>.json. (CI runs the same tool
+# report-only: shared runners are too noisy for a hard timing gate there.)
 benchdiff:
 	tmp=$$(mktemp) && \
 	{ $(GO) test -run XXX -bench '$(BENCH_PATTERN)' -benchmem -benchtime 1s . | $(GO) run ./tools/benchjson > $$tmp && \

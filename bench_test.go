@@ -17,6 +17,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"runtime"
+	"sort"
 	"sync/atomic"
 	"testing"
 
@@ -617,6 +618,73 @@ func BenchmarkEngineCommit(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// --- early-decision label cost -------------------------------------------
+
+// BenchmarkEarlyExitLabelCost drives the non-borderline workload — ten
+// fresh-engine commits alternating a clear pass (accuracy 0.98) and a
+// broken build (0.05) on a 1200-example testset — under the sequential
+// early-decision plan ("early") and the static one-shot reveal
+// ("static"), and reports the median fresh labels one commit paid. The
+// labels/commit pair is the early-decision headline (>= 30% median
+// saving off the bar); tools/benchdiff gates the metric alongside ns/op
+// so the saving cannot silently erode. Each commit runs on a fresh
+// engine because re-evaluating an already-labeled testset is free under
+// both plans and would mask the effect.
+func BenchmarkEarlyExitLabelCost(b *testing.B) {
+	const n, commits = 1200, 10
+	labels := make([]int, n)
+	for i := range labels {
+		labels[i] = i % 4
+	}
+	cfg, err := script.New("n > 0.7 +/- 0.05", 0.99, interval.FPFree,
+		script.Adaptivity{Kind: script.AdaptivityFull}, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	h0 := mustSimPreds(b, labels, 0.75, 3)
+	cands := make([]model.Predictor, commits)
+	for i := range cands {
+		acc := []float64{0.98, 0.05}[i%2]
+		cands[i] = model.NewFixedPredictions("candidate", mustSimPreds(b, labels, acc, int64(i)+10))
+	}
+	for _, mode := range []struct {
+		name    string
+		disable bool
+	}{
+		{"early", false},
+		{"static", true},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			var median float64
+			for i := 0; i < b.N; i++ {
+				costs := make([]int, 0, commits)
+				for _, m := range cands {
+					ds := &data.Dataset{Name: "early-exit", Classes: 4}
+					for j := 0; j < n; j++ {
+						ds.X = append(ds.X, []float64{float64(j)})
+						ds.Y = append(ds.Y, labels[j])
+					}
+					eng, err := engine.New(cfg, ds, labeling.NewTruthOracle(ds.Y), engine.Options{
+						InitialModel:  model.NewFixedPredictions("h0", h0),
+						EarlyDecision: engine.EarlyDecision{Disable: mode.disable},
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+					res, err := eng.Commit(m, "bench", "commit")
+					if err != nil {
+						b.Fatal(err)
+					}
+					costs = append(costs, res.FreshLabels)
+				}
+				sort.Ints(costs)
+				median = float64(costs[commits/2-1]+costs[commits/2]) / 2
+			}
+			b.ReportMetric(median, "labels/commit")
+		})
 	}
 }
 

@@ -33,6 +33,9 @@ type (
 	Engine = engine.Engine
 	// EngineOptions configures engine construction.
 	EngineOptions = engine.Options
+	// EarlyDecision tunes (or disables) the sequential label-reveal loop
+	// that stops revealing once the verdict is forced.
+	EarlyDecision = engine.EarlyDecision
 	// Result is the outcome of one commit's evaluation.
 	Result = engine.Result
 	// Dataset is an in-memory labeled dataset.

@@ -64,6 +64,8 @@ func main() {
 		dataDir     = flag.String("data-dir", "", "state directory (control log + per-project WALs); empty runs in-memory (state dies with the process)")
 		walNoSync   = flag.Bool("wal-nosync", false, "skip fsync on the write-ahead logs (trades crash safety for latency)")
 		compactAt   = flag.Int64("compact-at", 0, "auto-compact each log beyond this many bytes (0 = default, negative = never)")
+		noEarlyExit = flag.Bool("no-early-exit", false, "disable the sequential evaluation's early exit: reveal every commit's labels in one shot (keep this flag stable across restarts of a data dir)")
+		seqDelta    = flag.Float64("sequential-delta", 0, "failure budget for the anytime-valid sequential stopping bound; 0 keeps only the deterministic no-regret exit")
 	)
 	flag.Parse()
 
@@ -75,6 +77,10 @@ func main() {
 		QueueCapacity: *queueCap,
 		WALNoSync:     *walNoSync,
 		CompactAt:     *compactAt,
+		EarlyDecision: ci.EarlyDecision{
+			Disable:         *noEarlyExit,
+			SequentialDelta: *seqDelta,
+		},
 	})
 	if err != nil {
 		log.Fatal("easeml-ci-server: ", err)

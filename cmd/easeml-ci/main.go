@@ -104,8 +104,8 @@ func run(scriptPath, condition string, reliability float64, steps int, adaptFlag
 	fmt.Printf("plan: %s (labeled %d, unlabeled %d, per-commit labels %d)\n\n",
 		plan.Kind, plan.LabeledN, plan.UnlabeledN, plan.PerCommitLabels)
 
-	fmt.Printf("%-4s %-22s %-9s %-7s %-7s %-8s %-7s\n",
-		"step", "model", "truth", "pass", "signal", "labels", "alarm")
+	fmt.Printf("%-4s %-22s %-9s %-7s %-7s %-8s %-8s %-7s\n",
+		"step", "model", "truth", "pass", "signal", "labels", "saved", "alarm")
 	for k := 1; k <= commits; k++ {
 		size := 500 + k*(7500/commits)
 		if size > trainPool.Len() {
@@ -125,8 +125,12 @@ func run(scriptPath, condition string, reliability float64, steps int, adaptFlag
 			fmt.Printf("%-4d %-22s %s\n", k, name, err)
 			break
 		}
-		fmt.Printf("%-4d %-22s %-9s %-7v %-7v %-8d %-7v\n",
-			k, name, res.Truth, res.Pass, res.Signal, res.FreshLabels, res.NeedNewTestset)
+		saved := fmt.Sprintf("%d", res.LabelsSaved)
+		if res.EarlyExit {
+			saved += "*" // verdict forced before the full reveal
+		}
+		fmt.Printf("%-4d %-22s %-9s %-7v %-7v %-8d %-8s %-7v\n",
+			k, name, res.Truth, res.Pass, res.Signal, res.FreshLabels, saved, res.NeedNewTestset)
 		if res.NeedNewTestset {
 			fmt.Println("     (new testset alarm fired; stopping scenario)")
 			break
@@ -135,6 +139,14 @@ func run(scriptPath, condition string, reliability float64, steps int, adaptFlag
 	fmt.Printf("\nactive model : %s\n", eng.ActiveModelName())
 	fmt.Printf("labels spent : %d total, %d max per commit\n",
 		eng.LabelCost().Total(), eng.LabelCost().MaxPerCommit())
+	totalSaved, earlyExits := 0, 0
+	for _, r := range eng.History() {
+		totalSaved += r.LabelsSaved
+		if r.EarlyExit {
+			earlyExits++
+		}
+	}
+	fmt.Printf("labels saved : %d via %d early exits (* above)\n", totalSaved, earlyExits)
 	fmt.Printf("testset      : generation %d, %d of %d evaluations used\n",
 		eng.Testsets().Current().Generation,
 		eng.Testsets().Budget()-eng.Testsets().Remaining(), eng.Testsets().Budget())
@@ -170,7 +182,8 @@ func runRemote(base, project string, commits, classes int, seed int64) error {
 		labels[i] = i % classes
 	}
 
-	fmt.Printf("%-4s %-10s %-9s %-8s %-7s %-8s\n", "k", "job", "state", "step", "signal", "alarm")
+	fmt.Printf("%-4s %-10s %-9s %-8s %-7s %-8s %-8s %-8s\n",
+		"k", "job", "state", "step", "signal", "labels", "saved", "alarm")
 	for k := 1; k <= commits; k++ {
 		acc := 0.70 + 0.25*float64(k)/float64(commits)
 		preds, err := model.SimulatedPredictions(labels, classes, acc, seed+int64(k))
@@ -196,8 +209,13 @@ func runRemote(base, project string, commits, classes int, seed int64) error {
 		}
 		switch {
 		case st.Result != nil:
-			fmt.Printf("%-4d %-10s %-9s %-8d %-7v %-8v\n",
-				k, st.JobID, st.State, st.Result.Step, st.Result.Signal, st.Result.NeedNewTestset)
+			saved := fmt.Sprintf("%d", st.Result.LabelsSaved)
+			if st.Result.EarlyExit {
+				saved += "*" // verdict forced before the full reveal
+			}
+			fmt.Printf("%-4d %-10s %-9s %-8d %-7v %-8d %-8s %-8v\n",
+				k, st.JobID, st.State, st.Result.Step, st.Result.Signal,
+				st.Result.FreshLabels, saved, st.Result.NeedNewTestset)
 			if st.Result.NeedNewTestset {
 				fmt.Println("     (new testset alarm fired; stopping)")
 				return nil

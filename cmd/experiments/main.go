@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	experiments [-out results/] [-seed 2019] [fig2|fig3|fig4|fig5|fig6|intext|all]
+//	experiments [-out results/] [-seed 2019] [fig2|fig3|fig4|fig5|fig6|intext|ablations|earlyexit|all]
 package main
 
 import (
@@ -41,8 +41,9 @@ func run(what, outDir string, seed int64, steps int) error {
 	runFig56 := what == "all" || what == "fig5" || what == "fig6"
 	runInText := what == "all" || what == "intext"
 	runAblations := what == "all" || what == "ablations"
-	if !(runFig2 || runFig3 || runFig4 || runFig56 || runInText || runAblations) {
-		return fmt.Errorf("unknown artifact %q (want fig2|fig3|fig4|fig5|fig6|intext|ablations|all)", what)
+	runEarlyExit := what == "all" || what == "earlyexit"
+	if !(runFig2 || runFig3 || runFig4 || runFig56 || runInText || runAblations || runEarlyExit) {
+		return fmt.Errorf("unknown artifact %q (want fig2|fig3|fig4|fig5|fig6|intext|ablations|earlyexit|all)", what)
 	}
 
 	if runFig2 {
@@ -124,6 +125,21 @@ func run(what, outDir string, seed int64, steps int) error {
 			return err
 		}
 		fmt.Println(experiments.RenderAblations(rows))
+	}
+	if runEarlyExit {
+		cfg := experiments.DefaultEarlyExitConfig()
+		cfg.Seed = seed
+		pts, err := experiments.EarlyExit(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.RenderEarlyExit(pts, cfg))
+		if wantCSV {
+			h, rs := experiments.EarlyExitCSV(pts)
+			if err := experiments.WriteCSV(filepath.Join(outDir, "earlyexit.csv"), h, rs); err != nil {
+				return err
+			}
+		}
 	}
 	return nil
 }

@@ -86,6 +86,36 @@
 // commit_eval_ns_total in /api/v1/metrics so served evaluation latency is
 // observable.
 //
+// # Early decision
+//
+// Evaluation is sequential by default: instead of revealing every label
+// of the plan up front, the engine reveals them in chunks along a
+// geometric look schedule (internal/planner.NextLook,
+// testset.RevealFirst/RevealChunk), re-measures the partial {n, o, d}
+// with masked popcounts after each chunk, and stops the moment the
+// verdict is forced — when even the worst-case assignment of every
+// still-unrevealed label cannot change the three-valued truth under
+// internal/interval. That exit is deterministic and no-regret: the
+// verdict, the pass/fail signal, the promotion decision, and the whole
+// commit history are byte-identical to the static one-shot plan (the
+// property suite in internal/engine commits the same sequences to both
+// and compares), and the worst-case label cost of any single evaluation
+// never exceeds the static plan's. Most commits are not borderline, so
+// the median cost drops well below n — the non-borderline benchmark
+// workload (BenchmarkEarlyExitLabelCost) pays 768 instead of 1200
+// labels at the median, and tools/benchdiff gates that metric so the
+// saving cannot regress silently. An opt-in anytime-valid sequential
+// bound (EarlyDecision.SequentialDelta, internal/bounds.SerflingEpsilon
+// with a geometrically-spent delta) tightens the exit further at the
+// price of that extra failure budget. Savings are observable end to
+// end: Result.LabelsSaved/Looks/EarlyExit per commit,
+// labels_saved_total, early_exits_total, and the per-look histogram in
+// /api/v1/metrics (global and per project), the `saved` column of both
+// easeml-ci views, and look decisions journaled in the WAL so durable
+// replay reproduces the exact label charges. engine.EarlyDecision
+// (ci.EarlyDecision, the server's -no-early-exit/-sequential-delta
+// flags) disables or tunes the loop.
+//
 // # Durability
 //
 // The server can run durably: started with -data-dir, every acknowledged

@@ -1,10 +1,14 @@
 // REST API: ease.ml/ci as a service. Starts the HTTP server on a local
 // port, then plays both roles over the wire: the developer pushes model
 // commits as prediction vectors, the integration team watches status and
-// rotates the testset when the alarm fires. The final act is the
+// rotates the testset when the alarm fires. The next act is the
 // asynchronous flow: a commit submitted to /api/v1/commit/async comes
 // back as a 202 job, is polled at /api/v1/commit/jobs/{id}, and fires a
-// webhook callback with the finished status.
+// webhook callback with the finished status. Then early decision: a
+// commit nowhere near the bar (a broken build) is rejected after a
+// fraction of its labeling plan — the sequential evaluation stops as
+// soon as the verdict is forced, and the savings show up in the commit
+// response and /api/v1/metrics.
 //
 // The encore is durability: a second server runs with a data directory,
 // accepts an async commit, and suffers a simulated power cut before the
@@ -171,6 +175,66 @@ func main() {
 	case <-time.After(5 * time.Second):
 		log.Fatal("webhook never arrived")
 	}
+
+	// --- act: early decision — a broken commit is cheap to reject --------
+	// Evaluation is sequential by default: labels reveal in chunks along a
+	// geometric look schedule and stop the moment the verdict is forced.
+	// This commit is nowhere near the bar (a broken build at 20% accuracy
+	// against "n > 0.6 +/- 0.1"), so the Fail is forced after a fraction of
+	// the 700-example testset and the rest of the labeling budget is never
+	// spent — with a verdict guaranteed byte-identical to the full reveal.
+	eCfg, err := ci.NewConfig("n > 0.6 +/- 0.1", 0.99, ci.FPFree,
+		ci.Adaptivity{Kind: ci.AdaptivityFull}, 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	eLabels := make([]int, 700)
+	for i := range eLabels {
+		eLabels[i] = i % classes
+	}
+	eDs := &data.Dataset{Name: "early", Classes: classes}
+	for i, y := range eLabels {
+		eDs.X = append(eDs.X, []float64{float64(i)})
+		eDs.Y = append(eDs.Y, y)
+	}
+	eH0, err := model.SimulatedPredictions(eLabels, classes, 0.70, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	eEng, err := engine.New(eCfg, eDs, labeling.NewTruthOracle(eDs.Y), engine.Options{
+		InitialModel: model.NewFixedPredictions("deployed", eH0),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	eSrv, err := server.New(eCfg, eEng)
+	if err != nil {
+		log.Fatal(err)
+	}
+	eLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	go func() { _ = http.Serve(eLn, eSrv) }()
+	eBase := "http://" + eLn.Addr().String()
+	waitReady(eBase)
+	fmt.Println("\nearly-decision server on", eBase)
+
+	broken, err := model.SimulatedPredictions(eLabels, classes, 0.20, 13)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var eRes server.CommitResponse
+	post(eBase+"/api/v1/commit", server.CommitRequest{
+		Model: "broken-build", Author: "dev", Message: "oops", Predictions: broken,
+	}, &eRes)
+	fmt.Printf("broken commit: truth=%s early_exit=%v — %d labels paid, %d saved over %d looks\n",
+		eRes.Truth, eRes.EarlyExit, eRes.FreshLabels, eRes.LabelsSaved, eRes.Looks)
+
+	var eMetrics server.MetricsResponse
+	get(eBase+"/api/v1/metrics", &eMetrics)
+	fmt.Printf("metrics: labels_saved_total=%d early_exits_total=%d\n",
+		eMetrics.LabelsSavedTotal, eMetrics.EarlyExitsTotal)
 
 	// --- encore: the durable server survives a power cut -----------------
 	// Same API, but the server journals every acknowledged mutation to a

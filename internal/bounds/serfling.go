@@ -1,0 +1,51 @@
+package bounds
+
+import (
+	"fmt"
+	"math"
+)
+
+// Serfling's inequality is the without-replacement sharpening of
+// Hoeffding: when the first m draws of a finite population of size D are
+// a uniformly random sample (no replacement), the sample mean of a
+// [0,1]-valued variable concentrates around the population mean with
+//
+//	P(|mean_m - mean_D| >= t) <= 2 exp(-2 m t^2 / (1 - (m-1)/D))
+//
+// (Serfling 1974). The factor 1-(m-1)/D is what makes the bound collapse
+// to zero as the sample exhausts the population — exactly the regime a
+// sequential label-reveal loop lives in, where m grows toward D and the
+// remaining uncertainty must vanish.
+
+// SerflingEpsilon inverts the two-sided bound: after m of total draws
+// without replacement, the sample mean of a [0,1] variable is within the
+// returned epsilon of the population mean with probability at least
+// 1-delta. Values with a wider range r scale the result by r.
+func SerflingEpsilon(m, total int, delta float64) (float64, error) {
+	if m < 1 || total < m {
+		return 0, fmt.Errorf("bounds: need 1 <= m <= total, got m=%d total=%d", m, total)
+	}
+	if !(delta > 0 && delta < 1) {
+		return 0, fmt.Errorf("bounds: delta must be in (0,1), got %v", delta)
+	}
+	if m == total {
+		return 0, nil
+	}
+	f := 1 - float64(m-1)/float64(total)
+	return math.Sqrt(f * math.Log(2/delta) / (2 * float64(m))), nil
+}
+
+// GeometricDelta splits a total failure budget across a sequence of looks
+// geometrically: look j (1-based) spends delta * 2^-j. The weights sum to
+// strictly less than delta over any number of looks, so a union bound
+// over every look the sequential evaluation takes stays within the total
+// budget without needing to know the schedule length up front.
+func GeometricDelta(delta float64, look int) (float64, error) {
+	if !(delta > 0 && delta < 1) {
+		return 0, fmt.Errorf("bounds: delta must be in (0,1), got %v", delta)
+	}
+	if look < 1 {
+		return 0, fmt.Errorf("bounds: look must be >= 1, got %d", look)
+	}
+	return delta * math.Pow(0.5, float64(look)), nil
+}

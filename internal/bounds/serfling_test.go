@@ -1,0 +1,80 @@
+package bounds
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSerflingEpsilon(t *testing.T) {
+	// Exhausting the population leaves no uncertainty.
+	if eps, err := SerflingEpsilon(500, 500, 0.05); err != nil || eps != 0 {
+		t.Errorf("m == total: eps = %v, err = %v", eps, err)
+	}
+	// The sampling-fraction factor makes Serfling strictly sharper than
+	// Hoeffding for any m > 1, and the two agree at m = 1.
+	for _, m := range []int{1, 10, 100, 499} {
+		eps, err := SerflingEpsilon(m, 500, 0.05)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hoeffding := math.Sqrt(math.Log(2/0.05) / (2 * float64(m)))
+		if eps > hoeffding+1e-12 {
+			t.Errorf("m=%d: Serfling %v looser than Hoeffding %v", m, eps, hoeffding)
+		}
+		if m > 1 && eps >= hoeffding {
+			t.Errorf("m=%d: Serfling %v not sharper than Hoeffding %v", m, eps, hoeffding)
+		}
+	}
+	// Monotone: more samples, tighter bound.
+	prev := math.Inf(1)
+	for _, m := range []int{1, 2, 4, 64, 256, 499, 500} {
+		eps, err := SerflingEpsilon(m, 500, 0.05)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if eps >= prev {
+			t.Errorf("m=%d: eps %v did not shrink from %v", m, eps, prev)
+		}
+		prev = eps
+	}
+	for _, bad := range []struct{ m, total int }{{0, 10}, {11, 10}, {-1, 10}} {
+		if _, err := SerflingEpsilon(bad.m, bad.total, 0.05); err == nil {
+			t.Errorf("m=%d total=%d: want error", bad.m, bad.total)
+		}
+	}
+	for _, delta := range []float64{0, 1, -0.1, math.NaN()} {
+		if _, err := SerflingEpsilon(10, 100, delta); err == nil {
+			t.Errorf("delta=%v: want error", delta)
+		}
+	}
+}
+
+func TestGeometricDelta(t *testing.T) {
+	// The per-look budgets sum to strictly less than the total budget over
+	// any horizon, which is what lets the sequential evaluation union-bound
+	// over an unknown number of looks.
+	const delta = 0.05
+	sum := 0.0
+	for look := 1; look <= 40; look++ {
+		d, err := GeometricDelta(delta, look)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d <= 0 || d >= delta {
+			t.Errorf("look %d: delta %v out of range", look, d)
+		}
+		sum += d
+	}
+	if sum >= delta {
+		t.Errorf("spent %v of budget %v", sum, delta)
+	}
+	if d, _ := GeometricDelta(0.5, 1); d != 0.25 {
+		t.Errorf("GeometricDelta(0.5, 1) = %v, want 0.25", d)
+	}
+	if _, err := GeometricDelta(0.05, 0); err == nil {
+		t.Error("look 0: want error")
+	}
+	if _, err := GeometricDelta(1.5, 1); err == nil {
+		t.Error("delta 1.5: want error")
+	}
+}

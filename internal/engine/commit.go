@@ -12,6 +12,7 @@ import (
 	"github.com/easeml/ci/internal/labeling"
 	"github.com/easeml/ci/internal/model"
 	"github.com/easeml/ci/internal/notify"
+	"github.com/easeml/ci/internal/planner"
 	"github.com/easeml/ci/internal/script"
 )
 
@@ -40,6 +41,15 @@ type Evaluation struct {
 	// FreshLabels is the number of new oracle labels the measurement
 	// revealed.
 	FreshLabels int
+	// Looks is how many reveal chunks the sequential loop took before
+	// deciding (0 on a pre-reveal exit or with early decision disabled).
+	Looks int
+	// EarlyExit reports that the verdict was forced before the static
+	// plan's full reveal.
+	EarlyExit bool
+	// LabelsSaved is the static plan's label cost for this commit minus
+	// what was actually revealed.
+	LabelsSaved int
 }
 
 // estimatesMap shapes the observable point estimates the way Result (and
@@ -82,6 +92,14 @@ func (e *Engine) Commit(m model.Predictor, author, message string) (Result, erro
 	if err != nil {
 		return Result{}, err
 	}
+	if e.journal != nil && !e.early.Disable {
+		// Journal the look decision before the reveal it explains, so a
+		// replayed log can audit that recovery reproduced the exact same
+		// label charges the sequential loop made live.
+		if err := e.journal.JournalLooks(ev.Looks, ev.LabelsSaved, ev.EarlyExit); err != nil {
+			return Result{}, err
+		}
+	}
 	if e.journal != nil && ev.FreshLabels > 0 {
 		if err := e.journal.JournalReveal(ev.FreshLabels); err != nil {
 			return Result{}, err
@@ -117,6 +135,9 @@ func (e *Engine) Commit(m model.Predictor, author, message string) (Result, erro
 		Promoted:       pass,
 		NeedNewTestset: event.NeedNewTestset,
 		FreshLabels:    ev.FreshLabels,
+		Looks:          ev.Looks,
+		EarlyExit:      ev.EarlyExit,
+		LabelsSaved:    ev.LabelsSaved,
 	}
 
 	// Signal routing per adaptivity mode (Section 2.2).
@@ -272,13 +293,75 @@ func (e *Engine) evaluateConditionPacked(newPreds []int) (Evaluation, error) {
 	}
 }
 
-// evaluateFullyLabeledPacked is the baseline path: one bulk reveal brings
-// the whole testset's labels in (a no-op after the first commit of a
-// generation), then one fused pass builds the disagreement and correctness
-// bitmaps and the three variables are popcounts — the baseline's
-// correctness bitmap is already cached from promotion time, so the old
-// model's predictions are not even touched.
+// evaluateFullyLabeledPacked is the baseline path made sequential: the
+// fused pass builds the disagreement and candidate-correctness bitmaps up
+// front (correctness only lights up on revealed labels — the sentinel in
+// the label column never matches a prediction), then labels come in
+// prefix chunks along the geometric look schedule, with a forced-verdict
+// check between chunks. A commit that is not borderline exits after a
+// fraction of the testset; one that is falls through to the full reveal
+// and the exact evaluation the static plan would have run.
 func (e *Engine) evaluateFullyLabeledPacked(newPreds []int) (Evaluation, error) {
+	if e.early.Disable {
+		return e.evaluateFullyLabeledPackedStatic(newPreds)
+	}
+	ts := e.tsm.Current()
+	n := ts.Len()
+	startUnrevealed := n - ts.RevealedCount()
+	e.fusedPass(newPreds)
+	fresh, looks := 0, 0
+	for {
+		revealed := ts.RevealedCount()
+		if revealed == n {
+			break
+		}
+		c := lookCounts{
+			total:         n,
+			revealed:      revealed,
+			matchN:        e.newMatch.Count(),
+			matchO:        e.activeMatch.Count(),
+			diffCount:     e.diff.Count(),
+			unrevealedDis: evaluator.AndNotCount(e.diff, ts.RevealedBitmap()),
+		}
+		truth, forced := e.decideFullyLabeled(c, looks+1)
+		if forced {
+			ev := finishPartialFull(truth, c, fresh, looks, startUnrevealed)
+			e.setEstVals(ev)
+			return ev, nil
+		}
+		target := planner.NextLook(revealed, n, e.early.FirstLook, e.early.Growth)
+		freshIdx, err := ts.RevealFirst(target-revealed, e.batch)
+		if err != nil {
+			return Evaluation{}, err
+		}
+		e.patchRevealed(newPreds, freshIdx)
+		fresh += len(freshIdx)
+		looks++
+	}
+	// Fully revealed: the exact evaluation, identical to the static path.
+	ev := Evaluation{
+		D:           float64(e.diff.Count()) / float64(n),
+		FreshLabels: fresh,
+		Looks:       looks,
+	}
+	ev.N = float64(e.newMatch.Count()) / float64(n)
+	ev.O = float64(e.activeMatch.Count()) / float64(n)
+	ev.HasAccuracy = true
+	e.setEstVals(ev)
+	truth, err := e.compiled.Eval(evaluator.VarEstimates{Values: e.estVals})
+	if err != nil {
+		return Evaluation{}, err
+	}
+	ev.Truth = truth
+	return ev, nil
+}
+
+// evaluateFullyLabeledPackedStatic is the pre-sequential one-shot path,
+// kept verbatim as the early-decision baseline oracle: one bulk reveal
+// brings the whole testset's labels in (a no-op after the first commit of
+// a generation), then one fused pass builds the disagreement and
+// correctness bitmaps and the three variables are popcounts.
+func (e *Engine) evaluateFullyLabeledPackedStatic(newPreds []int) (Evaluation, error) {
 	ts := e.tsm.Current()
 	n := ts.Len()
 	fresh := 0
@@ -317,12 +400,125 @@ func (e *Engine) evaluateFullyLabeledPacked(newPreds []int) (Evaluation, error) 
 	return ev, nil
 }
 
+// patchRevealed folds freshly revealed labels into the packed measurement
+// state: the label scratch columns and both correctness bitmaps, exactly
+// the bits a full fused pass over the now-revealed labels would set.
+func (e *Engine) patchRevealed(newPreds []int, freshIdx []int) {
+	ts := e.tsm.Current()
+	for _, idx := range freshIdx {
+		y := ts.Data.Y[idx]
+		e.labels[idx] = y
+		if e.byteCols {
+			e.labels8[idx] = uint8(y)
+		}
+		if e.active[idx] == y {
+			e.activeMatch.Set(idx)
+		}
+		if newPreds[idx] == y {
+			e.newMatch.Set(idx)
+		}
+	}
+}
+
+// setEstVals refreshes the engine's reusable estimates map from one
+// evaluation, deleting what the evaluation could not observe so stale
+// values from a previous commit never leak to estimator consumers.
+func (e *Engine) setEstVals(ev Evaluation) {
+	e.estVals[condlang.VarD] = ev.D
+	if ev.HasAccuracy {
+		e.estVals[condlang.VarN] = ev.N
+		e.estVals[condlang.VarO] = ev.O
+	} else {
+		delete(e.estVals, condlang.VarN)
+		delete(e.estVals, condlang.VarO)
+	}
+}
+
 // evaluateActiveLabelingPacked is the optimized path (Sections 4.1.2 /
-// 4.2) on packed columns: d is the popcount of the disagreement bitmap
-// (no labels), and the n-o clause reveals only the disagreeing examples —
-// in one batched oracle call — then measures the accuracy difference as
-// two masked popcounts.
+// 4.2) on packed columns, made sequential: d is the popcount of the
+// disagreement bitmap (no labels), and the n-o clause's disagreement-set
+// labels come in chunks along the geometric look schedule, each followed
+// by a forced-verdict check over the two masked popcounts. The commit
+// exits the moment the unrevealed disagreements can no longer flip the
+// verdict — including before any reveal, when a label-free clause already
+// collapsed the conjunction.
 func (e *Engine) evaluateActiveLabelingPacked(newPreds []int) (Evaluation, error) {
+	if e.early.Disable {
+		return e.evaluateActiveLabelingPackedStatic(newPreds)
+	}
+	ts := e.tsm.Current()
+	n := ts.Len()
+	e.fusedPass(newPreds)
+	diffCount := e.diff.Count()
+	dHat := float64(diffCount) / float64(n)
+	staticCost := e.activeStaticCost(dHat, evaluator.AndNotCount(e.diff, ts.RevealedBitmap()))
+	fresh, looks := 0, 0
+	for {
+		revealedDis := diffCount - evaluator.AndNotCount(e.diff, ts.RevealedBitmap())
+		if revealedDis == diffCount {
+			break
+		}
+		sumR := evaluator.AndCount(e.newMatch, e.diff) - evaluator.AndCount(e.activeMatch, e.diff)
+		truth, forced, err := e.decideActive(dHat, n, sumR, revealedDis, diffCount, looks+1)
+		if err != nil {
+			return Evaluation{}, err
+		}
+		if forced {
+			ev := Evaluation{
+				Truth:       truth,
+				D:           dHat,
+				FreshLabels: fresh,
+				Looks:       looks,
+				EarlyExit:   true,
+				LabelsSaved: staticCost - fresh,
+			}
+			e.setEstVals(ev)
+			return ev, nil
+		}
+		target := planner.NextLook(revealedDis, diffCount, e.early.FirstLook, e.early.Growth)
+		freshIdx, err := ts.RevealChunk(e.diff, target-revealedDis, e.batch)
+		if err != nil {
+			return Evaluation{}, err
+		}
+		e.patchRevealed(newPreds, freshIdx)
+		fresh += len(freshIdx)
+		looks++
+	}
+	// Every disagreement is labeled: the exact clause loop, identical to
+	// the static path's final evaluation.
+	ev := Evaluation{D: dHat, FreshLabels: fresh, Looks: looks}
+	truth := interval.True
+	for i := range e.compiled.Clauses {
+		cc := &e.compiled.Clauses[i]
+		var (
+			t   interval.Truth
+			err error
+		)
+		switch {
+		case cc.DOnly():
+			t, err = evaluator.EvalClauseLHS(cc.Clause, dHat, cc.Clause.Tolerance)
+		case cc.NMinusO():
+			sum := evaluator.AndCount(e.newMatch, e.diff) - evaluator.AndCount(e.activeMatch, e.diff)
+			t, err = evaluator.EvalClauseLHS(cc.Clause, float64(sum)/float64(n), cc.Clause.Tolerance)
+		default:
+			return Evaluation{}, fmt.Errorf("engine: pattern plan cannot evaluate clause %q", cc.Clause)
+		}
+		if err != nil {
+			return Evaluation{}, err
+		}
+		truth = truth.And(t)
+	}
+	ev.Truth = truth
+	e.setEstVals(ev)
+	return ev, nil
+}
+
+// evaluateActiveLabelingPackedStatic is the pre-sequential one-shot
+// active path, kept as the early-decision baseline oracle: the n-o clause
+// reveals every disagreeing example in one batched oracle call — unless
+// an earlier clause already collapsed the conjunction to False, in which
+// case the verdict cannot change and the reveal is skipped entirely.
+func (e *Engine) evaluateActiveLabelingPackedStatic(newPreds []int) (Evaluation, error) {
 	ts := e.tsm.Current()
 	n := ts.Len()
 	e.fusedPass(newPreds)
@@ -333,6 +529,12 @@ func (e *Engine) evaluateActiveLabelingPacked(newPreds []int) (Evaluation, error
 	revealed := false
 	for i := range e.compiled.Clauses {
 		cc := &e.compiled.Clauses[i]
+		if truth == interval.False {
+			// And is monotone: a False clause fixes the conjunction no
+			// matter what the remaining clauses evaluate to, so never pay
+			// the n-o clause's disagreement-set labels after one.
+			break
+		}
 		var (
 			t   interval.Truth
 			err error
@@ -349,19 +551,7 @@ func (e *Engine) evaluateActiveLabelingPacked(newPreds []int) (Evaluation, error
 				// Patch the freshly revealed entries into the label
 				// scratch column and both correctness bitmaps (the fused
 				// pass above ran before these labels existed).
-				for _, idx := range freshIdx {
-					y := ts.Data.Y[idx]
-					e.labels[idx] = y
-					if e.byteCols {
-						e.labels8[idx] = uint8(y)
-					}
-					if e.active[idx] == y {
-						e.activeMatch.Set(idx)
-					}
-					if newPreds[idx] == y {
-						e.newMatch.Set(idx)
-					}
-				}
+				e.patchRevealed(newPreds, freshIdx)
 				ev.FreshLabels = len(freshIdx)
 				revealed = true
 			}
@@ -378,6 +568,7 @@ func (e *Engine) evaluateActiveLabelingPacked(newPreds []int) (Evaluation, error
 		truth = truth.And(t)
 	}
 	ev.Truth = truth
+	e.setEstVals(ev)
 	return ev, nil
 }
 
@@ -399,11 +590,93 @@ func (e *Engine) evaluateConditionScalar(newPreds []int) (Evaluation, error) {
 	}
 }
 
-// evaluateFullyLabeledScalar is the scalar baseline path: every label is
-// revealed one oracle round trip at a time and the three variables are
-// measured by an element-wise walk. The label column reuses the
-// engine-owned scratch buffer rather than reallocating per commit.
+// evaluateFullyLabeledScalar is the scalar baseline path made sequential:
+// the counts feeding the shared look decisions come from element-wise
+// walks instead of popcounts, and labels are revealed one oracle round
+// trip at a time in the same ascending-prefix order the packed path's
+// chunk reveals use — so both paths make bit-identical look decisions.
 func (e *Engine) evaluateFullyLabeledScalar(newPreds []int) (Evaluation, error) {
+	if e.early.Disable {
+		return e.evaluateFullyLabeledScalarStatic(newPreds)
+	}
+	ts := e.tsm.Current()
+	n := ts.Len()
+	startUnrevealed := n - ts.RevealedCount()
+	fresh, looks := 0, 0
+	for {
+		var revealed, matchN, matchO, diffCount, unrevDis int
+		for i := 0; i < n; i++ {
+			dis := e.active[i] != newPreds[i]
+			if dis {
+				diffCount++
+			}
+			if ts.Revealed(i) {
+				revealed++
+				y := ts.Data.Y[i]
+				if newPreds[i] == y {
+					matchN++
+				}
+				if e.active[i] == y {
+					matchO++
+				}
+			} else if dis {
+				unrevDis++
+			}
+		}
+		if revealed == n {
+			break
+		}
+		c := lookCounts{
+			total:         n,
+			revealed:      revealed,
+			matchN:        matchN,
+			matchO:        matchO,
+			diffCount:     diffCount,
+			unrevealedDis: unrevDis,
+		}
+		truth, forced := e.decideFullyLabeled(c, looks+1)
+		if forced {
+			return finishPartialFull(truth, c, fresh, looks, startUnrevealed), nil
+		}
+		target := planner.NextLook(revealed, n, e.early.FirstLook, e.early.Growth)
+		for i := 0; i < n && revealed < target; i++ {
+			if ts.Revealed(i) {
+				continue
+			}
+			if _, _, err := e.revealLabel(i); err != nil {
+				return Evaluation{}, err
+			}
+			fresh++
+			revealed++
+		}
+		looks++
+	}
+	// Fully revealed: the legacy element-wise measurement, identical to
+	// the static path's final evaluation.
+	if len(e.labels) != n {
+		e.labels = make([]int, n)
+	}
+	copy(e.labels, ts.Data.Y)
+	est, err := evaluator.Measure(e.active, newPreds, e.labels)
+	if err != nil {
+		return Evaluation{}, err
+	}
+	truth, err := evaluator.EvalFormula(e.cfg.Condition, est)
+	if err != nil {
+		return Evaluation{}, err
+	}
+	ev := Evaluation{Truth: truth, D: est.Values[condlang.VarD], FreshLabels: fresh, Looks: looks}
+	if nv, ok := est.Values[condlang.VarN]; ok {
+		ev.N, ev.O, ev.HasAccuracy = nv, est.Values[condlang.VarO], true
+	}
+	return ev, nil
+}
+
+// evaluateFullyLabeledScalarStatic is the pre-sequential scalar baseline:
+// every label is revealed one oracle round trip at a time and the three
+// variables are measured by an element-wise walk. The label column reuses
+// the engine-owned scratch buffer rather than reallocating per commit.
+func (e *Engine) evaluateFullyLabeledScalarStatic(newPreds []int) (Evaluation, error) {
 	ts := e.tsm.Current()
 	if len(e.labels) != ts.Len() {
 		e.labels = make([]int, ts.Len())
@@ -435,10 +708,123 @@ func (e *Engine) evaluateFullyLabeledScalar(newPreds []int) (Evaluation, error) 
 	return ev, nil
 }
 
-// evaluateActiveLabelingScalar is the scalar active-labeling path: d from
-// an element-wise disagreement count, labels revealed one at a time for
-// the disagreeing examples only.
+// evaluateActiveLabelingScalar is the scalar active-labeling path made
+// sequential: d from an element-wise disagreement count, disagreement-set
+// labels revealed one at a time in ascending order toward the same chunk
+// targets the packed path uses, with the shared forced-verdict check
+// between chunks.
 func (e *Engine) evaluateActiveLabelingScalar(newPreds []int) (Evaluation, error) {
+	if e.early.Disable {
+		return e.evaluateActiveLabelingScalarStatic(newPreds)
+	}
+	ts := e.tsm.Current()
+	n := ts.Len()
+	diffCount, startUnrevDis := 0, 0
+	for i := 0; i < n; i++ {
+		if e.active[i] != newPreds[i] {
+			diffCount++
+			if !ts.Revealed(i) {
+				startUnrevDis++
+			}
+		}
+	}
+	dHat := float64(diffCount) / float64(n)
+	staticCost := e.activeStaticCost(dHat, startUnrevDis)
+	fresh, looks := 0, 0
+	for {
+		revealedDis, sumR := 0, 0
+		for i := 0; i < n; i++ {
+			if e.active[i] == newPreds[i] || !ts.Revealed(i) {
+				continue
+			}
+			revealedDis++
+			y := ts.Data.Y[i]
+			if newPreds[i] == y {
+				sumR++
+			}
+			if e.active[i] == y {
+				sumR--
+			}
+		}
+		if revealedDis == diffCount {
+			break
+		}
+		truth, forced, err := e.decideActive(dHat, n, sumR, revealedDis, diffCount, looks+1)
+		if err != nil {
+			return Evaluation{}, err
+		}
+		if forced {
+			return Evaluation{
+				Truth:       truth,
+				D:           dHat,
+				FreshLabels: fresh,
+				Looks:       looks,
+				EarlyExit:   true,
+				LabelsSaved: staticCost - fresh,
+			}, nil
+		}
+		target := planner.NextLook(revealedDis, diffCount, e.early.FirstLook, e.early.Growth)
+		for i := 0; i < n && revealedDis < target; i++ {
+			if e.active[i] == newPreds[i] || ts.Revealed(i) {
+				continue
+			}
+			if _, _, err := e.revealLabel(i); err != nil {
+				return Evaluation{}, err
+			}
+			fresh++
+			revealedDis++
+		}
+		looks++
+	}
+	// Every disagreement is labeled: the exact clause loop, identical to
+	// the static path's final evaluation.
+	ev := Evaluation{D: dHat, FreshLabels: fresh, Looks: looks}
+	truth := interval.True
+	for _, clause := range e.cfg.Condition.Clauses {
+		lf, err := condlang.Linearize(clause.Expr)
+		if err != nil {
+			return Evaluation{}, err
+		}
+		var t interval.Truth
+		switch {
+		case len(lf.Coef) == 1 && lf.Coef[condlang.VarD] == 1:
+			t, err = evaluator.EvalClauseLHS(clause, dHat, clause.Tolerance)
+			if err != nil {
+				return Evaluation{}, err
+			}
+		case len(lf.Coef) == 2 && lf.Coef[condlang.VarN] == 1 && lf.Coef[condlang.VarO] == -1:
+			sum := 0
+			for i := 0; i < n; i++ {
+				if e.active[i] == newPreds[i] {
+					continue
+				}
+				y := ts.Data.Y[i]
+				if newPreds[i] == y {
+					sum++
+				}
+				if e.active[i] == y {
+					sum--
+				}
+			}
+			t, err = evaluator.EvalClauseLHS(clause, float64(sum)/float64(n), clause.Tolerance)
+			if err != nil {
+				return Evaluation{}, err
+			}
+		default:
+			return Evaluation{}, fmt.Errorf("engine: pattern plan cannot evaluate clause %q", clause)
+		}
+		truth = truth.And(t)
+	}
+	ev.Truth = truth
+	return ev, nil
+}
+
+// evaluateActiveLabelingScalarStatic is the pre-sequential scalar active
+// path: labels revealed one at a time for the disagreeing examples only —
+// unless an earlier clause already collapsed the conjunction to False,
+// mirroring the packed path's short-circuit so the equivalence suites
+// stay byte-identical.
+func (e *Engine) evaluateActiveLabelingScalarStatic(newPreds []int) (Evaluation, error) {
 	ts := e.tsm.Current()
 	n := ts.Len()
 	diff := 0
@@ -453,6 +839,11 @@ func (e *Engine) evaluateActiveLabelingScalar(newPreds []int) (Evaluation, error
 	truth := interval.True
 	fresh := 0
 	for _, clause := range e.cfg.Condition.Clauses {
+		if truth == interval.False {
+			// And is monotone: the conjunction is already fixed, so never
+			// pay the n-o clause's disagreement-set labels after a False.
+			break
+		}
 		lf, err := condlang.Linearize(clause.Expr)
 		if err != nil {
 			return Evaluation{}, err

@@ -31,6 +31,12 @@ type Journal interface {
 	JournalCharge(labels int) error
 	// JournalPromote records that model became the new baseline.
 	JournalPromote(model string) error
+	// JournalLooks records the sequential evaluation's look decision for
+	// the commit: how many reveal chunks it took, how many labels it
+	// saved against the static plan, and whether it exited early. Emitted
+	// for every commit while early decision is enabled (never when
+	// disabled, so disabled-mode logs match the pre-sequential format).
+	JournalLooks(looks, saved int, early bool) error
 }
 
 // SetJournal installs (or, with nil, removes) the durability journal.
@@ -152,6 +158,9 @@ func Restore(cfg *script.Config, st State, opts Options) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
+	if err := opts.EarlyDecision.validate(); err != nil {
+		return nil, err
+	}
 	eng := &Engine{
 		cfg:         cfg,
 		plan:        plan,
@@ -164,6 +173,7 @@ func Restore(cfg *script.Config, st State, opts Options) (*Engine, error) {
 		repo:        repo,
 		scalarEval:  opts.ScalarEval,
 		compiled:    compiled,
+		early:       opts.EarlyDecision.withDefaults(),
 		estVals:     make(map[condlang.Var]float64, 3),
 		activeName:  st.ActiveName,
 		active:      append([]int(nil), st.ActivePreds...),

@@ -41,6 +41,14 @@ func (j *journalTrace) JournalPromote(m string) error {
 	return nil
 }
 
+func (j *journalTrace) JournalLooks(looks, saved int, early bool) error {
+	if j.fail {
+		return fmt.Errorf("journal down")
+	}
+	j.events = append(j.events, fmt.Sprintf("looks:%d/%d/%v", looks, saved, early))
+	return nil
+}
+
 // TestSnapshotRestoreRoundTrip snapshots a mid-flight engine, pushes the
 // snapshot through a JSON round trip (the durable on-disk form), restores
 // it, and drives both engines through identical further commits. Every
@@ -156,14 +164,17 @@ func TestSnapshotIsDetached(t *testing.T) {
 }
 
 // TestJournalSequence checks the callback order and that a journal error
-// aborts the commit before it reaches history.
+// aborts the commit before it reaches history. Early decision is disabled
+// so the reveal counts are the static plan's deterministic full-testset
+// numbers (the early-mode journal is covered separately below).
 func TestJournalSequence(t *testing.T) {
 	ds := indexDataset(600, 3)
 	cfg := mustConfig(t, "n > 0.5 +/- 0.08", 0.95, interval.FPFree,
 		script.Adaptivity{Kind: script.AdaptivityFull}, 5)
 	eng, err := New(cfg, ds, labeling.NewTruthOracle(ds.Y), Options{
-		InitialModel: simModel(t, "h0", ds, 0.5, 1),
-		Notifier:     notify.Discard{},
+		InitialModel:  simModel(t, "h0", ds, 0.5, 1),
+		Notifier:      notify.Discard{},
+		EarlyDecision: EarlyDecision{Disable: true},
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -195,5 +206,44 @@ func TestJournalSequence(t *testing.T) {
 	}
 	if len(eng.History()) != 2 {
 		t.Fatalf("aborted commit reached history: %d entries", len(eng.History()))
+	}
+}
+
+// TestJournalSequenceEarly checks that with early decision on (the
+// default), every commit journals its look decision before the reveal it
+// explains, with numbers matching the returned result — the audit stream
+// durable replay cross-checks label charges against.
+func TestJournalSequenceEarly(t *testing.T) {
+	ds := indexDataset(600, 3)
+	cfg := mustConfig(t, "n > 0.5 +/- 0.08", 0.95, interval.FPFree,
+		script.Adaptivity{Kind: script.AdaptivityFull}, 5)
+	eng, err := New(cfg, ds, labeling.NewTruthOracle(ds.Y), Options{
+		InitialModel: simModel(t, "h0", ds, 0.5, 1),
+		Notifier:     notify.Discard{},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := &journalTrace{}
+	eng.SetJournal(tr)
+
+	res, err := eng.Commit(simModel(t, "good", ds, 0.9, 2), "dev", "pass")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := fmt.Sprintf("looks:%d/%d/%v", res.Looks, res.LabelsSaved, res.EarlyExit)
+	if len(tr.events) == 0 || tr.events[0] != want {
+		t.Fatalf("journal events = %v, want first event %q", tr.events, want)
+	}
+	if res.FreshLabels > 0 {
+		if got := fmt.Sprintf("reveal:%d", res.FreshLabels); len(tr.events) < 2 || tr.events[1] != got {
+			t.Fatalf("journal events = %v, want second event %q", tr.events, got)
+		}
+	}
+	if got := fmt.Sprintf("charge:%d", res.FreshLabels); tr.events[len(tr.events)-2] != got {
+		t.Fatalf("journal events = %v, want charge event %q", tr.events, got)
+	}
+	if tr.events[len(tr.events)-1] != "promote:good" {
+		t.Fatalf("journal events = %v, want trailing promote", tr.events)
 	}
 }

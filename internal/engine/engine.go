@@ -49,6 +49,16 @@ type Result struct {
 	// FreshLabels is the number of new oracle labels paid for by this
 	// commit.
 	FreshLabels int
+	// Looks is how many reveal chunks the sequential evaluation took
+	// (0 when the verdict was forced before any reveal, or when early
+	// decision is disabled).
+	Looks int
+	// EarlyExit reports that the evaluation stopped before the static
+	// plan's full reveal because the verdict was already forced.
+	EarlyExit bool
+	// LabelsSaved is how many labels the static plan would have revealed
+	// for this commit beyond what the sequential evaluation paid.
+	LabelsSaved int
 }
 
 // Engine drives the CI loop for one script.
@@ -71,6 +81,8 @@ type Engine struct {
 	// so per-commit evaluation does not re-derive (and re-allocate) the
 	// linear forms.
 	compiled evaluator.CompiledFormula
+	// early is the sequential early-exit configuration, defaults applied.
+	early EarlyDecision
 
 	// active holds the current baseline ("old") model's predictions on the
 	// current testset.
@@ -121,6 +133,9 @@ type Options struct {
 	// baseline — same role the retired grid search plays for the
 	// worst-case sweep; production engines leave this false.
 	ScalarEval bool
+	// EarlyDecision tunes (or disables) the sequential early-exit
+	// evaluation loop; the zero value is the production default.
+	EarlyDecision EarlyDecision
 }
 
 // New builds an engine for a validated script over the given first testset.
@@ -161,6 +176,9 @@ func New(cfg *script.Config, first *data.Dataset, oracle labeling.Oracle, opts O
 	if err != nil {
 		return nil, err
 	}
+	if err := opts.EarlyDecision.validate(); err != nil {
+		return nil, err
+	}
 	eng := &Engine{
 		cfg:         cfg,
 		plan:        plan,
@@ -173,6 +191,7 @@ func New(cfg *script.Config, first *data.Dataset, oracle labeling.Oracle, opts O
 		repo:        repository.NewStore(),
 		scalarEval:  opts.ScalarEval,
 		compiled:    compiled,
+		early:       opts.EarlyDecision.withDefaults(),
 		estVals:     make(map[condlang.Var]float64, 3),
 	}
 	if err := eng.setActive(opts.InitialModel); err != nil {

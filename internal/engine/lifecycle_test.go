@@ -18,9 +18,13 @@ func TestEngineMultiGenerationLifecycle(t *testing.T) {
 		script.Adaptivity{Kind: script.AdaptivityFull}, 2)
 	ds := indexDataset(600, 4)
 	outbox := notify.NewOutbox()
+	// Early decision disabled: the assertions below pin the static plan's
+	// exact label totals (600 per generation, released testsets fully
+	// labeled), which early exits deliberately undercut.
 	eng, err := New(cfg, ds, labeling.NewTruthOracle(ds.Y), Options{
-		InitialModel: simModel(t, "h0", ds, 0.5, 1),
-		Notifier:     outbox,
+		InitialModel:  simModel(t, "h0", ds, 0.5, 1),
+		Notifier:      outbox,
+		EarlyDecision: EarlyDecision{Disable: true},
 	})
 	if err != nil {
 		t.Fatal(err)

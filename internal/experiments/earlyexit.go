@@ -1,0 +1,157 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"github.com/easeml/ci/internal/engine"
+	"github.com/easeml/ci/internal/interval"
+	"github.com/easeml/ci/internal/labeling"
+	"github.com/easeml/ci/internal/model"
+	"github.com/easeml/ci/internal/script"
+)
+
+// The early-exit experiment measures how the label cost of one commit
+// depends on how borderline it is: candidate accuracy is swept across the
+// test condition's threshold, and each point commits the candidate to a
+// fresh engine twice — once with the sequential early exit (the default)
+// and once with the static one-shot reveal. Far from the threshold the
+// verdict is forced after a few looks and most of the testset stays
+// unlabeled; near it the sequential plan degrades gracefully to the
+// static plan's full cost. The resulting curve is the paper's "labels are
+// the dominant cost" argument turned into a dial: the further a commit is
+// from the bar, the cheaper the gate.
+
+// EarlyExitConfig parameterizes the sweep.
+type EarlyExitConfig struct {
+	// Condition is the test condition; the default sweeps accuracy across
+	// "n > 0.7 +/- 0.05".
+	Condition   string
+	Reliability float64
+	// TestsetSize is the per-point testset (and the static label cost).
+	TestsetSize int
+	// Accuracies are the candidate accuracies to sweep.
+	Accuracies []float64
+	Seed       int64
+}
+
+// DefaultEarlyExitConfig sweeps 15 accuracies from far-failing to
+// far-passing across the 0.7 threshold.
+func DefaultEarlyExitConfig() EarlyExitConfig {
+	accs := []float64{0.05, 0.15, 0.25, 0.35, 0.45, 0.55, 0.62, 0.68, 0.72, 0.78, 0.85, 0.90, 0.95, 0.98, 1.0}
+	return EarlyExitConfig{
+		Condition:   "n > 0.7 +/- 0.05",
+		Reliability: 0.99,
+		TestsetSize: 1200,
+		Accuracies:  accs,
+		Seed:        2019,
+	}
+}
+
+// EarlyExitPoint is one sweep point: a candidate of the given accuracy
+// committed to a fresh engine under both labeling plans.
+type EarlyExitPoint struct {
+	// Accuracy is the candidate's true accuracy; Borderline is its
+	// distance to the threshold (0 = exactly on the bar).
+	Accuracy   float64
+	Borderline float64
+	// EarlyLabels / StaticLabels are the fresh labels each plan paid.
+	EarlyLabels, StaticLabels int
+	// Looks is how many reveal chunks the sequential plan took, and
+	// EarlyExit whether it stopped before the full reveal.
+	Looks     int
+	EarlyExit bool
+	// Truth is the (identical) verdict both plans produced.
+	Truth interval.Truth
+}
+
+// EarlyExit runs the sweep. Deterministic given the config.
+func EarlyExit(cfg EarlyExitConfig) ([]EarlyExitPoint, error) {
+	parsed, err := script.New(cfg.Condition, cfg.Reliability, interval.FPFree,
+		script.Adaptivity{Kind: script.AdaptivityFull}, 2)
+	if err != nil {
+		return nil, err
+	}
+	threshold := parsed.Condition.Clauses[0].Threshold
+	labels := make([]int, cfg.TestsetSize)
+	for i := range labels {
+		labels[i] = i % 4
+	}
+	h0, err := model.SimulatedPredictions(labels, 4, 0.5, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+
+	var out []EarlyExitPoint
+	for i, acc := range cfg.Accuracies {
+		preds, err := model.SimulatedPredictions(labels, 4, acc, cfg.Seed+int64(i)+1)
+		if err != nil {
+			return nil, err
+		}
+		pt := EarlyExitPoint{Accuracy: acc, Borderline: math.Abs(acc - threshold)}
+		for _, disable := range []bool{false, true} {
+			ds := indexDataset("earlyexit", labels, 4)
+			eng, err := engine.New(parsed, ds, labeling.NewTruthOracle(ds.Y), engine.Options{
+				InitialModel:  model.NewFixedPredictions("h0", h0),
+				EarlyDecision: engine.EarlyDecision{Disable: disable},
+			})
+			if err != nil {
+				return nil, err
+			}
+			r, err := eng.Commit(model.NewFixedPredictions("candidate", preds), "exp", "sweep")
+			if err != nil {
+				return nil, err
+			}
+			if disable {
+				pt.StaticLabels = r.FreshLabels
+				if r.Truth != pt.Truth {
+					return nil, fmt.Errorf("experiments: verdicts diverge at accuracy %g: %v vs %v",
+						acc, pt.Truth, r.Truth)
+				}
+			} else {
+				pt.EarlyLabels = r.FreshLabels
+				pt.Looks = r.Looks
+				pt.EarlyExit = r.EarlyExit
+				pt.Truth = r.Truth
+			}
+		}
+		out = append(out, pt)
+	}
+	return out, nil
+}
+
+// RenderEarlyExit prints the sweep as a text figure: label cost under
+// both plans with a savings bar per point.
+func RenderEarlyExit(points []EarlyExitPoint, cfg EarlyExitConfig) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Early exit: label cost of one commit vs distance from the bar\n")
+	fmt.Fprintf(&b, "condition %q, testset %d, fresh engine per point\n\n",
+		cfg.Condition, cfg.TestsetSize)
+	fmt.Fprintf(&b, "%-9s %-11s %-9s %-8s %-7s %-6s %-8s %s\n",
+		"accuracy", "borderline", "verdict", "static", "early", "looks", "saved", "")
+	for _, p := range points {
+		saved := 0.0
+		if p.StaticLabels > 0 {
+			saved = 1 - float64(p.EarlyLabels)/float64(p.StaticLabels)
+		}
+		bar := strings.Repeat("#", int(saved*20+0.5))
+		fmt.Fprintf(&b, "%-9.2f %-11.2f %-9s %-8d %-7d %-6d %-8s %s\n",
+			p.Accuracy, p.Borderline, p.Truth, p.StaticLabels, p.EarlyLabels,
+			p.Looks, fmt.Sprintf("%.0f%%", saved*100), bar)
+	}
+	return b.String()
+}
+
+// EarlyExitCSV converts the sweep to CSV rows.
+func EarlyExitCSV(points []EarlyExitPoint) (header []string, out [][]string) {
+	header = []string{"accuracy", "borderline", "truth", "static_labels", "early_labels", "looks", "early_exit"}
+	for _, p := range points {
+		out = append(out, []string{
+			fmtF(p.Accuracy), fmtF(p.Borderline), p.Truth.String(),
+			fmt.Sprint(p.StaticLabels), fmt.Sprint(p.EarlyLabels),
+			fmt.Sprint(p.Looks), fmt.Sprint(p.EarlyExit),
+		})
+	}
+	return header, out
+}

@@ -1,0 +1,66 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// The sweep's extremes are far from the bar, so the sequential plan must
+// exit early and pay well under the static cost there; every point must
+// agree on the verdict (EarlyExit errors out otherwise) and never pay
+// more than the static plan.
+func TestEarlyExitSweep(t *testing.T) {
+	cfg := DefaultEarlyExitConfig()
+	cfg.Accuracies = []float64{0.05, 0.68, 0.72, 1.0}
+	pts, err := EarlyExit(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != len(cfg.Accuracies) {
+		t.Fatalf("got %d points, want %d", len(pts), len(cfg.Accuracies))
+	}
+	for _, p := range pts {
+		if p.StaticLabels != cfg.TestsetSize {
+			t.Errorf("acc %.2f: static plan paid %d labels, want full testset %d",
+				p.Accuracy, p.StaticLabels, cfg.TestsetSize)
+		}
+		if p.EarlyLabels > p.StaticLabels {
+			t.Errorf("acc %.2f: early plan paid %d > static %d",
+				p.Accuracy, p.EarlyLabels, p.StaticLabels)
+		}
+		if p.Looks < 1 {
+			t.Errorf("acc %.2f: want at least one look, got %d", p.Accuracy, p.Looks)
+		}
+	}
+	for _, i := range []int{0, len(pts) - 1} {
+		p := pts[i]
+		if !p.EarlyExit {
+			t.Errorf("acc %.2f is far from the bar but did not early-exit", p.Accuracy)
+		}
+		if p.EarlyLabels >= p.StaticLabels {
+			t.Errorf("acc %.2f: early plan paid %d of %d labels, want a saving",
+				p.Accuracy, p.EarlyLabels, p.StaticLabels)
+		}
+	}
+	// Forcing a definitive Fail only needs the mismatch mass to exceed
+	// 1-(threshold-tolerance) of the testset, so the far-failing extreme
+	// saves most of the plan.
+	if p := pts[0]; p.EarlyLabels*2 > p.StaticLabels {
+		t.Errorf("acc %.2f: early plan paid %d of %d labels, want under half",
+			p.Accuracy, p.EarlyLabels, p.StaticLabels)
+	}
+
+	txt := RenderEarlyExit(pts, cfg)
+	if !strings.Contains(txt, "Early exit") || !strings.Contains(txt, "accuracy") {
+		t.Errorf("render missing expected sections:\n%s", txt)
+	}
+	header, rows := EarlyExitCSV(pts)
+	if len(header) != 7 || len(rows) != len(pts) {
+		t.Errorf("csv shape: header %d cols, %d rows", len(header), len(rows))
+	}
+	for _, r := range rows {
+		if len(r) != len(header) {
+			t.Fatalf("csv row width %d != header %d", len(r), len(header))
+		}
+	}
+}

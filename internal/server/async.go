@@ -130,6 +130,7 @@ func (s *Server) executeCommitJob(j *queue.Job[AsyncCommitRequest, CommitRespons
 	if err == nil {
 		s.commitsEvaluated.Add(1)
 		s.commitEvalNs.Add(uint64(time.Since(start).Nanoseconds()))
+		s.recordSavings(resp)
 	}
 	if s.wlog == nil {
 		return resp, err
@@ -329,7 +330,6 @@ func (s *Server) handleAdminReset(w http.ResponseWriter, r *http.Request) {
 	pre := s.metricsSnapshot()
 	s.plans.Reset()
 	bounds.ResetExactCache()
-	s.commitsEvaluated.Store(0)
-	s.commitEvalNs.Store(0)
+	s.resetCommitCounters()
 	writeJSON(w, http.StatusOK, pre)
 }

@@ -42,6 +42,7 @@ const (
 	recTypeReveal   = "reveal"
 	recTypeCharge   = "charge"
 	recTypePromote  = "promote"
+	recTypeLooks    = "looks"
 	recTypeRollback = "rollback"
 )
 
@@ -105,6 +106,16 @@ type recCharge struct {
 
 type recPromote struct {
 	Model string `json:"model"`
+}
+
+// recLooks journals one commit's sequential-evaluation decision: replay
+// re-derives it from the same look schedule and cross-checks, so a
+// recovered server provably reproduced the live run's label charges.
+// Only present in logs written with early decision enabled.
+type recLooks struct {
+	Looks int  `json:"looks"`
+	Saved int  `json:"saved"`
+	Early bool `json:"early,omitempty"`
 }
 
 type recRollback struct {
@@ -258,7 +269,7 @@ func NewDurable(g Genesis, dataDir string, opts Options) (*Server, error) {
 			return nil, fmt.Errorf("server: stamping genesis: %w", err)
 		}
 	}
-	d, err := recoverDurable(cfg, g, opts.LabelQuota, snap, records)
+	d, err := recoverDurable(cfg, g, opts, snap, records)
 	if err != nil {
 		_ = wlog.Close()
 		return nil, fmt.Errorf("server: recovery: %w", err)
@@ -350,8 +361,12 @@ func (e *jobEntry) status() JobStatusResponse {
 // evaluation path, with the result byte-compared against the logged
 // response and the engine's journal cross-checked against the logged
 // audit records — recovery fails loudly on any divergence rather than
-// serving a history the log doesn't vouch for.
-func recoverDurable(cfg *script.Config, g Genesis, labelQuota int, snap *wal.Snapshot, records []wal.Record) (*durableState, error) {
+// serving a history the log doesn't vouch for. Evaluation-affecting
+// options (LabelQuota, EarlyDecision) follow the quota precedent: they
+// are not fingerprinted, so the operator must keep them stable across
+// restarts of a data directory — the byte-compare catches divergence.
+func recoverDurable(cfg *script.Config, g Genesis, opts Options, snap *wal.Snapshot, records []wal.Record) (*durableState, error) {
+	labelQuota := opts.LabelQuota
 	d := &durableState{table: make(map[string]*jobEntry), fp: g.fingerprint()}
 	var eng *engine.Engine
 	if snap != nil {
@@ -363,7 +378,7 @@ func recoverDurable(cfg *script.Config, g Genesis, labelQuota int, snap *wal.Sna
 			return nil, fmt.Errorf("snapshot: config fingerprint %q does not match the supplied genesis %q — the data directory was created under a different configuration (condition, reliability, adaptivity, steps, or testset); point the server at a fresh data directory or restore the original flags", ws.Genesis, d.fp)
 		}
 		var err error
-		eng, err = engine.Restore(cfg, ws.Engine, engine.Options{Notifier: notify.Discard{}})
+		eng, err = engine.Restore(cfg, ws.Engine, engine.Options{Notifier: notify.Discard{}, EarlyDecision: opts.EarlyDecision})
 		if err != nil {
 			return nil, fmt.Errorf("snapshot: %w", err)
 		}
@@ -378,8 +393,9 @@ func recoverDurable(cfg *script.Config, g Genesis, labelQuota int, snap *wal.Sna
 			return nil, fmt.Errorf("genesis: %w", err)
 		}
 		eng, err = engine.New(cfg, ds, labeling.NewTruthOracle(ds.Y), engine.Options{
-			InitialModel: model.NewFixedPredictions(g.ModelName, g.ModelPredictions),
-			Notifier:     notify.Discard{},
+			InitialModel:  model.NewFixedPredictions(g.ModelName, g.ModelPredictions),
+			Notifier:      notify.Discard{},
+			EarlyDecision: opts.EarlyDecision,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("genesis: %w", err)
@@ -416,7 +432,7 @@ func recoverDurable(cfg *script.Config, g Genesis, labelQuota int, snap *wal.Sna
 			if r.Seq > d.nextSeq {
 				d.nextSeq = r.Seq
 			}
-		case recTypeReveal, recTypeCharge, recTypePromote:
+		case recTypeReveal, recTypeCharge, recTypePromote, recTypeLooks:
 			audit = append(audit, rec)
 		case recTypeRollback:
 			audit = nil
@@ -566,6 +582,9 @@ func (v *auditVerifier) JournalCharge(labels int) error {
 func (v *auditVerifier) JournalPromote(m string) error {
 	return v.take(recTypePromote, recPromote{Model: m})
 }
+func (v *auditVerifier) JournalLooks(looks, saved int, early bool) error {
+	return v.take(recTypeLooks, recLooks{Looks: looks, Saved: saved, Early: early})
+}
 
 // walJournal is the live-traffic engine journal: every engine side
 // effect inside a commit is appended (unsynced — the commit record's
@@ -590,6 +609,9 @@ func (j walJournal) JournalCharge(labels int) error {
 }
 func (j walJournal) JournalPromote(m string) error {
 	return j.append(recTypePromote, recPromote{Model: m})
+}
+func (j walJournal) JournalLooks(looks, saved int, early bool) error {
+	return j.append(recTypeLooks, recLooks{Looks: looks, Saved: saved, Early: early})
 }
 
 // walAppendSyncLocked appends one record and fsyncs, poisoning the

@@ -403,6 +403,9 @@ type TenantMetrics struct {
 	CommitQueue       queue.Stats `json:"commit_queue"`
 	CommitsEvaluated  uint64      `json:"commits_evaluated"`
 	CommitEvalNsTotal uint64      `json:"commit_eval_ns_total"`
+	LabelsSavedTotal  uint64      `json:"labels_saved_total"`
+	EarlyExitsTotal   uint64      `json:"early_exits_total"`
+	EarlyExitLooks    []uint64    `json:"early_exit_looks,omitempty"`
 	WebhooksSent      uint64      `json:"webhooks_sent"`
 	WebhooksFailed    uint64      `json:"webhooks_failed"`
 	WAL               *wal.Stats  `json:"wal,omitempty"`
@@ -423,7 +426,12 @@ type MultiMetricsResponse struct {
 	SweepSegmentsRefined  uint64          `json:"sweep_segments_refined"`
 	Scheduler             queue.PoolStats `json:"scheduler"`
 	ControlWAL            *wal.Stats      `json:"control_wal,omitempty"`
-	Projects              []TenantMetrics `json:"projects"`
+	// LabelsSavedTotal / EarlyExitsTotal sum the early-decision savings
+	// across every tenant — the fleet-wide view of what the sequential
+	// evaluation is worth; per-tenant attribution is in Projects.
+	LabelsSavedTotal uint64          `json:"labels_saved_total"`
+	EarlyExitsTotal  uint64          `json:"early_exits_total"`
+	Projects         []TenantMetrics `json:"projects"`
 }
 
 // tenantMetrics gathers one server's tenant-owned counters.
@@ -434,6 +442,9 @@ func (s *Server) tenantMetrics(id, state string) TenantMetrics {
 		CommitQueue:       s.jobs.Stats(),
 		CommitsEvaluated:  s.commitsEvaluated.Load(),
 		CommitEvalNsTotal: s.commitEvalNs.Load(),
+		LabelsSavedTotal:  s.labelsSaved.Load(),
+		EarlyExitsTotal:   s.earlyExits.Load(),
+		EarlyExitLooks:    s.lookHistSnapshot(),
 		WebhooksSent:      s.webhooksSent.Load(),
 		WebhooksFailed:    s.webhooksFailed.Load(),
 		WAL:               s.WALStats(),
@@ -445,6 +456,11 @@ func (s *Server) tenantMetrics(id, state string) TenantMetrics {
 func (s *Server) resetCommitCounters() {
 	s.commitsEvaluated.Store(0)
 	s.commitEvalNs.Store(0)
+	s.labelsSaved.Store(0)
+	s.earlyExits.Store(0)
+	for i := range s.lookHist {
+		s.lookHist[i].Store(0)
+	}
 }
 
 // --- routing ------------------------------------------------------------
@@ -761,6 +777,10 @@ func (m *Multi) metricsSnapshot() MultiMetricsResponse {
 		if srv := m.tenant(p.ID); srv != nil {
 			resp.Projects = append(resp.Projects, srv.tenantMetrics(p.ID, string(p.State)))
 		}
+	}
+	for _, p := range resp.Projects {
+		resp.LabelsSavedTotal += p.LabelsSavedTotal
+		resp.EarlyExitsTotal += p.EarlyExitsTotal
 	}
 	return resp
 }

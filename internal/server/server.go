@@ -113,6 +113,14 @@ type Server struct {
 	// time spent inside engine.Commit.
 	commitsEvaluated atomic.Uint64
 	commitEvalNs     atomic.Uint64
+	// labelsSaved / earlyExits / lookHist track the sequential
+	// evaluation's label economy: oracle labels not spent versus the
+	// static plan, commits whose verdict was forced early, and a
+	// histogram of how many looks each early exit took (the last bucket
+	// absorbs deeper exits).
+	labelsSaved atomic.Uint64
+	earlyExits  atomic.Uint64
+	lookHist    [lookHistBuckets]atomic.Uint64
 
 	// Multi-tenant wiring: scheduler notifications and the tenant's label
 	// budget (see Options.OnEnqueue/OnDequeue/LabelQuota).
@@ -180,10 +188,55 @@ type Options struct {
 	// will refuse the log (a commit the log accepted would now be
 	// rejected by replay).
 	LabelQuota int
+	// EarlyDecision tunes (or disables) the engine's sequential
+	// early-exit evaluation. Like LabelQuota it shapes what the
+	// evaluation path does, so it must stay stable across restarts of a
+	// durable server — replaying a log written under different
+	// early-decision settings charges different labels and recovery
+	// refuses the divergence.
+	EarlyDecision engine.EarlyDecision
 }
 
 // DefaultCompactAt is the automatic WAL compaction threshold.
 const DefaultCompactAt = 4 << 20
+
+// lookHistBuckets sizes the early-exit look histogram. A geometric look
+// schedule decides in O(log n) looks, so 16 buckets cover testsets far
+// beyond anything the planner emits; deeper exits land in the last one.
+const lookHistBuckets = 16
+
+// recordSavings folds one successful commit's label economy into the
+// serving counters.
+func (s *Server) recordSavings(resp CommitResponse) {
+	if resp.LabelsSaved > 0 {
+		s.labelsSaved.Add(uint64(resp.LabelsSaved))
+	}
+	if resp.EarlyExit {
+		s.earlyExits.Add(1)
+		b := resp.Looks
+		if b >= lookHistBuckets {
+			b = lookHistBuckets - 1
+		}
+		s.lookHist[b].Add(1)
+	}
+}
+
+// lookHistSnapshot reads the early-exit look histogram, trimming
+// trailing zero buckets (nil when no early exit happened yet).
+func (s *Server) lookHistSnapshot() []uint64 {
+	out := make([]uint64, lookHistBuckets)
+	for i := range s.lookHist {
+		out[i] = s.lookHist[i].Load()
+	}
+	n := len(out)
+	for n > 0 && out[n-1] == 0 {
+		n--
+	}
+	if n == 0 {
+		return nil
+	}
+	return out[:n]
+}
 
 // New builds a server around an existing engine and its script config,
 // with default options.
@@ -219,8 +272,9 @@ func NewFromGenesis(g Genesis, opts Options) (*Server, error) {
 		en = notify.NewOutbox()
 	}
 	eng, err := engine.New(cfg, ds, labeling.NewTruthOracle(ds.Y), engine.Options{
-		InitialModel: model.NewFixedPredictions(g.ModelName, g.ModelPredictions),
-		Notifier:     en,
+		InitialModel:  model.NewFixedPredictions(g.ModelName, g.ModelPredictions),
+		Notifier:      en,
+		EarlyDecision: opts.EarlyDecision,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("server: genesis: %w", err)
@@ -474,6 +528,12 @@ type CommitResponse struct {
 	Estimates      map[string]float64 `json:"estimates,omitempty"`
 	FreshLabels    int                `json:"fresh_labels"`
 	NeedNewTestset bool               `json:"need_new_testset"`
+	// Label-economy fields from the sequential evaluation; all omitted
+	// when early decision is disabled, keeping disabled-mode responses
+	// (and durable logs) byte-identical to the pre-sequential format.
+	Looks       int  `json:"looks,omitempty"`
+	EarlyExit   bool `json:"early_exit,omitempty"`
+	LabelsSaved int  `json:"labels_saved,omitempty"`
 }
 
 // RotateRequest installs a fresh testset: its labels, plus the active
@@ -719,6 +779,15 @@ type MetricsResponse struct {
 	// POST /api/v1/admin/reset-caches.
 	CommitsEvaluated  uint64 `json:"commits_evaluated"`
 	CommitEvalNsTotal uint64 `json:"commit_eval_ns_total"`
+	// LabelsSavedTotal / EarlyExitsTotal / EarlyExitLooks are the
+	// sequential evaluation's label economy: oracle labels the static
+	// plan would have paid beyond what commits actually revealed, how
+	// many commits exited before the full reveal, and a histogram of
+	// early exits by look count (index = looks taken, trailing zero
+	// buckets trimmed). Reset via POST /api/v1/admin/reset-caches.
+	LabelsSavedTotal uint64   `json:"labels_saved_total"`
+	EarlyExitsTotal  uint64   `json:"early_exits_total"`
+	EarlyExitLooks   []uint64 `json:"early_exit_looks,omitempty"`
 	// WebhookRetry is the webhook retry queue: attempts, backoff
 	// reschedules, per-kind delivery latency, and each subscriber's
 	// circuit breaker state. Not cleared by the admin cache reset — the
@@ -749,6 +818,9 @@ func (s *Server) metricsSnapshot() MetricsResponse {
 		WebhooksFailed:        s.webhooksFailed.Load(),
 		CommitsEvaluated:      s.commitsEvaluated.Load(),
 		CommitEvalNsTotal:     s.commitEvalNs.Load(),
+		LabelsSavedTotal:      s.labelsSaved.Load(),
+		EarlyExitsTotal:       s.earlyExits.Load(),
+		EarlyExitLooks:        s.lookHistSnapshot(),
 	}
 	m.WebhookRetry = s.deliver.Stats()
 	if s.wlog != nil {
@@ -910,6 +982,11 @@ func resultToResponse(cfg *script.Config, res engine.Result) CommitResponse {
 		Signal:         res.Signal,
 		FreshLabels:    res.FreshLabels,
 		NeedNewTestset: res.NeedNewTestset,
+		// Label-economy accounting travels with FreshLabels regardless of
+		// adaptivity: it reveals cost, not the verdict.
+		Looks:       res.Looks,
+		EarlyExit:   res.EarlyExit,
+		LabelsSaved: res.LabelsSaved,
 	}
 	if cfg.Adaptivity.Kind != script.AdaptivityNone {
 		out.Truth = res.Truth.String()

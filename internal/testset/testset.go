@@ -147,6 +147,61 @@ func (t *Testset) RevealWhere(want evaluator.Bitmap, o labeling.BatchOracle) ([]
 	return idx, nil
 }
 
+// RevealFirst reveals up to limit not-yet-revealed labels in ascending
+// index order, through one bulk oracle request, and returns the freshly
+// revealed indices (nil when nothing was unrevealed). It is the prefix-
+// reveal primitive of sequential evaluation: revealing chunk by chunk
+// toward a look target instead of the whole testset at once.
+func (t *Testset) RevealFirst(limit int, o labeling.BatchOracle) ([]int, error) {
+	if limit <= 0 {
+		return nil, nil
+	}
+	missing := t.Len() - t.revealedCount
+	if missing == 0 {
+		return nil, nil
+	}
+	if limit > missing {
+		limit = missing
+	}
+	idx := make([]int, 0, limit)
+	for i := 0; i < t.Len() && len(idx) < limit; i++ {
+		if !t.revealed.Get(i) {
+			idx = append(idx, i)
+		}
+	}
+	if _, err := t.revealBatch(idx, o); err != nil {
+		return nil, err
+	}
+	return idx, nil
+}
+
+// RevealChunk is RevealWhere bounded to the first limit unrevealed
+// examples of want, in ascending index order: the chunked form active
+// labeling reveals its disagreement set through. limit <= 0 means no
+// bound (== RevealWhere). Returns the freshly revealed indices.
+func (t *Testset) RevealChunk(want evaluator.Bitmap, limit int, o labeling.BatchOracle) ([]int, error) {
+	if want.Len() != t.Len() {
+		return nil, fmt.Errorf("testset: reveal bitmap covers %d examples, testset has %d", want.Len(), t.Len())
+	}
+	missing := evaluator.AndNotCount(want, t.revealed)
+	if missing == 0 {
+		return nil, nil
+	}
+	if limit <= 0 || limit > missing {
+		limit = missing
+	}
+	idx := make([]int, 0, limit)
+	for i := 0; i < t.Len() && len(idx) < limit; i++ {
+		if want.Get(i) && !t.revealed.Get(i) {
+			idx = append(idx, i)
+		}
+	}
+	if _, err := t.revealBatch(idx, o); err != nil {
+		return nil, err
+	}
+	return idx, nil
+}
+
 // revealBatch queries the oracle for the given indices, verifies every
 // label against the stored ground truth, and only then marks the batch
 // revealed. The all-then-mark order makes a failed batch atomic: callers

@@ -265,3 +265,99 @@ func TestRevealBatchAtomicOnMismatch(t *testing.T) {
 		t.Fatalf("recovery reveal: fresh=%d err=%v", fresh, err)
 	}
 }
+
+func TestRevealFirst(t *testing.T) {
+	ds := dataset(t, 130, 4) // crosses two bitmap words
+	ts, _ := New(1, ds)
+	oracle := labeling.NewTruthOracle(ds.Y)
+	// Pre-reveal a couple mid-prefix: RevealFirst must skip them and still
+	// deliver exactly `limit` fresh labels in ascending order.
+	ts.Reveal(2)
+	ts.Reveal(64)
+	idx, err := ts.RevealFirst(10, oracle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(idx) != 10 {
+		t.Fatalf("fresh = %v, want 10 entries", idx)
+	}
+	want := []int{0, 1, 3, 4, 5, 6, 7, 8, 9, 10}
+	for k, i := range idx {
+		if i != want[k] {
+			t.Fatalf("fresh indices = %v, want %v", idx, want)
+		}
+	}
+	if ts.RevealedCount() != 12 {
+		t.Errorf("revealed = %d, want 12", ts.RevealedCount())
+	}
+	// A limit past the end reveals everything that is left.
+	idx, err = ts.RevealFirst(1000, oracle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(idx) != 118 || ts.RevealedCount() != 130 {
+		t.Errorf("fresh = %d revealed = %d", len(idx), ts.RevealedCount())
+	}
+	// Steady state and degenerate limits reveal nothing.
+	if idx, err := ts.RevealFirst(5, nil); err != nil || idx != nil {
+		t.Errorf("steady state: idx=%v err=%v", idx, err)
+	}
+	ts2, _ := New(1, ds)
+	if idx, err := ts2.RevealFirst(0, oracle); err != nil || idx != nil {
+		t.Errorf("limit 0: idx=%v err=%v", idx, err)
+	}
+	if idx, err := ts2.RevealFirst(-3, oracle); err != nil || idx != nil {
+		t.Errorf("negative limit: idx=%v err=%v", idx, err)
+	}
+}
+
+func TestRevealChunk(t *testing.T) {
+	ds := dataset(t, 100, 5)
+	ts, _ := New(1, ds)
+	oracle := labeling.NewTruthOracle(ds.Y)
+	want := evaluator.NewBitmap(100)
+	for _, i := range []int{1, 5, 40, 63, 64, 65, 99} {
+		want.Set(i)
+	}
+	ts.Reveal(5) // already paid: not part of the chunk budget
+	idx, err := ts.RevealChunk(want, 3, oracle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(idx) != 3 || idx[0] != 1 || idx[1] != 40 || idx[2] != 63 {
+		t.Fatalf("fresh indices = %v, want [1 40 63]", idx)
+	}
+	// The next chunk resumes where the last stopped.
+	idx, err = ts.RevealChunk(want, 2, oracle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(idx) != 2 || idx[0] != 64 || idx[1] != 65 {
+		t.Fatalf("fresh indices = %v, want [64 65]", idx)
+	}
+	// A limit at or past the remainder reveals the rest of the mask.
+	idx, err = ts.RevealChunk(want, 100, oracle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(idx) != 1 || idx[0] != 99 {
+		t.Fatalf("fresh indices = %v, want [99]", idx)
+	}
+	if ts.RevealedCount() != 7 {
+		t.Errorf("revealed = %d, want 7", ts.RevealedCount())
+	}
+	// Exhausted mask: nothing fresh regardless of limit.
+	if idx, err := ts.RevealChunk(want, 5, nil); err != nil || idx != nil {
+		t.Errorf("steady state: idx=%v err=%v", idx, err)
+	}
+	if _, err := ts.RevealChunk(evaluator.NewBitmap(99), 5, oracle); err == nil {
+		t.Error("length mismatch should fail")
+	}
+	// limit <= 0 means unbounded: the whole mask in one call, same as
+	// RevealWhere.
+	ts2, _ := New(1, ds)
+	idx, err = ts2.RevealChunk(want, 0, oracle)
+	if err != nil || len(idx) != 7 {
+		t.Errorf("unbounded chunk: idx=%v err=%v", idx, err)
+	}
+}

@@ -21,6 +21,12 @@
 // (steady-state commit evaluation, the binomial tail walk), and at a full
 // -benchtime there is no noise to excuse — allocs/op is deterministic.
 //
+// Label cost is gated the same way: a benchmark reporting the
+// labels/commit metric (BenchmarkEarlyExitLabelCost's fixed-seed
+// workload) is deterministic, so any increase over the committed record
+// means the early-decision loop got lazier about stopping — a hard
+// failure, not a noise question.
+//
 // With -report-only the exit status is always 0 and both gates downgrade
 // to GitHub workflow annotations — the mode the CI bench-smoke job uses.
 // Its 1-iteration timings on shared runners are too noisy for the ns/op
@@ -50,9 +56,22 @@ import (
 // (and runs without -benchmem) have no allocation column; absent means
 // "not gated", not "zero".
 type Result struct {
-	Name        string  `json:"name"`
-	NsPerOp     float64 `json:"ns_per_op"`
-	AllocsPerOp *int64  `json:"allocs_per_op,omitempty"`
+	Name        string             `json:"name"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	AllocsPerOp *int64             `json:"allocs_per_op,omitempty"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+// labelCostMetric is the custom metric name the label-cost gate watches
+// (reported by BenchmarkEarlyExitLabelCost, recorded by tools/benchjson).
+const labelCostMetric = "labels/commit"
+
+// labelCost extracts the gated metric, nil when the record has none.
+func labelCost(r Result) *float64 {
+	if v, ok := r.Metrics[labelCostMetric]; ok {
+		return &v
+	}
+	return nil
 }
 
 // Report mirrors tools/benchjson's top-level record.
@@ -68,6 +87,8 @@ type Delta struct {
 	Ratio     float64 // NewNs / OldNs
 	OldAllocs *int64  // nil when the side has no allocation record
 	NewAllocs *int64
+	OldLabels *float64 // nil when the side reports no labels/commit metric
+	NewLabels *float64
 	Missing   bool // present in old, absent in new
 	Appeared  bool // present in new, absent in old
 }
@@ -90,6 +111,18 @@ func (d Delta) AllocRegressed() bool {
 		*d.OldAllocs == 0 && *d.NewAllocs > 0
 }
 
+// LabelRegressed reports whether a benchmark's labels/commit metric rose
+// above the committed record. The workload behind the metric is
+// fixed-seed and the look schedule deterministic, so even a fractional
+// increase is a real change in how many labels the sequential evaluation
+// pays, never noise. Benchmarks without the metric on both sides are not
+// gated.
+func (d Delta) LabelRegressed() bool {
+	return !d.Missing && !d.Appeared &&
+		d.OldLabels != nil && d.NewLabels != nil &&
+		*d.NewLabels > *d.OldLabels+1e-9
+}
+
 // OneSided reports whether the benchmark exists on only one side of the
 // comparison — worth a warning, never a failure.
 func (d Delta) OneSided() bool { return d.Missing || d.Appeared }
@@ -104,10 +137,11 @@ func Compare(old, new Report) []Delta {
 	seen := map[string]bool{}
 	for _, r := range old.Results {
 		seen[r.Name] = true
-		d := Delta{Name: r.Name, OldNs: r.NsPerOp, OldAllocs: r.AllocsPerOp}
+		d := Delta{Name: r.Name, OldNs: r.NsPerOp, OldAllocs: r.AllocsPerOp, OldLabels: labelCost(r)}
 		if nr, ok := newByName[r.Name]; ok {
 			d.NewNs = nr.NsPerOp
 			d.NewAllocs = nr.AllocsPerOp
+			d.NewLabels = labelCost(nr)
 			if r.NsPerOp > 0 {
 				d.Ratio = nr.NsPerOp / r.NsPerOp
 			}
@@ -118,7 +152,7 @@ func Compare(old, new Report) []Delta {
 	}
 	for _, r := range new.Results {
 		if !seen[r.Name] {
-			out = append(out, Delta{Name: r.Name, NewNs: r.NsPerOp, NewAllocs: r.AllocsPerOp, Appeared: true})
+			out = append(out, Delta{Name: r.Name, NewNs: r.NsPerOp, NewAllocs: r.AllocsPerOp, NewLabels: labelCost(r), Appeared: true})
 		}
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
@@ -244,7 +278,7 @@ func main() {
 		os.Exit(2)
 	}
 	deltas := Compare(oldRep, newRep)
-	regressions, allocRegressions, oneSided := 0, 0, 0
+	regressions, allocRegressions, labelRegressions, oneSided := 0, 0, 0, 0
 	fmt.Printf("benchdiff: %s -> %s (threshold %.0f%%)\n", *oldPath, *newPath, *threshold)
 	for _, d := range deltas {
 		switch {
@@ -261,6 +295,14 @@ func main() {
 			if *reportOnly {
 				fmt.Printf("::warning title=bench unbaselined::%s: %.1f ns/op has no committed BENCH_<n>.json baseline; commit a record so it enters the gate\n",
 					d.Name, d.NewNs)
+			}
+		case d.LabelRegressed():
+			labelRegressions++
+			fmt.Printf("  %-60s %12.1f -> %12.1f labels/commit  LABEL-COST REGRESSION\n",
+				d.Name, *d.OldLabels, *d.NewLabels)
+			if *reportOnly {
+				fmt.Printf("::warning title=label-cost regression::%s: %.1f -> %.1f labels/commit; the workload is fixed-seed, so the sequential evaluation is genuinely paying more labels\n",
+					d.Name, *d.OldLabels, *d.NewLabels)
 			}
 		case d.AllocRegressed():
 			allocRegressions++
@@ -287,6 +329,12 @@ func main() {
 		fmt.Fprintf(os.Stderr, "benchdiff: warning: %d benchmark(s) present on only one side were not gated\n", oneSided)
 	}
 	fail := false
+	if labelRegressions > 0 {
+		// Deterministic even at 1 iteration, but -report-only pledges exit
+		// status 0; there the annotation carries it.
+		fmt.Fprintf(os.Stderr, "benchdiff: %d benchmark(s) now pay more labels per commit\n", labelRegressions)
+		fail = !*reportOnly
+	}
 	if allocRegressions > 0 {
 		// Hard only at full benchtime: a 1-iteration -report-only run
 		// cannot distinguish steady-state allocations from one-time

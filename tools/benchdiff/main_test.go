@@ -190,6 +190,76 @@ func TestOneSidedIsWarningNotSkip(t *testing.T) {
 	}
 }
 
+func labeled(name string, ns, labels float64) Result {
+	return Result{Name: name, NsPerOp: ns, Metrics: map[string]float64{labelCostMetric: labels}}
+}
+
+// TestLabelCostGate: the labels/commit metric is deterministic, so any
+// increase over the committed record fails — while decreases, unmetered
+// benchmarks, and one-sided entries never do.
+func TestLabelCostGate(t *testing.T) {
+	old := Report{Results: []Result{
+		labeled("Early", 100, 768),
+		labeled("Improved", 100, 768),
+		labeled("Retired", 100, 512),
+		{Name: "NoMetric", NsPerOp: 100},
+		{Name: "GainsMetric", NsPerOp: 100},
+	}}
+	new_ := Report{Results: []Result{
+		labeled("Early", 101, 896),
+		labeled("Improved", 101, 512),
+		labeled("Fresh", 10, 512),
+		{Name: "NoMetric", NsPerOp: 101},
+		labeled("GainsMetric", 101, 4096),
+	}}
+	byName := map[string]Delta{}
+	for _, d := range Compare(old, new_) {
+		byName[d.Name] = d
+	}
+	if !byName["Early"].LabelRegressed() {
+		t.Error("768 -> 896 labels/commit must trip the label gate")
+	}
+	if byName["Improved"].LabelRegressed() {
+		t.Error("a label-cost improvement is not a regression")
+	}
+	if byName["NoMetric"].LabelRegressed() {
+		t.Error("benchmarks without the metric are not gated")
+	}
+	if byName["GainsMetric"].LabelRegressed() {
+		t.Error("a benchmark that only now reports the metric has no baseline to regress from")
+	}
+	if byName["Retired"].LabelRegressed() || byName["Fresh"].LabelRegressed() {
+		t.Error("one-sided benchmarks must not trip the label gate")
+	}
+}
+
+func TestLabelCostGateExactStayIsFine(t *testing.T) {
+	old := Report{Results: []Result{labeled("A", 100, 768)}}
+	new_ := Report{Results: []Result{labeled("A", 90, 768)}}
+	if Compare(old, new_)[0].LabelRegressed() {
+		t.Error("unchanged labels/commit must pass")
+	}
+}
+
+// TestMetricsSurviveJSONRoundTrip guards the wire contract with
+// tools/benchjson for the label gate's input.
+func TestMetricsSurviveJSONRoundTrip(t *testing.T) {
+	var rep Report
+	if err := json.Unmarshal([]byte(`{"results":[{"name":"A","ns_per_op":12.5,"metrics":{"labels/commit":768}}]}`), &rep); err != nil {
+		t.Fatal(err)
+	}
+	if lc := labelCost(rep.Results[0]); lc == nil || *lc != 768 {
+		t.Fatalf("labels/commit did not survive: %+v", rep.Results[0])
+	}
+	var rep2 Report
+	if err := json.Unmarshal([]byte(`{"results":[{"name":"A","ns_per_op":12.5}]}`), &rep2); err != nil {
+		t.Fatal(err)
+	}
+	if labelCost(rep2.Results[0]) != nil {
+		t.Fatal("absent metrics must yield no label-cost record")
+	}
+}
+
 // TestAllocsSurviveJSONRoundTrip guards the wire contract with
 // tools/benchjson: allocs_per_op parses into the gated field.
 func TestAllocsSurviveJSONRoundTrip(t *testing.T) {
