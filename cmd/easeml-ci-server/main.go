@@ -44,6 +44,7 @@ import (
 	"time"
 
 	ci "github.com/easeml/ci"
+	"github.com/easeml/ci/internal/labeling"
 	"github.com/easeml/ci/internal/model"
 	"github.com/easeml/ci/internal/server"
 )
@@ -66,6 +67,11 @@ func main() {
 		compactAt   = flag.Int64("compact-at", 0, "auto-compact each log beyond this many bytes (0 = default, negative = never)")
 		noEarlyExit = flag.Bool("no-early-exit", false, "disable the sequential evaluation's early exit: reveal every commit's labels in one shot (keep this flag stable across restarts of a data dir)")
 		seqDelta    = flag.Float64("sequential-delta", 0, "failure budget for the anytime-valid sequential stopping bound; 0 keeps only the deterministic no-regret exit")
+
+		oracleURL     = flag.String("oracle-url", "", "remote label provider endpoint (POST, JSON batch protocol); empty answers labels in-process from the testset. Outages park commit jobs in the awaiting_labels state instead of failing them")
+		oracleTimeout = flag.Duration("oracle-timeout", labeling.DefaultProviderTimeout, "per-request timeout against the label provider")
+		oracleRetries = flag.Int("oracle-retries", labeling.DefaultOracleMaxAttempts, "attempts per label batch before the job parks (no-progress rounds; partial answers reset the count)")
+		oracleBackoff = flag.Duration("oracle-backoff", labeling.DefaultOracleBackoff, "base retry backoff against the label provider (doubles per failure, capped, jittered; Retry-After wins when the provider sends one)")
 	)
 	flag.Parse()
 
@@ -73,7 +79,7 @@ func main() {
 	if err != nil {
 		log.Fatal("easeml-ci-server: ", err)
 	}
-	srv, err := buildServer(cfg, *testsetSize, *classes, *initialAcc, *seed, *dataDir, *poolWorkers, server.Options{
+	opts := server.Options{
 		QueueCapacity: *queueCap,
 		WALNoSync:     *walNoSync,
 		CompactAt:     *compactAt,
@@ -81,7 +87,17 @@ func main() {
 			Disable:         *noEarlyExit,
 			SequentialDelta: *seqDelta,
 		},
-	})
+	}
+	if *oracleURL != "" {
+		factory, ferr := oracleFactory(*oracleURL, *oracleTimeout, *oracleRetries, *oracleBackoff)
+		if ferr != nil {
+			log.Fatal("easeml-ci-server: ", ferr)
+		}
+		opts.OracleFactory = factory
+		log.Printf("sourcing labels from %s (timeout %s, %d attempts, base backoff %s)",
+			*oracleURL, *oracleTimeout, *oracleRetries, *oracleBackoff)
+	}
+	srv, err := buildServer(cfg, *testsetSize, *classes, *initialAcc, *seed, *dataDir, *poolWorkers, opts)
 	if err != nil {
 		log.Fatal("easeml-ci-server: ", err)
 	}
@@ -109,6 +125,24 @@ func main() {
 		log.Fatal("easeml-ci-server: ", err)
 	}
 	<-done
+}
+
+// oracleFactory builds the per-tenant, per-generation label client over
+// one shared HTTP transport. Each factory call returns a fresh
+// labeling.Resilient, so a rotation (or a new project) starts with an
+// empty verified-label cache and its own circuit breaker — label indices
+// from different testset generations must never alias in one cache.
+func oracleFactory(endpoint string, timeout time.Duration, retries int, backoff time.Duration) (func(gen int, truth []int) labeling.Oracle, error) {
+	transport, err := labeling.NewHTTPOracle(endpoint, labeling.HTTPOracleOptions{Timeout: timeout})
+	if err != nil {
+		return nil, err
+	}
+	return func(gen int, truth []int) labeling.Oracle {
+		return labeling.NewResilient(transport, labeling.ResilientOptions{
+			MaxAttempts: retries,
+			Backoff:     backoff,
+		})
+	}, nil
 }
 
 func loadConfig(path, condition string, reliability float64, steps int) (*ci.Config, error) {

@@ -33,6 +33,7 @@ import (
 	"github.com/easeml/ci/internal/data"
 	"github.com/easeml/ci/internal/model"
 	"github.com/easeml/ci/internal/notify"
+	"github.com/easeml/ci/internal/resilience"
 	"github.com/easeml/ci/internal/server"
 )
 
@@ -228,12 +229,17 @@ func runRemote(base, project string, commits, classes int, seed int64) error {
 }
 
 // pollJob polls a job-status URL until the job is terminal. Transient
-// failures — connection refused/reset, or a 502/503/504 — are retried
+// failures — connection refused/reset, or a 429/502/503/504 — are retried
 // within the deadline rather than aborting: a durable server restarting
 // mid-poll re-enqueues the job and answers the same URL once it is back.
+// A Retry-After on the transient answer sets the next poll's delay; a job
+// in the awaiting_labels state (the server's label provider is down and
+// the job is parked, not failed) is announced once and polled through.
 func pollJob(url string, timeout time.Duration) (server.JobStatusResponse, error) {
 	deadline := time.Now().Add(timeout)
+	lastState := ""
 	for {
+		delay := 50 * time.Millisecond
 		var st server.JobStatusResponse
 		err := getJSON(url, &st)
 		switch {
@@ -241,25 +247,44 @@ func pollJob(url string, timeout time.Duration) (server.JobStatusResponse, error
 			if st.State == "done" || st.State == "failed" {
 				return st, nil
 			}
+			if st.State != lastState && st.State == "awaiting_labels" {
+				fmt.Printf("     (job %s awaiting labels: provider outage on the server; it resumes automatically)\n", st.JobID)
+			}
+			lastState = st.State
 		case isTransient(err) && time.Now().Before(deadline):
-			// Server unreachable or restarting; keep polling.
+			// Server unreachable, restarting, or throttling; keep polling,
+			// honoring its Retry-After when it sent one.
+			if ra, ok := resilience.RetryAfterFromError(err); ok && ra > delay {
+				delay = ra
+			}
 		default:
 			return st, err
 		}
 		if time.Now().After(deadline) {
 			return st, fmt.Errorf("job still %s after %s", st.State, timeout)
 		}
-		time.Sleep(50 * time.Millisecond)
+		if rem := time.Until(deadline); delay > rem {
+			delay = rem
+		}
+		time.Sleep(delay)
 	}
 }
 
 // transientError marks a remote failure worth retrying under a deadline:
 // the connection failed outright (the server is down or restarting) or
-// it answered with a gateway/unavailable status.
-type transientError struct{ err error }
+// it answered with a throttling/gateway/unavailable status — carrying the
+// server's Retry-After hint when the answer had one.
+type transientError struct {
+	err        error
+	retryIn    time.Duration
+	hasRetryIn bool
+}
 
 func (e transientError) Error() string { return e.err.Error() }
 func (e transientError) Unwrap() error { return e.err }
+func (e transientError) RetryAfter() (time.Duration, bool) {
+	return e.retryIn, e.hasRetryIn
+}
 
 func isTransient(err error) bool {
 	var te transientError
@@ -273,15 +298,19 @@ var remoteClient = &http.Client{Timeout: 10 * time.Second}
 func getJSON(url string, out any) error {
 	resp, err := remoteClient.Get(url)
 	if err != nil {
-		return transientError{err}
+		return transientError{err: err}
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		raw, _ := io.ReadAll(resp.Body)
 		statusErr := fmt.Errorf("GET %s: %s: %s", url, resp.Status, raw)
 		switch resp.StatusCode {
-		case http.StatusBadGateway, http.StatusServiceUnavailable, http.StatusGatewayTimeout:
-			return transientError{statusErr}
+		case http.StatusTooManyRequests, http.StatusBadGateway, http.StatusServiceUnavailable, http.StatusGatewayTimeout:
+			te := transientError{err: statusErr}
+			if ra, ok := resilience.ParseRetryAfter(resp.Header.Get("Retry-After"), time.Now()); ok {
+				te.retryIn, te.hasRetryIn = ra, true
+			}
+			return te
 		}
 		return statusErr
 	}

@@ -180,4 +180,34 @@
 // drains every accepted job, then tenants and finally the control log
 // close — so a commit racing shutdown is either fully journaled or never
 // acknowledged. See examples/rest_api for a two-tenant walkthrough.
+//
+// # Label sourcing
+//
+// Labels default to in-process ground truth, but the server can source
+// them from a remote provider (-oracle-url): each reveal batch becomes a
+// POST against the provider, driven by a resilient client
+// (internal/labeling) with per-request timeouts, bounded exponential
+// backoff with jitter, Retry-After honoring, and a circuit breaker
+// (internal/resilience, shared with webhook delivery). The fault-
+// tolerance guarantee is that a flaky provider can delay a verdict but
+// never change it: label batches are verified before anything is marked
+// revealed, a failed round trip rolls the evaluation back to its
+// pre-commit state, and verified labels are cached so a re-run
+// re-requests only the remainder — no label is ever charged twice or
+// lost. When the provider stays down past the retry budget (or the
+// breaker is open), the commit job parks in the awaiting_labels state —
+// distinct from failure — and is re-queued automatically on a timer
+// paced by the provider's own Retry-After hint, on the next restart
+// (parking journals no commit record, so the submit record re-enqueues
+// the job), or never revealed to a canceled job's waiter. For any fault
+// schedule that eventually succeeds, the verdict history, label ledger,
+// and reveal state are byte-identical to a run that never saw a fault —
+// across early-decision looks, crash/restart, and multi-tenant
+// scheduling (internal/engine's chaos suite is the executable form of
+// this sentence). Oracle health — attempts, retries, breaker state,
+// label-fetch latency — is served under label_oracle in /api/v1/metrics,
+// globally and per project, and survives an admin cache reset: it is
+// delivery state, not a cache. See examples/rest_api for a provider
+// outage mid-evaluation that parks, recovers, and lands the identical
+// verdict.
 package ci

@@ -16,6 +16,11 @@
 // it, and delivers the webhook — the client polls the same job URL
 // throughout and never learns the server died.
 //
+// Next, resilient label sourcing: a server pulls labels from a remote
+// provider that is down when the commit arrives. The job parks in
+// "awaiting_labels" instead of failing, resumes automatically once the
+// provider recovers, and lands a verdict identical to a fault-free run.
+//
 // The final act is multi-tenancy: the same process hosts two more teams
 // as registered projects, each with its own script, testset, and commit
 // queue, scheduled onto one shared worker pool. Two tenants running the
@@ -344,6 +349,125 @@ func main() {
 		fmt.Printf("webhook after restart: job %s %s\n", st.JobID, st.State)
 	case <-time.After(5 * time.Second):
 		log.Fatal("post-restart webhook never arrived")
+	}
+
+	// --- act: a flaky label provider parks the job, never the verdict ----
+	// Labels can come from a remote labeling team instead of in-process
+	// ground truth. Their service is down when the commit arrives: the
+	// resilient client retries with backoff, gives up, and the job parks
+	// in "awaiting_labels" — not failed — until the release timer (paced
+	// by the provider's Retry-After) re-queues it. The verdict after the
+	// outage is identical to a server whose oracle never blinked.
+	fLabels := make([]int, 700)
+	for i := range fLabels {
+		fLabels[i] = i % classes
+	}
+	provider := labeling.NewProviderServer(fLabels)
+	provider.FailNext(2, http.StatusServiceUnavailable, time.Second)
+	pLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	go func() { _ = http.Serve(pLn, provider) }()
+
+	fCfg, err := ci.NewConfig("n > 0.6 +/- 0.1", 0.99, ci.FPFree,
+		ci.Adaptivity{Kind: ci.AdaptivityFull}, 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fDs := &data.Dataset{Name: "flaky", Classes: classes}
+	for i, y := range fLabels {
+		fDs.X = append(fDs.X, []float64{float64(i)})
+		fDs.Y = append(fDs.Y, y)
+	}
+	fH0, err := model.SimulatedPredictions(fLabels, classes, 0.70, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	newEngine := func() *engine.Engine {
+		e, err := engine.New(fCfg, fDs, labeling.NewTruthOracle(fDs.Y), engine.Options{
+			InitialModel: model.NewFixedPredictions("deployed", fH0),
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		return e
+	}
+
+	// The control run: same commit, oracle in-process, no faults.
+	control, err := server.New(fCfg, newEngine())
+	if err != nil {
+		log.Fatal(err)
+	}
+	transport, err := labeling.NewHTTPOracle("http://"+pLn.Addr().String(), labeling.HTTPOracleOptions{Timeout: 2 * time.Second})
+	if err != nil {
+		log.Fatal(err)
+	}
+	flaky, err := server.NewWithOptions(fCfg, newEngine(), server.Options{
+		OracleFactory: func(gen int, truth []int) labeling.Oracle {
+			return labeling.NewResilient(transport, labeling.ResilientOptions{
+				MaxAttempts: 2, Backoff: 50 * time.Millisecond,
+			})
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	cLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	go func() { _ = http.Serve(cLn, control) }()
+	fLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	go func() { _ = http.Serve(fLn, flaky) }()
+	cBase, fBase := "http://"+cLn.Addr().String(), "http://"+fLn.Addr().String()
+	waitReady(cBase)
+	waitReady(fBase)
+	fmt.Println("\nremote-label server on", fBase, "(provider on", pLn.Addr().String()+", currently down)")
+
+	fPreds, err := model.SimulatedPredictions(fLabels, classes, 0.85, 21)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var controlRes server.CommitResponse
+	post(cBase+"/api/v1/commit", server.CommitRequest{
+		Model: "candidate-remote", Author: "dev", Message: "labels from afar", Predictions: fPreds,
+	}, &controlRes)
+
+	var fAccepted server.JobAcceptedResponse
+	postStatus(fBase+"/api/v1/commit/async", server.AsyncCommitRequest{
+		CommitRequest: server.CommitRequest{
+			Model: "candidate-remote", Author: "dev",
+			Message: "labels from afar", Predictions: fPreds,
+		},
+	}, &fAccepted, http.StatusAccepted)
+	sawPark := false
+	for {
+		get(fBase+fAccepted.Poll, &polled)
+		if polled.State == "awaiting_labels" && !sawPark {
+			sawPark = true
+			fmt.Printf("provider outage: job %s parked in %q (not failed) — resumes on its own\n",
+				polled.JobID, polled.State)
+		}
+		if polled.State == "done" || polled.State == "failed" {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if !sawPark || polled.Result == nil {
+		log.Fatalf("flaky-oracle act: parked=%v, job %s %s: %s", sawPark, polled.JobID, polled.State, polled.Error)
+	}
+	fmt.Printf("provider recovered: job %s %s — truth=%s labels=%d, identical to the fault-free run: %v\n",
+		polled.JobID, polled.State, polled.Result.Truth, polled.Result.FreshLabels,
+		polled.Result.Truth == controlRes.Truth && polled.Result.FreshLabels == controlRes.FreshLabels)
+	var fMetrics server.MetricsResponse
+	get(fBase+"/api/v1/metrics", &fMetrics)
+	if o := fMetrics.LabelOracle; o != nil {
+		fmt.Printf("oracle health: attempts=%d retries=%d unavailable=%d breaker=%s\n",
+			o.Attempts, o.Retries, o.Unavailable, o.Breaker.State)
 	}
 
 	// --- final act: one control plane, many teams ------------------------

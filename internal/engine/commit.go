@@ -258,16 +258,48 @@ func (e *Engine) evaluateModel(m model.Predictor) (newPreds []int, ev Evaluation
 	if err != nil {
 		return nil, Evaluation{}, false, err
 	}
+	e.evalReveals = e.evalReveals[:0]
 	if e.scalarEval {
 		ev, err = e.evaluateConditionScalar(newPreds)
 	} else {
 		ev, err = e.evaluateConditionPacked(newPreds)
 	}
 	if err != nil {
+		e.rollbackReveals()
 		return nil, Evaluation{}, false, err
 	}
+	e.evalReveals = e.evalReveals[:0]
 	ev.Pass = e.cfg.Mode.Collapse(ev.Truth)
 	return newPreds, ev, borrowed, nil
+}
+
+// rollbackReveals un-reveals every label the failed evaluation paid for:
+// the testset marks (testset.Unreveal), the packed label columns, and
+// both incremental correctness bitmaps. Each reveal batch is atomic on
+// its own (verify-all-then-mark), but a sequential evaluation spans
+// several batches — a remote-oracle outage at look k would otherwise
+// strand looks 1..k-1 revealed, and the re-run after recovery would pay
+// fewer fresh labels and take a different look path than a run that
+// never failed. With the rollback (and the provider client's
+// verified-label cache making the re-request free), the re-run is
+// byte-identical to the fault-free run: same looks, same fresh-label
+// charge, same verdict.
+func (e *Engine) rollbackReveals() {
+	if len(e.evalReveals) == 0 {
+		return
+	}
+	e.tsm.Current().Unreveal(e.evalReveals)
+	for _, i := range e.evalReveals {
+		if i < len(e.labels) {
+			e.labels[i] = -1
+		}
+		if e.byteCols && i < len(e.labels8) {
+			e.labels8[i] = 255
+		}
+		e.activeMatch.Clear(i)
+		e.newMatch.Clear(i)
+	}
+	e.evalReveals = e.evalReveals[:0]
 }
 
 // --- packed paths --------------------------------------------------------
@@ -405,6 +437,7 @@ func (e *Engine) evaluateFullyLabeledPackedStatic(newPreds []int) (Evaluation, e
 // the bits a full fused pass over the now-revealed labels would set.
 func (e *Engine) patchRevealed(newPreds []int, freshIdx []int) {
 	ts := e.tsm.Current()
+	e.evalReveals = append(e.evalReveals, freshIdx...)
 	for _, idx := range freshIdx {
 		y := ts.Data.Y[idx]
 		e.labels[idx] = y
@@ -903,6 +936,9 @@ func (e *Engine) revealLabel(i int) (int, bool, error) {
 	stored, _, err := ts.Reveal(i)
 	if err != nil {
 		return 0, false, err
+	}
+	if fresh {
+		e.evalReveals = append(e.evalReveals, i)
 	}
 	if stored != y {
 		return 0, false, fmt.Errorf("engine: oracle label %d disagrees with testset ground truth %d at example %d", y, stored, i)

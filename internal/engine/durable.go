@@ -52,6 +52,21 @@ func (e *Engine) SetNotifier(n notify.Notifier) {
 	e.notifier = n
 }
 
+// SetOracle swaps the label source. Recovery replays commits against
+// the snapshot's ground-truth oracle (the labels were already paid for
+// before the crash — replay must never touch the remote provider), then
+// installs the real remote-backed oracle before serving resumes. It is
+// also how a testset rotation hands the engine a provider client whose
+// verified-label cache was cleared for the new generation.
+func (e *Engine) SetOracle(o labeling.Oracle) error {
+	if o == nil {
+		return fmt.Errorf("engine: nil oracle")
+	}
+	e.oracle = o
+	e.batch = labeling.AsBatch(o)
+	return nil
+}
+
 // State is the engine's complete durable state: everything needed to
 // rebuild an engine that is byte-identical — history, ledgers, revealed
 // labels, baseline — to the one that snapshotted it. It is the payload

@@ -110,6 +110,14 @@ type Engine struct {
 	active8  []uint8
 	labels8  []uint8
 
+	// evalReveals records the testset indices freshly revealed by the
+	// evaluation in flight. On any evaluation error the engine rolls
+	// every one of them back (testset marks, label columns, correctness
+	// bits), so a failed commit — a remote oracle outage at look 3 of 5,
+	// say — leaves the revealed set exactly as it found it and the
+	// eventual re-run is byte-identical to a run that never failed.
+	evalReveals []int
+
 	history []Result
 
 	// journal, when set, receives the durable side effects of each

@@ -1,0 +1,120 @@
+package labeling
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Fault scripts one provider round trip of a FaultOracle. The zero value
+// is a fully successful round.
+type Fault struct {
+	// Fail makes the round trip error. Err overrides the generic
+	// injected error when set.
+	Fail bool
+	Err  error
+	// Partial caps how many of the requested labels the round answers
+	// (in request order). 0 on a successful round means answer
+	// everything; PartialNone answers an empty 200.
+	Partial int
+	// Latency advances the injected clock across the round trip, so
+	// latency histograms and breaker cooldowns can be exercised without
+	// sleeping.
+	Latency time.Duration
+	// RetryIn attaches a Retry-After hint to a failed round when
+	// HasRetryIn is set.
+	RetryIn    time.Duration
+	HasRetryIn bool
+}
+
+// PartialNone is the Fault.Partial value for a round that succeeds but
+// answers no labels at all.
+const PartialNone = -1
+
+// ErrInjected is the default error of a scripted failure.
+var ErrInjected = errors.New("labeling: injected provider fault")
+
+// faultError carries a scripted Retry-After hint.
+type faultError struct {
+	err     error
+	retryIn time.Duration
+}
+
+func (e *faultError) Error() string                     { return e.err.Error() }
+func (e *faultError) Unwrap() error                     { return e.err }
+func (e *faultError) RetryAfter() (time.Duration, bool) { return e.retryIn, true }
+
+// FaultOracle is the deterministic fault-injection harness: a Provider
+// transport that answers from an inner oracle through a scripted
+// schedule of faults. Call k consumes schedule entry k; past the end of
+// the schedule every round succeeds fully, so any finite schedule is a
+// fault pattern that "eventually succeeds" — the shape the chaos
+// equivalence property quantifies over.
+type FaultOracle struct {
+	mu       sync.Mutex
+	inner    BatchOracle
+	schedule []Fault
+	calls    int
+	// advance moves the injected clock; nil means latency is ignored.
+	advance func(time.Duration)
+}
+
+// NewFaultOracle wraps an inner label source with a fault schedule.
+// advance, when non-nil, receives each round's scripted Latency (wire it
+// to the same fake clock the Resilient client reads).
+func NewFaultOracle(inner Oracle, schedule []Fault, advance func(time.Duration)) *FaultOracle {
+	return &FaultOracle{inner: AsBatch(inner), schedule: append([]Fault(nil), schedule...), advance: advance}
+}
+
+// Calls reports how many provider round trips have been made.
+func (f *FaultOracle) Calls() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.calls
+}
+
+// RequestLabels implements Provider by consulting the schedule, then the
+// inner oracle for whatever the scripted round allows through.
+func (f *FaultOracle) RequestLabels(indices []int) (BatchResult, error) {
+	f.mu.Lock()
+	var fault Fault
+	if f.calls < len(f.schedule) {
+		fault = f.schedule[f.calls]
+	}
+	f.calls++
+	advance := f.advance
+	inner := f.inner
+	f.mu.Unlock()
+
+	if fault.Latency > 0 && advance != nil {
+		advance(fault.Latency)
+	}
+	if fault.Fail {
+		err := fault.Err
+		if err == nil {
+			err = ErrInjected
+		}
+		if fault.HasRetryIn {
+			return BatchResult{}, &faultError{err: err, retryIn: fault.RetryIn}
+		}
+		return BatchResult{}, err
+	}
+	answer := indices
+	switch {
+	case fault.Partial == PartialNone:
+		answer = nil
+	case fault.Partial > 0 && fault.Partial < len(indices):
+		answer = indices[:fault.Partial]
+	case fault.Partial < PartialNone:
+		return BatchResult{}, fmt.Errorf("labeling: fault schedule: invalid Partial %d", fault.Partial)
+	}
+	if len(answer) == 0 {
+		return BatchResult{}, nil
+	}
+	labels, err := inner.LabelBatch(answer)
+	if err != nil {
+		return BatchResult{}, err
+	}
+	return BatchResult{Indices: append([]int(nil), answer...), Labels: labels}, nil
+}

@@ -1,0 +1,125 @@
+package labeling
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// ProviderServer is an in-process HTTP label provider: the mock labeling
+// team that integration tests and the examples script outages against.
+// It serves ground-truth labels over the HTTPOracle wire protocol and
+// exposes knobs for scripted failures, Retry-After pacing, and partial
+// batches.
+type ProviderServer struct {
+	mu         sync.Mutex
+	labels     []int
+	failNext   int
+	failStatus int
+	retryAfter time.Duration
+	maxBatch   int
+	requests   int
+	failures   int
+}
+
+// NewProviderServer serves the given ground-truth labels.
+func NewProviderServer(labels []int) *ProviderServer {
+	return &ProviderServer{labels: append([]int(nil), labels...), failStatus: http.StatusServiceUnavailable}
+}
+
+// SetLabels swaps the served labels (testset rotation).
+func (p *ProviderServer) SetLabels(labels []int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.labels = append([]int(nil), labels...)
+}
+
+// FailNext makes the next n requests fail with the given status (0
+// keeps the previous status, initially 503) and, when retryAfter > 0, a
+// Retry-After header of that many seconds (rounded up).
+func (p *ProviderServer) FailNext(n, status int, retryAfter time.Duration) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.failNext = n
+	if status != 0 {
+		p.failStatus = status
+	}
+	p.retryAfter = retryAfter
+}
+
+// SetMaxBatch caps how many labels one request is answered with (0
+// removes the cap), simulating a labeling team that returns work in
+// dribs and drabs.
+func (p *ProviderServer) SetMaxBatch(k int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.maxBatch = k
+}
+
+// Requests reports how many label requests arrived; Failures how many
+// were rejected by the fault knobs.
+func (p *ProviderServer) Requests() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.requests
+}
+
+// Failures reports how many requests were rejected by the fault knobs.
+func (p *ProviderServer) Failures() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.failures
+}
+
+// ServeHTTP implements the provider wire protocol: POST with
+// {"indices":[...]} in, BatchResult out.
+func (p *ProviderServer) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "label requests are POSTed", http.StatusMethodNotAllowed)
+		return
+	}
+	var req struct {
+		Indices []int `json:"indices"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, fmt.Sprintf("bad label request: %v", err), http.StatusBadRequest)
+		return
+	}
+
+	p.mu.Lock()
+	p.requests++
+	if p.failNext > 0 {
+		p.failNext--
+		p.failures++
+		status := p.failStatus
+		retryAfter := p.retryAfter
+		p.mu.Unlock()
+		if retryAfter > 0 {
+			secs := int((retryAfter + time.Second - 1) / time.Second)
+			w.Header().Set("Retry-After", strconv.Itoa(secs))
+		}
+		http.Error(w, "label provider offline", status)
+		return
+	}
+	answer := req.Indices
+	if p.maxBatch > 0 && len(answer) > p.maxBatch {
+		answer = answer[:p.maxBatch]
+	}
+	res := BatchResult{Indices: make([]int, 0, len(answer)), Labels: make([]int, 0, len(answer))}
+	for _, i := range answer {
+		if i < 0 || i >= len(p.labels) {
+			p.mu.Unlock()
+			http.Error(w, fmt.Sprintf("no example %d", i), http.StatusBadRequest)
+			return
+		}
+		res.Indices = append(res.Indices, i)
+		res.Labels = append(res.Labels, p.labels[i])
+	}
+	p.mu.Unlock()
+
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(res)
+}

@@ -1,0 +1,488 @@
+package labeling
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/url"
+	"sync"
+	"time"
+
+	"github.com/easeml/ci/internal/resilience"
+)
+
+// ErrUnavailable marks the label provider as unreachable after the
+// resilient client spent its retry budget (or short-circuited on an open
+// breaker). It is the signal the commit pipeline parks a job on: the
+// request was not wrong, the world was — retrying later can succeed.
+var ErrUnavailable = errors.New("labeling: label provider unavailable")
+
+// UnavailableError wraps the last transport failure behind ErrUnavailable
+// and carries a hint for when retrying is worthwhile (the provider's
+// Retry-After, or the breaker's cooldown expiry).
+type UnavailableError struct {
+	// Err is the last underlying transport error (nil when the breaker
+	// short-circuited before any attempt).
+	Err error
+	// RetryIn is the suggested delay before the next attempt (0 = none).
+	RetryIn time.Duration
+}
+
+// Error implements error.
+func (e *UnavailableError) Error() string {
+	if e.Err != nil {
+		return fmt.Sprintf("labeling: label provider unavailable: %v", e.Err)
+	}
+	return ErrUnavailable.Error()
+}
+
+// Is makes errors.Is(err, ErrUnavailable) match.
+func (e *UnavailableError) Is(target error) bool { return target == ErrUnavailable }
+
+// Unwrap exposes the transport error.
+func (e *UnavailableError) Unwrap() error { return e.Err }
+
+// RetryAfter implements resilience.RetryAfterer.
+func (e *UnavailableError) RetryAfter() (time.Duration, bool) {
+	return e.RetryIn, e.RetryIn > 0
+}
+
+// BatchResult is one (possibly partial) answer from a label provider:
+// parallel index/label slices covering any subset of what was asked.
+// A human labeling team finishes what it finishes; the client accepts
+// the subset and re-requests only the remainder.
+type BatchResult struct {
+	Indices []int `json:"indices"`
+	Labels  []int `json:"labels"`
+}
+
+// Provider is the transport contract under the resilient client: one
+// round trip to an external label source. A call may fail outright
+// (error), answer everything, or answer a subset (partial batches are
+// progress, not failure). Errors may implement resilience.RetryAfterer
+// to carry the provider's own pacing.
+type Provider interface {
+	RequestLabels(indices []int) (BatchResult, error)
+}
+
+// ProviderStatusError is a provider request rejected with a non-2xx
+// response; on 429/503 it carries the Retry-After header.
+type ProviderStatusError struct {
+	URL        string
+	StatusCode int
+	Status     string
+	RetryIn    time.Duration
+	HasRetryIn bool
+}
+
+// Error implements error.
+func (e *ProviderStatusError) Error() string {
+	return fmt.Sprintf("labeling: provider %s answered %s", e.URL, e.Status)
+}
+
+// RetryAfter implements resilience.RetryAfterer.
+func (e *ProviderStatusError) RetryAfter() (time.Duration, bool) { return e.RetryIn, e.HasRetryIn }
+
+// DefaultProviderTimeout bounds one label request end to end: a hung
+// provider must not wedge the engine lock indefinitely.
+const DefaultProviderTimeout = 10 * time.Second
+
+// HTTPOracleOptions tunes the HTTP transport.
+type HTTPOracleOptions struct {
+	// Client is the underlying HTTP client; nil gets a fresh one.
+	Client *http.Client
+	// Timeout is the per-request deadline. 0 means
+	// DefaultProviderTimeout; negative disables the deadline.
+	Timeout time.Duration
+}
+
+// HTTPOracle is the wire transport to a remote label provider: one POST
+// per request, {"indices":[...]} out, a BatchResult back. It implements
+// Provider only — production wraps it in NewResilient for retries,
+// partial-batch accounting, and circuit breaking.
+type HTTPOracle struct {
+	url     string
+	client  *http.Client
+	timeout time.Duration
+}
+
+// NewHTTPOracle builds the transport for a provider endpoint.
+func NewHTTPOracle(endpoint string, opts HTTPOracleOptions) (*HTTPOracle, error) {
+	u, err := url.Parse(endpoint)
+	if err != nil || (u.Scheme != "http" && u.Scheme != "https") || u.Host == "" {
+		return nil, fmt.Errorf("labeling: oracle URL %q is not an http(s) URL", endpoint)
+	}
+	client := opts.Client
+	if client == nil {
+		client = &http.Client{}
+	}
+	timeout := opts.Timeout
+	if timeout == 0 {
+		timeout = DefaultProviderTimeout
+	}
+	return &HTTPOracle{url: endpoint, client: client, timeout: timeout}, nil
+}
+
+// RequestLabels implements Provider: one POST under the per-request
+// deadline. The provider may answer a subset; the response's index set
+// is validated downstream by the resilient client.
+func (o *HTTPOracle) RequestLabels(indices []int) (BatchResult, error) {
+	body, err := json.Marshal(struct {
+		Indices []int `json:"indices"`
+	}{Indices: indices})
+	if err != nil {
+		return BatchResult{}, fmt.Errorf("labeling: encoding label request: %w", err)
+	}
+	ctx := context.Background()
+	if o.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, o.timeout)
+		defer cancel()
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, o.url, bytes.NewReader(body))
+	if err != nil {
+		return BatchResult{}, fmt.Errorf("labeling: label request %s: %w", o.url, err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := o.client.Do(req)
+	if err != nil {
+		return BatchResult{}, fmt.Errorf("labeling: label request %s: %w", o.url, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		se := &ProviderStatusError{URL: o.url, StatusCode: resp.StatusCode, Status: resp.Status}
+		if resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode == http.StatusServiceUnavailable {
+			se.RetryIn, se.HasRetryIn = resilience.ParseRetryAfter(resp.Header.Get("Retry-After"), time.Now())
+		}
+		return BatchResult{}, se
+	}
+	var res BatchResult
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 64<<20)).Decode(&res); err != nil {
+		return BatchResult{}, fmt.Errorf("labeling: decoding provider response: %w", err)
+	}
+	return res, nil
+}
+
+// Resilient retry defaults. The backoff is deliberately short: the
+// retry loop runs under the engine lock, so its worst case
+// (MaxAttempts rounds at MaxBackoff) bounds how long one commit can
+// stall before parking.
+const (
+	DefaultOracleMaxAttempts = 4
+	DefaultOracleBackoff     = 50 * time.Millisecond
+	DefaultOracleMaxBackoff  = 2 * time.Second
+)
+
+// latencyBuckets is the number of power-of-two-millisecond histogram
+// buckets in OracleStats.LatencyMs: [0,1ms), [1,2ms), [2,4ms), ...,
+// with the last bucket catching everything beyond.
+const latencyBuckets = 12
+
+// ResilientOptions tunes the resilient label client.
+type ResilientOptions struct {
+	// MaxAttempts bounds consecutive no-progress provider rounds per
+	// LabelBatch call before giving up as unavailable (a partial answer
+	// is progress and resets the count). 0 means
+	// DefaultOracleMaxAttempts.
+	MaxAttempts int
+	// Backoff is the delay before the second round; each further retry
+	// doubles it, capped at MaxBackoff, plus up to one extra Backoff of
+	// jitter. A provider Retry-After overrides the computed delay.
+	// Zeros mean DefaultOracleBackoff / DefaultOracleMaxBackoff.
+	Backoff    time.Duration
+	MaxBackoff time.Duration
+	// Breaker tunes the provider circuit breaker.
+	Breaker resilience.BreakerOptions
+	// Clock and Sleep are the time injection points for deterministic
+	// tests; nil means time.Now / time.Sleep.
+	Clock func() time.Time
+	Sleep func(time.Duration)
+	// Jitter returns a value in [0,1) stretching retry delays; nil means
+	// math/rand. Tests inject a constant.
+	Jitter func() float64
+}
+
+// OracleStats is the resilient client's health snapshot for the metrics
+// API. Like webhook_retry, these are delivery state, not a cache: an
+// admin cache reset reports them unchanged.
+type OracleStats struct {
+	// Requests counts LabelBatch calls (cache-complete ones included).
+	Requests uint64 `json:"requests"`
+	// Attempts counts provider round trips; Retries counts the rounds
+	// re-run after a failed or empty answer.
+	Attempts uint64 `json:"attempts"`
+	Retries  uint64 `json:"retries"`
+	// PartialBatches counts rounds the provider answered a strict subset.
+	PartialBatches uint64 `json:"partial_batches"`
+	// ShortCircuited counts LabelBatch calls refused by an open breaker
+	// without touching the wire.
+	ShortCircuited uint64 `json:"short_circuited"`
+	// Unavailable counts LabelBatch calls that gave up (the commit
+	// pipeline parks the job then).
+	Unavailable uint64 `json:"unavailable"`
+	// LabelsFetched counts labels obtained from the provider; CacheHits
+	// counts labels served from the verified-label cache instead of
+	// being re-requested (a re-run after a fault never pays twice).
+	LabelsFetched uint64 `json:"labels_fetched"`
+	CacheHits     uint64 `json:"cache_hits"`
+	// NsTotal is cumulative provider round-trip time, so
+	// NsTotal/Attempts is the mean label-fetch latency.
+	NsTotal uint64 `json:"ns_total"`
+	// LatencyMs is a power-of-two-millisecond round-trip histogram:
+	// bucket k counts attempts in [2^(k-1), 2^k) ms (bucket 0 is <1ms,
+	// the last bucket is everything beyond).
+	LatencyMs []uint64 `json:"latency_ms_hist,omitempty"`
+	// Breaker is the provider breaker's position.
+	Breaker resilience.BreakerStatus `json:"breaker"`
+}
+
+// Resilient wraps a Provider transport into the BatchOracle the engine
+// reveals labels through, adding the full failure discipline: bounded
+// exponential backoff with jitter, Retry-After honoring, partial-batch
+// acceptance, a circuit breaker, and a verified-label cache.
+//
+// The cache is what makes a failed round trip free to retry: labels the
+// provider already answered are kept by index, so when a mid-look
+// failure aborts the commit (nothing was marked revealed — the
+// verify-all-then-mark invariant) and the job re-runs, only the
+// remainder is re-requested and no label is ever paid for twice.
+//
+// Safe for concurrent use. LabelBatch either returns every requested
+// label or an *UnavailableError (matching ErrUnavailable); it never
+// returns a partial slice, so testset.revealBatch's atomicity contract
+// is preserved unchanged.
+type Resilient struct {
+	transport Provider
+	opts      ResilientOptions
+
+	mu      sync.Mutex
+	cache   map[int]int
+	breaker resilience.Breaker
+	stats   OracleStats
+	latHist [latencyBuckets]uint64
+}
+
+// NewResilient wraps a transport.
+func NewResilient(t Provider, opts ResilientOptions) *Resilient {
+	if opts.Clock == nil {
+		opts.Clock = time.Now
+	}
+	if opts.Sleep == nil {
+		opts.Sleep = time.Sleep
+	}
+	if opts.Jitter == nil {
+		opts.Jitter = rand.Float64
+	}
+	if opts.MaxAttempts <= 0 {
+		opts.MaxAttempts = DefaultOracleMaxAttempts
+	}
+	if opts.Backoff <= 0 {
+		opts.Backoff = DefaultOracleBackoff
+	}
+	if opts.MaxBackoff <= 0 {
+		opts.MaxBackoff = DefaultOracleMaxBackoff
+	}
+	return &Resilient{transport: t, opts: opts, cache: make(map[int]int)}
+}
+
+// Label implements Oracle as a batch of one.
+func (r *Resilient) Label(i int) (int, error) {
+	out, err := r.LabelBatch([]int{i})
+	if err != nil {
+		return 0, err
+	}
+	return out[0], nil
+}
+
+// LabelBatch implements BatchOracle: it answers every requested index or
+// fails as unavailable, looping provider rounds over the not-yet-cached
+// remainder until the batch is complete or the retry budget is spent.
+func (r *Resilient) LabelBatch(indices []int) ([]int, error) {
+	r.mu.Lock()
+	r.stats.Requests++
+	need := make([]int, 0, len(indices))
+	seen := make(map[int]bool, len(indices))
+	for _, i := range indices {
+		if seen[i] {
+			continue
+		}
+		seen[i] = true
+		if _, ok := r.cache[i]; ok {
+			r.stats.CacheHits++
+		} else {
+			need = append(need, i)
+		}
+	}
+	r.mu.Unlock()
+
+	noProgress := 0
+	var lastErr error
+	for len(need) > 0 {
+		r.mu.Lock()
+		now := r.opts.Clock()
+		if r.opts.Breaker.FailureThreshold >= 0 {
+			if ok, retryAt := r.breaker.Allow(now, r.opts.Breaker); !ok {
+				r.stats.ShortCircuited++
+				r.stats.Unavailable++
+				r.mu.Unlock()
+				return nil, &UnavailableError{Err: lastErr, RetryIn: retryAt.Sub(now)}
+			}
+		}
+		r.mu.Unlock()
+
+		start := r.opts.Clock()
+		res, err := r.transport.RequestLabels(need)
+		elapsed := r.opts.Clock().Sub(start)
+
+		r.mu.Lock()
+		now = r.opts.Clock()
+		r.recordAttemptLocked(elapsed)
+		if err != nil {
+			lastErr = err
+			if r.opts.Breaker.FailureThreshold >= 0 {
+				r.breaker.Record(false, now, r.opts.Breaker)
+			}
+			noProgress++
+			if noProgress >= r.opts.MaxAttempts {
+				r.stats.Unavailable++
+				retryIn, _ := resilience.RetryAfterFromError(err)
+				r.mu.Unlock()
+				return nil, &UnavailableError{Err: err, RetryIn: retryIn}
+			}
+			r.stats.Retries++
+			delay := r.retryDelayLocked(noProgress, err)
+			r.mu.Unlock()
+			r.opts.Sleep(delay)
+			continue
+		}
+		fresh, verr := r.absorbLocked(need, res)
+		if verr != nil {
+			// A malformed answer (unknown index, ragged slices) is a
+			// protocol violation, not an outage: fail the call hard so
+			// the commit fails instead of parking forever.
+			r.mu.Unlock()
+			return nil, verr
+		}
+		if r.opts.Breaker.FailureThreshold >= 0 {
+			r.breaker.Record(true, now, r.opts.Breaker)
+		}
+		if fresh == 0 {
+			// A 200 with nothing new: the provider is up but not
+			// answering. Spend retry budget so this can't loop forever.
+			lastErr = fmt.Errorf("labeling: provider answered none of %d requested labels", len(need))
+			noProgress++
+			if noProgress >= r.opts.MaxAttempts {
+				r.stats.Unavailable++
+				r.mu.Unlock()
+				return nil, &UnavailableError{Err: lastErr}
+			}
+			r.stats.Retries++
+			delay := r.retryDelayLocked(noProgress, nil)
+			r.mu.Unlock()
+			r.opts.Sleep(delay)
+			continue
+		}
+		if fresh < len(need) {
+			r.stats.PartialBatches++
+		}
+		noProgress = 0
+		remaining := need[:0]
+		for _, i := range need {
+			if _, ok := r.cache[i]; !ok {
+				remaining = append(remaining, i)
+			}
+		}
+		need = remaining
+		r.mu.Unlock()
+	}
+
+	out := make([]int, len(indices))
+	r.mu.Lock()
+	for k, i := range indices {
+		y, ok := r.cache[i]
+		if !ok {
+			r.mu.Unlock()
+			return nil, fmt.Errorf("labeling: internal: label for example %d missing after complete batch", i)
+		}
+		out[k] = y
+	}
+	r.mu.Unlock()
+	return out, nil
+}
+
+// absorbLocked validates one provider answer against the outstanding
+// request and moves its labels into the cache, returning how many
+// requested labels became newly available.
+func (r *Resilient) absorbLocked(need []int, res BatchResult) (int, error) {
+	if len(res.Indices) != len(res.Labels) {
+		return 0, fmt.Errorf("labeling: provider answered %d indices with %d labels", len(res.Indices), len(res.Labels))
+	}
+	wanted := make(map[int]bool, len(need))
+	for _, i := range need {
+		wanted[i] = true
+	}
+	fresh := 0
+	for k, i := range res.Indices {
+		if !wanted[i] {
+			return 0, fmt.Errorf("labeling: provider answered example %d that was not requested", i)
+		}
+		if _, ok := r.cache[i]; !ok {
+			fresh++
+		}
+		r.cache[i] = res.Labels[k]
+	}
+	r.stats.LabelsFetched += uint64(fresh)
+	return fresh, nil
+}
+
+// retryDelayLocked computes the wait before the next provider round:
+// the provider's Retry-After verbatim when present, else capped
+// exponential backoff plus up to one base of jitter.
+func (r *Resilient) retryDelayLocked(failures int, err error) time.Duration {
+	if d, ok := resilience.RetryAfterFromError(err); ok {
+		return d
+	}
+	d := resilience.Backoff(r.opts.Backoff, r.opts.MaxBackoff, failures)
+	return d + time.Duration(float64(r.opts.Backoff)*r.opts.Jitter())
+}
+
+// recordAttemptLocked books one provider round trip into the counters
+// and the latency histogram.
+func (r *Resilient) recordAttemptLocked(elapsed time.Duration) {
+	r.stats.Attempts++
+	if elapsed < 0 {
+		elapsed = 0
+	}
+	r.stats.NsTotal += uint64(elapsed.Nanoseconds())
+	ms := elapsed.Milliseconds()
+	b := 0
+	for ms > 0 && b < latencyBuckets-1 {
+		ms >>= 1
+		b++
+	}
+	r.latHist[b]++
+}
+
+// ClearCache drops the verified-label cache. The server calls this on
+// testset rotation: example indices restart against new data, so labels
+// cached for the old generation must never answer for the new one.
+func (r *Resilient) ClearCache() {
+	r.mu.Lock()
+	r.cache = make(map[int]int)
+	r.mu.Unlock()
+}
+
+// Stats snapshots the client's health counters.
+func (r *Resilient) Stats() OracleStats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := r.stats
+	s.LatencyMs = append([]uint64(nil), r.latHist[:]...)
+	s.Breaker = r.breaker.Status()
+	return s
+}

@@ -1,0 +1,414 @@
+package labeling
+
+import (
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"github.com/easeml/ci/internal/resilience"
+)
+
+// fakeClock is the injected time source for deterministic retry tests.
+type fakeClock struct {
+	now time.Time
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{now: time.Date(2026, 1, 2, 3, 4, 5, 0, time.UTC)}
+}
+
+func (c *fakeClock) Now() time.Time          { return c.now }
+func (c *fakeClock) Advance(d time.Duration) { c.now = c.now.Add(d) }
+func (c *fakeClock) Sleep(d time.Duration)   { c.Advance(d) }
+
+// newTestResilient wires a Resilient to a fault schedule over the given
+// ground truth, with injected clock/sleep and zero jitter.
+func newTestResilient(truth []int, schedule []Fault, opts ResilientOptions) (*Resilient, *FaultOracle, *fakeClock) {
+	clock := newFakeClock()
+	fo := NewFaultOracle(NewTruthOracle(truth), schedule, clock.Advance)
+	opts.Clock = clock.Now
+	opts.Sleep = clock.Sleep
+	if opts.Jitter == nil {
+		opts.Jitter = func() float64 { return 0 }
+	}
+	return NewResilient(fo, opts), fo, clock
+}
+
+func TestResilientHappyPath(t *testing.T) {
+	truth := []int{3, 1, 2, 0, 1}
+	r, fo, _ := newTestResilient(truth, nil, ResilientOptions{})
+	got, err := r.LabelBatch([]int{0, 2, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, i := range []int{0, 2, 4} {
+		if got[k] != truth[i] {
+			t.Fatalf("label[%d] = %d, want %d", i, got[k], truth[i])
+		}
+	}
+	if fo.Calls() != 1 {
+		t.Fatalf("round trips = %d, want 1", fo.Calls())
+	}
+	st := r.Stats()
+	if st.Requests != 1 || st.Attempts != 1 || st.Retries != 0 || st.LabelsFetched != 3 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestResilientRetriesThenSucceeds(t *testing.T) {
+	truth := []int{1, 0, 1}
+	r, fo, _ := newTestResilient(truth, []Fault{{Fail: true}, {Fail: true}}, ResilientOptions{
+		MaxAttempts: 4,
+	})
+	got, err := r.LabelBatch([]int{0, 1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 1 || got[1] != 0 || got[2] != 1 {
+		t.Fatalf("labels = %v", got)
+	}
+	if fo.Calls() != 3 {
+		t.Fatalf("round trips = %d, want 3", fo.Calls())
+	}
+	st := r.Stats()
+	if st.Retries != 2 || st.Attempts != 3 || st.Unavailable != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestResilientExhaustsRetryBudget(t *testing.T) {
+	schedule := []Fault{{Fail: true}, {Fail: true}, {Fail: true}}
+	r, fo, _ := newTestResilient([]int{1}, schedule, ResilientOptions{MaxAttempts: 3})
+	_, err := r.LabelBatch([]int{0})
+	if !errors.Is(err, ErrUnavailable) {
+		t.Fatalf("err = %v, want ErrUnavailable", err)
+	}
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("unavailable error does not wrap the transport failure: %v", err)
+	}
+	if fo.Calls() != 3 {
+		t.Fatalf("round trips = %d, want 3", fo.Calls())
+	}
+	if st := r.Stats(); st.Unavailable != 1 || st.Retries != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestResilientPartialBatchesResetBudget(t *testing.T) {
+	// Every round answers exactly one label: progress, so a 2-attempt
+	// budget still completes a 5-label batch.
+	truth := []int{4, 3, 2, 1, 0}
+	schedule := []Fault{{Partial: 1}, {Partial: 1}, {Partial: 1}, {Partial: 1}, {Partial: 1}}
+	r, fo, _ := newTestResilient(truth, schedule, ResilientOptions{MaxAttempts: 2})
+	got, err := r.LabelBatch([]int{0, 1, 2, 3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, y := range got {
+		if y != truth[i] {
+			t.Fatalf("label[%d] = %d, want %d", i, y, truth[i])
+		}
+	}
+	if fo.Calls() != 5 {
+		t.Fatalf("round trips = %d, want 5", fo.Calls())
+	}
+	st := r.Stats()
+	if st.PartialBatches != 4 { // the final round answered all that remained
+		t.Fatalf("partial batches = %d, want 4; stats %+v", st.PartialBatches, st)
+	}
+}
+
+func TestResilientEmptyAnswerSpendsBudget(t *testing.T) {
+	schedule := []Fault{{Partial: PartialNone}, {Partial: PartialNone}}
+	r, _, _ := newTestResilient([]int{1, 0}, schedule, ResilientOptions{MaxAttempts: 2})
+	_, err := r.LabelBatch([]int{0, 1})
+	if !errors.Is(err, ErrUnavailable) {
+		t.Fatalf("err = %v, want ErrUnavailable", err)
+	}
+	// Empty 200s are breaker successes: the provider is up.
+	if st := r.Stats(); st.Breaker.State != "closed" {
+		t.Fatalf("breaker = %+v, want closed", st.Breaker)
+	}
+}
+
+func TestResilientCacheNeverPaysTwice(t *testing.T) {
+	// Round 1 answers 2 of 4 then the commit "fails"; the re-run must
+	// re-request only the remainder.
+	truth := []int{0, 1, 2, 3}
+	schedule := []Fault{{Partial: 2}, {Fail: true}, {Fail: true}, {Fail: true}}
+	r, fo, _ := newTestResilient(truth, schedule, ResilientOptions{MaxAttempts: 3})
+	if _, err := r.LabelBatch([]int{0, 1, 2, 3}); !errors.Is(err, ErrUnavailable) {
+		t.Fatalf("first call err = %v, want ErrUnavailable", err)
+	}
+	callsAfterFirst := fo.Calls()
+
+	// Provider recovered (schedule exhausted): the re-run completes.
+	got, err := r.LabelBatch([]int{0, 1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, y := range got {
+		if y != truth[i] {
+			t.Fatalf("label[%d] = %d, want %d", i, y, truth[i])
+		}
+	}
+	if fo.Calls() != callsAfterFirst+1 {
+		t.Fatalf("re-run made %d round trips, want 1", fo.Calls()-callsAfterFirst)
+	}
+	st := r.Stats()
+	if st.LabelsFetched != 4 {
+		t.Fatalf("labels fetched = %d, want 4 (no double pay)", st.LabelsFetched)
+	}
+	if st.CacheHits != 2 {
+		t.Fatalf("cache hits = %d, want 2", st.CacheHits)
+	}
+}
+
+func TestResilientDuplicateIndices(t *testing.T) {
+	truth := []int{5, 6, 7}
+	r, _, _ := newTestResilient(truth, nil, ResilientOptions{})
+	got, err := r.LabelBatch([]int{2, 0, 2, 2, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{7, 5, 7, 7, 5}
+	for k := range want {
+		if got[k] != want[k] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestResilientBreakerShortCircuits(t *testing.T) {
+	schedule := []Fault{{Fail: true}, {Fail: true}}
+	r, fo, clock := newTestResilient([]int{1}, schedule, ResilientOptions{
+		MaxAttempts: 2,
+		Breaker:     resilience.BreakerOptions{FailureThreshold: 2, Cooldown: time.Minute},
+	})
+	if _, err := r.LabelBatch([]int{0}); !errors.Is(err, ErrUnavailable) {
+		t.Fatalf("err = %v, want ErrUnavailable", err)
+	}
+	calls := fo.Calls()
+
+	// Breaker open: the next call must not touch the wire and must carry
+	// the cooldown as its retry hint.
+	_, err := r.LabelBatch([]int{0})
+	if !errors.Is(err, ErrUnavailable) {
+		t.Fatalf("short-circuit err = %v", err)
+	}
+	if fo.Calls() != calls {
+		t.Fatal("open breaker still hit the provider")
+	}
+	if d, ok := resilience.RetryAfterFromError(err); !ok || d <= 0 || d > time.Minute {
+		t.Fatalf("short-circuit retry hint = %v %v, want (0, 1m]", d, ok)
+	}
+	st := r.Stats()
+	if st.ShortCircuited != 1 || st.Breaker.State != "open" || st.Breaker.Opens != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+
+	// After the cooldown the half-open probe succeeds and closes it.
+	clock.Advance(2 * time.Minute)
+	if got, err := r.LabelBatch([]int{0}); err != nil || got[0] != 1 {
+		t.Fatalf("post-cooldown call: %v %v", got, err)
+	}
+	if st := r.Stats(); st.Breaker.State != "closed" {
+		t.Fatalf("breaker after recovery = %+v", st.Breaker)
+	}
+}
+
+func TestResilientHonorsRetryAfter(t *testing.T) {
+	var slept []time.Duration
+	clock := newFakeClock()
+	fo := NewFaultOracle(NewTruthOracle([]int{1}), []Fault{
+		{Fail: true, RetryIn: 7 * time.Second, HasRetryIn: true},
+	}, clock.Advance)
+	r := NewResilient(fo, ResilientOptions{
+		MaxAttempts: 3,
+		Clock:       clock.Now,
+		Sleep: func(d time.Duration) {
+			slept = append(slept, d)
+			clock.Advance(d)
+		},
+		Jitter: func() float64 { return 0 },
+	})
+	if _, err := r.LabelBatch([]int{0}); err != nil {
+		t.Fatal(err)
+	}
+	if len(slept) != 1 || slept[0] != 7*time.Second {
+		t.Fatalf("slept %v, want exactly the Retry-After 7s", slept)
+	}
+}
+
+func TestResilientBackoffDoubles(t *testing.T) {
+	var slept []time.Duration
+	clock := newFakeClock()
+	fo := NewFaultOracle(NewTruthOracle([]int{1}), []Fault{
+		{Fail: true}, {Fail: true}, {Fail: true},
+	}, clock.Advance)
+	r := NewResilient(fo, ResilientOptions{
+		MaxAttempts: 4,
+		Backoff:     100 * time.Millisecond,
+		MaxBackoff:  time.Second,
+		Clock:       clock.Now,
+		Sleep: func(d time.Duration) {
+			slept = append(slept, d)
+			clock.Advance(d)
+		},
+		Jitter: func() float64 { return 0 },
+	})
+	if _, err := r.LabelBatch([]int{0}); err != nil {
+		t.Fatal(err)
+	}
+	want := []time.Duration{100 * time.Millisecond, 200 * time.Millisecond, 400 * time.Millisecond}
+	if len(slept) != len(want) {
+		t.Fatalf("slept %v, want %v", slept, want)
+	}
+	for i := range want {
+		if slept[i] != want[i] {
+			t.Fatalf("slept %v, want %v", slept, want)
+		}
+	}
+}
+
+func TestResilientMalformedAnswersFailHard(t *testing.T) {
+	// Unknown index: protocol violation, not an outage — no parking.
+	bad := providerFunc(func(indices []int) (BatchResult, error) {
+		return BatchResult{Indices: []int{99}, Labels: []int{1}}, nil
+	})
+	r := NewResilient(bad, ResilientOptions{})
+	_, err := r.LabelBatch([]int{0})
+	if err == nil || errors.Is(err, ErrUnavailable) {
+		t.Fatalf("unknown-index answer: err = %v, want hard failure", err)
+	}
+
+	// Ragged slices likewise.
+	ragged := providerFunc(func(indices []int) (BatchResult, error) {
+		return BatchResult{Indices: []int{0}, Labels: []int{1, 2}}, nil
+	})
+	r = NewResilient(ragged, ResilientOptions{})
+	_, err = r.LabelBatch([]int{0})
+	if err == nil || errors.Is(err, ErrUnavailable) {
+		t.Fatalf("ragged answer: err = %v, want hard failure", err)
+	}
+}
+
+type providerFunc func(indices []int) (BatchResult, error)
+
+func (f providerFunc) RequestLabels(indices []int) (BatchResult, error) { return f(indices) }
+
+func TestResilientClearCache(t *testing.T) {
+	truth := []int{1, 2}
+	r, fo, _ := newTestResilient(truth, nil, ResilientOptions{})
+	if _, err := r.LabelBatch([]int{0, 1}); err != nil {
+		t.Fatal(err)
+	}
+	r.ClearCache()
+	if _, err := r.LabelBatch([]int{0, 1}); err != nil {
+		t.Fatal(err)
+	}
+	if fo.Calls() != 2 {
+		t.Fatalf("round trips = %d, want 2 (cache cleared)", fo.Calls())
+	}
+}
+
+func TestResilientLatencyHistogram(t *testing.T) {
+	schedule := []Fault{{Latency: 3 * time.Millisecond}}
+	r, _, _ := newTestResilient([]int{1}, schedule, ResilientOptions{})
+	if _, err := r.LabelBatch([]int{0}); err != nil {
+		t.Fatal(err)
+	}
+	st := r.Stats()
+	if len(st.LatencyMs) != latencyBuckets {
+		t.Fatalf("histogram has %d buckets, want %d", len(st.LatencyMs), latencyBuckets)
+	}
+	// 3ms lands in bucket [2,4) = index 2.
+	if st.LatencyMs[2] != 1 {
+		t.Fatalf("histogram = %v, want the 3ms attempt in bucket 2", st.LatencyMs)
+	}
+	if st.NsTotal != uint64(3*time.Millisecond) {
+		t.Fatalf("ns total = %d, want %d", st.NsTotal, 3*time.Millisecond)
+	}
+}
+
+// --- HTTP transport against the mock provider server -------------------
+
+func TestHTTPOracleAgainstProviderServer(t *testing.T) {
+	truth := []int{0, 1, 2, 3, 1, 0}
+	ps := NewProviderServer(truth)
+	srv := httptest.NewServer(ps)
+	defer srv.Close()
+
+	transport, err := NewHTTPOracle(srv.URL, HTTPOracleOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := transport.RequestLabels([]int{1, 3, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Indices) != 3 || res.Labels[0] != 1 || res.Labels[1] != 3 || res.Labels[2] != 0 {
+		t.Fatalf("answer = %+v", res)
+	}
+
+	// Scripted outage with Retry-After.
+	ps.FailNext(1, http.StatusServiceUnavailable, 5*time.Second)
+	_, err = transport.RequestLabels([]int{0})
+	var se *ProviderStatusError
+	if !errors.As(err, &se) {
+		t.Fatalf("outage err = %T %v", err, err)
+	}
+	if se.StatusCode != http.StatusServiceUnavailable || !se.HasRetryIn || se.RetryIn != 5*time.Second {
+		t.Fatalf("status error = %+v", se)
+	}
+
+	// Out-of-range index is a 400 — and carries no retry hint.
+	_, err = transport.RequestLabels([]int{99})
+	if !errors.As(err, &se) || se.StatusCode != http.StatusBadRequest || se.HasRetryIn {
+		t.Fatalf("bad index err = %v", err)
+	}
+}
+
+func TestHTTPOracleResilientEndToEnd(t *testing.T) {
+	truth := []int{2, 0, 1, 2, 1}
+	ps := NewProviderServer(truth)
+	srv := httptest.NewServer(ps)
+	defer srv.Close()
+
+	transport, err := NewHTTPOracle(srv.URL, HTTPOracleOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps.SetMaxBatch(2)    // dribs and drabs
+	ps.FailNext(1, 0, 0) // one outage first
+	r := NewResilient(transport, ResilientOptions{
+		MaxAttempts: 3,
+		Backoff:     time.Millisecond,
+		Sleep:       func(time.Duration) {},
+	})
+	got, err := r.LabelBatch([]int{0, 1, 2, 3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, y := range got {
+		if y != truth[i] {
+			t.Fatalf("label[%d] = %d, want %d", i, y, truth[i])
+		}
+	}
+	if ps.Requests() < 4 { // 1 failure + ceil(5/2) partial rounds
+		t.Fatalf("requests = %d, want >= 4", ps.Requests())
+	}
+	if st := r.Stats(); st.PartialBatches == 0 || st.Retries == 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestNewHTTPOracleRejectsBadURLs(t *testing.T) {
+	for _, u := range []string{"", "not a url", "ftp://host/x", "http://"} {
+		if _, err := NewHTTPOracle(u, HTTPOracleOptions{}); err == nil {
+			t.Errorf("NewHTTPOracle(%q) accepted", u)
+		}
+	}
+}

@@ -1,117 +1,31 @@
 package notify
 
-import (
-	"fmt"
-	"time"
-)
+import "github.com/easeml/ci/internal/resilience"
+
+// The per-subscriber circuit breaker started life here and was lifted
+// into internal/resilience once the remote label oracle needed the same
+// state machine. The names below are aliases, not copies: notify's wire
+// types (RetryStats.Breakers, the metrics API) and the oracle client
+// report through the identical struct.
 
 // BreakerState is a circuit breaker's position.
-type BreakerState int
+type BreakerState = resilience.BreakerState
 
+// Breaker positions, re-exported for notify's callers.
 const (
-	// BreakerClosed is normal operation: attempts flow through.
-	BreakerClosed BreakerState = iota
-	// BreakerOpen short-circuits attempts until the cooldown elapses.
-	BreakerOpen
-	// BreakerHalfOpen lets exactly one probe through; its outcome decides
-	// between closing and re-opening.
-	BreakerHalfOpen
+	BreakerClosed   = resilience.BreakerClosed
+	BreakerOpen     = resilience.BreakerOpen
+	BreakerHalfOpen = resilience.BreakerHalfOpen
 )
 
-// String implements fmt.Stringer; the values appear in the metrics API.
-func (s BreakerState) String() string {
-	switch s {
-	case BreakerClosed:
-		return "closed"
-	case BreakerOpen:
-		return "open"
-	case BreakerHalfOpen:
-		return "half-open"
-	default:
-		return fmt.Sprintf("BreakerState(%d)", int(s))
-	}
-}
-
 // BreakerOptions tunes the per-subscriber circuit breakers.
-type BreakerOptions struct {
-	// FailureThreshold is how many consecutive delivery failures open the
-	// breaker. 0 means DefaultFailureThreshold; negative disables
-	// breakers entirely.
-	FailureThreshold int
-	// Cooldown is how long an open breaker short-circuits attempts before
-	// allowing a half-open probe. 0 means DefaultCooldown.
-	Cooldown time.Duration
-}
+type BreakerOptions = resilience.BreakerOptions
 
 // Breaker defaults.
 const (
-	DefaultFailureThreshold = 5
-	DefaultCooldown         = 30 * time.Second
+	DefaultFailureThreshold = resilience.DefaultFailureThreshold
+	DefaultCooldown         = resilience.DefaultCooldown
 )
 
 // BreakerStatus is one subscriber's breaker, as reported in metrics.
-type BreakerStatus struct {
-	State string `json:"state"`
-	// ConsecutiveFailures counts the current failure streak.
-	ConsecutiveFailures int `json:"consecutive_failures"`
-	// Opens counts how many times this breaker has tripped.
-	Opens uint64 `json:"opens"`
-}
-
-// breaker is one subscriber's state. It is guarded by the Reliable mutex.
-type breaker struct {
-	state     BreakerState
-	failures  int
-	opens     uint64
-	openUntil time.Time
-	// probing marks a half-open probe in flight, so concurrent attempts
-	// against the same subscriber don't all slip through the half-open
-	// window.
-	probing bool
-}
-
-// allow reports whether an attempt may proceed now; when it may not, it
-// returns the time at which the breaker becomes probeable.
-func (b *breaker) allow(now time.Time, opts BreakerOptions) (ok bool, retryAt time.Time) {
-	switch b.state {
-	case BreakerClosed:
-		return true, time.Time{}
-	case BreakerOpen:
-		if now.Before(b.openUntil) {
-			return false, b.openUntil
-		}
-		b.state = BreakerHalfOpen
-		b.probing = true
-		return true, time.Time{}
-	default: // half-open
-		if b.probing {
-			return false, b.openUntil
-		}
-		b.probing = true
-		return true, time.Time{}
-	}
-}
-
-// record feeds an attempt outcome back into the breaker.
-func (b *breaker) record(success bool, now time.Time, opts BreakerOptions) {
-	threshold := opts.FailureThreshold
-	if threshold == 0 {
-		threshold = DefaultFailureThreshold
-	}
-	cooldown := opts.Cooldown
-	if cooldown == 0 {
-		cooldown = DefaultCooldown
-	}
-	b.probing = false
-	if success {
-		b.state = BreakerClosed
-		b.failures = 0
-		return
-	}
-	b.failures++
-	if b.state == BreakerHalfOpen || b.failures >= threshold {
-		b.state = BreakerOpen
-		b.openUntil = now.Add(cooldown)
-		b.opens++
-	}
-}
+type BreakerStatus = resilience.BreakerStatus

@@ -18,6 +18,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"github.com/easeml/ci/internal/resilience"
 )
 
 // Kind classifies notifications.
@@ -148,6 +150,28 @@ func (Discard) Send(Notification) error { return nil }
 // indefinitely.
 const DefaultRequestTimeout = 10 * time.Second
 
+// StatusError is a webhook delivery rejected by the subscriber with a
+// non-2xx response. It carries the Retry-After header (when present and
+// parseable) so the retry scheduler can honor the subscriber's own
+// pacing on 429/503 instead of the computed backoff.
+type StatusError struct {
+	URL        string
+	StatusCode int
+	Status     string
+	// RetryIn is the decoded Retry-After value; HasRetryIn reports
+	// whether the subscriber actually sent one.
+	RetryIn    time.Duration
+	HasRetryIn bool
+}
+
+// Error implements error.
+func (e *StatusError) Error() string {
+	return fmt.Sprintf("notify: webhook POST %s: subscriber answered %s", e.URL, e.Status)
+}
+
+// RetryAfter implements resilience.RetryAfterer.
+func (e *StatusError) RetryAfter() (time.Duration, bool) { return e.RetryIn, e.HasRetryIn }
+
 // HTTPPoster delivers notifications over HTTP: the Body is POSTed as JSON
 // to the To URL. It is the production transport for KindWebhook callbacks.
 type HTTPPoster struct {
@@ -206,7 +230,11 @@ func (p *HTTPPoster) SendContext(ctx context.Context, n Notification) error {
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode < 200 || resp.StatusCode > 299 {
-		return fmt.Errorf("notify: webhook POST %s: subscriber answered %s", n.To, resp.Status)
+		se := &StatusError{URL: n.To, StatusCode: resp.StatusCode, Status: resp.Status}
+		if resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode == http.StatusServiceUnavailable {
+			se.RetryIn, se.HasRetryIn = resilience.ParseRetryAfter(resp.Header.Get("Retry-After"), time.Now())
+		}
+		return se
 	}
 	return nil
 }

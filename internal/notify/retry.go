@@ -5,6 +5,8 @@ import (
 	"math/rand"
 	"sync"
 	"time"
+
+	"github.com/easeml/ci/internal/resilience"
 )
 
 // RetryPolicy tunes reliable delivery. The zero value means the defaults.
@@ -115,7 +117,7 @@ type Reliable struct {
 
 	mu       sync.Mutex
 	heap     taskHeap
-	breakers map[string]*breaker
+	breakers map[string]*resilience.Breaker
 	nextSeq  uint64
 	closed   bool
 	stats    RetryStats
@@ -136,7 +138,7 @@ func NewReliable(base Notifier, opts ReliableOptions) *Reliable {
 	r := &Reliable{
 		base:     base,
 		opts:     opts,
-		breakers: make(map[string]*breaker),
+		breakers: make(map[string]*resilience.Breaker),
 		perKind:  make(map[string]*KindRetryStats),
 		wake:     make(chan struct{}, 1),
 	}
@@ -253,7 +255,7 @@ func (r *Reliable) attempt(t *task) {
 	now := r.opts.Clock()
 	b := r.breakerLocked(t.n.To)
 	if b != nil {
-		if ok, retryAt := b.allow(now, r.opts.Policy.Breaker); !ok {
+		if ok, retryAt := b.Allow(now, r.opts.Policy.Breaker); !ok {
 			// Short-circuit: reschedule for the cooldown expiry without
 			// consuming one of the task's attempts.
 			r.stats.ShortCircuited++
@@ -272,7 +274,7 @@ func (r *Reliable) attempt(t *task) {
 	r.mu.Lock()
 	now = r.opts.Clock()
 	if b != nil {
-		b.record(err == nil, now, r.opts.Policy.Breaker)
+		b.Record(err == nil, now, r.opts.Policy.Breaker)
 	}
 	r.recordAttemptLocked(t.n.Kind, err == nil, elapsed)
 	if err == nil {
@@ -288,7 +290,14 @@ func (r *Reliable) attempt(t *task) {
 		return
 	}
 	r.stats.Retries++
-	t.due = now.Add(r.backoff(t.attempts))
+	delay := r.backoff(t.attempts)
+	if ra, ok := resilience.RetryAfterFromError(err); ok {
+		// The subscriber said when to come back (429/503 Retry-After):
+		// honor it verbatim instead of the computed backoff — no jitter,
+		// the peer picked the time.
+		delay = ra
+	}
+	t.due = now.Add(delay)
 	r.pushLocked(t)
 	r.mu.Unlock()
 	r.signal()
@@ -330,25 +339,19 @@ func (r *Reliable) backoff(attempts int) time.Duration {
 	if max <= 0 {
 		max = DefaultMaxBackoff
 	}
-	d := base
-	for i := 1; i < attempts && d < max; i++ {
-		d *= 2
-	}
-	if d > max {
-		d = max
-	}
+	d := resilience.Backoff(base, max, attempts)
 	return d + time.Duration(float64(d)*r.opts.Jitter())
 }
 
 // breakerLocked returns (creating if needed) the subscriber's breaker,
 // or nil when breakers are disabled.
-func (r *Reliable) breakerLocked(to string) *breaker {
+func (r *Reliable) breakerLocked(to string) *resilience.Breaker {
 	if r.opts.Policy.Breaker.FailureThreshold < 0 {
 		return nil
 	}
 	b := r.breakers[to]
 	if b == nil {
-		b = &breaker{}
+		b = &resilience.Breaker{}
 		r.breakers[to] = b
 	}
 	return b
@@ -378,7 +381,7 @@ func (r *Reliable) drainLocked() {
 		elapsed, err := r.attemptWire(t.n)
 		r.mu.Lock()
 		if b := r.breakerLocked(t.n.To); b != nil {
-			b.record(err == nil, r.opts.Clock(), r.opts.Policy.Breaker)
+			b.Record(err == nil, r.opts.Clock(), r.opts.Policy.Breaker)
 		}
 		r.recordAttemptLocked(t.n.Kind, err == nil, elapsed)
 		if err == nil {
@@ -423,11 +426,7 @@ func (r *Reliable) Stats() RetryStats {
 	}
 	s.Breakers = make(map[string]BreakerStatus, len(r.breakers))
 	for to, b := range r.breakers {
-		s.Breakers[to] = BreakerStatus{
-			State:               b.state.String(),
-			ConsecutiveFailures: b.failures,
-			Opens:               b.opens,
-		}
+		s.Breakers[to] = b.Status()
 	}
 	return s
 }

@@ -408,3 +408,59 @@ func TestPerKindLatencyStats(t *testing.T) {
 	}
 	r.Close()
 }
+
+// hintingNotifier refuses the first failN sends with a 429 carrying a
+// Retry-After hint, then succeeds.
+type hintingNotifier struct {
+	mu       sync.Mutex
+	failN    int
+	retryIn  time.Duration
+	attempts int
+}
+
+func (h *hintingNotifier) Send(n Notification) error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.attempts++
+	if h.attempts <= h.failN {
+		return &StatusError{
+			URL: n.To, StatusCode: http.StatusTooManyRequests, Status: "429 Too Many Requests",
+			RetryIn: h.retryIn, HasRetryIn: true,
+		}
+	}
+	return nil
+}
+
+// TestRetryAfterOverridesBackoff: a subscriber's Retry-After hint sets
+// the next attempt verbatim — no exponential backoff, no jitter; the
+// peer picked the time.
+func TestRetryAfterOverridesBackoff(t *testing.T) {
+	clock := newFakeClock()
+	start := clock.Now()
+	hinting := &hintingNotifier{failN: 2, retryIn: 42 * time.Second}
+	r := manualReliable(hinting, clock, RetryPolicy{
+		MaxAttempts: 4, Backoff: time.Second, MaxBackoff: 3 * time.Second,
+		Breaker: BreakerOptions{FailureThreshold: -1},
+	}, nil)
+	r.Send(Notification{Kind: KindWebhook, To: "http://sub"})
+	// Backoff alone would schedule +1s then +3s; the hint says +42s both
+	// times.
+	wantDelays := []time.Duration{0, 42 * time.Second, 84 * time.Second}
+	for i, want := range wantDelays {
+		due, ok := r.NextDue()
+		if !ok {
+			t.Fatalf("step %d: nothing scheduled", i)
+		}
+		if got := due.Sub(start); got != want {
+			t.Fatalf("step %d scheduled at +%v, want +%v", i, got, want)
+		}
+		clock.Advance(due.Sub(clock.Now()))
+		if !r.RunDue() {
+			t.Fatalf("step %d: RunDue found nothing", i)
+		}
+	}
+	if st := r.Stats(); st.Delivered != 1 || st.Attempts != 3 || st.Retries != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+	r.Close()
+}

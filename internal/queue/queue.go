@@ -23,8 +23,10 @@ import (
 
 // State is a job's position in its lifecycle. Transitions are
 // Queued -> Running -> Done|Failed, or Queued -> Failed directly when a
-// queued job is canceled or the queue shuts down non-gracefully. Done and
-// Failed are terminal.
+// queued job is canceled or the queue shuts down non-gracefully. A
+// Running job whose error matches the Park policy moves to Parked
+// instead of Failed, and back to Queued when ReleaseParked fires. Done
+// and Failed are terminal.
 type State int32
 
 const (
@@ -37,6 +39,12 @@ const (
 	// Failed means the executor returned an error, or the job was
 	// canceled while still queued (Err is ErrCanceled then).
 	Failed
+	// Parked means the executor hit a retryable dependency outage (the
+	// remote label provider, in the CI server's case) and the job is
+	// held — outside the pending backlog, occupying no worker — until
+	// ReleaseParked re-queues it. Parked is not terminal: Done stays
+	// open and waiters keep waiting.
+	Parked
 )
 
 // String implements fmt.Stringer; the values are the wire vocabulary of
@@ -51,6 +59,8 @@ func (s State) String() string {
 		return "done"
 	case Failed:
 		return "failed"
+	case Parked:
+		return "awaiting_labels"
 	default:
 		return fmt.Sprintf("State(%d)", int32(s))
 	}
@@ -221,6 +231,23 @@ type Options[Req, Res any] struct {
 	// from a durable log are never reissued. Restored jobs may raise the
 	// floor further.
 	StartSeq int
+	// Park classifies executor errors as retryable dependency outages:
+	// when it returns true for a job's error, the job parks (State
+	// Parked) instead of failing, and runs again when ReleaseParked is
+	// called. Parking is suppressed on a closed queue — shutdown must
+	// not strand jobs nobody will release — so the error fails the job
+	// then. Nil means no job ever parks.
+	Park func(error) bool
+	// OnPark, when set, is called once each time a job parks, on the
+	// executing goroutine without queue locks held, with the error that
+	// parked it. The durable server journals the park and schedules the
+	// automatic release here.
+	OnPark func(*Job[Req, Res], error)
+	// OnRelease, when set, is called once per job re-queued by
+	// ReleaseParked, without queue locks held. The multi-tenant control
+	// plane kicks the fair scheduler here so released work is drained
+	// without a fresh submission.
+	OnRelease func(*Job[Req, Res])
 }
 
 // Restored is one recovered job for Options.Restore.
@@ -245,20 +272,24 @@ const (
 
 // Queue is a bounded FIFO job queue. Safe for concurrent use.
 type Queue[Req, Res any] struct {
-	exec     Exec[Req, Res]
-	execJob  func(*Job[Req, Res]) (Res, error)
-	clock    Clock
-	onFinish func(*Job[Req, Res])
-	onSubmit func(*Job[Req, Res]) error
-	onCancel func(*Job[Req, Res]) error
-	capacity int
-	retain   int
-	manual   bool
-	workers  int
+	exec      Exec[Req, Res]
+	execJob   func(*Job[Req, Res]) (Res, error)
+	clock     Clock
+	onFinish  func(*Job[Req, Res])
+	onSubmit  func(*Job[Req, Res]) error
+	onCancel  func(*Job[Req, Res]) error
+	park      func(error) bool
+	onPark    func(*Job[Req, Res], error)
+	onRelease func(*Job[Req, Res])
+	capacity  int
+	retain    int
+	manual    bool
+	workers   int
 
 	mu       sync.Mutex
 	cond     *sync.Cond
 	pending  []*Job[Req, Res]
+	parked   []*Job[Req, Res] // in Seq order
 	jobs     map[string]*Job[Req, Res]
 	terminal []string // terminal job IDs in finish order, for eviction
 	closed   bool
@@ -281,9 +312,13 @@ type Stats struct {
 	// Canceled counts jobs canceled while queued (a subset of neither
 	// Completed nor Failed).
 	Canceled uint64 `json:"canceled"`
-	// Pending and Running are point-in-time gauges.
+	// ParkedTotal counts park transitions over the queue's lifetime (one
+	// job parking twice counts twice).
+	ParkedTotal uint64 `json:"parked_total"`
+	// Pending, Running, and Parked are point-in-time gauges.
 	Pending int `json:"pending"`
 	Running int `json:"running"`
+	Parked  int `json:"parked"`
 }
 
 // New builds a queue around an executor and starts its workers (unless
@@ -296,17 +331,20 @@ func New[Req, Res any](exec Exec[Req, Res], opts Options[Req, Res]) (*Queue[Req,
 		return nil, fmt.Errorf("queue: negative capacity, workers, retain, or start seq")
 	}
 	q := &Queue[Req, Res]{
-		exec:     exec,
-		execJob:  opts.ExecJob,
-		clock:    opts.Clock,
-		onFinish: opts.OnFinish,
-		onSubmit: opts.OnSubmit,
-		onCancel: opts.OnCancel,
-		capacity: opts.Capacity,
-		retain:   opts.Retain,
-		manual:   opts.Manual,
-		jobs:     make(map[string]*Job[Req, Res]),
-		nextSeq:  opts.StartSeq,
+		exec:      exec,
+		execJob:   opts.ExecJob,
+		clock:     opts.Clock,
+		onFinish:  opts.OnFinish,
+		onSubmit:  opts.OnSubmit,
+		onCancel:  opts.OnCancel,
+		park:      opts.Park,
+		onPark:    opts.OnPark,
+		onRelease: opts.OnRelease,
+		capacity:  opts.Capacity,
+		retain:    opts.Retain,
+		manual:    opts.Manual,
+		jobs:      make(map[string]*Job[Req, Res]),
+		nextSeq:   opts.StartSeq,
 	}
 	if q.clock == nil {
 		q.clock = func() int64 { return time.Now().UnixNano() }
@@ -388,9 +426,12 @@ func (q *Queue[Req, Res]) restore(restored []Restored[Req, Res]) error {
 			close(j.done)
 			q.terminal = append(q.terminal, j.ID)
 		default:
-			// Queued or Running at crash time: re-enqueue. Exactly-once
-			// execution holds because a job whose evaluation record made
-			// it to the log is restored as terminal, never re-run.
+			// Queued, Running, or Parked at crash time: re-enqueue.
+			// Exactly-once execution holds because a job whose evaluation
+			// record made it to the log is restored as terminal, never
+			// re-run. A parked job in particular never reached its
+			// evaluation record, so re-running it after restart is the
+			// resume path, not a duplicate.
 			j.state = Queued
 			q.pending = append(q.pending, j)
 		}
@@ -449,10 +490,13 @@ func (q *Queue[Req, Res]) Job(id string) (*Job[Req, Res], bool) {
 	return j, ok
 }
 
-// Cancel fails a still-queued job with ErrCanceled, removes it from the
-// backlog, and returns it (so the caller can report its final status even
-// if eviction races the lookup). Running or finished jobs are not
-// cancelable (ErrNotCancelable); unknown IDs are ErrNotFound.
+// Cancel fails a still-queued (or parked) job with ErrCanceled, removes
+// it from the backlog, and returns it (so the caller can report its
+// final status even if eviction races the lookup). Running or finished
+// jobs are not cancelable (ErrNotCancelable); unknown IDs are
+// ErrNotFound. A parked job is cancelable for the same reason a queued
+// one is — no executor is touching it — and must be: a provider outage
+// with no end in sight should not hold the developer's commit hostage.
 func (q *Queue[Req, Res]) Cancel(id string) (*Job[Req, Res], error) {
 	q.mu.Lock()
 	j, ok := q.jobs[id]
@@ -460,11 +504,19 @@ func (q *Queue[Req, Res]) Cancel(id string) (*Job[Req, Res], error) {
 		q.mu.Unlock()
 		return nil, ErrNotFound
 	}
-	idx := -1
+	idx, inParked := -1, false
 	for i, p := range q.pending {
 		if p == j {
 			idx = i
 			break
+		}
+	}
+	if idx < 0 {
+		for i, p := range q.parked {
+			if p == j {
+				idx, inParked = i, true
+				break
+			}
 		}
 	}
 	if idx < 0 {
@@ -480,7 +532,11 @@ func (q *Queue[Req, Res]) Cancel(id string) (*Job[Req, Res], error) {
 			return nil, err
 		}
 	}
-	q.pending = append(q.pending[:idx], q.pending[idx+1:]...)
+	if inParked {
+		q.parked = append(q.parked[:idx], q.parked[idx+1:]...)
+	} else {
+		q.pending = append(q.pending[:idx], q.pending[idx+1:]...)
+	}
 	j.mu.Lock()
 	j.state = Failed
 	j.err = ErrCanceled
@@ -503,6 +559,7 @@ func (q *Queue[Req, Res]) Stats() Stats {
 	s := q.stats
 	s.Pending = len(q.pending)
 	s.Running = q.running
+	s.Parked = len(q.parked)
 	return s
 }
 
@@ -531,8 +588,11 @@ func (q *Queue[Req, Res]) CloseIntake() {
 // abandoned here are gone, not deferred).
 func (q *Queue[Req, Res]) Abandon() int {
 	q.mu.Lock()
-	abandoned := q.pending
-	q.pending = nil
+	abandoned := make([]*Job[Req, Res], 0, len(q.pending)+len(q.parked))
+	abandoned = append(abandoned, q.pending...)
+	abandoned = append(abandoned, q.parked...)
+	sort.Slice(abandoned, func(i, k int) bool { return abandoned[i].Seq < abandoned[k].Seq })
+	q.pending, q.parked = nil, nil
 	for _, j := range abandoned {
 		j.mu.Lock()
 		j.state = Failed
@@ -582,6 +642,11 @@ func (q *Queue[Req, Res]) Close() {
 		}
 	}
 	q.wg.Wait()
+	// The workers are gone (or the manual drain is done), so nothing can
+	// park anymore; any job still parked would wait forever. Fail them so
+	// every accepted job reaches a terminal state and synchronous waiters
+	// unblock — the same ErrCanceled contract as Abandon.
+	q.failParked()
 }
 
 // RunNext dequeues and executes the oldest pending job on the calling
@@ -631,7 +696,8 @@ func (q *Queue[Req, Res]) pop(block bool) *Job[Req, Res] {
 	return j
 }
 
-// run executes a popped job and retires it.
+// run executes a popped job and retires it — or parks it, when the
+// executor's error matches the Park policy and the queue is still open.
 func (q *Queue[Req, Res]) run(j *Job[Req, Res]) {
 	var (
 		res Res
@@ -641,6 +707,25 @@ func (q *Queue[Req, Res]) run(j *Job[Req, Res]) {
 		res, err = q.execJob(j)
 	} else {
 		res, err = q.exec(j.Req)
+	}
+	if err != nil && q.park != nil && q.park(err) {
+		q.mu.Lock()
+		if !q.closed {
+			j.mu.Lock()
+			j.state = Parked
+			j.mu.Unlock()
+			q.running--
+			q.stats.ParkedTotal++
+			q.insertParkedLocked(j)
+			q.mu.Unlock()
+			if q.onPark != nil {
+				q.onPark(j, err)
+			}
+			return
+		}
+		// Shutting down: nobody will release a parked job, so the outage
+		// fails it below and waiters unblock.
+		q.mu.Unlock()
 	}
 	j.mu.Lock()
 	if err != nil {
@@ -664,6 +749,82 @@ func (q *Queue[Req, Res]) run(j *Job[Req, Res]) {
 	q.mu.Unlock()
 	if q.onFinish != nil {
 		q.onFinish(j)
+	}
+}
+
+// insertParkedLocked files a job into the parked list in Seq order, so a
+// release re-queues jobs in their original submission order.
+func (q *Queue[Req, Res]) insertParkedLocked(j *Job[Req, Res]) {
+	at := sort.Search(len(q.parked), func(i int) bool { return q.parked[i].Seq > j.Seq })
+	q.parked = append(q.parked, nil)
+	copy(q.parked[at+1:], q.parked[at:])
+	q.parked[at] = j
+}
+
+// ReleaseParked re-queues every parked job ahead of younger pending work
+// (the merged backlog is in Seq order), waking the workers, and returns
+// how many jobs it released. The server calls it when the label
+// provider's breaker cooldown elapses — and on nothing else: a release
+// that finds the provider still down just parks the jobs again. A closed
+// queue releases nothing (Close fails parked jobs itself).
+func (q *Queue[Req, Res]) ReleaseParked() int {
+	q.mu.Lock()
+	if q.closed || len(q.parked) == 0 {
+		q.mu.Unlock()
+		return 0
+	}
+	released := q.parked
+	q.parked = nil
+	for _, j := range released {
+		j.mu.Lock()
+		j.state = Queued
+		j.mu.Unlock()
+	}
+	merged := make([]*Job[Req, Res], 0, len(released)+len(q.pending))
+	merged = append(merged, released...)
+	merged = append(merged, q.pending...)
+	sort.Slice(merged, func(i, k int) bool { return merged[i].Seq < merged[k].Seq })
+	q.pending = merged
+	q.cond.Broadcast()
+	onRelease := q.onRelease
+	q.mu.Unlock()
+	if onRelease != nil {
+		for _, j := range released {
+			onRelease(j)
+		}
+	}
+	return len(released)
+}
+
+// ParkedCount reports how many jobs are currently parked.
+func (q *Queue[Req, Res]) ParkedCount() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.parked)
+}
+
+// failParked fails every parked job with ErrCanceled; the shutdown
+// counterpart of ReleaseParked. Runs after the workers have exited (or,
+// in manual mode, after the drain), so no new park can race it.
+func (q *Queue[Req, Res]) failParked() {
+	q.mu.Lock()
+	stranded := q.parked
+	q.parked = nil
+	for _, j := range stranded {
+		j.mu.Lock()
+		j.state = Failed
+		j.err = ErrCanceled
+		j.finished = q.clock()
+		close(j.done)
+		j.mu.Unlock()
+		q.stats.Canceled++
+		q.retireLocked(j)
+	}
+	q.mu.Unlock()
+	if q.onFinish != nil {
+		for _, j := range stranded {
+			q.onFinish(j)
+		}
 	}
 }
 

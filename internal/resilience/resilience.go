@@ -1,0 +1,214 @@
+// Package resilience holds the failure-handling primitives shared by
+// every outbound dependency of the CI server: the circuit breaker that
+// guards webhook subscribers (internal/notify) and the remote label
+// provider (internal/labeling), the capped exponential backoff their
+// retry loops compute delays with, and the Retry-After plumbing that
+// lets an overloaded peer dictate the delay instead.
+//
+// The breaker is deliberately lock-free: callers already serialize
+// around their own state (the notify deliverer's mutex, the resilient
+// oracle's mutex), so the breaker embedding a second mutex would only
+// add an ordering hazard. Every method takes the current time explicitly
+// — determinism under an injected clock is what the chaos suites are
+// built on.
+package resilience
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// BreakerState is a circuit breaker's position.
+type BreakerState int
+
+const (
+	// BreakerClosed is normal operation: attempts flow through.
+	BreakerClosed BreakerState = iota
+	// BreakerOpen short-circuits attempts until the cooldown elapses.
+	BreakerOpen
+	// BreakerHalfOpen lets exactly one probe through; its outcome decides
+	// between closing and re-opening.
+	BreakerHalfOpen
+)
+
+// String implements fmt.Stringer; the values appear in the metrics API.
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	default:
+		return fmt.Sprintf("BreakerState(%d)", int(s))
+	}
+}
+
+// BreakerOptions tunes a circuit breaker.
+type BreakerOptions struct {
+	// FailureThreshold is how many consecutive failures open the breaker.
+	// 0 means DefaultFailureThreshold; negative disables breakers
+	// entirely (callers skip the breaker then).
+	FailureThreshold int
+	// Cooldown is how long an open breaker short-circuits attempts before
+	// allowing a half-open probe. 0 means DefaultCooldown.
+	Cooldown time.Duration
+}
+
+// Breaker defaults.
+const (
+	DefaultFailureThreshold = 5
+	DefaultCooldown         = 30 * time.Second
+)
+
+// BreakerStatus is one breaker's state as reported in metrics.
+type BreakerStatus struct {
+	State string `json:"state"`
+	// ConsecutiveFailures counts the current failure streak.
+	ConsecutiveFailures int `json:"consecutive_failures"`
+	// Opens counts how many times this breaker has tripped.
+	Opens uint64 `json:"opens"`
+}
+
+// Breaker is one dependency's circuit-breaker state machine. It holds no
+// lock of its own — the caller serializes access (see the package
+// comment) — and never reads the wall clock: Allow and Record take now
+// explicitly.
+type Breaker struct {
+	state     BreakerState
+	failures  int
+	opens     uint64
+	openUntil time.Time
+	// probing marks a half-open probe in flight, so concurrent attempts
+	// against the same dependency don't all slip through the half-open
+	// window.
+	probing bool
+}
+
+// Allow reports whether an attempt may proceed now; when it may not, it
+// returns the time at which the breaker becomes probeable.
+func (b *Breaker) Allow(now time.Time, opts BreakerOptions) (ok bool, retryAt time.Time) {
+	switch b.state {
+	case BreakerClosed:
+		return true, time.Time{}
+	case BreakerOpen:
+		if now.Before(b.openUntil) {
+			return false, b.openUntil
+		}
+		b.state = BreakerHalfOpen
+		b.probing = true
+		return true, time.Time{}
+	default: // half-open
+		if b.probing {
+			return false, b.openUntil
+		}
+		b.probing = true
+		return true, time.Time{}
+	}
+}
+
+// Record feeds an attempt outcome back into the breaker.
+func (b *Breaker) Record(success bool, now time.Time, opts BreakerOptions) {
+	threshold := opts.FailureThreshold
+	if threshold == 0 {
+		threshold = DefaultFailureThreshold
+	}
+	cooldown := opts.Cooldown
+	if cooldown == 0 {
+		cooldown = DefaultCooldown
+	}
+	b.probing = false
+	if success {
+		b.state = BreakerClosed
+		b.failures = 0
+		return
+	}
+	b.failures++
+	if b.state == BreakerHalfOpen || b.failures >= threshold {
+		b.state = BreakerOpen
+		b.openUntil = now.Add(cooldown)
+		b.opens++
+	}
+}
+
+// State returns the breaker's position (without advancing open -> half-
+// open; that transition happens in Allow).
+func (b *Breaker) State() BreakerState { return b.state }
+
+// Status snapshots the breaker for metrics.
+func (b *Breaker) Status() BreakerStatus {
+	return BreakerStatus{
+		State:               b.state.String(),
+		ConsecutiveFailures: b.failures,
+		Opens:               b.opens,
+	}
+}
+
+// Backoff computes the delay after the given number of failed attempts:
+// base * 2^(attempts-1), capped at max. Non-positive base/max fall back
+// to the caller's defaults before calling; attempts below 1 count as 1.
+// Jitter is the caller's business — notify stretches multiplicatively,
+// the oracle client additively — so Backoff stays deterministic.
+func Backoff(base, max time.Duration, attempts int) time.Duration {
+	if base <= 0 {
+		return 0
+	}
+	if max > 0 && base > max {
+		base = max
+	}
+	d := base
+	for i := 1; i < attempts && (max <= 0 || d < max); i++ {
+		d *= 2
+	}
+	if max > 0 && d > max {
+		d = max
+	}
+	return d
+}
+
+// RetryAfterer is implemented by errors carrying a peer-supplied retry
+// hint (an HTTP Retry-After header, a breaker's cooldown expiry). The
+// bool reports whether a hint is actually present.
+type RetryAfterer interface {
+	RetryAfter() (time.Duration, bool)
+}
+
+// RetryAfterFromError walks an error chain for a Retry-After hint.
+func RetryAfterFromError(err error) (time.Duration, bool) {
+	for err != nil {
+		if ra, ok := err.(RetryAfterer); ok {
+			if d, present := ra.RetryAfter(); present {
+				return d, true
+			}
+		}
+		err = errors.Unwrap(err)
+	}
+	return 0, false
+}
+
+// ParseRetryAfter decodes an HTTP Retry-After header value: either a
+// non-negative integer of seconds or an HTTP date. The bool reports a
+// successful parse; a date in the past parses as 0.
+func ParseRetryAfter(v string, now time.Time) (time.Duration, bool) {
+	if v == "" {
+		return 0, false
+	}
+	if secs, err := strconv.Atoi(v); err == nil {
+		if secs < 0 {
+			return 0, false
+		}
+		return time.Duration(secs) * time.Second, true
+	}
+	if at, err := http.ParseTime(v); err == nil {
+		d := at.Sub(now)
+		if d < 0 {
+			d = 0
+		}
+		return d, true
+	}
+	return 0, false
+}

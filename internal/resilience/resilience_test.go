@@ -1,0 +1,169 @@
+package resilience
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+var t0 = time.Date(2026, 1, 2, 3, 4, 5, 0, time.UTC)
+
+func TestBreakerOpensAtThreshold(t *testing.T) {
+	var b Breaker
+	opts := BreakerOptions{FailureThreshold: 3, Cooldown: 10 * time.Second}
+	now := t0
+	for i := 0; i < 2; i++ {
+		if ok, _ := b.Allow(now, opts); !ok {
+			t.Fatalf("attempt %d refused while closed", i)
+		}
+		b.Record(false, now, opts)
+		if got := b.State(); got != BreakerClosed {
+			t.Fatalf("after %d failures state = %v, want closed", i+1, got)
+		}
+	}
+	b.Record(false, now, opts)
+	if got := b.State(); got != BreakerOpen {
+		t.Fatalf("after threshold failures state = %v, want open", got)
+	}
+	if st := b.Status(); st.Opens != 1 || st.ConsecutiveFailures != 3 || st.State != "open" {
+		t.Fatalf("status = %+v", st)
+	}
+	ok, retryAt := b.Allow(now.Add(5*time.Second), opts)
+	if ok {
+		t.Fatal("open breaker allowed an attempt inside the cooldown")
+	}
+	if want := now.Add(10 * time.Second); !retryAt.Equal(want) {
+		t.Fatalf("retryAt = %v, want %v", retryAt, want)
+	}
+}
+
+func TestBreakerHalfOpenProbe(t *testing.T) {
+	opts := BreakerOptions{FailureThreshold: 1, Cooldown: time.Second}
+	now := t0
+
+	// Probe failure re-opens for a fresh cooldown.
+	var b Breaker
+	b.Record(false, now, opts)
+	now = now.Add(time.Second)
+	if ok, _ := b.Allow(now, opts); !ok {
+		t.Fatal("cooldown elapsed but probe refused")
+	}
+	if b.State() != BreakerHalfOpen {
+		t.Fatalf("state = %v, want half-open", b.State())
+	}
+	// A second attempt while the probe is in flight is refused.
+	if ok, _ := b.Allow(now, opts); ok {
+		t.Fatal("second concurrent probe allowed")
+	}
+	b.Record(false, now, opts)
+	if b.State() != BreakerOpen {
+		t.Fatalf("failed probe left state %v, want open", b.State())
+	}
+	if b.Status().Opens != 2 {
+		t.Fatalf("opens = %d, want 2", b.Status().Opens)
+	}
+
+	// Probe success closes.
+	now = now.Add(time.Second)
+	if ok, _ := b.Allow(now, opts); !ok {
+		t.Fatal("second cooldown elapsed but probe refused")
+	}
+	b.Record(true, now, opts)
+	if b.State() != BreakerClosed {
+		t.Fatalf("successful probe left state %v, want closed", b.State())
+	}
+	if b.Status().ConsecutiveFailures != 0 {
+		t.Fatalf("failures not reset: %+v", b.Status())
+	}
+}
+
+func TestBreakerSuccessResetsStreak(t *testing.T) {
+	var b Breaker
+	opts := BreakerOptions{} // defaults
+	now := t0
+	for i := 0; i < DefaultFailureThreshold-1; i++ {
+		b.Record(false, now, opts)
+	}
+	b.Record(true, now, opts)
+	for i := 0; i < DefaultFailureThreshold-1; i++ {
+		b.Record(false, now, opts)
+	}
+	if b.State() != BreakerClosed {
+		t.Fatalf("interleaved success did not reset the streak: %+v", b.Status())
+	}
+}
+
+func TestBackoff(t *testing.T) {
+	cases := []struct {
+		base, max time.Duration
+		attempts  int
+		want      time.Duration
+	}{
+		{100 * time.Millisecond, time.Second, 1, 100 * time.Millisecond},
+		{100 * time.Millisecond, time.Second, 2, 200 * time.Millisecond},
+		{100 * time.Millisecond, time.Second, 4, 800 * time.Millisecond},
+		{100 * time.Millisecond, time.Second, 5, time.Second},
+		{100 * time.Millisecond, time.Second, 50, time.Second}, // capped, no overflow
+		{100 * time.Millisecond, 0, 3, 400 * time.Millisecond}, // no cap
+		{0, time.Second, 3, 0},
+		{2 * time.Second, time.Second, 1, time.Second}, // base beyond cap
+	}
+	for _, c := range cases {
+		if got := Backoff(c.base, c.max, c.attempts); got != c.want {
+			t.Errorf("Backoff(%v, %v, %d) = %v, want %v", c.base, c.max, c.attempts, got, c.want)
+		}
+	}
+}
+
+func TestParseRetryAfter(t *testing.T) {
+	if d, ok := ParseRetryAfter("7", t0); !ok || d != 7*time.Second {
+		t.Fatalf("seconds form: %v %v", d, ok)
+	}
+	if _, ok := ParseRetryAfter("", t0); ok {
+		t.Fatal("empty header parsed")
+	}
+	if _, ok := ParseRetryAfter("-3", t0); ok {
+		t.Fatal("negative seconds parsed")
+	}
+	if _, ok := ParseRetryAfter("soon", t0); ok {
+		t.Fatal("garbage parsed")
+	}
+	at := t0.Add(90 * time.Second)
+	if d, ok := ParseRetryAfter(at.UTC().Format(timeFormat), t0); !ok || d != 90*time.Second {
+		t.Fatalf("date form: %v %v", d, ok)
+	}
+	past := t0.Add(-time.Hour)
+	if d, ok := ParseRetryAfter(past.UTC().Format(timeFormat), t0); !ok || d != 0 {
+		t.Fatalf("past date: %v %v", d, ok)
+	}
+}
+
+// timeFormat is the HTTP date layout http.ParseTime accepts first.
+const timeFormat = "Mon, 02 Jan 2006 15:04:05 GMT"
+
+type hintedError struct {
+	d  time.Duration
+	ok bool
+}
+
+func (e hintedError) Error() string                     { return "hinted" }
+func (e hintedError) RetryAfter() (time.Duration, bool) { return e.d, e.ok }
+
+func TestRetryAfterFromError(t *testing.T) {
+	if _, ok := RetryAfterFromError(nil); ok {
+		t.Fatal("nil error carried a hint")
+	}
+	if _, ok := RetryAfterFromError(errors.New("plain")); ok {
+		t.Fatal("plain error carried a hint")
+	}
+	// Hint found through wrapping.
+	wrapped := fmt.Errorf("request failed: %w", hintedError{d: 3 * time.Second, ok: true})
+	if d, ok := RetryAfterFromError(wrapped); !ok || d != 3*time.Second {
+		t.Fatalf("wrapped hint: %v %v", d, ok)
+	}
+	// A RetryAfterer reporting no hint is skipped, not taken as zero.
+	if _, ok := RetryAfterFromError(hintedError{ok: false}); ok {
+		t.Fatal("absent hint reported present")
+	}
+}

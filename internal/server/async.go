@@ -11,6 +11,7 @@ import (
 
 	"github.com/easeml/ci/internal/bounds"
 	"github.com/easeml/ci/internal/engine"
+	"github.com/easeml/ci/internal/labeling"
 	"github.com/easeml/ci/internal/model"
 	"github.com/easeml/ci/internal/notify"
 	"github.com/easeml/ci/internal/queue"
@@ -85,7 +86,9 @@ func commitErrorStatus(err error) int {
 		return http.StatusTooManyRequests
 	case errors.Is(err, engine.ErrNeedNewTestset), errors.Is(err, queue.ErrCanceled):
 		return http.StatusConflict
-	case errors.Is(err, errWALPoisoned):
+	case errors.Is(err, errWALPoisoned), errors.Is(err, labeling.ErrUnavailable):
+		// Label-provider unavailability surfaces only when a shutdown
+		// fails jobs that would otherwise park: a retryable outage, 503.
 		return http.StatusServiceUnavailable
 	default:
 		return http.StatusUnprocessableEntity
@@ -134,6 +137,17 @@ func (s *Server) executeCommitJob(j *queue.Job[AsyncCommitRequest, CommitRespons
 	}
 	if s.wlog == nil {
 		return resp, err
+	}
+	if err != nil && errors.Is(err, labeling.ErrUnavailable) {
+		// Provider outage: the job is about to park, not finish, so it must
+		// NOT get a commit record — a recorded failure would be terminal on
+		// replay, and worse, replay (which runs against the truth oracle)
+		// would succeed where the live run couldn't and fail the audit
+		// byte-compare. With only its submit record on disk the job
+		// re-enqueues on restart: restart is itself a release path, and the
+		// engine rolled back this evaluation's reveals, so the eventual
+		// re-run is byte-identical to one that never saw the outage.
+		return CommitResponse{}, err
 	}
 	if s.walFailed.Load() {
 		// The engine's journal hit an append failure mid-commit; nothing

@@ -44,6 +44,7 @@ const (
 	recTypePromote  = "promote"
 	recTypeLooks    = "looks"
 	recTypeRollback = "rollback"
+	recTypePark     = "job.park"
 )
 
 // recGenesis is the first record of every fresh data directory: the
@@ -120,6 +121,16 @@ type recLooks struct {
 
 type recRollback struct {
 	Discarded int `json:"discarded"`
+}
+
+// recPark is the audit trail of a provider outage: the job entered the
+// awaiting_labels state with this error. It never changes the job's
+// recoverability — a parked job is recoverable because its submit record
+// has no commit record yet, so replay re-enqueues it exactly like a job
+// that was still queued at the crash.
+type recPark struct {
+	Job string `json:"job"`
+	Err string `json:"err,omitempty"`
 }
 
 // Job table states (the WAL's materialized view of the queue).
@@ -494,6 +505,17 @@ func recoverDurable(cfg *script.Config, g Genesis, opts Options, snap *wal.Snaps
 			}
 			if e := d.table[r.Job]; e != nil {
 				e.WebhookDone = true
+			}
+		case recTypePark:
+			// Audit only: the job parked on a provider outage. It has no
+			// commit record (parking and recording are mutually exclusive by
+			// construction), so the restore loop below re-enqueues it from
+			// its submit record — restart IS the release path. Lenient on an
+			// unknown job for the same reason webhook records are: the
+			// record changes no state.
+			var r recPark
+			if err := json.Unmarshal(rec.Data, &r); err != nil {
+				return nil, fmt.Errorf("record %d (%s): %w", rec.Seq, rec.Type, err)
 			}
 		case recTypeRotate:
 			var r recRotate

@@ -12,6 +12,7 @@ import (
 
 	"github.com/easeml/ci/internal/bounds"
 	"github.com/easeml/ci/internal/interval"
+	"github.com/easeml/ci/internal/labeling"
 	"github.com/easeml/ci/internal/planner"
 	"github.com/easeml/ci/internal/queue"
 	"github.com/easeml/ci/internal/registry"
@@ -409,6 +410,10 @@ type TenantMetrics struct {
 	WebhooksSent      uint64      `json:"webhooks_sent"`
 	WebhooksFailed    uint64      `json:"webhooks_failed"`
 	WAL               *wal.Stats  `json:"wal,omitempty"`
+	// LabelOracle is this tenant's remote label client health (see
+	// MetricsResponse.LabelOracle). Like the WAL stats, it survives the
+	// admin cache reset — delivery state, not a cache.
+	LabelOracle *labeling.OracleStats `json:"label_oracle,omitempty"`
 }
 
 // MultiMetricsResponse is GET /api/v1/metrics on the control plane: the
@@ -448,6 +453,7 @@ func (s *Server) tenantMetrics(id, state string) TenantMetrics {
 		WebhooksSent:      s.webhooksSent.Load(),
 		WebhooksFailed:    s.webhooksFailed.Load(),
 		WAL:               s.WALStats(),
+		LabelOracle:       s.oracleStats(),
 	}
 }
 

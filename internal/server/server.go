@@ -47,6 +47,7 @@ package server
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"strconv"
@@ -64,6 +65,7 @@ import (
 	"github.com/easeml/ci/internal/parallel"
 	"github.com/easeml/ci/internal/planner"
 	"github.com/easeml/ci/internal/queue"
+	"github.com/easeml/ci/internal/resilience"
 	"github.com/easeml/ci/internal/script"
 	"github.com/easeml/ci/internal/wal"
 )
@@ -127,6 +129,17 @@ type Server struct {
 	onEnqueue  func()
 	onDequeue  func()
 	labelQuota int
+
+	// Remote label sourcing (see Options.OracleFactory). oracle is the
+	// current generation's label source when a factory is installed; the
+	// release timer resumes parked jobs once the provider's suggested
+	// retry delay elapses.
+	oracleFactory func(gen int, truth []int) labeling.Oracle
+	oracleMu      sync.Mutex // guards oracle: rotation swaps it while metrics read it
+	oracle        labeling.Oracle
+	manualRelease bool
+	releaseMu     sync.Mutex
+	releaseTimer  *time.Timer
 }
 
 // Options tunes the server's asynchronous commit pipeline. The zero value
@@ -195,7 +208,34 @@ type Options struct {
 	// early-decision settings charges different labels and recovery
 	// refuses the divergence.
 	EarlyDecision engine.EarlyDecision
+	// OracleFactory, when set, sources labels externally: it is called
+	// with a testset generation and that generation's ground-truth labels
+	// and returns the label oracle commits reveal through (typically a
+	// labeling.Resilient around an HTTP transport; the truth slice lets
+	// tests wire fault harnesses). Nil answers labels in-process from the
+	// testset itself. The factory's oracle is installed after recovery
+	// replay — replay always uses the in-process truth oracle, because
+	// labels already paid for must never hit the remote provider again —
+	// and again on every rotation, with the new generation's number.
+	// A commit that fails with labeling.ErrUnavailable parks its job
+	// (state "awaiting_labels") instead of failing it; parked jobs resume
+	// automatically when the provider's suggested retry delay elapses,
+	// and survive restarts as re-enqueued work.
+	OracleFactory func(gen int, truth []int) labeling.Oracle
+	// ManualRelease disables the automatic parked-job release timer;
+	// parked jobs resume only via ReleaseParked — the deterministic test
+	// harness, the parked-state counterpart of ManualQueue/ManualRetry.
+	ManualRelease bool
 }
+
+// Parked-job release pacing: a provider hint (Retry-After, breaker
+// cooldown) sets the release delay, floored so a zero hint cannot
+// hot-loop park/release cycles; DefaultParkRelease applies when the
+// outage carried no hint at all.
+const (
+	DefaultParkRelease = 15 * time.Second
+	MinParkRelease     = time.Second
+)
 
 // DefaultCompactAt is the automatic WAL compaction threshold.
 const DefaultCompactAt = 4 << 20
@@ -342,6 +382,21 @@ func newServer(cfg *script.Config, eng *engine.Engine, opts Options, d *durableS
 		// waiter in the live process.
 		qopts.OnSubmit = s.onSubmitHook
 	}
+	s.oracleFactory = opts.OracleFactory
+	s.manualRelease = opts.ManualRelease
+	if s.oracleFactory != nil {
+		// Provider outages park the commit job instead of failing it. The
+		// classification is the labeling package's contract: only
+		// labeling.ErrUnavailable is retryable-later; everything else
+		// (label mismatch, quota, protocol violations) stays a failure.
+		qopts.Park = func(err error) bool { return errors.Is(err, labeling.ErrUnavailable) }
+		qopts.OnPark = s.onParkHook
+		qopts.OnRelease = s.onReleaseHook
+		if err := s.installOracle(); err != nil {
+			s.deliver.Close()
+			return nil, fmt.Errorf("server: %w", err)
+		}
+	}
 	if d != nil {
 		s.wlog = d.log
 		s.genesisFP = d.fp
@@ -414,6 +469,12 @@ var tenantRoutes = []tenantRoute{
 // the next start redeliver them). A durable server then compacts the log
 // (best effort — a crash here just means a longer replay) and closes it.
 func (s *Server) Close() {
+	s.releaseMu.Lock()
+	if s.releaseTimer != nil {
+		s.releaseTimer.Stop()
+		s.releaseTimer = nil
+	}
+	s.releaseMu.Unlock()
 	s.jobs.Close()
 	s.deliver.Close()
 	if s.wlog != nil {
@@ -423,6 +484,88 @@ func (s *Server) Close() {
 		_ = s.wlog.Close()
 	}
 }
+
+// installOracle builds the current generation's label source through the
+// configured factory and hands it to the engine. Called once at
+// construction — after durable recovery has replayed against the truth
+// oracle — and again after every rotation.
+func (s *Server) installOracle() error {
+	if s.oracleFactory == nil {
+		return nil
+	}
+	ts := s.eng.Testsets().Current()
+	o := s.oracleFactory(ts.Generation, append([]int(nil), ts.Data.Y...))
+	if o == nil {
+		return fmt.Errorf("oracle factory returned nil for generation %d", ts.Generation)
+	}
+	if err := s.eng.SetOracle(o); err != nil {
+		return err
+	}
+	s.oracleMu.Lock()
+	s.oracle = o
+	s.oracleMu.Unlock()
+	return nil
+}
+
+// onParkHook runs when a commit job parks on a provider outage: it
+// journals the park (audit trail only — the job's recoverability comes
+// from its submit record having no commit record yet) and arms the
+// release timer from the provider's retry hint.
+func (s *Server) onParkHook(j *queue.Job[AsyncCommitRequest, CommitResponse], err error) {
+	if s.wlog != nil && !s.walFailed.Load() {
+		s.tableMu.Lock()
+		_ = s.walAppendSyncLocked(recTypePark, recPark{Job: j.ID, Err: err.Error()})
+		s.tableMu.Unlock()
+	}
+	s.scheduleRelease(err)
+}
+
+// onReleaseHook runs per job as parked work rejoins the pending queue;
+// the multi-tenant pool needs a kick per job or the fair scheduler would
+// see no pending credit for the tenant.
+func (s *Server) onReleaseHook(*queue.Job[AsyncCommitRequest, CommitResponse]) {
+	if s.onEnqueue != nil {
+		s.onEnqueue()
+	}
+}
+
+// scheduleRelease arms (once) the automatic parked-job release. The
+// delay honors the provider's hint when the outage carried one — a
+// Retry-After header or the breaker's cooldown — and one pending release
+// is enough: if the provider is still down, the released jobs park again
+// and re-arm the timer with a fresh hint.
+func (s *Server) scheduleRelease(err error) {
+	if s.manualRelease {
+		return
+	}
+	delay := DefaultParkRelease
+	if d, ok := resilience.RetryAfterFromError(err); ok {
+		delay = d
+	}
+	if delay < MinParkRelease {
+		delay = MinParkRelease
+	}
+	s.releaseMu.Lock()
+	defer s.releaseMu.Unlock()
+	if s.releaseTimer != nil {
+		return
+	}
+	s.releaseTimer = time.AfterFunc(delay, func() {
+		s.releaseMu.Lock()
+		s.releaseTimer = nil
+		s.releaseMu.Unlock()
+		s.jobs.ReleaseParked()
+	})
+}
+
+// ReleaseParked re-enqueues every parked commit job immediately and
+// reports how many moved. The manual counterpart of the release timer
+// (and the deterministic lever tests drive); safe to call at any time.
+func (s *Server) ReleaseParked() int { return s.jobs.ReleaseParked() }
+
+// ParkedCount reports how many commit jobs are waiting out a provider
+// outage in the awaiting_labels state.
+func (s *Server) ParkedCount() int { return s.jobs.ParkedCount() }
 
 // CloseIntake rejects new commit submissions (503) without draining the
 // backlog — phase one of a multi-tenant shutdown: the control plane
@@ -796,6 +939,12 @@ type MetricsResponse struct {
 	// WAL reports the write-ahead log's traffic (durable servers only).
 	// Not cleared by the admin cache reset.
 	WAL *wal.Stats `json:"wal,omitempty"`
+	// LabelOracle is the remote label provider's client health — attempts,
+	// retries, partial batches, short circuits, the breaker state, and the
+	// fetch-latency histogram. Present only when labels are sourced
+	// remotely (Options.OracleFactory). Like WebhookRetry, it is NOT
+	// cleared by the admin cache reset: delivery state, not a cache.
+	LabelOracle *labeling.OracleStats `json:"label_oracle,omitempty"`
 }
 
 // metricsSnapshot gathers the point-in-time counters; shared by the
@@ -827,7 +976,26 @@ func (s *Server) metricsSnapshot() MetricsResponse {
 		st := s.wlog.Stats()
 		m.WAL = &st
 	}
+	m.LabelOracle = s.oracleStats()
 	return m
+}
+
+// oracleStats snapshots the remote label client's health, when the
+// installed oracle exposes any (labeling.Resilient does; fault harnesses
+// and the truth oracle don't).
+func (s *Server) oracleStats() *labeling.OracleStats {
+	s.oracleMu.Lock()
+	o := s.oracle
+	s.oracleMu.Unlock()
+	if o == nil {
+		return nil
+	}
+	st, ok := o.(interface{ Stats() labeling.OracleStats })
+	if !ok {
+		return nil
+	}
+	stats := st.Stats()
+	return &stats
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
@@ -943,6 +1111,13 @@ func (s *Server) handleRotate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	gen := s.eng.Testsets().Current().Generation
+	// A remote-sourced server swaps in the new generation's provider
+	// client: the factory gets the fresh ground truth, and any verified-
+	// label cache from the old generation dies with the old oracle.
+	if err := s.installOracle(); err != nil {
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
 	if s.wlog != nil {
 		// Apply-then-append: the 200 goes out only once the rotation is
 		// durable. A crash (or append failure, which poisons the server)

@@ -202,6 +202,21 @@ func (t *Testset) RevealChunk(want evaluator.Bitmap, limit int, o labeling.Batch
 	return idx, nil
 }
 
+// Unreveal clears the revealed mark of the given examples (already-
+// hidden indices are ignored). It is the rollback primitive behind the
+// engine's fault recovery: when a multi-look evaluation dies between
+// looks, the looks already paid for are un-revealed so the eventual
+// re-run reveals — and charges for — exactly the same fresh labels as a
+// run that never failed.
+func (t *Testset) Unreveal(indices []int) {
+	for _, i := range indices {
+		if i >= 0 && i < t.Len() && t.revealed.Get(i) {
+			t.revealed.Clear(i)
+			t.revealedCount--
+		}
+	}
+}
+
 // revealBatch queries the oracle for the given indices, verifies every
 // label against the stored ground truth, and only then marks the batch
 // revealed. The all-then-mark order makes a failed batch atomic: callers

@@ -361,3 +361,135 @@ func TestRevealChunk(t *testing.T) {
 		t.Errorf("unbounded chunk: idx=%v err=%v", idx, err)
 	}
 }
+
+// failingOracle errors after a scripted number of successful batch
+// calls — the shape of a remote provider dying mid-evaluation.
+type failingOracle struct {
+	y     []int
+	after int
+	calls int
+}
+
+func (o *failingOracle) LabelBatch(idx []int) ([]int, error) {
+	o.calls++
+	if o.calls > o.after {
+		return nil, labeling.ErrUnavailable
+	}
+	out := make([]int, len(idx))
+	for k, i := range idx {
+		out[k] = o.y[i]
+	}
+	return out, nil
+}
+
+// TestRevealChunkAtomicOnOracleFailure: a chunk whose oracle round trip
+// fails outright must leave the reveal mask and cached count untouched at
+// EVERY look boundary — the testset half of the engine's byte-identical
+// re-run guarantee.
+func TestRevealChunkAtomicOnOracleFailure(t *testing.T) {
+	ds := dataset(t, 60, 7)
+	want := evaluator.NewBitmap(60)
+	for i := 0; i < 50; i++ {
+		want.Set(i)
+	}
+	const chunk = 10
+	// Fail at every possible look boundary: after 0, 1, ..., 4 good chunks.
+	for failAt := 0; failAt <= 4; failAt++ {
+		ts, _ := New(1, ds)
+		oracle := &failingOracle{y: ds.Y, after: failAt}
+		for look := 0; ; look++ {
+			idx, err := ts.RevealChunk(want, chunk, oracle)
+			if look < failAt {
+				if err != nil {
+					t.Fatalf("failAt=%d look=%d: unexpected error %v", failAt, look, err)
+				}
+				if len(idx) != chunk {
+					t.Fatalf("failAt=%d look=%d: fresh=%d, want %d", failAt, look, len(idx), chunk)
+				}
+				continue
+			}
+			// The failing look: nothing may change.
+			before := ts.RevealedCount()
+			if before != failAt*chunk {
+				t.Fatalf("failAt=%d: revealed=%d before the failing look, want %d", failAt, before, failAt*chunk)
+			}
+			if err == nil {
+				t.Fatalf("failAt=%d look=%d: expected oracle failure", failAt, look)
+			}
+			if got := ts.RevealedCount(); got != before {
+				t.Fatalf("failAt=%d: failed look changed revealed count %d -> %d", failAt, before, got)
+			}
+			for i := failAt * chunk; i < 60; i++ {
+				if ts.Revealed(i) {
+					t.Fatalf("failAt=%d: index %d marked revealed by a failed look", failAt, i)
+				}
+			}
+			break
+		}
+		// Recovery: an honest oracle completes the mask from where the good
+		// looks stopped, exactly as if the failure never happened.
+		truth := labeling.NewTruthOracle(ds.Y)
+		total := failAt * chunk
+		for total < 50 {
+			idx, err := ts.RevealChunk(want, chunk, truth)
+			if err != nil {
+				t.Fatalf("failAt=%d recovery: %v", failAt, err)
+			}
+			total += len(idx)
+		}
+		if ts.RevealedCount() != 50 {
+			t.Fatalf("failAt=%d: recovered to %d revealed, want 50", failAt, ts.RevealedCount())
+		}
+	}
+}
+
+// TestRevealWhereAtomicOnOracleFailure covers the unchunked batch path:
+// a mid-batch transport failure (not just a verification mismatch)
+// reveals nothing.
+func TestRevealWhereAtomicOnOracleFailure(t *testing.T) {
+	ds := dataset(t, 20, 9)
+	ts, _ := New(1, ds)
+	want := evaluator.NewBitmap(20)
+	for i := 0; i < 20; i++ {
+		want.Set(i)
+	}
+	if _, err := ts.RevealWhere(want, &failingOracle{y: ds.Y, after: 0}); err == nil {
+		t.Fatal("expected transport failure")
+	}
+	if ts.RevealedCount() != 0 {
+		t.Fatalf("failed RevealWhere revealed %d labels, want 0", ts.RevealedCount())
+	}
+}
+
+func TestUnreveal(t *testing.T) {
+	ds := dataset(t, 12, 11)
+	ts, _ := New(1, ds)
+	oracle := labeling.NewTruthOracle(ds.Y)
+	idx, err := ts.RevealFirst(5, oracle)
+	if err != nil || len(idx) != 5 {
+		t.Fatalf("setup reveal: %v %v", idx, err)
+	}
+	ts.Unreveal(idx[1:3]) // roll back indices 1 and 2
+	if ts.RevealedCount() != 3 {
+		t.Fatalf("revealed = %d after Unreveal, want 3", ts.RevealedCount())
+	}
+	if ts.Revealed(idx[1]) || ts.Revealed(idx[2]) {
+		t.Fatal("unrevealed indices still marked")
+	}
+	if !ts.Revealed(idx[0]) || !ts.Revealed(idx[3]) || !ts.Revealed(idx[4]) {
+		t.Fatal("Unreveal touched indices it was not given")
+	}
+	// Idempotent, and safely ignores out-of-range / never-revealed indices.
+	ts.Unreveal(idx[1:3])
+	ts.Unreveal([]int{-1, 100, 11})
+	if ts.RevealedCount() != 3 {
+		t.Fatalf("revealed = %d after redundant Unreveal, want 3", ts.RevealedCount())
+	}
+	// Re-revealing rolled-back indices is fresh again — the re-run pays
+	// through the oracle interface (where the resilient client's cache
+	// makes it free), not through stale testset state.
+	y, fresh, err := ts.Reveal(idx[1])
+	if err != nil || !fresh || y != ds.Y[idx[1]] {
+		t.Fatalf("re-reveal after Unreveal: y=%d fresh=%v err=%v", y, fresh, err)
+	}
+}
