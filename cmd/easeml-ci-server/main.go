@@ -40,6 +40,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
@@ -47,6 +48,7 @@ import (
 	"github.com/easeml/ci/internal/labeling"
 	"github.com/easeml/ci/internal/model"
 	"github.com/easeml/ci/internal/server"
+	"github.com/easeml/ci/internal/wal"
 )
 
 func main() {
@@ -72,12 +74,33 @@ func main() {
 		oracleTimeout = flag.Duration("oracle-timeout", labeling.DefaultProviderTimeout, "per-request timeout against the label provider")
 		oracleRetries = flag.Int("oracle-retries", labeling.DefaultOracleMaxAttempts, "attempts per label batch before the job parks (no-progress rounds; partial answers reset the count)")
 		oracleBackoff = flag.Duration("oracle-backoff", labeling.DefaultOracleBackoff, "base retry backoff against the label provider (doubles per failure, capped, jittered; Retry-After wins when the provider sends one)")
+
+		fsck        = flag.Bool("fsck", false, "scan every write-ahead log under -data-dir, report damage, and exit (status 1 if any log needs salvage)")
+		salvage     = flag.Bool("salvage", false, "like -fsck, but also quarantine each damaged log's bad suffix (to *.quarantine) and truncate to the longest valid prefix, then exit")
+		restorePath = flag.String("restore", "", "restore a backup tarball (from POST /api/v1/admin/backup) into -data-dir and exit; refuses a non-empty data dir or a genesis-fingerprint mismatch")
+		autoSalvage = flag.Bool("auto-salvage", false, "salvage damaged write-ahead logs automatically at startup instead of marking their projects salvage-required")
 	)
 	flag.Parse()
+
+	if *fsck || *salvage {
+		os.Exit(runFsck(*dataDir, *salvage))
+	}
 
 	cfg, err := loadConfig(*scriptPath, *condition, *reliability, *steps)
 	if err != nil {
 		log.Fatal("easeml-ci-server: ", err)
+	}
+
+	if *restorePath != "" {
+		g, gerr := defaultGenesis(cfg, *testsetSize, *classes, *initialAcc, *seed)
+		if gerr != nil {
+			log.Fatal("easeml-ci-server: ", gerr)
+		}
+		if err := server.RestoreBackup(*restorePath, *dataDir, g); err != nil {
+			log.Fatal("easeml-ci-server: ", err)
+		}
+		log.Printf("restored %s into %s; start the server against this data dir to serve it", *restorePath, *dataDir)
+		return
 	}
 	opts := server.Options{
 		QueueCapacity: *queueCap,
@@ -97,7 +120,7 @@ func main() {
 		log.Printf("sourcing labels from %s (timeout %s, %d attempts, base backoff %s)",
 			*oracleURL, *oracleTimeout, *oracleRetries, *oracleBackoff)
 	}
-	srv, err := buildServer(cfg, *testsetSize, *classes, *initialAcc, *seed, *dataDir, *poolWorkers, opts)
+	srv, err := buildServer(cfg, *testsetSize, *classes, *initialAcc, *seed, *dataDir, *poolWorkers, *autoSalvage, opts)
 	if err != nil {
 		log.Fatal("easeml-ci-server: ", err)
 	}
@@ -159,9 +182,24 @@ func loadConfig(path, condition string, reliability float64, steps int) (*ci.Con
 // still fingerprint-match the ones the data dir was created with — the
 // default project refuses a mismatch rather than serve old state under a
 // new config.
-func buildServer(cfg *ci.Config, testsetSize, classes int, initialAcc float64, seed int64, dataDir string, poolWorkers int, opts server.Options) (*server.Multi, error) {
+func buildServer(cfg *ci.Config, testsetSize, classes int, initialAcc float64, seed int64, dataDir string, poolWorkers int, autoSalvage bool, opts server.Options) (*server.Multi, error) {
+	g, err := defaultGenesis(cfg, testsetSize, classes, initialAcc, seed)
+	if err != nil {
+		return nil, err
+	}
+	return server.NewMulti(g, server.MultiOptions{
+		DataDir:     dataDir,
+		PoolWorkers: poolWorkers,
+		AutoSalvage: autoSalvage,
+		Tenant:      opts,
+	})
+}
+
+// defaultGenesis shapes the flags into the default project's genesis —
+// shared by normal boot and by -restore's fingerprint verification.
+func defaultGenesis(cfg *ci.Config, testsetSize, classes int, initialAcc float64, seed int64) (server.Genesis, error) {
 	if testsetSize < 10 || classes < 2 {
-		return nil, fmt.Errorf("testset-size must be >= 10 and classes >= 2")
+		return server.Genesis{}, fmt.Errorf("testset-size must be >= 10 and classes >= 2")
 	}
 	labels := make([]int, testsetSize)
 	for i := range labels {
@@ -169,9 +207,9 @@ func buildServer(cfg *ci.Config, testsetSize, classes int, initialAcc float64, s
 	}
 	h0, err := model.SimulatedPredictions(labels, classes, initialAcc, seed)
 	if err != nil {
-		return nil, err
+		return server.Genesis{}, err
 	}
-	return server.NewMulti(server.Genesis{
+	return server.Genesis{
 		Condition:        cfg.ConditionSrc,
 		Reliability:      cfg.Reliability,
 		Mode:             cfg.Mode,
@@ -181,9 +219,79 @@ func buildServer(cfg *ci.Config, testsetSize, classes int, initialAcc float64, s
 		Classes:          classes,
 		ModelName:        "deployed-h0",
 		ModelPredictions: h0,
-	}, server.MultiOptions{
-		DataDir:     dataDir,
-		PoolWorkers: poolWorkers,
-		Tenant:      opts,
-	})
+	}, nil
+}
+
+// runFsck scans every write-ahead log directory under dataDir — the
+// control log plus each project — prints one report per log, and (with
+// repair) salvages the damaged ones. Returns the process exit status:
+// 0 when every log is clean or repaired, 1 when damage remains.
+func runFsck(dataDir string, repair bool) int {
+	if dataDir == "" {
+		log.Print("easeml-ci-server: -fsck/-salvage need -data-dir")
+		return 2
+	}
+	dirs := walDirs(dataDir)
+	if len(dirs) == 0 {
+		log.Printf("%s holds no write-ahead logs", dataDir)
+		return 0
+	}
+	status := 0
+	for _, dir := range dirs {
+		rep, err := wal.Fsck(dir)
+		if err != nil {
+			log.Printf("%s: fsck: %v", dir, err)
+			status = 1
+			continue
+		}
+		log.Printf("%s", rep)
+		if !rep.Damaged() {
+			continue
+		}
+		if !repair {
+			status = 1
+			continue
+		}
+		res, err := wal.Salvage(dir)
+		if err != nil {
+			log.Printf("%s: salvage: %v", dir, err)
+			status = 1
+			continue
+		}
+		log.Printf("%s: salvaged: %d bytes quarantined to %v, %d records kept",
+			dir, res.QuarantinedBytes, res.QuarantineFiles, res.Report.ValidRecords)
+	}
+	return status
+}
+
+// walDirs lists the directories under dataDir that hold write-ahead
+// state: the control log, plus every directory with a wal.log or
+// snapshot, plus the legacy pre-projects root layout.
+func walDirs(dataDir string) []string {
+	var dirs []string
+	hasWAL := func(dir string) bool {
+		for _, name := range []string{"wal.log", "snapshot.json"} {
+			if _, err := os.Stat(filepath.Join(dir, name)); err == nil {
+				return true
+			}
+		}
+		return false
+	}
+	if hasWAL(dataDir) { // legacy pre-projects layout
+		dirs = append(dirs, dataDir)
+	}
+	entries, err := os.ReadDir(dataDir)
+	if err != nil {
+		return dirs
+	}
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		dir := filepath.Join(dataDir, e.Name())
+		if hasWAL(dir) {
+			dirs = append(dirs, dir)
+		}
+	}
+	return dirs
 }

@@ -32,7 +32,7 @@ func TestBuildServerServes(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv, err := buildServer(cfg, 700, 4, 0.8, 1, "", 0, server.Options{})
+	srv, err := buildServer(cfg, 700, 4, 0.8, 1, "", 0, false, server.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -51,7 +51,7 @@ func TestBuildServerAsyncFlow(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv, err := buildServer(cfg, 700, 4, 0.8, 1, "", 0, server.Options{QueueCapacity: 8})
+	srv, err := buildServer(cfg, 700, 4, 0.8, 1, "", 0, false, server.Options{QueueCapacity: 8})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -93,16 +93,16 @@ func TestBuildServerValidation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := buildServer(cfg, 5, 4, 0.8, 1, "", 0, server.Options{}); err == nil {
+	if _, err := buildServer(cfg, 5, 4, 0.8, 1, "", 0, false, server.Options{}); err == nil {
 		t.Error("tiny testset should fail")
 	}
-	if _, err := buildServer(cfg, 700, 1, 0.8, 1, "", 0, server.Options{}); err == nil {
+	if _, err := buildServer(cfg, 700, 1, 0.8, 1, "", 0, false, server.Options{}); err == nil {
 		t.Error("single class should fail")
 	}
-	if _, err := buildServer(cfg, 700, 4, 1.5, 1, "", 0, server.Options{}); err == nil {
+	if _, err := buildServer(cfg, 700, 4, 1.5, 1, "", 0, false, server.Options{}); err == nil {
 		t.Error("bad accuracy should fail")
 	}
-	if _, err := buildServer(cfg, 700, 4, 0.8, 1, "", 0, server.Options{QueueCapacity: -1}); err == nil {
+	if _, err := buildServer(cfg, 700, 4, 0.8, 1, "", 0, false, server.Options{QueueCapacity: -1}); err == nil {
 		t.Error("negative queue capacity should fail")
 	}
 }
@@ -115,7 +115,7 @@ func TestBuildServerDurableRestart(t *testing.T) {
 		t.Fatal(err)
 	}
 	dir := t.TempDir()
-	srv, err := buildServer(cfg, 700, 4, 0.8, 1, dir, 0, server.Options{})
+	srv, err := buildServer(cfg, 700, 4, 0.8, 1, dir, 0, false, server.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -137,7 +137,7 @@ func TestBuildServerDurableRestart(t *testing.T) {
 	history := rec.Body.String()
 	srv.Close()
 
-	again, err := buildServer(cfg, 700, 4, 0.8, 1, dir, 0, server.Options{})
+	again, err := buildServer(cfg, 700, 4, 0.8, 1, dir, 0, false, server.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -157,7 +157,7 @@ func TestBuildServerProjects(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv, err := buildServer(cfg, 700, 4, 0.8, 1, "", 0, server.Options{})
+	srv, err := buildServer(cfg, 700, 4, 0.8, 1, "", 0, false, server.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -75,6 +75,10 @@ type Project struct {
 type Options struct {
 	// NoSync skips fsync on the control-plane log (tests and benchmarks).
 	NoSync bool
+	// FS is the filesystem the control-plane log reads and writes through;
+	// nil means the real one. Disk-fault tests inject a faultfs.FS here —
+	// the control-plane log gets the same fault seam as tenant WALs.
+	FS wal.FS
 }
 
 // Control-plane WAL record types.
@@ -114,7 +118,7 @@ func Open(dir string, opts Options) (*Registry, error) {
 	if dir == "" {
 		return r, nil
 	}
-	log, snap, records, err := wal.Open(dir, wal.Options{NoSync: opts.NoSync})
+	log, snap, records, err := wal.Open(dir, wal.Options{NoSync: opts.NoSync, FS: opts.FS})
 	if err != nil {
 		return nil, fmt.Errorf("registry: %w", err)
 	}
@@ -315,6 +319,33 @@ func (r *Registry) compactLocked() error {
 		return fmt.Errorf("registry: %w", err)
 	}
 	return nil
+}
+
+// Backup returns a consistent (snapshot, log) byte pair of the project
+// table for the online-backup path: the snapshot covers every record
+// appended so far, and the raw log's surviving records are all covered
+// by it (replay skips them by sequence number). Taken under the
+// registry mutex, so no lifecycle mutation can interleave. Nil bytes
+// for a memory-only registry.
+func (r *Registry) Backup() (snapshot, log []byte, err error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.log == nil {
+		return nil, nil, nil
+	}
+	snap := regSnapshot{Projects: make([]Project, 0, len(r.order))}
+	for _, id := range r.order {
+		snap.Projects = append(snap.Projects, *r.table[id])
+	}
+	snapshot, err = r.log.SnapshotBytes(snap)
+	if err != nil {
+		return nil, nil, fmt.Errorf("registry: backup: %w", err)
+	}
+	log, err = r.log.ReadRaw()
+	if err != nil {
+		return nil, nil, fmt.Errorf("registry: backup: %w", err)
+	}
+	return snapshot, log, nil
 }
 
 // Stats reports the control-plane log's counters; nil for a memory-only

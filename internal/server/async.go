@@ -215,8 +215,9 @@ func (s *Server) handleCommitAsync(w http.ResponseWriter, r *http.Request) {
 	job, err := s.jobs.Submit(req)
 	if err != nil {
 		// Both a full backlog and a draining server are transient
-		// server-side conditions; the client should retry later.
-		writeError(w, http.StatusServiceUnavailable, err.Error())
+		// server-side conditions; the client should retry later. A
+		// poisoned WAL additionally carries the structured degraded body.
+		writeStorageError(w, http.StatusServiceUnavailable, err)
 		return
 	}
 	writeJSON(w, http.StatusAccepted, JobAcceptedResponse{

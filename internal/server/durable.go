@@ -263,7 +263,7 @@ func NewDurable(g Genesis, dataDir string, opts Options) (*Server, error) {
 	if len(g.ModelPredictions) != len(g.Labels) {
 		return nil, fmt.Errorf("server: genesis has %d model predictions for %d labels", len(g.ModelPredictions), len(g.Labels))
 	}
-	wlog, snap, records, err := wal.Open(dataDir, wal.Options{NoSync: opts.WALNoSync, WriteHook: opts.WALWriteHook})
+	wlog, snap, records, err := wal.Open(dataDir, wal.Options{NoSync: opts.WALNoSync, WriteHook: opts.WALWriteHook, FS: opts.WALFS})
 	if err != nil {
 		return nil, fmt.Errorf("server: %w", err)
 	}
@@ -286,6 +286,7 @@ func NewDurable(g Genesis, dataDir string, opts Options) (*Server, error) {
 		return nil, fmt.Errorf("server: recovery: %w", err)
 	}
 	d.log = wlog
+	d.dir = dataDir
 	if d.tornAudit > 0 {
 		// A commit was mid-application at the crash: its audit records
 		// have no commit record, so replay discarded them. Mark them
@@ -706,6 +707,13 @@ func (s *Server) Compact() error {
 }
 
 func (s *Server) compactLocked() error {
+	if s.walFailed.Load() {
+		// The in-memory state is ahead of the log (an append failed after
+		// the engine already applied the mutation). Snapshotting it would
+		// promote exactly the un-journaled state a restart exists to roll
+		// back — refuse, and leave nothing on disk.
+		return fmt.Errorf("%w: refusing to snapshot state the log does not vouch for", errWALPoisoned)
+	}
 	s.tableMu.Lock()
 	defer s.tableMu.Unlock()
 	s.pruneTableLocked()
@@ -786,7 +794,7 @@ func (s *Server) handleAdminCompact(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if err := s.Compact(); err != nil {
-		writeError(w, http.StatusServiceUnavailable, err.Error())
+		writeStorageError(w, http.StatusServiceUnavailable, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, s.wlog.Stats())

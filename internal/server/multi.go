@@ -9,6 +9,7 @@ import (
 	"path/filepath"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"github.com/easeml/ci/internal/bounds"
 	"github.com/easeml/ci/internal/interval"
@@ -44,13 +45,26 @@ import (
 //	POST /api/v1/admin/compact            compact all logs (?project=)
 //	*    /api/v1/<anything else>          alias for the default project
 type Multi struct {
-	dataDir string
-	base    Options
-	reg     *registry.Registry
-	pool    *queue.Pool
+	dataDir     string
+	base        Options
+	reg         *registry.Registry
+	pool        *queue.Pool
+	autoSalvage bool
 
-	mu      sync.RWMutex // guards tenants
+	mu      sync.RWMutex // guards tenants and sick
 	tenants map[string]*Server
+	// sick maps project IDs whose write-ahead state refused to open
+	// (wal.ErrCorrupt) to the reason. A sick tenant answers 503 with a
+	// structured degraded body instead of taking the control plane down;
+	// everything else keeps serving.
+	sick map[string]string
+
+	// controlSalvages counts auto-salvage runs on the control log itself;
+	// backups/backupBytes count unscoped (whole-control-plane) backups.
+	// None are cleared by the admin cache reset.
+	controlSalvages atomic.Uint64
+	backups         atomic.Uint64
+	backupBytes     atomic.Uint64
 
 	// lifecycleMu serializes create/suspend/resume/delete/Close against
 	// each other without blocking request routing.
@@ -82,6 +96,14 @@ type MultiOptions struct {
 	ManualPool bool
 	// DefaultWeight is the default project's scheduling weight (<1 means 1).
 	DefaultWeight int
+	// AutoSalvage runs wal.Salvage and retries once when a tenant's (or
+	// the control plane's) write-ahead state refuses to open with
+	// wal.ErrCorrupt. Off by default: salvage truncates the log to its
+	// longest valid prefix, which is an operator decision.
+	AutoSalvage bool
+	// ControlFS is the filesystem the control-plane registry log goes
+	// through; nil means the real one (disk-fault tests inject here).
+	ControlFS wal.FS
 	// Tenant is the per-tenant Options template: clock, webhooks, retry
 	// policy, and WAL tuning apply to every project; QueueCapacity and
 	// LabelQuota apply to the default project (registered projects carry
@@ -186,9 +208,11 @@ func (m *Multi) tenantOptions(id string, sp ProjectSpec) Options {
 // log (durable mode), each reopening its own WAL. Callers must Close it.
 func NewMulti(g Genesis, opts MultiOptions) (*Multi, error) {
 	m := &Multi{
-		dataDir: opts.DataDir,
-		base:    opts.Tenant,
-		tenants: make(map[string]*Server),
+		dataDir:     opts.DataDir,
+		base:        opts.Tenant,
+		autoSalvage: opts.AutoSalvage,
+		tenants:     make(map[string]*Server),
+		sick:        make(map[string]string),
 	}
 	// Clear the tenant-only hooks off the template; each tenant gets its
 	// own closures.
@@ -200,7 +224,19 @@ func NewMulti(g Genesis, opts MultiOptions) (*Multi, error) {
 		}
 		controlDir = filepath.Join(opts.DataDir, controlDirName)
 	}
-	reg, err := registry.Open(controlDir, registry.Options{NoSync: opts.Tenant.WALNoSync})
+	regOpts := registry.Options{NoSync: opts.Tenant.WALNoSync, FS: opts.ControlFS}
+	reg, err := registry.Open(controlDir, regOpts)
+	if err != nil && opts.AutoSalvage && errors.Is(err, wal.ErrCorrupt) {
+		// The control log itself is damaged. Salvage quarantines the bad
+		// suffix and we retry once; without -auto-salvage this stays an
+		// operator decision (easeml-ci-server -salvage).
+		if res, serr := wal.Salvage(controlDir); serr == nil && res.Repaired {
+			if reg2, rerr := registry.Open(controlDir, regOpts); rerr == nil {
+				reg, err = reg2, nil
+				m.controlSalvages.Add(1)
+			}
+		}
+	}
 	if err != nil {
 		return nil, fmt.Errorf("server: control plane: %w", err)
 	}
@@ -212,13 +248,22 @@ func NewMulti(g Genesis, opts MultiOptions) (*Multi, error) {
 		LabelQuota:    opts.Tenant.LabelQuota,
 	})
 	if _, err := m.openTenant(DefaultProject, g, opts.DefaultWeight, defOpts); err != nil {
-		m.pool.Close()
-		_ = reg.Close()
-		return nil, err
+		if m.dataDir != "" && errors.Is(err, wal.ErrCorrupt) {
+			// The default project's state is damaged but the control plane
+			// is not: boot degraded, answer its requests 503/salvage-required,
+			// keep every other tenant serving.
+			m.markSick(DefaultProject, err)
+		} else {
+			m.pool.Close()
+			_ = reg.Close()
+			return nil, err
+		}
 	}
 	// Recover registered projects in creation order. A project whose
-	// stored spec no longer opens is corruption, and the control plane
-	// refuses to start rather than silently serve a subset.
+	// stored spec no longer parses is control-plane corruption and refuses
+	// the boot; a project whose own WAL is damaged (wal.ErrCorrupt) is
+	// quarantined as sick instead — one rotten log must not take down the
+	// tenants whose logs are fine.
 	for _, p := range reg.List() {
 		var sp ProjectSpec
 		perr := json.Unmarshal(p.Spec, &sp)
@@ -230,6 +275,10 @@ func NewMulti(g Genesis, opts MultiOptions) (*Multi, error) {
 			_, perr = m.openTenant(p.ID, pg, sp.Weight, m.tenantOptions(p.ID, sp))
 		}
 		if perr != nil {
+			if m.dataDir != "" && errors.Is(perr, wal.ErrCorrupt) {
+				m.markSick(p.ID, perr)
+				continue
+			}
 			m.Close()
 			return nil, fmt.Errorf("server: control plane: project %q: %w", p.ID, perr)
 		}
@@ -242,12 +291,21 @@ func NewMulti(g Genesis, opts MultiOptions) (*Multi, error) {
 // has a data dir), registers its queue with the scheduler, and re-kicks
 // any jobs recovery restored as queued.
 func (m *Multi) openTenant(id string, g Genesis, weight int, topts Options) (*Server, error) {
-	var srv *Server
-	var err error
-	if m.dataDir != "" {
-		srv, err = NewDurable(g, filepath.Join(m.dataDir, id), topts)
-	} else {
-		srv, err = NewFromGenesis(g, topts)
+	srv, err := m.buildTenant(id, g, topts)
+	if err != nil && m.autoSalvage && m.dataDir != "" && errors.Is(err, wal.ErrCorrupt) {
+		// Damaged state and the operator opted into automatic repair:
+		// quarantine the bad suffix, retry once. The original error is kept
+		// in the chain if the retry fails too, so the caller's
+		// errors.Is(err, wal.ErrCorrupt) sick-tenant handling still fires.
+		if res, serr := wal.Salvage(filepath.Join(m.dataDir, id)); serr == nil && res.Repaired {
+			srv2, rerr := m.buildTenant(id, g, topts)
+			if rerr == nil {
+				srv, err = srv2, nil
+				srv.salvageRuns.Add(1)
+			} else {
+				err = fmt.Errorf("%w (after salvage: %v)", err, rerr)
+			}
+		}
 	}
 	if err != nil {
 		return nil, err
@@ -264,8 +322,45 @@ func (m *Multi) openTenant(id string, g Genesis, weight int, topts Options) (*Se
 	}
 	m.mu.Lock()
 	m.tenants[id] = srv
+	delete(m.sick, id)
 	m.mu.Unlock()
 	return srv, nil
+}
+
+// buildTenant constructs one project's server, durable when the control
+// plane has a data dir.
+func (m *Multi) buildTenant(id string, g Genesis, topts Options) (*Server, error) {
+	if m.dataDir != "" {
+		return NewDurable(g, filepath.Join(m.dataDir, id), topts)
+	}
+	return NewFromGenesis(g, topts)
+}
+
+// markSick records a tenant whose write-ahead state refused to open.
+func (m *Multi) markSick(id string, err error) {
+	m.mu.Lock()
+	m.sick[id] = err.Error()
+	m.mu.Unlock()
+}
+
+// sickReason reports why a tenant is sick, if it is.
+func (m *Multi) sickReason(id string) (string, bool) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	reason, ok := m.sick[id]
+	return reason, ok
+}
+
+// writeSickError answers a request routed at a salvage-required tenant:
+// 503 with the structured degraded body, never a bare failure — clients
+// and load balancers can tell "this tenant needs an operator" from
+// "the server is broken".
+func writeSickError(w http.ResponseWriter, id, reason string) {
+	writeJSON(w, http.StatusServiceUnavailable, errorResponse{
+		Error:    fmt.Sprintf("project %q requires salvage: %s", id, reason),
+		Degraded: true,
+		Reason:   degradedReasonSalvage,
+	})
 }
 
 // migrateLegacyLayout moves a pre-projects data directory's root-level
@@ -414,6 +509,10 @@ type TenantMetrics struct {
 	// MetricsResponse.LabelOracle). Like the WAL stats, it survives the
 	// admin cache reset — delivery state, not a cache.
 	LabelOracle *labeling.OracleStats `json:"label_oracle,omitempty"`
+	// Storage is the tenant's write-ahead state health (poisoning,
+	// salvage history, quarantined bytes, backups). Survives the admin
+	// cache reset — operational state, not a cache.
+	Storage *StorageHealth `json:"storage,omitempty"`
 }
 
 // MultiMetricsResponse is GET /api/v1/metrics on the control plane: the
@@ -437,6 +536,10 @@ type MultiMetricsResponse struct {
 	LabelsSavedTotal uint64          `json:"labels_saved_total"`
 	EarlyExitsTotal  uint64          `json:"early_exits_total"`
 	Projects         []TenantMetrics `json:"projects"`
+	// Storage rolls every tenant's storage health plus the control log's
+	// into one global view (worst state wins). Survives the admin cache
+	// reset.
+	Storage *StorageHealth `json:"storage,omitempty"`
 }
 
 // tenantMetrics gathers one server's tenant-owned counters.
@@ -454,6 +557,7 @@ func (s *Server) tenantMetrics(id, state string) TenantMetrics {
 		WebhooksFailed:    s.webhooksFailed.Load(),
 		WAL:               s.WALStats(),
 		LabelOracle:       s.oracleStats(),
+		Storage:           s.storageHealth(),
 	}
 }
 
@@ -488,10 +592,22 @@ func (m *Multi) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		m.handleAdminReset(w, r)
 	case path == "/api/v1/admin/compact":
 		m.handleAdminCompact(w, r)
+	case path == "/api/v1/admin/backup":
+		m.handleAdminBackup(w, r)
+	case path == "/healthz":
+		m.handleHealthz(w, r)
+	case path == "/readyz":
+		m.handleReadyz(w, r)
 	default:
 		// The pre-projects single-tenant API: an alias for the default
 		// project, served by the identical handler chain byte-for-byte.
-		m.Default().ServeHTTP(w, r)
+		def := m.Default()
+		if def == nil {
+			reason, _ := m.sickReason(DefaultProject)
+			writeSickError(w, DefaultProject, reason)
+			return
+		}
+		def.ServeHTTP(w, r)
 	}
 }
 
@@ -509,9 +625,13 @@ func (m *Multi) handleProjects(w http.ResponseWriter, r *http.Request) {
 // projectInfos lists the default project plus the registry, in creation
 // order.
 func (m *Multi) projectInfos() []ProjectInfo {
+	defState := string(registry.Active)
+	if _, sick := m.sickReason(DefaultProject); sick {
+		defState = StorageSalvageRequired
+	}
 	infos := []ProjectInfo{{
 		ID:            DefaultProject,
-		State:         string(registry.Active),
+		State:         defState,
 		Weight:        m.poolWeight(DefaultProject),
 		QueueCapacity: m.base.QueueCapacity,
 		LabelQuota:    m.base.LabelQuota,
@@ -526,9 +646,13 @@ func (m *Multi) projectInfos() []ProjectInfo {
 func (m *Multi) projectInfo(p registry.Project) ProjectInfo {
 	var sp ProjectSpec
 	_ = json.Unmarshal(p.Spec, &sp)
+	state := string(p.State)
+	if _, sick := m.sickReason(p.ID); sick {
+		state = StorageSalvageRequired
+	}
 	return ProjectInfo{
 		ID:            p.ID,
-		State:         string(p.State),
+		State:         state,
 		Weight:        m.poolWeight(p.ID),
 		QueueCapacity: sp.QueueCapacity,
 		LabelQuota:    sp.LabelQuota,
@@ -686,6 +810,7 @@ func (m *Multi) handleDeleteProject(w http.ResponseWriter, id string) {
 	m.mu.Lock()
 	srv := m.tenants[id]
 	delete(m.tenants, id)
+	delete(m.sick, id) // deleting a sick project is the other way out of salvage-required
 	m.mu.Unlock()
 	if srv != nil {
 		srv.CloseIntake()
@@ -715,6 +840,10 @@ func (m *Multi) handleDeleteProject(w http.ResponseWriter, id string) {
 func (m *Multi) delegate(w http.ResponseWriter, r *http.Request, id, rest string) {
 	srv := m.tenant(id)
 	if srv == nil {
+		if reason, ok := m.sickReason(id); ok {
+			writeSickError(w, id, reason)
+			return
+		}
 		writeError(w, http.StatusNotFound, fmt.Sprintf("no project %q", id))
 		return
 	}
@@ -778,17 +907,40 @@ func (m *Multi) metricsSnapshot() MultiMetricsResponse {
 		Scheduler:             m.pool.Stats(),
 		ControlWAL:            m.reg.Stats(),
 	}
-	resp.Projects = append(resp.Projects, m.Default().tenantMetrics(DefaultProject, string(registry.Active)))
+	if def := m.Default(); def != nil {
+		resp.Projects = append(resp.Projects, def.tenantMetrics(DefaultProject, string(registry.Active)))
+	} else {
+		resp.Projects = append(resp.Projects, m.sickTenantMetrics(DefaultProject))
+	}
 	for _, p := range m.reg.List() {
 		if srv := m.tenant(p.ID); srv != nil {
 			resp.Projects = append(resp.Projects, srv.tenantMetrics(p.ID, string(p.State)))
+		} else if _, ok := m.sickReason(p.ID); ok {
+			resp.Projects = append(resp.Projects, m.sickTenantMetrics(p.ID))
 		}
 	}
 	for _, p := range resp.Projects {
 		resp.LabelsSavedTotal += p.LabelsSavedTotal
 		resp.EarlyExitsTotal += p.EarlyExitsTotal
 	}
+	resp.Storage = m.storageAggregate(resp.Projects)
 	return resp
+}
+
+// sickTenantMetrics is the metrics row for a tenant that could not
+// open: no serving counters to report, but its storage condition —
+// including the quarantined bytes sitting in its directory — still
+// shows up, because that is exactly the tenant an operator is looking
+// for.
+func (m *Multi) sickTenantMetrics(id string) TenantMetrics {
+	return TenantMetrics{
+		ID:    id,
+		State: StorageSalvageRequired,
+		Storage: &StorageHealth{
+			State:            StorageSalvageRequired,
+			QuarantinedBytes: wal.QuarantinedBytes(filepath.Join(m.dataDir, id)),
+		},
+	}
 }
 
 func (m *Multi) handleMetrics(w http.ResponseWriter, r *http.Request) {
@@ -808,6 +960,10 @@ func (m *Multi) scopedTenant(w http.ResponseWriter, r *http.Request) (string, *S
 	}
 	srv := m.tenant(id)
 	if srv == nil {
+		if reason, ok := m.sickReason(id); ok {
+			writeSickError(w, id, reason)
+			return "", nil, false
+		}
 		writeError(w, http.StatusNotFound, fmt.Sprintf("no project %q", id))
 		return "", nil, false
 	}
@@ -880,7 +1036,7 @@ func (m *Multi) handleAdminCompact(w http.ResponseWriter, r *http.Request) {
 	}
 	if srv != nil {
 		if err := srv.Compact(); err != nil {
-			writeError(w, http.StatusServiceUnavailable, err.Error())
+			writeStorageError(w, http.StatusServiceUnavailable, err)
 			return
 		}
 		writeJSON(w, http.StatusOK, map[string]*wal.Stats{id: srv.WALStats()})
@@ -889,13 +1045,13 @@ func (m *Multi) handleAdminCompact(w http.ResponseWriter, r *http.Request) {
 	resp := CompactResponse{Projects: make(map[string]*wal.Stats)}
 	compactOne := func(id string, srv *Server) bool {
 		if err := srv.Compact(); err != nil {
-			writeError(w, http.StatusServiceUnavailable, fmt.Sprintf("project %q: %v", id, err))
+			writeStorageError(w, http.StatusServiceUnavailable, fmt.Errorf("project %q: %w", id, err))
 			return false
 		}
 		resp.Projects[id] = srv.WALStats()
 		return true
 	}
-	if !compactOne(DefaultProject, m.Default()) {
+	if def := m.Default(); def != nil && !compactOne(DefaultProject, def) {
 		return
 	}
 	for _, p := range m.reg.List() {

@@ -43,6 +43,40 @@
 // commit sequence they produce byte-identical CommitResponses and engine
 // history; a burst of submissions is absorbed as queued jobs instead of
 // stacking callers on the engine lock.
+//
+// # Storage fault tolerance
+//
+// Durable state is guarded at three layers.
+//
+// The salvage guarantee: wal.Fsck classifies on-disk damage (torn tail,
+// mid-log corruption, snapshot CRC mismatch) and wal.Salvage recovers
+// the longest valid prefix — after salvage, replaying the log is
+// byte-identical to replaying the undamaged prefix of the original —
+// while every byte cut away is preserved in a *.quarantine file beside
+// the log, never silently dropped. The easeml-ci-server -fsck and
+// -salvage flags run these offline; MultiOptions.AutoSalvage (the
+// -auto-salvage flag) runs salvage at boot.
+//
+// Degraded read-only mode: a write-ahead append failure poisons only
+// that tenant's mutations, which answer 503 with the structured body
+// {"error":..., "degraded":true, "reason":"wal_poisoned"}; reads keep
+// serving the last durable state. A tenant whose state refuses to open
+// at boot is marked salvage-required (reason "salvage_required") and
+// answers the same structured 503 — one sick project never takes the
+// control plane or its healthy tenants down. GET /healthz (always 200)
+// and GET /readyz (503 unless every tenant's storage is ok) report
+// per-tenant WAL health, queue depth, parked jobs, and the label
+// oracle's breaker state; /api/v1/metrics carries the same storage
+// counters per tenant and globally, and the admin cache reset never
+// clears them.
+//
+// Online backup: POST /api/v1/admin/backup streams a consistent
+// snapshot+log tarball without pausing intake — scoped with ?project=
+// for one tenant, unscoped for the whole control plane including the
+// _control registry log and the raw (quarantines included) bytes of any
+// sick tenant. RestoreBackup (the -restore flag) adopts a tarball into
+// a fresh data directory only after the backup's genesis fingerprint
+// matches the server's configuration.
 package server
 
 import (
@@ -103,6 +137,10 @@ type Server struct {
 	wlog         *wal.Log
 	walFailed    atomic.Bool
 	genesisFP    string
+	dataDir      string
+	salvageRuns  atomic.Uint64
+	backups      atomic.Uint64
+	backupBytes  atomic.Uint64
 	tableMu      sync.Mutex
 	table        map[string]*jobEntry
 	tableOrder   []string
@@ -175,6 +213,11 @@ type Options struct {
 	// returning an error fails the append. Disk-failure tests inject
 	// faults here (durable servers only).
 	WALWriteHook func(line []byte) error
+	// WALFS is the filesystem the write-ahead log goes through; nil means
+	// the real one. Disk-fault tests inject a faultfs.FS here to script
+	// byte-level failures (ENOSPC, short writes, fsync errors) under the
+	// full server stack (durable servers only).
+	WALFS wal.FS
 	// CompactAt triggers automatic WAL compaction when the log exceeds
 	// this many bytes (durable servers only). 0 means DefaultCompactAt;
 	// negative disables automatic compaction.
@@ -327,6 +370,7 @@ func NewFromGenesis(g Genesis, opts Options) (*Server, error) {
 type durableState struct {
 	log       *wal.Log
 	eng       *engine.Engine
+	dir       string // the data directory (for fsck/quarantine accounting)
 	fp        string // genesis config fingerprint, re-stamped into snapshots
 	table     map[string]*jobEntry
 	order     []string
@@ -400,6 +444,7 @@ func newServer(cfg *script.Config, eng *engine.Engine, opts Options, d *durableS
 	if d != nil {
 		s.wlog = d.log
 		s.genesisFP = d.fp
+		s.dataDir = d.dir
 		s.table = d.table
 		s.tableOrder = d.order
 		s.tableNextSeq = d.nextSeq
@@ -459,6 +504,9 @@ var tenantRoutes = []tenantRoute{
 	{"/api/v1/testset", (*Server).handleRotate, true},
 	{"/api/v1/admin/reset-caches", (*Server).handleAdminReset, false},
 	{"/api/v1/admin/compact", (*Server).handleAdminCompact, false},
+	// Backup is deliberately non-mutating: a suspended (or degraded-
+	// upstream) project is exactly the one an operator wants to back up.
+	{"/api/v1/admin/backup", (*Server).handleAdminBackup, false},
 }
 
 // Close drains the commit queue gracefully: accepted jobs finish, new
@@ -688,6 +736,31 @@ type RotateRequest struct {
 
 type errorResponse struct {
 	Error string `json:"error"`
+	// Degraded marks a 503 caused by the tenant's storage health rather
+	// than transient load: the write-ahead log is poisoned or the data
+	// directory needs salvage. Reads keep serving; only mutations carry
+	// this body. Reason is one of the degradedReason* constants.
+	Degraded bool   `json:"degraded,omitempty"`
+	Reason   string `json:"reason,omitempty"`
+}
+
+// Degraded-mode reasons, the machine-readable half of a degraded 503.
+const (
+	degradedReasonPoisoned = "wal_poisoned"
+	degradedReasonSalvage  = "salvage_required"
+)
+
+// writeStorageError shapes an error into the wire body, upgrading a
+// WAL-poisoning failure to the structured degraded form so clients and
+// load balancers can tell "this tenant's storage is sick, reads still
+// work" apart from an ordinary 503.
+func writeStorageError(w http.ResponseWriter, status int, err error) {
+	resp := errorResponse{Error: err.Error()}
+	if errors.Is(err, errWALPoisoned) {
+		resp.Degraded = true
+		resp.Reason = degradedReasonPoisoned
+	}
+	writeJSON(w, status, resp)
 }
 
 // --- handlers -----------------------------------------------------------
@@ -945,6 +1018,10 @@ type MetricsResponse struct {
 	// remotely (Options.OracleFactory). Like WebhookRetry, it is NOT
 	// cleared by the admin cache reset: delivery state, not a cache.
 	LabelOracle *labeling.OracleStats `json:"label_oracle,omitempty"`
+	// Storage is the durable server's storage health: poisoning state,
+	// salvage history, quarantined bytes, backup counters. NOT cleared by
+	// the admin cache reset — operational history, not a cache.
+	Storage *StorageHealth `json:"storage,omitempty"`
 }
 
 // metricsSnapshot gathers the point-in-time counters; shared by the
@@ -977,6 +1054,7 @@ func (s *Server) metricsSnapshot() MetricsResponse {
 		m.WAL = &st
 	}
 	m.LabelOracle = s.oracleStats()
+	m.Storage = s.storageHealth()
 	return m
 }
 
@@ -1063,13 +1141,13 @@ func (s *Server) handleCommit(w http.ResponseWriter, r *http.Request) {
 	// the OnSubmit hook), so an accepted job is always a scheduled job.
 	job, err := s.jobs.Submit(AsyncCommitRequest{CommitRequest: req})
 	if err != nil {
-		writeError(w, http.StatusServiceUnavailable, err.Error())
+		writeStorageError(w, http.StatusServiceUnavailable, err)
 		return
 	}
 	<-job.Done()
 	res, err := job.Result()
 	if err != nil {
-		writeError(w, commitErrorStatus(err), err.Error())
+		writeStorageError(w, commitErrorStatus(err), err)
 		return
 	}
 	writeJSON(w, http.StatusOK, res)
@@ -1102,7 +1180,7 @@ func (s *Server) handleRotate(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.wlog != nil && s.walFailed.Load() {
-		writeError(w, http.StatusServiceUnavailable, errWALPoisoned.Error())
+		writeStorageError(w, http.StatusServiceUnavailable, errWALPoisoned)
 		return
 	}
 	active := model.NewFixedPredictions(s.eng.ActiveModelName(), req.ActivePredictions)
@@ -1131,7 +1209,7 @@ func (s *Server) handleRotate(w http.ResponseWriter, r *http.Request) {
 		})
 		s.tableMu.Unlock()
 		if err != nil {
-			writeError(w, http.StatusServiceUnavailable, err.Error())
+			writeStorageError(w, http.StatusServiceUnavailable, err)
 			return
 		}
 	}

@@ -1,0 +1,272 @@
+// Package faultfs is the disk-fault injection harness for the
+// write-ahead log: a wal.FS middleware that scripts deterministic
+// filesystem failures — short writes, ENOSPC, fsync errors, failed
+// renames, and a simulated crash at any chosen operation — so storage
+// fault-tolerance tests can hit the exact failure interleavings a real
+// disk produces only by accident.
+//
+// A script is a list of Faults. Each names an operation (write, sync,
+// rename, truncate, open), optionally a path substring, and how many
+// matching operations to let through before firing. Firing returns the
+// fault's error (ENOSPC by default); a ShortWrite fault writes a prefix
+// of the buffer first, and a Crash fault additionally fails every
+// subsequent operation with ErrCrashed — the filesystem's view of a
+// process that died mid-sequence, e.g. between a snapshot rename and
+// the log truncation that follows it.
+//
+// Bit rot is injected directly: FlipBit damages one bit of a real file
+// in place, the on-disk signature fsck and salvage exist to repair.
+package faultfs
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"strings"
+	"sync"
+	"syscall"
+
+	"github.com/easeml/ci/internal/wal"
+)
+
+// ErrInjected is the default error a firing fault returns, wrapping
+// ENOSPC so callers exercising disk-full handling see the real errno.
+var ErrInjected = fmt.Errorf("faultfs: injected fault: %w", syscall.ENOSPC)
+
+// ErrCrashed is returned by every operation after a Crash fault fires:
+// from the caller's perspective the process is dead to the disk.
+var ErrCrashed = errors.New("faultfs: crashed")
+
+// Operation names, as matched by Fault.Op.
+const (
+	OpWrite    = "write"
+	OpSync     = "sync"
+	OpRename   = "rename"
+	OpTruncate = "truncate"
+	OpOpen     = "open"
+)
+
+// Fault is one scripted failure.
+type Fault struct {
+	// Op is the operation to fail: write | sync | rename | truncate | open.
+	Op string
+	// Path, when non-empty, restricts the fault to operations whose path
+	// contains it as a substring (for rename, either path).
+	Path string
+	// After lets this many matching operations succeed before firing.
+	After int
+	// Err is what the failed operation returns; nil means ErrInjected
+	// (ENOSPC).
+	Err error
+	// ShortWrite, for write faults, writes this many bytes of the buffer
+	// before returning the error — a torn line on disk, exactly what a
+	// crash mid-write leaves.
+	ShortWrite int
+	// Crash makes every operation after this fault fail with ErrCrashed:
+	// the injected failure was the process's last contact with the disk.
+	Crash bool
+
+	fired bool
+	seen  int
+}
+
+// FS wraps a base wal.FS with a fault script. Safe for concurrent use.
+type FS struct {
+	base wal.FS
+
+	mu     sync.Mutex
+	faults []*Fault
+	// crashed fails everything once a Crash fault has fired.
+	crashed bool
+	ops     map[string]int
+}
+
+// New builds a fault-injecting FS over the real filesystem.
+func New(faults ...Fault) *FS { return Wrap(wal.OSFS{}, faults...) }
+
+// Wrap builds a fault-injecting FS over an arbitrary base.
+func Wrap(base wal.FS, faults ...Fault) *FS {
+	f := &FS{base: base, ops: make(map[string]int)}
+	for i := range faults {
+		fault := faults[i]
+		f.faults = append(f.faults, &fault)
+	}
+	return f
+}
+
+// Add appends a fault to the script at runtime (e.g. after a clean
+// setup phase on the same FS).
+func (f *FS) Add(fault Fault) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.faults = append(f.faults, &fault)
+}
+
+// Crashed reports whether a Crash fault has fired.
+func (f *FS) Crashed() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.crashed
+}
+
+// Ops reports how many operations of each kind have been attempted —
+// the observability half of the harness (asserting a code path really
+// exercised the disk the way the test believes it did).
+func (f *FS) Ops() map[string]int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make(map[string]int, len(f.ops))
+	for k, v := range f.ops {
+		out[k] = v
+	}
+	return out
+}
+
+// check consults the script for one operation. It returns the error to
+// inject (nil = proceed) and, for write faults, how many bytes to let
+// through first (-1 = all).
+func (f *FS) check(op, path string) (error, int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.ops[op]++
+	if f.crashed {
+		return ErrCrashed, 0
+	}
+	for _, fault := range f.faults {
+		if fault.fired || fault.Op != op {
+			continue
+		}
+		if fault.Path != "" && !strings.Contains(path, fault.Path) {
+			continue
+		}
+		if fault.seen < fault.After {
+			fault.seen++
+			continue
+		}
+		fault.fired = true
+		if fault.Crash {
+			f.crashed = true
+		}
+		err := fault.Err
+		if err == nil {
+			err = ErrInjected
+		}
+		if op == OpWrite && fault.ShortWrite > 0 {
+			return err, fault.ShortWrite
+		}
+		return err, 0
+	}
+	return nil, -1
+}
+
+func (f *FS) MkdirAll(path string, perm os.FileMode) error {
+	if f.Crashed() {
+		return ErrCrashed
+	}
+	return f.base.MkdirAll(path, perm)
+}
+
+func (f *FS) OpenFile(name string, flag int, perm os.FileMode) (wal.File, error) {
+	if err, _ := f.check(OpOpen, name); err != nil {
+		return nil, err
+	}
+	file, err := f.base.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{File: file, fs: f, name: name}, nil
+}
+
+func (f *FS) Open(name string) (wal.File, error) {
+	if f.Crashed() {
+		return nil, ErrCrashed
+	}
+	file, err := f.base.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{File: file, fs: f, name: name}, nil
+}
+
+func (f *FS) ReadFile(name string) ([]byte, error) {
+	if f.Crashed() {
+		return nil, ErrCrashed
+	}
+	return f.base.ReadFile(name)
+}
+
+func (f *FS) Rename(oldpath, newpath string) error {
+	if err, _ := f.check(OpRename, oldpath+"->"+newpath); err != nil {
+		return err
+	}
+	return f.base.Rename(oldpath, newpath)
+}
+
+func (f *FS) Remove(name string) error {
+	if f.Crashed() {
+		return ErrCrashed
+	}
+	return f.base.Remove(name)
+}
+
+func (f *FS) Stat(name string) (os.FileInfo, error) {
+	if f.Crashed() {
+		return nil, ErrCrashed
+	}
+	return f.base.Stat(name)
+}
+
+// faultFile intercepts the per-file operations the script can fail.
+type faultFile struct {
+	wal.File
+	fs   *FS
+	name string
+}
+
+func (ff *faultFile) Write(p []byte) (int, error) {
+	err, short := ff.fs.check(OpWrite, ff.name)
+	if err == nil {
+		return ff.File.Write(p)
+	}
+	if short > 0 {
+		if short > len(p) {
+			short = len(p)
+		}
+		n, werr := ff.File.Write(p[:short])
+		if werr != nil {
+			return n, werr
+		}
+		return n, err
+	}
+	return 0, err
+}
+
+func (ff *faultFile) Sync() error {
+	if err, _ := ff.fs.check(OpSync, ff.name); err != nil {
+		return err
+	}
+	return ff.File.Sync()
+}
+
+func (ff *faultFile) Truncate(size int64) error {
+	if err, _ := ff.fs.check(OpTruncate, ff.name); err != nil {
+		return err
+	}
+	return ff.File.Truncate(size)
+}
+
+// FlipBit flips one bit of the file at path, in place: byte offset,
+// bit index 0-7. It is how tests inject the silent bit rot fsck and
+// salvage exist to catch — damage below the filesystem API, so it goes
+// straight to the real file rather than through the FS seam.
+func FlipBit(path string, offset int64, bit uint) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	if offset < 0 || offset >= int64(len(raw)) {
+		return fmt.Errorf("faultfs: offset %d out of range (file is %d bytes)", offset, len(raw))
+	}
+	raw[offset] ^= 1 << (bit % 8)
+	return os.WriteFile(path, raw, 0o644)
+}

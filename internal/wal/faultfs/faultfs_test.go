@@ -1,0 +1,238 @@
+package faultfs_test
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"syscall"
+	"testing"
+
+	"github.com/easeml/ci/internal/wal"
+	"github.com/easeml/ci/internal/wal/faultfs"
+)
+
+func openLog(t *testing.T, dir string, fs wal.FS) *wal.Log {
+	t.Helper()
+	l, _, _, err := wal.Open(dir, wal.Options{NoSync: false, FS: fs})
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	return l
+}
+
+func TestAppendENOSPC(t *testing.T) {
+	dir := t.TempDir()
+	fs := faultfs.New(faultfs.Fault{Op: faultfs.OpWrite, After: 2})
+	l := openLog(t, dir, fs)
+	defer l.Close()
+
+	for i := 0; i < 2; i++ {
+		if _, err := l.Append("evt", map[string]int{"i": i}); err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+	}
+	_, err := l.Append("evt", map[string]int{"i": 2})
+	if !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("want ENOSPC, got %v", err)
+	}
+	// The disk-full append must not have changed durable state: the two
+	// successful records replay, nothing else.
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, _, recs, err := wal.Open(dir, wal.Options{NoSync: true})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("replayed %d records, want 2", len(recs))
+	}
+}
+
+func TestAppendShortWriteLeavesNoTornMiddle(t *testing.T) {
+	dir := t.TempDir()
+	fs := faultfs.New(faultfs.Fault{Op: faultfs.OpWrite, After: 1, ShortWrite: 7})
+	l := openLog(t, dir, fs)
+
+	if _, err := l.Append("evt", map[string]int{"i": 0}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Append("evt", map[string]int{"i": 1}); err == nil {
+		t.Fatal("short write did not error")
+	}
+	// The live log must have cut the torn line back, so a THIRD append
+	// (disk recovered) produces a clean log, not record 2 glued onto half
+	// of record 1.
+	if _, err := l.Append("evt", map[string]int{"i": 2}); err != nil {
+		t.Fatalf("append after recovery: %v", err)
+	}
+	l.Close()
+
+	report, err := wal.Fsck(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Log != wal.LogClean || report.ValidRecords != 2 {
+		t.Fatalf("log not clean after short-write recovery: %+v", report)
+	}
+}
+
+func TestSyncFailureSurfaces(t *testing.T) {
+	dir := t.TempDir()
+	injected := errors.New("fsync: I/O error")
+	fs := faultfs.New(faultfs.Fault{Op: faultfs.OpSync, Err: injected})
+	l := openLog(t, dir, fs)
+	defer l.Close()
+
+	if _, err := l.Append("evt", map[string]int{"i": 0}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Sync(); !errors.Is(err, injected) {
+		t.Fatalf("want injected sync error, got %v", err)
+	}
+}
+
+func TestCompactENOSPCLeavesNoPartialSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	fs := faultfs.New(faultfs.Fault{Op: faultfs.OpWrite, Path: "snapshot.json.tmp"})
+	l := openLog(t, dir, fs)
+	defer l.Close()
+
+	if _, err := l.Append("evt", map[string]int{"i": 0}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Compact(map[string]string{"state": "s"}); !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("want ENOSPC from compact, got %v", err)
+	}
+	// No partial snapshot (neither .tmp nor final) may remain.
+	if _, err := os.Stat(filepath.Join(dir, "snapshot.json.tmp")); !os.IsNotExist(err) {
+		t.Fatal("partial snapshot.json.tmp left on disk")
+	}
+	if _, err := os.Stat(filepath.Join(dir, "snapshot.json")); !os.IsNotExist(err) {
+		t.Fatal("snapshot.json appeared despite failed compact")
+	}
+	// The log is untouched: replay still sees the record.
+	_, _, recs, err := wal.Open(dir, wal.Options{NoSync: true})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	if len(recs) != 1 {
+		t.Fatalf("replayed %d records, want 1", len(recs))
+	}
+}
+
+// TestCompactCrashBetweenRenameAndTruncate is the classic compaction
+// hazard: the snapshot rename lands, then the process dies before the
+// log truncation. Recovery must see the new snapshot and skip the
+// still-present log records by sequence number — no double replay.
+func TestCompactCrashBetweenRenameAndTruncate(t *testing.T) {
+	dir := t.TempDir()
+	fs := faultfs.New(faultfs.Fault{Op: faultfs.OpTruncate, Path: "wal.log", Crash: true})
+	l := openLog(t, dir, fs)
+
+	for i := 0; i < 3; i++ {
+		if _, err := l.Append("evt", map[string]int{"i": i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	err := l.Compact(map[string]string{"state": "compacted"})
+	if err == nil {
+		t.Fatal("compact survived the crash")
+	}
+	if !fs.Crashed() {
+		t.Fatal("crash fault did not fire")
+	}
+
+	// "Reboot": open with a healthy filesystem.
+	l2, snap, recs, err := wal.Open(dir, wal.Options{NoSync: true})
+	if err != nil {
+		t.Fatalf("recovery open: %v", err)
+	}
+	defer l2.Close()
+	if snap == nil || snap.LastSeq != 3 {
+		t.Fatalf("snapshot not adopted after crash: %+v", snap)
+	}
+	if !bytes.Contains(snap.Data, []byte("compacted")) {
+		t.Fatalf("wrong snapshot payload: %s", snap.Data)
+	}
+	if len(recs) != 0 {
+		t.Fatalf("replayed %d records already covered by snapshot", len(recs))
+	}
+	// And the log keeps working.
+	if _, err := l2.Append("evt", map[string]int{"i": 3}); err != nil {
+		t.Fatalf("append after recovery: %v", err)
+	}
+}
+
+func TestRenameFaultFailsCompactCleanly(t *testing.T) {
+	dir := t.TempDir()
+	fs := faultfs.New(faultfs.Fault{Op: faultfs.OpRename, Path: "snapshot.json"})
+	l := openLog(t, dir, fs)
+	defer l.Close()
+
+	if _, err := l.Append("evt", map[string]int{"i": 0}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Compact(map[string]string{"state": "s"}); err == nil {
+		t.Fatal("compact survived rename fault")
+	}
+	if _, err := os.Stat(filepath.Join(dir, "snapshot.json.tmp")); !os.IsNotExist(err) {
+		t.Fatal("tmp snapshot left behind after failed rename")
+	}
+	if l.Size() == 0 {
+		t.Fatal("log truncated despite failed snapshot rename")
+	}
+}
+
+func TestCrashFailsEverythingAfter(t *testing.T) {
+	dir := t.TempDir()
+	fs := faultfs.New(faultfs.Fault{Op: faultfs.OpWrite, After: 1, Crash: true})
+	l := openLog(t, dir, fs)
+
+	if _, err := l.Append("evt", map[string]int{"i": 0}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Append("evt", map[string]int{"i": 1}); err == nil {
+		t.Fatal("crash fault did not fire")
+	}
+	if _, err := l.Append("evt", map[string]int{"i": 2}); !errors.Is(err, faultfs.ErrCrashed) {
+		t.Fatalf("post-crash append: want ErrCrashed, got %v", err)
+	}
+	if err := l.Sync(); !errors.Is(err, faultfs.ErrCrashed) {
+		t.Fatalf("post-crash sync: want ErrCrashed, got %v", err)
+	}
+}
+
+func TestFlipBit(t *testing.T) {
+	dir := t.TempDir()
+	p := filepath.Join(dir, "f")
+	if err := os.WriteFile(p, []byte("abc"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := faultfs.FlipBit(p, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := os.ReadFile(p)
+	if string(raw) != "a`c" { // 'b' ^ 0x02 = '`'
+		t.Fatalf("got %q", raw)
+	}
+	if err := faultfs.FlipBit(p, 99, 0); err == nil {
+		t.Fatal("out-of-range offset accepted")
+	}
+}
+
+func TestPathFilterAndOps(t *testing.T) {
+	dir := t.TempDir()
+	fs := faultfs.New(faultfs.Fault{Op: faultfs.OpWrite, Path: "other.log"})
+	l := openLog(t, dir, fs)
+	defer l.Close()
+	// Fault targets a different path: appends to wal.log sail through.
+	if _, err := l.Append("evt", map[string]int{"i": 0}); err != nil {
+		t.Fatalf("path-filtered fault fired on wrong file: %v", err)
+	}
+	ops := fs.Ops()
+	if ops[faultfs.OpWrite] == 0 || ops[faultfs.OpOpen] == 0 {
+		t.Fatalf("ops not counted: %v", ops)
+	}
+}

@@ -1,0 +1,61 @@
+package wal
+
+import (
+	"io"
+	"os"
+)
+
+// FS is the write-ahead log's filesystem seam: every disk operation the
+// log (and its fsck/salvage tooling) performs goes through one of these
+// methods, so a fault-injection harness (internal/wal/faultfs) can script
+// deterministic disk failures — short writes, ENOSPC, fsync errors, a
+// crash between the snapshot rename and the log truncation — without
+// touching the kernel. Production uses OSFS, the passthrough to the os
+// package.
+type FS interface {
+	MkdirAll(path string, perm os.FileMode) error
+	OpenFile(name string, flag int, perm os.FileMode) (File, error)
+	// Open opens for reading (directories included — the log fsyncs its
+	// directory after a snapshot rename).
+	Open(name string) (File, error)
+	ReadFile(name string) ([]byte, error)
+	Rename(oldpath, newpath string) error
+	Remove(name string) error
+	Stat(name string) (os.FileInfo, error)
+}
+
+// File is the subset of *os.File the log uses.
+type File interface {
+	io.Writer
+	io.Seeker
+	io.Closer
+	Sync() error
+	Truncate(size int64) error
+	Stat() (os.FileInfo, error)
+}
+
+// OSFS is the production FS: a stateless passthrough to the os package.
+type OSFS struct{}
+
+func (OSFS) MkdirAll(path string, perm os.FileMode) error { return os.MkdirAll(path, perm) }
+
+func (OSFS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	f, err := os.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+func (OSFS) Open(name string) (File, error) {
+	f, err := os.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+func (OSFS) ReadFile(name string) ([]byte, error)  { return os.ReadFile(name) }
+func (OSFS) Rename(oldpath, newpath string) error  { return os.Rename(oldpath, newpath) }
+func (OSFS) Remove(name string) error              { return os.Remove(name) }
+func (OSFS) Stat(name string) (os.FileInfo, error) { return os.Stat(name) }

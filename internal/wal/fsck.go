@@ -1,0 +1,266 @@
+package wal
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// Damage classes reported by Fsck.
+const (
+	// Snapshot states.
+	SnapshotNone    = "none"    // no snapshot file
+	SnapshotOK      = "ok"      // present, CRC verifies
+	SnapshotCorrupt = "corrupt" // present, unparseable or CRC mismatch
+
+	// Log states.
+	LogMissing  = "missing"   // no log file (fresh directory)
+	LogClean    = "clean"     // every line decodes and CRC-verifies
+	LogTornTail = "torn-tail" // damage at the tail only: a crash signature, self-healed at Open
+	LogMidLog   = "mid-log"   // damage with valid records after it: real corruption, Open refuses
+)
+
+// QuarantineSuffix is appended to a damaged file's name when Salvage
+// moves its bytes aside. Quarantine files are never deleted by the log:
+// they are the operator's forensic copy of what salvage cut away.
+const QuarantineSuffix = ".quarantine"
+
+// Report is Fsck's diagnosis of one log directory. Fsck only reads.
+type Report struct {
+	Dir string `json:"dir"`
+
+	// Snapshot is one of the Snapshot* constants; SnapshotSeq is the
+	// LastSeq a verifying snapshot covers.
+	Snapshot    string `json:"snapshot"`
+	SnapshotSeq uint64 `json:"snapshot_seq,omitempty"`
+
+	// Log is one of the Log* constants. For torn-tail and mid-log damage,
+	// BadOffset is the byte offset of the first invalid line and
+	// DamagedBytes the length of the suffix from there to EOF; for clean
+	// and missing logs BadOffset is -1.
+	Log          string `json:"log"`
+	BadOffset    int64  `json:"bad_offset"`
+	DamagedBytes int64  `json:"damaged_bytes"`
+
+	// ValidRecords and LastValidSeq describe the longest valid prefix —
+	// what Salvage recovers and what replay of the undamaged prefix yields.
+	ValidRecords int    `json:"valid_records"`
+	LastValidSeq uint64 `json:"last_valid_seq"`
+}
+
+// Damaged reports whether the directory needs salvage before a normal
+// Open can succeed without data questions: any snapshot corruption or
+// mid-log damage. A torn tail alone is not damage — it is the crash
+// signature Open heals by design — but Salvage quarantines it too when
+// asked, so the bytes are preserved rather than silently dropped.
+func (r Report) Damaged() bool {
+	return r.Snapshot == SnapshotCorrupt || r.Log == LogMidLog
+}
+
+// Dirty reports whether Salvage would change anything on disk: damage,
+// or a torn tail whose bytes would be quarantined.
+func (r Report) Dirty() bool {
+	return r.Damaged() || r.Log == LogTornTail
+}
+
+// String renders the diagnosis in fsck's one-line-per-directory style.
+func (r Report) String() string {
+	s := fmt.Sprintf("%s: snapshot=%s log=%s records=%d last_seq=%d",
+		r.Dir, r.Snapshot, r.Log, r.ValidRecords, r.LastValidSeq)
+	if r.BadOffset >= 0 {
+		s += fmt.Sprintf(" bad_offset=%d damaged_bytes=%d", r.BadOffset, r.DamagedBytes)
+	}
+	return s
+}
+
+// SalvageResult describes what Salvage did.
+type SalvageResult struct {
+	Report Report `json:"report"`
+	// Repaired is true when anything changed on disk.
+	Repaired bool `json:"repaired"`
+	// QuarantinedBytes is how many damaged bytes this run moved into
+	// quarantine files (log suffix plus corrupt snapshot).
+	QuarantinedBytes int64 `json:"quarantined_bytes"`
+	// QuarantineFiles lists the quarantine files written or appended to.
+	QuarantineFiles []string `json:"quarantine_files,omitempty"`
+}
+
+// Fsck scans the log directory and classifies any damage without
+// modifying anything. It distinguishes the three failure shapes the
+// on-disk format can exhibit: a torn tail (crash mid-append — the last
+// line is incomplete or invalid and nothing valid follows), mid-log
+// corruption (an invalid line with valid records after it — bit rot or
+// an overwrite, which replay must not paper over), and a snapshot CRC
+// mismatch.
+func Fsck(dir string) (Report, error) {
+	r := Report{Dir: dir, BadOffset: -1}
+
+	snap, err := readSnapshot(OSFS{}, filepath.Join(dir, snapshotName))
+	switch {
+	case errors.Is(err, ErrCorrupt):
+		r.Snapshot = SnapshotCorrupt
+	case err != nil:
+		return r, fmt.Errorf("wal: fsck: %w", err)
+	case snap == nil:
+		r.Snapshot = SnapshotNone
+	default:
+		r.Snapshot = SnapshotOK
+		r.SnapshotSeq = snap.LastSeq
+	}
+
+	raw, err := os.ReadFile(filepath.Join(dir, logName))
+	if errors.Is(err, os.ErrNotExist) {
+		r.Log = LogMissing
+		return r, nil
+	}
+	if err != nil {
+		return r, fmt.Errorf("wal: fsck: %w", err)
+	}
+	_, records, lastSeq, badAt := scanLog(raw)
+	r.ValidRecords = records
+	r.LastValidSeq = lastSeq
+	if badAt < 0 {
+		r.Log = LogClean
+		return r, nil
+	}
+	r.BadOffset = int64(badAt)
+	r.DamagedBytes = int64(len(raw) - badAt)
+	if validRecordAfter(raw[badAt:]) {
+		r.Log = LogMidLog
+	} else {
+		r.Log = LogTornTail
+	}
+	return r, nil
+}
+
+// scanLog walks the log from byte 0, returning the length of the
+// longest valid prefix, how many records it holds, the last record's
+// sequence number, and the offset of the first invalid line (-1 when
+// the whole file is valid). Shares decodeLine with replay, so "valid"
+// means exactly what Open accepts.
+func scanLog(raw []byte) (prefixLen, records int, lastSeq uint64, badAt int) {
+	offset := 0
+	badAt = -1
+	prevSeq := uint64(0)
+	for offset < len(raw) {
+		nl := bytes.IndexByte(raw[offset:], '\n')
+		if nl < 0 {
+			badAt = offset
+			break
+		}
+		rec, ok := decodeLine(raw[offset : offset+nl])
+		if !ok || (prevSeq != 0 && rec.Seq <= prevSeq) {
+			badAt = offset
+			break
+		}
+		prevSeq = rec.Seq
+		lastSeq = rec.Seq
+		records++
+		offset += nl + 1
+	}
+	return offset, records, lastSeq, badAt
+}
+
+// validRecordAfter reports whether any complete line after the damaged
+// one decodes as a valid record — the mid-log-corruption signature.
+func validRecordAfter(rest []byte) bool {
+	nl := bytes.IndexByte(rest, '\n')
+	if nl < 0 {
+		return false
+	}
+	for _, line := range bytes.Split(rest[nl+1:], []byte{'\n'}) {
+		if _, ok := decodeLine(line); ok {
+			return true
+		}
+	}
+	return false
+}
+
+// Salvage repairs the log directory in place: the damaged suffix of the
+// log (from the first invalid line to EOF) is appended to
+// wal.log.quarantine and the log truncated to its longest valid prefix;
+// a corrupt snapshot is renamed to snapshot.json.quarantine. After a
+// successful salvage, Open replays exactly the records of the valid
+// prefix — the salvage guarantee is that this state is byte-identical
+// to replaying the undamaged prefix of the original log. Damage is
+// never silently dropped: every byte cut away lands in a quarantine
+// file beside the log.
+//
+// Salvage cannot invent lost data. If the snapshot was quarantined and
+// the log does not reach back to the beginning of history, the caller's
+// replay will fail loudly — that is the honest unrecoverable case.
+func Salvage(dir string) (SalvageResult, error) {
+	report, err := Fsck(dir)
+	if err != nil {
+		return SalvageResult{Report: report}, err
+	}
+	res := SalvageResult{Report: report}
+
+	if report.Snapshot == SnapshotCorrupt {
+		src := filepath.Join(dir, snapshotName)
+		dst := src + QuarantineSuffix
+		info, err := os.Stat(src)
+		if err != nil {
+			return res, fmt.Errorf("wal: salvage: %w", err)
+		}
+		if err := os.Rename(src, dst); err != nil {
+			return res, fmt.Errorf("wal: salvage: quarantining snapshot: %w", err)
+		}
+		res.Repaired = true
+		res.QuarantinedBytes += info.Size()
+		res.QuarantineFiles = append(res.QuarantineFiles, dst)
+	}
+
+	if report.BadOffset >= 0 {
+		logPath := filepath.Join(dir, logName)
+		raw, err := os.ReadFile(logPath)
+		if err != nil {
+			return res, fmt.Errorf("wal: salvage: %w", err)
+		}
+		if int64(len(raw)) < report.BadOffset {
+			return res, fmt.Errorf("wal: salvage: log shrank under us (%d < %d)", len(raw), report.BadOffset)
+		}
+		qPath := logPath + QuarantineSuffix
+		q, err := os.OpenFile(qPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return res, fmt.Errorf("wal: salvage: %w", err)
+		}
+		// Quarantine before truncate: a crash between the two leaves the
+		// damage both preserved and still in the log — salvage is rerunnable,
+		// the opposite order could lose the suffix forever.
+		if _, err := q.Write(raw[report.BadOffset:]); err != nil {
+			q.Close()
+			return res, fmt.Errorf("wal: salvage: writing quarantine: %w", err)
+		}
+		if err := q.Sync(); err != nil {
+			q.Close()
+			return res, fmt.Errorf("wal: salvage: %w", err)
+		}
+		if err := q.Close(); err != nil {
+			return res, fmt.Errorf("wal: salvage: %w", err)
+		}
+		if err := os.Truncate(logPath, report.BadOffset); err != nil {
+			return res, fmt.Errorf("wal: salvage: truncating log: %w", err)
+		}
+		res.Repaired = true
+		res.QuarantinedBytes += int64(len(raw)) - report.BadOffset
+		res.QuarantineFiles = append(res.QuarantineFiles, qPath)
+	}
+
+	return res, nil
+}
+
+// QuarantinedBytes sums the quarantine files in dir — the durable
+// record of how much damage salvage has ever cut away there. Reading
+// from disk (not a counter) makes the metric survive restarts for free.
+func QuarantinedBytes(dir string) int64 {
+	var total int64
+	for _, name := range []string{logName + QuarantineSuffix, snapshotName + QuarantineSuffix} {
+		if info, err := os.Stat(filepath.Join(dir, name)); err == nil {
+			total += info.Size()
+		}
+	}
+	return total
+}

@@ -70,8 +70,12 @@ type Options struct {
 	NoSync bool
 	// WriteHook, when set, sees every encoded record line before it is
 	// written; returning an error fails the append without writing. It is
-	// the fault-injection point for disk-failure tests.
+	// the record-level fault-injection point for disk-failure tests (the
+	// byte-level one is FS).
 	WriteHook func(line []byte) error
+	// FS is the filesystem the log reads and writes through; nil means
+	// the real one (OSFS). Disk-fault tests inject a faultfs.FS here.
+	FS FS
 }
 
 // Stats counts a log's lifetime traffic; exposed through the server's
@@ -103,9 +107,10 @@ type Stats struct {
 type Log struct {
 	dir  string
 	opts Options
+	fsys FS
 
 	mu      sync.Mutex
-	f       *os.File
+	f       File
 	nextSeq uint64
 	size    int64
 	stats   Stats
@@ -116,10 +121,14 @@ type Log struct {
 // snapshot, in order, after truncating a torn tail. The caller replays
 // snapshot + records to rebuild its state, then appends new records.
 func Open(dir string, opts Options) (*Log, *Snapshot, []Record, error) {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	fsys := opts.FS
+	if fsys == nil {
+		fsys = OSFS{}
+	}
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
 		return nil, nil, nil, fmt.Errorf("wal: %w", err)
 	}
-	snap, err := readSnapshot(filepath.Join(dir, snapshotName))
+	snap, err := readSnapshot(fsys, filepath.Join(dir, snapshotName))
 	if err != nil {
 		return nil, nil, nil, err
 	}
@@ -127,11 +136,11 @@ func Open(dir string, opts Options) (*Log, *Snapshot, []Record, error) {
 	if snap != nil {
 		snapSeq = snap.LastSeq
 	}
-	records, torn, lastSeq, err := readLog(filepath.Join(dir, logName), snapSeq)
+	records, torn, lastSeq, err := readLog(fsys, filepath.Join(dir, logName), snapSeq)
 	if err != nil {
 		return nil, nil, nil, err
 	}
-	f, err := os.OpenFile(filepath.Join(dir, logName), os.O_CREATE|os.O_RDWR, 0o644)
+	f, err := fsys.OpenFile(filepath.Join(dir, logName), os.O_CREATE|os.O_RDWR, 0o644)
 	if err != nil {
 		return nil, nil, nil, fmt.Errorf("wal: %w", err)
 	}
@@ -154,7 +163,7 @@ func Open(dir string, opts Options) (*Log, *Snapshot, []Record, error) {
 	if snapSeq > next {
 		next = snapSeq
 	}
-	l := &Log{dir: dir, opts: opts, f: f, nextSeq: next, size: info.Size() - int64(torn)}
+	l := &Log{dir: dir, opts: opts, fsys: fsys, f: f, nextSeq: next, size: info.Size() - int64(torn)}
 	l.stats.Replayed = len(records)
 	l.stats.TornTruncated = torn
 	l.stats.SnapshotSeq = snapSeq
@@ -184,8 +193,8 @@ type envelope struct {
 // readLog decodes the log file, returning records with Seq > afterSeq,
 // the number of trailing bytes to truncate as a torn write, and the
 // highest sequence number seen.
-func readLog(path string, afterSeq uint64) (records []Record, torn int, lastSeq uint64, err error) {
-	raw, err := os.ReadFile(path)
+func readLog(fsys FS, path string, afterSeq uint64) (records []Record, torn int, lastSeq uint64, err error) {
+	raw, err := fsys.ReadFile(path)
 	if errors.Is(err, os.ErrNotExist) {
 		return nil, 0, 0, nil
 	}
@@ -249,8 +258,8 @@ func decodeLine(line []byte) (Record, bool) {
 
 // readSnapshot loads and verifies the snapshot file; a missing file is
 // (nil, nil).
-func readSnapshot(path string) (*Snapshot, error) {
-	raw, err := os.ReadFile(path)
+func readSnapshot(fsys FS, path string) (*Snapshot, error) {
+	raw, err := fsys.ReadFile(path)
 	if errors.Is(err, os.ErrNotExist) {
 		return nil, nil
 	}
@@ -285,8 +294,20 @@ func (l *Log) Append(typ string, payload any) (uint64, error) {
 			return 0, fmt.Errorf("wal: appending %s record: %w", typ, err)
 		}
 	}
-	if _, err := l.f.WriteString(line); err != nil {
+	n, err := l.f.Write([]byte(line))
+	if err != nil {
 		l.stats.AppendErrors++
+		if n > 0 {
+			// A short write left a torn line at the tail. The torn-tail
+			// truncation at the next open erases it, but the live process
+			// must not keep appending after it — record N+1 glued to half of
+			// record N would turn a crash signature into mid-log corruption.
+			// Try to cut it back now; if even that fails the file offset is
+			// untrustworthy and the caller's poisoning takes over.
+			if l.f.Truncate(l.size) == nil {
+				_, _ = l.f.Seek(0, io.SeekEnd)
+			}
+		}
 		return 0, fmt.Errorf("wal: appending %s record: %w", typ, err)
 	}
 	l.nextSeq = seq
@@ -350,26 +371,33 @@ func (l *Log) Compact(payload any) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	seq := l.nextSeq
-	body := fmt.Sprintf("{\"s\":%d,\"c\":%d,\"d\":%s}\n", seq, crcOf(seq, "snapshot", data), data)
+	body := encodeSnapshot(seq, data)
 	tmp := filepath.Join(l.dir, snapshotName+".tmp")
-	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	f, err := l.fsys.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
 	if err != nil {
 		return fmt.Errorf("wal: snapshot: %w", err)
 	}
-	if _, err := f.WriteString(body); err != nil {
+	// A failed snapshot write must leave no partial .tmp behind: fsck (and
+	// an operator's ls) should see either the old snapshot state or the
+	// new, never a half-written candidate.
+	if _, err := f.Write(body); err != nil {
 		f.Close()
+		_ = l.fsys.Remove(tmp)
 		return fmt.Errorf("wal: snapshot: %w", err)
 	}
 	if !l.opts.NoSync {
 		if err := f.Sync(); err != nil {
 			f.Close()
+			_ = l.fsys.Remove(tmp)
 			return fmt.Errorf("wal: snapshot: %w", err)
 		}
 	}
 	if err := f.Close(); err != nil {
+		_ = l.fsys.Remove(tmp)
 		return fmt.Errorf("wal: snapshot: %w", err)
 	}
-	if err := os.Rename(tmp, filepath.Join(l.dir, snapshotName)); err != nil {
+	if err := l.fsys.Rename(tmp, filepath.Join(l.dir, snapshotName)); err != nil {
+		_ = l.fsys.Remove(tmp)
 		return fmt.Errorf("wal: snapshot: %w", err)
 	}
 	l.syncDirLocked()
@@ -392,10 +420,47 @@ func (l *Log) syncDirLocked() {
 	if l.opts.NoSync {
 		return
 	}
-	if d, err := os.Open(l.dir); err == nil {
+	if d, err := l.fsys.Open(l.dir); err == nil {
 		_ = d.Sync()
 		d.Close()
 	}
+}
+
+// encodeSnapshot shapes a marshaled payload into the snapshot file's
+// exact on-disk bytes. Shared by Compact and the online-backup path, so
+// a restored backup is indistinguishable from a compacted data dir.
+func encodeSnapshot(seq uint64, data []byte) []byte {
+	return []byte(fmt.Sprintf("{\"s\":%d,\"c\":%d,\"d\":%s}\n", seq, crcOf(seq, "snapshot", data), data))
+}
+
+// SnapshotBytes encodes payload as a snapshot covering every record
+// appended so far, without writing anything: the online-backup path's
+// encoder. The caller must guarantee payload materializes all records up
+// to LastSeq — the same freeze contract as Compact.
+func (l *Log) SnapshotBytes(payload any) ([]byte, error) {
+	data, err := json.Marshal(payload)
+	if err != nil {
+		return nil, fmt.Errorf("wal: encoding snapshot: %w", err)
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return encodeSnapshot(l.nextSeq, data), nil
+}
+
+// ReadRaw returns a copy of the log file's current contents. Taken under
+// the log mutex, so the bytes end at a record boundary as long as the
+// caller holds its own appender freeze (online backup does).
+func (l *Log) ReadRaw() ([]byte, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	raw, err := l.fsys.ReadFile(filepath.Join(l.dir, logName))
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	return raw, nil
 }
 
 // Close releases the log file. Appends after Close fail.
